@@ -1,0 +1,153 @@
+//! The transaction management library (§3.1.2, Table 3-2).
+//!
+//! "The routines in the transaction management library provide a standard
+//! interface to transaction management functions. `BeginTransaction`
+//! creates a subtransaction of the specified transaction. To create a new
+//! top-level transaction, a special null TransactionID is given as the
+//! argument. `EndTransaction` and `AbortTransaction` initiate commit and
+//! abort of the specified transaction, respectively. The
+//! `TransactionIsAborted` exception is raised in the application process if
+//! the specified transaction has been aborted by some other process."
+
+use std::sync::Arc;
+
+use tabs_kernel::{Kernel, SendRight, Tid};
+use tabs_proto::{RpcError, ServerError};
+use tabs_tm::{TmError, TransactionManager};
+
+/// Errors surfaced to applications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppError {
+    /// The `TransactionIsAborted` notification (Table 3-2).
+    TransactionIsAborted(Tid),
+    /// Transaction-manager failure.
+    Tm(String),
+    /// A data-server call failed.
+    Rpc(String),
+}
+
+impl std::fmt::Display for AppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppError::TransactionIsAborted(t) => write!(f, "transaction {t} is aborted"),
+            AppError::Tm(e) => write!(f, "transaction manager: {e}"),
+            AppError::Rpc(e) => write!(f, "rpc: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {}
+
+impl From<TmError> for AppError {
+    fn from(e: TmError) -> Self {
+        match e {
+            TmError::Aborted(t) => AppError::TransactionIsAborted(t),
+            other => AppError::Tm(other.to_string()),
+        }
+    }
+}
+
+/// An application's handle onto one node's TABS facilities.
+#[derive(Clone)]
+pub struct AppHandle {
+    kernel: Kernel,
+    tm: Arc<TransactionManager>,
+}
+
+impl std::fmt::Debug for AppHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppHandle").field("node", &self.kernel.node()).finish()
+    }
+}
+
+impl AppHandle {
+    /// Creates an application handle for a node.
+    pub fn new(kernel: Kernel, tm: Arc<TransactionManager>) -> Self {
+        Self { kernel, tm }
+    }
+
+    /// The node's kernel (for direct RPC).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// `BeginTransaction(TransactionID) returns (NewTransactionID)`.
+    pub fn begin_transaction(&self, parent: Tid) -> Result<Tid, AppError> {
+        Ok(self.tm.begin(parent)?)
+    }
+
+    /// `EndTransaction(TransactionID) returns (Boolean)`: true on commit.
+    pub fn end_transaction(&self, tid: Tid) -> Result<bool, AppError> {
+        Ok(self.tm.end(tid)?)
+    }
+
+    /// `AbortTransaction(TransactionID)`.
+    pub fn abort_transaction(&self, tid: Tid) -> Result<(), AppError> {
+        Ok(self.tm.abort(tid)?)
+    }
+
+    /// The `TransactionIsAborted` test (the library's exception surfaces
+    /// as an error from calls; this polls the state directly).
+    pub fn transaction_is_aborted(&self, tid: Tid) -> bool {
+        self.tm.is_aborted(tid)
+    }
+
+    /// Calls a data-server operation within `tid` (the Matchmaker path).
+    pub fn call(
+        &self,
+        server: &SendRight,
+        tid: Tid,
+        opcode: u32,
+        args: Vec<u8>,
+    ) -> Result<Vec<u8>, AppError> {
+        tabs_proto::call(&self.kernel, server, tid, opcode, args).map_err(|e| match e {
+            RpcError::Server(ServerError::Aborted(_)) => {
+                AppError::TransactionIsAborted(tid)
+            }
+            other => AppError::Rpc(other.to_string()),
+        })
+    }
+
+    /// Convenience: runs `f` in a new top-level transaction, committing on
+    /// success and aborting on failure.
+    pub fn run<R>(
+        &self,
+        f: impl FnOnce(Tid) -> Result<R, AppError>,
+    ) -> Result<R, AppError> {
+        let tid = self.begin_transaction(Tid::NULL)?;
+        match f(tid) {
+            Ok(r) => {
+                if self.end_transaction(tid)? {
+                    Ok(r)
+                } else {
+                    Err(AppError::TransactionIsAborted(tid))
+                }
+            }
+            Err(e) => {
+                let _ = self.abort_transaction(tid);
+                Err(e)
+            }
+        }
+    }
+
+    /// Like [`AppHandle::run`] but retries aborted transactions up to
+    /// `attempts` times (lock time-outs resolve deadlocks by abort, so
+    /// retry is the standard recovery).
+    pub fn run_with_retries<R>(
+        &self,
+        attempts: usize,
+        mut f: impl FnMut(Tid) -> Result<R, AppError>,
+    ) -> Result<R, AppError> {
+        let mut last = None;
+        for _ in 0..attempts.max(1) {
+            match self.run(&mut f) {
+                Ok(r) => return Ok(r),
+                Err(e @ AppError::TransactionIsAborted(_)) | Err(e @ AppError::Rpc(_)) => {
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or(AppError::Tm("no attempts".into())))
+    }
+}

@@ -1,0 +1,279 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! 1. **Value vs operation logging** (§2.1.3, §7: "we plan to empirically
+//!    compare the relative merits of value and operation logging"): the
+//!    same logical update — incrementing a counter inside a multi-word
+//!    object — logged both ways. Operation logging writes one small
+//!    record; value logging writes old/new images of the whole object.
+//! 2. **Deadlock time-out vs detection** (§2.1.3): two transactions built
+//!    to collide; time-outs burn the full wait, detection fails fast.
+//! 3. **Checkpoint interval** (§2.1.3): crash-recovery time as a function
+//!    of how much log follows the last checkpoint.
+//! 4. **Type-specific locking** (§2.1.3, §4.6): commuting `add` locks on
+//!    the operation-logged counter let concurrent uncommitted
+//!    transactions increment the same object; strict exclusive locking
+//!    (the integer array) serializes them behind lock waits.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tabs_core::{Cluster, NodeId, ObjectId, SegmentId, Tid};
+use tabs_kernel::{BufferPool, MemDisk, PerfCounters, SegmentSpec};
+use tabs_lock::{DeadlockPolicy, LockError, LockManager, StdMode};
+use tabs_rm::{OperationHandler, RecoveryManager};
+use tabs_wal::{LogManager, MemLogDevice};
+
+fn seg() -> SegmentId {
+    SegmentId { node: NodeId(1), index: 0 }
+}
+
+fn obj(i: u64, len: u32) -> ObjectId {
+    ObjectId::new(seg(), i * 256, len)
+}
+
+struct Rig {
+    rm: Arc<RecoveryManager>,
+    pool: Arc<BufferPool>,
+}
+
+fn rig() -> Rig {
+    let perf = PerfCounters::new();
+    let pool = BufferPool::new(64, Arc::clone(&perf));
+    pool.register_segment(SegmentSpec {
+        id: seg(),
+        name: "ablate".into(),
+        disk: MemDisk::new(256),
+        base_sector: 0,
+        pages: 256,
+    })
+    .unwrap();
+    let log = LogManager::open(MemLogDevice::new(1 << 30), Arc::clone(&perf)).unwrap();
+    let rm = RecoveryManager::new(NodeId(1), log, Arc::clone(&pool), perf);
+    pool.set_gate(rm.gate());
+    Rig { rm, pool }
+}
+
+struct AddHandler {
+    pool: Arc<BufferPool>,
+}
+
+impl OperationHandler for AddHandler {
+    fn redo(&self, o: ObjectId, _n: &str, redo: &[u8]) -> Result<(), String> {
+        let amt = u64::from_le_bytes(redo.try_into().map_err(|_| "args")?);
+        let page = o.first_page();
+        self.pool
+            .with_page_mut(page, |d| {
+                let off = (o.offset % 512) as usize;
+                let cur = u64::from_le_bytes(d[off..off + 8].try_into().unwrap());
+                d[off..off + 8].copy_from_slice(&cur.wrapping_add(amt).to_le_bytes());
+            })
+            .map_err(|e| e.to_string())
+    }
+    fn undo(&self, o: ObjectId, n: &str, undo: &[u8]) -> Result<(), String> {
+        let amt = u64::from_le_bytes(undo.try_into().map_err(|_| "args")?);
+        self.redo(o, n, &amt.wrapping_neg().to_le_bytes())
+    }
+}
+
+/// Value vs operation logging: latency and log bytes per committed update
+/// of a 200-byte object.
+fn value_vs_operation_logging(c: &mut Criterion) {
+    let mut g = c.benchmark_group("logging");
+    let mut seq = 1u64;
+
+    let r = rig();
+    let o = obj(0, 200);
+    g.bench_function("value_logging_update", |b| {
+        b.iter(|| {
+            let tid = Tid { node: NodeId(1), incarnation: 1, seq };
+            seq += 1;
+            r.rm.log_begin(tid, Tid::NULL);
+            // Old/new images of the whole 200-byte object.
+            let old = vec![0u8; 200];
+            let new = vec![1u8; 200];
+            r.rm.log_value_update(tid, o, old, new);
+            r.rm.log_commit(tid).unwrap();
+        })
+    });
+
+    let r2 = rig();
+    r2.rm
+        .register_handler(seg(), Arc::new(AddHandler { pool: Arc::clone(&r2.pool) }));
+    g.bench_function("operation_logging_update", |b| {
+        b.iter(|| {
+            let tid = Tid { node: NodeId(1), incarnation: 1, seq };
+            seq += 1;
+            r2.rm.log_begin(tid, Tid::NULL);
+            // One compact operation record for the same logical update.
+            r2.rm.log_operation(
+                tid,
+                o,
+                "add",
+                1u64.to_le_bytes().to_vec(),
+                1u64.to_le_bytes().to_vec(),
+            );
+            r2.rm.log_commit(tid).unwrap();
+        })
+    });
+    g.finish();
+
+    // Report log volume per update outside Criterion (shape evidence).
+    let r3 = rig();
+    let before = r3.rm.log().usage().0;
+    for i in 0..100u64 {
+        let tid = Tid { node: NodeId(1), incarnation: 2, seq: i + 1 };
+        r3.rm.log_begin(tid, Tid::NULL);
+        r3.rm
+            .log_value_update(tid, o, vec![0u8; 200], vec![1u8; 200]);
+        r3.rm.log_commit(tid).unwrap();
+    }
+    let value_bytes = (r3.rm.log().usage().0 - before) / 100;
+    let r4 = rig();
+    let before = r4.rm.log().usage().0;
+    for i in 0..100u64 {
+        let tid = Tid { node: NodeId(1), incarnation: 2, seq: i + 1 };
+        r4.rm.log_begin(tid, Tid::NULL);
+        r4.rm.log_operation(
+            tid,
+            o,
+            "add",
+            1u64.to_le_bytes().to_vec(),
+            1u64.to_le_bytes().to_vec(),
+        );
+        r4.rm.log_commit(tid).unwrap();
+    }
+    let op_bytes = (r4.rm.log().usage().0 - before) / 100;
+    eprintln!("log bytes per update: value={value_bytes} operation={op_bytes}");
+}
+
+/// Deadlock resolution: time-out (the paper's policy) vs waits-for cycle
+/// detection (the Obermarck-style extension) on a guaranteed collision.
+fn deadlock_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deadlock");
+    g.sample_size(10);
+    for (label, policy, timeout) in [
+        ("timeout_resolution", DeadlockPolicy::Timeout, Duration::from_millis(30)),
+        ("detection_resolution", DeadlockPolicy::Detect, Duration::from_secs(5)),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let lm = Arc::new(LockManager::<StdMode>::new(policy));
+                let t1 = Tid { node: NodeId(1), incarnation: 1, seq: 1 };
+                let t2 = Tid { node: NodeId(1), incarnation: 1, seq: 2 };
+                lm.lock(t1, obj(1, 8), StdMode::Exclusive, timeout).unwrap();
+                lm.lock(t2, obj(2, 8), StdMode::Exclusive, timeout).unwrap();
+                let lm2 = Arc::clone(&lm);
+                let waiter = std::thread::spawn(move || {
+                    lm2.lock(t2, obj(1, 8), StdMode::Exclusive, timeout)
+                });
+                std::thread::sleep(Duration::from_millis(2));
+                // This closes the cycle: detection refuses instantly,
+                // time-out burns the full wait.
+                let r = lm.lock(t1, obj(2, 8), StdMode::Exclusive, timeout);
+                assert!(matches!(
+                    r,
+                    Err(LockError::Deadlock(_)) | Err(LockError::Timeout(_))
+                ));
+                lm.release_all(t1);
+                let _ = waiter.join().unwrap();
+                lm.release_all(t2);
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Recovery time vs checkpoint spacing: more committed work since the
+/// last truncation means a longer scan.
+fn checkpoint_interval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery_scan");
+    g.sample_size(10);
+    for &txns in &[50u64, 200, 800] {
+        g.bench_with_input(BenchmarkId::from_parameter(txns), &txns, |b, &txns| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let cluster = Cluster::new();
+                    let node = cluster.boot_node(NodeId(1));
+                    let s = node.add_segment("data", 64);
+                    node.recover().unwrap();
+                    for i in 0..txns {
+                        let tid = node.tm.begin(Tid::NULL).unwrap();
+                        let o = ObjectId::new(s, (i % 64) * 8, 8);
+                        node.rm
+                            .log_value_update(tid, o, vec![0; 8], i.to_le_bytes().to_vec());
+                        node.rm.log_commit(tid).unwrap();
+                    }
+                    node.crash();
+                    let node = cluster.boot_node(NodeId(1));
+                    let _ = node.add_segment("data", 64);
+                    let t0 = Instant::now();
+                    node.recover().unwrap();
+                    total += t0.elapsed();
+                    node.shutdown();
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Type-specific locking vs strict read/write locking: two transactions
+/// increment the same hot object before either commits. Commuting add
+/// locks admit both immediately; exclusive locks force the second to wait
+/// for (and here, time out against) the first.
+fn type_specific_locking(c: &mut Criterion) {
+    use tabs_servers::{CounterClient, CounterServer, IntArrayClient, IntArrayServer};
+
+    let cluster = Cluster::new();
+    let node = cluster.boot_node(NodeId(1));
+    let ctr_srv = CounterServer::spawn(&node, "tsl-ctr", 4).unwrap();
+    let arr_srv = IntArrayServer::spawn(&node, "tsl-arr", 4).unwrap();
+    node.recover().unwrap();
+    let app = node.app();
+    let ctr = CounterClient::new(app.clone(), ctr_srv.send_right());
+    let arr = IntArrayClient::new(app.clone(), arr_srv.send_right());
+
+    let mut g = c.benchmark_group("type_specific_locking");
+    g.sample_size(10);
+    g.bench_function("commuting_add_locks", |b| {
+        b.iter(|| {
+            // Two open transactions hit the same counter; both proceed.
+            let t1 = app.begin_transaction(Tid::NULL).unwrap();
+            let t2 = app.begin_transaction(Tid::NULL).unwrap();
+            ctr.add(t1, 0, 1).unwrap();
+            ctr.add(t2, 0, 1).unwrap();
+            assert!(app.end_transaction(t1).unwrap());
+            assert!(app.end_transaction(t2).unwrap());
+        })
+    });
+    g.bench_function("exclusive_locks", |b| {
+        b.iter(|| {
+            // Same workload on the strictly-locked array: the second add
+            // waits out the first transaction's lock and aborts.
+            let t1 = app.begin_transaction(Tid::NULL).unwrap();
+            let t2 = app.begin_transaction(Tid::NULL).unwrap();
+            arr.add(t1, 0, 1).unwrap();
+            let blocked = arr.add(t2, 0, 1);
+            assert!(blocked.is_err(), "exclusive lock serializes");
+            assert!(app.end_transaction(t1).unwrap());
+            let _ = app.abort_transaction(t2);
+        })
+    });
+    g.finish();
+    node.shutdown();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    targets = value_vs_operation_logging, deadlock_policies, checkpoint_interval,
+        type_specific_locking
+}
+criterion_main!(ablations);

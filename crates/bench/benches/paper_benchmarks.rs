@@ -1,0 +1,37 @@
+//! Criterion timings for the fourteen benchmark transactions of Table 5-4,
+//! one Criterion benchmark per table row, against one shared three-node
+//! cluster.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tabs_core::Tid;
+use tabs_perf::bench::{benchmarks, BenchWorld};
+
+fn paper_rows(c: &mut Criterion) {
+    let world = BenchWorld::new();
+    let mut g = c.benchmark_group("table_5_4");
+    for bench in benchmarks() {
+        let body = bench.body.clone();
+        g.bench_function(bench.name, |b| {
+            b.iter(|| {
+                let tid = world.app.begin_transaction(Tid::NULL).unwrap();
+                (body)(&world, tid).unwrap();
+                assert!(world.app.end_transaction(tid).unwrap());
+            })
+        });
+    }
+    g.finish();
+    world.shutdown();
+}
+
+criterion_group! {
+    name = paper;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    targets = paper_rows
+}
+criterion_main!(paper);

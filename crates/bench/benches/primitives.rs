@@ -1,0 +1,145 @@
+//! Criterion micro-benchmarks of the primitive operations — this
+//! implementation's own Table 5-1, in nanoseconds instead of Perq
+//! milliseconds.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tabs_core::{Cluster, ClusterConfig, NodeId, Tid};
+use tabs_kernel::{Kernel, Message, PortClass};
+use tabs_servers::{IntArrayClient, IntArrayServer};
+use tabs_wal::{LogManager, LogRecord, MemLogDevice};
+
+fn bench_messages(c: &mut Criterion) {
+    let kernel = Kernel::new(NodeId(1));
+    let (tx, rx) = kernel.allocate_port(PortClass::System);
+    kernel.spawn("echo", move || loop {
+        match rx.recv() {
+            Ok(m) => {
+                if let Some(r) = m.reply {
+                    let _ = r.send_unmetered(Message::new(0, Vec::new()));
+                }
+            }
+            Err(_) => return,
+        }
+    });
+    let mut g = c.benchmark_group("messages");
+    g.bench_function("small_contiguous_roundtrip", |b| {
+        b.iter(|| {
+            let (rtx, rrx) = kernel.allocate_port(PortClass::Reply);
+            tx.send_unmetered(Message::new(1, vec![0u8; 64]).with_reply(rtx))
+                .unwrap();
+            rrx.recv().unwrap();
+        })
+    });
+    g.bench_function("large_contiguous_roundtrip", |b| {
+        b.iter(|| {
+            let (rtx, rrx) = kernel.allocate_port(PortClass::Reply);
+            tx.send_unmetered(Message::new(1, vec![0u8; 1100]).with_reply(rtx))
+                .unwrap();
+            rrx.recv().unwrap();
+        })
+    });
+    g.finish();
+    kernel.shutdown();
+    kernel.join_all();
+}
+
+fn bench_data_server_calls(c: &mut Criterion) {
+    let cluster = Cluster::new();
+    let n1 = cluster.boot_node(NodeId(1));
+    let n2 = cluster.boot_node(NodeId(2));
+    let local = IntArrayServer::spawn(&n1, "local", 16).unwrap();
+    let _remote = IntArrayServer::spawn(&n2, "remote", 16).unwrap();
+    n1.recover().unwrap();
+    n2.recover().unwrap();
+    let app = n1.app();
+    let local_client = IntArrayClient::new(app.clone(), local.send_right());
+    let found = n1.resolve("remote", 1, Duration::from_secs(3));
+    let remote_client = IntArrayClient::new(app.clone(), found[0].0.clone());
+
+    let mut g = c.benchmark_group("data_server_calls");
+    g.bench_function("local_call", |b| {
+        b.iter(|| local_client.get(Tid::NULL, 0).unwrap())
+    });
+    g.bench_function("inter_node_call", |b| {
+        b.iter(|| remote_client.get(Tid::NULL, 0).unwrap())
+    });
+    g.finish();
+    n1.shutdown();
+    n2.shutdown();
+}
+
+fn bench_paged_io(c: &mut Criterion) {
+    // A pool far smaller than the segment, so every access faults.
+    let cluster = Cluster::with_config(ClusterConfig {
+        pool_pages: 8,
+        ..Default::default()
+    });
+    let node = cluster.boot_node(NodeId(1));
+    let seg = node.add_segment("paged", 256);
+    node.recover().unwrap();
+    let mut g = c.benchmark_group("paged_io");
+    let mut cursor = 0u32;
+    g.bench_function("sequential_read_fault", |b| {
+        b.iter(|| {
+            let page = tabs_kernel::PageId { segment: seg, page: cursor % 256 };
+            cursor = cursor.wrapping_add(1);
+            node.pool.with_page(page, |d| d[0]).unwrap()
+        })
+    });
+    let mut rng: u32 = 0x9e37;
+    g.bench_function("random_read_fault", |b| {
+        b.iter(|| {
+            rng = rng.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            let page = tabs_kernel::PageId { segment: seg, page: rng % 256 };
+            node.pool.with_page(page, |d| d[0]).unwrap()
+        })
+    });
+    g.finish();
+    node.shutdown();
+}
+
+fn bench_stable_storage_write(c: &mut Criterion) {
+    let log = LogManager::open(
+        MemLogDevice::new(1 << 30),
+        tabs_kernel::PerfCounters::new(),
+    )
+    .unwrap();
+    let tid = Tid { node: NodeId(1), incarnation: 1, seq: 1 };
+    c.bench_function("stable_storage_write", |b| {
+        b.iter(|| {
+            log.append(LogRecord::Begin { tid, parent: Tid::NULL });
+            log.force(None).unwrap()
+        })
+    });
+}
+
+fn bench_datagram(c: &mut Criterion) {
+    let net = tabs_net::Network::new();
+    let a = net.attach(NodeId(1), tabs_kernel::PerfCounters::new());
+    let b_ep = Arc::new(net.attach(NodeId(2), tabs_kernel::PerfCounters::new()));
+    let sink = Arc::clone(&b_ep);
+    std::thread::spawn(move || {
+        while sink.recv_datagram(Duration::from_secs(10)).is_some() {}
+    });
+    c.bench_function("datagram_send", |bch| {
+        bch.iter(|| a.send_datagram(NodeId(2), vec![0u8; 32]).unwrap())
+    });
+}
+
+criterion_group! {
+    name = primitives;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_messages,
+        bench_data_server_calls,
+        bench_paged_io,
+        bench_stable_storage_write,
+        bench_datagram
+}
+criterion_main!(primitives);

@@ -1,0 +1,62 @@
+//! Regenerates every table of the paper's §5 evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! tables [table5_1|table5_2|table5_3|table5_4|table5_5|shapes|accounting|all] [--iters N] [--warmup N]
+//! ```
+//!
+//! Tables 5-2, 5-3, 5-4, the shape report and the accounting section are
+//! *measured*: a three-node cluster is booted and the fourteen benchmark
+//! transactions run against it with instrumented primitive counters.
+
+use tabs_perf::{bench, tables};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut iters = 40u32;
+    let mut warmup = 8u32;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iters" => {
+                iters = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iters N");
+            }
+            "--warmup" => {
+                warmup = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--warmup N");
+            }
+            other => which = other.to_string(),
+        }
+    }
+
+    // The static tables need no measurement.
+    match which.as_str() {
+        "table5_1" => {
+            print!("{}", tables::table_5_1());
+            return;
+        }
+        "table5_5" => {
+            print!("{}", tables::table_5_5());
+            return;
+        }
+        _ => {}
+    }
+
+    eprintln!("booting three-node cluster; {iters} iterations per benchmark …");
+    let results = bench::run_all(warmup, iters);
+    match which.as_str() {
+        "table5_2" => print!("{}", tables::table_5_2(&results)),
+        "table5_3" => print!("{}", tables::table_5_3(&results)),
+        "table5_4" => print!("{}", tables::table_5_4(&results)),
+        "shapes" => print!("{}", tables::shape_report(&results)),
+        "accounting" => print!("{}", tables::accounting(&results)),
+        _ => print!("{}", tables::full_report(&results)),
+    }
+}

@@ -1,0 +1,6 @@
+//! Benchmark harness crate: Criterion benches for the substrate and the
+//! fourteen paper benchmarks, plus the `tables` binary that regenerates
+//! Tables 5-1 … 5-5 (see `src/bin/tables.rs`).
+//!
+//! Run `cargo run -p tabs-bench --release --bin tables -- all` to produce
+//! the full report recorded in `EXPERIMENTS.md`.

@@ -1,0 +1,549 @@
+//! The Communication Manager (§3.2.4).
+//!
+//! "The Communication Manager is the only process that has access to the
+//! network. It implements three forms of network communication: datagrams
+//! for the distributed two-phase commit; reliable session communication for
+//! implementing remote procedure calls; and broadcasting for name lookup by
+//! the Name Server."
+//!
+//! Transparent remote invocation (§2.1.2): "inter-node communication is
+//! achieved by interposing a pair of processes, called Communication
+//! Managers, between the sender of a message and its intended recipient on
+//! a remote node. The Communication Manager supplies the sender with a
+//! local port to use" — the [`CommManager::resolve_port`] ports here, classed as
+//! `RemoteDataServer` so calls through them count as Inter-Node Data Server
+//! Calls.
+//!
+//! The Communication Manager also "scans any transaction identifiers
+//! included in messages and is responsible for constructing the local
+//! portion of the spanning tree that the Transaction Manager uses during
+//! two-phase commit", recording the node's parent, whether the transaction
+//! was initiated remotely, and the list of children.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use tabs_codec::{Decode, Encode};
+use tabs_kernel::{
+    Kernel, Message, NodeId, PortClass, PortId, PrimitiveOp, SendRight, Tid,
+};
+use tabs_net::Endpoint;
+use tabs_ns::{Broadcast, NameServer};
+use tabs_proto::{CommitMsg, Datagram, NsMsg, Request, ServerError, SessionFrame};
+use tabs_tm::{CommitTransport, TransactionManager};
+
+/// How long the relay waits for a local data server to answer a forwarded
+/// remote request before reporting failure to the caller.
+const RELAY_TIMEOUT: Duration = Duration::from_secs(10);
+/// Poll granularity of the receive loops (they must notice node shutdown).
+const POLL: Duration = Duration::from_millis(25);
+
+struct SpanningTree {
+    /// Commit-tree children per transaction: nodes this node first invoked
+    /// operations on.
+    children: HashMap<Tid, HashSet<NodeId>>,
+    /// Commit-tree parent per transaction (set when work arrives from a
+    /// remote node for a transaction not seen before).
+    parent: HashMap<Tid, NodeId>,
+}
+
+struct CmState {
+    tree: SpanningTree,
+    /// In-flight outbound calls awaiting session replies.
+    pending: HashMap<u64, SendRight>,
+    /// Proxy send rights already created, per remote port.
+    proxies: HashMap<PortId, SendRight>,
+}
+
+/// The Communication Manager of one node.
+pub struct CommManager {
+    kernel: Kernel,
+    endpoint: Arc<Endpoint>,
+    tm: Arc<TransactionManager>,
+    ns: Arc<NameServer>,
+    state: Mutex<CmState>,
+    next_call: AtomicU64,
+}
+
+impl std::fmt::Debug for CommManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommManager")
+            .field("node", &self.kernel.node())
+            .finish()
+    }
+}
+
+impl CommManager {
+    /// Boots the Communication Manager: wires itself into the Transaction
+    /// Manager (commit transport) and Name Server (broadcast), and spawns
+    /// the session and datagram receive loops.
+    pub fn start(
+        kernel: Kernel,
+        endpoint: Endpoint,
+        tm: Arc<TransactionManager>,
+        ns: Arc<NameServer>,
+    ) -> Arc<Self> {
+        let cm = Arc::new(Self {
+            kernel: kernel.clone(),
+            endpoint: Arc::new(endpoint),
+            tm: Arc::clone(&tm),
+            ns: Arc::clone(&ns),
+            state: Mutex::new(CmState {
+                tree: SpanningTree { children: HashMap::new(), parent: HashMap::new() },
+                pending: HashMap::new(),
+                proxies: HashMap::new(),
+            }),
+            next_call: AtomicU64::new(1),
+        });
+        tm.set_transport(Arc::new(CmCommitTransport { cm: Arc::clone(&cm) }));
+        ns.set_transport(Arc::new(CmBroadcast { cm: Arc::clone(&cm) }));
+
+        let cm_s = Arc::clone(&cm);
+        kernel.spawn("comm-mgr-session", move || cm_s.session_loop());
+        let cm_d = Arc::clone(&cm);
+        kernel.spawn("comm-mgr-datagram", move || cm_d.datagram_loop());
+        cm
+    }
+
+    /// This node.
+    pub fn node(&self) -> NodeId {
+        self.kernel.node()
+    }
+
+    /// Returns a local send right for `port`: the port itself when local,
+    /// or a Communication Manager proxy when remote. The proxy's class is
+    /// `RemoteDataServer`, so calls through it count as Inter-Node Data
+    /// Server Calls (§5.1).
+    pub fn resolve_port(self: &Arc<Self>, port: PortId) -> Option<SendRight> {
+        if port.node == self.kernel.node() {
+            return self.kernel.make_send_right(port, PortClass::DataServer);
+        }
+        {
+            let state = self.state.lock();
+            if let Some(p) = state.proxies.get(&port) {
+                return Some(p.clone());
+            }
+        }
+        let proxy = self.spawn_proxy(port);
+        self.state.lock().proxies.insert(port, proxy.clone());
+        Some(proxy)
+    }
+
+    /// Creates the interposed local port for a remote data server and the
+    /// relay process behind it.
+    fn spawn_proxy(self: &Arc<Self>, remote: PortId) -> SendRight {
+        let (tx, rx) = self.kernel.allocate_port(PortClass::RemoteDataServer);
+        let cm = Arc::clone(self);
+        self.kernel.spawn(&format!("proxy-{remote}"), move || loop {
+            match rx.recv() {
+                Ok(msg) => cm.forward_call(remote, msg),
+                Err(_) => return,
+            }
+        });
+        tx
+    }
+
+    /// Sends one proxied request over the session to the remote node.
+    fn forward_call(&self, remote: PortId, msg: Message) {
+        let reply = match msg.reply {
+            Some(r) => r,
+            None => return, // one-way messages are not proxied
+        };
+        let request = match Request::decode_all(&msg.body) {
+            Ok(r) => r,
+            Err(_) => {
+                let _ = reply.send_unmetered(tabs_proto::rpc::response_message(Err(
+                    ServerError::BadRequest("undecodable proxied request".into()),
+                )));
+                return;
+            }
+        };
+        let tid = request.tid;
+        let call_id = self.next_call.fetch_add(1, Ordering::Relaxed);
+        self.state.lock().pending.insert(call_id, reply);
+        let frame = SessionFrame::Call { call_id, target_port: remote, request };
+        if self
+            .endpoint
+            .send_session(remote.node, frame.encode_to_vec())
+            .is_err()
+        {
+            // Session failure: the remote node is down (§3.2.4 failure
+            // detection). Fail the call immediately — and do NOT record the
+            // node as a commit-tree child, since it never received work.
+            if let Some(reply) = self.state.lock().pending.remove(&call_id) {
+                let _ = reply.send_unmetered(tabs_proto::rpc::response_message(Err(
+                    ServerError::Other("remote node unreachable".into()),
+                )));
+            }
+            return;
+        }
+        // Spanning tree: the first operation this node sends to
+        // `remote.node` on behalf of the transaction makes that node our
+        // child; the Communication Manager tells the Transaction Manager
+        // (one message, §3.2.3).
+        if !tid.is_null() {
+            let mut state = self.state.lock();
+            let children = state.tree.children.entry(tid).or_default();
+            if children.insert(remote.node) {
+                self.kernel.perf().record(PrimitiveOp::SmallContiguousMessage);
+            }
+        }
+    }
+
+    /// The session receive loop: inbound remote calls and replies.
+    fn session_loop(self: Arc<Self>) {
+        while self.kernel.is_alive() {
+            let msg = match self.endpoint.recv_session(POLL) {
+                Some(m) => m,
+                None => continue,
+            };
+            let frame = match SessionFrame::decode_all(&msg.body) {
+                Ok(f) => f,
+                Err(_) => continue,
+            };
+            match frame {
+                SessionFrame::Call { call_id, target_port, request } => {
+                    self.handle_inbound_call(msg.from, call_id, target_port, request);
+                }
+                SessionFrame::Reply { call_id, result } => {
+                    let reply = self.state.lock().pending.remove(&call_id);
+                    if let Some(r) = reply {
+                        let _ =
+                            r.send_unmetered(tabs_proto::rpc::response_message(result));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delivers a remote call to the local data server and relays the
+    /// response back on the session.
+    fn handle_inbound_call(
+        self: &Arc<Self>,
+        from: NodeId,
+        call_id: u64,
+        target_port: PortId,
+        request: Request,
+    ) {
+        // Spanning tree: first inter-node message received on behalf of a
+        // transaction records our parent and tells the Transaction Manager
+        // that remote sites are involved (§3.2.3).
+        if !request.tid.is_null() {
+            let mut state = self.state.lock();
+            if !state.tree.parent.contains_key(&request.tid) {
+                state.tree.parent.insert(request.tid, from);
+                self.kernel.perf().record(PrimitiveOp::SmallContiguousMessage);
+            }
+        }
+        let cm = Arc::clone(self);
+        let kernel = self.kernel.clone();
+        std::thread::spawn(move || {
+            let result = match kernel.make_send_right(target_port, PortClass::System) {
+                Some(target) => {
+                    // Local delivery + reply: two local messages on this
+                    // node (the call was already counted once, as an
+                    // Inter-Node Data Server Call, on the calling node).
+                    kernel.perf().record(PrimitiveOp::SmallContiguousMessage);
+                    let (rtx, rrx) = kernel.allocate_port(PortClass::Reply);
+                    let m = Message::new(request.opcode, request.encode_to_vec())
+                        .with_reply(rtx);
+                    match target.send_unmetered(m) {
+                        Ok(()) => match rrx.recv_timeout(RELAY_TIMEOUT) {
+                            Ok(resp) => {
+                                kernel
+                                    .perf()
+                                    .record(PrimitiveOp::SmallContiguousMessage);
+                                match tabs_proto::Response::decode_all(&resp.body) {
+                                    Ok(r) => r.result,
+                                    Err(e) => Err(ServerError::Other(format!(
+                                        "relay decode: {e}"
+                                    ))),
+                                }
+                            }
+                            Err(_) => Err(ServerError::Other("server timeout".into())),
+                        },
+                        Err(_) => Err(ServerError::Other("server port dead".into())),
+                    }
+                }
+                None => Err(ServerError::BadRequest(format!(
+                    "no such port {target_port}"
+                ))),
+            };
+            let frame = SessionFrame::Reply { call_id, result };
+            let _ = cm.endpoint.send_session(from, frame.encode_to_vec());
+        });
+    }
+
+    /// The datagram receive loop: two-phase commit and name service.
+    fn datagram_loop(self: Arc<Self>) {
+        while self.kernel.is_alive() {
+            let pkt = match self.endpoint.recv_datagram(POLL) {
+                Some(p) => p,
+                None => continue,
+            };
+            match Datagram::decode_all(&pkt.body) {
+                Ok(Datagram::Commit(msg)) => {
+                    // Record additional crash-detection info: an incoming
+                    // Prepare for a tid whose work came from this parent.
+                    self.tm.handle(pkt.from, msg);
+                }
+                Ok(Datagram::Ns(msg)) => self.ns.handle(msg),
+                Err(_) => {}
+            }
+        }
+    }
+
+    fn tree_children(&self, tid: Tid) -> Vec<NodeId> {
+        self.state
+            .lock()
+            .tree
+            .children
+            .get(&tid)
+            .map(|s| {
+                let mut v: Vec<NodeId> = s.iter().copied().collect();
+                v.sort();
+                v
+            })
+            .unwrap_or_default()
+    }
+
+    fn tree_parent(&self, tid: Tid) -> Option<NodeId> {
+        self.state.lock().tree.parent.get(&tid).copied()
+    }
+
+    /// Whether `node` currently looks reachable.
+    pub fn is_reachable(&self, node: NodeId) -> bool {
+        self.endpoint.is_reachable(node)
+    }
+}
+
+/// The Transaction Manager's view of the Communication Manager.
+struct CmCommitTransport {
+    cm: Arc<CommManager>,
+}
+
+impl CommitTransport for CmCommitTransport {
+    fn send(&self, to: NodeId, msg: CommitMsg) {
+        let body = Datagram::Commit(msg).encode_to_vec();
+        let _ = self.cm.endpoint.send_datagram(to, body);
+    }
+
+    fn children(&self, tid: Tid) -> Vec<NodeId> {
+        self.cm.tree_children(tid)
+    }
+
+    fn parent(&self, tid: Tid) -> Option<NodeId> {
+        self.cm.tree_parent(tid)
+    }
+}
+
+/// The Name Server's view of the Communication Manager.
+struct CmBroadcast {
+    cm: Arc<CommManager>,
+}
+
+impl Broadcast for CmBroadcast {
+    fn broadcast(&self, msg: NsMsg) {
+        let body = Datagram::Ns(msg).encode_to_vec();
+        let _ = self.cm.endpoint.broadcast(body);
+    }
+
+    fn send(&self, to: NodeId, msg: NsMsg) {
+        let body = Datagram::Ns(msg).encode_to_vec();
+        let _ = self.cm.endpoint.send_datagram(to, body);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabs_kernel::{BufferPool, MemDisk, ObjectId, SegmentId, SegmentSpec};
+    use tabs_net::Network;
+    use tabs_rm::RecoveryManager;
+    use tabs_wal::{LogManager, MemLogDevice};
+
+    struct NodeRig {
+        kernel: Kernel,
+        cm: Arc<CommManager>,
+        tm: Arc<TransactionManager>,
+        ns: Arc<NameServer>,
+    }
+
+    fn boot(net: &Network, id: u16) -> NodeRig {
+        let node = NodeId(id);
+        let kernel = Kernel::new(node);
+        let perf = Arc::clone(kernel.perf());
+        let pool = BufferPool::new(16, Arc::clone(&perf));
+        pool.register_segment(SegmentSpec {
+            id: SegmentId { node, index: 0 },
+            name: "t".into(),
+            disk: MemDisk::new(16),
+            base_sector: 0,
+            pages: 16,
+        })
+        .unwrap();
+        let log = LogManager::open(MemLogDevice::new(1 << 20), Arc::clone(&perf)).unwrap();
+        let rm = RecoveryManager::new(node, log, pool, Arc::clone(&perf));
+        let tm = TransactionManager::new(node, 1, rm, Arc::clone(&perf));
+        let ns = NameServer::new(node);
+        let endpoint = net.attach(node, perf);
+        let cm = CommManager::start(kernel.clone(), endpoint, Arc::clone(&tm), Arc::clone(&ns));
+        NodeRig { kernel, cm, tm, ns }
+    }
+
+    fn oid(node: u16) -> ObjectId {
+        ObjectId::new(SegmentId { node: NodeId(node), index: 0 }, 0, 8)
+    }
+
+    /// Starts a trivial echo data server on `rig` and registers it.
+    fn start_echo_server(rig: &NodeRig, name: &str) -> PortId {
+        let (tx, rx) = rig.kernel.allocate_port(PortClass::DataServer);
+        let port_id = tx.id();
+        rig.kernel.spawn("echo-server", move || loop {
+            match rx.recv() {
+                Ok(m) => {
+                    let req = Request::decode_all(&m.body).unwrap();
+                    let mut out = req.args.clone();
+                    out.reverse();
+                    if let Some(r) = m.reply {
+                        let _ = r.send_unmetered(tabs_proto::rpc::response_message(Ok(out)));
+                    }
+                }
+                Err(_) => return,
+            }
+        });
+        rig.ns
+            .register(name, "echo", port_id, oid(rig.kernel.node().0));
+        port_id
+    }
+
+    fn shutdown(rig: NodeRig) {
+        rig.kernel.shutdown();
+        rig.kernel.join_all();
+    }
+
+    #[test]
+    fn local_resolution_returns_direct_port() {
+        let net = Network::new();
+        let a = boot(&net, 1);
+        let port = start_echo_server(&a, "echo");
+        let right = a.cm.resolve_port(port).unwrap();
+        assert_eq!(right.class(), PortClass::DataServer);
+        let out = tabs_proto::call(&a.kernel, &right, Tid::NULL, 1, vec![1, 2, 3]).unwrap();
+        assert_eq!(out, vec![3, 2, 1]);
+        shutdown(a);
+    }
+
+    #[test]
+    fn remote_call_via_proxy() {
+        let net = Network::new();
+        let a = boot(&net, 1);
+        let b = boot(&net, 2);
+        let port = start_echo_server(&b, "echo-b");
+        // Node 1 resolves node 2's port: gets a proxy.
+        let right = a.cm.resolve_port(port).unwrap();
+        assert_eq!(right.class(), PortClass::RemoteDataServer);
+        assert!(right.is_local_to(NodeId(1)), "proxy port is local");
+        let out = tabs_proto::call(&a.kernel, &right, Tid::NULL, 1, vec![5, 6]).unwrap();
+        assert_eq!(out, vec![6, 5]);
+        // Accounting: one inter-node data server call on node 1.
+        assert_eq!(
+            a.kernel.perf().get(PrimitiveOp::InterNodeDataServerCall),
+            1
+        );
+        assert_eq!(a.kernel.perf().get(PrimitiveOp::DataServerCall), 0);
+        shutdown(a);
+        shutdown(b);
+    }
+
+    #[test]
+    fn proxies_are_cached() {
+        let net = Network::new();
+        let a = boot(&net, 1);
+        let b = boot(&net, 2);
+        let port = start_echo_server(&b, "x");
+        let r1 = a.cm.resolve_port(port).unwrap();
+        let r2 = a.cm.resolve_port(port).unwrap();
+        assert_eq!(r1.id(), r2.id());
+        shutdown(a);
+        shutdown(b);
+    }
+
+    #[test]
+    fn spanning_tree_records_children_and_parent() {
+        let net = Network::new();
+        let a = boot(&net, 1);
+        let b = boot(&net, 2);
+        let port = start_echo_server(&b, "y");
+        let tid = a.tm.begin(Tid::NULL).unwrap();
+        let right = a.cm.resolve_port(port).unwrap();
+        tabs_proto::call(&a.kernel, &right, tid, 1, vec![1]).unwrap();
+        assert_eq!(a.cm.tree_children(tid), vec![NodeId(2)]);
+        // Node 2 learned its parent when the call arrived.
+        for _ in 0..50 {
+            if b.cm.tree_parent(tid).is_some() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(b.cm.tree_parent(tid), Some(NodeId(1)));
+        shutdown(a);
+        shutdown(b);
+    }
+
+    #[test]
+    fn remote_call_to_dead_node_fails_cleanly() {
+        let net = Network::new();
+        let a = boot(&net, 1);
+        let b = boot(&net, 2);
+        let port = start_echo_server(&b, "z");
+        let right = a.cm.resolve_port(port).unwrap();
+        // Crash node 2.
+        net.detach(NodeId(2));
+        b.kernel.shutdown();
+        b.kernel.join_all();
+        let err = tabs_proto::call(&a.kernel, &right, Tid::NULL, 1, vec![1]).unwrap_err();
+        assert!(matches!(err, tabs_proto::RpcError::Server(ServerError::Other(_))));
+        shutdown(a);
+    }
+
+    #[test]
+    fn broadcast_name_lookup_across_nodes() {
+        let net = Network::new();
+        let a = boot(&net, 1);
+        let b = boot(&net, 2);
+        let port = start_echo_server(&b, "directory");
+        // Node 1 has never heard of "directory"; broadcast resolves it.
+        let found = a.ns.lookup("directory", 1, Duration::from_secs(2));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].port, port);
+        // End-to-end: resolve + call through the proxy.
+        let right = a.cm.resolve_port(found[0].port).unwrap();
+        let out = tabs_proto::call(&a.kernel, &right, Tid::NULL, 1, vec![9, 8]).unwrap();
+        assert_eq!(out, vec![8, 9]);
+        shutdown(a);
+        shutdown(b);
+    }
+
+    #[test]
+    fn commit_datagrams_reach_remote_tm() {
+        let net = Network::new();
+        let a = boot(&net, 1);
+        let b = boot(&net, 2);
+        let port = start_echo_server(&b, "w");
+        let tid = a.tm.begin(Tid::NULL).unwrap();
+        let right = a.cm.resolve_port(port).unwrap();
+        tabs_proto::call(&a.kernel, &right, tid, 1, vec![1]).unwrap();
+        // Committing on node 1 runs 2PC over the real datagram path; the
+        // remote subtree is read-only (echo server never enlists), so this
+        // is the cheap read-only distributed commit.
+        assert!(a.tm.end(tid).unwrap());
+        assert!(a.kernel.perf().get(PrimitiveOp::Datagram) >= 1);
+        shutdown(a);
+        shutdown(b);
+    }
+}

@@ -1,0 +1,593 @@
+//! Compact binary encoding used by the TABS log and network layers.
+//!
+//! The TABS prototype stored log records and message bodies as raw typed
+//! byte sequences (Accent messages were "arbitrarily long vectors of typed
+//! information"). This crate provides the equivalent: a small, dependency
+//! free, deterministic binary codec with explicit framing, used for
+//! write-ahead-log records, inter-node datagrams and session payloads.
+//!
+//! The format is little-endian throughout. Variable-length integers use a
+//! LEB128-style encoding so that the common small values (lengths, counts,
+//! page numbers) stay compact in the log.
+//!
+//! # Examples
+//!
+//! ```
+//! use tabs_codec::{Decode, Encode, Reader, Writer};
+//!
+//! let mut w = Writer::new();
+//! 42u64.encode(&mut w);
+//! "hello".to_string().encode(&mut w);
+//! let buf = w.into_vec();
+//!
+//! let mut r = Reader::new(&buf);
+//! assert_eq!(u64::decode(&mut r).unwrap(), 42);
+//! assert_eq!(String::decode(&mut r).unwrap(), "hello");
+//! assert!(r.is_empty());
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Error produced when decoding malformed or truncated input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value was complete.
+    Truncated,
+    /// A length prefix or enum discriminant had an invalid value.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "input truncated"),
+            DecodeError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Result alias for decoding operations.
+pub type Result<T> = std::result::Result<T, DecodeError>;
+
+/// An append-only byte sink for encoding.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self { buf: BytesMut::new() }
+    }
+
+    /// Creates a writer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { buf: BytesMut::with_capacity(cap) }
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a fixed-width little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends a fixed-width little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends a LEB128 variable-length unsigned integer.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.put_u8(byte);
+                return;
+            }
+            self.buf.put_u8(byte | 0x80);
+        }
+    }
+
+    /// Appends raw bytes with no framing.
+    pub fn put_slice(&mut self, s: &[u8]) {
+        self.buf.put_slice(s);
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn put_bytes(&mut self, s: &[u8]) {
+        self.put_varint(s.len() as u64);
+        self.buf.put_slice(s);
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finishes encoding and returns the immutable buffer.
+    pub fn into_bytes(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Finishes encoding into a plain vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+}
+
+/// A cursor over encoded bytes for decoding.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    /// Bytes left to consume.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the input is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Reads a single byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        if self.buf.is_empty() {
+            return Err(DecodeError::Truncated);
+        }
+        let v = self.buf[0];
+        self.buf.advance(1);
+        Ok(v)
+    }
+
+    /// Reads a fixed-width little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        if self.buf.len() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Reads a fixed-width little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        if self.buf.len() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads a LEB128 variable-length unsigned integer.
+    pub fn get_varint(&mut self) -> Result<u64> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(DecodeError::Invalid("varint overflow"));
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(DecodeError::Invalid("varint too long"));
+            }
+        }
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn get_slice(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.get_varint()?;
+        let n = usize::try_from(n).map_err(|_| DecodeError::Invalid("length"))?;
+        self.get_slice(n)
+    }
+}
+
+/// Types that can serialize themselves into a [`Writer`].
+pub trait Encode {
+    /// Appends the encoded form of `self` to `w`.
+    fn encode(&self, w: &mut Writer);
+
+    /// Convenience: encodes into a fresh byte vector.
+    fn encode_to_vec(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.into_vec()
+    }
+}
+
+/// Types that can deserialize themselves from a [`Reader`].
+pub trait Decode: Sized {
+    /// Reads one value from `r`.
+    fn decode(r: &mut Reader<'_>) -> Result<Self>;
+
+    /// Convenience: decodes a value that must occupy the whole slice.
+    fn decode_all(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        let v = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(DecodeError::Invalid("trailing bytes"));
+        }
+        Ok(v)
+    }
+}
+
+impl Encode for u8 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(*self);
+    }
+}
+
+impl Decode for u8 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        r.get_u8()
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::Invalid("bool")),
+        }
+    }
+}
+
+impl Encode for u16 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(u64::from(*self));
+    }
+}
+
+impl Decode for u16 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        u16::try_from(r.get_varint()?).map_err(|_| DecodeError::Invalid("u16 range"))
+    }
+}
+
+impl Encode for u32 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(u64::from(*self));
+    }
+}
+
+impl Decode for u32 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        u32::try_from(r.get_varint()?).map_err(|_| DecodeError::Invalid("u32 range"))
+    }
+}
+
+impl Encode for u64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(*self);
+    }
+}
+
+impl Decode for u64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        r.get_varint()
+    }
+}
+
+impl Encode for usize {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(*self as u64);
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        usize::try_from(r.get_varint()?).map_err(|_| DecodeError::Invalid("usize range"))
+    }
+}
+
+impl Encode for i64 {
+    fn encode(&self, w: &mut Writer) {
+        // ZigZag encoding keeps small magnitudes small.
+        let z = ((*self << 1) ^ (*self >> 63)) as u64;
+        w.put_varint(z);
+    }
+}
+
+impl Decode for i64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let z = r.get_varint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+}
+
+impl Encode for i32 {
+    fn encode(&self, w: &mut Writer) {
+        i64::from(*self).encode(w);
+    }
+}
+
+impl Decode for i32 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        i32::try_from(i64::decode(r)?).map_err(|_| DecodeError::Invalid("i32 range"))
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let b = r.get_bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| DecodeError::Invalid("utf8"))
+    }
+}
+
+impl Encode for Vec<u8> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(self);
+    }
+}
+
+impl Decode for Vec<u8> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(r.get_bytes()?.to_vec())
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(DecodeError::Invalid("option tag")),
+        }
+    }
+}
+
+impl<T: Encode, U: Encode> Encode for (T, U) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+}
+
+impl<T: Decode, U: Decode> Decode for (T, U) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok((T::decode(r)?, U::decode(r)?))
+    }
+}
+
+// `Vec<u8>` has a dedicated compact impl above; this generic one covers the
+// other element types used by protocol messages.
+macro_rules! impl_vec {
+    ($($t:ty),*) => {$(
+        impl Encode for Vec<$t> {
+            fn encode(&self, w: &mut Writer) {
+                w.put_varint(self.len() as u64);
+                for v in self {
+                    v.encode(w);
+                }
+            }
+        }
+        impl Decode for Vec<$t> {
+            fn decode(r: &mut Reader<'_>) -> Result<Self> {
+                let n = usize::decode(r)?;
+                // Guard against absurd lengths from corrupt input.
+                if n > r.remaining() {
+                    return Err(DecodeError::Invalid("vec length"));
+                }
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(<$t>::decode(r)?);
+                }
+                Ok(v)
+            }
+        }
+    )*};
+}
+
+impl_vec!(u16, u32, u64, i32, i64, String, Vec<u8>);
+
+/// Encodes a homogeneous sequence of any `Encode` type with a count prefix.
+pub fn encode_seq<T: Encode>(items: &[T], w: &mut Writer) {
+    w.put_varint(items.len() as u64);
+    for item in items {
+        item.encode(w);
+    }
+}
+
+/// Decodes a sequence written by [`encode_seq`].
+pub fn decode_seq<T: Decode>(r: &mut Reader<'_>) -> Result<Vec<T>> {
+    let n = usize::decode(r)?;
+    if n > r.remaining() + 1 {
+        return Err(DecodeError::Invalid("seq length"));
+    }
+    let mut v = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        v.push(T::decode(r)?);
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut w = Writer::new();
+            w.put_varint(v);
+            let buf = w.into_vec();
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.get_varint().unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_minimal_sizes() {
+        let sz = |v: u64| {
+            let mut w = Writer::new();
+            w.put_varint(v);
+            w.len()
+        };
+        assert_eq!(sz(0), 1);
+        assert_eq!(sz(127), 1);
+        assert_eq!(sz(128), 2);
+        assert_eq!(sz(u64::MAX), 10);
+    }
+
+    #[test]
+    fn truncated_inputs_error() {
+        let mut r = Reader::new(&[]);
+        assert_eq!(r.get_u8(), Err(DecodeError::Truncated));
+        let mut r = Reader::new(&[0x80]);
+        assert_eq!(r.get_varint(), Err(DecodeError::Truncated));
+        let mut r = Reader::new(&[5, 1, 2]);
+        assert_eq!(r.get_bytes(), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // 11 continuation bytes exceed 64 bits.
+        let buf = [0xffu8; 11];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.get_varint(), Err(DecodeError::Invalid(_))));
+    }
+
+    #[test]
+    fn option_and_tuple_roundtrip() {
+        let v: Option<(u64, String)> = Some((9, "x".into()));
+        let buf = v.encode_to_vec();
+        assert_eq!(Option::<(u64, String)>::decode_all(&buf).unwrap(), v);
+        let n: Option<(u64, String)> = None;
+        let buf = n.encode_to_vec();
+        assert_eq!(Option::<(u64, String)>::decode_all(&buf).unwrap(), n);
+    }
+
+    #[test]
+    fn bad_bool_and_option_tags_rejected() {
+        assert!(bool::decode_all(&[2]).is_err());
+        assert!(Option::<u8>::decode_all(&[7]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_by_decode_all() {
+        let mut w = Writer::new();
+        5u64.encode(&mut w);
+        w.put_u8(0);
+        assert!(u64::decode_all(&w.into_vec()).is_err());
+    }
+
+    #[test]
+    fn signed_zigzag_roundtrip() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -123456789] {
+            let buf = v.encode_to_vec();
+            assert_eq!(i64::decode_all(&buf).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn fixed_width_helpers_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u32(0xdead_beef);
+        w.put_u64(0x0123_4567_89ab_cdef);
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89ab_cdef);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_u64_roundtrip(v: u64) {
+            let buf = v.encode_to_vec();
+            prop_assert_eq!(u64::decode_all(&buf).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_i64_roundtrip(v: i64) {
+            let buf = v.encode_to_vec();
+            prop_assert_eq!(i64::decode_all(&buf).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_string_roundtrip(s in ".*") {
+            let s = s.to_string();
+            let buf = s.encode_to_vec();
+            prop_assert_eq!(String::decode_all(&buf).unwrap(), s);
+        }
+
+        #[test]
+        fn prop_bytes_roundtrip(b in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let buf = b.encode_to_vec();
+            prop_assert_eq!(Vec::<u8>::decode_all(&buf).unwrap(), b);
+        }
+
+        #[test]
+        fn prop_vec_of_strings_roundtrip(v in proptest::collection::vec(".*", 0..16)) {
+            let v: Vec<String> = v;
+            let buf = v.encode_to_vec();
+            prop_assert_eq!(Vec::<String>::decode_all(&buf).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_decoder_never_panics(b in proptest::collection::vec(any::<u8>(), 0..256)) {
+            // Decoding arbitrary garbage must fail cleanly, never panic.
+            let _ = Vec::<String>::decode_all(&b);
+            let _ = Option::<(u64, Vec<u8>)>::decode_all(&b);
+            let _ = i64::decode_all(&b);
+        }
+    }
+}

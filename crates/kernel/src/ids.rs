@@ -1,0 +1,326 @@
+//! Identifiers shared across the TABS facility.
+//!
+//! Naming follows §2.1.1 and §3.1.1 of the paper: objects are addressed by
+//! `ObjectId`s that carry a disk (segment) address, so that the server
+//! library can translate between a server's virtual addresses and the log
+//! manager's disk addresses. Transaction identifiers are globally unique
+//! (§3.2.3): node of origin, node incarnation, local sequence number.
+
+use tabs_codec::{Decode, DecodeError, Encode, Reader, Writer};
+
+/// Size in bytes of one virtual-memory page / disk sector (the paper's
+/// Accent page size, §5.1: "Pages are 512 bytes").
+pub const PAGE_SIZE: usize = 512;
+
+/// Identifies one node (workstation) in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u16);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Globally unique port identifier (node + node-local index).
+///
+/// Accent ports are node-local; the Communication Manager interposes proxy
+/// ports for remote destinations. Carrying the node in the identifier lets
+/// proxies be recognized and lets tests assert locality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortId {
+    /// Node that owns the receive right.
+    pub node: NodeId,
+    /// Node-local port index.
+    pub index: u64,
+}
+
+impl std::fmt::Display for PortId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}p{}", self.node, self.index)
+    }
+}
+
+/// Identifies one recoverable segment (a disk file mapped into a data
+/// server's virtual memory, §3.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegmentId {
+    /// Node whose disk backs the segment.
+    pub node: NodeId,
+    /// Node-local segment index.
+    pub index: u32,
+}
+
+impl std::fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}s{}", self.node, self.index)
+    }
+}
+
+/// Identifies one page of a recoverable segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId {
+    /// Owning segment.
+    pub segment: SegmentId,
+    /// Page number within the segment.
+    pub page: u32,
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.segment, self.page)
+    }
+}
+
+/// A logical object identifier: a byte range of a recoverable segment.
+///
+/// Produced by the server library's `create_object_id` (Table 3-1 "address
+/// arithmetic"); the embedded segment address is what the Recovery Manager
+/// logs, and what `convert_object_id_to_virtual_address` maps back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId {
+    /// Segment holding the object's permanent representation.
+    pub segment: SegmentId,
+    /// Byte offset of the object within the segment.
+    pub offset: u64,
+    /// Object length in bytes.
+    pub len: u32,
+}
+
+impl ObjectId {
+    /// Creates an object identifier for `len` bytes at `offset`.
+    pub fn new(segment: SegmentId, offset: u64, len: u32) -> Self {
+        Self { segment, offset, len }
+    }
+
+    /// First page covered by this object.
+    pub fn first_page(&self) -> PageId {
+        PageId { segment: self.segment, page: (self.offset / PAGE_SIZE as u64) as u32 }
+    }
+
+    /// Iterates over every page the object's byte range touches.
+    pub fn pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        let first = self.offset / PAGE_SIZE as u64;
+        let last = if self.len == 0 {
+            first
+        } else {
+            (self.offset + u64::from(self.len) - 1) / PAGE_SIZE as u64
+        };
+        let seg = self.segment;
+        (first..=last).map(move |p| PageId { segment: seg, page: p as u32 })
+    }
+
+    /// Whether the byte range crosses a page boundary.
+    pub fn spans_pages(&self) -> bool {
+        self.pages().count() > 1
+    }
+}
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}+{}:{}", self.segment, self.offset, self.len)
+    }
+}
+
+/// A transaction identifier, globally unique across nodes and crashes.
+///
+/// §3.2.3: the Transaction Manager allocates globally unique transaction
+/// identifiers. Uniqueness across crashes comes from the incarnation number,
+/// which the Recovery Manager advances at every node restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tid {
+    /// Node that began the (top-level ancestor) transaction.
+    pub node: NodeId,
+    /// Node incarnation (restart count) at allocation time.
+    pub incarnation: u32,
+    /// Node-local sequence number.
+    pub seq: u64,
+}
+
+impl Tid {
+    /// The distinguished null transaction identifier. Passing it to
+    /// `begin_transaction` creates a new top-level transaction (§3.1.2).
+    pub const NULL: Tid = Tid { node: NodeId(0), incarnation: 0, seq: 0 };
+
+    /// Whether this is the null identifier.
+    pub fn is_null(&self) -> bool {
+        *self == Tid::NULL
+    }
+}
+
+impl std::fmt::Display for Tid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_null() {
+            write!(f, "T(null)")
+        } else {
+            write!(f, "T{}.{}.{}", self.node.0, self.incarnation, self.seq)
+        }
+    }
+}
+
+impl Encode for NodeId {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+    }
+}
+
+impl Decode for NodeId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(NodeId(u16::decode(r)?))
+    }
+}
+
+impl Encode for PortId {
+    fn encode(&self, w: &mut Writer) {
+        self.node.encode(w);
+        self.index.encode(w);
+    }
+}
+
+impl Decode for PortId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(PortId { node: NodeId::decode(r)?, index: u64::decode(r)? })
+    }
+}
+
+impl Encode for SegmentId {
+    fn encode(&self, w: &mut Writer) {
+        self.node.encode(w);
+        self.index.encode(w);
+    }
+}
+
+impl Decode for SegmentId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(SegmentId { node: NodeId::decode(r)?, index: u32::decode(r)? })
+    }
+}
+
+impl Encode for PageId {
+    fn encode(&self, w: &mut Writer) {
+        self.segment.encode(w);
+        self.page.encode(w);
+    }
+}
+
+impl Decode for PageId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(PageId { segment: SegmentId::decode(r)?, page: u32::decode(r)? })
+    }
+}
+
+impl Encode for ObjectId {
+    fn encode(&self, w: &mut Writer) {
+        self.segment.encode(w);
+        self.offset.encode(w);
+        self.len.encode(w);
+    }
+}
+
+impl Decode for ObjectId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ObjectId {
+            segment: SegmentId::decode(r)?,
+            offset: u64::decode(r)?,
+            len: u32::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Tid {
+    fn encode(&self, w: &mut Writer) {
+        self.node.encode(w);
+        self.incarnation.encode(w);
+        self.seq.encode(w);
+    }
+}
+
+impl Decode for Tid {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Tid {
+            node: NodeId::decode(r)?,
+            incarnation: u32::decode(r)?,
+            seq: u64::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabs_codec::{Decode, Encode};
+
+    #[test]
+    fn object_id_single_page() {
+        let seg = SegmentId { node: NodeId(1), index: 0 };
+        let oid = ObjectId::new(seg, 10, 4);
+        let pages: Vec<_> = oid.pages().collect();
+        assert_eq!(pages, vec![PageId { segment: seg, page: 0 }]);
+        assert!(!oid.spans_pages());
+    }
+
+    #[test]
+    fn object_id_page_straddle() {
+        let seg = SegmentId { node: NodeId(1), index: 0 };
+        // 8 bytes starting 4 before a page boundary straddle two pages.
+        let oid = ObjectId::new(seg, PAGE_SIZE as u64 - 4, 8);
+        let pages: Vec<_> = oid.pages().collect();
+        assert_eq!(pages.len(), 2);
+        assert_eq!(pages[0].page, 0);
+        assert_eq!(pages[1].page, 1);
+        assert!(oid.spans_pages());
+    }
+
+    #[test]
+    fn object_id_exact_page_end() {
+        let seg = SegmentId { node: NodeId(1), index: 0 };
+        // Ends exactly at the boundary: stays on one page.
+        let oid = ObjectId::new(seg, PAGE_SIZE as u64 - 4, 4);
+        assert_eq!(oid.pages().count(), 1);
+    }
+
+    #[test]
+    fn object_id_zero_len() {
+        let seg = SegmentId { node: NodeId(1), index: 0 };
+        let oid = ObjectId::new(seg, 0, 0);
+        assert_eq!(oid.pages().count(), 1);
+    }
+
+    #[test]
+    fn object_id_multi_page_span() {
+        let seg = SegmentId { node: NodeId(2), index: 3 };
+        let oid = ObjectId::new(seg, 0, 3 * PAGE_SIZE as u32);
+        assert_eq!(oid.pages().count(), 3);
+    }
+
+    #[test]
+    fn null_tid() {
+        assert!(Tid::NULL.is_null());
+        let t = Tid { node: NodeId(1), incarnation: 0, seq: 1 };
+        assert!(!t.is_null());
+        assert_eq!(format!("{}", Tid::NULL), "T(null)");
+        assert_eq!(format!("{t}"), "T1.0.1");
+    }
+
+    #[test]
+    fn id_codec_roundtrips() {
+        let tid = Tid { node: NodeId(7), incarnation: 3, seq: 99 };
+        assert_eq!(Tid::decode_all(&tid.encode_to_vec()).unwrap(), tid);
+
+        let oid = ObjectId::new(SegmentId { node: NodeId(7), index: 1 }, 12345, 16);
+        assert_eq!(ObjectId::decode_all(&oid.encode_to_vec()).unwrap(), oid);
+
+        let pid = PortId { node: NodeId(2), index: 42 };
+        assert_eq!(PortId::decode_all(&pid.encode_to_vec()).unwrap(), pid);
+    }
+
+    #[test]
+    fn display_formats() {
+        let seg = SegmentId { node: NodeId(1), index: 2 };
+        assert_eq!(format!("{seg}"), "n1s2");
+        let page = PageId { segment: seg, page: 9 };
+        assert_eq!(format!("{page}"), "n1s2.9");
+        let oid = ObjectId::new(seg, 100, 8);
+        assert_eq!(format!("{oid}"), "n1s2+100:8");
+    }
+}

@@ -1,0 +1,110 @@
+//! Accent-style messages: typed byte vectors that may carry port rights.
+//!
+//! Accent messages are "arbitrarily long vectors of typed information,
+//! addressed to ports" which "can contain port capabilities"; large data is
+//! conveyed by copy-on-write remapping (§2.1.1). The performance analysis
+//! (§5.1) distinguishes three local message classes — small contiguous,
+//! large contiguous, and pointer — which [`Message::class`] reproduces.
+
+use crate::perfctr::PrimitiveOp;
+use crate::port::SendRight;
+
+/// Boundary between small and large contiguous messages.
+///
+/// §5.1: "Small messages typically contain less than 100 bytes, but in all
+/// cases have less than 500 bytes."
+pub const SMALL_MESSAGE_LIMIT: usize = 500;
+
+/// How the message body travels between address spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transfer {
+    /// Body is copied inline into the receiver's queue.
+    Inline,
+    /// Body travels by copy-on-write remapping of virtual memory (the
+    /// Accent "pointer message"); used for bulk data such as log images.
+    Pointer,
+}
+
+/// One inter-process message.
+#[derive(Debug)]
+pub struct Message {
+    /// Operation code, dispatched on by the receiver.
+    pub op: u32,
+    /// Encoded body (see `tabs-codec`).
+    pub body: Vec<u8>,
+    /// Send rights transferred with the message.
+    pub ports: Vec<SendRight>,
+    /// Reply port, when the sender expects a response.
+    pub reply: Option<SendRight>,
+    /// Transfer mode for the body.
+    pub transfer: Transfer,
+}
+
+impl Message {
+    /// Creates an inline message with opcode `op` and encoded `body`.
+    pub fn new(op: u32, body: Vec<u8>) -> Self {
+        Self { op, body, ports: Vec::new(), reply: None, transfer: Transfer::Inline }
+    }
+
+    /// Creates a pointer-transfer message (bulk data path).
+    pub fn pointer(op: u32, body: Vec<u8>) -> Self {
+        Self { op, body, ports: Vec::new(), reply: None, transfer: Transfer::Pointer }
+    }
+
+    /// Attaches a reply port.
+    pub fn with_reply(mut self, reply: SendRight) -> Self {
+        self.reply = Some(reply);
+        self
+    }
+
+    /// Attaches a transferred send right.
+    pub fn with_port(mut self, port: SendRight) -> Self {
+        self.ports.push(port);
+        self
+    }
+
+    /// The Table 5-1 message class this message falls into.
+    pub fn class(&self) -> PrimitiveOp {
+        match self.transfer {
+            Transfer::Pointer => PrimitiveOp::PointerMessage,
+            Transfer::Inline => {
+                if self.body.len() < SMALL_MESSAGE_LIMIT {
+                    PrimitiveOp::SmallContiguousMessage
+                } else {
+                    PrimitiveOp::LargeContiguousMessage
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_classification() {
+        assert_eq!(
+            Message::new(1, vec![0; 10]).class(),
+            PrimitiveOp::SmallContiguousMessage
+        );
+        assert_eq!(
+            Message::new(1, vec![0; 499]).class(),
+            PrimitiveOp::SmallContiguousMessage
+        );
+        assert_eq!(
+            Message::new(1, vec![0; 500]).class(),
+            PrimitiveOp::LargeContiguousMessage
+        );
+        assert_eq!(
+            Message::new(1, vec![0; 1100]).class(),
+            PrimitiveOp::LargeContiguousMessage
+        );
+        assert_eq!(
+            Message::pointer(1, vec![0; 8192]).class(),
+            PrimitiveOp::PointerMessage
+        );
+        // Pointer classification wins regardless of size.
+        assert_eq!(Message::pointer(1, vec![]).class(), PrimitiveOp::PointerMessage);
+    }
+}

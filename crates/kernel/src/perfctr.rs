@@ -1,0 +1,222 @@
+//! Primitive-operation counters (the Table 5-1 taxonomy).
+//!
+//! §5.1 of the paper: "each benchmark is substantially made up of the
+//! repetitious execution of a collection of primitive operations, such as
+//! disk reads or inter-node datagrams". The kernel, network and recovery
+//! layers increment these counters as they execute, and the `tabs-perf`
+//! crate turns count deltas into the paper's Tables 5-2, 5-3 and 5-4.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The nine primitive operations of Table 5-1, in table order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum PrimitiveOp {
+    /// Remote procedure call between an application and a data server on a
+    /// single node (one coroutine instantiation per call).
+    DataServerCall = 0,
+    /// Data-server call across nodes, carried by a Communication Manager
+    /// session.
+    InterNodeDataServerCall = 1,
+    /// Inter-node datagram (used by transaction management / 2PC).
+    Datagram = 2,
+    /// Local Accent message under 500 bytes.
+    SmallContiguousMessage = 3,
+    /// Local Accent message of roughly a kilobyte or more.
+    LargeContiguousMessage = 4,
+    /// Local message whose data travels by copy-on-write remapping.
+    PointerMessage = 5,
+    /// Random-access demand-paged disk read or write (512-byte page).
+    RandomAccessPagedIo = 6,
+    /// Sequential-access demand-paged disk read.
+    SequentialRead = 7,
+    /// Force of one page of log data to non-volatile (stable) storage.
+    StableStorageWrite = 8,
+}
+
+/// Number of distinct primitive operations.
+pub const PRIMITIVE_OP_COUNT: usize = 9;
+
+impl PrimitiveOp {
+    /// All primitive operations in Table 5-1 order.
+    pub const ALL: [PrimitiveOp; PRIMITIVE_OP_COUNT] = [
+        PrimitiveOp::DataServerCall,
+        PrimitiveOp::InterNodeDataServerCall,
+        PrimitiveOp::Datagram,
+        PrimitiveOp::SmallContiguousMessage,
+        PrimitiveOp::LargeContiguousMessage,
+        PrimitiveOp::PointerMessage,
+        PrimitiveOp::RandomAccessPagedIo,
+        PrimitiveOp::SequentialRead,
+        PrimitiveOp::StableStorageWrite,
+    ];
+
+    /// The row label used in the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PrimitiveOp::DataServerCall => "Data Server Call",
+            PrimitiveOp::InterNodeDataServerCall => "Inter-Node Data Server Call",
+            PrimitiveOp::Datagram => "Datagram",
+            PrimitiveOp::SmallContiguousMessage => "Small Contiguous Message",
+            PrimitiveOp::LargeContiguousMessage => "Large Contiguous Message",
+            PrimitiveOp::PointerMessage => "Pointer Message",
+            PrimitiveOp::RandomAccessPagedIo => "Random Access Paged I/O",
+            PrimitiveOp::SequentialRead => "Sequential Read",
+            PrimitiveOp::StableStorageWrite => "Stable Storage Write",
+        }
+    }
+}
+
+/// Thread-safe counters for the nine primitives, one instance per node.
+#[derive(Debug, Default)]
+pub struct PerfCounters {
+    counts: [AtomicU64; PRIMITIVE_OP_COUNT],
+}
+
+impl PerfCounters {
+    /// Creates a zeroed counter set behind an `Arc` for sharing.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records one execution of `op`.
+    pub fn record(&self, op: PrimitiveOp) {
+        self.counts[op as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` executions of `op`.
+    pub fn record_n(&self, op: PrimitiveOp, n: u64) {
+        self.counts[op as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count for `op`.
+    pub fn get(&self, op: PrimitiveOp) -> u64 {
+        self.counts[op as usize].load(Ordering::Relaxed)
+    }
+
+    /// Captures all counters at once.
+    pub fn snapshot(&self) -> PerfSnapshot {
+        let mut s = [0u64; PRIMITIVE_OP_COUNT];
+        for (i, c) in self.counts.iter().enumerate() {
+            s[i] = c.load(Ordering::Relaxed);
+        }
+        PerfSnapshot(s)
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// An immutable point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PerfSnapshot(pub [u64; PRIMITIVE_OP_COUNT]);
+
+impl PerfSnapshot {
+    /// Count for one primitive.
+    pub fn get(&self, op: PrimitiveOp) -> u64 {
+        self.0[op as usize]
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &PerfSnapshot) -> PerfSnapshot {
+        let mut d = [0u64; PRIMITIVE_OP_COUNT];
+        for i in 0..PRIMITIVE_OP_COUNT {
+            d[i] = self.0[i].saturating_sub(earlier.0[i]);
+        }
+        PerfSnapshot(d)
+    }
+
+    /// Counter-wise sum, used to aggregate across nodes.
+    pub fn plus(&self, other: &PerfSnapshot) -> PerfSnapshot {
+        let mut d = [0u64; PRIMITIVE_OP_COUNT];
+        for i in 0..PRIMITIVE_OP_COUNT {
+            d[i] = self.0[i] + other.0[i];
+        }
+        PerfSnapshot(d)
+    }
+
+    /// Iterates `(op, count)` pairs in table order.
+    pub fn iter(&self) -> impl Iterator<Item = (PrimitiveOp, u64)> + '_ {
+        PrimitiveOp::ALL.iter().map(move |&op| (op, self.get(op)))
+    }
+
+    /// Total number of primitive operations of any kind.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let c = PerfCounters::new();
+        c.record(PrimitiveOp::Datagram);
+        c.record_n(PrimitiveOp::SmallContiguousMessage, 4);
+        let s = c.snapshot();
+        assert_eq!(s.get(PrimitiveOp::Datagram), 1);
+        assert_eq!(s.get(PrimitiveOp::SmallContiguousMessage), 4);
+        assert_eq!(s.get(PrimitiveOp::StableStorageWrite), 0);
+        assert_eq!(s.total(), 5);
+    }
+
+    #[test]
+    fn since_computes_delta() {
+        let c = PerfCounters::new();
+        c.record(PrimitiveOp::DataServerCall);
+        let before = c.snapshot();
+        c.record_n(PrimitiveOp::DataServerCall, 2);
+        c.record(PrimitiveOp::StableStorageWrite);
+        let delta = c.snapshot().since(&before);
+        assert_eq!(delta.get(PrimitiveOp::DataServerCall), 2);
+        assert_eq!(delta.get(PrimitiveOp::StableStorageWrite), 1);
+    }
+
+    #[test]
+    fn plus_aggregates_nodes() {
+        let a = PerfSnapshot([1, 0, 2, 0, 0, 0, 0, 0, 1]);
+        let b = PerfSnapshot([0, 3, 1, 0, 0, 0, 0, 0, 0]);
+        let s = a.plus(&b);
+        assert_eq!(s.get(PrimitiveOp::DataServerCall), 1);
+        assert_eq!(s.get(PrimitiveOp::InterNodeDataServerCall), 3);
+        assert_eq!(s.get(PrimitiveOp::Datagram), 3);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let c = PerfCounters::new();
+        c.record_n(PrimitiveOp::PointerMessage, 7);
+        c.reset();
+        assert_eq!(c.snapshot().total(), 0);
+    }
+
+    #[test]
+    fn labels_match_table_5_1() {
+        assert_eq!(PrimitiveOp::ALL.len(), 9);
+        assert_eq!(PrimitiveOp::ALL[0].label(), "Data Server Call");
+        assert_eq!(PrimitiveOp::ALL[8].label(), "Stable Storage Write");
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let c = PerfCounters::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.record(PrimitiveOp::Datagram);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(PrimitiveOp::Datagram), 8000);
+    }
+}

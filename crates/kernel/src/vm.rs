@@ -1,0 +1,970 @@
+//! Recoverable segments and the integrated virtual-memory / recovery path.
+//!
+//! §3.2.1: data servers store failure-atomic / permanent data "in disk files
+//! that are mapped into virtual memory. These files are called *recoverable
+//! segments*. When mapped into memory, the kernel's paging system updates a
+//! recoverable segment directly instead of updating paging storage."
+//!
+//! To support write-ahead logging, the kernel exchanges three messages with
+//! the Recovery Manager, reproduced here as the [`WalGate`] trait:
+//!
+//! 1. [`WalGate::page_dirtied`] — "a page frame that is backed by a
+//!    recoverable segment has been modified for the first time";
+//! 2. [`WalGate::before_page_write`] — "the kernel wants to copy a modified
+//!    page back to its recoverable segment. The kernel does not write the
+//!    page until it receives a message from the Recovery Manager indicating
+//!    that all log records that apply to this page have been written to
+//!    non-volatile storage" (the reply also carries the sequence number the
+//!    kernel must stamp into the sector header, §3.2.1 last paragraph);
+//! 3. [`WalGate::after_page_write`] — "whether the contents of a page frame
+//!    have been successfully copied to a recoverable segment".
+//!
+//! The buffer pool is bounded, so the paging benchmarks of §5 (5000-page
+//! array, "more than three times the available physical memory") really
+//! fault and really evict.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::ids::{PageId, SegmentId, PAGE_SIZE};
+use crate::perfctr::{PerfCounters, PrimitiveOp};
+use crate::storage::{Disk, Sector};
+
+/// Errors from the virtual-memory layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// The segment was never registered with the pool.
+    UnknownSegment(SegmentId),
+    /// The page or byte range lies outside the segment.
+    OutOfRange(String),
+    /// Every frame is pinned; the fault cannot be serviced.
+    AllFramesPinned,
+    /// Unpinning a page that holds no pin.
+    NotPinned(PageId),
+    /// Underlying disk failure.
+    Io(String),
+    /// The Recovery Manager refused or failed the write-ahead handshake.
+    WalRefused(String),
+    /// The node is shutting down.
+    ShutDown,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::UnknownSegment(s) => write!(f, "unknown segment {s}"),
+            VmError::OutOfRange(what) => write!(f, "address out of range: {what}"),
+            VmError::AllFramesPinned => write!(f, "all buffer frames pinned"),
+            VmError::NotPinned(p) => write!(f, "page {p} not pinned"),
+            VmError::Io(e) => write!(f, "i/o error: {e}"),
+            VmError::WalRefused(e) => write!(f, "write-ahead-log gate refused: {e}"),
+            VmError::ShutDown => write!(f, "node shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// The kernel ↔ Recovery Manager write-ahead-log protocol (§3.2.1).
+pub trait WalGate: Send + Sync {
+    /// Message 1: `page` has been modified for the first time since it was
+    /// faulted in (clean → dirty transition). Must not block on the pool.
+    fn page_dirtied(&self, page: PageId);
+
+    /// Message 2 (+ reply): the kernel wants to write `page` back. Blocks
+    /// until all covering log records are on non-volatile storage and
+    /// returns the sequence number to stamp into the sector header.
+    fn before_page_write(&self, page: PageId) -> Result<u64, String>;
+
+    /// Message 3: the write completed (or failed).
+    fn after_page_write(&self, page: PageId, ok: bool);
+}
+
+/// A gate that always permits writes; used before the Recovery Manager is
+/// attached and by substrate-level tests.
+#[derive(Debug, Default)]
+pub struct NullWalGate {
+    seq: AtomicU64,
+}
+
+impl WalGate for NullWalGate {
+    fn page_dirtied(&self, _page: PageId) {}
+
+    fn before_page_write(&self, _page: PageId) -> Result<u64, String> {
+        Ok(self.seq.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    fn after_page_write(&self, _page: PageId, _ok: bool) {}
+}
+
+/// Where a recoverable segment lives on disk.
+#[derive(Clone)]
+pub struct SegmentSpec {
+    /// Segment identifier.
+    pub id: SegmentId,
+    /// Human-readable name (used for disk-registry keys).
+    pub name: String,
+    /// Backing device.
+    pub disk: Arc<dyn Disk>,
+    /// First sector of the segment on the device.
+    pub base_sector: u64,
+    /// Segment length in pages.
+    pub pages: u32,
+}
+
+impl std::fmt::Debug for SegmentSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentSpec")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("base_sector", &self.base_sector)
+            .field("pages", &self.pages)
+            .finish()
+    }
+}
+
+impl SegmentSpec {
+    /// Segment size in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        u64::from(self.pages) * PAGE_SIZE as u64
+    }
+}
+
+struct Frame {
+    data: Box<[u8; PAGE_SIZE]>,
+    /// Sequence number last stamped on the non-volatile copy.
+    seqno: u64,
+    dirty: bool,
+    pins: u32,
+    /// True while a write-back is in flight with the pool lock released.
+    busy: bool,
+    last_use: u64,
+}
+
+/// Buffer-pool statistics, exposed for tests and benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Page faults serviced (disk reads).
+    pub faults: u64,
+    /// Hits on resident pages.
+    pub hits: u64,
+    /// Frames evicted (clean or dirty).
+    pub evictions: u64,
+    /// Dirty-page write-backs (eviction or explicit flush).
+    pub writebacks: u64,
+}
+
+struct PoolInner {
+    segments: HashMap<SegmentId, SegmentSpec>,
+    frames: HashMap<PageId, Frame>,
+    capacity: usize,
+    tick: u64,
+    last_fault: Option<PageId>,
+    stats: PoolStats,
+}
+
+/// The bounded page cache over all recoverable segments of one node.
+pub struct BufferPool {
+    inner: Mutex<PoolInner>,
+    cond: Condvar,
+    gate: Mutex<Arc<dyn WalGate>>,
+    perf: Arc<PerfCounters>,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("BufferPool")
+            .field("capacity", &inner.capacity)
+            .field("resident", &inner.frames.len())
+            .finish()
+    }
+}
+
+impl BufferPool {
+    /// Creates a pool with room for `capacity` pages.
+    pub fn new(capacity: usize, perf: Arc<PerfCounters>) -> Arc<Self> {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        Arc::new(Self {
+            inner: Mutex::new(PoolInner {
+                segments: HashMap::new(),
+                frames: HashMap::new(),
+                capacity,
+                tick: 0,
+                last_fault: None,
+                stats: PoolStats::default(),
+            }),
+            cond: Condvar::new(),
+            gate: Mutex::new(Arc::new(NullWalGate::default())),
+            perf,
+        })
+    }
+
+    /// Installs the Recovery Manager's write-ahead-log gate.
+    pub fn set_gate(&self, gate: Arc<dyn WalGate>) {
+        *self.gate.lock() = gate;
+    }
+
+    fn current_gate(&self) -> Arc<dyn WalGate> {
+        Arc::clone(&self.gate.lock())
+    }
+
+    /// Registers a recoverable segment (maps the disk file, §3.2.1).
+    pub fn register_segment(&self, spec: SegmentSpec) -> Result<(), VmError> {
+        if spec.base_sector + u64::from(spec.pages) > spec.disk.num_sectors() {
+            return Err(VmError::OutOfRange(format!(
+                "segment {} extends past end of disk",
+                spec.id
+            )));
+        }
+        self.inner.lock().segments.insert(spec.id, spec);
+        Ok(())
+    }
+
+    /// Looks up a registered segment.
+    pub fn segment(&self, id: SegmentId) -> Option<SegmentSpec> {
+        self.inner.lock().segments.get(&id).cloned()
+    }
+
+    /// Frame capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+
+    /// The counters this pool records paged I/O against.
+    pub fn perf(&self) -> &Arc<PerfCounters> {
+        &self.perf
+    }
+
+    /// Runs `f` over the current contents of `page` (faulting it in).
+    pub fn with_page<R>(
+        &self,
+        page: PageId,
+        f: impl FnOnce(&[u8; PAGE_SIZE]) -> R,
+    ) -> Result<R, VmError> {
+        let mut guard = self.inner.lock();
+        self.ensure_resident(&mut guard, page)?;
+        let frame = guard.frames.get_mut(&page).expect("resident");
+        Ok(f(&frame.data))
+    }
+
+    /// Runs `f` over a mutable view of `page`, marking it dirty and firing
+    /// the first-dirty WAL message on the clean→dirty transition.
+    pub fn with_page_mut<R>(
+        &self,
+        page: PageId,
+        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
+    ) -> Result<R, VmError> {
+        let gate = self.current_gate();
+        let mut guard = self.inner.lock();
+        self.ensure_resident(&mut guard, page)?;
+        let frame = guard.frames.get_mut(&page).expect("resident");
+        if !frame.dirty {
+            frame.dirty = true;
+            // The gate send is asynchronous (a kernel→RM message); it must
+            // not re-enter the pool, so calling under the lock is safe.
+            gate.page_dirtied(page);
+        }
+        Ok(f(&mut frame.data))
+    }
+
+    /// Pins `page` in memory (Table 3-1 `PinObject`): it will not be paged
+    /// out until unpinned. Pins nest.
+    pub fn pin(&self, page: PageId) -> Result<(), VmError> {
+        let mut guard = self.inner.lock();
+        self.ensure_resident(&mut guard, page)?;
+        guard.frames.get_mut(&page).expect("resident").pins += 1;
+        Ok(())
+    }
+
+    /// Removes one pin from `page` (Table 3-1 `UnPinObject`).
+    pub fn unpin(&self, page: PageId) -> Result<(), VmError> {
+        let mut guard = self.inner.lock();
+        match guard.frames.get_mut(&page) {
+            Some(frame) if frame.pins > 0 => {
+                frame.pins -= 1;
+                Ok(())
+            }
+            _ => Err(VmError::NotPinned(page)),
+        }
+    }
+
+    /// Whether the page currently holds any pins (used by tests).
+    pub fn is_pinned(&self, page: PageId) -> bool {
+        self.inner
+            .lock()
+            .frames
+            .get(&page)
+            .map(|f| f.pins > 0)
+            .unwrap_or(false)
+    }
+
+    /// All resident dirty pages (checkpoint support, §3.2.2: "a list of the
+    /// pages currently in volatile storage … are written to the log").
+    pub fn dirty_pages(&self) -> Vec<PageId> {
+        let guard = self.inner.lock();
+        let mut v: Vec<_> = guard
+            .frames
+            .iter()
+            .filter(|(_, fr)| fr.dirty)
+            .map(|(p, _)| *p)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// All resident pages.
+    pub fn resident_pages(&self) -> Vec<PageId> {
+        let guard = self.inner.lock();
+        let mut v: Vec<_> = guard.frames.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Forces `page` to its recoverable segment if dirty (log reclamation
+    /// "may force pages back to disk before they would otherwise be
+    /// written", §3.2.2). Pinned pages are skipped, returning `false`.
+    pub fn flush_page(&self, page: PageId) -> Result<bool, VmError> {
+        let mut guard = self.inner.lock();
+        loop {
+            match guard.frames.get(&page) {
+                None => return Ok(false),
+                Some(fr) if !fr.dirty => return Ok(false),
+                Some(fr) if fr.pins > 0 => return Ok(false),
+                Some(fr) if fr.busy => {
+                    self.cond.wait(&mut guard);
+                    continue;
+                }
+                Some(_) => break,
+            }
+        }
+        self.write_back(&mut guard, page, false)?;
+        Ok(true)
+    }
+
+    /// Flushes every unpinned dirty page (used at clean shutdown and by
+    /// checkpoint variants that force pages).
+    pub fn flush_all(&self) -> Result<u64, VmError> {
+        let mut n = 0;
+        for page in self.dirty_pages() {
+            if self.flush_page(page)? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Reads the sequence number on the page's *non-volatile* copy without
+    /// faulting (operation-logging recovery reads sector headers, §3.2.1).
+    pub fn read_disk_seqno(&self, page: PageId) -> Result<u64, VmError> {
+        let guard = self.inner.lock();
+        let spec = guard
+            .segments
+            .get(&page.segment)
+            .ok_or(VmError::UnknownSegment(page.segment))?;
+        if page.page >= spec.pages {
+            return Err(VmError::OutOfRange(format!("{page}")));
+        }
+        let sector = spec
+            .disk
+            .read(spec.base_sector + u64::from(page.page))
+            .map_err(|e| VmError::Io(e.to_string()))?;
+        Ok(sector.header)
+    }
+
+    /// Simulates the loss of volatile storage at a crash: all frames vanish,
+    /// dirty or not, pinned or not. Non-volatile contents are untouched.
+    pub fn invalidate_volatile(&self) {
+        let mut guard = self.inner.lock();
+        guard.frames.clear();
+        guard.last_fault = None;
+        self.cond.notify_all();
+    }
+
+    /// Faults `page` in if necessary. Caller holds the pool lock.
+    fn ensure_resident(
+        &self,
+        guard: &mut parking_lot::MutexGuard<'_, PoolInner>,
+        page: PageId,
+    ) -> Result<(), VmError> {
+        loop {
+            if let Some(frame) = guard.frames.get_mut(&page) {
+                if frame.busy {
+                    self.cond.wait(guard);
+                    continue;
+                }
+                guard.tick += 1;
+                let t = guard.tick;
+                guard.frames.get_mut(&page).expect("resident").last_use = t;
+                guard.stats.hits += 1;
+                return Ok(());
+            }
+            if guard.frames.len() >= guard.capacity {
+                self.evict_one(guard)?;
+                continue;
+            }
+            // Service the fault.
+            let spec = guard
+                .segments
+                .get(&page.segment)
+                .ok_or(VmError::UnknownSegment(page.segment))?;
+            if page.page >= spec.pages {
+                return Err(VmError::OutOfRange(format!("{page}")));
+            }
+            let sector = spec
+                .disk
+                .read(spec.base_sector + u64::from(page.page))
+                .map_err(|e| VmError::Io(e.to_string()))?;
+            // Sequential-read detection: consecutive page of the same
+            // segment as the previous fault (§5.1 distinguishes sequential
+            // reads from random paged I/O).
+            let sequential = guard.last_fault.map_or(false, |prev| {
+                prev.segment == page.segment && prev.page + 1 == page.page
+            });
+            self.perf.record(if sequential {
+                PrimitiveOp::SequentialRead
+            } else {
+                PrimitiveOp::RandomAccessPagedIo
+            });
+            guard.last_fault = Some(page);
+            guard.stats.faults += 1;
+            guard.tick += 1;
+            let t = guard.tick;
+            let mut data = Box::new([0u8; PAGE_SIZE]);
+            data.copy_from_slice(&sector.data);
+            guard.frames.insert(
+                page,
+                Frame {
+                    data,
+                    seqno: sector.header,
+                    dirty: false,
+                    pins: 0,
+                    busy: false,
+                    last_use: t,
+                },
+            );
+            return Ok(());
+        }
+    }
+
+    /// Evicts one LRU unpinned frame, writing it back first if dirty.
+    fn evict_one(
+        &self,
+        guard: &mut parking_lot::MutexGuard<'_, PoolInner>,
+    ) -> Result<(), VmError> {
+        let victim = guard
+            .frames
+            .iter()
+            .filter(|(_, fr)| fr.pins == 0 && !fr.busy)
+            .min_by_key(|(_, fr)| fr.last_use)
+            .map(|(p, _)| *p);
+        let victim = match victim {
+            Some(v) => v,
+            None => {
+                // Frames may be busy (write-backs in flight); if any exist,
+                // wait for them instead of failing.
+                if guard.frames.values().any(|fr| fr.busy) {
+                    self.cond.wait(guard);
+                    return Ok(());
+                }
+                return Err(VmError::AllFramesPinned);
+            }
+        };
+        let dirty = guard.frames.get(&victim).expect("victim").dirty;
+        if dirty {
+            self.write_back(guard, victim, true)?;
+        } else {
+            guard.frames.remove(&victim);
+            guard.stats.evictions += 1;
+            self.cond.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Writes a dirty frame through the WAL gate. If `evict`, the frame is
+    /// dropped afterwards; otherwise it stays resident and clean.
+    ///
+    /// The pool lock is released while waiting on the Recovery Manager, with
+    /// the frame marked busy so concurrent users wait on the condvar.
+    fn write_back(
+        &self,
+        guard: &mut parking_lot::MutexGuard<'_, PoolInner>,
+        page: PageId,
+        evict: bool,
+    ) -> Result<(), VmError> {
+        let gate = self.current_gate();
+        {
+            let frame = guard.frames.get_mut(&page).expect("resident");
+            debug_assert!(frame.dirty && frame.pins == 0 && !frame.busy);
+            frame.busy = true;
+        }
+        // Ask the Recovery Manager for permission (message 2). The pool
+        // lock must be free: the RM may concurrently enumerate dirty pages
+        // for a checkpoint.
+        let gate_result =
+            parking_lot::MutexGuard::unlocked(guard, || gate.before_page_write(page));
+        let seqno = match gate_result {
+            Ok(s) => s,
+            Err(e) => {
+                let frame = guard.frames.get_mut(&page).expect("resident");
+                frame.busy = false;
+                self.cond.notify_all();
+                return Err(VmError::WalRefused(e));
+            }
+        };
+        // The frame was busy the whole time, so its contents are stable.
+        let (sector, base, disk) = {
+            let spec = guard.segments.get(&page.segment).expect("registered");
+            let frame = guard.frames.get(&page).expect("resident");
+            let mut sector = Sector::zeroed();
+            sector.header = seqno;
+            sector.data.copy_from_slice(&frame.data[..]);
+            (sector, spec.base_sector, Arc::clone(&spec.disk))
+        };
+        let io = disk.write(base + u64::from(page.page), &sector);
+        self.perf.record(PrimitiveOp::RandomAccessPagedIo);
+        let ok = io.is_ok();
+        // Message 3: report the outcome.
+        parking_lot::MutexGuard::unlocked(guard, || gate.after_page_write(page, ok));
+        guard.stats.writebacks += 1;
+        if let Err(e) = io {
+            let frame = guard.frames.get_mut(&page).expect("resident");
+            frame.busy = false;
+            self.cond.notify_all();
+            return Err(VmError::Io(e.to_string()));
+        }
+        if evict {
+            guard.frames.remove(&page);
+            guard.stats.evictions += 1;
+        } else {
+            let frame = guard.frames.get_mut(&page).expect("resident");
+            frame.dirty = false;
+            frame.busy = false;
+            frame.seqno = seqno;
+        }
+        self.cond.notify_all();
+        Ok(())
+    }
+}
+
+/// A byte-addressed view of one recoverable segment — the "virtual memory"
+/// a data server works with (§3.1.1: programmers work with virtual
+/// addresses; ObjectIDs carry the disk addresses).
+#[derive(Clone)]
+pub struct MappedSegment {
+    pool: Arc<BufferPool>,
+    id: SegmentId,
+    len: u64,
+}
+
+impl std::fmt::Debug for MappedSegment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedSegment")
+            .field("id", &self.id)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl MappedSegment {
+    /// Maps `segment` through `pool`. The segment must be registered.
+    pub fn new(pool: Arc<BufferPool>, segment: SegmentId) -> Result<Self, VmError> {
+        let spec = pool
+            .segment(segment)
+            .ok_or(VmError::UnknownSegment(segment))?;
+        Ok(Self { pool, id: segment, len: spec.len_bytes() })
+    }
+
+    /// The mapped segment's identifier.
+    pub fn id(&self) -> SegmentId {
+        self.id
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the segment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The owning buffer pool.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    fn check_range(&self, offset: u64, len: usize) -> Result<(), VmError> {
+        if offset + len as u64 > self.len {
+            return Err(VmError::OutOfRange(format!(
+                "{}+{} beyond segment of {} bytes",
+                offset, len, self.len
+            )));
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes at `offset`, spanning pages as needed.
+    pub fn read(&self, offset: u64, buf: &mut [u8]) -> Result<(), VmError> {
+        self.check_range(offset, buf.len())?;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pos = offset + done as u64;
+            let page = (pos / PAGE_SIZE as u64) as u32;
+            let in_page = (pos % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - in_page).min(buf.len() - done);
+            let pid = PageId { segment: self.id, page };
+            self.pool.with_page(pid, |data| {
+                buf[done..done + n].copy_from_slice(&data[in_page..in_page + n]);
+            })?;
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `offset` into a fresh vector.
+    pub fn read_vec(&self, offset: u64, len: usize) -> Result<Vec<u8>, VmError> {
+        let mut v = vec![0u8; len];
+        self.read(offset, &mut v)?;
+        Ok(v)
+    }
+
+    /// Writes `data` at `offset`, spanning pages as needed.
+    pub fn write(&self, offset: u64, data: &[u8]) -> Result<(), VmError> {
+        self.check_range(offset, data.len())?;
+        let mut done = 0usize;
+        while done < data.len() {
+            let pos = offset + done as u64;
+            let page = (pos / PAGE_SIZE as u64) as u32;
+            let in_page = (pos % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - in_page).min(data.len() - done);
+            let pid = PageId { segment: self.id, page };
+            self.pool.with_page_mut(pid, |frame| {
+                frame[in_page..in_page + n].copy_from_slice(&data[done..done + n]);
+            })?;
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian `u32` at `offset`.
+    pub fn read_u32(&self, offset: u64) -> Result<u32, VmError> {
+        let mut b = [0u8; 4];
+        self.read(offset, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u32` at `offset`.
+    pub fn write_u32(&self, offset: u64, v: u32) -> Result<(), VmError> {
+        self.write(offset, &v.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u64` at `offset`.
+    pub fn read_u64(&self, offset: u64) -> Result<u64, VmError> {
+        let mut b = [0u8; 8];
+        self.read(offset, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u64` at `offset`.
+    pub fn write_u64(&self, offset: u64, v: u64) -> Result<(), VmError> {
+        self.write(offset, &v.to_le_bytes())
+    }
+
+    /// Reads a little-endian `i64` at `offset`.
+    pub fn read_i64(&self, offset: u64) -> Result<i64, VmError> {
+        Ok(self.read_u64(offset)? as i64)
+    }
+
+    /// Writes a little-endian `i64` at `offset`.
+    pub fn write_i64(&self, offset: u64, v: i64) -> Result<(), VmError> {
+        self.write_u64(offset, v as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::storage::MemDisk;
+    use parking_lot::Mutex as PlMutex;
+
+    fn seg_id(i: u32) -> SegmentId {
+        SegmentId { node: NodeId(1), index: i }
+    }
+
+    fn make_pool(capacity: usize, pages: u32) -> (Arc<BufferPool>, SegmentId) {
+        let perf = PerfCounters::new();
+        let pool = BufferPool::new(capacity, perf);
+        let disk = MemDisk::new(u64::from(pages));
+        let id = seg_id(0);
+        pool.register_segment(SegmentSpec {
+            id,
+            name: "test".into(),
+            disk,
+            base_sector: 0,
+            pages,
+        })
+        .unwrap();
+        (pool, id)
+    }
+
+    #[test]
+    fn fault_in_zeroed_page() {
+        let (pool, seg) = make_pool(4, 8);
+        let page = PageId { segment: seg, page: 3 };
+        let sum: u32 = pool
+            .with_page(page, |d| d.iter().map(|&b| u32::from(b)).sum())
+            .unwrap();
+        assert_eq!(sum, 0);
+        assert_eq!(pool.stats().faults, 1);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let (pool, seg) = make_pool(4, 8);
+        let page = PageId { segment: seg, page: 0 };
+        pool.with_page_mut(page, |d| d[10] = 0xab).unwrap();
+        let v = pool.with_page(page, |d| d[10]).unwrap();
+        assert_eq!(v, 0xab);
+        assert_eq!(pool.dirty_pages(), vec![page]);
+    }
+
+    #[test]
+    fn unknown_segment_and_out_of_range() {
+        let (pool, seg) = make_pool(4, 8);
+        let bogus = PageId { segment: seg_id(9), page: 0 };
+        assert!(matches!(
+            pool.with_page(bogus, |_| ()),
+            Err(VmError::UnknownSegment(_))
+        ));
+        let past = PageId { segment: seg, page: 8 };
+        assert!(matches!(
+            pool.with_page(past, |_| ()),
+            Err(VmError::OutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let (pool, seg) = make_pool(2, 8);
+        let p0 = PageId { segment: seg, page: 0 };
+        pool.with_page_mut(p0, |d| d[0] = 1).unwrap();
+        // Touch two more pages: p0 must be evicted (capacity 2).
+        for i in 1..3 {
+            pool.with_page(PageId { segment: seg, page: i }, |_| ()).unwrap();
+        }
+        assert_eq!(pool.stats().evictions, 1);
+        assert_eq!(pool.stats().writebacks, 1);
+        // Fault p0 back in: the write-back preserved the data.
+        let v = pool.with_page(p0, |d| d[0]).unwrap();
+        assert_eq!(v, 1);
+    }
+
+    #[test]
+    fn pin_prevents_eviction() {
+        let (pool, seg) = make_pool(2, 8);
+        let p0 = PageId { segment: seg, page: 0 };
+        let p1 = PageId { segment: seg, page: 1 };
+        pool.pin(p0).unwrap();
+        pool.pin(p1).unwrap();
+        // Pool is full of pinned pages; a third fault cannot be serviced.
+        let p2 = PageId { segment: seg, page: 2 };
+        assert_eq!(pool.with_page(p2, |_| ()), Err(VmError::AllFramesPinned));
+        pool.unpin(p1).unwrap();
+        assert!(pool.with_page(p2, |_| ()).is_ok());
+        assert!(pool.is_pinned(p0));
+    }
+
+    #[test]
+    fn pins_nest() {
+        let (pool, seg) = make_pool(4, 8);
+        let p = PageId { segment: seg, page: 0 };
+        pool.pin(p).unwrap();
+        pool.pin(p).unwrap();
+        pool.unpin(p).unwrap();
+        assert!(pool.is_pinned(p));
+        pool.unpin(p).unwrap();
+        assert!(!pool.is_pinned(p));
+        assert_eq!(pool.unpin(p), Err(VmError::NotPinned(p)));
+    }
+
+    #[test]
+    fn flush_page_skips_pinned() {
+        let (pool, seg) = make_pool(4, 8);
+        let p = PageId { segment: seg, page: 0 };
+        pool.with_page_mut(p, |d| d[0] = 9).unwrap();
+        pool.pin(p).unwrap();
+        assert!(!pool.flush_page(p).unwrap());
+        pool.unpin(p).unwrap();
+        assert!(pool.flush_page(p).unwrap());
+        assert!(pool.dirty_pages().is_empty());
+    }
+
+    #[test]
+    fn invalidate_volatile_loses_unflushed_data() {
+        let (pool, seg) = make_pool(4, 8);
+        let p = PageId { segment: seg, page: 0 };
+        pool.with_page_mut(p, |d| d[0] = 42).unwrap();
+        pool.invalidate_volatile();
+        // The write never reached disk, so the page reads back zeroed.
+        let v = pool.with_page(p, |d| d[0]).unwrap();
+        assert_eq!(v, 0);
+    }
+
+    #[test]
+    fn flushed_data_survives_invalidation() {
+        let (pool, seg) = make_pool(4, 8);
+        let p = PageId { segment: seg, page: 0 };
+        pool.with_page_mut(p, |d| d[0] = 42).unwrap();
+        pool.flush_page(p).unwrap();
+        pool.invalidate_volatile();
+        let v = pool.with_page(p, |d| d[0]).unwrap();
+        assert_eq!(v, 42);
+    }
+
+    /// Records the WAL-gate protocol sequence.
+    #[derive(Default)]
+    struct TraceGate {
+        log: PlMutex<Vec<String>>,
+        seq: AtomicU64,
+    }
+
+    impl WalGate for TraceGate {
+        fn page_dirtied(&self, page: PageId) {
+            self.log.lock().push(format!("dirtied {page}"));
+        }
+        fn before_page_write(&self, page: PageId) -> Result<u64, String> {
+            self.log.lock().push(format!("before {page}"));
+            Ok(self.seq.fetch_add(1, Ordering::Relaxed) + 100)
+        }
+        fn after_page_write(&self, page: PageId, ok: bool) {
+            self.log.lock().push(format!("after {page} {ok}"));
+        }
+    }
+
+    #[test]
+    fn wal_gate_protocol_order() {
+        let (pool, seg) = make_pool(4, 8);
+        let gate = Arc::new(TraceGate::default());
+        pool.set_gate(Arc::clone(&gate) as Arc<dyn WalGate>);
+        let p = PageId { segment: seg, page: 0 };
+        pool.with_page_mut(p, |d| d[0] = 1).unwrap();
+        // Second modification of an already-dirty page: no new message 1.
+        pool.with_page_mut(p, |d| d[1] = 2).unwrap();
+        pool.flush_page(p).unwrap();
+        let log = gate.log.lock().clone();
+        assert_eq!(
+            log,
+            vec![
+                format!("dirtied {p}"),
+                format!("before {p}"),
+                format!("after {p} true"),
+            ]
+        );
+        // The sequence number from the gate was stamped into the header.
+        assert_eq!(pool.read_disk_seqno(p).unwrap(), 100);
+    }
+
+    #[test]
+    fn gate_refusal_keeps_page_dirty() {
+        struct RefuseGate;
+        impl WalGate for RefuseGate {
+            fn page_dirtied(&self, _: PageId) {}
+            fn before_page_write(&self, _: PageId) -> Result<u64, String> {
+                Err("log device gone".into())
+            }
+            fn after_page_write(&self, _: PageId, _: bool) {}
+        }
+        let (pool, seg) = make_pool(4, 8);
+        pool.set_gate(Arc::new(RefuseGate));
+        let p = PageId { segment: seg, page: 0 };
+        pool.with_page_mut(p, |d| d[0] = 1).unwrap();
+        assert!(matches!(pool.flush_page(p), Err(VmError::WalRefused(_))));
+        assert_eq!(pool.dirty_pages(), vec![p]);
+    }
+
+    #[test]
+    fn sequential_vs_random_fault_classification() {
+        let (pool, seg) = make_pool(8, 16);
+        let perf = Arc::clone(pool.perf());
+        for i in 0..4 {
+            pool.with_page(PageId { segment: seg, page: i }, |_| ()).unwrap();
+        }
+        let s = perf.snapshot();
+        // First fault is random (no predecessor), the following three are
+        // sequential.
+        assert_eq!(s.get(PrimitiveOp::RandomAccessPagedIo), 1);
+        assert_eq!(s.get(PrimitiveOp::SequentialRead), 3);
+        // A jump is random again.
+        pool.with_page(PageId { segment: seg, page: 10 }, |_| ()).unwrap();
+        assert_eq!(
+            perf.snapshot().get(PrimitiveOp::RandomAccessPagedIo),
+            2
+        );
+    }
+
+    #[test]
+    fn mapped_segment_cross_page_io() {
+        let (pool, seg) = make_pool(8, 8);
+        let map = MappedSegment::new(Arc::clone(&pool), seg).unwrap();
+        assert_eq!(map.len(), 8 * PAGE_SIZE as u64);
+        let data: Vec<u8> = (0..100u8).collect();
+        let off = PAGE_SIZE as u64 - 50; // straddles pages 0 and 1
+        map.write(off, &data).unwrap();
+        let back = map.read_vec(off, 100).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(pool.dirty_pages().len(), 2);
+    }
+
+    #[test]
+    fn mapped_segment_typed_helpers() {
+        let (pool, seg) = make_pool(8, 8);
+        let map = MappedSegment::new(pool, seg).unwrap();
+        map.write_u32(4, 0xdead_beef).unwrap();
+        map.write_u64(100, u64::MAX - 5).unwrap();
+        map.write_i64(200, -42).unwrap();
+        assert_eq!(map.read_u32(4).unwrap(), 0xdead_beef);
+        assert_eq!(map.read_u64(100).unwrap(), u64::MAX - 5);
+        assert_eq!(map.read_i64(200).unwrap(), -42);
+    }
+
+    #[test]
+    fn mapped_segment_bounds_check() {
+        let (pool, seg) = make_pool(8, 2);
+        let map = MappedSegment::new(pool, seg).unwrap();
+        let end = 2 * PAGE_SIZE as u64;
+        assert!(map.write_u32(end - 4, 1).is_ok());
+        assert!(matches!(map.write_u32(end - 3, 1), Err(VmError::OutOfRange(_))));
+        assert!(matches!(map.read_vec(end, 1), Err(VmError::OutOfRange(_))));
+    }
+
+    #[test]
+    fn concurrent_page_traffic() {
+        let (pool, seg) = make_pool(4, 32);
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    for i in 0..200u32 {
+                        let page = PageId { segment: seg, page: (t * 8 + i % 8) % 32 };
+                        pool.with_page_mut(page, |d| d[t as usize] = (i % 251) as u8)
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        // The pool stayed within capacity and did real eviction work.
+        assert!(pool.resident_pages().len() <= 4);
+        assert!(pool.stats().evictions > 0);
+    }
+}

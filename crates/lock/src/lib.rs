@@ -1,0 +1,531 @@
+//! Lock-based synchronization for transactions on abstract objects.
+//!
+//! §2.1.3: "TABS has chosen to use locking … To obtain synchronized access
+//! to an object, a transaction must first obtain a lock on all or part of
+//! it. A lock is granted unless another transaction already holds an
+//! incompatible lock. … With type-specific locking, implementors can obtain
+//! increased concurrency by defining type-specific lock modes and lock
+//! protocols … TABS, like many other systems, currently relies on
+//! time-outs" for deadlock resolution; distributed/local deadlock
+//! *detection* (Obermarck-style waits-for cycles) is the extension the
+//! paper cites, implemented here as an alternative [`DeadlockPolicy`].
+//!
+//! Subtransaction semantics follow §2.1.3: "With respect to
+//! synchronization, a subtransaction behaves as a completely separate
+//! transaction" — locks are *not* inherited downward, so two
+//! subtransactions of one parent can deadlock against each other. When a
+//! subtransaction commits, its locks transfer to the parent
+//! ([`LockManager::transfer`]); when it aborts, they are released.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use tabs_kernel::{ObjectId, Tid};
+
+/// A lock-mode lattice with a compatibility relation.
+///
+/// Implement this to define type-specific lock modes (§2.1.3). The relation
+/// must be symmetric: `a.compatible(b) == b.compatible(a)`.
+pub trait LockMode: Copy + Eq + Hash + Debug + Send + Sync + 'static {
+    /// Whether two holders in these modes may coexist on one object.
+    fn compatible(&self, other: &Self) -> bool;
+}
+
+/// The standard shared/exclusive modes used by most TABS data servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StdMode {
+    /// Shared (read) lock.
+    Shared,
+    /// Exclusive (write) lock.
+    Exclusive,
+}
+
+impl LockMode for StdMode {
+    fn compatible(&self, other: &Self) -> bool {
+        matches!((self, other), (StdMode::Shared, StdMode::Shared))
+    }
+}
+
+/// Example type-specific modes for a counter-like abstract type: increments
+/// commute with each other, so `Increment` is self-compatible — the
+/// concurrency gain type-specific locking buys (§2.1.3, Schwarz & Spector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterMode {
+    /// Observes the counter value; excludes increments.
+    Read,
+    /// Blind increment; compatible with other increments.
+    Increment,
+}
+
+impl LockMode for CounterMode {
+    fn compatible(&self, other: &Self) -> bool {
+        matches!((self, other), (CounterMode::Increment, CounterMode::Increment))
+    }
+}
+
+/// How lock waits that cannot be granted are resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlockPolicy {
+    /// The paper's policy: wait until a caller-supplied time-out expires.
+    Timeout,
+    /// Waits-for-graph cycle detection: a request that would close a cycle
+    /// fails immediately with [`LockError::Deadlock`].
+    Detect,
+}
+
+/// Errors from lock acquisition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockError {
+    /// The wait exceeded the supplied time-out (the holder may be wedged
+    /// or the system deadlocked; the paper's resolution is to abort).
+    Timeout(ObjectId),
+    /// Granting the lock would create a waits-for cycle.
+    Deadlock(ObjectId),
+}
+
+impl std::fmt::Display for LockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockError::Timeout(o) => write!(f, "lock wait timed out on {o}"),
+            LockError::Deadlock(o) => write!(f, "deadlock detected acquiring {o}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+struct State<M: LockMode> {
+    /// Granted locks per object.
+    holders: HashMap<ObjectId, Vec<(Tid, M)>>,
+    /// Objects locked per transaction (for release_all / transfer).
+    by_tx: HashMap<Tid, HashSet<ObjectId>>,
+    /// Waits-for edges, maintained while requests block (Detect policy and
+    /// introspection).
+    waits_for: HashMap<Tid, HashSet<Tid>>,
+}
+
+/// A lock manager, generic over the mode lattice.
+///
+/// Each data server embeds one (§2.1.3: "servers implement locking
+/// locally"), so lock tables are per-server, not global — exactly the
+/// property that lets TABS servers tailor their locking.
+pub struct LockManager<M: LockMode = StdMode> {
+    state: Mutex<State<M>>,
+    cond: Condvar,
+    policy: DeadlockPolicy,
+}
+
+impl<M: LockMode> Default for LockManager<M> {
+    fn default() -> Self {
+        Self::new(DeadlockPolicy::Timeout)
+    }
+}
+
+impl<M: LockMode> std::fmt::Debug for LockManager<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.state.lock();
+        f.debug_struct("LockManager")
+            .field("objects", &s.holders.len())
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+impl<M: LockMode> LockManager<M> {
+    /// Creates a lock manager with the given deadlock-resolution policy.
+    pub fn new(policy: DeadlockPolicy) -> Self {
+        Self {
+            state: Mutex::new(State {
+                holders: HashMap::new(),
+                by_tx: HashMap::new(),
+                waits_for: HashMap::new(),
+            }),
+            cond: Condvar::new(),
+            policy,
+        }
+    }
+
+    /// Creates a shared lock manager.
+    pub fn shared(policy: DeadlockPolicy) -> Arc<Self> {
+        Arc::new(Self::new(policy))
+    }
+
+    fn blockers(state: &State<M>, object: ObjectId, tid: Tid, mode: M) -> Vec<Tid> {
+        state
+            .holders
+            .get(&object)
+            .map(|hs| {
+                hs.iter()
+                    .filter(|(t, m)| *t != tid && !mode.compatible(m))
+                    .map(|(t, _)| *t)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn grant(state: &mut State<M>, object: ObjectId, tid: Tid, mode: M) {
+        let hs = state.holders.entry(object).or_default();
+        if !hs.iter().any(|(t, m)| *t == tid && *m == mode) {
+            hs.push((tid, mode));
+        }
+        state.by_tx.entry(tid).or_default().insert(object);
+    }
+
+    /// Would granting `tid` → … → `tid` close a cycle if `tid` waited on
+    /// each transaction in `on`?
+    fn creates_cycle(state: &State<M>, tid: Tid, on: &[Tid]) -> bool {
+        // DFS from each blocker through waits_for, looking for tid.
+        let mut stack: Vec<Tid> = on.to_vec();
+        let mut seen: HashSet<Tid> = HashSet::new();
+        while let Some(t) = stack.pop() {
+            if t == tid {
+                return true;
+            }
+            if !seen.insert(t) {
+                continue;
+            }
+            if let Some(next) = state.waits_for.get(&t) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+
+    /// `LockObject` (Table 3-1): acquires `mode` on `object` for `tid`,
+    /// waiting up to `timeout` if an incompatible lock is held.
+    pub fn lock(
+        &self,
+        tid: Tid,
+        object: ObjectId,
+        mode: M,
+        timeout: Duration,
+    ) -> Result<(), LockError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock();
+        loop {
+            let blockers = Self::blockers(&state, object, tid, mode);
+            if blockers.is_empty() {
+                Self::grant(&mut state, object, tid, mode);
+                state.waits_for.remove(&tid);
+                return Ok(());
+            }
+            if self.policy == DeadlockPolicy::Detect
+                && Self::creates_cycle(&state, tid, &blockers)
+            {
+                state.waits_for.remove(&tid);
+                return Err(LockError::Deadlock(object));
+            }
+            state.waits_for.insert(tid, blockers.into_iter().collect());
+            let timed_out = self
+                .cond
+                .wait_until(&mut state, deadline)
+                .timed_out();
+            if timed_out {
+                state.waits_for.remove(&tid);
+                return Err(LockError::Timeout(object));
+            }
+        }
+    }
+
+    /// `ConditionallyLockObject` (Table 3-1): acquires the lock only if it
+    /// is immediately available.
+    pub fn try_lock(&self, tid: Tid, object: ObjectId, mode: M) -> bool {
+        let mut state = self.state.lock();
+        if Self::blockers(&state, object, tid, mode).is_empty() {
+            Self::grant(&mut state, object, tid, mode);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `IsObjectLocked` (Table 3-1): whether *any* transaction holds a lock
+    /// on `object`. Added to the server library for the weak queue (§4.2).
+    pub fn is_locked(&self, object: ObjectId) -> bool {
+        self.state
+            .lock()
+            .holders
+            .get(&object)
+            .map(|h| !h.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// Whether `tid` itself holds a lock on `object` in any mode.
+    pub fn holds(&self, tid: Tid, object: ObjectId) -> bool {
+        self.state
+            .lock()
+            .holders
+            .get(&object)
+            .map(|h| h.iter().any(|(t, _)| *t == tid))
+            .unwrap_or(false)
+    }
+
+    /// Current holders of `object`.
+    pub fn holders(&self, object: ObjectId) -> Vec<(Tid, M)> {
+        self.state
+            .lock()
+            .holders
+            .get(&object)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Objects locked by `tid`.
+    pub fn locked_by(&self, tid: Tid) -> Vec<ObjectId> {
+        let state = self.state.lock();
+        let mut v: Vec<_> = state
+            .by_tx
+            .get(&tid)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// Releases every lock held by `tid` (done automatically by the server
+    /// library at commit or abort, §3.1.1) and wakes waiters.
+    pub fn release_all(&self, tid: Tid) {
+        let mut state = self.state.lock();
+        if let Some(objects) = state.by_tx.remove(&tid) {
+            for object in objects {
+                if let Some(hs) = state.holders.get_mut(&object) {
+                    hs.retain(|(t, _)| *t != tid);
+                    if hs.is_empty() {
+                        state.holders.remove(&object);
+                    }
+                }
+            }
+        }
+        state.waits_for.remove(&tid);
+        self.cond.notify_all();
+    }
+
+    /// Moves all of `from`'s locks to `to` (subtransaction commit: the
+    /// parent assumes the child's locks).
+    pub fn transfer(&self, from: Tid, to: Tid) {
+        let mut state = self.state.lock();
+        if let Some(objects) = state.by_tx.remove(&from) {
+            for object in &objects {
+                if let Some(hs) = state.holders.get_mut(object) {
+                    for entry in hs.iter_mut() {
+                        if entry.0 == from {
+                            entry.0 = to;
+                        }
+                    }
+                    // Merge duplicate (to, mode) pairs.
+                    let mut seen = HashSet::new();
+                    hs.retain(|e| seen.insert(*e));
+                }
+            }
+            state.by_tx.entry(to).or_default().extend(objects);
+        }
+        state.waits_for.remove(&from);
+        self.cond.notify_all();
+    }
+
+    /// Number of distinct locked objects (introspection for tests).
+    pub fn locked_object_count(&self) -> usize {
+        self.state.lock().holders.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabs_kernel::{NodeId, SegmentId};
+
+    fn tid(s: u64) -> Tid {
+        Tid { node: NodeId(1), incarnation: 1, seq: s }
+    }
+
+    fn obj(o: u64) -> ObjectId {
+        ObjectId::new(SegmentId { node: NodeId(1), index: 0 }, o * 8, 8)
+    }
+
+    const T: Duration = Duration::from_millis(50);
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::<StdMode>::default();
+        lm.lock(tid(1), obj(1), StdMode::Shared, T).unwrap();
+        lm.lock(tid(2), obj(1), StdMode::Shared, T).unwrap();
+        assert_eq!(lm.holders(obj(1)).len(), 2);
+    }
+
+    #[test]
+    fn exclusive_blocks_and_times_out() {
+        let lm = LockManager::<StdMode>::default();
+        lm.lock(tid(1), obj(1), StdMode::Exclusive, T).unwrap();
+        let err = lm.lock(tid(2), obj(1), StdMode::Shared, T).unwrap_err();
+        assert_eq!(err, LockError::Timeout(obj(1)));
+    }
+
+    #[test]
+    fn reacquire_same_mode_is_noop() {
+        let lm = LockManager::<StdMode>::default();
+        lm.lock(tid(1), obj(1), StdMode::Exclusive, T).unwrap();
+        lm.lock(tid(1), obj(1), StdMode::Exclusive, T).unwrap();
+        assert_eq!(lm.holders(obj(1)).len(), 1);
+    }
+
+    #[test]
+    fn upgrade_shared_to_exclusive_when_sole_holder() {
+        let lm = LockManager::<StdMode>::default();
+        lm.lock(tid(1), obj(1), StdMode::Shared, T).unwrap();
+        lm.lock(tid(1), obj(1), StdMode::Exclusive, T).unwrap();
+        // Another reader is now excluded.
+        assert!(!lm.try_lock(tid(2), obj(1), StdMode::Shared));
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_reader() {
+        let lm = LockManager::<StdMode>::default();
+        lm.lock(tid(1), obj(1), StdMode::Shared, T).unwrap();
+        lm.lock(tid(2), obj(1), StdMode::Shared, T).unwrap();
+        assert!(matches!(
+            lm.lock(tid(1), obj(1), StdMode::Exclusive, T),
+            Err(LockError::Timeout(_))
+        ));
+    }
+
+    #[test]
+    fn conditional_lock() {
+        let lm = LockManager::<StdMode>::default();
+        assert!(lm.try_lock(tid(1), obj(1), StdMode::Exclusive));
+        assert!(!lm.try_lock(tid(2), obj(1), StdMode::Exclusive));
+        assert!(lm.try_lock(tid(1), obj(2), StdMode::Shared));
+    }
+
+    #[test]
+    fn is_locked_and_holds() {
+        let lm = LockManager::<StdMode>::default();
+        assert!(!lm.is_locked(obj(1)));
+        lm.lock(tid(1), obj(1), StdMode::Shared, T).unwrap();
+        assert!(lm.is_locked(obj(1)));
+        assert!(lm.holds(tid(1), obj(1)));
+        assert!(!lm.holds(tid(2), obj(1)));
+    }
+
+    #[test]
+    fn release_all_wakes_waiters() {
+        let lm = Arc::new(LockManager::<StdMode>::default());
+        lm.lock(tid(1), obj(1), StdMode::Exclusive, T).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let waiter = std::thread::spawn(move || {
+            lm2.lock(tid(2), obj(1), StdMode::Exclusive, Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        lm.release_all(tid(1));
+        assert!(waiter.join().unwrap().is_ok());
+        assert!(lm.locked_by(tid(1)).is_empty());
+        assert!(lm.holds(tid(2), obj(1)));
+    }
+
+    #[test]
+    fn transfer_moves_locks_to_parent() {
+        let lm = LockManager::<StdMode>::default();
+        let child = tid(2);
+        let parent = tid(1);
+        lm.lock(child, obj(1), StdMode::Exclusive, T).unwrap();
+        lm.lock(child, obj(2), StdMode::Shared, T).unwrap();
+        lm.lock(parent, obj(2), StdMode::Shared, T).unwrap();
+        lm.transfer(child, parent);
+        assert!(lm.holds(parent, obj(1)));
+        assert!(!lm.holds(child, obj(1)));
+        assert_eq!(lm.locked_by(parent), vec![obj(1), obj(2)]);
+        // No duplicate holder entries after merging.
+        assert_eq!(lm.holders(obj(2)).len(), 1);
+    }
+
+    #[test]
+    fn deadlock_detection_breaks_cycle() {
+        let lm = Arc::new(LockManager::<StdMode>::new(DeadlockPolicy::Detect));
+        lm.lock(tid(1), obj(1), StdMode::Exclusive, T).unwrap();
+        lm.lock(tid(2), obj(2), StdMode::Exclusive, T).unwrap();
+        // tid(2) waits for obj(1) in the background.
+        let lm2 = Arc::clone(&lm);
+        let waiter = std::thread::spawn(move || {
+            lm2.lock(tid(2), obj(1), StdMode::Exclusive, Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        // tid(1) → obj(2) closes the cycle and is refused immediately.
+        let err = lm
+            .lock(tid(1), obj(2), StdMode::Exclusive, Duration::from_secs(5))
+            .unwrap_err();
+        assert_eq!(err, LockError::Deadlock(obj(2)));
+        // Resolving by aborting tid(1) lets the waiter through.
+        lm.release_all(tid(1));
+        assert!(waiter.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn self_deadlock_between_subtransactions() {
+        // §2.1.3: two subtransactions of one parent can deadlock because a
+        // subtransaction behaves as a completely separate transaction.
+        let lm = LockManager::<StdMode>::default();
+        let sub_a = tid(10);
+        let sub_b = tid(11);
+        lm.lock(sub_a, obj(1), StdMode::Exclusive, T).unwrap();
+        assert!(matches!(
+            lm.lock(sub_b, obj(1), StdMode::Exclusive, T),
+            Err(LockError::Timeout(_))
+        ));
+    }
+
+    #[test]
+    fn counter_mode_increments_commute() {
+        let lm = LockManager::<CounterMode>::default();
+        lm.lock(tid(1), obj(1), CounterMode::Increment, T).unwrap();
+        lm.lock(tid(2), obj(1), CounterMode::Increment, T).unwrap();
+        // A reader is excluded while increments are pending.
+        assert!(!lm.try_lock(tid(3), obj(1), CounterMode::Read));
+        lm.release_all(tid(1));
+        lm.release_all(tid(2));
+        assert!(lm.try_lock(tid(3), obj(1), CounterMode::Read));
+    }
+
+    #[test]
+    fn compat_matrices_are_symmetric() {
+        for a in [StdMode::Shared, StdMode::Exclusive] {
+            for b in [StdMode::Shared, StdMode::Exclusive] {
+                assert_eq!(a.compatible(&b), b.compatible(&a));
+            }
+        }
+        for a in [CounterMode::Read, CounterMode::Increment] {
+            for b in [CounterMode::Read, CounterMode::Increment] {
+                assert_eq!(a.compatible(&b), b.compatible(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn contention_stress() {
+        let lm = Arc::new(LockManager::<StdMode>::default());
+        let counter = Arc::new(Mutex::new(0u32));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let lm = Arc::clone(&lm);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let me = tid(t * 1000 + i);
+                        lm.lock(me, obj(1), StdMode::Exclusive, Duration::from_secs(10))
+                            .unwrap();
+                        {
+                            let mut c = counter.lock();
+                            *c += 1;
+                        }
+                        lm.release_all(me);
+                    }
+                });
+            }
+        });
+        assert_eq!(*counter.lock(), 400);
+        assert_eq!(lm.locked_object_count(), 0);
+    }
+}

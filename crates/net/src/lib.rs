@@ -1,0 +1,489 @@
+//! The simulated inter-node network beneath the Communication Managers.
+//!
+//! §3.2.4: the Communication Manager "implements three forms of network
+//! communication: datagrams for the distributed two-phase commit; reliable
+//! session communication for implementing remote procedure calls; and
+//! broadcasting for name lookup by the Name Server." Sessions provide
+//! "at-most-once, ordered delivery of arbitrary-sized messages" and the
+//! Communication Manager "detects permanent communication failures and,
+//! thereby, aids in the detection of remote node crashes."
+//!
+//! This crate is the wire: a [`Network`] connects the endpoints of all
+//! nodes in a cluster. It supports datagram loss, message latency, network
+//! partitions and node detachment (crash), so the recovery and commit
+//! protocols above it can be exercised under failure.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tabs_kernel::{NodeId, PerfCounters, PrimitiveOp};
+
+/// Errors surfaced to network users.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The destination node is detached (crashed) or unknown.
+    NodeUnreachable(NodeId),
+    /// The two nodes are partitioned from each other.
+    Partitioned(NodeId, NodeId),
+    /// The local endpoint has been detached.
+    Detached,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::NodeUnreachable(n) => write!(f, "node {n} unreachable"),
+            NetError::Partitioned(a, b) => write!(f, "{a} and {b} partitioned"),
+            NetError::Detached => write!(f, "local endpoint detached"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// An unreliable, unordered packet (used by two-phase commit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Sending node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Encoded payload.
+    pub body: Vec<u8>,
+}
+
+/// One in-order message on a session (used by remote procedure calls).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionMsg {
+    /// Sending node.
+    pub from: NodeId,
+    /// Encoded payload.
+    pub body: Vec<u8>,
+}
+
+/// Tunable network behaviour.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Probability in `[0, 1]` that a datagram is silently dropped.
+    pub datagram_loss: f64,
+    /// Added one-way delay for datagrams.
+    pub datagram_latency: Duration,
+    /// Added one-way delay for session messages.
+    pub session_latency: Duration,
+    /// Seed for the loss process (deterministic tests).
+    pub seed: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            datagram_loss: 0.0,
+            datagram_latency: Duration::ZERO,
+            session_latency: Duration::ZERO,
+            seed: 0x7ab5,
+        }
+    }
+}
+
+struct Inbox {
+    datagram_tx: Sender<Packet>,
+    session_tx: Sender<SessionMsg>,
+}
+
+struct NetInner {
+    nodes: Mutex<HashMap<NodeId, Inbox>>,
+    partitions: Mutex<HashSet<(NodeId, NodeId)>>,
+    config: Mutex<NetConfig>,
+    rng: Mutex<StdRng>,
+}
+
+impl NetInner {
+    fn partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.partitions.lock().contains(&key)
+    }
+}
+
+/// The cluster's shared wire.
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<NetInner>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.inner.nodes.lock().len())
+            .finish()
+    }
+}
+
+impl Network {
+    /// Creates a network with default (lossless, zero-latency) behaviour.
+    pub fn new() -> Self {
+        Self::with_config(NetConfig::default())
+    }
+
+    /// Creates a network with explicit behaviour.
+    pub fn with_config(config: NetConfig) -> Self {
+        let seed = config.seed;
+        Network {
+            inner: Arc::new(NetInner {
+                nodes: Mutex::new(HashMap::new()),
+                partitions: Mutex::new(HashSet::new()),
+                config: Mutex::new(config),
+                rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            }),
+        }
+    }
+
+    /// Replaces the live configuration (loss, latency).
+    pub fn set_config(&self, config: NetConfig) {
+        *self.inner.config.lock() = config;
+    }
+
+    /// Attaches `node` to the network, returning its endpoint. `perf` is
+    /// charged one Datagram primitive per datagram the node sends.
+    pub fn attach(&self, node: NodeId, perf: Arc<PerfCounters>) -> Endpoint {
+        let (datagram_tx, datagram_rx) = channel::unbounded();
+        let (session_tx, session_rx) = channel::unbounded();
+        self.inner
+            .nodes
+            .lock()
+            .insert(node, Inbox { datagram_tx, session_tx });
+        Endpoint {
+            node,
+            inner: Arc::clone(&self.inner),
+            datagram_rx,
+            session_rx,
+            perf,
+        }
+    }
+
+    /// Detaches `node` (simulated crash): its inbox vanishes and sends to
+    /// it fail with [`NetError::NodeUnreachable`].
+    pub fn detach(&self, node: NodeId) {
+        self.inner.nodes.lock().remove(&node);
+    }
+
+    /// Whether `node` is currently attached.
+    pub fn is_attached(&self, node: NodeId) -> bool {
+        self.inner.nodes.lock().contains_key(&node)
+    }
+
+    /// All currently attached nodes, sorted.
+    pub fn attached_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<_> = self.inner.nodes.lock().keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Severs connectivity between `a` and `b` in both directions.
+    pub fn partition(&self, a: NodeId, b: NodeId) {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.inner.partitions.lock().insert(key);
+    }
+
+    /// Restores connectivity between `a` and `b`.
+    pub fn heal(&self, a: NodeId, b: NodeId) {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.inner.partitions.lock().remove(&key);
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One node's connection to the wire. Held by that node's Communication
+/// Manager.
+pub struct Endpoint {
+    node: NodeId,
+    inner: Arc<NetInner>,
+    datagram_rx: Receiver<Packet>,
+    session_rx: Receiver<SessionMsg>,
+    perf: Arc<PerfCounters>,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint").field("node", &self.node).finish()
+    }
+}
+
+impl Endpoint {
+    /// The node this endpoint belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn deliver_delayed<T: Send + 'static>(tx: Sender<T>, value: T, delay: Duration) {
+        if delay.is_zero() {
+            let _ = tx.send(value);
+        } else {
+            std::thread::spawn(move || {
+                std::thread::sleep(delay);
+                let _ = tx.send(value);
+            });
+        }
+    }
+
+    /// Sends an unreliable datagram. Counted as one Datagram primitive.
+    ///
+    /// Datagram loss is silent (the caller cannot tell), matching real
+    /// datagram semantics; unreachable destinations are also silent, since
+    /// a datagram sender gets no feedback. Only a detached *local* endpoint
+    /// reports an error.
+    pub fn send_datagram(&self, to: NodeId, body: Vec<u8>) -> Result<(), NetError> {
+        if !self.inner.nodes.lock().contains_key(&self.node) {
+            return Err(NetError::Detached);
+        }
+        self.perf.record(PrimitiveOp::Datagram);
+        if self.inner.partitioned(self.node, to) {
+            return Ok(()); // dropped on the floor, as on a real wire
+        }
+        let (loss, latency) = {
+            let c = self.inner.config.lock();
+            (c.datagram_loss, c.datagram_latency)
+        };
+        if loss > 0.0 && self.inner.rng.lock().gen::<f64>() < loss {
+            return Ok(());
+        }
+        let tx = match self.inner.nodes.lock().get(&to) {
+            Some(inbox) => inbox.datagram_tx.clone(),
+            None => return Ok(()),
+        };
+        Self::deliver_delayed(tx, Packet { from: self.node, to, body }, latency);
+        Ok(())
+    }
+
+    /// Broadcasts a datagram to every other attached node (name lookup).
+    pub fn broadcast(&self, body: Vec<u8>) -> Result<(), NetError> {
+        let targets: Vec<NodeId> = self
+            .inner
+            .nodes
+            .lock()
+            .keys()
+            .copied()
+            .filter(|&n| n != self.node)
+            .collect();
+        for t in targets {
+            self.send_datagram(t, body.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Sends one message on the reliable, ordered session to `to`.
+    ///
+    /// Unlike datagrams, session sends detect failure: an unreachable or
+    /// partitioned peer returns an error, which the Communication Manager
+    /// uses to detect remote node crashes (§3.2.4).
+    pub fn send_session(&self, to: NodeId, body: Vec<u8>) -> Result<(), NetError> {
+        if !self.inner.nodes.lock().contains_key(&self.node) {
+            return Err(NetError::Detached);
+        }
+        if self.inner.partitioned(self.node, to) {
+            return Err(NetError::Partitioned(self.node, to));
+        }
+        let latency = self.inner.config.lock().session_latency;
+        let tx = match self.inner.nodes.lock().get(&to) {
+            Some(inbox) => inbox.session_tx.clone(),
+            None => return Err(NetError::NodeUnreachable(to)),
+        };
+        Self::deliver_delayed(tx, SessionMsg { from: self.node, body }, latency);
+        Ok(())
+    }
+
+    /// Receives the next incoming datagram, waiting up to `timeout`.
+    pub fn recv_datagram(&self, timeout: Duration) -> Option<Packet> {
+        self.datagram_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Receives the next incoming session message, waiting up to `timeout`.
+    pub fn recv_session(&self, timeout: Duration) -> Option<SessionMsg> {
+        self.session_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking datagram receive.
+    pub fn try_recv_datagram(&self) -> Option<Packet> {
+        self.datagram_rx.try_recv().ok()
+    }
+
+    /// Non-blocking session receive.
+    pub fn try_recv_session(&self) -> Option<SessionMsg> {
+        self.session_rx.try_recv().ok()
+    }
+
+    /// Whether `to` currently looks reachable (attached and unpartitioned).
+    pub fn is_reachable(&self, to: NodeId) -> bool {
+        self.inner.nodes.lock().contains_key(&to) && !self.inner.partitioned(self.node, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    fn two_nodes() -> (Network, Endpoint, Endpoint) {
+        let net = Network::new();
+        let a = net.attach(n(1), PerfCounters::new());
+        let b = net.attach(n(2), PerfCounters::new());
+        (net, a, b)
+    }
+
+    #[test]
+    fn datagram_delivery() {
+        let (_net, a, b) = two_nodes();
+        a.send_datagram(n(2), vec![1, 2, 3]).unwrap();
+        let p = b.recv_datagram(Duration::from_secs(1)).unwrap();
+        assert_eq!(p.from, n(1));
+        assert_eq!(p.body, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn datagram_counted() {
+        let net = Network::new();
+        let perf = PerfCounters::new();
+        let a = net.attach(n(1), Arc::clone(&perf));
+        let _b = net.attach(n(2), PerfCounters::new());
+        a.send_datagram(n(2), vec![]).unwrap();
+        a.send_datagram(n(2), vec![]).unwrap();
+        assert_eq!(perf.get(PrimitiveOp::Datagram), 2);
+    }
+
+    #[test]
+    fn datagram_to_dead_node_is_silent() {
+        let (_net, a, _b) = two_nodes();
+        // Node 9 does not exist; datagrams give no feedback.
+        assert!(a.send_datagram(n(9), vec![1]).is_ok());
+    }
+
+    #[test]
+    fn session_ordering() {
+        let (_net, a, b) = two_nodes();
+        for i in 0..100u8 {
+            a.send_session(n(2), vec![i]).unwrap();
+        }
+        for i in 0..100u8 {
+            let m = b.recv_session(Duration::from_secs(1)).unwrap();
+            assert_eq!(m.body, vec![i]);
+        }
+    }
+
+    #[test]
+    fn session_detects_dead_node() {
+        let (net, a, b) = two_nodes();
+        assert!(a.send_session(n(2), vec![]).is_ok());
+        drop(b);
+        net.detach(n(2));
+        assert_eq!(
+            a.send_session(n(2), vec![]),
+            Err(NetError::NodeUnreachable(n(2)))
+        );
+        assert!(!a.is_reachable(n(2)));
+    }
+
+    #[test]
+    fn partition_blocks_sessions_and_drops_datagrams() {
+        let (net, a, b) = two_nodes();
+        net.partition(n(1), n(2));
+        assert_eq!(
+            a.send_session(n(2), vec![]),
+            Err(NetError::Partitioned(n(1), n(2)))
+        );
+        a.send_datagram(n(2), vec![7]).unwrap(); // silently dropped
+        assert!(b.recv_datagram(Duration::from_millis(30)).is_none());
+        net.heal(n(1), n(2));
+        assert!(a.send_session(n(2), vec![]).is_ok());
+        a.send_datagram(n(2), vec![8]).unwrap();
+        assert_eq!(b.recv_datagram(Duration::from_secs(1)).unwrap().body, vec![8]);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_sender() {
+        let net = Network::new();
+        let a = net.attach(n(1), PerfCounters::new());
+        let b = net.attach(n(2), PerfCounters::new());
+        let c = net.attach(n(3), PerfCounters::new());
+        a.broadcast(vec![9]).unwrap();
+        assert_eq!(b.recv_datagram(Duration::from_secs(1)).unwrap().body, vec![9]);
+        assert_eq!(c.recv_datagram(Duration::from_secs(1)).unwrap().body, vec![9]);
+        assert!(a.try_recv_datagram().is_none());
+    }
+
+    #[test]
+    fn configured_loss_drops_roughly_that_fraction() {
+        let net = Network::with_config(NetConfig {
+            datagram_loss: 0.5,
+            seed: 42,
+            ..NetConfig::default()
+        });
+        let a = net.attach(n(1), PerfCounters::new());
+        let b = net.attach(n(2), PerfCounters::new());
+        for _ in 0..400 {
+            a.send_datagram(n(2), vec![0]).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        let mut got = 0;
+        while b.try_recv_datagram().is_some() {
+            got += 1;
+        }
+        assert!((100..300).contains(&got), "got {got} of 400 at 50% loss");
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let net = Network::with_config(NetConfig {
+            session_latency: Duration::from_millis(50),
+            ..NetConfig::default()
+        });
+        let a = net.attach(n(1), PerfCounters::new());
+        let b = net.attach(n(2), PerfCounters::new());
+        let t0 = std::time::Instant::now();
+        a.send_session(n(2), vec![1]).unwrap();
+        assert!(b.recv_session(Duration::from_millis(10)).is_none());
+        assert!(b.recv_session(Duration::from_secs(1)).is_some());
+        assert!(t0.elapsed() >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn reattach_after_crash() {
+        let (net, a, b) = two_nodes();
+        drop(b);
+        net.detach(n(2));
+        assert!(a.send_session(n(2), vec![]).is_err());
+        let b2 = net.attach(n(2), PerfCounters::new());
+        assert!(a.send_session(n(2), vec![5]).is_ok());
+        assert_eq!(b2.recv_session(Duration::from_secs(1)).unwrap().body, vec![5]);
+    }
+
+    #[test]
+    fn detached_local_endpoint_errors() {
+        let (net, a, _b) = two_nodes();
+        net.detach(n(1));
+        assert_eq!(a.send_datagram(n(2), vec![]), Err(NetError::Detached));
+        assert_eq!(a.send_session(n(2), vec![]), Err(NetError::Detached));
+    }
+
+    #[test]
+    fn attached_nodes_sorted() {
+        let net = Network::new();
+        let _c = net.attach(n(3), PerfCounters::new());
+        let _a = net.attach(n(1), PerfCounters::new());
+        assert_eq!(net.attached_nodes(), vec![n(1), n(3)]);
+        assert!(net.is_attached(n(3)));
+        assert!(!net.is_attached(n(2)));
+    }
+}

@@ -1,0 +1,366 @@
+//! The Name Server (§3.1.3, §3.2.5).
+//!
+//! "In TABS, the Name Server process on each node maintains a mapping of
+//! object names to one or more <port, logical-object-identifier> pairs for
+//! all the objects managed by data servers on that node. Whenever the Name
+//! Server is asked about a name it does not recognize, it broadcasts a name
+//! lookup request to all other Name Servers."
+//!
+//! The abstractions represented by data servers "are permanent entities
+//! that must persist despite node failures, even though the ports through
+//! which they are accessed change" — so the table maps stable names to
+//! the (possibly re-registered) current ports, and a name may resolve to
+//! multiple entries (independent data servers together implementing a
+//! replicated object, Table 3-3).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use tabs_kernel::{NodeId, ObjectId, PortId};
+use tabs_proto::{NameEntry, NsMsg};
+
+/// Outbound broadcast path, supplied by the Communication Manager
+/// ("broadcasting for name lookup by the Name Server", §3.2.4).
+pub trait Broadcast: Send + Sync {
+    /// Broadcasts a name-service message to every other node.
+    fn broadcast(&self, msg: NsMsg);
+
+    /// Sends a name-service message to one node.
+    fn send(&self, to: NodeId, msg: NsMsg);
+}
+
+/// A broadcast sink for single-node configurations.
+#[derive(Debug, Default)]
+pub struct NullBroadcast;
+
+impl Broadcast for NullBroadcast {
+    fn broadcast(&self, _msg: NsMsg) {}
+    fn send(&self, _to: NodeId, _msg: NsMsg) {}
+}
+
+struct NsState {
+    /// Local registrations: name → entries.
+    local: HashMap<String, Vec<NameEntry>>,
+    /// Entries learned from remote lookup responses (a soft cache; remote
+    /// re-registration after a crash replaces entries on next lookup).
+    remote: HashMap<String, Vec<NameEntry>>,
+}
+
+/// The Name Server of one node.
+pub struct NameServer {
+    node: NodeId,
+    state: Mutex<NsState>,
+    cond: Condvar,
+    transport: Mutex<Arc<dyn Broadcast>>,
+}
+
+impl std::fmt::Debug for NameServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NameServer").field("node", &self.node).finish()
+    }
+}
+
+impl NameServer {
+    /// Creates the Name Server for `node`.
+    pub fn new(node: NodeId) -> Arc<Self> {
+        Arc::new(Self {
+            node,
+            state: Mutex::new(NsState { local: HashMap::new(), remote: HashMap::new() }),
+            cond: Condvar::new(),
+            transport: Mutex::new(Arc::new(NullBroadcast)),
+        })
+    }
+
+    /// Installs the Communication Manager's broadcast path.
+    pub fn set_transport(&self, t: Arc<dyn Broadcast>) {
+        *self.transport.lock() = t;
+    }
+
+    /// `Register(Name, Type, Port, ObjectID)` (Table 3-3).
+    pub fn register(&self, name: &str, type_name: &str, port: PortId, object: ObjectId) {
+        let entry = NameEntry {
+            name: name.to_string(),
+            type_name: type_name.to_string(),
+            port,
+            object,
+        };
+        let mut st = self.state.lock();
+        let entries = st.local.entry(name.to_string()).or_default();
+        entries.retain(|e| !(e.port == port && e.object == object));
+        entries.push(entry);
+        self.cond.notify_all();
+    }
+
+    /// `DeRegister(Name, Port, ObjectID)` (Table 3-3).
+    pub fn deregister(&self, name: &str, port: PortId, object: ObjectId) {
+        let mut st = self.state.lock();
+        if let Some(entries) = st.local.get_mut(name) {
+            entries.retain(|e| !(e.port == port && e.object == object));
+            if entries.is_empty() {
+                st.local.remove(name);
+            }
+        }
+    }
+
+    /// Drops every local registration (used when a node restarts: the
+    /// permanent names survive, the ports do not, so servers re-register).
+    pub fn clear_local(&self) {
+        let mut st = self.state.lock();
+        st.local.clear();
+        st.remote.clear();
+    }
+
+    /// `LookUp(Name, …, DesiredNumberOfPortIDs, MaxWait)` (Table 3-3):
+    /// resolves `name` to up to `desired` entries, broadcasting to other
+    /// Name Servers when the local table has too few, and waiting up to
+    /// `max_wait` for responses.
+    pub fn lookup(&self, name: &str, desired: usize, max_wait: Duration) -> Vec<NameEntry> {
+        {
+            let st = self.state.lock();
+            let found = Self::gather(&st, name);
+            if found.len() >= desired {
+                return found.into_iter().take(desired).collect();
+            }
+        }
+        // Broadcast and wait for responses to fill the table. Broadcast
+        // datagrams are unreliable, so the request is re-broadcast
+        // periodically until the deadline.
+        let transport = Arc::clone(&self.transport.lock());
+        let request = NsMsg::LookupRequest {
+            name: name.to_string(),
+            reply_to: self.node,
+        };
+        transport.broadcast(request.clone());
+        let deadline = Instant::now() + max_wait;
+        let rebroadcast_every = Duration::from_millis(100);
+        let mut st = self.state.lock();
+        loop {
+            let found = Self::gather(&st, name);
+            if found.len() >= desired {
+                return found.into_iter().take(desired).collect();
+            }
+            let next_wake = (Instant::now() + rebroadcast_every).min(deadline);
+            let timed_out = self.cond.wait_until(&mut st, next_wake).timed_out();
+            if Instant::now() >= deadline {
+                return Self::gather(&st, name);
+            }
+            if timed_out {
+                parking_lot::MutexGuard::unlocked(&mut st, || {
+                    transport.broadcast(request.clone());
+                });
+            }
+        }
+    }
+
+    fn gather(st: &NsState, name: &str) -> Vec<NameEntry> {
+        let mut v: Vec<NameEntry> = st.local.get(name).cloned().unwrap_or_default();
+        if let Some(remote) = st.remote.get(name) {
+            for e in remote {
+                if !v.iter().any(|x| x.port == e.port && x.object == e.object) {
+                    v.push(e.clone());
+                }
+            }
+        }
+        v
+    }
+
+    /// Entry point for name-service datagrams, called by the Communication
+    /// Manager's datagram loop.
+    pub fn handle(&self, msg: NsMsg) {
+        match msg {
+            NsMsg::LookupRequest { name, reply_to } => {
+                if reply_to == self.node {
+                    return; // our own broadcast echoed back
+                }
+                let entries = {
+                    let st = self.state.lock();
+                    st.local.get(&name).cloned().unwrap_or_default()
+                };
+                if !entries.is_empty() {
+                    let transport = Arc::clone(&self.transport.lock());
+                    transport.send(reply_to, NsMsg::LookupResponse { name, entries });
+                }
+            }
+            NsMsg::LookupResponse { name, entries } => {
+                let mut st = self.state.lock();
+                let slot = st.remote.entry(name).or_default();
+                for e in entries {
+                    // Replace stale entries from the same node (its ports
+                    // changed across a crash), then add.
+                    slot.retain(|x| {
+                        !(x.port.node == e.port.node && x.object == e.object)
+                    });
+                    slot.push(e);
+                }
+                self.cond.notify_all();
+            }
+        }
+    }
+
+    /// Drops cached remote entries for `name`, forcing the next lookup to
+    /// re-broadcast. Applications call this after a call through a cached
+    /// entry fails (the remote node restarted and its ports changed).
+    pub fn invalidate(&self, name: &str) {
+        self.state.lock().remote.remove(name);
+    }
+
+    /// All local registrations, for introspection.
+    pub fn local_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.state.lock().local.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabs_kernel::SegmentId;
+
+    fn oid(i: u32) -> ObjectId {
+        ObjectId::new(SegmentId { node: NodeId(1), index: i }, 0, 8)
+    }
+
+    fn port(node: u16, idx: u64) -> PortId {
+        PortId { node: NodeId(node), index: idx }
+    }
+
+    #[test]
+    fn register_and_lookup_local() {
+        let ns = NameServer::new(NodeId(1));
+        ns.register("accounts", "array", port(1, 5), oid(0));
+        let found = ns.lookup("accounts", 1, Duration::from_millis(10));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].port, port(1, 5));
+        assert_eq!(found[0].type_name, "array");
+    }
+
+    #[test]
+    fn reregistration_replaces_same_port_object() {
+        let ns = NameServer::new(NodeId(1));
+        ns.register("q", "queue", port(1, 5), oid(0));
+        ns.register("q", "queue", port(1, 5), oid(0));
+        assert_eq!(ns.lookup("q", 9, Duration::ZERO).len(), 1);
+    }
+
+    #[test]
+    fn multiple_entries_for_replicated_objects() {
+        // "independent data server processes can together implement
+        // replicated objects" (§3.1.3).
+        let ns = NameServer::new(NodeId(1));
+        ns.register("dir", "rep-directory", port(1, 5), oid(0));
+        ns.register("dir", "rep-directory", port(1, 6), oid(1));
+        let found = ns.lookup("dir", 2, Duration::from_millis(10));
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn deregister_removes_entry() {
+        let ns = NameServer::new(NodeId(1));
+        ns.register("x", "t", port(1, 5), oid(0));
+        ns.deregister("x", port(1, 5), oid(0));
+        assert!(ns.lookup("x", 1, Duration::ZERO).is_empty());
+        assert!(ns.local_names().is_empty());
+    }
+
+    #[test]
+    fn lookup_miss_broadcasts() {
+        struct Capture(Mutex<Vec<NsMsg>>);
+        impl Broadcast for Capture {
+            fn broadcast(&self, msg: NsMsg) {
+                self.0.lock().push(msg);
+            }
+            fn send(&self, _to: NodeId, _msg: NsMsg) {}
+        }
+        let ns = NameServer::new(NodeId(1));
+        let cap = Arc::new(Capture(Mutex::new(Vec::new())));
+        ns.set_transport(Arc::clone(&cap) as Arc<dyn Broadcast>);
+        let found = ns.lookup("ghost", 1, Duration::from_millis(20));
+        assert!(found.is_empty());
+        let sent = cap.0.lock();
+        assert!(matches!(
+            sent[0],
+            NsMsg::LookupRequest { ref name, reply_to } if name == "ghost" && reply_to == NodeId(1)
+        ));
+    }
+
+    #[test]
+    fn remote_response_satisfies_waiting_lookup() {
+        let ns = NameServer::new(NodeId(1));
+        let ns2 = Arc::clone(&ns);
+        let t = std::thread::spawn(move || ns2.lookup("remote", 1, Duration::from_secs(2)));
+        std::thread::sleep(Duration::from_millis(30));
+        ns.handle(NsMsg::LookupResponse {
+            name: "remote".into(),
+            entries: vec![NameEntry {
+                name: "remote".into(),
+                type_name: "array".into(),
+                port: port(2, 9),
+                object: oid(0),
+            }],
+        });
+        let found = t.join().unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].port.node, NodeId(2));
+    }
+
+    #[test]
+    fn handle_request_answers_only_when_known() {
+        struct Capture(Mutex<Vec<(NodeId, NsMsg)>>);
+        impl Broadcast for Capture {
+            fn broadcast(&self, _msg: NsMsg) {}
+            fn send(&self, to: NodeId, msg: NsMsg) {
+                self.0.lock().push((to, msg));
+            }
+        }
+        let ns = NameServer::new(NodeId(1));
+        let cap = Arc::new(Capture(Mutex::new(Vec::new())));
+        ns.set_transport(Arc::clone(&cap) as Arc<dyn Broadcast>);
+        // Unknown name: silence.
+        ns.handle(NsMsg::LookupRequest { name: "nope".into(), reply_to: NodeId(2) });
+        assert!(cap.0.lock().is_empty());
+        // Known name: response to the asker.
+        ns.register("db", "b-tree", port(1, 3), oid(0));
+        ns.handle(NsMsg::LookupRequest { name: "db".into(), reply_to: NodeId(2) });
+        let sent = cap.0.lock();
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].0, NodeId(2));
+    }
+
+    #[test]
+    fn own_broadcast_echo_ignored() {
+        let ns = NameServer::new(NodeId(1));
+        ns.register("self", "t", port(1, 1), oid(0));
+        // A LookupRequest with reply_to == self must not be answered.
+        ns.handle(NsMsg::LookupRequest { name: "self".into(), reply_to: NodeId(1) });
+        // (No panic / no self-send; transport is NullBroadcast anyway.)
+    }
+
+    #[test]
+    fn stale_remote_entries_replaced_per_node() {
+        let ns = NameServer::new(NodeId(1));
+        let entry = |idx| NameEntry {
+            name: "svc".into(),
+            type_name: "t".into(),
+            port: port(2, idx),
+            object: oid(0),
+        };
+        ns.handle(NsMsg::LookupResponse { name: "svc".into(), entries: vec![entry(1)] });
+        // Node 2 restarted; its port index changed.
+        ns.handle(NsMsg::LookupResponse { name: "svc".into(), entries: vec![entry(7)] });
+        let found = ns.lookup("svc", 9, Duration::ZERO);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].port, port(2, 7));
+    }
+
+    #[test]
+    fn clear_local_wipes_tables() {
+        let ns = NameServer::new(NodeId(1));
+        ns.register("a", "t", port(1, 1), oid(0));
+        ns.clear_local();
+        assert!(ns.local_names().is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Primitive-operation cost tables (Tables 5-1 and 5-5).
+
+use tabs_kernel::{PerfSnapshot, PrimitiveOp};
+
+/// Milliseconds per primitive operation, indexed in Table 5-1 order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostTable {
+    /// Table name for rendering.
+    pub name: &'static str,
+    /// Cost in milliseconds per [`PrimitiveOp`], in declaration order.
+    pub ms: [f64; 9],
+}
+
+impl CostTable {
+    /// Cost of one primitive in milliseconds.
+    pub fn cost(&self, op: PrimitiveOp) -> f64 {
+        self.ms[op as usize]
+    }
+
+    /// Weighted sum over integer counts: the paper's predicted system time.
+    pub fn predict(&self, counts: &PerfSnapshot) -> f64 {
+        counts
+            .iter()
+            .map(|(op, n)| self.cost(op) * n as f64)
+            .sum()
+    }
+
+    /// Weighted sum over fractional per-transaction counts.
+    pub fn predict_f(&self, counts: &[f64; 9]) -> f64 {
+        counts
+            .iter()
+            .zip(self.ms.iter())
+            .map(|(n, c)| n * c)
+            .sum()
+    }
+}
+
+/// Table 5-1: measured primitive times on a Perq T2.
+pub const PERQ_T2: CostTable = CostTable {
+    name: "Perq T2 (Table 5-1)",
+    ms: [
+        26.1, // Data Server Call
+        89.0, // Inter-Node Data Server Call
+        25.0, // Datagram
+        3.0,  // Small Contiguous Message
+        4.4,  // Large Contiguous Message
+        18.3, // Pointer Message
+        32.0, // Random Access Paged I/O
+        16.0, // Sequential Read
+        79.0, // Stable Storage Write
+    ],
+};
+
+/// Table 5-5: "primitive times achievable by tuning software and adding
+/// disks".
+pub const ACHIEVABLE: CostTable = CostTable {
+    name: "Achievable (Table 5-5)",
+    ms: [
+        2.5,  // Data Server Call
+        9.0,  // Inter-Node Data Server Call
+        2.0,  // Datagram
+        1.0,  // Small Contiguous Message
+        1.25, // Large Contiguous Message
+        15.0, // Pointer Message
+        32.0, // Random Access Paged I/O (disk-bound already)
+        10.0, // Sequential Read
+        32.0, // Stable Storage Write
+    ],
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_5_1_values() {
+        assert_eq!(PERQ_T2.cost(PrimitiveOp::DataServerCall), 26.1);
+        assert_eq!(PERQ_T2.cost(PrimitiveOp::StableStorageWrite), 79.0);
+        assert_eq!(PERQ_T2.cost(PrimitiveOp::InterNodeDataServerCall), 89.0);
+    }
+
+    #[test]
+    fn achievable_never_slower_than_perq() {
+        for i in 0..9 {
+            assert!(
+                ACHIEVABLE.ms[i] <= PERQ_T2.ms[i],
+                "primitive {i} got slower in the projection"
+            );
+        }
+    }
+
+    #[test]
+    fn prediction_weights_counts() {
+        // 1 Local Read, No Paging (paper): 1 DSC + 4 small messages +
+        // read-only commit (5 more small) ⇒ 26.1 + 9·3.0 = 53.1 ≈ the
+        // paper's 53 ms predicted system time.
+        let mut counts = PerfSnapshot::default();
+        counts.0[PrimitiveOp::DataServerCall as usize] = 1;
+        counts.0[PrimitiveOp::SmallContiguousMessage as usize] = 9;
+        let p = PERQ_T2.predict(&counts);
+        assert!((p - 53.1).abs() < 0.01, "got {p}");
+    }
+
+    #[test]
+    fn fractional_prediction() {
+        let mut c = [0.0f64; 9];
+        c[PrimitiveOp::SequentialRead as usize] = 0.86; // the paper's .86
+        let p = PERQ_T2.predict_f(&c);
+        assert!((p - 13.76).abs() < 0.001);
+    }
+}

@@ -1,0 +1,33 @@
+//! The §5 performance-evaluation methodology.
+//!
+//! "The analysis that we propose is based on the notion that each
+//! benchmark is substantially made up of the repetitious execution of a
+//! collection of primitive operations, such as disk reads or inter-node
+//! datagrams. … the pre-commit latency of a transaction that is due to the
+//! execution of primitive operations is a sum of the primitive operation
+//! times weighted by the numbers of primitive operations performed."
+//!
+//! This crate reproduces that methodology over the real (reimplemented)
+//! system:
+//!
+//! - [`cost`] — the primitive-operation cost tables: Table 5-1 (measured
+//!   Perq T2 times) and Table 5-5 (achievable times).
+//! - [`mod@bench`] — the fourteen benchmark transactions of Table 5-4, driven
+//!   against a live three-node cluster with instrumented counters, split
+//!   into pre-commit and commit phases exactly as Tables 5-2 and 5-3
+//!   split them.
+//! - [`model`] — predicted latency (counts × costs), the
+//!   "Improved TABS Architecture" and "New Primitive Times" projections,
+//!   and the §5.2/§7 latency-accounting compositions.
+//! - [`paper`] — the published numbers, for side-by-side comparison.
+//! - [`tables`] — ASCII renderers regenerating every table.
+
+pub mod bench;
+pub mod cost;
+pub mod model;
+pub mod paper;
+pub mod tables;
+
+pub use bench::{benchmarks, run_all, BenchResult, BenchWorld, Benchmark, CommitClass};
+pub use cost::{CostTable, ACHIEVABLE, PERQ_T2};
+pub use model::{improved_counts, predicted_ms, Projection};

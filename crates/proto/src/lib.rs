@@ -1,0 +1,23 @@
+//! Protocol types shared by the TABS system components.
+//!
+//! Everything that crosses a process or node boundary is defined here:
+//!
+//! - [`rpc`] — the Matchmaker-equivalent remote-procedure-call layer used
+//!   between applications and data servers (§2.1.1). Calls to local data
+//!   servers count as Data-Server-Call primitives; calls through a
+//!   Communication Manager proxy count as Inter-Node Data Server Calls.
+//! - [`wire`] — session frames relayed between Communication Managers
+//!   (remote procedure calls ride sessions, §3.2.4) and the broadcast
+//!   name-lookup datagrams.
+//! - [`commit`] — the tree-structured two-phase-commit datagrams
+//!   exchanged by Transaction Managers (§3.2.3: commit uses datagrams,
+//!   "more costly communication based on sessions is used only for the
+//!   remote procedure calls").
+
+pub mod commit;
+pub mod rpc;
+pub mod wire;
+
+pub use commit::CommitMsg;
+pub use rpc::{call, call_with_timeout, Request, Response, RpcError, ServerError};
+pub use wire::{Datagram, NameEntry, NsMsg, SessionFrame};

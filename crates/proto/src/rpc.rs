@@ -1,0 +1,356 @@
+//! The remote-procedure-call layer (the Matchmaker equivalent).
+//!
+//! §2.1.1: "The programming effort associated with packing and unpacking
+//! messages is reduced in TABS through the use of a remote procedure call
+//! facility called Matchmaker. (We use the term remote procedure call to
+//! apply to both intra-node and inter-node communication.)"
+//!
+//! Servers define numeric opcodes and codec-encoded argument/result
+//! structs; [`call`] packs them, sends to the server's port, and waits for
+//! the response. Accounting follows §5.1: a whole local call is one
+//! Data-Server-Call primitive, a call through a Communication Manager proxy
+//! is one Inter-Node Data Server Call.
+
+use std::time::Duration;
+
+use tabs_codec::{Decode, DecodeError, Encode, Reader, Writer};
+use tabs_kernel::{Kernel, Message, PortClass, PrimitiveOp, SendRight, Tid};
+
+/// Errors a data server can return through the RPC layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The transaction was aborted (raises `TransactionIsAborted` in the
+    /// application, Table 3-2).
+    Aborted(String),
+    /// A lock wait timed out; the system's deadlock resolution applies.
+    LockTimeout,
+    /// Deadlock detected (when the detection policy is enabled).
+    Deadlock,
+    /// The request was malformed or referenced an unknown object.
+    BadRequest(String),
+    /// A virtual-memory / storage failure inside the server.
+    Storage(String),
+    /// Any other server-specific failure.
+    Other(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Aborted(w) => write!(f, "transaction aborted: {w}"),
+            ServerError::LockTimeout => write!(f, "lock wait timed out"),
+            ServerError::Deadlock => write!(f, "deadlock detected"),
+            ServerError::BadRequest(w) => write!(f, "bad request: {w}"),
+            ServerError::Storage(w) => write!(f, "storage failure: {w}"),
+            ServerError::Other(w) => write!(f, "server error: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl Encode for ServerError {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ServerError::Aborted(s) => {
+                w.put_u8(0);
+                s.encode(w);
+            }
+            ServerError::LockTimeout => w.put_u8(1),
+            ServerError::Deadlock => w.put_u8(2),
+            ServerError::BadRequest(s) => {
+                w.put_u8(3);
+                s.encode(w);
+            }
+            ServerError::Storage(s) => {
+                w.put_u8(4);
+                s.encode(w);
+            }
+            ServerError::Other(s) => {
+                w.put_u8(5);
+                s.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for ServerError {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(ServerError::Aborted(String::decode(r)?)),
+            1 => Ok(ServerError::LockTimeout),
+            2 => Ok(ServerError::Deadlock),
+            3 => Ok(ServerError::BadRequest(String::decode(r)?)),
+            4 => Ok(ServerError::Storage(String::decode(r)?)),
+            5 => Ok(ServerError::Other(String::decode(r)?)),
+            _ => Err(DecodeError::Invalid("ServerError tag")),
+        }
+    }
+}
+
+/// One operation request addressed to a data server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Transaction on whose behalf the operation runs.
+    pub tid: Tid,
+    /// Server-defined operation code.
+    pub opcode: u32,
+    /// Codec-encoded arguments.
+    pub args: Vec<u8>,
+}
+
+impl Encode for Request {
+    fn encode(&self, w: &mut Writer) {
+        self.tid.encode(w);
+        self.opcode.encode(w);
+        self.args.encode(w);
+    }
+}
+
+impl Decode for Request {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Request {
+            tid: Tid::decode(r)?,
+            opcode: u32::decode(r)?,
+            args: Vec::<u8>::decode(r)?,
+        })
+    }
+}
+
+/// A data server's response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Operation result: encoded return value or a server error.
+    pub result: Result<Vec<u8>, ServerError>,
+}
+
+impl Encode for Response {
+    fn encode(&self, w: &mut Writer) {
+        match &self.result {
+            Ok(v) => {
+                w.put_u8(0);
+                v.encode(w);
+            }
+            Err(e) => {
+                w.put_u8(1);
+                e.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Response {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(Response { result: Ok(Vec::<u8>::decode(r)?) }),
+            1 => Ok(Response { result: Err(ServerError::decode(r)?) }),
+            _ => Err(DecodeError::Invalid("Response tag")),
+        }
+    }
+}
+
+/// Errors at the RPC transport layer (distinct from server-level errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// The server returned an application-level error.
+    Server(ServerError),
+    /// The server's port is dead or its node is down.
+    Unreachable,
+    /// No response within the deadline.
+    Timeout,
+    /// The response failed to decode.
+    Codec(String),
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Server(e) => write!(f, "{e}"),
+            RpcError::Unreachable => write!(f, "server unreachable"),
+            RpcError::Timeout => write!(f, "rpc timed out"),
+            RpcError::Codec(e) => write!(f, "rpc codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<ServerError> for RpcError {
+    fn from(e: ServerError) -> Self {
+        RpcError::Server(e)
+    }
+}
+
+/// Default RPC deadline.
+pub const DEFAULT_RPC_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Calls operation `opcode` on the data server behind `port` within
+/// transaction `tid`, with the default deadline.
+pub fn call(
+    kernel: &Kernel,
+    port: &SendRight,
+    tid: Tid,
+    opcode: u32,
+    args: Vec<u8>,
+) -> Result<Vec<u8>, RpcError> {
+    call_with_timeout(kernel, port, tid, opcode, args, DEFAULT_RPC_TIMEOUT)
+}
+
+/// [`call`] with an explicit deadline.
+pub fn call_with_timeout(
+    kernel: &Kernel,
+    port: &SendRight,
+    tid: Tid,
+    opcode: u32,
+    args: Vec<u8>,
+    timeout: Duration,
+) -> Result<Vec<u8>, RpcError> {
+    // One call = one primitive, chosen by the port's class (§5.1).
+    match port.class() {
+        PortClass::RemoteDataServer => {
+            kernel.perf().record(PrimitiveOp::InterNodeDataServerCall)
+        }
+        PortClass::DataServer => kernel.perf().record(PrimitiveOp::DataServerCall),
+        // System/reply ports: the caller accounts messages itself.
+        _ => {}
+    }
+    let (reply_tx, reply_rx) = kernel.allocate_port(PortClass::Reply);
+    let req = Request { tid, opcode, args };
+    let msg = Message::new(opcode, req.encode_to_vec()).with_reply(reply_tx);
+    port.send_unmetered(msg).map_err(|_| RpcError::Unreachable)?;
+    let reply = reply_rx
+        .recv_timeout(timeout)
+        .map_err(|e| match e {
+            tabs_kernel::RecvError::Timeout => RpcError::Timeout,
+            tabs_kernel::RecvError::ShutDown => RpcError::Unreachable,
+        })?;
+    let resp = Response::decode_all(&reply.body).map_err(|e| RpcError::Codec(e.to_string()))?;
+    resp.result.map_err(RpcError::Server)
+}
+
+/// Builds the reply message for a [`Request`] (used by server loops and the
+/// Communication Manager's relay path).
+pub fn response_message(result: Result<Vec<u8>, ServerError>) -> Message {
+    Message::new(0, Response { result }.encode_to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabs_kernel::NodeId;
+
+    fn tid() -> Tid {
+        Tid { node: NodeId(1), incarnation: 1, seq: 9 }
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let req = Request { tid: tid(), opcode: 3, args: vec![1, 2] };
+        assert_eq!(Request::decode_all(&req.encode_to_vec()).unwrap(), req);
+
+        let ok = Response { result: Ok(vec![9]) };
+        assert_eq!(Response::decode_all(&ok.encode_to_vec()).unwrap(), ok);
+
+        for err in [
+            ServerError::Aborted("x".into()),
+            ServerError::LockTimeout,
+            ServerError::Deadlock,
+            ServerError::BadRequest("b".into()),
+            ServerError::Storage("s".into()),
+            ServerError::Other("o".into()),
+        ] {
+            let resp = Response { result: Err(err.clone()) };
+            assert_eq!(Response::decode_all(&resp.encode_to_vec()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn call_roundtrip_and_accounting() {
+        let k = Kernel::new(NodeId(1));
+        let (tx, rx) = k.allocate_port(PortClass::DataServer);
+        k.spawn("adder", move || loop {
+            match rx.recv() {
+                Ok(m) => {
+                    let req = Request::decode_all(&m.body).unwrap();
+                    let sum: u8 = req.args.iter().sum();
+                    if let Some(r) = m.reply {
+                        let _ = r.send_unmetered(response_message(Ok(vec![sum])));
+                    }
+                }
+                Err(_) => return,
+            }
+        });
+        let before = k.perf().snapshot();
+        let out = call(&k, &tx, tid(), 1, vec![2, 3, 4]).unwrap();
+        assert_eq!(out, vec![9]);
+        let d = k.perf().snapshot().since(&before);
+        assert_eq!(d.get(PrimitiveOp::DataServerCall), 1);
+        // The constituent messages are not double-counted.
+        assert_eq!(d.get(PrimitiveOp::SmallContiguousMessage), 0);
+        k.shutdown();
+        k.join_all();
+    }
+
+    #[test]
+    fn call_surfaces_server_error() {
+        let k = Kernel::new(NodeId(1));
+        let (tx, rx) = k.allocate_port(PortClass::DataServer);
+        k.spawn("refuser", move || loop {
+            match rx.recv() {
+                Ok(m) => {
+                    if let Some(r) = m.reply {
+                        let _ = r.send_unmetered(response_message(Err(
+                            ServerError::LockTimeout,
+                        )));
+                    }
+                }
+                Err(_) => return,
+            }
+        });
+        let err = call(&k, &tx, tid(), 1, vec![]).unwrap_err();
+        assert_eq!(err, RpcError::Server(ServerError::LockTimeout));
+        k.shutdown();
+        k.join_all();
+    }
+
+    #[test]
+    fn call_to_dead_port_unreachable() {
+        let k = Kernel::new(NodeId(1));
+        let (tx, rx) = k.allocate_port(PortClass::DataServer);
+        drop(rx);
+        assert_eq!(
+            call(&k, &tx, tid(), 1, vec![]).unwrap_err(),
+            RpcError::Unreachable
+        );
+    }
+
+    #[test]
+    fn call_times_out() {
+        let k = Kernel::new(NodeId(1));
+        let (tx, _rx) = k.allocate_port(PortClass::DataServer);
+        let err = call_with_timeout(&k, &tx, tid(), 1, vec![], Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+    }
+
+    #[test]
+    fn remote_class_counts_inter_node_call() {
+        let k = Kernel::new(NodeId(1));
+        let (tx, rx) = k.allocate_port(PortClass::RemoteDataServer);
+        k.spawn("proxy", move || loop {
+            match rx.recv() {
+                Ok(m) => {
+                    if let Some(r) = m.reply {
+                        let _ = r.send_unmetered(response_message(Ok(vec![])));
+                    }
+                }
+                Err(_) => return,
+            }
+        });
+        call(&k, &tx, tid(), 1, vec![]).unwrap();
+        assert_eq!(k.perf().get(PrimitiveOp::InterNodeDataServerCall), 1);
+        assert_eq!(k.perf().get(PrimitiveOp::DataServerCall), 0);
+        k.shutdown();
+        k.join_all();
+    }
+}

@@ -1,0 +1,278 @@
+//! Inter-node wire formats: session frames and datagram envelopes.
+
+use tabs_codec::{decode_seq, encode_seq, Decode, DecodeError, Encode, Reader, Writer};
+use tabs_kernel::{NodeId, ObjectId, PortId};
+
+use crate::commit::CommitMsg;
+use crate::rpc::{Request, ServerError};
+
+/// One frame on a Communication Manager session (remote procedure calls
+/// ride sessions, §3.2.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionFrame {
+    /// A forwarded operation request for a data server on the receiving
+    /// node. The receiving Communication Manager delivers it to
+    /// `target_port` and relays the response.
+    Call {
+        /// Correlates the eventual [`SessionFrame::Reply`].
+        call_id: u64,
+        /// The real (remote) port of the destination data server.
+        target_port: PortId,
+        /// The operation request.
+        request: Request,
+    },
+    /// The response to an earlier [`SessionFrame::Call`].
+    Reply {
+        /// Correlation id from the call.
+        call_id: u64,
+        /// Operation result.
+        result: Result<Vec<u8>, ServerError>,
+    },
+}
+
+impl Encode for SessionFrame {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            SessionFrame::Call { call_id, target_port, request } => {
+                w.put_u8(0);
+                call_id.encode(w);
+                target_port.encode(w);
+                request.encode(w);
+            }
+            SessionFrame::Reply { call_id, result } => {
+                w.put_u8(1);
+                call_id.encode(w);
+                match result {
+                    Ok(v) => {
+                        w.put_u8(0);
+                        v.encode(w);
+                    }
+                    Err(e) => {
+                        w.put_u8(1);
+                        e.encode(w);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Decode for SessionFrame {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(SessionFrame::Call {
+                call_id: u64::decode(r)?,
+                target_port: PortId::decode(r)?,
+                request: Request::decode(r)?,
+            }),
+            1 => {
+                let call_id = u64::decode(r)?;
+                let result = match r.get_u8()? {
+                    0 => Ok(Vec::<u8>::decode(r)?),
+                    1 => Err(ServerError::decode(r)?),
+                    _ => return Err(DecodeError::Invalid("SessionFrame result")),
+                };
+                Ok(SessionFrame::Reply { call_id, result })
+            }
+            _ => Err(DecodeError::Invalid("SessionFrame tag")),
+        }
+    }
+}
+
+/// A name-service entry: `<port, LogicalObjectIdentifier>` plus metadata
+/// (Table 3-3: `Register(Name, Type, Port, ObjectID)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameEntry {
+    /// Registered name.
+    pub name: String,
+    /// Abstract-type name (e.g. "b-tree", "weak-queue").
+    pub type_name: String,
+    /// Port of the data server implementing the object.
+    pub port: PortId,
+    /// Logical object identifier within that server.
+    pub object: ObjectId,
+}
+
+impl Encode for NameEntry {
+    fn encode(&self, w: &mut Writer) {
+        self.name.encode(w);
+        self.type_name.encode(w);
+        self.port.encode(w);
+        self.object.encode(w);
+    }
+}
+
+impl Decode for NameEntry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(NameEntry {
+            name: String::decode(r)?,
+            type_name: String::decode(r)?,
+            port: PortId::decode(r)?,
+            object: ObjectId::decode(r)?,
+        })
+    }
+}
+
+/// Name-service broadcast traffic (§3.2.5: "Whenever the Name Server is
+/// asked about a name it does not recognize, it broadcasts a name lookup
+/// request to all other Name Servers").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NsMsg {
+    /// Broadcast request for `name`; answers go to `reply_to`.
+    LookupRequest {
+        /// Name being resolved.
+        name: String,
+        /// Node that asked.
+        reply_to: NodeId,
+    },
+    /// Positive response with the responder's matching entries.
+    LookupResponse {
+        /// Name resolved.
+        name: String,
+        /// Matching entries on the responding node.
+        entries: Vec<NameEntry>,
+    },
+}
+
+impl Encode for NsMsg {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            NsMsg::LookupRequest { name, reply_to } => {
+                w.put_u8(0);
+                name.encode(w);
+                reply_to.encode(w);
+            }
+            NsMsg::LookupResponse { name, entries } => {
+                w.put_u8(1);
+                name.encode(w);
+                encode_seq(entries, w);
+            }
+        }
+    }
+}
+
+impl Decode for NsMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(NsMsg::LookupRequest {
+                name: String::decode(r)?,
+                reply_to: NodeId::decode(r)?,
+            }),
+            1 => Ok(NsMsg::LookupResponse {
+                name: String::decode(r)?,
+                entries: decode_seq(r)?,
+            }),
+            _ => Err(DecodeError::Invalid("NsMsg tag")),
+        }
+    }
+}
+
+/// Envelope for every inter-node datagram: transaction management or name
+/// service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Datagram {
+    /// Two-phase-commit traffic for the Transaction Manager.
+    Commit(CommitMsg),
+    /// Name-lookup traffic for the Name Server.
+    Ns(NsMsg),
+}
+
+impl Encode for Datagram {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Datagram::Commit(m) => {
+                w.put_u8(0);
+                m.encode(w);
+            }
+            Datagram::Ns(m) => {
+                w.put_u8(1);
+                m.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Datagram {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(Datagram::Commit(CommitMsg::decode(r)?)),
+            1 => Ok(Datagram::Ns(NsMsg::decode(r)?)),
+            _ => Err(DecodeError::Invalid("Datagram tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabs_kernel::Tid;
+    use tabs_kernel::SegmentId;
+
+    fn port() -> PortId {
+        PortId { node: NodeId(2), index: 7 }
+    }
+
+    fn oid() -> ObjectId {
+        ObjectId::new(SegmentId { node: NodeId(2), index: 0 }, 64, 16)
+    }
+
+    #[test]
+    fn session_frames_roundtrip() {
+        let call = SessionFrame::Call {
+            call_id: 12,
+            target_port: port(),
+            request: Request {
+                tid: Tid { node: NodeId(1), incarnation: 1, seq: 3 },
+                opcode: 5,
+                args: vec![1, 2, 3],
+            },
+        };
+        assert_eq!(
+            SessionFrame::decode_all(&call.encode_to_vec()).unwrap(),
+            call
+        );
+        let ok = SessionFrame::Reply { call_id: 12, result: Ok(vec![4]) };
+        assert_eq!(SessionFrame::decode_all(&ok.encode_to_vec()).unwrap(), ok);
+        let err = SessionFrame::Reply {
+            call_id: 13,
+            result: Err(ServerError::LockTimeout),
+        };
+        assert_eq!(SessionFrame::decode_all(&err.encode_to_vec()).unwrap(), err);
+    }
+
+    #[test]
+    fn ns_messages_roundtrip() {
+        let req = NsMsg::LookupRequest { name: "dir".into(), reply_to: NodeId(1) };
+        assert_eq!(NsMsg::decode_all(&req.encode_to_vec()).unwrap(), req);
+        let resp = NsMsg::LookupResponse {
+            name: "dir".into(),
+            entries: vec![NameEntry {
+                name: "dir".into(),
+                type_name: "b-tree".into(),
+                port: port(),
+                object: oid(),
+            }],
+        };
+        assert_eq!(NsMsg::decode_all(&resp.encode_to_vec()).unwrap(), resp);
+    }
+
+    #[test]
+    fn datagram_envelope_roundtrip() {
+        let d = Datagram::Commit(CommitMsg::Prepare {
+            tid: Tid { node: NodeId(1), incarnation: 1, seq: 3 },
+            merged: vec![],
+        });
+        assert_eq!(Datagram::decode_all(&d.encode_to_vec()).unwrap(), d);
+        let d = Datagram::Ns(NsMsg::LookupRequest {
+            name: "x".into(),
+            reply_to: NodeId(9),
+        });
+        assert_eq!(Datagram::decode_all(&d.encode_to_vec()).unwrap(), d);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Datagram::decode_all(&[9, 9, 9]).is_err());
+        assert!(SessionFrame::decode_all(&[]).is_err());
+    }
+}

@@ -1,0 +1,1050 @@
+//! The TABS server library (§3.1.1, Table 3-1).
+//!
+//! Data servers are programmed against this library. It supplies:
+//!
+//! - **Startup**: `InitServer` / `ReadPermanentData` / `RecoverServer` /
+//!   `AcceptRequests` — constructor, segment mapping, recovery-handler
+//!   registration and the request loop.
+//! - **Address arithmetic**: `CreateObjectID` /
+//!   `ConvertObjectIDtoVirtualAddress` — [`OpCtx::create_object_id`] and
+//!   [`OpCtx::object_offset`].
+//! - **Locking**: `LockObject`, `ConditionallyLockObject`,
+//!   `IsObjectLocked`, `LockAndMark`. "All unlocking is done automatically
+//!   by the server library at commit or abort time."
+//! - **Paging control & logging**: `PinObject`, `UnPinObject`,
+//!   `UnPinAllObjects`, `PinAndBuffer`, `LogAndUnPin`,
+//!   `PinAndBufferMarkedObjects`, `LogAndUnPinMarkedObjects` — plus the
+//!   operation-logging primitive the paper lists as future work (§7).
+//! - **Transaction management**: `ExecuteTransaction` runs a procedure in
+//!   a new top-level transaction (used by the I/O server, §4.3).
+//!
+//! **Coroutine model** (§2.1.1/§3.1.1): "Lightweight processes use a
+//! coroutine mechanism embedded within every data server. The server
+//! library treats each incoming request as a separate coroutine
+//! invocation. A coroutine switch is performed only when an operation
+//! waits, e.g., for a lock or for starting a transaction." Here each
+//! request runs on its own thread but *serialized by the server monitor*;
+//! the monitor is released exactly at the paper's wait points, so data
+//! servers enjoy the same monitor semantics the weak queue server relies
+//! on for its unlocked tail pointer (§4.2).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, MutexGuard};
+
+use tabs_kernel::{
+    Kernel, MappedSegment, Message, ObjectId, PortClass, PortId, SegmentId, Tid,
+};
+use tabs_lock::{DeadlockPolicy, LockError, LockManager, StdMode};
+use tabs_proto::{Request, ServerError};
+use tabs_rm::{OperationHandler, RecoveryManager};
+use tabs_tm::{Participant, TransactionManager};
+
+use tabs_codec::Decode;
+
+/// Everything a data server needs from its node.
+#[derive(Clone)]
+pub struct ServerDeps {
+    /// The node's kernel.
+    pub kernel: Kernel,
+    /// The node's Recovery Manager.
+    pub rm: Arc<RecoveryManager>,
+    /// The node's Transaction Manager.
+    pub tm: Arc<TransactionManager>,
+}
+
+/// Configuration for one data server.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Server name (used for Transaction Manager enlistment and threads).
+    pub name: String,
+    /// The recoverable segment holding the server's permanent data.
+    pub segment: SegmentId,
+    /// Lock wait time-out (the paper's deadlock resolution, §2.1.3).
+    pub lock_timeout: Duration,
+    /// Deadlock policy; `Timeout` is the paper's, `Detect` the extension.
+    pub deadlock_policy: DeadlockPolicy,
+}
+
+impl ServerConfig {
+    /// A standard configuration.
+    pub fn new(name: &str, segment: SegmentId) -> Self {
+        Self {
+            name: name.to_string(),
+            segment,
+            lock_timeout: Duration::from_millis(300),
+            deadlock_policy: DeadlockPolicy::Timeout,
+        }
+    }
+
+    /// Overrides the lock wait time-out ("time-outs, which are explicitly
+    /// set by system users", §2.1.3).
+    pub fn with_lock_timeout(mut self, timeout: Duration) -> Self {
+        self.lock_timeout = timeout;
+        self
+    }
+}
+
+type OpRedo = Box<dyn Fn(ObjectId, &[u8]) -> Result<(), String> + Send + Sync>;
+type OpUndo = Box<dyn Fn(ObjectId, &[u8]) -> Result<(), String> + Send + Sync>;
+
+/// Per-transaction server-side bookkeeping.
+#[derive(Default)]
+struct TxCtx {
+    /// Pinned objects (for `UnPinAllObjects` and leak checks).
+    pinned: Vec<ObjectId>,
+    /// Old images captured by `PinAndBuffer`, awaiting `LogAndUnPin`.
+    buffered: HashMap<ObjectId, Vec<u8>>,
+    /// The `LockAndMark` "to be modified" queue.
+    marked: Vec<ObjectId>,
+    /// Whether the transaction performed updates here (drives the
+    /// read-only commit optimization).
+    updates: bool,
+}
+
+struct ServerInner {
+    name: String,
+    kernel: Kernel,
+    rm: Arc<RecoveryManager>,
+    tm: Arc<TransactionManager>,
+    locks: Arc<LockManager<StdMode>>,
+    segment: MappedSegment,
+    seg_id: SegmentId,
+    lock_timeout: Duration,
+    /// The coroutine monitor: at most one request body runs at a time.
+    monitor: Mutex<()>,
+    tx: Mutex<HashMap<Tid, TxCtx>>,
+    ops: Mutex<HashMap<String, (OpRedo, OpUndo)>>,
+    accepting: AtomicBool,
+}
+
+/// One data server built on the server library.
+#[derive(Clone)]
+pub struct DataServer {
+    inner: Arc<ServerInner>,
+    port: PortId,
+    send: tabs_kernel::SendRight,
+    rx: Arc<Mutex<Option<tabs_kernel::ReceiveRight>>>,
+}
+
+impl std::fmt::Debug for DataServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataServer")
+            .field("name", &self.inner.name)
+            .field("port", &self.port)
+            .finish()
+    }
+}
+
+/// The dispatch function a server supplies to `AcceptRequests`.
+pub type Dispatch =
+    Arc<dyn Fn(&OpCtx<'_>, u32, &[u8]) -> Result<Vec<u8>, ServerError> + Send + Sync>;
+
+impl DataServer {
+    /// `InitServer` + `ReadPermanentData`: creates the server, maps its
+    /// recoverable segment, allocates its request port, and registers its
+    /// recovery handler with the Recovery Manager (`RecoverServer`).
+    ///
+    /// The segment must already be registered with the node's buffer pool.
+    pub fn new(deps: &ServerDeps, config: ServerConfig) -> Result<Self, ServerError> {
+        let segment = MappedSegment::new(Arc::clone(deps.rm.pool()), config.segment)
+            .map_err(|e| ServerError::Storage(e.to_string()))?;
+        let (send, rx) = deps.kernel.allocate_port(PortClass::DataServer);
+        let inner = Arc::new(ServerInner {
+            name: config.name,
+            kernel: deps.kernel.clone(),
+            rm: Arc::clone(&deps.rm),
+            tm: Arc::clone(&deps.tm),
+            locks: LockManager::shared(config.deadlock_policy),
+            segment,
+            seg_id: config.segment,
+            lock_timeout: config.lock_timeout,
+            monitor: Mutex::new(()),
+            tx: Mutex::new(HashMap::new()),
+            ops: Mutex::new(HashMap::new()),
+            accepting: AtomicBool::new(false),
+        });
+        // `RecoverServer`: the Recovery Manager dispatches this server's
+        // operation-logged records (and in-doubt relocks) through us.
+        deps.rm
+            .register_handler(config.segment, Arc::new(ServerRecovery { inner: Arc::clone(&inner) }));
+        Ok(DataServer {
+            port: send.id(),
+            send,
+            inner,
+            rx: Arc::new(Mutex::new(Some(rx))),
+        })
+    }
+
+    /// The server's request port (register it with the Name Server).
+    pub fn port_id(&self) -> PortId {
+        self.port
+    }
+
+    /// A send right to this server (local callers).
+    pub fn send_right(&self) -> tabs_kernel::SendRight {
+        self.send.clone()
+    }
+
+    /// The server's name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The mapped recoverable segment, for initialization-time access
+    /// before requests are accepted.
+    pub fn segment(&self) -> &MappedSegment {
+        &self.inner.segment
+    }
+
+    /// The server's lock manager (exposed for tests and tools).
+    pub fn locks(&self) -> &Arc<LockManager<StdMode>> {
+        &self.inner.locks
+    }
+
+    /// Registers redo/undo functions for an operation-logged operation
+    /// (the operation-logging primitives of §7's future-work list).
+    pub fn register_operation(
+        &self,
+        name: &str,
+        redo: impl Fn(ObjectId, &[u8]) -> Result<(), String> + Send + Sync + 'static,
+        undo: impl Fn(ObjectId, &[u8]) -> Result<(), String> + Send + Sync + 'static,
+    ) {
+        self.inner
+            .ops
+            .lock()
+            .insert(name.to_string(), (Box::new(redo), Box::new(undo)));
+    }
+
+    /// `AcceptRequests`: starts the request loop. Each incoming request
+    /// becomes a coroutine invocation serialized by the server monitor.
+    pub fn accept_requests(&self, dispatch: Dispatch) {
+        let rx = self
+            .rx
+            .lock()
+            .take()
+            .expect("accept_requests called twice");
+        let inner = Arc::clone(&self.inner);
+        inner.accepting.store(true, Ordering::Release);
+        let participant: Arc<dyn Participant> =
+            Arc::new(ServerParticipant { inner: Arc::clone(&self.inner) });
+        self.inner.kernel.spawn(&format!("ds-{}", self.inner.name), move || loop {
+            match rx.recv() {
+                Ok(msg) => {
+                    let inner = Arc::clone(&inner);
+                    let dispatch = Arc::clone(&dispatch);
+                    let participant = Arc::clone(&participant);
+                    // A new coroutine for this request (§3.1.1). The OS
+                    // thread is the stack; the monitor provides coroutine
+                    // semantics.
+                    std::thread::spawn(move || {
+                        ServerInner::serve_one(inner, dispatch, participant, msg);
+                    });
+                }
+                Err(_) => return,
+            }
+        });
+    }
+}
+
+impl ServerInner {
+    fn serve_one(
+        inner: Arc<ServerInner>,
+        dispatch: Dispatch,
+        participant: Arc<dyn Participant>,
+        msg: Message,
+    ) {
+        let reply = msg.reply;
+        let req = match Request::decode_all(&msg.body) {
+            Ok(r) => r,
+            Err(e) => {
+                if let Some(r) = reply {
+                    let _ = r.send_unmetered(tabs_proto::rpc::response_message(Err(
+                        ServerError::BadRequest(e.to_string()),
+                    )));
+                }
+                return;
+            }
+        };
+        // TransactionIsAborted: refuse work for aborted transactions.
+        if !req.tid.is_null() && inner.tm.is_aborted(req.tid) {
+            if let Some(r) = reply {
+                let _ = r.send_unmetered(tabs_proto::rpc::response_message(Err(
+                    ServerError::Aborted(format!("{}", req.tid)),
+                )));
+            }
+            return;
+        }
+        // Enlist with the Transaction Manager on first contact (§3.2.3).
+        if !req.tid.is_null() {
+            let mut tx = inner.tx.lock();
+            if !tx.contains_key(&req.tid) {
+                tx.insert(req.tid, TxCtx::default());
+                drop(tx);
+                inner
+                    .tm
+                    .enlist(req.tid, &inner.name, Arc::clone(&participant));
+            }
+        }
+        // Enter the monitor: the coroutine runs.
+        let guard = inner.monitor.lock();
+        let ctx = OpCtx {
+            server: &inner,
+            tid: req.tid,
+            guard: RefCell::new(Some(guard)),
+        };
+        let result = dispatch(&ctx, req.opcode, &req.args);
+        drop(ctx);
+        if let Some(r) = reply {
+            let _ = r.send_unmetered(tabs_proto::rpc::response_message(result));
+        }
+    }
+
+    fn tx_updates(&self, tid: Tid) -> bool {
+        self.tx.lock().get(&tid).map(|c| c.updates).unwrap_or(false)
+    }
+}
+
+/// The Transaction Manager's participant hooks for a library server.
+struct ServerParticipant {
+    inner: Arc<ServerInner>,
+}
+
+impl Participant for ServerParticipant {
+    fn prepare(&self, tid: Tid) -> Result<bool, String> {
+        // The checkpoint protocol requires no pins survive an operation;
+        // a transaction that leaked pins is refused (programming error).
+        let tx = self.inner.tx.lock();
+        if let Some(ctx) = tx.get(&tid) {
+            if !ctx.pinned.is_empty() {
+                return Err(format!(
+                    "transaction {tid} left {} objects pinned",
+                    ctx.pinned.len()
+                ));
+            }
+            if !ctx.buffered.is_empty() {
+                return Err(format!("transaction {tid} has unlogged buffered objects"));
+            }
+            Ok(ctx.updates)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn finish(&self, tid: Tid, _committed: bool) {
+        // "All unlocking is done automatically by the server library at
+        // commit or abort time" (§3.1.1). Undo itself was already applied
+        // by the Recovery Manager on the abort path.
+        self.inner.locks.release_all(tid);
+        self.inner.tx.lock().remove(&tid);
+    }
+
+    fn commit_subtransaction(&self, child: Tid, parent: Tid) {
+        self.inner.locks.transfer(child, parent);
+        let mut tx = self.inner.tx.lock();
+        let child_ctx = tx.remove(&child);
+        if let Some(cc) = child_ctx {
+            let pc = tx.entry(parent).or_default();
+            pc.updates |= cc.updates;
+            pc.pinned.extend(cc.pinned);
+        }
+    }
+}
+
+/// The Recovery Manager's dispatch into this server for operation-logged
+/// records and in-doubt relocking.
+struct ServerRecovery {
+    inner: Arc<ServerInner>,
+}
+
+impl OperationHandler for ServerRecovery {
+    fn redo(&self, object: ObjectId, name: &str, redo: &[u8]) -> Result<(), String> {
+        let ops = self.inner.ops.lock();
+        let (redo_fn, _) = ops.get(name).ok_or_else(|| format!("unknown op {name}"))?;
+        redo_fn(object, redo)
+    }
+
+    fn undo(&self, object: ObjectId, name: &str, undo: &[u8]) -> Result<(), String> {
+        let ops = self.inner.ops.lock();
+        let (_, undo_fn) = ops.get(name).ok_or_else(|| format!("unknown op {name}"))?;
+        undo_fn(object, undo)
+    }
+
+    fn relock(&self, tid: Tid, object: ObjectId) {
+        // Recovery runs before requests are accepted: no contention.
+        let _ = self.inner.locks.try_lock(tid, object, StdMode::Exclusive);
+    }
+}
+
+/// The per-request context handed to dispatch functions: the server
+/// library interface of Table 3-1 plus the segment view.
+pub struct OpCtx<'a> {
+    server: &'a Arc<ServerInner>,
+    /// The requesting transaction.
+    pub tid: Tid,
+    guard: RefCell<Option<MutexGuard<'a, ()>>>,
+}
+
+impl<'a> OpCtx<'a> {
+    /// Runs `f` with the server monitor released — the coroutine switch at
+    /// a wait point.
+    fn coroutine_wait<R>(&self, f: impl FnOnce() -> R) -> R {
+        let held = self.guard.borrow_mut().take();
+        drop(held);
+        let r = f();
+        *self.guard.borrow_mut() = Some(self.server.monitor.lock());
+        r
+    }
+
+    // ---- Address arithmetic ----
+
+    /// `CreateObjectID(VirtualAddress, Length)`: an object identifier for
+    /// `len` bytes at byte offset `offset` of the recoverable segment.
+    pub fn create_object_id(&self, offset: u64, len: u32) -> ObjectId {
+        ObjectId::new(self.server.seg_id, offset, len)
+    }
+
+    /// `ConvertObjectIDtoVirtualAddress`: the byte offset back out.
+    pub fn object_offset(&self, object: ObjectId) -> u64 {
+        object.offset
+    }
+
+    // ---- Locking ----
+
+    /// `LockObject`: acquires `mode`, waiting (with the server's time-out)
+    /// if unavailable; the monitor is released while waiting.
+    pub fn lock_object(&self, object: ObjectId, mode: StdMode) -> Result<(), ServerError> {
+        if self.server.locks.try_lock(self.tid, object, mode) {
+            return Ok(());
+        }
+        let timeout = self.server.lock_timeout;
+        let locks = Arc::clone(&self.server.locks);
+        let tid = self.tid;
+        self.coroutine_wait(move || locks.lock(tid, object, mode, timeout))
+            .map_err(|e| match e {
+                LockError::Timeout(_) => ServerError::LockTimeout,
+                LockError::Deadlock(_) => ServerError::Deadlock,
+            })
+    }
+
+    /// `ConditionallyLockObject`: acquires only if immediately available.
+    pub fn conditionally_lock_object(&self, object: ObjectId, mode: StdMode) -> bool {
+        self.server.locks.try_lock(self.tid, object, mode)
+    }
+
+    /// `IsObjectLocked`: whether any transaction holds a lock on `object`.
+    pub fn is_object_locked(&self, object: ObjectId) -> bool {
+        self.server.locks.is_locked(object)
+    }
+
+    // ---- Paging control ----
+
+    fn pool(&self) -> Arc<tabs_kernel::BufferPool> {
+        Arc::clone(self.server.segment.pool())
+    }
+
+    /// `PinObject`: prevents the object's pages from being paged out.
+    pub fn pin_object(&self, object: ObjectId) -> Result<(), ServerError> {
+        let pool = self.pool();
+        for page in object.pages() {
+            pool.pin(page)
+                .map_err(|e| ServerError::Storage(e.to_string()))?;
+        }
+        self.server
+            .tx
+            .lock()
+            .entry(self.tid)
+            .or_default()
+            .pinned
+            .push(object);
+        Ok(())
+    }
+
+    /// `UnPinObject`.
+    pub fn unpin_object(&self, object: ObjectId) -> Result<(), ServerError> {
+        let pool = self.pool();
+        for page in object.pages() {
+            pool.unpin(page)
+                .map_err(|e| ServerError::Storage(e.to_string()))?;
+        }
+        if let Some(ctx) = self.server.tx.lock().get_mut(&self.tid) {
+            if let Some(i) = ctx.pinned.iter().position(|o| *o == object) {
+                ctx.pinned.remove(i);
+            }
+        }
+        Ok(())
+    }
+
+    /// `UnPinAllObjects`.
+    pub fn unpin_all_objects(&self) -> Result<(), ServerError> {
+        let pinned: Vec<ObjectId> = self
+            .server
+            .tx
+            .lock()
+            .get_mut(&self.tid)
+            .map(|c| std::mem::take(&mut c.pinned))
+            .unwrap_or_default();
+        let pool = self.pool();
+        for object in pinned {
+            for page in object.pages() {
+                pool.unpin(page)
+                    .map_err(|e| ServerError::Storage(e.to_string()))?;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- Data access ----
+
+    /// Reads the object's current bytes.
+    pub fn read_object(&self, object: ObjectId) -> Result<Vec<u8>, ServerError> {
+        self.server
+            .segment
+            .read_vec(object.offset, object.len as usize)
+            .map_err(|e| ServerError::Storage(e.to_string()))
+    }
+
+    /// Writes bytes *without* logging. For volatile-reconstructible data
+    /// only (e.g. the weak queue's tail pointer, §4.2) — not failure
+    /// atomic.
+    pub fn write_raw(&self, object: ObjectId, data: &[u8]) -> Result<(), ServerError> {
+        if data.len() != object.len as usize {
+            return Err(ServerError::BadRequest("size mismatch".into()));
+        }
+        self.server
+            .segment
+            .write(object.offset, data)
+            .map_err(|e| ServerError::Storage(e.to_string()))
+    }
+
+    /// The mapped segment, for richer typed access.
+    pub fn segment(&self) -> &MappedSegment {
+        &self.server.segment
+    }
+
+    // ---- Logging (value) ----
+
+    /// `PinAndBuffer`: pins the object and copies its existing (old) value
+    /// into a buffer in anticipation of a modification.
+    pub fn pin_and_buffer(&self, object: ObjectId) -> Result<(), ServerError> {
+        self.pin_object(object)?;
+        let old = self.read_object(object)?;
+        self.server
+            .tx
+            .lock()
+            .entry(self.tid)
+            .or_default()
+            .buffered
+            .insert(object, old);
+        Ok(())
+    }
+
+    /// `LogAndUnPin`: sends the buffered old value and the existing (new)
+    /// value to the Recovery Manager, then unpins the object.
+    pub fn log_and_unpin(&self, object: ObjectId) -> Result<(), ServerError> {
+        let old = self
+            .server
+            .tx
+            .lock()
+            .get_mut(&self.tid)
+            .and_then(|c| c.buffered.remove(&object))
+            .ok_or_else(|| ServerError::BadRequest("object was not buffered".into()))?;
+        let new = self.read_object(object)?;
+        self.server
+            .rm
+            .log_value_update(self.tid, object, old, new);
+        self.server
+            .tx
+            .lock()
+            .entry(self.tid)
+            .or_default()
+            .updates = true;
+        self.unpin_object(object)
+    }
+
+    // ---- Locking + logging batches (the B-tree path, §4.4) ----
+
+    /// `LockAndMark`: locks the object and enqueues it on the
+    /// "to be modified" queue.
+    pub fn lock_and_mark(&self, object: ObjectId, mode: StdMode) -> Result<(), ServerError> {
+        self.lock_object(object, mode)?;
+        self.server
+            .tx
+            .lock()
+            .entry(self.tid)
+            .or_default()
+            .marked
+            .push(object);
+        Ok(())
+    }
+
+    /// `PinAndBufferMarkedObjects`: pins every marked object and buffers
+    /// its current (old) value.
+    pub fn pin_and_buffer_marked_objects(&self) -> Result<(), ServerError> {
+        let marked: Vec<ObjectId> = self
+            .server
+            .tx
+            .lock()
+            .get(&self.tid)
+            .map(|c| c.marked.clone())
+            .unwrap_or_default();
+        for object in marked {
+            if !self
+                .server
+                .tx
+                .lock()
+                .get(&self.tid)
+                .map(|c| c.buffered.contains_key(&object))
+                .unwrap_or(false)
+            {
+                self.pin_and_buffer(object)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// `LogAndUnPinMarkedObjects`: logs old/new for every marked object,
+    /// unpins them all, and clears the queue.
+    pub fn log_and_unpin_marked_objects(&self) -> Result<(), ServerError> {
+        let marked: Vec<ObjectId> = self
+            .server
+            .tx
+            .lock()
+            .get_mut(&self.tid)
+            .map(|c| std::mem::take(&mut c.marked))
+            .unwrap_or_default();
+        for object in marked {
+            let buffered = self
+                .server
+                .tx
+                .lock()
+                .get(&self.tid)
+                .map(|c| c.buffered.contains_key(&object))
+                .unwrap_or(false);
+            if buffered {
+                self.log_and_unpin(object)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- Logging (operation) ----
+
+    /// Spools an operation-logging record for a registered operation. The
+    /// caller has already applied the operation to the mapped segment.
+    pub fn log_operation(
+        &self,
+        object: ObjectId,
+        name: &str,
+        undo_args: Vec<u8>,
+        redo_args: Vec<u8>,
+    ) -> Result<(), ServerError> {
+        if !self.server.ops.lock().contains_key(name) {
+            return Err(ServerError::BadRequest(format!(
+                "operation {name} not registered"
+            )));
+        }
+        self.server
+            .rm
+            .log_operation(self.tid, object, name, undo_args, redo_args);
+        self.server
+            .tx
+            .lock()
+            .entry(self.tid)
+            .or_default()
+            .updates = true;
+        Ok(())
+    }
+
+    // ---- Transaction management ----
+
+    /// `ExecuteTransaction`: runs `f` within a new top-level transaction
+    /// (used by servers that must commit effects independently of the
+    /// client's transaction, like the I/O server, §4.3). Starting a
+    /// transaction is a wait point: the monitor is released around the
+    /// begin/commit exchanges.
+    pub fn execute_transaction(
+        &self,
+        f: impl FnOnce(&OpCtx<'a>) -> Result<Vec<u8>, ServerError>,
+    ) -> Result<Vec<u8>, ServerError> {
+        let tm = Arc::clone(&self.server.tm);
+        let new_tid = self
+            .coroutine_wait(|| tm.begin(Tid::NULL))
+            .map_err(|e| ServerError::Other(e.to_string()))?;
+        // Enlist ourselves so commit reaches this server's participant.
+        {
+            let mut tx = self.server.tx.lock();
+            tx.entry(new_tid).or_default();
+        }
+        let participant: Arc<dyn Participant> =
+            Arc::new(ServerParticipant { inner: Arc::clone(self.server) });
+        tm.enlist(new_tid, &self.server.name, participant);
+        let sub_ctx = OpCtx {
+            server: self.server,
+            tid: new_tid,
+            guard: RefCell::new(self.guard.borrow_mut().take()),
+        };
+        let result = f(&sub_ctx);
+        // Return the monitor guard to the outer context.
+        *self.guard.borrow_mut() = sub_ctx.guard.borrow_mut().take();
+        drop(sub_ctx);
+        match &result {
+            Ok(_) => {
+                let committed = self
+                    .coroutine_wait(|| tm.end(new_tid))
+                    .map_err(|e| ServerError::Other(e.to_string()))?;
+                if !committed {
+                    return Err(ServerError::Aborted(format!("{new_tid}")));
+                }
+            }
+            Err(_) => {
+                let _ = self.coroutine_wait(|| tm.abort(new_tid));
+            }
+        }
+        result
+    }
+
+    /// Whether the current transaction performed updates on this server.
+    pub fn has_updates(&self) -> bool {
+        self.server.tx_updates(self.tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tabs_kernel::{BufferPool, MemDisk, NodeId, PerfCounters, SegmentSpec};
+    use tabs_wal::{LogManager, MemLogDevice};
+
+    // A tiny rig: one node's kernel/rm/tm plus one data server exposing a
+    // u64-cell interface (opcode 1 = get(idx), opcode 2 = set(idx, val)).
+
+    struct Rig {
+        deps: ServerDeps,
+        pool: Arc<BufferPool>,
+    }
+
+    fn seg() -> SegmentId {
+        SegmentId { node: NodeId(1), index: 0 }
+    }
+
+    fn rig() -> Rig {
+        let kernel = Kernel::new(NodeId(1));
+        let perf = Arc::clone(kernel.perf());
+        let pool = BufferPool::new(32, Arc::clone(&perf));
+        pool.register_segment(SegmentSpec {
+            id: seg(),
+            name: "cells".into(),
+            disk: MemDisk::new(64),
+            base_sector: 0,
+            pages: 64,
+        })
+        .unwrap();
+        let log = LogManager::open(MemLogDevice::new(1 << 20), Arc::clone(&perf)).unwrap();
+        let rm = RecoveryManager::new(NodeId(1), log, Arc::clone(&pool), perf);
+        pool.set_gate(rm.gate());
+        let tm = TransactionManager::new(
+            NodeId(1),
+            1,
+            Arc::clone(&rm),
+            PerfCounters::new(),
+        );
+        Rig { deps: ServerDeps { kernel, rm, tm }, pool }
+    }
+
+    fn cell_dispatch() -> Dispatch {
+        Arc::new(|ctx, opcode, args| {
+            let idx = u64::from_le_bytes(args[..8].try_into().unwrap());
+            let obj = ctx.create_object_id(idx * 8, 8);
+            match opcode {
+                1 => {
+                    ctx.lock_object(obj, StdMode::Shared)?;
+                    ctx.read_object(obj)
+                }
+                2 => {
+                    let val = &args[8..16];
+                    ctx.lock_object(obj, StdMode::Exclusive)?;
+                    ctx.pin_and_buffer(obj)?;
+                    ctx.write_raw(obj, val)?;
+                    ctx.log_and_unpin(obj)?;
+                    Ok(vec![])
+                }
+                _ => Err(ServerError::BadRequest("opcode".into())),
+            }
+        })
+    }
+
+    fn start_cell_server(r: &Rig) -> DataServer {
+        let ds = DataServer::new(&r.deps, ServerConfig::new("cells", seg())).unwrap();
+        ds.accept_requests(cell_dispatch());
+        ds
+    }
+
+    fn get(r: &Rig, ds: &DataServer, tid: Tid, idx: u64) -> Result<u64, tabs_proto::RpcError> {
+        let out = tabs_proto::call(
+            &r.deps.kernel,
+            &ds.send_right(),
+            tid,
+            1,
+            idx.to_le_bytes().to_vec(),
+        )?;
+        Ok(u64::from_le_bytes(out[..8].try_into().unwrap()))
+    }
+
+    fn set(
+        r: &Rig,
+        ds: &DataServer,
+        tid: Tid,
+        idx: u64,
+        val: u64,
+    ) -> Result<(), tabs_proto::RpcError> {
+        let mut args = idx.to_le_bytes().to_vec();
+        args.extend_from_slice(&val.to_le_bytes());
+        tabs_proto::call(&r.deps.kernel, &ds.send_right(), tid, 2, args)?;
+        Ok(())
+    }
+
+    #[test]
+    fn set_get_commit_cycle() {
+        let r = rig();
+        let ds = start_cell_server(&r);
+        let t = r.deps.tm.begin(Tid::NULL).unwrap();
+        set(&r, &ds, t, 3, 42).unwrap();
+        assert_eq!(get(&r, &ds, t, 3).unwrap(), 42);
+        assert!(r.deps.tm.end(t).unwrap());
+        // Locks were released automatically at commit.
+        assert_eq!(ds.locks().locked_object_count(), 0);
+        // A fresh transaction sees the committed value.
+        let t2 = r.deps.tm.begin(Tid::NULL).unwrap();
+        assert_eq!(get(&r, &ds, t2, 3).unwrap(), 42);
+        r.deps.tm.end(t2).unwrap();
+        r.deps.kernel.shutdown();
+        r.deps.kernel.join_all();
+    }
+
+    #[test]
+    fn abort_restores_old_value_and_releases_locks() {
+        let r = rig();
+        let ds = start_cell_server(&r);
+        let t0 = r.deps.tm.begin(Tid::NULL).unwrap();
+        set(&r, &ds, t0, 1, 10).unwrap();
+        assert!(r.deps.tm.end(t0).unwrap());
+
+        let t = r.deps.tm.begin(Tid::NULL).unwrap();
+        set(&r, &ds, t, 1, 99).unwrap();
+        r.deps.tm.abort(t).unwrap();
+        assert_eq!(ds.locks().locked_object_count(), 0);
+        let t2 = r.deps.tm.begin(Tid::NULL).unwrap();
+        assert_eq!(get(&r, &ds, t2, 1).unwrap(), 10, "undo restored the value");
+        r.deps.kernel.shutdown();
+        r.deps.kernel.join_all();
+    }
+
+    #[test]
+    fn write_conflict_times_out() {
+        let r = rig();
+        let ds = start_cell_server(&r);
+        let t1 = r.deps.tm.begin(Tid::NULL).unwrap();
+        set(&r, &ds, t1, 2, 5).unwrap();
+        let t2 = r.deps.tm.begin(Tid::NULL).unwrap();
+        let err = set(&r, &ds, t2, 2, 6).unwrap_err();
+        assert_eq!(
+            err,
+            tabs_proto::RpcError::Server(ServerError::LockTimeout)
+        );
+        r.deps.tm.abort(t1).unwrap();
+        r.deps.tm.abort(t2).unwrap();
+        r.deps.kernel.shutdown();
+        r.deps.kernel.join_all();
+    }
+
+    #[test]
+    fn shared_readers_coexist_via_monitor_release() {
+        // Two concurrent reads of the same cell under different
+        // transactions: the monitor serializes bodies but shared locks let
+        // both complete.
+        let r = rig();
+        let ds = start_cell_server(&r);
+        let t1 = r.deps.tm.begin(Tid::NULL).unwrap();
+        let t2 = r.deps.tm.begin(Tid::NULL).unwrap();
+        assert_eq!(get(&r, &ds, t1, 0).unwrap(), 0);
+        assert_eq!(get(&r, &ds, t2, 0).unwrap(), 0);
+        r.deps.tm.end(t1).unwrap();
+        r.deps.tm.end(t2).unwrap();
+        r.deps.kernel.shutdown();
+        r.deps.kernel.join_all();
+    }
+
+    #[test]
+    fn writer_waits_for_reader_then_proceeds() {
+        let r = rig();
+        let ds = start_cell_server(&r);
+        let t1 = r.deps.tm.begin(Tid::NULL).unwrap();
+        assert_eq!(get(&r, &ds, t1, 4).unwrap(), 0); // shared lock held
+        // Writer in another thread blocks (monitor released during wait!).
+        let r2 = Rig { deps: r.deps.clone(), pool: Arc::clone(&r.pool) };
+        let ds2 = ds.clone();
+        let t2 = r.deps.tm.begin(Tid::NULL).unwrap();
+        let h = std::thread::spawn(move || set(&r2, &ds2, t2, 4, 7));
+        std::thread::sleep(Duration::from_millis(50));
+        // The reader can still use the server while the writer waits —
+        // proof the monitor was released at the lock wait point.
+        assert_eq!(get(&r, &ds, t1, 5).unwrap(), 0);
+        // Commit the reader; the writer acquires and finishes.
+        assert!(r.deps.tm.end(t1).unwrap());
+        h.join().unwrap().unwrap();
+        assert!(r.deps.tm.end(t2).unwrap());
+        r.deps.kernel.shutdown();
+        r.deps.kernel.join_all();
+    }
+
+    #[test]
+    fn crash_recovery_through_server_library() {
+        // Commit one value, leave another uncommitted, crash, recover.
+        let r = rig();
+        let ds = start_cell_server(&r);
+        let t1 = r.deps.tm.begin(Tid::NULL).unwrap();
+        set(&r, &ds, t1, 0, 77).unwrap();
+        assert!(r.deps.tm.end(t1).unwrap());
+        let t2 = r.deps.tm.begin(Tid::NULL).unwrap();
+        set(&r, &ds, t2, 1, 88).unwrap(); // never committed
+        r.deps.rm.force(None).unwrap();
+
+        // Crash: volatile state vanishes.
+        r.pool.invalidate_volatile();
+        let report = r.deps.rm.recover().unwrap();
+        assert!(report.committed.contains(&t1));
+        assert!(report.aborted.contains(&t2));
+        let seg_map = ds.segment();
+        assert_eq!(seg_map.read_u64(0).unwrap(), 77);
+        assert_eq!(seg_map.read_u64(8).unwrap(), 0);
+        r.deps.kernel.shutdown();
+        r.deps.kernel.join_all();
+    }
+
+    #[test]
+    fn marked_objects_batch() {
+        let r = rig();
+        let ds = DataServer::new(&r.deps, ServerConfig::new("batch", seg())).unwrap();
+        ds.accept_requests(Arc::new(|ctx, opcode, _args| {
+            match opcode {
+                // Update three cells with the LockAndMark protocol: all
+                // locks first, then pin/buffer, modify, log/unpin.
+                1 => {
+                    let objs: Vec<ObjectId> =
+                        (0..3).map(|i| ctx.create_object_id(i * 8, 8)).collect();
+                    for o in &objs {
+                        ctx.lock_and_mark(*o, StdMode::Exclusive)?;
+                    }
+                    ctx.pin_and_buffer_marked_objects()?;
+                    for (i, o) in objs.iter().enumerate() {
+                        ctx.write_raw(*o, &(100 + i as u64).to_le_bytes())?;
+                    }
+                    ctx.log_and_unpin_marked_objects()?;
+                    Ok(vec![])
+                }
+                _ => Err(ServerError::BadRequest("opcode".into())),
+            }
+        }));
+        let t = r.deps.tm.begin(Tid::NULL).unwrap();
+        tabs_proto::call(&r.deps.kernel, &ds.send_right(), t, 1, vec![]).unwrap();
+        assert!(r.deps.tm.end(t).unwrap());
+        assert_eq!(ds.segment().read_u64(0).unwrap(), 100);
+        assert_eq!(ds.segment().read_u64(8).unwrap(), 101);
+        assert_eq!(ds.segment().read_u64(16).unwrap(), 102);
+        // No pins leaked.
+        assert!(!r.pool.is_pinned(tabs_kernel::PageId {
+            segment: seg(),
+            page: 0
+        }));
+        r.deps.kernel.shutdown();
+        r.deps.kernel.join_all();
+    }
+
+    #[test]
+    fn execute_transaction_commits_independently() {
+        let r = rig();
+        let ds = DataServer::new(&r.deps, ServerConfig::new("io", seg())).unwrap();
+        ds.accept_requests(Arc::new(|ctx, opcode, _args| match opcode {
+            1 => {
+                // Record output under a server-owned top-level transaction
+                // (the I/O server pattern, §4.3).
+                ctx.execute_transaction(|inner| {
+                    let obj = inner.create_object_id(0, 8);
+                    inner.lock_object(obj, StdMode::Exclusive)?;
+                    inner.pin_and_buffer(obj)?;
+                    inner.write_raw(obj, &555u64.to_le_bytes())?;
+                    inner.log_and_unpin(obj)?;
+                    Ok(vec![])
+                })
+            }
+            _ => Err(ServerError::BadRequest("opcode".into())),
+        }));
+        let t = r.deps.tm.begin(Tid::NULL).unwrap();
+        tabs_proto::call(&r.deps.kernel, &ds.send_right(), t, 1, vec![]).unwrap();
+        // Abort the *client* transaction: the ExecuteTransaction effect
+        // survives because it committed under its own top-level tid.
+        r.deps.tm.abort(t).unwrap();
+        assert_eq!(ds.segment().read_u64(0).unwrap(), 555);
+        r.deps.kernel.shutdown();
+        r.deps.kernel.join_all();
+    }
+
+    #[test]
+    fn subtransaction_lock_transfer_through_participant() {
+        let r = rig();
+        let ds = start_cell_server(&r);
+        let top = r.deps.tm.begin(Tid::NULL).unwrap();
+        let sub = r.deps.tm.begin(top).unwrap();
+        set(&r, &ds, sub, 6, 60).unwrap();
+        // Child commits into parent: its exclusive lock transfers.
+        assert!(r.deps.tm.end(sub).unwrap());
+        let obj = ObjectId::new(seg(), 48, 8);
+        assert!(ds.locks().holds(top, obj));
+        assert!(!ds.locks().holds(sub, obj));
+        assert!(r.deps.tm.end(top).unwrap());
+        let t2 = r.deps.tm.begin(Tid::NULL).unwrap();
+        assert_eq!(get(&r, &ds, t2, 6).unwrap(), 60);
+        r.deps.kernel.shutdown();
+        r.deps.kernel.join_all();
+    }
+
+    #[test]
+    fn aborted_transaction_refused_service() {
+        let r = rig();
+        let ds = start_cell_server(&r);
+        let t = r.deps.tm.begin(Tid::NULL).unwrap();
+        set(&r, &ds, t, 0, 1).unwrap();
+        r.deps.tm.abort(t).unwrap();
+        let err = set(&r, &ds, t, 0, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            tabs_proto::RpcError::Server(ServerError::Aborted(_))
+        ));
+        r.deps.kernel.shutdown();
+        r.deps.kernel.join_all();
+    }
+
+    #[test]
+    fn pin_leak_fails_prepare() {
+        let r = rig();
+        let ds = DataServer::new(&r.deps, ServerConfig::new("leaky", seg())).unwrap();
+        ds.accept_requests(Arc::new(|ctx, _opcode, _args| {
+            let obj = ctx.create_object_id(0, 8);
+            ctx.lock_object(obj, StdMode::Exclusive)?;
+            ctx.pin_object(obj)?; // leaked on purpose
+            Ok(vec![])
+        }));
+        let t = r.deps.tm.begin(Tid::NULL).unwrap();
+        tabs_proto::call(&r.deps.kernel, &ds.send_right(), t, 1, vec![]).unwrap();
+        // Prepare refuses; the transaction aborts.
+        assert!(!r.deps.tm.end(t).unwrap());
+        r.deps.kernel.shutdown();
+        r.deps.kernel.join_all();
+    }
+}

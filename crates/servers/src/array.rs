@@ -1,0 +1,294 @@
+//! The integer array server (§4.1).
+//!
+//! "The integer array server maintains an array of (one word) integers,
+//! and provides the following abstract operations:
+//! `GetCell(cellNum) : integer` and `SetCell(cellNum, value)`. … The
+//! integer array server is a very straightforward data server; it uses
+//! only the two-phase locking, value logging techniques found in many
+//! transaction-based systems."
+//!
+//! It is also the object under test in every §5 benchmark: the read and
+//! write benchmarks operate on recoverable arrays of various sizes,
+//! sequentially or at random, locally or across nodes.
+
+use std::sync::Arc;
+
+use tabs_codec::{Decode, Encode, Reader, Writer};
+use tabs_core::{AppHandle, Node, ObjectId};
+use tabs_kernel::{SendRight, Tid};
+use tabs_lock::StdMode;
+use tabs_proto::ServerError;
+use tabs_server_lib::{DataServer, ServerConfig};
+
+/// `GetCell` opcode.
+pub const OP_GET: u32 = 1;
+/// `SetCell` opcode.
+pub const OP_SET: u32 = 2;
+/// `AddToCell` opcode: atomic read-modify-write under one exclusive lock
+/// (avoids the shared-to-exclusive upgrade deadlock a Get-then-Set pair
+/// invites).
+pub const OP_ADD: u32 = 3;
+
+/// Bytes per cell (one word).
+const CELL: u64 = 8;
+
+fn cell_object(ctx: &tabs_server_lib::OpCtx<'_>, cell: u64) -> ObjectId {
+    // "the virtual address of a cell is obtained by adding the proper
+    // offset to the base of the recoverable segment."
+    ctx.create_object_id(cell * CELL, CELL as u32)
+}
+
+/// The integer array server: a recoverable array of `cells` integers.
+pub struct IntArrayServer {
+    server: DataServer,
+    cells: u64,
+}
+
+impl IntArrayServer {
+    /// Spawns the server on `node` with a dedicated recoverable segment
+    /// sized for `cells` one-word integers, registers it with the Name
+    /// Server, and starts accepting requests.
+    pub fn spawn(node: &Node, name: &str, cells: u64) -> Result<Self, ServerError> {
+        let pages = ((cells * CELL).div_ceil(tabs_kernel::PAGE_SIZE as u64)).max(1) as u32;
+        let seg = node.add_segment(&format!("{name}-segment"), pages);
+        let server = DataServer::new(&node.deps(), ServerConfig::new(name, seg))?;
+        let max_cell = cells;
+        server.accept_requests(Arc::new(move |ctx, opcode, args| {
+            let mut r = Reader::new(args);
+            let cell = u64::decode(&mut r)
+                .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+            if cell >= max_cell {
+                // The paper's `IndexOutOfRange` return.
+                return Err(ServerError::BadRequest(format!(
+                    "cell {cell} out of range (array has {max_cell})"
+                )));
+            }
+            let obj = cell_object(ctx, cell);
+            match opcode {
+                OP_GET => {
+                    ctx.lock_object(obj, StdMode::Shared)?;
+                    let bytes = ctx.read_object(obj)?;
+                    let v = i64::from_le_bytes(bytes[..8].try_into().unwrap());
+                    let mut w = Writer::new();
+                    v.encode(&mut w);
+                    Ok(w.into_vec())
+                }
+                OP_SET => {
+                    let value = i64::decode(&mut r)
+                        .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+                    ctx.lock_object(obj, StdMode::Exclusive)?;
+                    ctx.pin_and_buffer(obj)?;
+                    ctx.write_raw(obj, &value.to_le_bytes())?;
+                    ctx.log_and_unpin(obj)?;
+                    Ok(Vec::new())
+                }
+                OP_ADD => {
+                    let delta = i64::decode(&mut r)
+                        .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+                    ctx.lock_object(obj, StdMode::Exclusive)?;
+                    ctx.pin_and_buffer(obj)?;
+                    let bytes = ctx.read_object(obj)?;
+                    let cur = i64::from_le_bytes(bytes[..8].try_into().unwrap());
+                    let new = cur.wrapping_add(delta);
+                    ctx.write_raw(obj, &new.to_le_bytes())?;
+                    ctx.log_and_unpin(obj)?;
+                    let mut w = Writer::new();
+                    new.encode(&mut w);
+                    Ok(w.into_vec())
+                }
+                other => Err(ServerError::BadRequest(format!("opcode {other}"))),
+            }
+        }));
+        node.register_server(
+            &server,
+            name,
+            "integer-array",
+            ObjectId::new(seg, 0, CELL as u32),
+        );
+        Ok(Self { server, cells })
+    }
+
+    /// A send right for local callers.
+    pub fn send_right(&self) -> SendRight {
+        self.server.send_right()
+    }
+
+    /// The server's port (for Name Server registration elsewhere).
+    pub fn port_id(&self) -> tabs_kernel::PortId {
+        self.server.port_id()
+    }
+
+    /// Array capacity in cells.
+    pub fn cells(&self) -> u64 {
+        self.cells
+    }
+
+    /// The underlying library server (tests, lock inspection).
+    pub fn server(&self) -> &DataServer {
+        &self.server
+    }
+}
+
+/// Client stub for the integer array server (the Matchmaker output).
+#[derive(Clone)]
+pub struct IntArrayClient {
+    app: AppHandle,
+    port: SendRight,
+}
+
+impl IntArrayClient {
+    /// Creates a stub talking to `port` via `app`.
+    pub fn new(app: AppHandle, port: SendRight) -> Self {
+        Self { app, port }
+    }
+
+    /// `GetCell(cellNum)`.
+    pub fn get(&self, tid: Tid, cell: u64) -> Result<i64, tabs_app_lib::AppError> {
+        let mut w = Writer::new();
+        cell.encode(&mut w);
+        let out = self.app.call(&self.port, tid, OP_GET, w.into_vec())?;
+        i64::decode_all(&out)
+            .map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
+    }
+
+    /// `SetCell(cellNum, value)`.
+    pub fn set(&self, tid: Tid, cell: u64, value: i64) -> Result<(), tabs_app_lib::AppError> {
+        let mut w = Writer::new();
+        cell.encode(&mut w);
+        value.encode(&mut w);
+        self.app.call(&self.port, tid, OP_SET, w.into_vec())?;
+        Ok(())
+    }
+
+    /// Atomically adds `delta` to a cell, returning the new value.
+    pub fn add(&self, tid: Tid, cell: u64, delta: i64) -> Result<i64, tabs_app_lib::AppError> {
+        let mut w = Writer::new();
+        cell.encode(&mut w);
+        delta.encode(&mut w);
+        let out = self.app.call(&self.port, tid, OP_ADD, w.into_vec())?;
+        i64::decode_all(&out)
+            .map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabs_core::{Cluster, NodeId};
+    use tabs_kernel::Tid;
+
+    #[test]
+    fn get_set_commit() {
+        let cluster = Cluster::new();
+        let node = cluster.boot_node(NodeId(1));
+        let arr = IntArrayServer::spawn(&node, "arr", 100).unwrap();
+        node.recover().unwrap();
+        let app = node.app();
+        let client = IntArrayClient::new(app.clone(), arr.send_right());
+
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        client.set(t, 5, -42).unwrap();
+        assert_eq!(client.get(t, 5).unwrap(), -42);
+        assert!(app.end_transaction(t).unwrap());
+
+        let t2 = app.begin_transaction(Tid::NULL).unwrap();
+        assert_eq!(client.get(t2, 5).unwrap(), -42);
+        assert_eq!(client.get(t2, 6).unwrap(), 0);
+        app.end_transaction(t2).unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn index_out_of_range() {
+        let cluster = Cluster::new();
+        let node = cluster.boot_node(NodeId(1));
+        let arr = IntArrayServer::spawn(&node, "arr", 10).unwrap();
+        node.recover().unwrap();
+        let app = node.app();
+        let client = IntArrayClient::new(app.clone(), arr.send_right());
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        assert!(client.get(t, 10).is_err());
+        assert!(client.set(t, 11, 0).is_err());
+        app.abort_transaction(t).unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn abort_restores_cells() {
+        let cluster = Cluster::new();
+        let node = cluster.boot_node(NodeId(1));
+        let arr = IntArrayServer::spawn(&node, "arr", 10).unwrap();
+        node.recover().unwrap();
+        let app = node.app();
+        let client = IntArrayClient::new(app.clone(), arr.send_right());
+
+        app.run(|t| client.set(t, 0, 1)).unwrap();
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        client.set(t, 0, 999).unwrap();
+        app.abort_transaction(t).unwrap();
+        let t2 = app.begin_transaction(Tid::NULL).unwrap();
+        assert_eq!(client.get(t2, 0).unwrap(), 1);
+        app.end_transaction(t2).unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn committed_cells_survive_crash() {
+        let cluster = Cluster::new();
+        let node = cluster.boot_node(NodeId(1));
+        let arr = IntArrayServer::spawn(&node, "arr", 10).unwrap();
+        node.recover().unwrap();
+        let app = node.app();
+        let client = IntArrayClient::new(app.clone(), arr.send_right());
+        app.run(|t| client.set(t, 3, 33)).unwrap();
+        drop(arr);
+        node.crash();
+
+        let node = cluster.boot_node(NodeId(1));
+        let arr = IntArrayServer::spawn(&node, "arr", 10).unwrap();
+        node.recover().unwrap();
+        let app = node.app();
+        let client = IntArrayClient::new(app.clone(), arr.send_right());
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        assert_eq!(client.get(t, 3).unwrap(), 33);
+        app.end_transaction(t).unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn five_thousand_page_array_pages_against_bounded_pool() {
+        // The §5 paging benchmarks use a 5000-page array, "more than three
+        // times the available physical memory". A miniature version: 64
+        // pages against a 16-frame pool.
+        let cluster = Cluster::with_config(tabs_core::ClusterConfig {
+            pool_pages: 16,
+            ..Default::default()
+        });
+        let node = cluster.boot_node(NodeId(1));
+        let cells = 64 * (tabs_kernel::PAGE_SIZE as u64 / 8);
+        let arr = IntArrayServer::spawn(&node, "big", cells).unwrap();
+        node.recover().unwrap();
+        let app = node.app();
+        let client = IntArrayClient::new(app.clone(), arr.send_right());
+        let per_page = tabs_kernel::PAGE_SIZE as u64 / 8;
+        // Touch one element on each page sequentially.
+        app.run(|t| {
+            for p in 0..64u64 {
+                client.set(t, p * per_page, p as i64)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let stats = node.pool.stats();
+        assert!(stats.evictions > 0, "the pool really evicted: {stats:?}");
+        // Read everything back (faults the evicted pages in again).
+        app.run(|t| {
+            for p in 0..64u64 {
+                assert_eq!(client.get(t, p * per_page).unwrap(), p as i64);
+            }
+            Ok(())
+        })
+        .unwrap();
+        node.shutdown();
+    }
+}

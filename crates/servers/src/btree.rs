@@ -1,0 +1,762 @@
+//! The B-tree server (§4.4).
+//!
+//! "The B-tree server maintains arbitrary collections of directory entries
+//! in B-trees, and is being used in an implementation of replicated
+//! directories. The B-tree server provides the standard operations on
+//! multi-key directories: add, delete, modify, etc."
+//!
+//! Two details from the paper are reproduced:
+//!
+//! - **The recoverable storage allocator**: "Because the B-tree server
+//!   dynamically allocates storage within the recoverable segment, it was
+//!   necessary to create a recoverable storage allocator. If a transaction
+//!   uses an operation that allocates storage, and the transaction later
+//!   aborts, the memory is made available for re-use." Here a page is
+//!   allocated by writing a non-free node type into it under value
+//!   logging; abort restores the free marker, releasing the block.
+//! - **The `LockAndMark` batch protocol**: "By using the `LockAndMark`,
+//!   `PinAndBufferMarkedObjects`, and `LogAndUnPinMarkedObjects`
+//!   primitives, we were able to use most of the existing code intact" —
+//!   updates are planned against in-memory page images, then all touched
+//!   pages are locked, pinned, written and logged as one batch, so no data
+//!   is pinned while waiting for other locks.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use tabs_codec::{Decode, Encode, Reader, Writer};
+use tabs_core::{AppHandle, Node, ObjectId};
+use tabs_kernel::{SendRight, Tid, PAGE_SIZE};
+use tabs_lock::StdMode;
+use tabs_proto::ServerError;
+use tabs_server_lib::{DataServer, OpCtx, ServerConfig};
+
+/// `Add` opcode (insert; error if present).
+pub const OP_ADD: u32 = 1;
+/// `Delete` opcode.
+pub const OP_DELETE: u32 = 2;
+/// `Modify` opcode (update; error if absent).
+pub const OP_MODIFY: u32 = 3;
+/// `Lookup` opcode.
+pub const OP_LOOKUP: u32 = 4;
+/// In-order listing opcode.
+pub const OP_LIST: u32 = 5;
+/// Upsert opcode (add or modify; used by the replicated directory).
+pub const OP_PUT: u32 = 6;
+
+/// Maximum key bytes.
+pub const MAX_KEY: usize = 23;
+/// Maximum value bytes.
+pub const MAX_VAL: usize = 31;
+
+const PAGE: u64 = PAGE_SIZE as u64;
+/// Entries per node (both leaf and internal).
+const ORDER: usize = 8;
+
+const T_FREE: u8 = 0;
+const T_LEAF: u8 = 1;
+const T_INT: u8 = 2;
+
+// Node layout (512 bytes):
+//   [0] type, [1] nkeys,
+//   leaf:     8 + i*56: key slot (1+23), value slot (1+31)
+//   internal: 8 + i*28: key slot (1+23), child u32; last child at 8+ORDER*28
+const LEAF_ENT: usize = 56;
+const INT_ENT: usize = 28;
+
+type Page = [u8; PAGE_SIZE];
+
+fn key_from_slot(slot: &[u8]) -> Vec<u8> {
+    let len = (slot[0] as usize).min(MAX_KEY);
+    slot[1..1 + len].to_vec()
+}
+
+fn write_slot(slot: &mut [u8], data: &[u8], max: usize) {
+    let n = data.len().min(max);
+    slot[0] = n as u8;
+    slot[1..1 + n].copy_from_slice(&data[..n]);
+    for b in &mut slot[1 + n..=max] {
+        *b = 0;
+    }
+}
+
+struct LeafView;
+
+impl LeafView {
+    fn nkeys(p: &Page) -> usize {
+        p[1] as usize
+    }
+    fn key(p: &Page, i: usize) -> Vec<u8> {
+        key_from_slot(&p[8 + i * LEAF_ENT..8 + i * LEAF_ENT + 24])
+    }
+    fn val(p: &Page, i: usize) -> Vec<u8> {
+        let s = &p[8 + i * LEAF_ENT + 24..8 + i * LEAF_ENT + 56];
+        let len = (s[0] as usize).min(MAX_VAL);
+        s[1..1 + len].to_vec()
+    }
+    fn set(p: &mut Page, i: usize, key: &[u8], val: &[u8]) {
+        write_slot(&mut p[8 + i * LEAF_ENT..8 + i * LEAF_ENT + 24], key, MAX_KEY);
+        write_slot(&mut p[8 + i * LEAF_ENT + 24..8 + i * LEAF_ENT + 56], val, MAX_VAL);
+    }
+    fn entries(p: &Page) -> Vec<(Vec<u8>, Vec<u8>)> {
+        (0..Self::nkeys(p)).map(|i| (Self::key(p, i), Self::val(p, i))).collect()
+    }
+    fn store(p: &mut Page, entries: &[(Vec<u8>, Vec<u8>)]) {
+        p[0] = T_LEAF;
+        p[1] = entries.len() as u8;
+        for (i, (k, v)) in entries.iter().enumerate() {
+            Self::set(p, i, k, v);
+        }
+    }
+}
+
+struct IntView;
+
+impl IntView {
+    fn nkeys(p: &Page) -> usize {
+        p[1] as usize
+    }
+    fn key(p: &Page, i: usize) -> Vec<u8> {
+        key_from_slot(&p[8 + i * INT_ENT..8 + i * INT_ENT + 24])
+    }
+    fn child(p: &Page, i: usize) -> u32 {
+        let off = 8 + i * INT_ENT + 24;
+        u32::from_le_bytes(p[off..off + 4].try_into().unwrap())
+    }
+    /// Children are stored alongside keys; child i pairs with key i, and
+    /// the extra rightmost child sits in the slot after the last key.
+    fn store(p: &mut Page, keys: &[Vec<u8>], children: &[u32]) {
+        debug_assert_eq!(children.len(), keys.len() + 1);
+        p[0] = T_INT;
+        p[1] = keys.len() as u8;
+        for (i, k) in keys.iter().enumerate() {
+            write_slot(&mut p[8 + i * INT_ENT..8 + i * INT_ENT + 24], k, MAX_KEY);
+            let off = 8 + i * INT_ENT + 24;
+            p[off..off + 4].copy_from_slice(&children[i].to_le_bytes());
+        }
+        let off = 8 + keys.len() * INT_ENT + 24;
+        p[off..off + 4].copy_from_slice(&children[keys.len()].to_le_bytes());
+    }
+    fn load(p: &Page) -> (Vec<Vec<u8>>, Vec<u32>) {
+        let n = Self::nkeys(p);
+        let keys: Vec<Vec<u8>> = (0..n).map(|i| Self::key(p, i)).collect();
+        let mut children: Vec<u32> = (0..n).map(|i| Self::child(p, i)).collect();
+        let off = 8 + n * INT_ENT + 24;
+        children.push(u32::from_le_bytes(p[off..off + 4].try_into().unwrap()));
+        (keys, children)
+    }
+}
+
+/// A planned update: copy-on-write images of pages touched by one op.
+struct Plan {
+    images: BTreeMap<u32, Page>,
+    /// Pages allocated during planning (free pages claimed).
+    total_pages: u32,
+}
+
+impl Plan {
+    fn read_page(&mut self, ctx: &OpCtx<'_>, page: u32) -> Result<Page, ServerError> {
+        if let Some(img) = self.images.get(&page) {
+            return Ok(*img);
+        }
+        let bytes = ctx
+            .segment()
+            .read_vec(u64::from(page) * PAGE, PAGE_SIZE)
+            .map_err(|e| ServerError::Storage(e.to_string()))?;
+        let mut p: Page = [0; PAGE_SIZE];
+        p.copy_from_slice(&bytes);
+        Ok(p)
+    }
+
+    fn put_page(&mut self, page: u32, img: Page) {
+        self.images.insert(page, img);
+    }
+
+    /// The recoverable allocator: claims the first free page, checking
+    /// both on-disk state and pages already claimed by this plan. A free
+    /// page may still be element-locked by a concurrent aborting
+    /// transaction; the object lock taken at apply time protects it.
+    fn alloc(&mut self, ctx: &OpCtx<'_>, start: u32) -> Result<u32, ServerError> {
+        for page in start..self.total_pages {
+            if self.images.contains_key(&page) {
+                continue;
+            }
+            let obj = ctx.create_object_id(u64::from(page) * PAGE, PAGE_SIZE as u32);
+            if ctx.is_object_locked(obj) {
+                continue;
+            }
+            let img = self.read_page(ctx, page)?;
+            if img[0] == T_FREE {
+                // Claim it in the plan; the caller will fill it in.
+                self.images.insert(page, img);
+                return Ok(page);
+            }
+        }
+        Err(ServerError::Storage("b-tree segment full".into()))
+    }
+}
+
+/// The B-tree server.
+pub struct BTreeServer {
+    server: DataServer,
+}
+
+const SUPER_ROOT_OFF: u64 = 8;
+
+fn super_obj(ctx: &OpCtx<'_>) -> ObjectId {
+    ctx.create_object_id(0, PAGE_SIZE as u32)
+}
+
+fn page_obj(ctx: &OpCtx<'_>, page: u32) -> ObjectId {
+    ctx.create_object_id(u64::from(page) * PAGE, PAGE_SIZE as u32)
+}
+
+fn root_page(ctx: &OpCtx<'_>) -> Result<u32, ServerError> {
+    ctx.segment()
+        .read_u32(SUPER_ROOT_OFF)
+        .map_err(|e| ServerError::Storage(e.to_string()))
+}
+
+impl BTreeServer {
+    /// Spawns a B-tree server with a `pages`-page recoverable segment.
+    pub fn spawn(node: &Node, name: &str, pages: u32) -> Result<Self, ServerError> {
+        assert!(pages >= 4, "b-tree needs at least 4 pages");
+        let seg = node.add_segment(&format!("{name}-segment"), pages);
+        let server = DataServer::new(&node.deps(), ServerConfig::new(name, seg))?;
+        // First-boot initialization: root = leaf page 1. Recognized by a
+        // zero root pointer; written directly (pre-transactional install,
+        // like mkfs).
+        {
+            let segmap = server.segment();
+            if segmap.read_u32(SUPER_ROOT_OFF).unwrap_or(0) == 0 {
+                segmap
+                    .write_u32(SUPER_ROOT_OFF, 1)
+                    .map_err(|e| ServerError::Storage(e.to_string()))?;
+                segmap
+                    .write(PAGE, &[T_LEAF, 0])
+                    .map_err(|e| ServerError::Storage(e.to_string()))?;
+                segmap
+                    .pool()
+                    .flush_all()
+                    .map_err(|e| ServerError::Storage(e.to_string()))?;
+            }
+        }
+        let total = pages;
+        server.accept_requests(Arc::new(move |ctx, opcode, args| {
+            dispatch(ctx, opcode, args, total)
+        }));
+        node.register_server(&server, name, "b-tree", ObjectId::new(seg, 0, 8));
+        Ok(Self { server })
+    }
+
+    /// A send right for callers.
+    pub fn send_right(&self) -> SendRight {
+        self.server.send_right()
+    }
+
+    /// The library server underneath.
+    pub fn server(&self) -> &DataServer {
+        &self.server
+    }
+}
+
+fn dispatch(ctx: &OpCtx<'_>, opcode: u32, args: &[u8], total: u32) -> Result<Vec<u8>, ServerError> {
+    let mut r = Reader::new(args);
+    match opcode {
+        OP_LOOKUP => {
+            let key = Vec::<u8>::decode(&mut r)
+                .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+            ctx.lock_object(super_obj(ctx), StdMode::Shared)?;
+            let found = lookup(ctx, root_page(ctx)?, &key)?;
+            let mut w = Writer::new();
+            found.encode(&mut w);
+            Ok(w.into_vec())
+        }
+        OP_LIST => {
+            ctx.lock_object(super_obj(ctx), StdMode::Shared)?;
+            let mut out = Vec::new();
+            collect(ctx, root_page(ctx)?, &mut out)?;
+            let mut w = Writer::new();
+            w.put_varint(out.len() as u64);
+            for (k, v) in out {
+                k.encode(&mut w);
+                v.encode(&mut w);
+            }
+            Ok(w.into_vec())
+        }
+        OP_ADD | OP_MODIFY | OP_PUT => {
+            let key = Vec::<u8>::decode(&mut r)
+                .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+            let val = Vec::<u8>::decode(&mut r)
+                .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+            if key.is_empty() || key.len() > MAX_KEY || val.len() > MAX_VAL {
+                return Err(ServerError::BadRequest("key/value size".into()));
+            }
+            update(ctx, total, |ctx, plan, root| {
+                let exists = lookup(ctx, root, &key)?.is_some();
+                match opcode {
+                    OP_ADD if exists => {
+                        return Err(ServerError::BadRequest("key exists".into()))
+                    }
+                    OP_MODIFY if !exists => {
+                        return Err(ServerError::BadRequest("no such key".into()))
+                    }
+                    _ => {}
+                }
+                insert(ctx, plan, root, &key, &val)
+            })
+        }
+        OP_DELETE => {
+            let key = Vec::<u8>::decode(&mut r)
+                .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+            update(ctx, total, |ctx, plan, root| {
+                if lookup(ctx, root, &key)?.is_none() {
+                    return Err(ServerError::BadRequest("no such key".into()));
+                }
+                delete(ctx, plan, root, &key)?;
+                Ok(None)
+            })
+        }
+        other => Err(ServerError::BadRequest(format!("opcode {other}"))),
+    }
+}
+
+fn lookup(ctx: &OpCtx<'_>, page: u32, key: &[u8]) -> Result<Option<Vec<u8>>, ServerError> {
+    let p = read_page_direct(ctx, page)?;
+    match p[0] {
+        T_LEAF => {
+            for i in 0..LeafView::nkeys(&p) {
+                if LeafView::key(&p, i) == key {
+                    return Ok(Some(LeafView::val(&p, i)));
+                }
+            }
+            Ok(None)
+        }
+        T_INT => {
+            let (keys, children) = IntView::load(&p);
+            let idx = keys.partition_point(|k| k.as_slice() <= key);
+            lookup(ctx, children[idx], key)
+        }
+        _ => Err(ServerError::Storage(format!("page {page} is not a node"))),
+    }
+}
+
+fn collect(
+    ctx: &OpCtx<'_>,
+    page: u32,
+    out: &mut Vec<(Vec<u8>, Vec<u8>)>,
+) -> Result<(), ServerError> {
+    let p = read_page_direct(ctx, page)?;
+    match p[0] {
+        T_LEAF => {
+            out.extend(LeafView::entries(&p));
+            Ok(())
+        }
+        T_INT => {
+            let (_, children) = IntView::load(&p);
+            for c in children {
+                collect(ctx, c, out)?;
+            }
+            Ok(())
+        }
+        _ => Err(ServerError::Storage(format!("page {page} is not a node"))),
+    }
+}
+
+fn read_page_direct(ctx: &OpCtx<'_>, page: u32) -> Result<Page, ServerError> {
+    let bytes = ctx
+        .segment()
+        .read_vec(u64::from(page) * PAGE, PAGE_SIZE)
+        .map_err(|e| ServerError::Storage(e.to_string()))?;
+    let mut p: Page = [0; PAGE_SIZE];
+    p.copy_from_slice(&bytes);
+    Ok(p)
+}
+
+/// Runs a structural update under the exclusive tree lock with the
+/// plan-then-apply `LockAndMark` batch protocol.
+fn update(
+    ctx: &OpCtx<'_>,
+    total: u32,
+    f: impl FnOnce(&OpCtx<'_>, &mut Plan, u32) -> Result<Option<u32>, ServerError>,
+) -> Result<Vec<u8>, ServerError> {
+    ctx.lock_object(super_obj(ctx), StdMode::Exclusive)?;
+    let root = root_page(ctx)?;
+    let mut plan = Plan { images: BTreeMap::new(), total_pages: total };
+    let new_root = f(ctx, &mut plan, root)?;
+
+    // Apply phase: lock and mark every touched page, then pin/buffer,
+    // write the new images, and log the whole batch.
+    for &page in plan.images.keys() {
+        ctx.lock_and_mark(page_obj(ctx, page), StdMode::Exclusive)?;
+    }
+    let super_changed = new_root.is_some();
+    if super_changed {
+        ctx.lock_and_mark(super_obj(ctx), StdMode::Exclusive)?;
+    }
+    ctx.pin_and_buffer_marked_objects()?;
+    for (&page, img) in &plan.images {
+        ctx.write_raw(page_obj(ctx, page), img)?;
+    }
+    if let Some(root) = new_root {
+        let mut sb = read_page_direct(ctx, 0)?;
+        sb[SUPER_ROOT_OFF as usize..SUPER_ROOT_OFF as usize + 4]
+            .copy_from_slice(&root.to_le_bytes());
+        ctx.write_raw(super_obj(ctx), &sb)?;
+    }
+    ctx.log_and_unpin_marked_objects()?;
+    Ok(Vec::new())
+}
+
+/// Recursive insert returning an optional new root page.
+fn insert(
+    ctx: &OpCtx<'_>,
+    plan: &mut Plan,
+    root: u32,
+    key: &[u8],
+    val: &[u8],
+) -> Result<Option<u32>, ServerError> {
+    match insert_rec(ctx, plan, root, key, val)? {
+        None => Ok(None),
+        Some((sep, right)) => {
+            // Root split: allocate a new internal root.
+            let new_root = plan.alloc(ctx, 1)?;
+            let mut p: Page = [0; PAGE_SIZE];
+            IntView::store(&mut p, &[sep], &[root, right]);
+            plan.put_page(new_root, p);
+            Ok(Some(new_root))
+        }
+    }
+}
+
+fn insert_rec(
+    ctx: &OpCtx<'_>,
+    plan: &mut Plan,
+    page: u32,
+    key: &[u8],
+    val: &[u8],
+) -> Result<Option<(Vec<u8>, u32)>, ServerError> {
+    let p = plan.read_page(ctx, page)?;
+    match p[0] {
+        T_LEAF => {
+            let mut entries = LeafView::entries(&p);
+            match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                Ok(i) => entries[i].1 = val.to_vec(),
+                Err(i) => entries.insert(i, (key.to_vec(), val.to_vec())),
+            }
+            if entries.len() <= ORDER {
+                let mut img: Page = [0; PAGE_SIZE];
+                LeafView::store(&mut img, &entries);
+                plan.put_page(page, img);
+                return Ok(None);
+            }
+            // Split.
+            let mid = entries.len() / 2;
+            let right_entries = entries.split_off(mid);
+            let sep = right_entries[0].0.clone();
+            let right = plan.alloc(ctx, 1)?;
+            let mut left_img: Page = [0; PAGE_SIZE];
+            LeafView::store(&mut left_img, &entries);
+            let mut right_img: Page = [0; PAGE_SIZE];
+            LeafView::store(&mut right_img, &right_entries);
+            plan.put_page(page, left_img);
+            plan.put_page(right, right_img);
+            Ok(Some((sep, right)))
+        }
+        T_INT => {
+            let (mut keys, mut children) = IntView::load(&p);
+            let idx = keys.partition_point(|k| k.as_slice() <= key);
+            let split = insert_rec(ctx, plan, children[idx], key, val)?;
+            if let Some((sep, right)) = split {
+                keys.insert(idx, sep);
+                children.insert(idx + 1, right);
+                if keys.len() <= ORDER {
+                    let mut img: Page = [0; PAGE_SIZE];
+                    IntView::store(&mut img, &keys, &children);
+                    plan.put_page(page, img);
+                    return Ok(None);
+                }
+                // Split the internal node.
+                let mid = keys.len() / 2;
+                let sep_up = keys[mid].clone();
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // the separator moves up
+                let right_children = children.split_off(mid + 1);
+                let right = plan.alloc(ctx, 1)?;
+                let mut left_img: Page = [0; PAGE_SIZE];
+                IntView::store(&mut left_img, &keys, &children);
+                let mut right_img: Page = [0; PAGE_SIZE];
+                IntView::store(&mut right_img, &right_keys, &right_children);
+                plan.put_page(page, left_img);
+                plan.put_page(right, right_img);
+                return Ok(Some((sep_up, right)));
+            }
+            Ok(None)
+        }
+        _ => Err(ServerError::Storage(format!("page {page} is not a node"))),
+    }
+}
+
+/// Lazy deletion: the entry is removed from its leaf; nodes are not
+/// rebalanced (directories tolerate underfull nodes, and the paper does
+/// not describe rebalancing).
+fn delete(ctx: &OpCtx<'_>, plan: &mut Plan, page: u32, key: &[u8]) -> Result<(), ServerError> {
+    let p = plan.read_page(ctx, page)?;
+    match p[0] {
+        T_LEAF => {
+            let mut entries = LeafView::entries(&p);
+            if let Ok(i) = entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                entries.remove(i);
+                let mut img: Page = [0; PAGE_SIZE];
+                LeafView::store(&mut img, &entries);
+                plan.put_page(page, img);
+            }
+            Ok(())
+        }
+        T_INT => {
+            let (keys, children) = IntView::load(&p);
+            let idx = keys.partition_point(|k| k.as_slice() <= key);
+            delete(ctx, plan, children[idx], key)
+        }
+        _ => Err(ServerError::Storage(format!("page {page} is not a node"))),
+    }
+}
+
+/// Client stub for the B-tree server.
+#[derive(Clone)]
+pub struct BTreeClient {
+    app: AppHandle,
+    port: SendRight,
+}
+
+impl BTreeClient {
+    /// Creates a stub talking to `port` via `app`.
+    pub fn new(app: AppHandle, port: SendRight) -> Self {
+        Self { app, port }
+    }
+
+    fn kv_args(key: &[u8], val: Option<&[u8]>) -> Vec<u8> {
+        let mut w = Writer::new();
+        key.to_vec().encode(&mut w);
+        if let Some(v) = val {
+            v.to_vec().encode(&mut w);
+        }
+        w.into_vec()
+    }
+
+    /// Adds a new entry; errors if the key exists.
+    pub fn add(&self, tid: Tid, key: &[u8], val: &[u8]) -> Result<(), tabs_app_lib::AppError> {
+        self.app.call(&self.port, tid, OP_ADD, Self::kv_args(key, Some(val)))?;
+        Ok(())
+    }
+
+    /// Modifies an existing entry; errors if the key is absent.
+    pub fn modify(&self, tid: Tid, key: &[u8], val: &[u8]) -> Result<(), tabs_app_lib::AppError> {
+        self.app
+            .call(&self.port, tid, OP_MODIFY, Self::kv_args(key, Some(val)))?;
+        Ok(())
+    }
+
+    /// Inserts or replaces.
+    pub fn put(&self, tid: Tid, key: &[u8], val: &[u8]) -> Result<(), tabs_app_lib::AppError> {
+        self.app.call(&self.port, tid, OP_PUT, Self::kv_args(key, Some(val)))?;
+        Ok(())
+    }
+
+    /// Deletes an entry; errors if absent.
+    pub fn delete(&self, tid: Tid, key: &[u8]) -> Result<(), tabs_app_lib::AppError> {
+        self.app.call(&self.port, tid, OP_DELETE, Self::kv_args(key, None))?;
+        Ok(())
+    }
+
+    /// Looks a key up.
+    pub fn lookup(&self, tid: Tid, key: &[u8]) -> Result<Option<Vec<u8>>, tabs_app_lib::AppError> {
+        let out = self
+            .app
+            .call(&self.port, tid, OP_LOOKUP, Self::kv_args(key, None))?;
+        Option::<Vec<u8>>::decode_all(&out)
+            .map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
+    }
+
+    /// Lists all entries in key order.
+    pub fn list(&self, tid: Tid) -> Result<Vec<(Vec<u8>, Vec<u8>)>, tabs_app_lib::AppError> {
+        let out = self.app.call(&self.port, tid, OP_LIST, Vec::new())?;
+        let mut r = Reader::new(&out);
+        let n = r
+            .get_varint()
+            .map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))?;
+        let mut v = Vec::new();
+        for _ in 0..n {
+            let k = Vec::<u8>::decode(&mut r)
+                .map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))?;
+            let val = Vec::<u8>::decode(&mut r)
+                .map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))?;
+            v.push((k, val));
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabs_core::{Cluster, NodeId};
+
+    fn rig(pages: u32) -> (Arc<Cluster>, tabs_core::Node, BTreeClient, AppHandle) {
+        let cluster = Cluster::new();
+        let node = cluster.boot_node(NodeId(1));
+        let bt = BTreeServer::spawn(&node, "dir", pages).unwrap();
+        node.recover().unwrap();
+        let app = node.app();
+        let client = BTreeClient::new(app.clone(), bt.send_right());
+        (cluster, node, client, app)
+    }
+
+    #[test]
+    fn add_lookup_modify_delete() {
+        let (_c, node, bt, app) = rig(32);
+        app.run(|t| {
+            bt.add(t, b"alpha", b"1")?;
+            bt.add(t, b"beta", b"2")?;
+            assert_eq!(bt.lookup(t, b"alpha")?.unwrap(), b"1");
+            bt.modify(t, b"alpha", b"1a")?;
+            assert_eq!(bt.lookup(t, b"alpha")?.unwrap(), b"1a");
+            bt.delete(t, b"beta")?;
+            assert_eq!(bt.lookup(t, b"beta")?, None);
+            Ok(())
+        })
+        .unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn duplicate_add_and_missing_modify_rejected() {
+        let (_c, node, bt, app) = rig(32);
+        app.run(|t| bt.add(t, b"k", b"v")).unwrap();
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        assert!(bt.add(t, b"k", b"v2").is_err());
+        assert!(bt.modify(t, b"nope", b"x").is_err());
+        assert!(bt.delete(t, b"nope").is_err());
+        app.abort_transaction(t).unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn many_inserts_split_and_stay_sorted() {
+        let (_c, node, bt, app) = rig(128);
+        let keys: Vec<String> = (0..100).map(|i| format!("key{i:03}")).collect();
+        app.run(|t| {
+            for (i, k) in keys.iter().enumerate() {
+                bt.add(t, k.as_bytes(), format!("v{i}").as_bytes())?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        app.run(|t| {
+            let all = bt.list(t)?;
+            assert_eq!(all.len(), 100);
+            let listed: Vec<Vec<u8>> = all.iter().map(|(k, _)| k.clone()).collect();
+            let mut sorted = listed.clone();
+            sorted.sort();
+            assert_eq!(listed, sorted, "in-order traversal is sorted");
+            for (i, k) in keys.iter().enumerate() {
+                assert_eq!(bt.lookup(t, k.as_bytes())?.unwrap(), format!("v{i}").as_bytes());
+            }
+            Ok(())
+        })
+        .unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn abort_rolls_back_structure_and_frees_blocks() {
+        let (_c, node, bt, app) = rig(64);
+        // Committed baseline.
+        app.run(|t| {
+            for i in 0..5 {
+                bt.add(t, format!("base{i}").as_bytes(), b"x")?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        // A big aborted insert burst that forces splits (allocations).
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        for i in 0..40 {
+            bt.add(t, format!("tmp{i:02}").as_bytes(), b"y").unwrap();
+        }
+        app.abort_transaction(t).unwrap();
+        // The tree is back to the baseline: aborted allocations freed.
+        app.run(|t| {
+            let all = bt.list(t)?;
+            assert_eq!(all.len(), 5);
+            assert_eq!(bt.lookup(t, b"tmp00")?, None);
+            Ok(())
+        })
+        .unwrap();
+        // And the freed blocks are reusable: this burst commits fine.
+        app.run(|t| {
+            for i in 0..40 {
+                bt.add(t, format!("new{i:02}").as_bytes(), b"z")?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn committed_tree_survives_crash() {
+        let cluster = Cluster::new();
+        let node = cluster.boot_node(NodeId(1));
+        let bt = BTreeServer::spawn(&node, "dir", 64).unwrap();
+        node.recover().unwrap();
+        let app = node.app();
+        let client = BTreeClient::new(app.clone(), bt.send_right());
+        app.run(|t| {
+            for i in 0..30 {
+                client.add(t, format!("k{i:02}").as_bytes(), format!("v{i}").as_bytes())?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        // Uncommitted extra rides into the crash.
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        client.add(t, b"uncommitted", b"!").unwrap();
+        node.rm.force(None).unwrap();
+        drop(bt);
+        node.crash();
+
+        let node = cluster.boot_node(NodeId(1));
+        let bt = BTreeServer::spawn(&node, "dir", 64).unwrap();
+        node.recover().unwrap();
+        let app = node.app();
+        let client = BTreeClient::new(app.clone(), bt.send_right());
+        app.run(|t| {
+            let all = client.list(t)?;
+            assert_eq!(all.len(), 30);
+            assert_eq!(client.lookup(t, b"uncommitted")?, None);
+            assert_eq!(client.lookup(t, b"k07")?.unwrap(), b"v7");
+            Ok(())
+        })
+        .unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let (_c, node, bt, app) = rig(32);
+        app.run(|t| bt.add(t, b"k", b"v")).unwrap();
+        let t1 = app.begin_transaction(Tid::NULL).unwrap();
+        let t2 = app.begin_transaction(Tid::NULL).unwrap();
+        // Two concurrent readers.
+        assert!(bt.lookup(t1, b"k").unwrap().is_some());
+        assert!(bt.lookup(t2, b"k").unwrap().is_some());
+        // A writer now blocks on the shared tree lock and times out.
+        let t3 = app.begin_transaction(Tid::NULL).unwrap();
+        assert!(bt.add(t3, b"w", b"x").is_err());
+        app.end_transaction(t1).unwrap();
+        app.end_transaction(t2).unwrap();
+        app.abort_transaction(t3).unwrap();
+        node.shutdown();
+    }
+}

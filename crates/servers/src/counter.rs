@@ -1,0 +1,333 @@
+//! An operation-logged counter server — the §7 future-work primitives in
+//! use.
+//!
+//! The paper ships value logging in the libraries and notes that
+//! "the use of operation-logging, type-specific locking, and value logging
+//! where appropriate will provide a rich environment" (§4.6) and that "the
+//! server library should provide a better set of primitives, including
+//! some for operation logging and type-specific locking" (§7). This server
+//! exercises exactly those primitives:
+//!
+//! - updates are **operation-logged**: the log record carries the
+//!   operation name and the increment amount — not page images — so a
+//!   multi-word counter costs a few bytes of log per update and recovery
+//!   *replays* (or reverses) operations, gated by the sector sequence
+//!   numbers (§2.1.3, §3.2.1);
+//! - synchronization is **type-specific**: increments commute, so two
+//!   transactions may hold `add` locks on the same counter concurrently —
+//!   strict read/write locking would serialize them (§2.1.3's
+//!   "type-specific lock modes … obtain increased concurrency").
+//!
+//! Because concurrent uncommitted increments are allowed, undo must be a
+//! *compensating decrement* (subtract the amount) rather than an old-value
+//! restore — restoring an old image would wipe out the other
+//! transaction's concurrent increment. That is precisely why operation
+//! logging is required for type-specific locking.
+
+use std::sync::Arc;
+
+use tabs_codec::{Decode, Encode, Reader, Writer};
+use tabs_core::{AppHandle, Node, ObjectId};
+use tabs_kernel::{SendRight, Tid};
+use tabs_lock::StdMode;
+use tabs_proto::ServerError;
+use tabs_server_lib::{DataServer, ServerConfig};
+
+/// `Read` opcode (takes the exclusive/read lock; sees only committed
+/// values since pending increments hold add locks).
+pub const OP_READ: u32 = 1;
+/// `Add` opcode: blind increment under the commuting add lock.
+pub const OP_ADD: u32 = 2;
+
+const CELL: u64 = 8;
+
+/// Lock-mode encoding: counters use the standard lock manager with an
+/// *add-lock* convention — `Shared` stands for the commuting `add` mode on
+/// the counter's add-lock object, `Exclusive` on the read-lock object for
+/// readers. Two distinct lock objects per counter keep the semantics of a
+/// real type-specific matrix (add/add compatible, add/read incompatible)
+/// expressible over the shared/exclusive lattice:
+///
+/// | wanted    | lock taken                                    |
+/// |-----------|-----------------------------------------------|
+/// | add       | Shared on the counter's lock object           |
+/// | read      | Exclusive on the counter's lock object        |
+///
+/// Shared/Shared compatible ⇒ adds commute; Shared/Exclusive conflict ⇒
+/// reads exclude pending adds and vice versa. This is the standard
+/// embedding of a commuting-update mode into an S/X lock manager.
+fn lock_obj(ctx: &tabs_server_lib::OpCtx<'_>, idx: u64, total: u64) -> ObjectId {
+    // Lock objects live past the data region so they never alias cells.
+    ctx.create_object_id((total + idx) * CELL, CELL as u32)
+}
+
+fn cell_obj(ctx: &tabs_server_lib::OpCtx<'_>, idx: u64) -> ObjectId {
+    ctx.create_object_id(idx * CELL, CELL as u32)
+}
+
+/// The operation-logged counter server.
+pub struct CounterServer {
+    server: DataServer,
+    counters: u64,
+}
+
+impl CounterServer {
+    /// Spawns a bank of `counters` operation-logged counters on `node`.
+    pub fn spawn(node: &Node, name: &str, counters: u64) -> Result<Self, ServerError> {
+        let bytes = counters * CELL * 2; // cells + lock-object region
+        let pages = bytes.div_ceil(tabs_kernel::PAGE_SIZE as u64).max(1) as u32;
+        let seg = node.add_segment(&format!("{name}-segment"), pages);
+        let server = DataServer::new(&node.deps(), ServerConfig::new(name, seg))?;
+
+        // Register the operation's redo/undo with the recovery machinery:
+        // redo re-applies the increment, undo applies the compensating
+        // decrement. Both are blind arithmetic on the mapped segment.
+        let seg_map = server.segment().clone();
+        let apply = move |object: ObjectId, delta: i64| -> Result<(), String> {
+            let cur = seg_map.read_i64(object.offset).map_err(|e| e.to_string())?;
+            seg_map
+                .write_i64(object.offset, cur.wrapping_add(delta))
+                .map_err(|e| e.to_string())
+        };
+        let apply_redo = apply.clone();
+        server.register_operation(
+            "add",
+            move |object, redo| {
+                let d = i64::decode_all(redo).map_err(|e| e.to_string())?;
+                apply_redo(object, d)
+            },
+            move |object, undo| {
+                let d = i64::decode_all(undo).map_err(|e| e.to_string())?;
+                apply(object, -d)
+            },
+        );
+
+        let total = counters;
+        server.accept_requests(Arc::new(move |ctx, opcode, args| {
+            let mut r = Reader::new(args);
+            let idx = u64::decode(&mut r)
+                .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+            if idx >= total {
+                return Err(ServerError::BadRequest(format!("counter {idx} out of range")));
+            }
+            match opcode {
+                OP_READ => {
+                    // Readers exclude pending adds (type-specific matrix:
+                    // read incompatible with add).
+                    ctx.lock_object(lock_obj(ctx, idx, total), StdMode::Exclusive)?;
+                    let v = ctx
+                        .segment()
+                        .read_i64(idx * CELL)
+                        .map_err(|e| ServerError::Storage(e.to_string()))?;
+                    let mut w = Writer::new();
+                    v.encode(&mut w);
+                    Ok(w.into_vec())
+                }
+                OP_ADD => {
+                    let delta = i64::decode(&mut r)
+                        .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+                    // Adds commute: the add lock is the Shared embedding.
+                    ctx.lock_object(lock_obj(ctx, idx, total), StdMode::Shared)?;
+                    let obj = cell_obj(ctx, idx);
+                    // Apply in volatile memory, then spool the operation
+                    // record (name + amount), not page images.
+                    let cur = ctx
+                        .segment()
+                        .read_i64(obj.offset)
+                        .map_err(|e| ServerError::Storage(e.to_string()))?;
+                    ctx.segment()
+                        .write_i64(obj.offset, cur.wrapping_add(delta))
+                        .map_err(|e| ServerError::Storage(e.to_string()))?;
+                    ctx.log_operation(
+                        obj,
+                        "add",
+                        delta.encode_to_vec(),
+                        delta.encode_to_vec(),
+                    )?;
+                    Ok(Vec::new())
+                }
+                other => Err(ServerError::BadRequest(format!("opcode {other}"))),
+            }
+        }));
+        node.register_server(&server, name, "op-logged-counter", ObjectId::new(seg, 0, 8));
+        Ok(Self { server, counters })
+    }
+
+    /// A send right for callers.
+    pub fn send_right(&self) -> SendRight {
+        self.server.send_right()
+    }
+
+    /// Number of counters.
+    pub fn counters(&self) -> u64 {
+        self.counters
+    }
+}
+
+/// Client stub for the counter server.
+#[derive(Clone)]
+pub struct CounterClient {
+    app: AppHandle,
+    port: SendRight,
+}
+
+impl CounterClient {
+    /// Creates a stub talking to `port` via `app`.
+    pub fn new(app: AppHandle, port: SendRight) -> Self {
+        Self { app, port }
+    }
+
+    /// Reads the committed value.
+    pub fn read(&self, tid: Tid, idx: u64) -> Result<i64, tabs_app_lib::AppError> {
+        let mut w = Writer::new();
+        idx.encode(&mut w);
+        let out = self.app.call(&self.port, tid, OP_READ, w.into_vec())?;
+        i64::decode_all(&out).map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
+    }
+
+    /// Blind increment.
+    pub fn add(&self, tid: Tid, idx: u64, delta: i64) -> Result<(), tabs_app_lib::AppError> {
+        let mut w = Writer::new();
+        idx.encode(&mut w);
+        delta.encode(&mut w);
+        self.app.call(&self.port, tid, OP_ADD, w.into_vec())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabs_core::{Cluster, NodeId};
+
+    fn rig() -> (Arc<Cluster>, tabs_core::Node, CounterClient, AppHandle) {
+        let cluster = Cluster::new();
+        let node = cluster.boot_node(NodeId(1));
+        let srv = CounterServer::spawn(&node, "ctr", 8).unwrap();
+        node.recover().unwrap();
+        let app = node.app();
+        let client = CounterClient::new(app.clone(), srv.send_right());
+        (cluster, node, client, app)
+    }
+
+    #[test]
+    fn add_and_read() {
+        let (_c, node, ctr, app) = rig();
+        app.run(|t| {
+            ctr.add(t, 0, 5)?;
+            ctr.add(t, 0, 7)
+        })
+        .unwrap();
+        app.run(|t| {
+            assert_eq!(ctr.read(t, 0)?, 12);
+            Ok(())
+        })
+        .unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn concurrent_increments_commute() {
+        // Two *uncommitted* transactions increment the same counter — the
+        // type-specific add lock admits both. Strict read/write locking
+        // would have timed the second one out.
+        let (_c, node, ctr, app) = rig();
+        let t1 = app.begin_transaction(Tid::NULL).unwrap();
+        let t2 = app.begin_transaction(Tid::NULL).unwrap();
+        ctr.add(t1, 0, 10).unwrap();
+        ctr.add(t2, 0, 20).unwrap(); // would deadlock under S/X locking
+        assert!(app.end_transaction(t1).unwrap());
+        assert!(app.end_transaction(t2).unwrap());
+        app.run(|t| {
+            assert_eq!(ctr.read(t, 0)?, 30);
+            Ok(())
+        })
+        .unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn reader_excluded_while_adds_pending() {
+        let (_c, node, ctr, app) = rig();
+        let t1 = app.begin_transaction(Tid::NULL).unwrap();
+        ctr.add(t1, 0, 10).unwrap();
+        // A reader must not observe the uncommitted increment: the
+        // type-specific matrix makes read incompatible with add.
+        let t2 = app.begin_transaction(Tid::NULL).unwrap();
+        assert!(ctr.read(t2, 0).is_err(), "read blocked by pending add");
+        app.end_transaction(t2).unwrap();
+        assert!(app.end_transaction(t1).unwrap());
+        node.shutdown();
+    }
+
+    #[test]
+    fn abort_compensates_without_clobbering_concurrent_adds() {
+        // The heart of the operation-logging argument: t1 and t2 both
+        // increment; t1 aborts. Value logging would restore t1's
+        // pre-image and erase t2's work; compensation subtracts exactly
+        // t1's amount.
+        let (_c, node, ctr, app) = rig();
+        let t1 = app.begin_transaction(Tid::NULL).unwrap();
+        let t2 = app.begin_transaction(Tid::NULL).unwrap();
+        ctr.add(t1, 0, 100).unwrap();
+        ctr.add(t2, 0, 1).unwrap();
+        app.abort_transaction(t1).unwrap();
+        assert!(app.end_transaction(t2).unwrap());
+        app.run(|t| {
+            assert_eq!(ctr.read(t, 0)?, 1, "t2's increment survived t1's abort");
+            Ok(())
+        })
+        .unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn operation_replay_after_crash() {
+        let cluster = Cluster::new();
+        let node = cluster.boot_node(NodeId(1));
+        let srv = CounterServer::spawn(&node, "ctr", 8).unwrap();
+        node.recover().unwrap();
+        let app = node.app();
+        let ctr = CounterClient::new(app.clone(), srv.send_right());
+        app.run(|t| {
+            ctr.add(t, 0, 3)?;
+            ctr.add(t, 0, 4)
+        })
+        .unwrap();
+        // An uncommitted add rides into the crash.
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        ctr.add(t, 0, 1000).unwrap();
+        node.rm.force(None).unwrap();
+        drop(srv);
+        node.crash();
+
+        let node = cluster.boot_node(NodeId(1));
+        let srv = CounterServer::spawn(&node, "ctr", 8).unwrap();
+        let report = node.recover().unwrap();
+        assert!(report.ops_redone > 0 || report.ops_undone == 0);
+        let app = node.app();
+        let ctr = CounterClient::new(app.clone(), srv.send_right());
+        app.run(|t| {
+            assert_eq!(ctr.read(t, 0)?, 7, "committed ops replayed, loser gone");
+            Ok(())
+        })
+        .unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn log_volume_is_tiny() {
+        // The §2.1.3 claim: operation logging "may require less log
+        // space." One add costs a handful of bytes.
+        let (_c, node, ctr, app) = rig();
+        let before = node.rm.log().usage().0;
+        app.run(|t| ctr.add(t, 0, 1)).unwrap();
+        let after = node.rm.log().usage().0;
+        assert!(
+            after - before < 150,
+            "one op-logged txn cost {} log bytes",
+            after - before
+        );
+        node.shutdown();
+    }
+}

@@ -1,0 +1,606 @@
+//! The input/output server (§4.3).
+//!
+//! "The IO server extends the domain of TABS to include the bitmap display
+//! by restoring the screen contents after a failure, and by giving the
+//! user a comfortable model of transaction-based input/output. … While a
+//! transaction is in progress, the output is displayed in gray, to
+//! indicate its tentative nature. If the transaction commits, the output
+//! is redrawn in black. … If the transaction aborts, lines are drawn
+//! through the output."
+//!
+//! The state trick is reproduced exactly: "When a transaction establishes
+//! ownership of an area, the IO server uses `ExecuteTransaction` to write
+//! *aborted* into a state object in the data structure for the area. The
+//! IO server then has the client transaction lock the state object and set
+//! it to contain *committed*. … The IO server can now determine the
+//! transaction's current state by using the `IsObjectLocked` primitive",
+//! because recovery resets the cell to *aborted* if the client transaction
+//! aborts, and the old/new pair *aborted/committed* sits in the log.
+//!
+//! Output itself is written under server-owned top-level transactions
+//! (`ExecuteTransaction`) so it persists even when the client transaction
+//! later aborts — TABS's canonical non-recoverable action made sensible.
+//!
+//! The bitmap display is simulated as a recoverable character store with
+//! an ASCII renderer; "input" arrives through an injection opcode standing
+//! in for the keyboard.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tabs_codec::{Decode, Encode, Reader, Writer};
+use tabs_core::{AppHandle, Node, ObjectId};
+use tabs_kernel::{SendRight, Tid, PAGE_SIZE};
+use tabs_lock::StdMode;
+use tabs_proto::ServerError;
+use tabs_server_lib::{DataServer, OpCtx, ServerConfig};
+
+/// `ObtainIOarea` opcode.
+pub const OP_OBTAIN: u32 = 1;
+/// `DestroyIOarea` opcode.
+pub const OP_DESTROY: u32 = 2;
+/// `WriteToArea` opcode.
+pub const OP_WRITE: u32 = 3;
+/// `WritelnToArea` opcode.
+pub const OP_WRITELN: u32 = 4;
+/// `ReadCharFromArea` opcode.
+pub const OP_READ_CHAR: u32 = 5;
+/// `ReadLineFromArea` opcode.
+pub const OP_READ_LINE: u32 = 6;
+/// Renders the whole screen (the Figure 4-1 snapshot).
+pub const OP_RENDER: u32 = 7;
+/// Injects keyboard input for an area (the simulated keyboard).
+pub const OP_INJECT: u32 = 8;
+/// Structured per-line dump for tests.
+pub const OP_LINES: u32 = 9;
+
+/// Number of display areas ("Multiple input/output areas are maintained on
+/// the screen, to allow for concurrent interaction with the user").
+pub const MAX_AREAS: u64 = 4;
+/// Ownership epochs remembered per area.
+const EPOCHS: u64 = 8;
+/// Lines per area.
+const LINES: u64 = 32;
+/// Bytes per line record.
+const LINE_REC: u64 = 128;
+/// Text payload per line.
+const LINE_W: usize = 104;
+/// Bytes per area on the recoverable segment.
+const AREA_BYTES: u64 = PAGE_SIZE as u64 + LINES * LINE_REC;
+
+/// Rendering state of a display line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AreaState {
+    /// Gray: the owning transaction is still in progress.
+    InProgress,
+    /// Black: the owning transaction committed.
+    Committed,
+    /// Struck through: the owning transaction aborted.
+    Aborted,
+}
+
+fn area_base(area: u64) -> u64 {
+    area * AREA_BYTES
+}
+
+fn state_cell(ctx: &OpCtx<'_>, area: u64, epoch: u64) -> ObjectId {
+    ctx.create_object_id(area_base(area) + 32 + (epoch % EPOCHS) * 8, 8)
+}
+
+struct IoShared {
+    /// Pending keyboard input per area.
+    input: Vec<VecDeque<String>>,
+}
+
+/// The I/O server.
+pub struct IoServer {
+    server: DataServer,
+}
+
+impl IoServer {
+    /// Spawns the I/O server on `node`.
+    pub fn spawn(node: &Node, name: &str) -> Result<Self, ServerError> {
+        let pages = (MAX_AREAS * AREA_BYTES).div_ceil(PAGE_SIZE as u64) as u32;
+        let seg = node.add_segment(&format!("{name}-segment"), pages);
+        let server = DataServer::new(&node.deps(), ServerConfig::new(name, seg))?;
+        let shared = Arc::new(Mutex::new(IoShared {
+            input: (0..MAX_AREAS).map(|_| VecDeque::new()).collect(),
+        }));
+        server.accept_requests(Arc::new(move |ctx, opcode, args| {
+            dispatch(ctx, opcode, args, &shared)
+        }));
+        node.register_server(&server, name, "io", ObjectId::new(seg, 0, 8));
+        Ok(Self { server })
+    }
+
+    /// A send right for callers.
+    pub fn send_right(&self) -> SendRight {
+        self.server.send_right()
+    }
+}
+
+fn seg_read_u64(ctx: &OpCtx<'_>, off: u64) -> Result<u64, ServerError> {
+    ctx.segment()
+        .read_u64(off)
+        .map_err(|e| ServerError::Storage(e.to_string()))
+}
+
+/// Logged single-word write (lock + pin/buffer + log).
+fn logged_write_u64(ctx: &OpCtx<'_>, off: u64, v: u64) -> Result<(), ServerError> {
+    let obj = ctx.create_object_id(off, 8);
+    ctx.lock_object(obj, StdMode::Exclusive)?;
+    ctx.pin_and_buffer(obj)?;
+    ctx.write_raw(obj, &v.to_le_bytes())?;
+    ctx.log_and_unpin(obj)?;
+    Ok(())
+}
+
+fn dispatch(
+    ctx: &OpCtx<'_>,
+    opcode: u32,
+    args: &[u8],
+    shared: &Mutex<IoShared>,
+) -> Result<Vec<u8>, ServerError> {
+    let mut r = Reader::new(args);
+    match opcode {
+        OP_OBTAIN => obtain(ctx),
+        OP_DESTROY => {
+            let area = decode_area(&mut r)?;
+            destroy(ctx, area)
+        }
+        OP_WRITE | OP_WRITELN => {
+            let area = decode_area(&mut r)?;
+            let text =
+                String::decode(&mut r).map_err(|e| ServerError::BadRequest(e.to_string()))?;
+            write_line(ctx, area, &text, 0)
+        }
+        OP_READ_CHAR | OP_READ_LINE => {
+            let area = decode_area(&mut r)?;
+            let line = {
+                let mut s = shared.lock();
+                s.input[area as usize].pop_front()
+            };
+            let mut line = line.ok_or(ServerError::Other("no pending input".into()))?;
+            if opcode == OP_READ_CHAR {
+                line.truncate(line.chars().next().map(|c| c.len_utf8()).unwrap_or(0));
+            }
+            // Echo the consumed input to the display ("The rectangles drawn
+            // around user input indicate that the characters have been read
+            // by the application").
+            write_line(ctx, area, &line, 1)?;
+            let mut w = Writer::new();
+            line.encode(&mut w);
+            Ok(w.into_vec())
+        }
+        OP_RENDER => {
+            let text = render(ctx)?;
+            let mut w = Writer::new();
+            text.encode(&mut w);
+            Ok(w.into_vec())
+        }
+        OP_INJECT => {
+            let area = decode_area(&mut r)?;
+            let text =
+                String::decode(&mut r).map_err(|e| ServerError::BadRequest(e.to_string()))?;
+            shared.lock().input[area as usize].push_back(text);
+            Ok(Vec::new())
+        }
+        OP_LINES => {
+            let area = decode_area(&mut r)?;
+            lines_of(ctx, area)
+        }
+        other => Err(ServerError::BadRequest(format!("opcode {other}"))),
+    }
+}
+
+fn decode_area(r: &mut Reader<'_>) -> Result<u64, ServerError> {
+    let area = u64::decode(r).map_err(|e| ServerError::BadRequest(e.to_string()))?;
+    if area >= MAX_AREAS {
+        return Err(ServerError::BadRequest(format!("area {area} out of range")));
+    }
+    Ok(area)
+}
+
+/// `ObtainIOarea`: allocate an area to the calling transaction and arm the
+/// aborted/committed state object.
+fn obtain(ctx: &OpCtx<'_>) -> Result<Vec<u8>, ServerError> {
+    // Find a free area (monitor-serialized scan).
+    let mut chosen = None;
+    for area in 0..MAX_AREAS {
+        if seg_read_u64(ctx, area_base(area))? == 0 {
+            chosen = Some(area);
+            break;
+        }
+    }
+    let area = chosen.ok_or(ServerError::Other("no free io areas".into()))?;
+    let epoch = seg_read_u64(ctx, area_base(area) + 8)? + 1;
+
+    // Under a server-owned transaction: mark allocated, bump the epoch,
+    // and write *aborted* (0) into the epoch's state object.
+    ctx.execute_transaction(|inner| {
+        logged_write_u64(inner, area_base(area), 1)?;
+        logged_write_u64(inner, area_base(area) + 8, epoch)?;
+        let cell = state_cell(inner, area, epoch);
+        inner.lock_object(cell, StdMode::Exclusive)?;
+        inner.pin_and_buffer(cell)?;
+        inner.write_raw(cell, &0u64.to_le_bytes())?;
+        inner.log_and_unpin(cell)?;
+        Ok(Vec::new())
+    })?;
+
+    // Now the *client* transaction locks the state object and sets it to
+    // *committed* (1): the old/new pair aborted/committed is in the log
+    // under the client tid, and the lock makes IsObjectLocked the
+    // in-progress test.
+    let cell = state_cell(ctx, area, epoch);
+    ctx.lock_object(cell, StdMode::Exclusive)?;
+    ctx.pin_and_buffer(cell)?;
+    ctx.write_raw(cell, &1u64.to_le_bytes())?;
+    ctx.log_and_unpin(cell)?;
+
+    let mut w = Writer::new();
+    area.encode(&mut w);
+    Ok(w.into_vec())
+}
+
+fn destroy(ctx: &OpCtx<'_>, area: u64) -> Result<Vec<u8>, ServerError> {
+    ctx.execute_transaction(|inner| {
+        logged_write_u64(inner, area_base(area), 0)?;
+        logged_write_u64(inner, area_base(area) + 16, 0)?; // next_line
+        Ok(Vec::new())
+    })?;
+    Ok(Vec::new())
+}
+
+/// Appends one display line under a server-owned top-level transaction so
+/// it survives a later client abort ("The IO server displays all output as
+/// it occurs").
+fn write_line(ctx: &OpCtx<'_>, area: u64, text: &str, kind: u64) -> Result<Vec<u8>, ServerError> {
+    if seg_read_u64(ctx, area_base(area))? == 0 {
+        return Err(ServerError::BadRequest(format!("area {area} not allocated")));
+    }
+    let epoch = seg_read_u64(ctx, area_base(area) + 8)?;
+    ctx.execute_transaction(|inner| {
+        let next = seg_read_u64(inner, area_base(area) + 16)?;
+        if next >= LINES {
+            return Err(ServerError::Other("area full".into()));
+        }
+        let base = area_base(area) + PAGE_SIZE as u64 + next * LINE_REC;
+        let obj = inner.create_object_id(base, LINE_REC as u32);
+        inner.lock_object(obj, StdMode::Exclusive)?;
+        inner.pin_and_buffer(obj)?;
+        let mut rec = vec![0u8; LINE_REC as usize];
+        rec[..8].copy_from_slice(&epoch.to_le_bytes());
+        rec[8..16].copy_from_slice(&kind.to_le_bytes());
+        let bytes = text.as_bytes();
+        let n = bytes.len().min(LINE_W);
+        rec[16..24].copy_from_slice(&(n as u64).to_le_bytes());
+        rec[24..24 + n].copy_from_slice(&bytes[..n]);
+        inner.write_raw(obj, &rec)?;
+        inner.log_and_unpin(obj)?;
+        logged_write_u64(inner, area_base(area) + 16, next + 1)?;
+        Ok(Vec::new())
+    })
+}
+
+/// Determines the display state of an epoch via the state-object trick.
+fn epoch_state(ctx: &OpCtx<'_>, area: u64, epoch: u64) -> Result<AreaState, ServerError> {
+    let cell = state_cell(ctx, area, epoch);
+    // "If the state object is locked, the client transaction is still in
+    // progress. If the object is no longer locked, then the transaction
+    // has finished" — committed or reset to aborted by recovery.
+    if ctx.is_object_locked(cell) {
+        return Ok(AreaState::InProgress);
+    }
+    let v = seg_read_u64(ctx, cell.offset)?;
+    Ok(if v == 1 { AreaState::Committed } else { AreaState::Aborted })
+}
+
+fn line_record(
+    ctx: &OpCtx<'_>,
+    area: u64,
+    line: u64,
+) -> Result<(u64, u64, String), ServerError> {
+    let base = area_base(area) + PAGE_SIZE as u64 + line * LINE_REC;
+    let rec = ctx
+        .segment()
+        .read_vec(base, LINE_REC as usize)
+        .map_err(|e| ServerError::Storage(e.to_string()))?;
+    let epoch = u64::from_le_bytes(rec[..8].try_into().unwrap());
+    let kind = u64::from_le_bytes(rec[8..16].try_into().unwrap());
+    let len = u64::from_le_bytes(rec[16..24].try_into().unwrap()) as usize;
+    let len = len.min(LINE_W);
+    let text = String::from_utf8_lossy(&rec[24..24 + len]).into_owned();
+    Ok((epoch, kind, text))
+}
+
+/// Renders the whole screen as ASCII, in the style of Figure 4-1: plain =
+/// black (committed), `░` prefix = gray (in progress), `~…~` = struck
+/// through (aborted), `[…]` = input that was read by the application.
+fn render(ctx: &OpCtx<'_>) -> Result<String, ServerError> {
+    let mut out = String::new();
+    for area in 0..MAX_AREAS {
+        if seg_read_u64(ctx, area_base(area))? == 0 {
+            continue;
+        }
+        out.push_str(&format!("=== area {area} ===\n"));
+        let next = seg_read_u64(ctx, area_base(area) + 16)?;
+        for line in 0..next.min(LINES) {
+            let (epoch, kind, text) = line_record(ctx, area, line)?;
+            let state = epoch_state(ctx, area, epoch)?;
+            let rendered = match (kind, state) {
+                (1, _) => format!("[{text}]"),
+                (_, AreaState::InProgress) => format!("\u{2591} {text}"),
+                (_, AreaState::Committed) => format!("  {text}"),
+                (_, AreaState::Aborted) => format!("~ {text} ~"),
+            };
+            out.push_str(&rendered);
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+fn lines_of(ctx: &OpCtx<'_>, area: u64) -> Result<Vec<u8>, ServerError> {
+    let next = seg_read_u64(ctx, area_base(area) + 16)?;
+    let mut w = Writer::new();
+    w.put_varint(next.min(LINES));
+    for line in 0..next.min(LINES) {
+        let (epoch, kind, text) = line_record(ctx, area, line)?;
+        let state = match epoch_state(ctx, area, epoch)? {
+            AreaState::Aborted => 0u8,
+            AreaState::Committed => 1,
+            AreaState::InProgress => 2,
+        };
+        w.put_u8(state);
+        w.put_u8(kind as u8);
+        text.encode(&mut w);
+    }
+    Ok(w.into_vec())
+}
+
+/// Client stub for the I/O server.
+#[derive(Clone)]
+pub struct IoClient {
+    app: AppHandle,
+    port: SendRight,
+}
+
+impl IoClient {
+    /// Creates a stub talking to `port` via `app`.
+    pub fn new(app: AppHandle, port: SendRight) -> Self {
+        Self { app, port }
+    }
+
+    fn area_args(area: u64) -> Writer {
+        let mut w = Writer::new();
+        area.encode(&mut w);
+        w
+    }
+
+    /// `ObtainIOarea`.
+    pub fn obtain_area(&self, tid: Tid) -> Result<u64, tabs_app_lib::AppError> {
+        let out = self.app.call(&self.port, tid, OP_OBTAIN, Vec::new())?;
+        u64::decode_all(&out).map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
+    }
+
+    /// `DestroyIOarea`.
+    pub fn destroy_area(&self, tid: Tid, area: u64) -> Result<(), tabs_app_lib::AppError> {
+        self.app
+            .call(&self.port, tid, OP_DESTROY, Self::area_args(area).into_vec())?;
+        Ok(())
+    }
+
+    /// `WritelnToArea`.
+    pub fn writeln(&self, tid: Tid, area: u64, text: &str) -> Result<(), tabs_app_lib::AppError> {
+        let mut w = Self::area_args(area);
+        text.to_string().encode(&mut w);
+        self.app.call(&self.port, tid, OP_WRITELN, w.into_vec())?;
+        Ok(())
+    }
+
+    /// `ReadLineFromArea`.
+    pub fn read_line(&self, tid: Tid, area: u64) -> Result<String, tabs_app_lib::AppError> {
+        let out = self
+            .app
+            .call(&self.port, tid, OP_READ_LINE, Self::area_args(area).into_vec())?;
+        String::decode_all(&out).map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
+    }
+
+    /// `ReadCharFromArea`.
+    pub fn read_char(&self, tid: Tid, area: u64) -> Result<String, tabs_app_lib::AppError> {
+        let out = self
+            .app
+            .call(&self.port, tid, OP_READ_CHAR, Self::area_args(area).into_vec())?;
+        String::decode_all(&out).map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
+    }
+
+    /// Injects keyboard input (the simulated user typing).
+    pub fn inject(&self, area: u64, text: &str) -> Result<(), tabs_app_lib::AppError> {
+        let mut w = Self::area_args(area);
+        text.to_string().encode(&mut w);
+        self.app.call(&self.port, Tid::NULL, OP_INJECT, w.into_vec())?;
+        Ok(())
+    }
+
+    /// Renders the screen (Figure 4-1 style).
+    pub fn render(&self) -> Result<String, tabs_app_lib::AppError> {
+        let out = self.app.call(&self.port, Tid::NULL, OP_RENDER, Vec::new())?;
+        String::decode_all(&out).map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
+    }
+
+    /// Structured line dump: `(state, kind, text)` per line.
+    pub fn lines(&self, area: u64) -> Result<Vec<(AreaState, u64, String)>, tabs_app_lib::AppError> {
+        let out = self
+            .app
+            .call(&self.port, Tid::NULL, OP_LINES, Self::area_args(area).into_vec())?;
+        let mut r = Reader::new(&out);
+        let n = r
+            .get_varint()
+            .map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))?;
+        let mut v = Vec::new();
+        for _ in 0..n {
+            let state = match r.get_u8().map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))? {
+                0 => AreaState::Aborted,
+                1 => AreaState::Committed,
+                _ => AreaState::InProgress,
+            };
+            let kind =
+                u64::from(r.get_u8().map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))?);
+            let text =
+                String::decode(&mut r).map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))?;
+            v.push((state, kind, text));
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabs_core::{Cluster, NodeId};
+
+    fn rig() -> (Arc<Cluster>, tabs_core::Node, IoClient, AppHandle) {
+        let cluster = Cluster::new();
+        let node = cluster.boot_node(NodeId(1));
+        let io = IoServer::spawn(&node, "io").unwrap();
+        node.recover().unwrap();
+        let app = node.app();
+        let client = IoClient::new(app.clone(), io.send_right());
+        (cluster, node, client, app)
+    }
+
+    #[test]
+    fn committed_output_turns_black() {
+        let (_c, node, io, app) = rig();
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        let area = io.obtain_area(t).unwrap();
+        io.writeln(t, area, "deposit 35").unwrap();
+        // While in progress: gray.
+        let lines = io.lines(area).unwrap();
+        assert_eq!(lines[0].0, AreaState::InProgress);
+        assert!(io.render().unwrap().contains("\u{2591} deposit 35"));
+        // After commit: black.
+        assert!(app.end_transaction(t).unwrap());
+        let lines = io.lines(area).unwrap();
+        assert_eq!(lines[0], (AreaState::Committed, 0, "deposit 35".into()));
+        assert!(io.render().unwrap().contains("  deposit 35"));
+        node.shutdown();
+    }
+
+    #[test]
+    fn aborted_output_is_struck_through_but_visible() {
+        let (_c, node, io, app) = rig();
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        let area = io.obtain_area(t).unwrap();
+        io.writeln(t, area, "withdraw 80").unwrap();
+        app.abort_transaction(t).unwrap();
+        // "This is preferable to making the output disappear."
+        let lines = io.lines(area).unwrap();
+        assert_eq!(lines[0], (AreaState::Aborted, 0, "withdraw 80".into()));
+        assert!(io.render().unwrap().contains("~ withdraw 80 ~"));
+        node.shutdown();
+    }
+
+    #[test]
+    fn read_line_echoes_input_in_rectangles() {
+        let (_c, node, io, app) = rig();
+        io.inject(0, "35").unwrap();
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        let area = io.obtain_area(t).unwrap();
+        assert_eq!(area, 0);
+        let input = io.read_line(t, area).unwrap();
+        assert_eq!(input, "35");
+        assert!(app.end_transaction(t).unwrap());
+        assert!(io.render().unwrap().contains("[35]"));
+        node.shutdown();
+    }
+
+    #[test]
+    fn read_char_takes_first_char() {
+        let (_c, node, io, app) = rig();
+        io.inject(0, "yes").unwrap();
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        let area = io.obtain_area(t).unwrap();
+        assert_eq!(io.read_char(t, area).unwrap(), "y");
+        app.end_transaction(t).unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn screen_restored_after_crash_with_aborted_epoch() {
+        // Figure 4-1, area two: the node failed during a transaction; after
+        // restart the screen shows the output struck through.
+        let cluster = Cluster::new();
+        let node = cluster.boot_node(NodeId(1));
+        let io = IoServer::spawn(&node, "io").unwrap();
+        node.recover().unwrap();
+        let app = node.app();
+        let client = IoClient::new(app.clone(), io.send_right());
+
+        // A committed interaction first.
+        let t1 = app.begin_transaction(Tid::NULL).unwrap();
+        let a = client.obtain_area(t1).unwrap();
+        client.writeln(t1, a, "deposit 35 -> ok").unwrap();
+        assert!(app.end_transaction(t1).unwrap());
+
+        // A second area with an interaction cut short by the crash.
+        let t2 = app.begin_transaction(Tid::NULL).unwrap();
+        let b = client.obtain_area(t2).unwrap();
+        client.writeln(t2, b, "withdraw 80").unwrap();
+        node.rm.force(None).unwrap();
+        drop(io);
+        node.crash();
+
+        let node = cluster.boot_node(NodeId(1));
+        let io = IoServer::spawn(&node, "io").unwrap();
+        node.recover().unwrap();
+        let app = node.app();
+        let client = IoClient::new(app.clone(), io.send_right());
+        let screen = client.render().unwrap();
+        assert!(screen.contains("  deposit 35 -> ok"), "committed stayed black:\n{screen}");
+        assert!(screen.contains("~ withdraw 80 ~"), "crashed txn struck through:\n{screen}");
+        node.shutdown();
+    }
+
+    #[test]
+    fn destroy_frees_area_for_reuse() {
+        let (_c, node, io, app) = rig();
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        let a = io.obtain_area(t).unwrap();
+        io.destroy_area(t, a).unwrap();
+        let b = io.obtain_area(t).unwrap();
+        assert_eq!(a, b, "freed area was reused");
+        app.end_transaction(t).unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn concurrent_areas_for_concurrent_transactions() {
+        let (_c, node, io, app) = rig();
+        let t1 = app.begin_transaction(Tid::NULL).unwrap();
+        let t2 = app.begin_transaction(Tid::NULL).unwrap();
+        let a1 = io.obtain_area(t1).unwrap();
+        let a2 = io.obtain_area(t2).unwrap();
+        assert_ne!(a1, a2);
+        io.writeln(t1, a1, "one").unwrap();
+        io.writeln(t2, a2, "two").unwrap();
+        app.end_transaction(t1).unwrap();
+        app.abort_transaction(t2).unwrap();
+        assert_eq!(io.lines(a1).unwrap()[0].0, AreaState::Committed);
+        assert_eq!(io.lines(a2).unwrap()[0].0, AreaState::Aborted);
+        node.shutdown();
+    }
+
+    #[test]
+    fn no_pending_input_is_an_error() {
+        let (_c, node, io, app) = rig();
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        let a = io.obtain_area(t).unwrap();
+        assert!(io.read_line(t, a).is_err());
+        app.abort_transaction(t).unwrap();
+        node.shutdown();
+    }
+}

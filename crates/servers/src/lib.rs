@@ -1,0 +1,41 @@
+//! The five TABS data servers of §4 ("The TABS Prototype In Use").
+//!
+//! "This section presents five of the data servers we have implemented
+//! with the TABS prototype: the integer array server, the weak queue
+//! server, the IO server, the B-tree server, and the replicated directory
+//! object. … Although these objects do not constitute user-level
+//! applications, they represent rather important building blocks."
+//!
+//! - [`mod@array`] — the integer array server (§4.1): the simplest server,
+//!   two-phase locking + value logging, GetCell/SetCell.
+//! - [`queue`] — the weak queue (semi-queue) server (§4.2): permanent and
+//!   failure atomic but *not serializable*; per-element locks, InUse bits,
+//!   a volatile tail pointer protected only by the coroutine monitor, and
+//!   garbage collection of the head as a side effect of Enqueue.
+//! - [`io`] — the I/O server (§4.3): a recoverable terminal display whose
+//!   output is gray while tentative, black once committed, and struck
+//!   through when aborted; uses `ExecuteTransaction` and the
+//!   state-object/IsObjectLocked trick.
+//! - [`btree`] — the B-tree server (§4.4): multi-key directory entries in
+//!   a recoverable segment, with a recoverable storage allocator whose
+//!   blocks free themselves on abort.
+//! - [`repdir`] — the replicated directory object (§4.5): weighted voting
+//!   (Gifford) over directory representatives on multiple nodes, with
+//!   global coordination linked into the client program.
+//! - [`counter`] — a sixth server beyond the paper's five: an
+//!   operation-logged, type-specifically-locked counter exercising the
+//!   primitives §7 lists as future work.
+
+pub mod array;
+pub mod btree;
+pub mod counter;
+pub mod io;
+pub mod queue;
+pub mod repdir;
+
+pub use array::{IntArrayClient, IntArrayServer};
+pub use counter::{CounterClient, CounterServer};
+pub use btree::{BTreeClient, BTreeServer};
+pub use io::{AreaState, IoClient, IoServer};
+pub use queue::{WeakQueueClient, WeakQueueServer};
+pub use repdir::{RepDirCoordinator, RepDirServer};

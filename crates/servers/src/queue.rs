@@ -1,0 +1,511 @@
+//! The weak queue (semi-queue) server (§4.2).
+//!
+//! "In a weak queue, items in the queue are not guaranteed to be dequeued
+//! strictly in the order that they were enqueued. Relaxing the strict FIFO
+//! nature of the queue allows greater concurrency while retaining failure
+//! atomicity."
+//!
+//! Implementation notes straight from the paper:
+//!
+//! - "The queue is implemented as an array of individually lockable
+//!   elements, with head and tail pointers bounding the currently used
+//!   section of the array. … each element in the array contains both its
+//!   contents and an extra boolean, `InUse`."
+//! - "The head pointer is a permanent, failure atomic object. The tail
+//!   pointer can be recomputed after crashes by examining the head pointer
+//!   and InUse bits, so it is kept in volatile storage."
+//! - "Because the tail pointer is not locked, the weak queue server relies
+//!   on the monitor semantics of TABS coroutines to ensure that only a
+//!   single transaction at a time can update the tail pointer."
+//! - Dequeue "scans elements starting at the head pointer, using the
+//!   `IsObjectLocked` primitive, and then testing the InUse bit."
+//! - "The current implementation does the garbage collection as a side
+//!   effect of Enqueue."
+//!
+//! The weak queue is permanent and failure atomic but **not
+//! serializable** — the paper's example of TABS supporting objects that
+//! deliberately relax transaction properties.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tabs_codec::{Decode, Encode, Reader, Writer};
+use tabs_core::{AppHandle, Node, ObjectId};
+use tabs_kernel::{SendRight, Tid, PAGE_SIZE};
+use tabs_lock::StdMode;
+use tabs_proto::ServerError;
+use tabs_server_lib::{DataServer, OpCtx, ServerConfig};
+
+/// `Enqueue` opcode.
+pub const OP_ENQUEUE: u32 = 1;
+/// `Dequeue` opcode.
+pub const OP_DEQUEUE: u32 = 2;
+/// `IsQueueEmpty` opcode.
+pub const OP_IS_EMPTY: u32 = 3;
+
+/// Element layout: `InUse` word + value word.
+const ELEM: u64 = 16;
+/// Elements start on the page after the head pointer.
+const ELEMS_BASE: u64 = PAGE_SIZE as u64;
+
+struct Volatile {
+    /// The volatile tail pointer; `None` until recomputed after boot.
+    tail: Option<u64>,
+}
+
+/// The weak queue server.
+pub struct WeakQueueServer {
+    server: DataServer,
+    capacity: u64,
+}
+
+fn head_obj(ctx: &OpCtx<'_>) -> ObjectId {
+    ctx.create_object_id(0, 8)
+}
+
+fn elem_obj(ctx: &OpCtx<'_>, capacity: u64, logical: u64) -> ObjectId {
+    let slot = logical % capacity;
+    ctx.create_object_id(ELEMS_BASE + slot * ELEM, ELEM as u32)
+}
+
+fn read_head(ctx: &OpCtx<'_>) -> Result<u64, ServerError> {
+    // Unprotected read (checked for fullness only); the head is updated
+    // transactionally by garbage collection.
+    ctx.segment()
+        .read_u64(0)
+        .map_err(|e| ServerError::Storage(e.to_string()))
+}
+
+fn read_elem(ctx: &OpCtx<'_>, capacity: u64, logical: u64) -> Result<(bool, i64), ServerError> {
+    let slot = logical % capacity;
+    let base = ELEMS_BASE + slot * ELEM;
+    let in_use = ctx
+        .segment()
+        .read_u64(base)
+        .map_err(|e| ServerError::Storage(e.to_string()))?;
+    let value = ctx
+        .segment()
+        .read_i64(base + 8)
+        .map_err(|e| ServerError::Storage(e.to_string()))?;
+    Ok((in_use != 0, value))
+}
+
+/// Recomputes the volatile tail from the head pointer and InUse bits.
+fn recompute_tail(ctx: &OpCtx<'_>, capacity: u64) -> Result<u64, ServerError> {
+    let head = read_head(ctx)?;
+    let mut tail = head;
+    for i in 0..capacity {
+        let (in_use, _) = read_elem(ctx, capacity, head + i)?;
+        if in_use {
+            tail = head + i + 1;
+        }
+    }
+    Ok(tail)
+}
+
+fn ensure_tail(
+    ctx: &OpCtx<'_>,
+    capacity: u64,
+    vol: &Mutex<Volatile>,
+) -> Result<u64, ServerError> {
+    let mut v = vol.lock();
+    match v.tail {
+        Some(t) => Ok(t),
+        None => {
+            let t = recompute_tail(ctx, capacity)?;
+            v.tail = Some(t);
+            Ok(t)
+        }
+    }
+}
+
+impl WeakQueueServer {
+    /// Spawns a weak queue of `capacity` elements on `node`.
+    pub fn spawn(node: &Node, name: &str, capacity: u64) -> Result<Self, ServerError> {
+        let bytes = ELEMS_BASE + capacity * ELEM;
+        let pages = bytes.div_ceil(PAGE_SIZE as u64) as u32;
+        let seg = node.add_segment(&format!("{name}-segment"), pages);
+        let server = DataServer::new(&node.deps(), ServerConfig::new(name, seg))?;
+        let vol = Arc::new(Mutex::new(Volatile { tail: None }));
+        let cap = capacity;
+        server.accept_requests(Arc::new(move |ctx, opcode, args| match opcode {
+            OP_ENQUEUE => enqueue(ctx, cap, &vol, args),
+            OP_DEQUEUE => dequeue(ctx, cap, &vol),
+            OP_IS_EMPTY => is_empty(ctx, cap, &vol),
+            other => Err(ServerError::BadRequest(format!("opcode {other}"))),
+        }));
+        node.register_server(&server, name, "weak-queue", ObjectId::new(seg, 0, 8));
+        Ok(Self { server, capacity })
+    }
+
+    /// A send right for callers.
+    pub fn send_right(&self) -> SendRight {
+        self.server.send_right()
+    }
+
+    /// Queue capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// The library server underneath (tests).
+    pub fn server(&self) -> &DataServer {
+        &self.server
+    }
+}
+
+/// "To add a new item to the queue, Enqueue places the item in the element
+/// below the tail pointer, sets that element's InUse bit to true, and sets
+/// the tail pointer to the new element."
+fn enqueue(
+    ctx: &OpCtx<'_>,
+    capacity: u64,
+    vol: &Mutex<Volatile>,
+    args: &[u8],
+) -> Result<Vec<u8>, ServerError> {
+    let mut r = Reader::new(args);
+    let value = i64::decode(&mut r).map_err(|e| ServerError::BadRequest(e.to_string()))?;
+    let tail = ensure_tail(ctx, capacity, vol)?;
+    // Garbage-collect first so a window full of already-dequeued gaps can
+    // be reclaimed by the very enqueue that needs the space.
+    garbage_collect_head(ctx, capacity, tail)?;
+    let head = read_head(ctx)?;
+    if tail - head >= capacity {
+        return Err(ServerError::Other("queue full".into()));
+    }
+    let obj = elem_obj(ctx, capacity, tail);
+    // The slot below the tail must be free; a conditional lock keeps the
+    // whole operation wait-free so the monitor is never released and the
+    // unlocked tail update stays safe.
+    if !ctx.conditionally_lock_object(obj, StdMode::Exclusive) {
+        return Err(ServerError::Other("tail slot busy".into()));
+    }
+    ctx.pin_and_buffer(obj)?;
+    let mut bytes = Vec::with_capacity(16);
+    bytes.extend_from_slice(&1u64.to_le_bytes());
+    bytes.extend_from_slice(&value.to_le_bytes());
+    ctx.write_raw(obj, &bytes)?;
+    ctx.log_and_unpin(obj)?;
+    vol.lock().tail = Some(tail + 1);
+    Ok(Vec::new())
+}
+
+/// "Abstractly, one imagines a 'garbage collection' operation that …
+/// moves the head pointer past any elements that are not locked, and whose
+/// InUse bits are False. The current implementation does the garbage
+/// collection as a side effect of Enqueue."
+fn garbage_collect_head(
+    ctx: &OpCtx<'_>,
+    capacity: u64,
+    tail: u64,
+) -> Result<(), ServerError> {
+    let head = read_head(ctx)?;
+    let mut new_head = head;
+    while new_head < tail {
+        let obj = elem_obj(ctx, capacity, new_head);
+        if ctx.is_object_locked(obj) {
+            break;
+        }
+        let (in_use, _) = read_elem(ctx, capacity, new_head)?;
+        if in_use {
+            break;
+        }
+        new_head += 1;
+    }
+    if new_head > head {
+        let hobj = head_obj(ctx);
+        // Conditional: if another transaction is touching the head, skip
+        // collection this time.
+        if ctx.conditionally_lock_object(hobj, StdMode::Exclusive) {
+            ctx.pin_and_buffer(hobj)?;
+            ctx.write_raw(hobj, &new_head.to_le_bytes())?;
+            ctx.log_and_unpin(hobj)?;
+        }
+    }
+    Ok(())
+}
+
+/// "Dequeue scans elements starting at the head pointer, using the
+/// IsObjectLocked primitive, and then testing the InUse bit. When an
+/// unlocked element whose InUse bit is True is found, Dequeue locks it and
+/// returns its contents."
+fn dequeue(
+    ctx: &OpCtx<'_>,
+    capacity: u64,
+    vol: &Mutex<Volatile>,
+) -> Result<Vec<u8>, ServerError> {
+    let tail = ensure_tail(ctx, capacity, vol)?;
+    let head = read_head(ctx)?;
+    for logical in head..tail {
+        let obj = elem_obj(ctx, capacity, logical);
+        if ctx.is_object_locked(obj) {
+            continue; // another operation is still manipulating it
+        }
+        let (in_use, value) = read_elem(ctx, capacity, logical)?;
+        if !in_use {
+            continue; // the enqueue aborted or it was already dequeued
+        }
+        if !ctx.conditionally_lock_object(obj, StdMode::Exclusive) {
+            continue;
+        }
+        // Clear InUse under the lock; on abort the bit (and value) are
+        // restored along with the previous contents of the element.
+        ctx.pin_and_buffer(obj)?;
+        let mut bytes = Vec::with_capacity(16);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&value.to_le_bytes());
+        ctx.write_raw(obj, &bytes)?;
+        ctx.log_and_unpin(obj)?;
+        let mut w = Writer::new();
+        Some(value).encode(&mut w);
+        return Ok(w.into_vec());
+    }
+    let mut w = Writer::new();
+    Option::<i64>::None.encode(&mut w);
+    Ok(w.into_vec())
+}
+
+fn is_empty(
+    ctx: &OpCtx<'_>,
+    capacity: u64,
+    vol: &Mutex<Volatile>,
+) -> Result<Vec<u8>, ServerError> {
+    let tail = ensure_tail(ctx, capacity, vol)?;
+    let head = read_head(ctx)?;
+    let mut empty = true;
+    for logical in head..tail {
+        // An element counts as present while its InUse bit is set, whether
+        // or not someone holds its lock (an in-progress enqueue sets the
+        // bit; an in-progress dequeue has already cleared it).
+        let (in_use, _) = read_elem(ctx, capacity, logical)?;
+        if in_use {
+            empty = false;
+            break;
+        }
+    }
+    let mut w = Writer::new();
+    empty.encode(&mut w);
+    Ok(w.into_vec())
+}
+
+/// Client stub for the weak queue server.
+#[derive(Clone)]
+pub struct WeakQueueClient {
+    app: AppHandle,
+    port: SendRight,
+}
+
+impl WeakQueueClient {
+    /// Creates a stub talking to `port` via `app`.
+    pub fn new(app: AppHandle, port: SendRight) -> Self {
+        Self { app, port }
+    }
+
+    /// `Enqueue(data)`.
+    pub fn enqueue(&self, tid: Tid, value: i64) -> Result<(), tabs_app_lib::AppError> {
+        let mut w = Writer::new();
+        value.encode(&mut w);
+        self.app.call(&self.port, tid, OP_ENQUEUE, w.into_vec())?;
+        Ok(())
+    }
+
+    /// `Dequeue` — `None` when no element is currently dequeuable.
+    pub fn dequeue(&self, tid: Tid) -> Result<Option<i64>, tabs_app_lib::AppError> {
+        let out = self.app.call(&self.port, tid, OP_DEQUEUE, Vec::new())?;
+        Option::<i64>::decode_all(&out)
+            .map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
+    }
+
+    /// `IsQueueEmpty`.
+    pub fn is_empty(&self, tid: Tid) -> Result<bool, tabs_app_lib::AppError> {
+        let out = self.app.call(&self.port, tid, OP_IS_EMPTY, Vec::new())?;
+        bool::decode_all(&out).map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabs_core::{Cluster, NodeId};
+
+    fn rig(capacity: u64) -> (Arc<Cluster>, tabs_core::Node, WeakQueueClient, AppHandle) {
+        let cluster = Cluster::new();
+        let node = cluster.boot_node(NodeId(1));
+        let q = WeakQueueServer::spawn(&node, "q", capacity).unwrap();
+        node.recover().unwrap();
+        let app = node.app();
+        let client = WeakQueueClient::new(app.clone(), q.send_right());
+        (cluster, node, client, app)
+    }
+
+    #[test]
+    fn fifo_when_uncontended() {
+        let (_c, node, q, app) = rig(16);
+        app.run(|t| {
+            q.enqueue(t, 1)?;
+            q.enqueue(t, 2)?;
+            q.enqueue(t, 3)
+        })
+        .unwrap();
+        app.run(|t| {
+            assert_eq!(q.dequeue(t)?.unwrap(), 1);
+            assert_eq!(q.dequeue(t)?.unwrap(), 2);
+            assert_eq!(q.dequeue(t)?.unwrap(), 3);
+            assert_eq!(q.dequeue(t)?, None);
+            Ok(())
+        })
+        .unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn is_empty_tracks_contents() {
+        let (_c, node, q, app) = rig(8);
+        app.run(|t| {
+            assert!(q.is_empty(t)?);
+            q.enqueue(t, 9)?;
+            assert!(!q.is_empty(t)?);
+            Ok(())
+        })
+        .unwrap();
+        app.run(|t| {
+            assert_eq!(q.dequeue(t)?.unwrap(), 9);
+            assert!(q.is_empty(t)?);
+            Ok(())
+        })
+        .unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn aborted_enqueue_leaves_gap_skipped_by_dequeue() {
+        let (_c, node, q, app) = rig(8);
+        // Enqueue 1 committed, then an aborted enqueue of 2, then 3.
+        app.run(|t| q.enqueue(t, 1)).unwrap();
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        q.enqueue(t, 2).unwrap();
+        app.abort_transaction(t).unwrap();
+        app.run(|t| q.enqueue(t, 3)).unwrap();
+        // The gap (aborted 2) is skipped: dequeues yield 1 then 3.
+        app.run(|t| {
+            assert_eq!(q.dequeue(t)?.unwrap(), 1);
+            assert_eq!(q.dequeue(t)?.unwrap(), 3);
+            assert_eq!(q.dequeue(t)?, None);
+            Ok(())
+        })
+        .unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn aborted_dequeue_restores_element() {
+        let (_c, node, q, app) = rig(8);
+        app.run(|t| q.enqueue(t, 42)).unwrap();
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        assert_eq!(q.dequeue(t).unwrap().unwrap(), 42);
+        app.abort_transaction(t).unwrap();
+        // The element came back.
+        app.run(|t| {
+            assert_eq!(q.dequeue(t)?.unwrap(), 42);
+            Ok(())
+        })
+        .unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn uncommitted_element_invisible_to_others() {
+        // Weak-queue semantics: an element enqueued by an uncommitted
+        // transaction stays locked and is skipped by other dequeuers.
+        let (_c, node, q, app) = rig(8);
+        let t1 = app.begin_transaction(Tid::NULL).unwrap();
+        q.enqueue(t1, 7).unwrap();
+        let t2 = app.begin_transaction(Tid::NULL).unwrap();
+        assert_eq!(q.dequeue(t2).unwrap(), None);
+        app.end_transaction(t2).unwrap();
+        assert!(app.end_transaction(t1).unwrap());
+        app.run(|t| {
+            assert_eq!(q.dequeue(t)?.unwrap(), 7);
+            Ok(())
+        })
+        .unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn queue_full_reported() {
+        let (_c, node, q, app) = rig(4);
+        app.run(|t| {
+            for i in 0..4 {
+                q.enqueue(t, i)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        assert!(q.enqueue(t, 99).is_err());
+        app.abort_transaction(t).unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn head_gc_reclaims_slots_for_wraparound() {
+        let (_c, node, q, app) = rig(4);
+        // Fill, drain, and refill several times: without GC the logical
+        // tail would exceed head + capacity and enqueues would fail.
+        for round in 0..5i64 {
+            app.run(|t| {
+                for i in 0..3 {
+                    q.enqueue(t, round * 10 + i)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+            app.run(|t| {
+                for i in 0..3 {
+                    assert_eq!(q.dequeue(t)?.unwrap(), round * 10 + i);
+                }
+                Ok(())
+            })
+            .unwrap();
+        }
+        node.shutdown();
+    }
+
+    #[test]
+    fn contents_survive_crash_and_tail_recomputes() {
+        let cluster = Cluster::new();
+        let node = cluster.boot_node(NodeId(1));
+        let q = WeakQueueServer::spawn(&node, "q", 8).unwrap();
+        node.recover().unwrap();
+        let app = node.app();
+        let client = WeakQueueClient::new(app.clone(), q.send_right());
+        app.run(|t| {
+            client.enqueue(t, 11)?;
+            client.enqueue(t, 22)
+        })
+        .unwrap();
+        // An uncommitted enqueue rides into the crash.
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        client.enqueue(t, 99).unwrap();
+        node.rm.force(None).unwrap();
+        drop(q);
+        node.crash();
+
+        let node = cluster.boot_node(NodeId(1));
+        let q = WeakQueueServer::spawn(&node, "q", 8).unwrap();
+        node.recover().unwrap();
+        let app = node.app();
+        let client = WeakQueueClient::new(app.clone(), q.send_right());
+        // Committed items are there; the aborted 99 is not.
+        app.run(|t| {
+            assert_eq!(client.dequeue(t)?.unwrap(), 11);
+            assert_eq!(client.dequeue(t)?.unwrap(), 22);
+            assert_eq!(client.dequeue(t)?, None);
+            Ok(())
+        })
+        .unwrap();
+        node.shutdown();
+    }
+}

@@ -1,0 +1,492 @@
+//! The replicated directory object (§4.5).
+//!
+//! "The replicated directory object provides an abstraction identical to a
+//! conventional directory but stores its data in multiple directory
+//! representative servers on different nodes. The replicated directory
+//! uses our variation of Gifford's weighted voting algorithm for global
+//! coordination. Each of the directory representative servers uses a
+//! B-tree server to actually store the data … The interface to client
+//! programs is provided by a module that does global coordination of the
+//! voting, and is implemented as code that is linked in with the client
+//! program."
+//!
+//! Each entry carries a version number; reads gather a read quorum and
+//! take the highest version, writes install `version + 1` at a write
+//! quorum, inside the client's transaction — so a replicated update is a
+//! distributed transaction: "committing transactions requires the global
+//! coordination protocols for multiple node commit. Our tests so far
+//! involve 3 nodes, which permits one node to fail and have the data
+//! remain available."
+
+use tabs_codec::{Decode, DecodeError, Encode, Reader, Writer};
+use tabs_core::{AppHandle, Node};
+use tabs_kernel::{SendRight, Tid};
+use tabs_proto::ServerError;
+
+use crate::btree::{BTreeClient, BTreeServer};
+
+/// Maximum user data bytes per entry (a version header shares the B-tree
+/// value slot).
+pub const MAX_DATA: usize = 20;
+
+/// A directory representative: a B-tree server whose values carry the
+/// voting version header.
+pub struct RepDirServer {
+    btree: BTreeServer,
+}
+
+impl RepDirServer {
+    /// Spawns a representative on `node`, registered under `name`.
+    pub fn spawn(node: &Node, name: &str, pages: u32) -> Result<Self, ServerError> {
+        let btree = BTreeServer::spawn(node, name, pages)?;
+        Ok(Self { btree })
+    }
+
+    /// A send right for the representative.
+    pub fn send_right(&self) -> SendRight {
+        self.btree.send_right()
+    }
+}
+
+/// A versioned representative entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct VersionedEntry {
+    version: u64,
+    deleted: bool,
+    data: Vec<u8>,
+}
+
+impl Encode for VersionedEntry {
+    fn encode(&self, w: &mut Writer) {
+        self.version.encode(w);
+        self.deleted.encode(w);
+        w.put_slice(&self.data); // remainder of the slot
+    }
+}
+
+impl VersionedEntry {
+    fn decode_slot(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let version = u64::decode(&mut r)?;
+        let deleted = bool::decode(&mut r)?;
+        let data = r.get_slice(r.remaining())?.to_vec();
+        Ok(Self { version, deleted, data })
+    }
+}
+
+/// One voting member.
+pub struct Replica {
+    /// Port of the representative (possibly a Communication Manager
+    /// proxy for a remote node).
+    pub port: SendRight,
+    /// Vote weight.
+    pub weight: u32,
+}
+
+/// Errors from the replicated directory coordinator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepDirError {
+    /// Fewer than `read_quorum` votes could be gathered.
+    NoReadQuorum { gathered: u32, needed: u32 },
+    /// Fewer than `write_quorum` representatives accepted the write.
+    NoWriteQuorum { gathered: u32, needed: u32 },
+    /// The quorum configuration violates Gifford's intersection rules.
+    BadQuorums,
+    /// Payload too large for the entry slot.
+    DataTooLarge,
+    /// Underlying representative failure.
+    Rep(String),
+}
+
+impl std::fmt::Display for RepDirError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepDirError::NoReadQuorum { gathered, needed } => {
+                write!(f, "read quorum not met ({gathered}/{needed})")
+            }
+            RepDirError::NoWriteQuorum { gathered, needed } => {
+                write!(f, "write quorum not met ({gathered}/{needed})")
+            }
+            RepDirError::BadQuorums => write!(f, "r + w must exceed the total weight"),
+            RepDirError::DataTooLarge => write!(f, "entry data too large"),
+            RepDirError::Rep(e) => write!(f, "representative failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RepDirError {}
+
+/// The client-linked global coordination module (weighted voting).
+pub struct RepDirCoordinator {
+    app: AppHandle,
+    replicas: Vec<(BTreeClient, u32)>,
+    read_quorum: u32,
+    write_quorum: u32,
+}
+
+impl RepDirCoordinator {
+    /// Creates a coordinator over `replicas` with quorum weights `r`/`w`.
+    ///
+    /// Gifford's constraints are enforced: `r + w > total` (every read
+    /// quorum intersects every write quorum) and `2w > total` (two write
+    /// quorums intersect).
+    pub fn new(
+        app: AppHandle,
+        replicas: Vec<Replica>,
+        read_quorum: u32,
+        write_quorum: u32,
+    ) -> Result<Self, RepDirError> {
+        let total: u32 = replicas.iter().map(|r| r.weight).sum();
+        if read_quorum + write_quorum <= total || 2 * write_quorum <= total {
+            return Err(RepDirError::BadQuorums);
+        }
+        let replicas = replicas
+            .into_iter()
+            .map(|r| (BTreeClient::new(app.clone(), r.port), r.weight))
+            .collect();
+        Ok(Self { app, replicas, read_quorum, write_quorum })
+    }
+
+    /// Gathers versioned entries until `quorum` weight has voted. Returns
+    /// `(votes, gathered_weight)` — unreachable representatives simply do
+    /// not vote.
+    fn gather(
+        &self,
+        tid: Tid,
+        key: &[u8],
+        quorum: u32,
+    ) -> (Vec<(usize, Option<VersionedEntry>)>, u32) {
+        let mut votes = Vec::new();
+        let mut weight = 0;
+        for (i, (client, w)) in self.replicas.iter().enumerate() {
+            match client.lookup(tid, key) {
+                Ok(found) => {
+                    let entry = found.and_then(|bytes| VersionedEntry::decode_slot(&bytes).ok());
+                    votes.push((i, entry));
+                    weight += w;
+                    if weight >= quorum {
+                        break;
+                    }
+                }
+                Err(_) => continue, // representative unreachable or busy
+            }
+        }
+        (votes, weight)
+    }
+
+    /// Directory lookup: read-quorum gather, highest version wins.
+    pub fn lookup(&self, tid: Tid, key: &[u8]) -> Result<Option<Vec<u8>>, RepDirError> {
+        let (votes, weight) = self.gather(tid, key, self.read_quorum);
+        if weight < self.read_quorum {
+            return Err(RepDirError::NoReadQuorum {
+                gathered: weight,
+                needed: self.read_quorum,
+            });
+        }
+        let newest = votes
+            .into_iter()
+            .filter_map(|(_, e)| e)
+            .max_by_key(|e| e.version);
+        Ok(match newest {
+            Some(e) if !e.deleted => Some(e.data),
+            _ => None,
+        })
+    }
+
+    /// Directory insert/update: installs `max_version + 1` at a write
+    /// quorum within the caller's transaction.
+    pub fn update(&self, tid: Tid, key: &[u8], data: &[u8]) -> Result<(), RepDirError> {
+        self.write_entry(tid, key, data.to_vec(), false)
+    }
+
+    /// Directory delete: installs a tombstone at a write quorum.
+    pub fn delete(&self, tid: Tid, key: &[u8]) -> Result<(), RepDirError> {
+        self.write_entry(tid, key, Vec::new(), true)
+    }
+
+    fn write_entry(
+        &self,
+        tid: Tid,
+        key: &[u8],
+        data: Vec<u8>,
+        deleted: bool,
+    ) -> Result<(), RepDirError> {
+        if data.len() > MAX_DATA {
+            return Err(RepDirError::DataTooLarge);
+        }
+        // Phase 1: read-quorum gather to learn the current version.
+        let (votes, weight) = self.gather(tid, key, self.read_quorum);
+        if weight < self.read_quorum {
+            return Err(RepDirError::NoReadQuorum {
+                gathered: weight,
+                needed: self.read_quorum,
+            });
+        }
+        let version = votes
+            .iter()
+            .filter_map(|(_, e)| e.as_ref().map(|e| e.version))
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let entry = VersionedEntry { version, deleted, data };
+        let bytes = entry.encode_to_vec();
+
+        // Phase 2: install at every reachable representative, requiring at
+        // least the write quorum to succeed. All writes run under the
+        // client transaction: commit is all-or-nothing via 2PC.
+        let mut written = 0;
+        for (client, w) in &self.replicas {
+            if client.put(tid, key, &bytes).is_ok() {
+                written += w;
+            }
+        }
+        if written < self.write_quorum {
+            return Err(RepDirError::NoWriteQuorum {
+                gathered: written,
+                needed: self.write_quorum,
+            });
+        }
+        Ok(())
+    }
+
+    /// The application handle used for coordination.
+    pub fn app(&self) -> &AppHandle {
+        &self.app
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+    use tabs_core::{Cluster, Node, NodeId};
+
+    /// Boots 3 nodes, each with one directory representative, and a
+    /// coordinator on node 1 reaching all three (r = w = 2).
+    fn three_node_rig() -> (Arc<Cluster>, Vec<Node>, RepDirCoordinator) {
+        let cluster = Cluster::new();
+        let mut nodes = Vec::new();
+        for i in 1..=3u16 {
+            let node = cluster.boot_node(NodeId(i));
+            let _rep = RepDirServer::spawn(&node, &format!("rep{i}"), 64).unwrap();
+            node.recover().unwrap();
+            nodes.push(node);
+        }
+        let coord = make_coordinator(&nodes[0]);
+        (cluster, nodes, coord)
+    }
+
+    fn make_coordinator(n1: &Node) -> RepDirCoordinator {
+        let app = n1.app();
+        let mut replicas = Vec::new();
+        for i in 1..=3u16 {
+            let found = n1.resolve(&format!("rep{i}"), 1, Duration::from_secs(2));
+            assert_eq!(found.len(), 1, "rep{i} resolvable");
+            replicas.push(Replica { port: found[0].0.clone(), weight: 1 });
+        }
+        RepDirCoordinator::new(app, replicas, 2, 2).unwrap()
+    }
+
+    #[test]
+    fn quorum_rules_enforced() {
+        let cluster = Cluster::new();
+        let node = cluster.boot_node(NodeId(1));
+        let rep = RepDirServer::spawn(&node, "solo", 16).unwrap();
+        node.recover().unwrap();
+        let app = node.app();
+        let reps = |n: u32| {
+            (0..n)
+                .map(|_| Replica { port: rep.send_right(), weight: 1 })
+                .collect::<Vec<_>>()
+        };
+        // r + w ≤ total rejected.
+        assert!(matches!(
+            RepDirCoordinator::new(app.clone(), reps(3), 1, 2),
+            Err(RepDirError::BadQuorums)
+        ));
+        // 2w ≤ total rejected.
+        assert!(matches!(
+            RepDirCoordinator::new(app.clone(), reps(4), 4, 2),
+            Err(RepDirError::BadQuorums)
+        ));
+        assert!(RepDirCoordinator::new(app, reps(3), 2, 2).is_ok());
+        node.shutdown();
+    }
+
+    #[test]
+    fn update_and_lookup_across_nodes() {
+        let (_cluster, nodes, coord) = three_node_rig();
+        let app = coord.app().clone();
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        coord.update(t, b"home", b"node3:/usr").unwrap();
+        assert_eq!(coord.lookup(t, b"home").unwrap().unwrap(), b"node3:/usr");
+        assert!(app.end_transaction(t).unwrap());
+        // Fresh transaction still sees it.
+        let t2 = app.begin_transaction(Tid::NULL).unwrap();
+        assert_eq!(coord.lookup(t2, b"home").unwrap().unwrap(), b"node3:/usr");
+        app.end_transaction(t2).unwrap();
+        for n in nodes {
+            n.shutdown();
+        }
+    }
+
+    #[test]
+    fn one_node_can_fail_and_data_remains_available() {
+        let (cluster, mut nodes, coord) = three_node_rig();
+        let app = coord.app().clone();
+        app.run(|t| {
+            coord.update(t, b"k", b"v1").map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
+        })
+        .unwrap();
+        // Crash node 3.
+        let n3 = nodes.pop().unwrap();
+        n3.crash();
+        // Reads and writes still reach a 2-of-3 quorum.
+        app.run(|t| {
+            assert_eq!(
+                coord
+                    .lookup(t, b"k")
+                    .map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))?
+                    .unwrap(),
+                b"v1"
+            );
+            coord.update(t, b"k", b"v2").map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
+        })
+        .unwrap();
+        app.run(|t| {
+            assert_eq!(
+                coord
+                    .lookup(t, b"k")
+                    .map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))?
+                    .unwrap(),
+                b"v2"
+            );
+            Ok(())
+        })
+        .unwrap();
+        let _ = cluster;
+        for n in nodes {
+            n.shutdown();
+        }
+    }
+
+    #[test]
+    fn stale_replica_outvoted_by_version() {
+        let (_cluster, mut nodes, coord) = three_node_rig();
+        let app = coord.app().clone();
+        app.run(|t| {
+            coord.update(t, b"k", b"old").map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
+        })
+        .unwrap();
+        // Node 3 misses the second write (crashed), keeping version 1.
+        let n3 = nodes.pop().unwrap();
+        n3.crash();
+        app.run(|t| {
+            coord.update(t, b"k", b"new").map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
+        })
+        .unwrap();
+        // Reboot node 3 with its stale version-1 entry.
+        let cluster = _cluster;
+        let n3 = cluster.boot_node(NodeId(3));
+        let _rep = RepDirServer::spawn(&n3, "rep3", 64).unwrap();
+        n3.recover().unwrap();
+        nodes.push(n3);
+        // A read quorum that includes the stale replica still returns the
+        // newest version: any 2-of-3 quorum contains a version-2 holder.
+        app.run(|t| {
+            assert_eq!(
+                coord
+                    .lookup(t, b"k")
+                    .map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))?
+                    .unwrap(),
+                b"new"
+            );
+            Ok(())
+        })
+        .unwrap();
+        for n in nodes {
+            n.shutdown();
+        }
+    }
+
+    #[test]
+    fn two_failures_block_writes() {
+        let (_cluster, mut nodes, coord) = three_node_rig();
+        let app = coord.app().clone();
+        // Crash nodes 2 and 3: only weight 1 remains.
+        nodes.pop().unwrap().crash();
+        nodes.pop().unwrap().crash();
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        let err = coord.update(t, b"k", b"v").unwrap_err();
+        assert!(
+            matches!(err, RepDirError::NoReadQuorum { .. } | RepDirError::NoWriteQuorum { .. }),
+            "got {err:?}"
+        );
+        app.abort_transaction(t).unwrap();
+        for n in nodes {
+            n.shutdown();
+        }
+    }
+
+    #[test]
+    fn aborting_replicated_update_recovers_on_multiple_nodes() {
+        // "Aborting transactions that use the replicated directory
+        // requires recovery on multiple nodes."
+        let (_cluster, nodes, coord) = three_node_rig();
+        let app = coord.app().clone();
+        app.run(|t| {
+            coord.update(t, b"k", b"keep").map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
+        })
+        .unwrap();
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        coord.update(t, b"k", b"discard").unwrap();
+        app.abort_transaction(t).unwrap();
+        // All replicas rolled back to version 1 / "keep". Poll briefly:
+        // remote aborts propagate asynchronously.
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        loop {
+            let ok = app
+                .run(|t| {
+                    Ok(coord
+                        .lookup(t, b"k")
+                        .map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))?
+                        == Some(b"keep".to_vec()))
+                })
+                .unwrap_or(false);
+            if ok {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "abort never propagated");
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        for n in nodes {
+            n.shutdown();
+        }
+    }
+
+    #[test]
+    fn delete_installs_tombstone() {
+        let (_cluster, nodes, coord) = three_node_rig();
+        let app = coord.app().clone();
+        app.run(|t| {
+            coord.update(t, b"k", b"v").map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
+        })
+        .unwrap();
+        app.run(|t| {
+            coord.delete(t, b"k").map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
+        })
+        .unwrap();
+        app.run(|t| {
+            assert_eq!(
+                coord.lookup(t, b"k").map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))?,
+                None
+            );
+            Ok(())
+        })
+        .unwrap();
+        for n in nodes {
+            n.shutdown();
+        }
+    }
+}

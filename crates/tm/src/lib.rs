@@ -1,0 +1,1290 @@
+//! The Transaction Manager (§3.2.3).
+//!
+//! "The Transaction Manager's major responsibilities are implementing
+//! commit protocols and allocating globally unique transaction
+//! identifiers. Application processes and data servers send the Transaction
+//! Manager messages to begin a transaction, to attempt to commit a
+//! transaction, or to force a transaction to be aborted. The
+//! tree-structured two-phase commit protocol used by the Transaction
+//! Manager is based on a spanning tree where a node A is a parent of
+//! another node B if and only if A were the first node to invoke an
+//! operation on behalf of the transaction on B."
+//!
+//! Subtransactions (§2.1.3): "a subtransaction is not committed until its
+//! top-level parent transaction commits, but a subtransaction can abort
+//! without causing its parent transaction to abort." On subtransaction
+//! commit the child's locks and enlistments transfer to the parent; its
+//! tid joins the commit's *merged* set so remote participants recognize
+//! its log records and locks at prepare time.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use tabs_kernel::{NodeId, PerfCounters, PrimitiveOp, Tid};
+use tabs_proto::CommitMsg;
+use tabs_rm::RecoveryManager;
+use tabs_wal::TxState;
+
+/// Errors from transaction management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TmError {
+    /// Unknown or already-terminated transaction.
+    Unknown(Tid),
+    /// The transaction was already aborted (`TransactionIsAborted`).
+    Aborted(Tid),
+    /// Recovery-manager failure on the commit/abort path.
+    Rm(String),
+    /// A distributed commit could not gather votes in time.
+    VoteTimeout(Tid),
+}
+
+impl std::fmt::Display for TmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TmError::Unknown(t) => write!(f, "unknown transaction {t}"),
+            TmError::Aborted(t) => write!(f, "transaction {t} is aborted"),
+            TmError::Rm(e) => write!(f, "recovery manager failure: {e}"),
+            TmError::VoteTimeout(t) => write!(f, "vote collection timed out for {t}"),
+        }
+    }
+}
+
+impl std::error::Error for TmError {}
+
+/// A local data server's hooks into transaction termination.
+///
+/// A data server enlists once per transaction ("sent by a data server the
+/// first time it is asked to perform an operation on behalf of a particular
+/// transaction; doing so enables the Transaction Manager to know which
+/// servers it must inform when the transaction is being terminated").
+pub trait Participant: Send + Sync {
+    /// Phase 1: flush any buffered log data for `tid` and report whether
+    /// the server performed updates on its behalf (false = read-only).
+    fn prepare(&self, tid: Tid) -> Result<bool, String>;
+
+    /// The transaction is resolved: release `tid`'s locks and clean up.
+    fn finish(&self, tid: Tid, committed: bool);
+
+    /// A subtransaction committed into its parent: transfer its locks.
+    fn commit_subtransaction(&self, child: Tid, parent: Tid);
+}
+
+/// Outbound datagram path and spanning-tree queries, supplied by the
+/// Communication Manager ("the information about a node's relation to the
+/// nodes directly above and below it in the spanning tree is kept by its
+/// Communication Manager", §3.2.3).
+pub trait CommitTransport: Send + Sync {
+    /// Sends a two-phase-commit datagram to `to`.
+    fn send(&self, to: NodeId, msg: CommitMsg);
+
+    /// Commit-tree children recorded for `tid`.
+    fn children(&self, tid: Tid) -> Vec<NodeId>;
+
+    /// Commit-tree parent, when `tid`'s work here was remotely initiated.
+    fn parent(&self, tid: Tid) -> Option<NodeId>;
+}
+
+/// A transport for single-node configurations: no remote sites ever.
+#[derive(Debug, Default)]
+pub struct NullTransport;
+
+impl CommitTransport for NullTransport {
+    fn send(&self, _to: NodeId, _msg: CommitMsg) {}
+    fn children(&self, _tid: Tid) -> Vec<NodeId> {
+        Vec::new()
+    }
+    fn parent(&self, _tid: Tid) -> Option<NodeId> {
+        None
+    }
+}
+
+/// Lifecycle phase of a transaction known to this node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxPhase {
+    /// Running normally.
+    Running,
+    /// Voted yes, awaiting the coordinator's decision (in doubt).
+    Prepared,
+    /// Committed (top-level, or subtransaction merged into its parent).
+    Committed,
+    /// Aborted.
+    Aborted,
+}
+
+/// Incoming vote bookkeeping for an in-progress distributed commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Vote {
+    Yes,
+    ReadOnly,
+    No,
+}
+
+struct TxInfo {
+    parent: Tid,
+    phase: TxPhase,
+    /// Local servers enlisted, keyed by server name.
+    participants: HashMap<String, Arc<dyn Participant>>,
+    /// This tid plus every committed-subtransaction descendant.
+    merged: Vec<Tid>,
+    /// Votes received from commit-tree children (during phase 1).
+    votes: HashMap<NodeId, Vote>,
+    /// Phase-2 acknowledgements received.
+    acks: HashSet<NodeId>,
+    /// Children that voted yes (need phase 2).
+    yes_children: Vec<NodeId>,
+    /// Parent node when this transaction's work here is remote-initiated.
+    remote_parent: Option<NodeId>,
+}
+
+impl TxInfo {
+    fn new(parent: Tid, tid: Tid) -> Self {
+        Self {
+            parent,
+            phase: TxPhase::Running,
+            participants: HashMap::new(),
+            merged: vec![tid],
+            votes: HashMap::new(),
+            acks: HashSet::new(),
+            yes_children: Vec::new(),
+            remote_parent: None,
+        }
+    }
+}
+
+/// Retransmission interval for unacknowledged commit datagrams.
+const RETRANSMIT_EVERY: Duration = Duration::from_millis(100);
+/// Total time to wait for votes before presuming failure and aborting.
+const VOTE_DEADLINE: Duration = Duration::from_secs(5);
+/// Total time to chase phase-2 acknowledgements.
+const ACK_DEADLINE: Duration = Duration::from_secs(5);
+
+/// The Transaction Manager of one node.
+pub struct TransactionManager {
+    node: NodeId,
+    incarnation: u32,
+    seq: AtomicU64,
+    rm: Arc<RecoveryManager>,
+    transport: Mutex<Arc<dyn CommitTransport>>,
+    inner: Mutex<HashMap<Tid, TxInfo>>,
+    cond: Condvar,
+    /// Durable outcomes remembered for coordinator inquiries (loaded from
+    /// crash recovery, appended to at runtime).
+    outcomes: Mutex<HashMap<Tid, bool>>,
+    perf: Arc<PerfCounters>,
+}
+
+impl std::fmt::Debug for TransactionManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransactionManager")
+            .field("node", &self.node)
+            .field("incarnation", &self.incarnation)
+            .finish()
+    }
+}
+
+impl TransactionManager {
+    /// Creates the Transaction Manager. `incarnation` must increase across
+    /// node restarts so identifiers stay globally unique.
+    pub fn new(
+        node: NodeId,
+        incarnation: u32,
+        rm: Arc<RecoveryManager>,
+        perf: Arc<PerfCounters>,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            node,
+            incarnation,
+            seq: AtomicU64::new(1),
+            rm,
+            transport: Mutex::new(Arc::new(NullTransport)),
+            inner: Mutex::new(HashMap::new()),
+            cond: Condvar::new(),
+            outcomes: Mutex::new(HashMap::new()),
+            perf,
+        })
+    }
+
+    /// Installs the Communication Manager's transport.
+    pub fn set_transport(&self, t: Arc<dyn CommitTransport>) {
+        *self.transport.lock() = t;
+    }
+
+    fn transport(&self) -> Arc<dyn CommitTransport> {
+        Arc::clone(&self.transport.lock())
+    }
+
+    /// This node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn count_call(&self) {
+        // Begin/End/Abort are message exchanges with the TM process: one
+        // request and one reply, both small (§5 message accounting).
+        self.perf.record(PrimitiveOp::SmallContiguousMessage);
+        self.perf.record(PrimitiveOp::SmallContiguousMessage);
+    }
+
+    /// `BeginTransaction` (Table 3-2): creates a subtransaction of
+    /// `parent`, or a new top-level transaction when `parent` is
+    /// [`Tid::NULL`].
+    pub fn begin(&self, parent: Tid) -> Result<Tid, TmError> {
+        self.count_call();
+        if !parent.is_null() {
+            let inner = self.inner.lock();
+            match inner.get(&parent) {
+                Some(info) if info.phase == TxPhase::Running => {}
+                Some(_) => return Err(TmError::Aborted(parent)),
+                None => return Err(TmError::Unknown(parent)),
+            }
+        }
+        let tid = Tid {
+            node: self.node,
+            incarnation: self.incarnation,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+        };
+        self.rm.log_begin(tid, parent);
+        self.inner.lock().insert(tid, TxInfo::new(parent, tid));
+        Ok(tid)
+    }
+
+    /// Records that `server` performed its first operation for `tid`
+    /// (creating the registry entry for remote-initiated transactions).
+    pub fn enlist(&self, tid: Tid, server: &str, p: Arc<dyn Participant>) {
+        // The server's one-time notification message.
+        self.perf.record(PrimitiveOp::SmallContiguousMessage);
+        let mut inner = self.inner.lock();
+        let info = inner
+            .entry(tid)
+            .or_insert_with(|| TxInfo::new(Tid::NULL, tid));
+        info.participants.entry(server.to_string()).or_insert(p);
+    }
+
+    /// Current phase of `tid`, if known.
+    pub fn phase(&self, tid: Tid) -> Option<TxPhase> {
+        self.inner.lock().get(&tid).map(|i| i.phase)
+    }
+
+    /// Whether `tid` has been aborted (drives the `TransactionIsAborted`
+    /// notification of Table 3-2).
+    pub fn is_aborted(&self, tid: Tid) -> bool {
+        match self.phase(tid) {
+            Some(phase) => phase == TxPhase::Aborted,
+            // No live entry: consult the durable outcomes (a resolved and
+            // forgotten transaction); unknown tids are not "aborted".
+            None => self.outcomes.lock().get(&tid) == Some(&false),
+        }
+    }
+
+    /// States of live transactions, for Recovery Manager checkpoints.
+    pub fn active_states(&self) -> Vec<(Tid, TxState)> {
+        self.inner
+            .lock()
+            .iter()
+            .filter_map(|(tid, info)| match info.phase {
+                TxPhase::Running => Some((*tid, TxState::Active)),
+                TxPhase::Prepared => Some((*tid, TxState::Prepared)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `EndTransaction` (Table 3-2): attempts to commit. Returns `true` on
+    /// commit, `false` if the transaction was (or had to be) aborted.
+    pub fn end(&self, tid: Tid) -> Result<bool, TmError> {
+        self.count_call();
+        let (parent, phase) = {
+            let inner = self.inner.lock();
+            let info = inner.get(&tid).ok_or(TmError::Unknown(tid))?;
+            (info.parent, info.phase)
+        };
+        match phase {
+            TxPhase::Running => {}
+            TxPhase::Aborted => return Ok(false),
+            _ => return Ok(true),
+        }
+        if parent.is_null() {
+            self.commit_top_level(tid)
+        } else {
+            self.commit_subtransaction(tid, parent)
+        }
+    }
+
+    /// `AbortTransaction` (Table 3-2): forces `tid` (and its unresolved
+    /// subtransactions) to abort.
+    pub fn abort(&self, tid: Tid) -> Result<(), TmError> {
+        self.count_call();
+        self.abort_internal(tid)
+    }
+
+    fn abort_internal(&self, tid: Tid) -> Result<(), TmError> {
+        let (merged, participants) = {
+            let mut inner = self.inner.lock();
+            let info = match inner.get_mut(&tid) {
+                Some(i) => i,
+                None => return Err(TmError::Unknown(tid)),
+            };
+            if info.phase == TxPhase::Aborted {
+                return Ok(());
+            }
+            info.phase = TxPhase::Aborted;
+            (info.merged.clone(), info.participants.clone())
+        };
+        // Undo newest-first across the merged set.
+        for t in merged.iter().rev() {
+            self.rm.abort(*t).map_err(|e| TmError::Rm(e.to_string()))?;
+        }
+        for p in participants.values() {
+            for t in &merged {
+                p.finish(*t, false);
+            }
+        }
+        self.outcomes.lock().insert(tid, false);
+        // Tell remote children (of every merged tid) to abort; chase acks
+        // in the background so the caller is not delayed.
+        let transport = self.transport();
+        let mut children: HashSet<NodeId> = HashSet::new();
+        for t in &merged {
+            children.extend(transport.children(*t));
+        }
+        if !children.is_empty() {
+            self.chase_acks_background(tid, children, CommitMsg::Abort { tid });
+        }
+        self.cond.notify_all();
+        Ok(())
+    }
+
+    /// Commit of a subtransaction: transfer locks/enlistments to the
+    /// parent; the child's effects become permanent only with the top
+    /// level (§2.1.3).
+    fn commit_subtransaction(&self, tid: Tid, parent: Tid) -> Result<bool, TmError> {
+        let mut inner = self.inner.lock();
+        // The parent must still be running.
+        match inner.get(&parent) {
+            Some(p) if p.phase == TxPhase::Running => {}
+            _ => return Err(TmError::Unknown(parent)),
+        }
+        let info = inner.get_mut(&tid).ok_or(TmError::Unknown(tid))?;
+        if info.phase != TxPhase::Running {
+            return Ok(info.phase == TxPhase::Committed);
+        }
+        info.phase = TxPhase::Committed;
+        let child_merged = info.merged.clone();
+        let child_parts: Vec<(String, Arc<dyn Participant>)> = info
+            .participants
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect();
+        for (_, p) in &child_parts {
+            for t in &child_merged {
+                p.commit_subtransaction(*t, parent);
+            }
+        }
+        let pinfo = inner.get_mut(&parent).expect("checked above");
+        pinfo.merged.extend(child_merged);
+        for (name, p) in child_parts {
+            pinfo.participants.entry(name).or_insert(p);
+        }
+        Ok(true)
+    }
+
+    /// Top-level commit: phase 1 over local participants and the commit
+    /// tree, then the forced commit record, then phase 2.
+    fn commit_top_level(&self, tid: Tid) -> Result<bool, TmError> {
+        let (merged, participants) = {
+            let inner = self.inner.lock();
+            let info = inner.get(&tid).ok_or(TmError::Unknown(tid))?;
+            (info.merged.clone(), info.participants.clone())
+        };
+
+        // Phase 1 (local): every enlisted server prepares each merged tid.
+        let mut updates = false;
+        for p in participants.values() {
+            for t in &merged {
+                match p.prepare(*t) {
+                    Ok(u) => updates |= u,
+                    Err(_) => {
+                        self.abort_internal(tid)?;
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+
+        // Phase 1 (remote): prepare the commit-tree children.
+        let transport = self.transport();
+        let mut children: HashSet<NodeId> = HashSet::new();
+        for t in &merged {
+            children.extend(transport.children(*t));
+        }
+        let children: Vec<NodeId> = children.into_iter().collect();
+        let mut remote_yes: Vec<NodeId> = Vec::new();
+        if !children.is_empty() {
+            match self.collect_votes(tid, &merged, &children) {
+                Ok((yes, any_updates)) => {
+                    updates |= any_updates;
+                    remote_yes = yes;
+                }
+                Err(_) => {
+                    self.abort_internal(tid)?;
+                    return Ok(false);
+                }
+            }
+        }
+
+        // Decision. Read-only transactions need no commit record or force
+        // (the cheap path of Table 5-3, "1 Node, Read Only").
+        if updates {
+            self.rm
+                .log_commit(tid)
+                .map_err(|e| TmError::Rm(e.to_string()))?;
+        }
+        {
+            let mut inner = self.inner.lock();
+            if let Some(info) = inner.get_mut(&tid) {
+                info.phase = TxPhase::Committed;
+                info.yes_children = remote_yes.clone();
+            }
+        }
+        self.outcomes.lock().insert(tid, true);
+
+        // Phase 2: local finish + remote commit to yes-voters only.
+        for p in participants.values() {
+            for t in &merged {
+                p.finish(*t, true);
+            }
+        }
+        if !remote_yes.is_empty() {
+            self.chase_acks_blocking(
+                tid,
+                remote_yes.into_iter().collect(),
+                CommitMsg::Commit { tid },
+            );
+        }
+        Ok(true)
+    }
+
+    /// Sends Prepare to every child and waits for all votes, with
+    /// retransmission. Returns (yes-voters, any-updates).
+    fn collect_votes(
+        &self,
+        tid: Tid,
+        merged: &[Tid],
+        children: &[NodeId],
+    ) -> Result<(Vec<NodeId>, bool), TmError> {
+        let transport = self.transport();
+        let deadline = Instant::now() + VOTE_DEADLINE;
+        let msg = CommitMsg::Prepare { tid, merged: merged.to_vec() };
+        for &c in children {
+            transport.send(c, msg.clone());
+        }
+        let mut inner = self.inner.lock();
+        loop {
+            let info = inner.get(&tid).ok_or(TmError::Unknown(tid))?;
+            if info.votes.values().any(|v| *v == Vote::No) {
+                return Err(TmError::VoteTimeout(tid)); // treated as abort
+            }
+            if children.iter().all(|c| info.votes.contains_key(c)) {
+                let yes: Vec<NodeId> = children
+                    .iter()
+                    .copied()
+                    .filter(|c| info.votes.get(c) == Some(&Vote::Yes))
+                    .collect();
+                let any_updates = !yes.is_empty();
+                return Ok((yes, any_updates));
+            }
+            let timed_out = self
+                .cond
+                .wait_until(&mut inner, Instant::now() + RETRANSMIT_EVERY)
+                .timed_out();
+            if Instant::now() >= deadline {
+                return Err(TmError::VoteTimeout(tid));
+            }
+            if timed_out {
+                // Retransmit to children that have not voted.
+                let info = inner.get(&tid).ok_or(TmError::Unknown(tid))?;
+                let missing: Vec<NodeId> = children
+                    .iter()
+                    .copied()
+                    .filter(|c| !info.votes.contains_key(c))
+                    .collect();
+                parking_lot::MutexGuard::unlocked(&mut inner, || {
+                    for c in missing {
+                        transport.send(c, msg.clone());
+                    }
+                });
+            }
+        }
+    }
+
+    /// Sends `msg` to `targets` and waits until each acknowledged,
+    /// retransmitting. Blocks the committing caller (the paper's measured
+    /// protocol; the "Improved TABS Architecture" projection moves this off
+    /// the critical path).
+    fn chase_acks_blocking(&self, tid: Tid, targets: HashSet<NodeId>, msg: CommitMsg) {
+        let transport = self.transport();
+        for &c in &targets {
+            transport.send(c, msg.clone());
+        }
+        let deadline = Instant::now() + ACK_DEADLINE;
+        let mut inner = self.inner.lock();
+        loop {
+            let done = match inner.get(&tid) {
+                Some(info) => targets.iter().all(|c| info.acks.contains(c)),
+                None => true,
+            };
+            if done || Instant::now() >= deadline {
+                return;
+            }
+            let timed_out = self
+                .cond
+                .wait_until(&mut inner, Instant::now() + RETRANSMIT_EVERY)
+                .timed_out();
+            if timed_out {
+                let missing: Vec<NodeId> = match inner.get(&tid) {
+                    Some(info) => targets
+                        .iter()
+                        .copied()
+                        .filter(|c| !info.acks.contains(c))
+                        .collect(),
+                    None => Vec::new(),
+                };
+                parking_lot::MutexGuard::unlocked(&mut inner, || {
+                    for c in missing {
+                        transport.send(c, msg.clone());
+                    }
+                });
+            }
+        }
+    }
+
+    /// Fire-and-retransmit without blocking the caller: the receiving
+    /// side is idempotent and acknowledgements are absorbed by `handle`.
+    fn chase_acks_background(&self, _tid: Tid, targets: HashSet<NodeId>, msg: CommitMsg) {
+        let transport = self.transport();
+        std::thread::spawn(move || {
+            let deadline = Instant::now() + ACK_DEADLINE;
+            while Instant::now() < deadline {
+                for &c in &targets {
+                    transport.send(c, msg.clone());
+                }
+                std::thread::sleep(RETRANSMIT_EVERY);
+            }
+        });
+    }
+
+    /// Entry point for incoming two-phase-commit datagrams, called by the
+    /// Communication Manager's datagram loop.
+    pub fn handle(self: &Arc<Self>, from: NodeId, msg: CommitMsg) {
+        match msg {
+            CommitMsg::Prepare { tid, merged } => {
+                let tm = Arc::clone(self);
+                std::thread::spawn(move || tm.handle_prepare(from, tid, merged));
+            }
+            CommitMsg::VoteYes { tid, from } => self.record_vote(tid, from, Vote::Yes),
+            CommitMsg::VoteReadOnly { tid, from } => {
+                self.record_vote(tid, from, Vote::ReadOnly)
+            }
+            CommitMsg::VoteNo { tid, from } => self.record_vote(tid, from, Vote::No),
+            CommitMsg::Commit { tid } => {
+                let tm = Arc::clone(self);
+                std::thread::spawn(move || tm.handle_commit(from, tid));
+            }
+            CommitMsg::CommitAck { tid, from } | CommitMsg::AbortAck { tid, from } => {
+                let mut inner = self.inner.lock();
+                if let Some(info) = inner.get_mut(&tid) {
+                    info.acks.insert(from);
+                }
+                self.cond.notify_all();
+            }
+            CommitMsg::Abort { tid } => {
+                let tm = Arc::clone(self);
+                std::thread::spawn(move || tm.handle_abort(from, tid));
+            }
+            CommitMsg::Inquire { tid, from } => {
+                let outcome = self.outcomes.lock().get(&tid).copied();
+                let reply = match outcome {
+                    Some(true) => CommitMsg::Commit { tid },
+                    // Presumed abort: no durable commit outcome means abort.
+                    _ => CommitMsg::Abort { tid },
+                };
+                self.transport().send(from, reply);
+            }
+        }
+    }
+
+    fn record_vote(&self, tid: Tid, from: NodeId, vote: Vote) {
+        let mut inner = self.inner.lock();
+        if let Some(info) = inner.get_mut(&tid) {
+            info.votes.insert(from, vote);
+        }
+        self.cond.notify_all();
+    }
+
+    /// Participant side of phase 1: prepare the local subtree and vote.
+    fn handle_prepare(self: Arc<Self>, from: NodeId, tid: Tid, merged: Vec<Tid>) {
+        let transport = self.transport();
+        // Idempotence: if already prepared or resolved, re-vote accordingly.
+        {
+            let inner = self.inner.lock();
+            if let Some(info) = inner.get(&tid) {
+                match info.phase {
+                    TxPhase::Prepared => {
+                        drop(inner);
+                        transport.send(from, CommitMsg::VoteYes { tid, from: self.node });
+                        return;
+                    }
+                    TxPhase::Committed => {
+                        drop(inner);
+                        transport
+                            .send(from, CommitMsg::CommitAck { tid, from: self.node });
+                        return;
+                    }
+                    TxPhase::Aborted => {
+                        drop(inner);
+                        transport.send(from, CommitMsg::VoteNo { tid, from: self.node });
+                        return;
+                    }
+                    TxPhase::Running => {}
+                }
+            }
+        }
+
+        // Gather local participants across all merged tids.
+        let mut participants: HashMap<String, Arc<dyn Participant>> = HashMap::new();
+        {
+            let mut inner = self.inner.lock();
+            let entry = inner
+                .entry(tid)
+                .or_insert_with(|| TxInfo::new(Tid::NULL, tid));
+            entry.remote_parent = Some(from);
+            for t in &merged {
+                if let Some(info) = inner.get(t) {
+                    for (k, v) in &info.participants {
+                        participants.entry(k.clone()).or_insert_with(|| Arc::clone(v));
+                    }
+                }
+            }
+            if let Some(info) = inner.get(&tid) {
+                for (k, v) in &info.participants {
+                    participants.entry(k.clone()).or_insert_with(|| Arc::clone(v));
+                }
+            }
+            // Attach the merged set's participants to the top-level entry
+            // so phase 2 (commit or abort) can finish them — they were
+            // enlisted under subtransaction tids.
+            if let Some(info) = inner.get_mut(&tid) {
+                for (k, v) in &participants {
+                    info.participants
+                        .entry(k.clone())
+                        .or_insert_with(|| Arc::clone(v));
+                }
+            }
+        }
+
+        let mut updates = false;
+        for p in participants.values() {
+            for t in &merged {
+                match p.prepare(*t) {
+                    Ok(u) => updates |= u,
+                    Err(_) => {
+                        transport.send(from, CommitMsg::VoteNo { tid, from: self.node });
+                        let _ = self.abort_local_tree(tid, &merged);
+                        return;
+                    }
+                }
+            }
+        }
+
+        // Descend: this node coordinates its own children in the tree.
+        let mut children: HashSet<NodeId> = HashSet::new();
+        for t in &merged {
+            children.extend(transport.children(*t));
+        }
+        children.remove(&from);
+        let children: Vec<NodeId> = children.into_iter().collect();
+        let mut yes_children = Vec::new();
+        if !children.is_empty() {
+            match self.collect_votes(tid, &merged, &children) {
+                Ok((yes, child_updates)) => {
+                    updates |= child_updates;
+                    yes_children = yes;
+                }
+                Err(_) => {
+                    transport.send(from, CommitMsg::VoteNo { tid, from: self.node });
+                    let _ = self.abort_local_tree(tid, &merged);
+                    return;
+                }
+            }
+        }
+
+        if updates {
+            // Parent tids for remote-origin merged records, then the forced
+            // prepare record; only now may we vote yes.
+            for t in &merged {
+                if *t != tid {
+                    self.rm.log_begin(*t, tid);
+                }
+            }
+            if self.rm.log_prepare(tid, from).is_err() {
+                transport.send(from, CommitMsg::VoteNo { tid, from: self.node });
+                return;
+            }
+            {
+                let mut inner = self.inner.lock();
+                if let Some(info) = inner.get_mut(&tid) {
+                    info.phase = TxPhase::Prepared;
+                    info.yes_children = yes_children;
+                    info.merged = merged.clone();
+                }
+            }
+            transport.send(from, CommitMsg::VoteYes { tid, from: self.node });
+        } else {
+            // Read-only subtree: vote and forget (no phase 2 needed).
+            {
+                let mut inner = self.inner.lock();
+                if let Some(info) = inner.get_mut(&tid) {
+                    info.phase = TxPhase::Committed;
+                }
+            }
+            for p in participants.values() {
+                for t in &merged {
+                    p.finish(*t, true);
+                }
+            }
+            transport.send(from, CommitMsg::VoteReadOnly { tid, from: self.node });
+        }
+    }
+
+    /// Participant side of phase 2 (commit).
+    fn handle_commit(self: Arc<Self>, from: NodeId, tid: Tid) {
+        let transport = self.transport();
+        let (merged, participants, yes_children, phase) = {
+            let inner = self.inner.lock();
+            match inner.get(&tid) {
+                Some(info) => (
+                    info.merged.clone(),
+                    info.participants.clone(),
+                    info.yes_children.clone(),
+                    info.phase,
+                ),
+                None => {
+                    // Already resolved and forgotten: just re-ack.
+                    transport.send(from, CommitMsg::CommitAck { tid, from: self.node });
+                    return;
+                }
+            }
+        };
+        if phase == TxPhase::Prepared {
+            if self.rm.log_commit(tid).is_err() {
+                return; // keep in doubt; coordinator will retransmit
+            }
+            {
+                let mut inner = self.inner.lock();
+                if let Some(info) = inner.get_mut(&tid) {
+                    info.phase = TxPhase::Committed;
+                }
+            }
+            self.outcomes.lock().insert(tid, true);
+            for p in participants.values() {
+                for t in &merged {
+                    p.finish(*t, true);
+                }
+            }
+            if !yes_children.is_empty() {
+                self.chase_acks_blocking(
+                    tid,
+                    yes_children.into_iter().collect(),
+                    CommitMsg::Commit { tid },
+                );
+            }
+        }
+        transport.send(from, CommitMsg::CommitAck { tid, from: self.node });
+    }
+
+    /// Participant side of abort.
+    fn handle_abort(self: Arc<Self>, from: NodeId, tid: Tid) {
+        let transport = self.transport();
+        let merged = {
+            let inner = self.inner.lock();
+            inner.get(&tid).map(|i| i.merged.clone())
+        };
+        if let Some(merged) = merged {
+            let _ = self.abort_local_tree(tid, &merged);
+        }
+        transport.send(from, CommitMsg::AbortAck { tid, from: self.node });
+    }
+
+    fn abort_local_tree(&self, tid: Tid, merged: &[Tid]) -> Result<(), TmError> {
+        let participants = {
+            let mut inner = self.inner.lock();
+            let info = match inner.get_mut(&tid) {
+                Some(i) => i,
+                None => return Ok(()),
+            };
+            if info.phase == TxPhase::Aborted {
+                return Ok(());
+            }
+            info.phase = TxPhase::Aborted;
+            info.participants.clone()
+        };
+        for t in merged.iter().rev() {
+            self.rm.abort(*t).map_err(|e| TmError::Rm(e.to_string()))?;
+        }
+        for p in participants.values() {
+            for t in merged {
+                p.finish(*t, false);
+            }
+        }
+        self.outcomes.lock().insert(tid, false);
+        // Propagate to this node's own children.
+        let transport = self.transport();
+        let mut children: HashSet<NodeId> = HashSet::new();
+        for t in merged {
+            children.extend(transport.children(*t));
+        }
+        for c in children {
+            transport.send(c, CommitMsg::Abort { tid });
+        }
+        self.cond.notify_all();
+        Ok(())
+    }
+
+    /// Loads durable outcomes discovered by crash recovery, and registers
+    /// in-doubt transactions for resolution.
+    pub fn load_recovery(
+        self: &Arc<Self>,
+        committed: &[Tid],
+        aborted: &[Tid],
+        in_doubt: &[(Tid, NodeId)],
+    ) {
+        {
+            let mut o = self.outcomes.lock();
+            for t in committed {
+                o.insert(*t, true);
+            }
+            for t in aborted {
+                o.insert(*t, false);
+            }
+        }
+        let mut inner = self.inner.lock();
+        for (tid, coord) in in_doubt {
+            let info = inner.entry(*tid).or_insert_with(|| TxInfo::new(Tid::NULL, *tid));
+            info.phase = TxPhase::Prepared;
+            info.remote_parent = Some(*coord);
+        }
+        drop(inner);
+        // Ask each coordinator for the outcome (periodically until told).
+        for (tid, coord) in in_doubt.to_vec() {
+            let tm = Arc::clone(self);
+            let tid = tid;
+            let coord = coord;
+            std::thread::spawn(move || {
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while Instant::now() < deadline {
+                    if !matches!(tm.phase(tid), Some(TxPhase::Prepared)) {
+                        return;
+                    }
+                    tm.transport()
+                        .send(coord, CommitMsg::Inquire { tid, from: tm.node });
+                    std::thread::sleep(RETRANSMIT_EVERY * 3);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabs_kernel::{BufferPool, MemDisk, SegmentId, SegmentSpec};
+    use tabs_wal::{LogManager, MemLogDevice};
+
+    fn make_rm(node: NodeId) -> (Arc<RecoveryManager>, Arc<BufferPool>) {
+        let perf = PerfCounters::new();
+        let pool = BufferPool::new(16, Arc::clone(&perf));
+        let disk = MemDisk::new(64);
+        pool.register_segment(SegmentSpec {
+            id: SegmentId { node, index: 0 },
+            name: "t".into(),
+            disk,
+            base_sector: 0,
+            pages: 64,
+        })
+        .unwrap();
+        let log = LogManager::open(MemLogDevice::new(1 << 20), Arc::clone(&perf)).unwrap();
+        let rm = RecoveryManager::new(node, log, Arc::clone(&pool), perf);
+        pool.set_gate(rm.gate());
+        (rm, pool)
+    }
+
+    fn make_tm(node: NodeId) -> (Arc<TransactionManager>, Arc<RecoveryManager>, Arc<BufferPool>)
+    {
+        let (rm, pool) = make_rm(node);
+        let tm = TransactionManager::new(node, 1, Arc::clone(&rm), PerfCounters::new());
+        (tm, rm, pool)
+    }
+
+    /// A participant that records lifecycle events.
+    #[derive(Default)]
+    struct TracePart {
+        log: Mutex<Vec<String>>,
+        has_updates: std::sync::atomic::AtomicBool,
+        fail_prepare: std::sync::atomic::AtomicBool,
+    }
+
+    impl Participant for TracePart {
+        fn prepare(&self, tid: Tid) -> Result<bool, String> {
+            if self.fail_prepare.load(Ordering::Relaxed) {
+                return Err("refused".into());
+            }
+            self.log.lock().push(format!("prepare {tid}"));
+            Ok(self.has_updates.load(Ordering::Relaxed))
+        }
+        fn finish(&self, tid: Tid, committed: bool) {
+            self.log.lock().push(format!("finish {tid} {committed}"));
+        }
+        fn commit_subtransaction(&self, child: Tid, parent: Tid) {
+            self.log.lock().push(format!("subcommit {child}->{parent}"));
+        }
+    }
+
+    #[test]
+    fn begin_allocates_unique_tids() {
+        let (tm, _rm, _p) = make_tm(NodeId(1));
+        let a = tm.begin(Tid::NULL).unwrap();
+        let b = tm.begin(Tid::NULL).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.node, NodeId(1));
+        assert_eq!(a.incarnation, 1);
+    }
+
+    #[test]
+    fn begin_subtransaction_requires_live_parent() {
+        let (tm, _rm, _p) = make_tm(NodeId(1));
+        let top = tm.begin(Tid::NULL).unwrap();
+        let sub = tm.begin(top).unwrap();
+        assert_ne!(sub, top);
+        let bogus = Tid { node: NodeId(9), incarnation: 1, seq: 99 };
+        assert!(matches!(tm.begin(bogus), Err(TmError::Unknown(_))));
+        tm.abort(top).unwrap();
+        assert!(matches!(tm.begin(top), Err(TmError::Aborted(_))));
+    }
+
+    #[test]
+    fn local_read_only_commit_writes_no_commit_record() {
+        let (tm, rm, _p) = make_tm(NodeId(1));
+        let part = Arc::new(TracePart::default());
+        let t = tm.begin(Tid::NULL).unwrap();
+        tm.enlist(t, "srv", part.clone());
+        assert!(tm.end(t).unwrap());
+        let has_commit = rm
+            .log()
+            .all_entries()
+            .iter()
+            .any(|e| matches!(e.record, tabs_wal::LogRecord::Commit { .. }));
+        assert!(!has_commit, "read-only commit skips the forced record");
+        let log = part.log.lock().clone();
+        assert!(log.iter().any(|l| l.starts_with("prepare")));
+        assert!(log.iter().any(|l| l.contains("finish") && l.contains("true")));
+    }
+
+    #[test]
+    fn local_write_commit_forces_commit_record() {
+        let (tm, rm, _p) = make_tm(NodeId(1));
+        let part = Arc::new(TracePart::default());
+        part.has_updates.store(true, Ordering::Relaxed);
+        let t = tm.begin(Tid::NULL).unwrap();
+        tm.enlist(t, "srv", part);
+        assert!(tm.end(t).unwrap());
+        let durable = rm.log().durable_entries();
+        assert!(durable
+            .iter()
+            .any(|e| matches!(e.record, tabs_wal::LogRecord::Commit { .. })));
+    }
+
+    #[test]
+    fn failed_prepare_aborts() {
+        let (tm, _rm, _p) = make_tm(NodeId(1));
+        let part = Arc::new(TracePart::default());
+        part.fail_prepare.store(true, Ordering::Relaxed);
+        let t = tm.begin(Tid::NULL).unwrap();
+        tm.enlist(t, "srv", part.clone());
+        assert!(!tm.end(t).unwrap());
+        assert_eq!(tm.phase(t), Some(TxPhase::Aborted));
+        assert!(part
+            .log
+            .lock()
+            .iter()
+            .any(|l| l.contains("finish") && l.contains("false")));
+    }
+
+    #[test]
+    fn subtransaction_commit_transfers_to_parent() {
+        let (tm, _rm, _p) = make_tm(NodeId(1));
+        let part = Arc::new(TracePart::default());
+        let top = tm.begin(Tid::NULL).unwrap();
+        let sub = tm.begin(top).unwrap();
+        tm.enlist(sub, "srv", part.clone());
+        assert!(tm.end(sub).unwrap());
+        assert!(part
+            .log
+            .lock()
+            .iter()
+            .any(|l| l.starts_with(&format!("subcommit {sub}"))));
+        // Parent commit finishes the child's participant too.
+        assert!(tm.end(top).unwrap());
+        let log = part.log.lock().clone();
+        assert!(log.iter().any(|l| l == &format!("finish {sub} true")));
+    }
+
+    #[test]
+    fn subtransaction_abort_leaves_parent_running() {
+        let (tm, _rm, _p) = make_tm(NodeId(1));
+        let top = tm.begin(Tid::NULL).unwrap();
+        let sub = tm.begin(top).unwrap();
+        tm.abort(sub).unwrap();
+        assert_eq!(tm.phase(sub), Some(TxPhase::Aborted));
+        assert_eq!(tm.phase(top), Some(TxPhase::Running));
+        assert!(tm.end(top).unwrap());
+    }
+
+    #[test]
+    fn end_on_aborted_returns_false() {
+        let (tm, _rm, _p) = make_tm(NodeId(1));
+        let t = tm.begin(Tid::NULL).unwrap();
+        tm.abort(t).unwrap();
+        assert!(!tm.end(t).unwrap());
+        assert!(tm.is_aborted(t));
+    }
+
+    #[test]
+    fn active_states_for_checkpoint() {
+        let (tm, _rm, _p) = make_tm(NodeId(1));
+        let a = tm.begin(Tid::NULL).unwrap();
+        let b = tm.begin(Tid::NULL).unwrap();
+        tm.abort(b).unwrap();
+        let states = tm.active_states();
+        assert!(states.contains(&(a, TxState::Active)));
+        assert!(!states.iter().any(|(t, _)| *t == b));
+    }
+
+    // ---- Two-node distributed commit through a loopback transport ----
+
+    /// Routes CommitMsgs synchronously between two TransactionManagers and
+    /// exposes a static spanning tree (node 1 is parent of node 2 for every
+    /// tid once marked).
+    struct Loopback {
+        peers: Mutex<HashMap<NodeId, Arc<TransactionManager>>>,
+        children_of: Mutex<HashMap<NodeId, Vec<NodeId>>>,
+        sent: Mutex<Vec<(NodeId, CommitMsg)>>,
+        me: NodeId,
+    }
+
+    impl Loopback {
+        fn pair(
+            a: &Arc<TransactionManager>,
+            b: &Arc<TransactionManager>,
+        ) -> (Arc<Loopback>, Arc<Loopback>) {
+            let ta = Arc::new(Loopback {
+                peers: Mutex::new(HashMap::new()),
+                children_of: Mutex::new(HashMap::new()),
+                sent: Mutex::new(Vec::new()),
+                me: a.node(),
+            });
+            let tb = Arc::new(Loopback {
+                peers: Mutex::new(HashMap::new()),
+                children_of: Mutex::new(HashMap::new()),
+                sent: Mutex::new(Vec::new()),
+                me: b.node(),
+            });
+            ta.peers.lock().insert(b.node(), Arc::clone(b));
+            tb.peers.lock().insert(a.node(), Arc::clone(a));
+            a.set_transport(Arc::clone(&ta) as Arc<dyn CommitTransport>);
+            b.set_transport(Arc::clone(&tb) as Arc<dyn CommitTransport>);
+            (ta, tb)
+        }
+
+        fn set_children(&self, children: Vec<NodeId>) {
+            self.children_of.lock().insert(self.me, children);
+        }
+    }
+
+    impl CommitTransport for Loopback {
+        fn send(&self, to: NodeId, msg: CommitMsg) {
+            self.sent.lock().push((to, msg.clone()));
+            let peer = self.peers.lock().get(&to).cloned();
+            if let Some(p) = peer {
+                let from = self.me;
+                p.handle(from, msg);
+            }
+        }
+        fn children(&self, _tid: Tid) -> Vec<NodeId> {
+            self.children_of.lock().get(&self.me).cloned().unwrap_or_default()
+        }
+        fn parent(&self, _tid: Tid) -> Option<NodeId> {
+            None
+        }
+    }
+
+    fn two_node_rig() -> (
+        Arc<TransactionManager>,
+        Arc<TransactionManager>,
+        Arc<Loopback>,
+        Arc<Loopback>,
+        Arc<RecoveryManager>,
+        Arc<RecoveryManager>,
+    ) {
+        let (tm1, rm1, _p1) = make_tm(NodeId(1));
+        let (tm2, rm2, _p2) = make_tm(NodeId(2));
+        let (t1, t2) = Loopback::pair(&tm1, &tm2);
+        (tm1, tm2, t1, t2, rm1, rm2)
+    }
+
+    #[test]
+    fn two_node_write_commit() {
+        let (tm1, tm2, t1, _t2, rm1, rm2) = two_node_rig();
+        t1.set_children(vec![NodeId(2)]);
+        let part1 = Arc::new(TracePart::default());
+        part1.has_updates.store(true, Ordering::Relaxed);
+        let part2 = Arc::new(TracePart::default());
+        part2.has_updates.store(true, Ordering::Relaxed);
+
+        let t = tm1.begin(Tid::NULL).unwrap();
+        tm1.enlist(t, "s1", part1.clone());
+        tm2.enlist(t, "s2", part2.clone()); // remote work happened on node 2
+        assert!(tm1.end(t).unwrap());
+
+        // Both logs carry durable records; node 2 prepared then committed.
+        let recs2 = rm2.log().durable_entries();
+        assert!(recs2
+            .iter()
+            .any(|e| matches!(e.record, tabs_wal::LogRecord::Prepare { .. })));
+        assert!(recs2
+            .iter()
+            .any(|e| matches!(e.record, tabs_wal::LogRecord::Commit { .. })));
+        assert!(rm1
+            .log()
+            .durable_entries()
+            .iter()
+            .any(|e| matches!(e.record, tabs_wal::LogRecord::Commit { .. })));
+        assert!(part2
+            .log
+            .lock()
+            .iter()
+            .any(|l| l.contains("finish") && l.contains("true")));
+        assert_eq!(tm2.phase(t), Some(TxPhase::Committed));
+    }
+
+    #[test]
+    fn two_node_read_only_skips_phase_two() {
+        let (tm1, tm2, t1, t2, rm1, rm2) = two_node_rig();
+        t1.set_children(vec![NodeId(2)]);
+        let part2 = Arc::new(TracePart::default()); // read-only
+        let t = tm1.begin(Tid::NULL).unwrap();
+        tm2.enlist(t, "s2", part2.clone());
+        assert!(tm1.end(t).unwrap());
+        // No prepare or commit records anywhere: fully read-only.
+        assert!(rm1.log().durable_entries().is_empty());
+        assert!(rm2.log().durable_entries().is_empty());
+        // Messages: exactly one Prepare and one VoteReadOnly.
+        let sent1 = t1.sent.lock().clone();
+        assert_eq!(sent1.len(), 1);
+        assert!(matches!(sent1[0].1, CommitMsg::Prepare { .. }));
+        let sent2 = t2.sent.lock().clone();
+        assert_eq!(sent2.len(), 1);
+        assert!(matches!(sent2[0].1, CommitMsg::VoteReadOnly { .. }));
+    }
+
+    #[test]
+    fn two_node_abort_propagates() {
+        let (tm1, tm2, t1, _t2, _rm1, rm2) = two_node_rig();
+        t1.set_children(vec![NodeId(2)]);
+        let part2 = Arc::new(TracePart::default());
+        part2.has_updates.store(true, Ordering::Relaxed);
+        let t = tm1.begin(Tid::NULL).unwrap();
+        tm2.enlist(t, "s2", part2.clone());
+        tm1.abort(t).unwrap();
+        // Give the background abort chase a moment to land.
+        for _ in 0..50 {
+            if tm2.phase(t) == Some(TxPhase::Aborted) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(tm2.phase(t), Some(TxPhase::Aborted));
+        assert!(part2
+            .log
+            .lock()
+            .iter()
+            .any(|l| l.contains("finish") && l.contains("false")));
+        assert!(rm2
+            .log()
+            .all_entries()
+            .iter()
+            .any(|e| matches!(e.record, tabs_wal::LogRecord::Abort { .. })));
+    }
+
+    #[test]
+    fn remote_prepare_failure_aborts_whole_transaction() {
+        let (tm1, tm2, t1, _t2, _rm1, _rm2) = two_node_rig();
+        t1.set_children(vec![NodeId(2)]);
+        let part1 = Arc::new(TracePart::default());
+        part1.has_updates.store(true, Ordering::Relaxed);
+        let part2 = Arc::new(TracePart::default());
+        part2.fail_prepare.store(true, Ordering::Relaxed);
+        let t = tm1.begin(Tid::NULL).unwrap();
+        tm1.enlist(t, "s1", part1.clone());
+        tm2.enlist(t, "s2", part2);
+        assert!(!tm1.end(t).unwrap());
+        assert_eq!(tm1.phase(t), Some(TxPhase::Aborted));
+        assert!(part1
+            .log
+            .lock()
+            .iter()
+            .any(|l| l.contains("finish") && l.contains("false")));
+    }
+
+    #[test]
+    fn inquire_gets_presumed_abort_for_unknown() {
+        let (tm1, _tm2, _t1, t2, _rm1, _rm2) = two_node_rig();
+        let ghost = Tid { node: NodeId(1), incarnation: 1, seq: 999 };
+        // Node 2 inquires about a transaction node 1 never committed.
+        t2.send(NodeId(1), CommitMsg::Inquire { tid: ghost, from: NodeId(2) });
+        // Node 1 replies Abort (presumed abort), delivered to node 2.
+        let sent = t2.sent.lock().clone();
+        assert!(matches!(sent[0].1, CommitMsg::Inquire { .. }));
+        let _ = tm1;
+    }
+
+    #[test]
+    fn in_doubt_resolution_commits_via_inquire() {
+        let (tm1, tm2, _t1, _t2, _rm1, _rm2) = two_node_rig();
+        let t = tm1.begin(Tid::NULL).unwrap();
+        // Simulate: node 1 committed t durably; node 2 recovered in doubt.
+        tm1.outcomes.lock().insert(t, true);
+        let part2 = Arc::new(TracePart::default());
+        tm2.enlist(t, "s2", part2.clone());
+        {
+            let mut inner = tm2.inner.lock();
+            inner.get_mut(&t).unwrap().phase = TxPhase::Prepared;
+        }
+        tm2.load_recovery(&[], &[], &[(t, NodeId(1))]);
+        for _ in 0..100 {
+            if tm2.phase(t) == Some(TxPhase::Committed) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(tm2.phase(t), Some(TxPhase::Committed));
+        assert!(part2
+            .log
+            .lock()
+            .iter()
+            .any(|l| l.contains("finish") && l.contains("true")));
+    }
+}

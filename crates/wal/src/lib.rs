@@ -1,0 +1,27 @@
+//! Write-ahead logging: records, the non-volatile log device, and the
+//! volatile log buffer with force semantics.
+//!
+//! §2.1.3: "In recovery techniques based upon logging, stable storage
+//! contains an append-only sequence of records. Many of these records
+//! contain an undo component … and a redo component … Updates to data
+//! objects are made by modifying a representation of the object residing in
+//! volatile storage and by spooling one or more records to the log.
+//! Logging is called 'write-ahead' because log records must be safely
+//! stored (forced) to stable storage before transactions commit, and before
+//! the volatile representation of an object is copied to non-volatile
+//! storage."
+//!
+//! Both of the paper's co-existing techniques are represented:
+//! [`LogRecord::ValueUpdate`] (old/new images of at most one page of an
+//! object) and [`LogRecord::Operation`] (operation name plus enough
+//! information to redo or undo it, allowed to cover multi-page objects).
+//! All servers share a common log (§2.1.4), managed by the Recovery
+//! Manager in `tabs-rm`.
+
+pub mod device;
+pub mod manager;
+pub mod records;
+
+pub use device::{FileLogDevice, LogDevice, MemLogDevice};
+pub use manager::{LogManager, WalError};
+pub use records::{LogEntry, LogRecord, Lsn, TxState};

@@ -1,0 +1,436 @@
+//! The log manager: volatile buffer + force protocol over a log device.
+//!
+//! §3.2.2: "All log records are written into a volatile buffer until the
+//! buffer fills or until the buffer is forced to non-volatile storage by
+//! either the write-ahead-log or commit protocols."
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tabs_codec::{Decode, Encode};
+use tabs_kernel::{PerfCounters, PrimitiveOp, Tid};
+
+use crate::device::LogDevice;
+use crate::records::{LogEntry, LogRecord, Lsn};
+
+/// Errors from the log layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// Device-level failure.
+    Io(String),
+    /// A durable record failed to decode (corruption past the torn-write
+    /// detector).
+    Codec(String),
+    /// The device is full and reclamation could not make room.
+    Full,
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "log i/o error: {e}"),
+            WalError::Codec(e) => write!(f, "log corruption: {e}"),
+            WalError::Full => write!(f, "log device full"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+struct Inner {
+    /// Appended but not yet durable (lost at crash).
+    buffer: Vec<LogEntry>,
+    /// Durable records, mirroring the device for fast scans.
+    durable: Vec<LogEntry>,
+    next_lsn: u64,
+    /// Highest durable LSN.
+    durable_lsn: Lsn,
+    /// Backward-chain tails: last LSN written per transaction.
+    chain: HashMap<Tid, Lsn>,
+}
+
+/// One node's interface to the common log.
+pub struct LogManager {
+    device: Arc<dyn LogDevice>,
+    inner: Mutex<Inner>,
+    perf: Arc<PerfCounters>,
+}
+
+impl std::fmt::Debug for LogManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("LogManager")
+            .field("durable", &inner.durable.len())
+            .field("buffered", &inner.buffer.len())
+            .field("next_lsn", &inner.next_lsn)
+            .finish()
+    }
+}
+
+impl LogManager {
+    /// Opens the log on `device`, recovering the durable record sequence.
+    /// Buffered (un-forced) records from before a crash are gone, exactly
+    /// as in the paper's model.
+    pub fn open(device: Arc<dyn LogDevice>, perf: Arc<PerfCounters>) -> Result<Self, WalError> {
+        let frames = device.scan().map_err(|e| WalError::Io(e.to_string()))?;
+        let mut durable = Vec::with_capacity(frames.len());
+        for f in &frames {
+            let entry =
+                LogEntry::decode_all(f).map_err(|e| WalError::Codec(e.to_string()))?;
+            durable.push(entry);
+        }
+        let next_lsn = durable.last().map(|e| e.lsn.0 + 1).unwrap_or(1);
+        let durable_lsn = durable.last().map(|e| e.lsn).unwrap_or(Lsn::ZERO);
+        Ok(Self {
+            device,
+            inner: Mutex::new(Inner {
+                buffer: Vec::new(),
+                durable,
+                next_lsn,
+                durable_lsn,
+                chain: HashMap::new(),
+            }),
+            perf,
+        })
+    }
+
+    /// Appends `record`, linking it into its transaction's backward chain.
+    /// The record is volatile until [`LogManager::force`].
+    pub fn append(&self, record: LogRecord) -> Lsn {
+        let mut inner = self.inner.lock();
+        let lsn = Lsn(inner.next_lsn);
+        inner.next_lsn += 1;
+        let prev = record.tid().and_then(|tid| inner.chain.get(&tid).copied());
+        if let Some(tid) = record.tid() {
+            inner.chain.insert(tid, lsn);
+        }
+        inner.buffer.push(LogEntry { lsn, prev, record });
+        lsn
+    }
+
+    /// Forces all records with LSN ≤ `upto` (or everything buffered when
+    /// `None`) to the device. One Stable-Storage-Write primitive is counted
+    /// per force that moves data.
+    pub fn force(&self, upto: Option<Lsn>) -> Result<Lsn, WalError> {
+        let mut inner = self.inner.lock();
+        let limit = upto.unwrap_or(Lsn(u64::MAX));
+        if inner.buffer.first().map_or(true, |e| e.lsn > limit) {
+            return Ok(inner.durable_lsn); // nothing to do
+        }
+        let split = inner.buffer.partition_point(|e| e.lsn <= limit);
+        let to_write: Vec<LogEntry> = inner.buffer.drain(..split).collect();
+        for entry in &to_write {
+            self.device
+                .append(&entry.encode_to_vec())
+                .map_err(|e| WalError::Io(e.to_string()))?;
+        }
+        self.device.force().map_err(|e| WalError::Io(e.to_string()))?;
+        self.perf.record(PrimitiveOp::StableStorageWrite);
+        if let Some(last) = to_write.last() {
+            inner.durable_lsn = last.lsn;
+        }
+        inner.durable.extend(to_write);
+        Ok(inner.durable_lsn)
+    }
+
+    /// Appends `record` and immediately forces through it.
+    pub fn append_forced(&self, record: LogRecord) -> Result<Lsn, WalError> {
+        let lsn = self.append(record);
+        self.force(Some(lsn))?;
+        Ok(lsn)
+    }
+
+    /// Highest LSN guaranteed durable.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.inner.lock().durable_lsn
+    }
+
+    /// The LSN the next append will receive.
+    pub fn next_lsn(&self) -> Lsn {
+        Lsn(self.inner.lock().next_lsn)
+    }
+
+    /// Every durable record, in LSN order (what crash recovery sees).
+    pub fn durable_entries(&self) -> Vec<LogEntry> {
+        self.inner.lock().durable.clone()
+    }
+
+    /// Every record including the volatile tail (what in-flight abort
+    /// processing walks).
+    pub fn all_entries(&self) -> Vec<LogEntry> {
+        let inner = self.inner.lock();
+        let mut v = inner.durable.clone();
+        v.extend(inner.buffer.iter().cloned());
+        v
+    }
+
+    /// Fetches one record by LSN (durable or buffered).
+    pub fn entry(&self, lsn: Lsn) -> Option<LogEntry> {
+        let inner = self.inner.lock();
+        // LSNs are dense, but truncation may have removed a prefix; search
+        // by binary partition on the durable part first.
+        let d = &inner.durable;
+        if let Ok(i) = d.binary_search_by_key(&lsn, |e| e.lsn) {
+            return Some(d[i].clone());
+        }
+        inner.buffer.iter().find(|e| e.lsn == lsn).cloned()
+    }
+
+    /// The last LSN written by `tid`, the tail of its backward chain.
+    pub fn chain_tail(&self, tid: Tid) -> Option<Lsn> {
+        self.inner.lock().chain.get(&tid).copied()
+    }
+
+    /// Walks the backward chain of `tid` from its tail: the transaction's
+    /// records, newest first.
+    pub fn backward_chain(&self, tid: Tid) -> Vec<LogEntry> {
+        let mut out = Vec::new();
+        let mut cursor = self.chain_tail(tid);
+        while let Some(lsn) = cursor {
+            match self.entry(lsn) {
+                Some(e) => {
+                    cursor = e.prev;
+                    out.push(e);
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Discards durable records with LSN < `keep_from` (log reclamation).
+    /// Buffered records are never discarded.
+    pub fn truncate_before(&self, keep_from: Lsn) -> Result<usize, WalError> {
+        let mut inner = self.inner.lock();
+        let n = inner.durable.partition_point(|e| e.lsn < keep_from);
+        if n == 0 {
+            return Ok(0);
+        }
+        self.device
+            .truncate_front(n)
+            .map_err(|e| WalError::Io(e.to_string()))?;
+        inner.durable.drain(..n);
+        Ok(n)
+    }
+
+    /// Bytes used and device capacity, for the reclamation trigger.
+    pub fn usage(&self) -> (u64, u64) {
+        (self.device.len_bytes(), self.device.capacity_bytes())
+    }
+
+    /// The underlying device (shared with a restarted node).
+    pub fn device(&self) -> Arc<dyn LogDevice> {
+        Arc::clone(&self.device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemLogDevice;
+    use proptest::prelude::*;
+    use tabs_kernel::NodeId;
+
+    fn tid(s: u64) -> Tid {
+        Tid { node: NodeId(1), incarnation: 1, seq: s }
+    }
+
+    fn manager() -> (LogManager, Arc<MemLogDevice>) {
+        let dev = MemLogDevice::new(1 << 20);
+        let lm = LogManager::open(
+            Arc::clone(&dev) as Arc<dyn LogDevice>,
+            PerfCounters::new(),
+        )
+        .unwrap();
+        (lm, dev)
+    }
+
+    #[test]
+    fn lsns_are_dense_and_monotonic() {
+        let (lm, _) = manager();
+        let a = lm.append(LogRecord::Begin { tid: tid(1), parent: Tid::NULL });
+        let b = lm.append(LogRecord::Commit { tid: tid(1) });
+        assert_eq!(a, Lsn(1));
+        assert_eq!(b, Lsn(2));
+        assert_eq!(lm.next_lsn(), Lsn(3));
+    }
+
+    #[test]
+    fn unforced_records_lost_on_reopen() {
+        let (lm, dev) = manager();
+        lm.append(LogRecord::Begin { tid: tid(1), parent: Tid::NULL });
+        lm.append_forced(LogRecord::Begin { tid: tid(2), parent: Tid::NULL })
+            .unwrap();
+        lm.append(LogRecord::Commit { tid: tid(2) }); // never forced
+        drop(lm); // crash
+        let lm2 =
+            LogManager::open(dev as Arc<dyn LogDevice>, PerfCounters::new()).unwrap();
+        let entries = lm2.durable_entries();
+        // Both begins were forced (force writes everything ≤ the target
+        // LSN), the commit was not.
+        assert_eq!(entries.len(), 2);
+        assert!(matches!(entries[1].record, LogRecord::Begin { .. }));
+        // New LSNs continue after the durable tail.
+        assert_eq!(lm2.next_lsn(), Lsn(3));
+    }
+
+    #[test]
+    fn force_counts_stable_storage_writes() {
+        let dev = MemLogDevice::new(1 << 20);
+        let perf = PerfCounters::new();
+        let lm =
+            LogManager::open(dev as Arc<dyn LogDevice>, Arc::clone(&perf)).unwrap();
+        lm.append(LogRecord::Begin { tid: tid(1), parent: Tid::NULL });
+        lm.force(None).unwrap();
+        lm.force(None).unwrap(); // empty force: no write counted
+        assert_eq!(perf.get(PrimitiveOp::StableStorageWrite), 1);
+    }
+
+    #[test]
+    fn partial_force_respects_lsn_bound() {
+        let (lm, _) = manager();
+        let a = lm.append(LogRecord::Begin { tid: tid(1), parent: Tid::NULL });
+        let _b = lm.append(LogRecord::Begin { tid: tid(2), parent: Tid::NULL });
+        lm.force(Some(a)).unwrap();
+        assert_eq!(lm.durable_lsn(), a);
+        assert_eq!(lm.durable_entries().len(), 1);
+        assert_eq!(lm.all_entries().len(), 2);
+    }
+
+    #[test]
+    fn backward_chain_walks_one_transaction() {
+        let (lm, _) = manager();
+        let t1 = tid(1);
+        let t2 = tid(2);
+        lm.append(LogRecord::Begin { tid: t1, parent: Tid::NULL });
+        lm.append(LogRecord::Begin { tid: t2, parent: Tid::NULL });
+        lm.append(LogRecord::Commit { tid: t2 });
+        lm.append(LogRecord::Commit { tid: t1 });
+        let chain: Vec<_> = lm.backward_chain(t1).iter().map(|e| e.lsn).collect();
+        assert_eq!(chain, vec![Lsn(4), Lsn(1)]);
+        let chain2: Vec<_> = lm.backward_chain(t2).iter().map(|e| e.lsn).collect();
+        assert_eq!(chain2, vec![Lsn(3), Lsn(2)]);
+    }
+
+    #[test]
+    fn chain_spans_buffer_and_durable() {
+        let (lm, _) = manager();
+        let t = tid(1);
+        lm.append_forced(LogRecord::Begin { tid: t, parent: Tid::NULL }).unwrap();
+        lm.append(LogRecord::Abort { tid: t });
+        let chain = lm.backward_chain(t);
+        assert_eq!(chain.len(), 2);
+        assert!(matches!(chain[0].record, LogRecord::Abort { .. }));
+        assert!(matches!(chain[1].record, LogRecord::Begin { .. }));
+    }
+
+    #[test]
+    fn truncation_drops_prefix_only() {
+        let (lm, _) = manager();
+        for i in 1..=5 {
+            lm.append_forced(LogRecord::Begin { tid: tid(i), parent: Tid::NULL })
+                .unwrap();
+        }
+        let dropped = lm.truncate_before(Lsn(3)).unwrap();
+        assert_eq!(dropped, 2);
+        let entries = lm.durable_entries();
+        assert_eq!(entries.first().unwrap().lsn, Lsn(3));
+        // Lookup by LSN still works after truncation.
+        assert!(lm.entry(Lsn(2)).is_none());
+        assert!(lm.entry(Lsn(4)).is_some());
+    }
+
+    #[test]
+    fn usage_reflects_appends() {
+        let (lm, _) = manager();
+        let (used0, cap) = lm.usage();
+        assert_eq!(used0, 0);
+        assert_eq!(cap, 1 << 20);
+        lm.append_forced(LogRecord::Begin { tid: tid(1), parent: Tid::NULL })
+            .unwrap();
+        assert!(lm.usage().0 > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+        /// Durability prefix property: after any sequence of appends and
+        /// partial forces followed by a crash, exactly the records with
+        /// LSN ≤ the last force target survive — never a gap, never a
+        /// torn suffix.
+        #[test]
+        fn prop_durable_prefix(
+            appends in proptest::collection::vec(any::<bool>(), 1..40),
+        ) {
+            let dev = MemLogDevice::new(8 << 20);
+            let lm = LogManager::open(
+                Arc::clone(&dev) as Arc<dyn LogDevice>,
+                PerfCounters::new(),
+            )
+            .unwrap();
+            let mut last_forced = 0u64;
+            let mut appended = 0u64;
+            for force_now in appends {
+                appended += 1;
+                let lsn = lm.append(LogRecord::Begin {
+                    tid: tid(appended),
+                    parent: Tid::NULL,
+                });
+                prop_assert_eq!(lsn.0, appended);
+                if force_now {
+                    lm.force(Some(lsn)).unwrap();
+                    last_forced = appended;
+                }
+            }
+            drop(lm); // crash: buffered tail vanishes
+            let lm2 = LogManager::open(dev as Arc<dyn LogDevice>, PerfCounters::new())
+                .unwrap();
+            let durable = lm2.durable_entries();
+            prop_assert_eq!(durable.len() as u64, last_forced);
+            for (i, e) in durable.iter().enumerate() {
+                prop_assert_eq!(e.lsn.0, i as u64 + 1, "dense LSNs, no gaps");
+            }
+            // New appends continue after the whole pre-crash sequence.
+            prop_assert_eq!(lm2.next_lsn().0, last_forced + 1);
+        }
+
+        /// Backward chains always reach every record of the transaction,
+        /// newest first, regardless of interleaving.
+        #[test]
+        fn prop_backward_chains_complete(
+            writers in proptest::collection::vec(1u64..4, 1..30),
+        ) {
+            let (lm, _) = manager();
+            let mut per_tx: std::collections::HashMap<u64, u64> =
+                std::collections::HashMap::new();
+            for w in &writers {
+                lm.append(LogRecord::Begin { tid: tid(*w), parent: Tid::NULL });
+                *per_tx.entry(*w).or_insert(0) += 1;
+            }
+            for (w, count) in per_tx {
+                let chain = lm.backward_chain(tid(w));
+                prop_assert_eq!(chain.len() as u64, count);
+                for pair in chain.windows(2) {
+                    prop_assert!(pair[0].lsn > pair[1].lsn, "newest first");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reopen_continues_lsn_sequence_after_truncation() {
+        let (lm, dev) = manager();
+        for i in 1..=4 {
+            lm.append_forced(LogRecord::Begin { tid: tid(i), parent: Tid::NULL })
+                .unwrap();
+        }
+        lm.truncate_before(Lsn(3)).unwrap();
+        drop(lm);
+        let lm2 =
+            LogManager::open(dev as Arc<dyn LogDevice>, PerfCounters::new()).unwrap();
+        assert_eq!(lm2.next_lsn(), Lsn(5));
+        assert_eq!(lm2.durable_entries().len(), 2);
+    }
+}

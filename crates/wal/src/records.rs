@@ -1,0 +1,402 @@
+//! Log-record model: the common log shared by all data servers.
+
+use tabs_codec::{decode_seq, encode_seq, Decode, DecodeError, Encode, Reader, Writer};
+use tabs_kernel::{NodeId, ObjectId, PageId, Tid};
+
+/// Log sequence number: a monotonically increasing record index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The LSN before any record (used as a scan floor).
+    pub const ZERO: Lsn = Lsn(0);
+}
+
+impl std::fmt::Display for Lsn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lsn{}", self.0)
+    }
+}
+
+impl Encode for Lsn {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+    }
+}
+
+impl Decode for Lsn {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Lsn(u64::decode(r)?))
+    }
+}
+
+/// Transaction state as recorded at checkpoints and reconstructed by crash
+/// recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxState {
+    /// Running; will be aborted if the node crashes.
+    Active,
+    /// Prepared (participant has voted yes and must preserve locks until
+    /// the coordinator's decision arrives — the 2PC "in doubt" window).
+    Prepared,
+    /// Commit record written; effects must be redone.
+    Committed,
+    /// Abort record written; effects must be undone.
+    Aborted,
+}
+
+impl Encode for TxState {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            TxState::Active => 0,
+            TxState::Prepared => 1,
+            TxState::Committed => 2,
+            TxState::Aborted => 3,
+        });
+    }
+}
+
+impl Decode for TxState {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(TxState::Active),
+            1 => Ok(TxState::Prepared),
+            2 => Ok(TxState::Committed),
+            3 => Ok(TxState::Aborted),
+            _ => Err(DecodeError::Invalid("TxState")),
+        }
+    }
+}
+
+/// The body of one log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    /// A transaction (or subtransaction) began. `parent` is
+    /// [`Tid::NULL`] for top-level transactions.
+    Begin {
+        /// The new transaction.
+        tid: Tid,
+        /// Enclosing transaction, or null.
+        parent: Tid,
+    },
+    /// Value logging (§2.1.3): "the undo and redo portions of a log record
+    /// contain the old and new values of at most one page of an object's
+    /// representation."
+    ValueUpdate {
+        /// Updating transaction.
+        tid: Tid,
+        /// Object (byte range of a recoverable segment) updated.
+        object: ObjectId,
+        /// Pre-image (undo component).
+        old: Vec<u8>,
+        /// Post-image (redo component).
+        new: Vec<u8>,
+    },
+    /// Operation (transition) logging (§2.1.3): "data servers write log
+    /// records containing the names of operations and enough information to
+    /// invoke them." May cover a multi-page object in one record.
+    Operation {
+        /// Updating transaction.
+        tid: Tid,
+        /// Object the operation applies to.
+        object: ObjectId,
+        /// Operation name, dispatched on during recovery.
+        name: String,
+        /// Arguments sufficient to undo the operation.
+        undo: Vec<u8>,
+        /// Arguments sufficient to redo the operation.
+        redo: Vec<u8>,
+        /// Pages whose on-disk sequence numbers decide redo/undo
+        /// applicability during recovery.
+        pages: Vec<PageId>,
+    },
+    /// A participant prepared in two-phase commit (forced before voting
+    /// yes).
+    Prepare {
+        /// Prepared transaction.
+        tid: Tid,
+        /// Commit-tree parent that will deliver the decision.
+        coordinator: NodeId,
+    },
+    /// The transaction committed (forced at top-level commit).
+    Commit {
+        /// Committed transaction.
+        tid: Tid,
+    },
+    /// The transaction aborted.
+    Abort {
+        /// Aborted transaction.
+        tid: Tid,
+    },
+    /// Undo of this transaction finished (written after abort processing
+    /// so repeated crash recoveries skip completed work).
+    AbortComplete {
+        /// Fully undone transaction.
+        tid: Tid,
+    },
+    /// Periodic checkpoint (§2.1.3 / §3.2.2): "a list of the pages
+    /// currently in volatile storage and the status of currently active
+    /// transactions are written to the log."
+    Checkpoint {
+        /// States of transactions alive at checkpoint time.
+        active: Vec<(Tid, TxState)>,
+        /// Dirty pages and their recovery LSNs (earliest record that may
+        /// not be reflected on disk).
+        dirty: Vec<(PageId, Lsn)>,
+    },
+}
+
+impl LogRecord {
+    /// The transaction this record belongs to, if any.
+    pub fn tid(&self) -> Option<Tid> {
+        match self {
+            LogRecord::Begin { tid, .. }
+            | LogRecord::ValueUpdate { tid, .. }
+            | LogRecord::Operation { tid, .. }
+            | LogRecord::Prepare { tid, .. }
+            | LogRecord::Commit { tid }
+            | LogRecord::Abort { tid }
+            | LogRecord::AbortComplete { tid } => Some(*tid),
+            LogRecord::Checkpoint { .. } => None,
+        }
+    }
+
+    /// Whether this is an update (undo/redo-bearing) record.
+    pub fn is_update(&self) -> bool {
+        matches!(self, LogRecord::ValueUpdate { .. } | LogRecord::Operation { .. })
+    }
+
+    /// Pages this record's redo/undo touches.
+    pub fn pages(&self) -> Vec<PageId> {
+        match self {
+            LogRecord::ValueUpdate { object, .. } => object.pages().collect(),
+            LogRecord::Operation { pages, .. } => pages.clone(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl Encode for LogRecord {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            LogRecord::Begin { tid, parent } => {
+                w.put_u8(0);
+                tid.encode(w);
+                parent.encode(w);
+            }
+            LogRecord::ValueUpdate { tid, object, old, new } => {
+                w.put_u8(1);
+                tid.encode(w);
+                object.encode(w);
+                old.encode(w);
+                new.encode(w);
+            }
+            LogRecord::Operation { tid, object, name, undo, redo, pages } => {
+                w.put_u8(2);
+                tid.encode(w);
+                object.encode(w);
+                name.encode(w);
+                undo.encode(w);
+                redo.encode(w);
+                encode_seq(pages, w);
+            }
+            LogRecord::Prepare { tid, coordinator } => {
+                w.put_u8(3);
+                tid.encode(w);
+                coordinator.encode(w);
+            }
+            LogRecord::Commit { tid } => {
+                w.put_u8(4);
+                tid.encode(w);
+            }
+            LogRecord::Abort { tid } => {
+                w.put_u8(5);
+                tid.encode(w);
+            }
+            LogRecord::AbortComplete { tid } => {
+                w.put_u8(6);
+                tid.encode(w);
+            }
+            LogRecord::Checkpoint { active, dirty } => {
+                w.put_u8(7);
+                encode_seq(active, w);
+                encode_seq(dirty, w);
+            }
+        }
+    }
+}
+
+impl Decode for LogRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(LogRecord::Begin { tid: Tid::decode(r)?, parent: Tid::decode(r)? }),
+            1 => Ok(LogRecord::ValueUpdate {
+                tid: Tid::decode(r)?,
+                object: ObjectId::decode(r)?,
+                old: Vec::<u8>::decode(r)?,
+                new: Vec::<u8>::decode(r)?,
+            }),
+            2 => Ok(LogRecord::Operation {
+                tid: Tid::decode(r)?,
+                object: ObjectId::decode(r)?,
+                name: String::decode(r)?,
+                undo: Vec::<u8>::decode(r)?,
+                redo: Vec::<u8>::decode(r)?,
+                pages: decode_seq(r)?,
+            }),
+            3 => Ok(LogRecord::Prepare {
+                tid: Tid::decode(r)?,
+                coordinator: NodeId::decode(r)?,
+            }),
+            4 => Ok(LogRecord::Commit { tid: Tid::decode(r)? }),
+            5 => Ok(LogRecord::Abort { tid: Tid::decode(r)? }),
+            6 => Ok(LogRecord::AbortComplete { tid: Tid::decode(r)? }),
+            7 => Ok(LogRecord::Checkpoint {
+                active: decode_seq(r)?,
+                dirty: decode_seq(r)?,
+            }),
+            _ => Err(DecodeError::Invalid("LogRecord tag")),
+        }
+    }
+}
+
+/// A record as stored in the log: body plus its LSN and the backward chain
+/// pointer to the same transaction's previous record (§3.2.2: "the recovery
+/// manager follows the backward chain of log records that were written by
+/// the transaction").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// This record's log sequence number.
+    pub lsn: Lsn,
+    /// Previous record of the same transaction, if any.
+    pub prev: Option<Lsn>,
+    /// Record body.
+    pub record: LogRecord,
+}
+
+impl Encode for LogEntry {
+    fn encode(&self, w: &mut Writer) {
+        self.lsn.encode(w);
+        self.prev.encode(w);
+        self.record.encode(w);
+    }
+}
+
+impl Decode for LogEntry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(LogEntry {
+            lsn: Lsn::decode(r)?,
+            prev: Option::<Lsn>::decode(r)?,
+            record: LogRecord::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use tabs_kernel::SegmentId;
+
+    fn tid(n: u16, s: u64) -> Tid {
+        Tid { node: NodeId(n), incarnation: 1, seq: s }
+    }
+
+    fn oid() -> ObjectId {
+        ObjectId::new(SegmentId { node: NodeId(1), index: 0 }, 128, 8)
+    }
+
+    fn all_records() -> Vec<LogRecord> {
+        vec![
+            LogRecord::Begin { tid: tid(1, 1), parent: Tid::NULL },
+            LogRecord::Begin { tid: tid(1, 2), parent: tid(1, 1) },
+            LogRecord::ValueUpdate {
+                tid: tid(1, 1),
+                object: oid(),
+                old: vec![0; 8],
+                new: vec![1; 8],
+            },
+            LogRecord::Operation {
+                tid: tid(1, 1),
+                object: oid(),
+                name: "enqueue".into(),
+                undo: vec![9],
+                redo: vec![7, 7],
+                pages: oid().pages().collect(),
+            },
+            LogRecord::Prepare { tid: tid(1, 1), coordinator: NodeId(2) },
+            LogRecord::Commit { tid: tid(1, 1) },
+            LogRecord::Abort { tid: tid(1, 2) },
+            LogRecord::AbortComplete { tid: tid(1, 2) },
+            LogRecord::Checkpoint {
+                active: vec![(tid(1, 1), TxState::Active), (tid(1, 2), TxState::Prepared)],
+                dirty: vec![(oid().first_page(), Lsn(3))],
+            },
+        ]
+    }
+
+    #[test]
+    fn every_record_type_roundtrips() {
+        for rec in all_records() {
+            let entry = LogEntry { lsn: Lsn(5), prev: Some(Lsn(2)), record: rec.clone() };
+            let buf = entry.encode_to_vec();
+            let back = LogEntry::decode_all(&buf).unwrap();
+            assert_eq!(back, entry, "roundtrip failed for {rec:?}");
+        }
+    }
+
+    #[test]
+    fn tid_extraction() {
+        assert_eq!(
+            LogRecord::Commit { tid: tid(1, 5) }.tid(),
+            Some(tid(1, 5))
+        );
+        assert_eq!(
+            LogRecord::Checkpoint { active: vec![], dirty: vec![] }.tid(),
+            None
+        );
+    }
+
+    #[test]
+    fn update_classification_and_pages() {
+        let v = LogRecord::ValueUpdate {
+            tid: tid(1, 1),
+            object: oid(),
+            old: vec![],
+            new: vec![],
+        };
+        assert!(v.is_update());
+        assert_eq!(v.pages(), oid().pages().collect::<Vec<_>>());
+        assert!(!LogRecord::Commit { tid: tid(1, 1) }.is_update());
+        assert!(LogRecord::Commit { tid: tid(1, 1) }.pages().is_empty());
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert!(LogRecord::decode_all(&[200]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_value_update_roundtrip(
+            old in proptest::collection::vec(any::<u8>(), 0..512),
+            new in proptest::collection::vec(any::<u8>(), 0..512),
+            off in 0u64..10_000,
+            len in 0u32..512,
+        ) {
+            let rec = LogRecord::ValueUpdate {
+                tid: tid(3, 17),
+                object: ObjectId::new(SegmentId { node: NodeId(3), index: 1 }, off, len),
+                old,
+                new,
+            };
+            let buf = rec.encode_to_vec();
+            prop_assert_eq!(LogRecord::decode_all(&buf).unwrap(), rec);
+        }
+
+        #[test]
+        fn prop_garbage_never_panics(b in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = LogEntry::decode_all(&b);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! The Figure 4-1 bank: a trivial banking application over the I/O server
+//! and the integer array server.
+//!
+//! The paper's snapshot shows three display areas: a committed deposit
+//! (black), a withdrawal cut short by a node failure (struck through after
+//! the screen is restored), and an interaction still in progress (gray).
+//! This example reproduces all three, printing the rendered screen.
+//!
+//! ```text
+//! cargo run -p tabs-servers --example bank
+//! ```
+
+use tabs_core::{Cluster, NodeId, Tid};
+use tabs_servers::{IntArrayClient, IntArrayServer, IoClient, IoServer};
+
+const CHECKING: u64 = 0;
+
+fn main() {
+    let cluster = Cluster::new();
+    let node = cluster.boot_node(NodeId(1));
+    let accounts = IntArrayServer::spawn(&node, "accounts", 16).expect("accounts");
+    let io = IoServer::spawn(&node, "display").expect("io server");
+    node.recover().expect("recovery");
+    let app = node.app();
+    let bank = IntArrayClient::new(app.clone(), accounts.send_right());
+    let screen = IoClient::new(app.clone(), io.send_right());
+
+    // Open the account with $100.
+    app.run(|t| bank.set(t, CHECKING, 100)).expect("open account");
+
+    // Area one: "the user successfully deposited 35 dollars to a checking
+    // account. The user knew that the action had occurred (committed),
+    // because its output was displayed in black."
+    screen.inject(0, "deposit 35").expect("type");
+    let t = app.begin_transaction(Tid::NULL).expect("begin");
+    let area1 = screen.obtain_area(t).expect("area");
+    let cmd = screen.read_line(t, area1).expect("read");
+    assert_eq!(cmd, "deposit 35");
+    let balance = bank.get(t, CHECKING).expect("read balance");
+    bank.set(t, CHECKING, balance + 35).expect("deposit");
+    screen
+        .writeln(t, area1, &format!("deposit 35 -> balance {}", balance + 35))
+        .expect("echo");
+    assert!(app.end_transaction(t).expect("commit"));
+
+    // Area two: "the user attempted to withdraw 80 dollars from a checking
+    // account, but the node failed during the transaction, causing it to
+    // abort."
+    screen.inject(1, "withdraw 80").expect("type");
+    let t = app.begin_transaction(Tid::NULL).expect("begin");
+    let area2 = screen.obtain_area(t).expect("area");
+    let cmd = screen.read_line(t, area2).expect("read");
+    assert_eq!(cmd, "withdraw 80");
+    let balance = bank.get(t, CHECKING).expect("read balance");
+    bank.set(t, CHECKING, balance - 80).expect("withdraw");
+    screen
+        .writeln(t, area2, "withdraw 80 ...")
+        .expect("echo");
+    // The node fails before the transaction commits.
+    node.rm.force(None).expect("force");
+    drop((accounts, io));
+    println!("*** node failure during the withdrawal ***\n");
+    node.crash();
+
+    // "The IO server restored the screen when the system became available,
+    // and the user is currently trying again in area three, where the
+    // transaction is still in progress."
+    let node = cluster.boot_node(NodeId(1));
+    let accounts = IntArrayServer::spawn(&node, "accounts", 16).expect("accounts");
+    let io = IoServer::spawn(&node, "display").expect("io server");
+    node.recover().expect("recovery");
+    let app = node.app();
+    let bank = IntArrayClient::new(app.clone(), accounts.send_right());
+    let screen = IoClient::new(app.clone(), io.send_right());
+
+    screen.inject(2, "withdraw 80").expect("type");
+    let t3 = app.begin_transaction(Tid::NULL).expect("begin");
+    let area3 = screen.obtain_area(t3).expect("area");
+    let cmd = screen.read_line(t3, area3).expect("read");
+    let balance = bank.get(t3, CHECKING).expect("balance");
+    bank.set(t3, CHECKING, balance - 80).expect("withdraw");
+    screen
+        .writeln(t3, area3, &format!("{cmd} -> balance {}", balance - 80))
+        .expect("echo");
+    // … t3 deliberately left in progress for the snapshot.
+
+    println!("Figure 4-1, reproduced (plain = committed/black, ░ = in");
+    println!("progress/gray, ~…~ = aborted/struck through, […] = input read):\n");
+    println!("{}", screen.render().expect("render"));
+
+    // The money is consistent: the failed withdrawal never happened.
+    assert_eq!(balance, 135, "100 + 35 committed; the crashed withdraw-80 undone");
+
+    // Finish area three for a clean exit.
+    assert!(app.end_transaction(t3).expect("commit"));
+    println!("final committed balance: {}", balance - 80);
+    node.shutdown();
+}

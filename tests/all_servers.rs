@@ -1,0 +1,139 @@
+//! Integration test: all five paper data servers coexisting on one node,
+//! used together, crashed together, recovered together.
+
+use tabs_core::{Cluster, NodeId, Tid};
+use tabs_servers::{
+    AreaState, BTreeClient, BTreeServer, IntArrayClient, IntArrayServer, IoClient, IoServer,
+    WeakQueueClient, WeakQueueServer,
+};
+
+#[test]
+fn five_servers_one_node_one_crash() {
+    let cluster = Cluster::new();
+    let node = cluster.boot_node(NodeId(1));
+    let arr = IntArrayServer::spawn(&node, "array", 32).unwrap();
+    let queue = WeakQueueServer::spawn(&node, "queue", 32).unwrap();
+    let io = IoServer::spawn(&node, "display").unwrap();
+    let btree = BTreeServer::spawn(&node, "directory", 64).unwrap();
+    node.recover().unwrap();
+    let app = node.app();
+
+    let a = IntArrayClient::new(app.clone(), arr.send_right());
+    let q = WeakQueueClient::new(app.clone(), queue.send_right());
+    let scr = IoClient::new(app.clone(), io.send_right());
+    let d = BTreeClient::new(app.clone(), btree.send_right());
+
+    // One transaction touching four servers (the I/O server output
+    // commits independently through ExecuteTransaction but the ownership
+    // state rides the client transaction).
+    let t = app.begin_transaction(Tid::NULL).unwrap();
+    let area = scr.obtain_area(t).unwrap();
+    a.set(t, 0, 42).unwrap();
+    q.enqueue(t, 7).unwrap();
+    d.add(t, b"answer", b"42").unwrap();
+    scr.writeln(t, area, "all four updated").unwrap();
+    assert!(app.end_transaction(t).unwrap());
+
+    // And one that aborts across all of them.
+    let t = app.begin_transaction(Tid::NULL).unwrap();
+    let area2 = scr.obtain_area(t).unwrap();
+    a.set(t, 0, -1).unwrap();
+    q.enqueue(t, -1).unwrap();
+    d.add(t, b"junk", b"x").unwrap();
+    scr.writeln(t, area2, "doomed").unwrap();
+    app.abort_transaction(t).unwrap();
+
+    // Crash everything; non-volatile state survives.
+    node.rm.force(None).unwrap();
+    drop((arr, queue, io, btree));
+    node.crash();
+
+    let node = cluster.boot_node(NodeId(1));
+    let arr = IntArrayServer::spawn(&node, "array", 32).unwrap();
+    let queue = WeakQueueServer::spawn(&node, "queue", 32).unwrap();
+    let io = IoServer::spawn(&node, "display").unwrap();
+    let btree = BTreeServer::spawn(&node, "directory", 64).unwrap();
+    node.recover().unwrap();
+    let app = node.app();
+    let a = IntArrayClient::new(app.clone(), arr.send_right());
+    let q = WeakQueueClient::new(app.clone(), queue.send_right());
+    let scr = IoClient::new(app.clone(), io.send_right());
+    let d = BTreeClient::new(app.clone(), btree.send_right());
+
+    app.run(|t| {
+        assert_eq!(a.get(t, 0)?, 42, "array: committed value survived");
+        assert_eq!(q.dequeue(t)?, Some(7), "queue: committed item survived");
+        assert_eq!(q.dequeue(t)?, None, "queue: aborted item gone");
+        assert_eq!(d.lookup(t, b"answer")?.unwrap(), b"42", "b-tree survived");
+        assert_eq!(d.lookup(t, b"junk")?, None, "aborted b-tree entry gone");
+        Ok(())
+    })
+    .unwrap();
+
+    // The display was restored: committed line black, doomed line struck.
+    let lines0 = scr.lines(0).unwrap();
+    assert_eq!(lines0[0].0, AreaState::Committed);
+    assert_eq!(lines0[0].2, "all four updated");
+    let lines1 = scr.lines(1).unwrap();
+    assert_eq!(lines1[0].0, AreaState::Aborted);
+    assert_eq!(lines1[0].2, "doomed");
+
+    node.shutdown();
+}
+
+#[test]
+fn name_server_finds_all_five() {
+    let cluster = Cluster::new();
+    let node = cluster.boot_node(NodeId(1));
+    let _arr = IntArrayServer::spawn(&node, "array", 16).unwrap();
+    let _q = WeakQueueServer::spawn(&node, "queue", 16).unwrap();
+    let _io = IoServer::spawn(&node, "display").unwrap();
+    let _bt = BTreeServer::spawn(&node, "directory", 16).unwrap();
+    node.recover().unwrap();
+    for name in ["array", "queue", "display", "directory"] {
+        let found = node.resolve(name, 1, std::time::Duration::from_millis(200));
+        assert_eq!(found.len(), 1, "{name} registered and resolvable");
+    }
+    assert_eq!(
+        node.ns.local_names(),
+        vec!["array", "directory", "display", "queue"]
+    );
+    node.shutdown();
+}
+
+#[test]
+fn subtransactions_spanning_servers() {
+    // §2.1.3: subtransactions that abort independently let the parent
+    // tolerate failed operations.
+    let cluster = Cluster::new();
+    let node = cluster.boot_node(NodeId(1));
+    let arr = IntArrayServer::spawn(&node, "array", 16).unwrap();
+    let btree = BTreeServer::spawn(&node, "dir", 32).unwrap();
+    node.recover().unwrap();
+    let app = node.app();
+    let a = IntArrayClient::new(app.clone(), arr.send_right());
+    let d = BTreeClient::new(app.clone(), btree.send_right());
+
+    let top = app.begin_transaction(Tid::NULL).unwrap();
+    a.set(top, 0, 1).unwrap();
+
+    // Subtransaction one: succeeds and merges into the parent.
+    let sub1 = app.begin_transaction(top).unwrap();
+    d.add(sub1, b"kept", b"yes").unwrap();
+    assert!(app.end_transaction(sub1).unwrap());
+
+    // Subtransaction two: aborts without hurting the parent.
+    let sub2 = app.begin_transaction(top).unwrap();
+    a.set(sub2, 1, 999).unwrap();
+    app.abort_transaction(sub2).unwrap();
+
+    assert!(app.end_transaction(top).unwrap());
+    app.run(|t| {
+        assert_eq!(a.get(t, 0)?, 1, "parent work committed");
+        assert_eq!(a.get(t, 1)?, 0, "aborted subtransaction undone");
+        assert_eq!(d.lookup(t, b"kept")?.unwrap(), b"yes", "committed subtxn");
+        Ok(())
+    })
+    .unwrap();
+    node.shutdown();
+}

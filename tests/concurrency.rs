@@ -1,0 +1,199 @@
+//! Integration tests: concurrent transactions, invariants, and the weak
+//! queue under parallel producers/consumers.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use tabs_core::{Cluster, NodeId, Tid};
+use tabs_servers::{IntArrayClient, IntArrayServer, WeakQueueClient, WeakQueueServer};
+
+#[test]
+fn concurrent_transfers_conserve_money() {
+    // Classic serializability check: N accounts, concurrent random
+    // transfers with retries; the total is invariant.
+    let cluster = Cluster::new();
+    let node = cluster.boot_node(NodeId(1));
+    let arr = IntArrayServer::spawn(&node, "accounts", 8).unwrap();
+    node.recover().unwrap();
+    let app = node.app();
+    let client = IntArrayClient::new(app.clone(), arr.send_right());
+    const ACCOUNTS: u64 = 4;
+    const PER_ACCOUNT: i64 = 1000;
+    app.run(|t| {
+        for a in 0..ACCOUNTS {
+            client.set(t, a, PER_ACCOUNT)?;
+        }
+        Ok(())
+    })
+    .unwrap();
+
+    let succeeded = Arc::new(AtomicI64::new(0));
+    std::thread::scope(|s| {
+        for worker in 0..4u64 {
+            let app = app.clone();
+            let client = client.clone();
+            let succeeded = Arc::clone(&succeeded);
+            s.spawn(move || {
+                let mut state = worker.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+                let mut rand = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                };
+                for _ in 0..15 {
+                    let from = rand() % ACCOUNTS;
+                    let to = (from + 1 + rand() % (ACCOUNTS - 1)) % ACCOUNTS;
+                    let amount = (rand() % 50) as i64;
+                    // Lock accounts in index order to avoid deadlocks, and
+                    // retry on lock time-outs (the paper's resolution
+                    // aborts one side; retry is the standard response).
+                    let (first, second) = if from < to { (from, to) } else { (to, from) };
+                    let r = app.run_with_retries(8, |t| {
+                        let d_first = if first == from { -amount } else { amount };
+                        client.add(t, first, d_first)?;
+                        client.add(t, second, -d_first)?;
+                        Ok(())
+                    });
+                    if r.is_ok() {
+                        succeeded.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    assert!(
+        succeeded.load(Ordering::Relaxed) >= 45,
+        "most transfers should eventually succeed, got {}",
+        succeeded.load(Ordering::Relaxed)
+    );
+    let total: i64 = {
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        let sum = (0..ACCOUNTS).map(|a| client.get(t, a).unwrap()).sum();
+        app.end_transaction(t).unwrap();
+        sum
+    };
+    assert_eq!(total, PER_ACCOUNT * ACCOUNTS as i64, "money conserved");
+    node.shutdown();
+}
+
+#[test]
+fn weak_queue_parallel_producers_and_consumers() {
+    let cluster = Cluster::new();
+    let node = cluster.boot_node(NodeId(1));
+    let q = WeakQueueServer::spawn(&node, "jobs", 128).unwrap();
+    node.recover().unwrap();
+    let app = node.app();
+    let client = WeakQueueClient::new(app.clone(), q.send_right());
+
+    const PRODUCERS: i64 = 3;
+    const ITEMS: i64 = 12;
+    let consumed: Arc<parking_lot::Mutex<Vec<i64>>> =
+        Arc::new(parking_lot::Mutex::new(Vec::new()));
+
+    std::thread::scope(|s| {
+        for p in 0..PRODUCERS {
+            let app = app.clone();
+            let client = client.clone();
+            s.spawn(move || {
+                for i in 0..ITEMS {
+                    let value = p * 1000 + i;
+                    app.run_with_retries(10, |t| client.enqueue(t, value))
+                        .expect("enqueue");
+                }
+            });
+        }
+        for _ in 0..2 {
+            let app = app.clone();
+            let client = client.clone();
+            let consumed = Arc::clone(&consumed);
+            s.spawn(move || {
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+                loop {
+                    if consumed.lock().len() as i64 >= PRODUCERS * ITEMS {
+                        return;
+                    }
+                    if std::time::Instant::now() > deadline {
+                        return;
+                    }
+                    let got = app.run_with_retries(10, |t| client.dequeue(t));
+                    match got {
+                        Ok(Some(v)) => consumed.lock().push(v),
+                        Ok(None) => std::thread::sleep(std::time::Duration::from_millis(5)),
+                        Err(_) => {}
+                    }
+                }
+            });
+        }
+    });
+
+    let got = consumed.lock();
+    assert_eq!(
+        got.len() as i64,
+        PRODUCERS * ITEMS,
+        "every enqueued item dequeued exactly once"
+    );
+    let mut sorted = got.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(sorted.len() as i64, PRODUCERS * ITEMS, "no duplicates");
+    node.shutdown();
+}
+
+#[test]
+fn lock_timeout_aborts_one_of_two_colliders() {
+    let cluster = Cluster::new();
+    let node = cluster.boot_node(NodeId(1));
+    let arr = IntArrayServer::spawn(&node, "hot", 4).unwrap();
+    node.recover().unwrap();
+    let app = node.app();
+    let client = IntArrayClient::new(app.clone(), arr.send_right());
+
+    let t1 = app.begin_transaction(Tid::NULL).unwrap();
+    client.set(t1, 0, 1).unwrap();
+    // A second writer on the same cell times out (deadlock resolution by
+    // time-out, §2.1.3).
+    let t2 = app.begin_transaction(Tid::NULL).unwrap();
+    let err = client.set(t2, 0, 2).unwrap_err();
+    assert!(format!("{err}").contains("lock"), "got: {err}");
+    app.abort_transaction(t2).unwrap();
+    assert!(app.end_transaction(t1).unwrap());
+    node.shutdown();
+}
+
+#[test]
+fn many_small_transactions_under_checkpoints() {
+    // Sustained update load with periodic checkpoints and reclamation;
+    // the log must not grow without bound and the data must stay right.
+    let cluster = Cluster::new();
+    let node = cluster.boot_node(NodeId(1));
+    let arr = IntArrayServer::spawn(&node, "counters", 16).unwrap();
+    node.recover().unwrap();
+    let app = node.app();
+    let client = IntArrayClient::new(app.clone(), arr.send_right());
+
+    for round in 0..10i64 {
+        for cell in 0..16u64 {
+            let v = round * 16 + cell as i64;
+            app.run(|t| client.set(t, cell, v)).unwrap();
+        }
+        node.checkpoint().unwrap();
+        node.rm.reclaim(None).unwrap();
+    }
+    let (used, cap) = node.rm.log().usage();
+    assert!(used < cap / 4, "reclamation kept the log small: {used}/{cap}");
+    // Crash and verify the final values anyway.
+    drop(arr);
+    node.crash();
+    let node = cluster.boot_node(NodeId(1));
+    let arr = IntArrayServer::spawn(&node, "counters", 16).unwrap();
+    node.recover().unwrap();
+    let app = node.app();
+    let client = IntArrayClient::new(app.clone(), arr.send_right());
+    let t = app.begin_transaction(Tid::NULL).unwrap();
+    for cell in 0..16u64 {
+        assert_eq!(client.get(t, cell).unwrap(), 9 * 16 + cell as i64);
+    }
+    app.end_transaction(t).unwrap();
+    node.shutdown();
+}

@@ -1,0 +1,304 @@
+//! Conformance tests for the published library interfaces: the complete
+//! server library (Table 3-1), the transaction management library
+//! (Table 3-2) and the Name Server library (Table 3-3).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tabs_core::prelude::*;
+use tabs_core::{Cluster, ObjectId};
+use tabs_lock::StdMode;
+
+/// Spins up a node plus a scratch data server whose dispatch executes a
+/// caller-provided probe against the full `OpCtx` interface.
+fn with_probe_server(
+    probe: impl Fn(&OpCtx<'_>) -> Result<Vec<u8>, ServerError> + Send + Sync + 'static,
+    check: impl FnOnce(&tabs_core::Node, &DataServer, &AppHandle),
+) {
+    let cluster = Cluster::new();
+    let node = cluster.boot_node(NodeId(1));
+    let seg = node.add_segment("probe-seg", 16);
+    let ds = DataServer::new(&node.deps(), ServerConfig::new("probe", seg)).unwrap();
+    ds.accept_requests(Arc::new(move |ctx, _op, _args| probe(ctx)));
+    node.recover().unwrap();
+    let app = node.app();
+    check(&node, &ds, &app);
+    node.shutdown();
+}
+
+fn call(app: &AppHandle, ds: &DataServer, tid: Tid) -> Result<Vec<u8>, AppError> {
+    app.call(&ds.send_right(), tid, 1, Vec::new())
+}
+
+// ---- Table 3-1: the server library ----
+
+#[test]
+fn table_3_1_address_arithmetic() {
+    with_probe_server(
+        |ctx| {
+            // CreateObjectID / ConvertObjectIDtoVirtualAddress.
+            let obj = ctx.create_object_id(100, 8);
+            assert_eq!(ctx.object_offset(obj), 100);
+            assert_eq!(obj.len, 8);
+            Ok(Vec::new())
+        },
+        |_n, ds, app| {
+            let t = app.begin_transaction(Tid::NULL).unwrap();
+            call(app, ds, t).unwrap();
+            app.end_transaction(t).unwrap();
+        },
+    );
+}
+
+#[test]
+fn table_3_1_locking_primitives() {
+    with_probe_server(
+        |ctx| {
+            let obj = ctx.create_object_id(0, 8);
+            // LockObject / IsObjectLocked / ConditionallyLockObject.
+            assert!(!ctx.is_object_locked(obj));
+            ctx.lock_object(obj, StdMode::Exclusive)?;
+            assert!(ctx.is_object_locked(obj));
+            // Re-acquire by the same transaction: immediate.
+            assert!(ctx.conditionally_lock_object(obj, StdMode::Exclusive));
+            Ok(Vec::new())
+        },
+        |_n, ds, app| {
+            let t = app.begin_transaction(Tid::NULL).unwrap();
+            call(app, ds, t).unwrap();
+            assert!(app.end_transaction(t).unwrap());
+            // "All unlocking is done automatically by the server library at
+            // commit or abort time."
+            assert_eq!(ds.locks().locked_object_count(), 0);
+        },
+    );
+}
+
+#[test]
+fn table_3_1_paging_control_and_logging() {
+    with_probe_server(
+        |ctx| {
+            let obj = ctx.create_object_id(0, 8);
+            ctx.lock_object(obj, StdMode::Exclusive)?;
+            // PinObject / UnPinObject / UnPinAllObjects.
+            ctx.pin_object(obj)?;
+            ctx.unpin_object(obj)?;
+            ctx.pin_object(obj)?;
+            ctx.unpin_all_objects()?;
+            // PinAndBuffer / LogAndUnPin.
+            ctx.pin_and_buffer(obj)?;
+            ctx.write_raw(obj, &7u64.to_le_bytes())?;
+            ctx.log_and_unpin(obj)?;
+            Ok(Vec::new())
+        },
+        |node, ds, app| {
+            let t = app.begin_transaction(Tid::NULL).unwrap();
+            call(app, ds, t).unwrap();
+            assert!(app.end_transaction(t).unwrap());
+            // The update was value-logged.
+            assert!(node
+                .rm
+                .log()
+                .durable_entries()
+                .iter()
+                .any(|e| matches!(e.record, tabs_wal::LogRecord::ValueUpdate { .. })));
+        },
+    );
+}
+
+#[test]
+fn table_3_1_marked_object_batch() {
+    with_probe_server(
+        |ctx| {
+            // LockAndMark / PinAndBufferMarkedObjects /
+            // LogAndUnPinMarkedObjects.
+            for i in 0..4u64 {
+                ctx.lock_and_mark(ctx.create_object_id(i * 8, 8), StdMode::Exclusive)?;
+            }
+            ctx.pin_and_buffer_marked_objects()?;
+            for i in 0..4u64 {
+                ctx.write_raw(ctx.create_object_id(i * 8, 8), &(i + 1).to_le_bytes())?;
+            }
+            ctx.log_and_unpin_marked_objects()?;
+            Ok(Vec::new())
+        },
+        |_n, ds, app| {
+            let t = app.begin_transaction(Tid::NULL).unwrap();
+            call(app, ds, t).unwrap();
+            assert!(app.end_transaction(t).unwrap());
+            assert_eq!(ds.segment().read_u64(24).unwrap(), 4);
+        },
+    );
+}
+
+#[test]
+fn table_3_1_execute_transaction() {
+    with_probe_server(
+        |ctx| {
+            // ExecuteTransaction: runs in a fresh top-level transaction.
+            let outer = ctx.tid;
+            ctx.execute_transaction(|inner| {
+                assert_ne!(inner.tid, outer, "a new top-level tid");
+                let obj = inner.create_object_id(64, 8);
+                inner.lock_object(obj, StdMode::Exclusive)?;
+                inner.pin_and_buffer(obj)?;
+                inner.write_raw(obj, &9u64.to_le_bytes())?;
+                inner.log_and_unpin(obj)?;
+                Ok(Vec::new())
+            })
+        },
+        |_n, ds, app| {
+            let t = app.begin_transaction(Tid::NULL).unwrap();
+            call(app, ds, t).unwrap();
+            // Even though the outer transaction aborts, the
+            // ExecuteTransaction effect is committed.
+            app.abort_transaction(t).unwrap();
+            assert_eq!(ds.segment().read_u64(64).unwrap(), 9);
+        },
+    );
+}
+
+// ---- Table 3-2: the transaction management library ----
+
+#[test]
+fn table_3_2_begin_end_abort() {
+    let cluster = Cluster::new();
+    let node = cluster.boot_node(NodeId(1));
+    node.recover().unwrap();
+    let app = node.app();
+    // BeginTransaction(null) → new top-level.
+    let top = app.begin_transaction(Tid::NULL).unwrap();
+    // BeginTransaction(top) → subtransaction.
+    let sub = app.begin_transaction(top).unwrap();
+    assert_ne!(top, sub);
+    // EndTransaction returns a boolean.
+    assert!(app.end_transaction(sub).unwrap());
+    // AbortTransaction.
+    app.abort_transaction(top).unwrap();
+    // TransactionIsAborted is observable.
+    assert!(app.transaction_is_aborted(top));
+    assert!(!app.end_transaction(top).unwrap());
+    node.shutdown();
+}
+
+#[test]
+fn table_3_2_transaction_is_aborted_raised_on_call() {
+    with_probe_server(
+        |_ctx| Ok(Vec::new()),
+        |_n, ds, app| {
+            let t = app.begin_transaction(Tid::NULL).unwrap();
+            app.abort_transaction(t).unwrap();
+            // Calling a server under an aborted tid raises the exception.
+            let err = call(app, ds, t).unwrap_err();
+            assert!(matches!(err, AppError::TransactionIsAborted(_)), "{err}");
+        },
+    );
+}
+
+// ---- Table 3-3: the Name Server library ----
+
+#[test]
+fn table_3_3_register_lookup_deregister() {
+    let cluster = Cluster::new();
+    let n1 = cluster.boot_node(NodeId(1));
+    let n2 = cluster.boot_node(NodeId(2));
+    n1.recover().unwrap();
+    n2.recover().unwrap();
+    let seg = SegmentId { node: NodeId(2), index: 0 };
+    let port = tabs_kernel::PortId { node: NodeId(2), index: 77 };
+    let oid = ObjectId::new(seg, 0, 8);
+
+    // Register(Name, Type, Port, ObjectID) on node 2.
+    n2.ns.register("svc", "demo", port, oid);
+
+    // LookUp(Name, …, DesiredNumberOfPortIDs, MaxWait) from node 1 uses
+    // the broadcast protocol.
+    let found = n1.ns.lookup("svc", 1, Duration::from_secs(2));
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].port, port);
+    assert_eq!(found[0].object, oid);
+    assert_eq!(found[0].type_name, "demo");
+
+    // DeRegister(Name, Port, ObjectID).
+    n2.ns.deregister("svc", port, oid);
+    assert!(n2.ns.lookup("svc", 1, Duration::ZERO).is_empty());
+
+    n1.shutdown();
+    n2.shutdown();
+}
+
+// ---- Application-library conveniences ----
+
+#[test]
+fn run_commits_and_run_with_retries_retries() {
+    with_probe_server(
+        |ctx| {
+            let obj = ctx.create_object_id(0, 8);
+            ctx.lock_object(obj, StdMode::Exclusive)?;
+            ctx.pin_and_buffer(obj)?;
+            let cur = u64::from_le_bytes(ctx.read_object(obj)?[..8].try_into().unwrap());
+            ctx.write_raw(obj, &(cur + 1).to_le_bytes())?;
+            ctx.log_and_unpin(obj)?;
+            Ok(Vec::new())
+        },
+        |_n, ds, app| {
+            // run: commits on success.
+            app.run(|t| call(app, ds, t).map(|_| ())).unwrap();
+            assert_eq!(ds.segment().read_u64(0).unwrap(), 1);
+            // run: aborts on failure, surfacing the error.
+            let err = app
+                .run(|t| -> Result<(), AppError> {
+                    call(app, ds, t)?;
+                    Err(AppError::Rpc("application decided to fail".into()))
+                })
+                .unwrap_err();
+            assert!(matches!(err, AppError::Rpc(_)));
+            assert_eq!(
+                ds.segment().read_u64(0).unwrap(),
+                1,
+                "failed run's increment rolled back"
+            );
+            // run_with_retries: eventually succeeds after transient errors.
+            let attempts = std::sync::atomic::AtomicU32::new(0);
+            app.run_with_retries(5, |t| {
+                if attempts.fetch_add(1, std::sync::atomic::Ordering::Relaxed) < 2 {
+                    return Err(AppError::Rpc("transient".into()));
+                }
+                call(app, ds, t).map(|_| ())
+            })
+            .unwrap();
+            assert_eq!(attempts.load(std::sync::atomic::Ordering::Relaxed), 3);
+            assert_eq!(ds.segment().read_u64(0).unwrap(), 2);
+        },
+    );
+}
+
+#[test]
+fn lock_timeout_is_configurable_per_server() {
+    // "time-outs, which are explicitly set by system users" (§2.1.3).
+    let cluster = Cluster::new();
+    let node = cluster.boot_node(NodeId(1));
+    let seg = node.add_segment("fast-seg", 16);
+    let ds = DataServer::new(
+        &node.deps(),
+        ServerConfig::new("fast", seg).with_lock_timeout(Duration::from_millis(40)),
+    )
+    .unwrap();
+    ds.accept_requests(Arc::new(|ctx, _op, _args| {
+        let obj = ctx.create_object_id(0, 8);
+        ctx.lock_object(obj, StdMode::Exclusive)?;
+        Ok(Vec::new())
+    }));
+    node.recover().unwrap();
+    let app = node.app();
+    let t1 = app.begin_transaction(Tid::NULL).unwrap();
+    call(&app, &ds, t1).unwrap();
+    // The second caller times out after ~40 ms, not the library default.
+    let t2 = app.begin_transaction(Tid::NULL).unwrap();
+    let start = std::time::Instant::now();
+    assert!(call(&app, &ds, t2).is_err());
+    assert!(start.elapsed() < Duration::from_millis(250), "custom time-out applied");
+    app.abort_transaction(t2).unwrap();
+    app.end_transaction(t1).unwrap();
+    node.shutdown();
+}

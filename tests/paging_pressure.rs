@@ -1,0 +1,132 @@
+//! Stress: transactions over data far larger than the buffer pool, with
+//! checkpoints, log reclamation and crashes — the §5 paging regime plus
+//! the §3.2.2 log-space machinery, end to end.
+
+use tabs_core::{Cluster, ClusterConfig, NodeId, Tid};
+use tabs_kernel::PrimitiveOp;
+use tabs_servers::{IntArrayClient, IntArrayServer};
+
+const CELLS_PER_PAGE: u64 = 64;
+
+#[test]
+fn writes_across_a_thrashing_pool_recover_exactly() {
+    // 16-frame pool, 64-page array: every page write evicts another dirty
+    // page through the WAL gate (log forced before each write-back).
+    let cluster = Cluster::with_config(ClusterConfig {
+        pool_pages: 16,
+        ..Default::default()
+    });
+    let node = cluster.boot_node(NodeId(1));
+    let arr = IntArrayServer::spawn(&node, "big", 64 * CELLS_PER_PAGE).unwrap();
+    node.recover().unwrap();
+    let app = node.app();
+    let client = IntArrayClient::new(app.clone(), arr.send_right());
+
+    // One committed value on every page.
+    for p in 0..64u64 {
+        let v = (p * 31 + 7) as i64;
+        app.run(|t| client.set(t, p * CELLS_PER_PAGE, v)).unwrap();
+    }
+    let stats = node.pool.stats();
+    assert!(stats.evictions > 30, "the pool thrashed: {stats:?}");
+    // Every dirty eviction honoured the WAL protocol (force before write).
+    assert!(node.kernel.perf().get(PrimitiveOp::StableStorageWrite) > 0);
+
+    // Crash with most pages only on disk via evictions, others only in
+    // the log; recovery must reassemble all 64.
+    drop(arr);
+    node.crash();
+    let node = cluster.boot_node(NodeId(1));
+    let arr = IntArrayServer::spawn(&node, "big", 64 * CELLS_PER_PAGE).unwrap();
+    node.recover().unwrap();
+    let app = node.app();
+    let client = IntArrayClient::new(app.clone(), arr.send_right());
+    app.run(|t| {
+        for p in 0..64u64 {
+            assert_eq!(client.get(t, p * CELLS_PER_PAGE)?, (p * 31 + 7) as i64);
+        }
+        Ok(())
+    })
+    .unwrap();
+    node.shutdown();
+}
+
+#[test]
+fn near_full_log_triggers_reclamation_automatically() {
+    // A small log device: maybe_reclaim fires once usage crosses the
+    // threshold, forcing dirty pages and truncating the prefix ("Log
+    // reclamation may force pages back to disk before they would
+    // otherwise be written", §3.2.2).
+    let cluster = Cluster::with_config(ClusterConfig {
+        log_capacity: 32 << 10, // 32 KiB
+        ..Default::default()
+    });
+    let node = cluster.boot_node(NodeId(1));
+    let arr = IntArrayServer::spawn(&node, "hot", 256).unwrap();
+    node.recover().unwrap();
+    let app = node.app();
+    let client = IntArrayClient::new(app.clone(), arr.send_right());
+
+    let mut reclaimed_total = 0usize;
+    for round in 0..400i64 {
+        app.run(|t| client.set(t, (round % 256) as u64, round)).unwrap();
+        reclaimed_total += node.rm.maybe_reclaim(None).unwrap();
+        let (used, cap) = node.rm.log().usage();
+        assert!(used <= cap, "log never exceeds the device ({used}/{cap})");
+    }
+    assert!(reclaimed_total > 0, "reclamation actually ran");
+
+    // The data is still exactly right after a crash.
+    drop(arr);
+    node.crash();
+    let node = cluster.boot_node(NodeId(1));
+    let arr = IntArrayServer::spawn(&node, "hot", 256).unwrap();
+    node.recover().unwrap();
+    let app = node.app();
+    let client = IntArrayClient::new(app.clone(), arr.send_right());
+    app.run(|t| {
+        // Cell c last received value: the largest round r < 400 with
+        // r % 256 == c, i.e. r = c + 256 when c < 144, else r = c.
+        for c in 0..256u64 {
+            let expect = if c < 144 { c as i64 + 256 } else { c as i64 };
+            assert_eq!(client.get(t, c)?, expect, "cell {c}");
+        }
+        Ok(())
+    })
+    .unwrap();
+    node.shutdown();
+}
+
+#[test]
+fn checkpoint_bounds_recovery_scan() {
+    // Identical workloads; one takes a checkpoint + reclamation at the
+    // end. Its post-crash recovery scans far fewer records.
+    let scan_len = |do_checkpoint: bool| -> usize {
+        let cluster = Cluster::new();
+        let node = cluster.boot_node(NodeId(1));
+        let arr = IntArrayServer::spawn(&node, "w", 64).unwrap();
+        node.recover().unwrap();
+        let app = node.app();
+        let client = IntArrayClient::new(app.clone(), arr.send_right());
+        for i in 0..100i64 {
+            app.run(|t| client.set(t, (i % 64) as u64, i)).unwrap();
+        }
+        if do_checkpoint {
+            node.checkpoint().unwrap();
+            node.rm.reclaim(None).unwrap();
+        }
+        drop(arr);
+        node.crash();
+        let node = cluster.boot_node(NodeId(1));
+        let _arr = IntArrayServer::spawn(&node, "w", 64).unwrap();
+        let report = node.recover().unwrap();
+        node.shutdown();
+        report.records_scanned
+    };
+    let without = scan_len(false);
+    let with = scan_len(true);
+    assert!(
+        with * 5 < without,
+        "checkpointing shrank the recovery scan: {with} vs {without} records"
+    );
+}

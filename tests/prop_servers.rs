@@ -1,0 +1,171 @@
+//! Property-based testing of the weak queue and B-tree servers against
+//! reference models, including transaction aborts.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use tabs_core::{Cluster, NodeId, Tid};
+use tabs_servers::{BTreeClient, BTreeServer, WeakQueueClient, WeakQueueServer};
+
+/// One step of a weak-queue workout.
+#[derive(Debug, Clone)]
+enum QOp {
+    /// Enqueue a value; commit the transaction iff the flag is set.
+    Enqueue(i64, bool),
+    /// Dequeue; commit iff the flag is set (abort returns the element).
+    Dequeue(bool),
+    /// Check emptiness against the model.
+    IsEmpty,
+}
+
+fn qop_strategy() -> impl Strategy<Value = QOp> {
+    prop_oneof![
+        (any::<i16>(), any::<bool>()).prop_map(|(v, c)| QOp::Enqueue(i64::from(v), c)),
+        any::<bool>().prop_map(QOp::Dequeue),
+        Just(QOp::IsEmpty),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        .. ProptestConfig::default()
+    })]
+
+    /// The weak queue behaves like a FIFO under sequential single-client
+    /// use, with aborted enqueues invisible and aborted dequeues undone.
+    #[test]
+    fn weak_queue_matches_model(ops in proptest::collection::vec(qop_strategy(), 1..25)) {
+        let cluster = Cluster::new();
+        let node = cluster.boot_node(NodeId(1));
+        let q = WeakQueueServer::spawn(&node, "q", 64).unwrap();
+        node.recover().unwrap();
+        let app = node.app();
+        let client = WeakQueueClient::new(app.clone(), q.send_right());
+        let mut model: VecDeque<i64> = VecDeque::new();
+
+        for op in ops {
+            match op {
+                QOp::Enqueue(v, commit) => {
+                    let t = app.begin_transaction(Tid::NULL).unwrap();
+                    // Capacity 64 > max ops: enqueue never sees Full.
+                    client.enqueue(t, v).unwrap();
+                    if commit {
+                        prop_assert!(app.end_transaction(t).unwrap());
+                        model.push_back(v);
+                    } else {
+                        app.abort_transaction(t).unwrap();
+                    }
+                }
+                QOp::Dequeue(commit) => {
+                    let t = app.begin_transaction(Tid::NULL).unwrap();
+                    let got = client.dequeue(t).unwrap();
+                    prop_assert_eq!(got, model.front().copied(), "dequeue sees model front");
+                    if commit {
+                        prop_assert!(app.end_transaction(t).unwrap());
+                        if got.is_some() {
+                            model.pop_front();
+                        }
+                    } else {
+                        // Abort: the element must come back.
+                        app.abort_transaction(t).unwrap();
+                    }
+                }
+                QOp::IsEmpty => {
+                    let t = app.begin_transaction(Tid::NULL).unwrap();
+                    let e = client.is_empty(t).unwrap();
+                    app.end_transaction(t).unwrap();
+                    prop_assert_eq!(e, model.is_empty());
+                }
+            }
+        }
+        node.shutdown();
+    }
+}
+
+/// One step of a directory workout.
+#[derive(Debug, Clone)]
+enum DOp {
+    Put(u8, u8),
+    Delete(u8),
+    Lookup(u8),
+    /// A batch of puts that is aborted wholesale.
+    AbortedBatch(Vec<(u8, u8)>),
+}
+
+fn dop_strategy() -> impl Strategy<Value = DOp> {
+    prop_oneof![
+        (0u8..20, any::<u8>()).prop_map(|(k, v)| DOp::Put(k, v)),
+        (0u8..20).prop_map(DOp::Delete),
+        (0u8..20).prop_map(DOp::Lookup),
+        proptest::collection::vec((0u8..20, any::<u8>()), 1..5).prop_map(DOp::AbortedBatch),
+    ]
+}
+
+fn key(k: u8) -> Vec<u8> {
+    format!("key-{k:02}").into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// The B-tree matches a `BTreeMap` model under random puts, deletes,
+    /// lookups and aborted batches, and its listing stays sorted.
+    #[test]
+    fn btree_matches_model(ops in proptest::collection::vec(dop_strategy(), 1..20)) {
+        let cluster = Cluster::new();
+        let node = cluster.boot_node(NodeId(1));
+        let bt = BTreeServer::spawn(&node, "d", 128).unwrap();
+        node.recover().unwrap();
+        let app = node.app();
+        let client = BTreeClient::new(app.clone(), bt.send_right());
+        let mut model: std::collections::BTreeMap<Vec<u8>, Vec<u8>> =
+            std::collections::BTreeMap::new();
+
+        for op in ops {
+            match op {
+                DOp::Put(k, v) => {
+                    app.run(|t| client.put(t, &key(k), &[v])).unwrap();
+                    model.insert(key(k), vec![v]);
+                }
+                DOp::Delete(k) => {
+                    let t = app.begin_transaction(Tid::NULL).unwrap();
+                    let r = client.delete(t, &key(k));
+                    prop_assert_eq!(r.is_ok(), model.contains_key(&key(k)));
+                    if r.is_ok() {
+                        prop_assert!(app.end_transaction(t).unwrap());
+                        model.remove(&key(k));
+                    } else {
+                        app.abort_transaction(t).unwrap();
+                    }
+                }
+                DOp::Lookup(k) => {
+                    let t = app.begin_transaction(Tid::NULL).unwrap();
+                    let got = client.lookup(t, &key(k)).unwrap();
+                    app.end_transaction(t).unwrap();
+                    prop_assert_eq!(got.as_deref(), model.get(&key(k)).map(|v| v.as_slice()));
+                }
+                DOp::AbortedBatch(kvs) => {
+                    let t = app.begin_transaction(Tid::NULL).unwrap();
+                    for (k, v) in &kvs {
+                        let _ = client.put(t, &key(*k), &[*v]);
+                    }
+                    app.abort_transaction(t).unwrap();
+                    // Model untouched: the whole batch vanished.
+                }
+            }
+        }
+        // Final listing equals the model, in order.
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        let listed = client.list(t).unwrap();
+        app.end_transaction(t).unwrap();
+        let expect: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(listed, expect);
+        node.shutdown();
+    }
+}

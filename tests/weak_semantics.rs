@@ -1,0 +1,141 @@
+//! The *weak* in weak queue: the §4.2 semantics that distinguish a
+//! semi-queue from a FIFO, plus I/O-server epoch reuse — behaviours that
+//! only appear under concurrent, partially-committed transactions.
+
+use tabs_core::{Cluster, NodeId, Tid};
+use tabs_servers::{AreaState, IoClient, IoServer, WeakQueueClient, WeakQueueServer};
+
+#[test]
+fn dequeue_skips_locked_head_out_of_fifo_order() {
+    // "items in the queue are not guaranteed to be dequeued strictly in
+    // the order that they were enqueued" — an uncommitted enqueue at the
+    // head is locked, so a later committed element is dequeued first.
+    let cluster = Cluster::new();
+    let node = cluster.boot_node(NodeId(1));
+    let q = WeakQueueServer::spawn(&node, "wq", 16).unwrap();
+    node.recover().unwrap();
+    let app = node.app();
+    let client = WeakQueueClient::new(app.clone(), q.send_right());
+
+    // t1 enqueues A and stays open (element locked, InUse set).
+    let t1 = app.begin_transaction(Tid::NULL).unwrap();
+    client.enqueue(t1, 100).unwrap();
+    // B is enqueued *after* A and commits.
+    app.run(|t| client.enqueue(t, 200)).unwrap();
+
+    // A consumer sees B first: A's element is skipped while locked.
+    let got_first = app.run(|t| client.dequeue(t)).unwrap();
+    assert_eq!(got_first, Some(200), "later element dequeued first");
+
+    // Once t1 commits, A becomes available.
+    assert!(app.end_transaction(t1).unwrap());
+    let got_second = app.run(|t| client.dequeue(t)).unwrap();
+    assert_eq!(got_second, Some(100));
+    node.shutdown();
+}
+
+#[test]
+fn two_consumers_never_get_the_same_element() {
+    // Dequeue locks the element before clearing InUse: two transactions
+    // draining concurrently partition the items.
+    let cluster = Cluster::new();
+    let node = cluster.boot_node(NodeId(1));
+    let q = WeakQueueServer::spawn(&node, "wq2", 16).unwrap();
+    node.recover().unwrap();
+    let app = node.app();
+    let client = WeakQueueClient::new(app.clone(), q.send_right());
+    app.run(|t| {
+        for i in 1..=4 {
+            client.enqueue(t, i)?;
+        }
+        Ok(())
+    })
+    .unwrap();
+
+    // Both consumers hold their dequeues open before either commits.
+    let c1 = app.begin_transaction(Tid::NULL).unwrap();
+    let c2 = app.begin_transaction(Tid::NULL).unwrap();
+    let mut taken = Vec::new();
+    taken.push(client.dequeue(c1).unwrap().unwrap());
+    taken.push(client.dequeue(c2).unwrap().unwrap());
+    taken.push(client.dequeue(c1).unwrap().unwrap());
+    taken.push(client.dequeue(c2).unwrap().unwrap());
+    assert!(app.end_transaction(c1).unwrap());
+    assert!(app.end_transaction(c2).unwrap());
+    taken.sort();
+    assert_eq!(taken, vec![1, 2, 3, 4], "each element went to exactly one consumer");
+    node.shutdown();
+}
+
+#[test]
+fn io_area_epochs_keep_prior_output_after_reuse() {
+    // An area destroyed and re-obtained starts a new epoch; the renderer
+    // still resolves each line against the epoch that wrote it.
+    let cluster = Cluster::new();
+    let node = cluster.boot_node(NodeId(1));
+    let io = IoServer::spawn(&node, "screen").unwrap();
+    node.recover().unwrap();
+    let app = node.app();
+    let scr = IoClient::new(app.clone(), io.send_right());
+
+    // Epoch 1: committed output.
+    let t1 = app.begin_transaction(Tid::NULL).unwrap();
+    let a = scr.obtain_area(t1).unwrap();
+    scr.writeln(t1, a, "first epoch").unwrap();
+    assert!(app.end_transaction(t1).unwrap());
+
+    // Epoch 2 on the same area id after destroy: an aborted interaction.
+    app.run(|t| scr.destroy_area(t, a)).unwrap();
+    let t2 = app.begin_transaction(Tid::NULL).unwrap();
+    let b = scr.obtain_area(t2).unwrap();
+    assert_eq!(a, b, "area reused");
+    scr.writeln(t2, b, "second epoch").unwrap();
+    app.abort_transaction(t2).unwrap();
+
+    let lines = scr.lines(b).unwrap();
+    // Destroy reset next_line, so only the new epoch's line is visible,
+    // and it reflects its own (aborted) epoch — not epoch 1's commit.
+    assert_eq!(lines.len(), 1);
+    assert_eq!(lines[0], (AreaState::Aborted, 0, "second epoch".into()));
+    node.shutdown();
+}
+
+#[test]
+fn queue_capacity_respected_with_mixed_aborts() {
+    // Gaps from aborted enqueues still consume slots until the head GC
+    // passes them; the capacity check works on head/tail distance.
+    let cluster = Cluster::new();
+    let node = cluster.boot_node(NodeId(1));
+    let q = WeakQueueServer::spawn(&node, "wq3", 4).unwrap();
+    node.recover().unwrap();
+    let app = node.app();
+    let client = WeakQueueClient::new(app.clone(), q.send_right());
+
+    // Alternate committed/aborted enqueues until the window fills.
+    app.run(|t| client.enqueue(t, 1)).unwrap();
+    let t = app.begin_transaction(Tid::NULL).unwrap();
+    client.enqueue(t, 2).unwrap();
+    app.abort_transaction(t).unwrap();
+    app.run(|t| client.enqueue(t, 3)).unwrap();
+    app.run(|t| client.enqueue(t, 4)).unwrap();
+    // Window is now [1, gap, 3, 4]; a fifth enqueue hits capacity.
+    let t = app.begin_transaction(Tid::NULL).unwrap();
+    assert!(client.enqueue(t, 5).is_err(), "queue full");
+    app.abort_transaction(t).unwrap();
+
+    // Drain; enqueue works again (GC reclaimed the gap and freed slots).
+    app.run(|t| {
+        assert_eq!(client.dequeue(t)?, Some(1));
+        assert_eq!(client.dequeue(t)?, Some(3));
+        assert_eq!(client.dequeue(t)?, Some(4));
+        Ok(())
+    })
+    .unwrap();
+    app.run(|t| client.enqueue(t, 6)).unwrap();
+    app.run(|t| {
+        assert_eq!(client.dequeue(t)?, Some(6));
+        Ok(())
+    })
+    .unwrap();
+    node.shutdown();
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints, then the tier-1 build + test cycle.
+# Run from the workspace root; fails fast on the first broken stage.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI green."

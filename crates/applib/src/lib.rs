@@ -47,6 +47,54 @@ impl From<TmError> for AppError {
     }
 }
 
+impl From<ServerError> for AppError {
+    fn from(e: ServerError) -> Self {
+        AppError::Rpc(e.to_string())
+    }
+}
+
+impl From<RpcError> for AppError {
+    fn from(e: RpcError) -> Self {
+        match e {
+            RpcError::Server(ServerError::Aborted(w)) => {
+                AppError::Rpc(format!("transaction aborted: {w}"))
+            }
+            other => AppError::Rpc(other.to_string()),
+        }
+    }
+}
+
+/// How `EndTransaction` resolved the transaction (Table 3-2 returns a
+/// Boolean; this is its self-describing form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommitOutcome {
+    /// The transaction committed; its effects are durable.
+    Committed,
+    /// The transaction was (or had to be) aborted; its effects are undone.
+    Aborted,
+}
+
+impl CommitOutcome {
+    /// Whether the transaction committed.
+    pub fn is_committed(self) -> bool {
+        matches!(self, CommitOutcome::Committed)
+    }
+
+    /// Whether the transaction aborted.
+    pub fn is_aborted(self) -> bool {
+        matches!(self, CommitOutcome::Aborted)
+    }
+}
+
+impl std::fmt::Display for CommitOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommitOutcome::Committed => write!(f, "committed"),
+            CommitOutcome::Aborted => write!(f, "aborted"),
+        }
+    }
+}
+
 /// An application's handle onto one node's TABS facilities.
 #[derive(Clone)]
 pub struct AppHandle {
@@ -76,9 +124,10 @@ impl AppHandle {
         Ok(self.tm.begin(parent)?)
     }
 
-    /// `EndTransaction(TransactionID) returns (Boolean)`: true on commit.
-    pub fn end_transaction(&self, tid: Tid) -> Result<bool, AppError> {
-        Ok(self.tm.end(tid)?)
+    /// `EndTransaction(TransactionID) returns (Boolean)`. The Boolean of
+    /// Table 3-2 is surfaced as a [`CommitOutcome`]; errors remain errors.
+    pub fn end_transaction(&self, tid: Tid) -> Result<CommitOutcome, AppError> {
+        Ok(if self.tm.end(tid)? { CommitOutcome::Committed } else { CommitOutcome::Aborted })
     }
 
     /// `AbortTransaction(TransactionID)`.
@@ -101,23 +150,18 @@ impl AppHandle {
         args: Vec<u8>,
     ) -> Result<Vec<u8>, AppError> {
         tabs_proto::call(&self.kernel, server, tid, opcode, args).map_err(|e| match e {
-            RpcError::Server(ServerError::Aborted(_)) => {
-                AppError::TransactionIsAborted(tid)
-            }
+            RpcError::Server(ServerError::Aborted(_)) => AppError::TransactionIsAborted(tid),
             other => AppError::Rpc(other.to_string()),
         })
     }
 
     /// Convenience: runs `f` in a new top-level transaction, committing on
     /// success and aborting on failure.
-    pub fn run<R>(
-        &self,
-        f: impl FnOnce(Tid) -> Result<R, AppError>,
-    ) -> Result<R, AppError> {
+    pub fn run<R>(&self, f: impl FnOnce(Tid) -> Result<R, AppError>) -> Result<R, AppError> {
         let tid = self.begin_transaction(Tid::NULL)?;
         match f(tid) {
             Ok(r) => {
-                if self.end_transaction(tid)? {
+                if self.end_transaction(tid)?.is_committed() {
                     Ok(r)
                 } else {
                     Err(AppError::TransactionIsAborted(tid))

@@ -99,8 +99,7 @@ fn value_vs_operation_logging(c: &mut Criterion) {
     });
 
     let r2 = rig();
-    r2.rm
-        .register_handler(seg(), Arc::new(AddHandler { pool: Arc::clone(&r2.pool) }));
+    r2.rm.register_handler(seg(), Arc::new(AddHandler { pool: Arc::clone(&r2.pool) }));
     g.bench_function("operation_logging_update", |b| {
         b.iter(|| {
             let tid = Tid { node: NodeId(1), incarnation: 1, seq };
@@ -125,8 +124,7 @@ fn value_vs_operation_logging(c: &mut Criterion) {
     for i in 0..100u64 {
         let tid = Tid { node: NodeId(1), incarnation: 2, seq: i + 1 };
         r3.rm.log_begin(tid, Tid::NULL);
-        r3.rm
-            .log_value_update(tid, o, vec![0u8; 200], vec![1u8; 200]);
+        r3.rm.log_value_update(tid, o, vec![0u8; 200], vec![1u8; 200]);
         r3.rm.log_commit(tid).unwrap();
     }
     let value_bytes = (r3.rm.log().usage().0 - before) / 100;
@@ -172,10 +170,7 @@ fn deadlock_policies(c: &mut Criterion) {
                 // This closes the cycle: detection refuses instantly,
                 // time-out burns the full wait.
                 let r = lm.lock(t1, obj(2, 8), StdMode::Exclusive, timeout);
-                assert!(matches!(
-                    r,
-                    Err(LockError::Deadlock(_)) | Err(LockError::Timeout(_))
-                ));
+                assert!(matches!(r, Err(LockError::Deadlock(_)) | Err(LockError::Timeout(_))));
                 lm.release_all(t1);
                 let _ = waiter.join().unwrap();
                 lm.release_all(t2);
@@ -202,8 +197,7 @@ fn checkpoint_interval(c: &mut Criterion) {
                     for i in 0..txns {
                         let tid = node.tm.begin(Tid::NULL).unwrap();
                         let o = ObjectId::new(s, (i % 64) * 8, 8);
-                        node.rm
-                            .log_value_update(tid, o, vec![0; 8], i.to_le_bytes().to_vec());
+                        node.rm.log_value_update(tid, o, vec![0; 8], i.to_le_bytes().to_vec());
                         node.rm.log_commit(tid).unwrap();
                     }
                     node.crash();
@@ -246,8 +240,8 @@ fn type_specific_locking(c: &mut Criterion) {
             let t2 = app.begin_transaction(Tid::NULL).unwrap();
             ctr.add(t1, 0, 1).unwrap();
             ctr.add(t2, 0, 1).unwrap();
-            assert!(app.end_transaction(t1).unwrap());
-            assert!(app.end_transaction(t2).unwrap());
+            assert!(app.end_transaction(t1).unwrap().is_committed());
+            assert!(app.end_transaction(t2).unwrap().is_committed());
         })
     });
     g.bench_function("exclusive_locks", |b| {
@@ -259,7 +253,7 @@ fn type_specific_locking(c: &mut Criterion) {
             arr.add(t1, 0, 1).unwrap();
             let blocked = arr.add(t2, 0, 1);
             assert!(blocked.is_err(), "exclusive lock serializes");
-            assert!(app.end_transaction(t1).unwrap());
+            assert!(app.end_transaction(t1).unwrap().is_committed());
             let _ = app.abort_transaction(t2);
         })
     });

@@ -18,7 +18,7 @@ fn paper_rows(c: &mut Criterion) {
             b.iter(|| {
                 let tid = world.app.begin_transaction(Tid::NULL).unwrap();
                 (body)(&world, tid).unwrap();
-                assert!(world.app.end_transaction(tid).unwrap());
+                assert!(world.app.end_transaction(tid).unwrap().is_committed());
             })
         });
     }

@@ -29,16 +29,14 @@ fn bench_messages(c: &mut Criterion) {
     g.bench_function("small_contiguous_roundtrip", |b| {
         b.iter(|| {
             let (rtx, rrx) = kernel.allocate_port(PortClass::Reply);
-            tx.send_unmetered(Message::new(1, vec![0u8; 64]).with_reply(rtx))
-                .unwrap();
+            tx.send_unmetered(Message::new(1, vec![0u8; 64]).with_reply(rtx)).unwrap();
             rrx.recv().unwrap();
         })
     });
     g.bench_function("large_contiguous_roundtrip", |b| {
         b.iter(|| {
             let (rtx, rrx) = kernel.allocate_port(PortClass::Reply);
-            tx.send_unmetered(Message::new(1, vec![0u8; 1100]).with_reply(rtx))
-                .unwrap();
+            tx.send_unmetered(Message::new(1, vec![0u8; 1100]).with_reply(rtx)).unwrap();
             rrx.recv().unwrap();
         })
     });
@@ -61,12 +59,8 @@ fn bench_data_server_calls(c: &mut Criterion) {
     let remote_client = IntArrayClient::new(app.clone(), found[0].0.clone());
 
     let mut g = c.benchmark_group("data_server_calls");
-    g.bench_function("local_call", |b| {
-        b.iter(|| local_client.get(Tid::NULL, 0).unwrap())
-    });
-    g.bench_function("inter_node_call", |b| {
-        b.iter(|| remote_client.get(Tid::NULL, 0).unwrap())
-    });
+    g.bench_function("local_call", |b| b.iter(|| local_client.get(Tid::NULL, 0).unwrap()));
+    g.bench_function("inter_node_call", |b| b.iter(|| remote_client.get(Tid::NULL, 0).unwrap()));
     g.finish();
     n1.shutdown();
     n2.shutdown();
@@ -74,10 +68,7 @@ fn bench_data_server_calls(c: &mut Criterion) {
 
 fn bench_paged_io(c: &mut Criterion) {
     // A pool far smaller than the segment, so every access faults.
-    let cluster = Cluster::with_config(ClusterConfig {
-        pool_pages: 8,
-        ..Default::default()
-    });
+    let cluster = Cluster::with_config(ClusterConfig::default().pool_pages(8));
     let node = cluster.boot_node(NodeId(1));
     let seg = node.add_segment("paged", 256);
     node.recover().unwrap();
@@ -103,11 +94,8 @@ fn bench_paged_io(c: &mut Criterion) {
 }
 
 fn bench_stable_storage_write(c: &mut Criterion) {
-    let log = LogManager::open(
-        MemLogDevice::new(1 << 30),
-        tabs_kernel::PerfCounters::new(),
-    )
-    .unwrap();
+    let log =
+        LogManager::open(MemLogDevice::new(1 << 30), tabs_kernel::PerfCounters::new()).unwrap();
     let tid = Tid { node: NodeId(1), incarnation: 1, seq: 1 };
     c.bench_function("stable_storage_write", |b| {
         b.iter(|| {
@@ -122,9 +110,7 @@ fn bench_datagram(c: &mut Criterion) {
     let a = net.attach(NodeId(1), tabs_kernel::PerfCounters::new());
     let b_ep = Arc::new(net.attach(NodeId(2), tabs_kernel::PerfCounters::new()));
     let sink = Arc::clone(&b_ep);
-    std::thread::spawn(move || {
-        while sink.recv_datagram(Duration::from_secs(10)).is_some() {}
-    });
+    std::thread::spawn(move || while sink.recv_datagram(Duration::from_secs(10)).is_some() {});
     c.bench_function("datagram_send", |bch| {
         bch.iter(|| a.send_datagram(NodeId(2), vec![0u8; 32]).unwrap())
     });

@@ -4,7 +4,13 @@
 //!
 //! ```text
 //! tables [table5_1|table5_2|table5_3|table5_4|table5_5|shapes|accounting|all] [--iters N] [--warmup N]
+//! tables trace
 //! ```
+//!
+//! `tables trace` boots a two-node cluster with transaction tracing
+//! enabled, runs one distributed write transaction, and renders its
+//! per-node swimlane timeline: all four two-phase-commit phases
+//! (prepare, vote, decision, acknowledgement) plus every log force.
 //!
 //! Tables 5-2, 5-3, 5-4, the shape report and the accounting section are
 //! *measured*: a three-node cluster is booted and the fourteen benchmark
@@ -21,22 +27,16 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--iters" => {
-                iters = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--iters N");
+                iters = it.next().and_then(|v| v.parse().ok()).expect("--iters N");
             }
             "--warmup" => {
-                warmup = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--warmup N");
+                warmup = it.next().and_then(|v| v.parse().ok()).expect("--warmup N");
             }
             other => which = other.to_string(),
         }
     }
 
-    // The static tables need no measurement.
+    // The static tables and the trace demo need no measurement run.
     match which.as_str() {
         "table5_1" => {
             print!("{}", tables::table_5_1());
@@ -44,6 +44,10 @@ fn main() {
         }
         "table5_5" => {
             print!("{}", tables::table_5_5());
+            return;
+        }
+        "trace" => {
+            run_trace();
             return;
         }
         _ => {}
@@ -59,4 +63,47 @@ fn main() {
         "accounting" => print!("{}", tables::accounting(&results)),
         _ => print!("{}", tables::full_report(&results)),
     }
+}
+
+/// Boots a traced two-node cluster, commits one distributed write, and
+/// renders the transaction's swimlane timeline plus the coordinator's
+/// metric registry.
+fn run_trace() {
+    use std::time::Duration;
+    use tabs_core::prelude::*;
+    use tabs_servers::{IntArrayClient, IntArrayServer};
+
+    eprintln!("booting two-node traced cluster …");
+    let cluster = Cluster::with_config(ClusterConfig::default().trace(true));
+    let n1 = cluster.boot_node(NodeId(1));
+    let n2 = cluster.boot_node(NodeId(2));
+    let a1 = IntArrayServer::spawn(&n1, "arr-1", 64).expect("local array");
+    let _a2 = IntArrayServer::spawn(&n2, "arr-2", 64).expect("remote array");
+    n1.recover().expect("recover node 1");
+    n2.recover().expect("recover node 2");
+
+    let (remote_port, _) = n1
+        .resolve("arr-2", 1, Duration::from_secs(2))
+        .into_iter()
+        .next()
+        .expect("remote array resolvable");
+    let app = n1.app();
+    let local = IntArrayClient::new(app.clone(), a1.send_right());
+    let remote = IntArrayClient::new(app.clone(), remote_port);
+
+    let tid = app.begin_transaction(Tid::NULL).expect("begin");
+    local.set(tid, 0, 17).expect("local write");
+    remote.set(tid, 0, 34).expect("remote write");
+    let outcome = app.end_transaction(tid).expect("end");
+    assert!(outcome.is_committed(), "distributed write must commit");
+
+    // Commit chases phase-2 acks synchronously, so by now the timeline
+    // holds the whole protocol exchange.
+    print!("{}", cluster.timeline().render_swimlane(tid));
+    eprintln!();
+    eprintln!("node 1 metrics after the traced transaction:");
+    eprint!("{}", cluster.metrics(NodeId(1)).render());
+
+    n1.shutdown();
+    n2.shutdown();
 }

@@ -28,9 +28,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use tabs_codec::{Decode, Encode};
-use tabs_kernel::{
-    Kernel, Message, NodeId, PortClass, PortId, PrimitiveOp, SendRight, Tid,
-};
+use tabs_kernel::{Kernel, Message, NodeId, PortClass, PortId, PrimitiveOp, SendRight, Tid};
 use tabs_net::Endpoint;
 use tabs_ns::{Broadcast, NameServer};
 use tabs_proto::{CommitMsg, Datagram, NsMsg, Request, ServerError, SessionFrame};
@@ -71,9 +69,7 @@ pub struct CommManager {
 
 impl std::fmt::Debug for CommManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CommManager")
-            .field("node", &self.kernel.node())
-            .finish()
+        f.debug_struct("CommManager").field("node", &self.kernel.node()).finish()
     }
 }
 
@@ -165,31 +161,38 @@ impl CommManager {
         let tid = request.tid;
         let call_id = self.next_call.fetch_add(1, Ordering::Relaxed);
         self.state.lock().pending.insert(call_id, reply);
+        // Spanning tree: the first operation this node sends to
+        // `remote.node` on behalf of the transaction makes that node our
+        // child; the Communication Manager tells the Transaction Manager
+        // (one message, §3.2.3). Register BEFORE sending: the remote reply
+        // can race this thread, and the client must never reach commit
+        // with the child still unrecorded (the un-prepared child would
+        // leak its locks).
+        let newly_registered = if !tid.is_null() {
+            let mut state = self.state.lock();
+            let children = state.tree.children.entry(tid).or_default();
+            children.insert(remote.node)
+        } else {
+            false
+        };
+        if newly_registered {
+            self.kernel.perf().record(PrimitiveOp::SmallContiguousMessage);
+        }
         let frame = SessionFrame::Call { call_id, target_port: remote, request };
-        if self
-            .endpoint
-            .send_session(remote.node, frame.encode_to_vec())
-            .is_err()
-        {
+        if self.endpoint.send_session(remote.node, frame.encode_to_vec()).is_err() {
             // Session failure: the remote node is down (§3.2.4 failure
-            // detection). Fail the call immediately — and do NOT record the
-            // node as a commit-tree child, since it never received work.
+            // detection). Fail the call immediately — and roll back the
+            // child registration, since the node never received work.
+            if newly_registered {
+                let mut state = self.state.lock();
+                if let Some(children) = state.tree.children.get_mut(&tid) {
+                    children.remove(&remote.node);
+                }
+            }
             if let Some(reply) = self.state.lock().pending.remove(&call_id) {
                 let _ = reply.send_unmetered(tabs_proto::rpc::response_message(Err(
                     ServerError::Other("remote node unreachable".into()),
                 )));
-            }
-            return;
-        }
-        // Spanning tree: the first operation this node sends to
-        // `remote.node` on behalf of the transaction makes that node our
-        // child; the Communication Manager tells the Transaction Manager
-        // (one message, §3.2.3).
-        if !tid.is_null() {
-            let mut state = self.state.lock();
-            let children = state.tree.children.entry(tid).or_default();
-            if children.insert(remote.node) {
-                self.kernel.perf().record(PrimitiveOp::SmallContiguousMessage);
             }
         }
     }
@@ -212,8 +215,7 @@ impl CommManager {
                 SessionFrame::Reply { call_id, result } => {
                     let reply = self.state.lock().pending.remove(&call_id);
                     if let Some(r) = reply {
-                        let _ =
-                            r.send_unmetered(tabs_proto::rpc::response_message(result));
+                        let _ = r.send_unmetered(tabs_proto::rpc::response_message(result));
                     }
                 }
             }
@@ -234,8 +236,10 @@ impl CommManager {
         // that remote sites are involved (§3.2.3).
         if !request.tid.is_null() {
             let mut state = self.state.lock();
-            if !state.tree.parent.contains_key(&request.tid) {
-                state.tree.parent.insert(request.tid, from);
+            if let std::collections::hash_map::Entry::Vacant(e) =
+                state.tree.parent.entry(request.tid)
+            {
+                e.insert(from);
                 self.kernel.perf().record(PrimitiveOp::SmallContiguousMessage);
             }
         }
@@ -249,19 +253,14 @@ impl CommManager {
                     // Inter-Node Data Server Call, on the calling node).
                     kernel.perf().record(PrimitiveOp::SmallContiguousMessage);
                     let (rtx, rrx) = kernel.allocate_port(PortClass::Reply);
-                    let m = Message::new(request.opcode, request.encode_to_vec())
-                        .with_reply(rtx);
+                    let m = Message::new(request.opcode, request.encode_to_vec()).with_reply(rtx);
                     match target.send_unmetered(m) {
                         Ok(()) => match rrx.recv_timeout(RELAY_TIMEOUT) {
                             Ok(resp) => {
-                                kernel
-                                    .perf()
-                                    .record(PrimitiveOp::SmallContiguousMessage);
+                                kernel.perf().record(PrimitiveOp::SmallContiguousMessage);
                                 match tabs_proto::Response::decode_all(&resp.body) {
                                     Ok(r) => r.result,
-                                    Err(e) => Err(ServerError::Other(format!(
-                                        "relay decode: {e}"
-                                    ))),
+                                    Err(e) => Err(ServerError::Other(format!("relay decode: {e}"))),
                                 }
                             }
                             Err(_) => Err(ServerError::Other("server timeout".into())),
@@ -269,9 +268,7 @@ impl CommManager {
                         Err(_) => Err(ServerError::Other("server port dead".into())),
                     }
                 }
-                None => Err(ServerError::BadRequest(format!(
-                    "no such port {target_port}"
-                ))),
+                None => Err(ServerError::BadRequest(format!("no such port {target_port}"))),
             };
             let frame = SessionFrame::Reply { call_id, result };
             let _ = cm.endpoint.send_session(from, frame.encode_to_vec());
@@ -416,8 +413,7 @@ mod tests {
                 Err(_) => return,
             }
         });
-        rig.ns
-            .register(name, "echo", port_id, oid(rig.kernel.node().0));
+        rig.ns.register(name, "echo", port_id, oid(rig.kernel.node().0));
         port_id
     }
 
@@ -451,10 +447,7 @@ mod tests {
         let out = tabs_proto::call(&a.kernel, &right, Tid::NULL, 1, vec![5, 6]).unwrap();
         assert_eq!(out, vec![6, 5]);
         // Accounting: one inter-node data server call on node 1.
-        assert_eq!(
-            a.kernel.perf().get(PrimitiveOp::InterNodeDataServerCall),
-            1
-        );
+        assert_eq!(a.kernel.perf().get(PrimitiveOp::InterNodeDataServerCall), 1);
         assert_eq!(a.kernel.perf().get(PrimitiveOp::DataServerCall), 0);
         shutdown(a);
         shutdown(b);

@@ -26,8 +26,6 @@
 //! assert!(r.is_empty());
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 /// Error produced when decoding malformed or truncated input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
@@ -54,33 +52,33 @@ pub type Result<T> = std::result::Result<T, DecodeError>;
 /// An append-only byte sink for encoding.
 #[derive(Debug, Default)]
 pub struct Writer {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Writer {
     /// Creates an empty writer.
     pub fn new() -> Self {
-        Self { buf: BytesMut::new() }
+        Self { buf: Vec::new() }
     }
 
     /// Creates a writer with `cap` bytes preallocated.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { buf: BytesMut::with_capacity(cap) }
+        Self { buf: Vec::with_capacity(cap) }
     }
 
     /// Appends a single byte.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Appends a fixed-width little-endian `u32`.
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.put_u32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a fixed-width little-endian `u64`.
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.put_u64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a LEB128 variable-length unsigned integer.
@@ -89,22 +87,22 @@ impl Writer {
             let byte = (v & 0x7f) as u8;
             v >>= 7;
             if v == 0 {
-                self.buf.put_u8(byte);
+                self.buf.push(byte);
                 return;
             }
-            self.buf.put_u8(byte | 0x80);
+            self.buf.push(byte | 0x80);
         }
     }
 
     /// Appends raw bytes with no framing.
     pub fn put_slice(&mut self, s: &[u8]) {
-        self.buf.put_slice(s);
+        self.buf.extend_from_slice(s);
     }
 
     /// Appends a length-prefixed byte string.
     pub fn put_bytes(&mut self, s: &[u8]) {
         self.put_varint(s.len() as u64);
-        self.buf.put_slice(s);
+        self.buf.extend_from_slice(s);
     }
 
     /// Number of bytes written so far.
@@ -117,14 +115,9 @@ impl Writer {
         self.buf.is_empty()
     }
 
-    /// Finishes encoding and returns the immutable buffer.
-    pub fn into_bytes(self) -> Bytes {
-        self.buf.freeze()
-    }
-
     /// Finishes encoding into a plain vector.
     pub fn into_vec(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf
     }
 }
 
@@ -156,24 +149,20 @@ impl<'a> Reader<'a> {
             return Err(DecodeError::Truncated);
         }
         let v = self.buf[0];
-        self.buf.advance(1);
+        self.buf = &self.buf[1..];
         Ok(v)
     }
 
     /// Reads a fixed-width little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32> {
-        if self.buf.len() < 4 {
-            return Err(DecodeError::Truncated);
-        }
-        Ok(self.buf.get_u32_le())
+        let s = self.get_slice(4)?;
+        Ok(u32::from_le_bytes(s.try_into().expect("4-byte slice")))
     }
 
     /// Reads a fixed-width little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64> {
-        if self.buf.len() < 8 {
-            return Err(DecodeError::Truncated);
-        }
-        Ok(self.buf.get_u64_le())
+        let s = self.get_slice(8)?;
+        Ok(u64::from_le_bytes(s.try_into().expect("8-byte slice")))
     }
 
     /// Reads a LEB128 variable-length unsigned integer.

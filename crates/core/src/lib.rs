@@ -21,14 +21,17 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-pub use tabs_app_lib::{AppError, AppHandle};
+pub use tabs_app_lib::{AppError, AppHandle, CommitOutcome};
 pub use tabs_cm::CommManager;
 pub use tabs_kernel::{
-    BufferPool, DiskRegistry, FileDisk, Kernel, MemDisk, NodeId, ObjectId, PageId,
-    PerfCounters, PortId, SegmentId, SegmentSpec, Tid,
+    BufferPool, DiskRegistry, FileDisk, Kernel, MemDisk, NodeId, ObjectId, PageId, PerfCounters,
+    PortId, SegmentId, SegmentSpec, Tid,
 };
 pub use tabs_net::{NetConfig, Network};
 pub use tabs_ns::NameServer;
+pub use tabs_obs::{
+    KernelTraceBridge, Metrics, MetricsSnapshot, Timeline, TraceCollector, TraceEvent, TraceRecord,
+};
 pub use tabs_rm::{RecoveryManager, RecoveryReport};
 pub use tabs_server_lib::{DataServer, Dispatch, OpCtx, ServerConfig, ServerDeps};
 pub use tabs_tm::TransactionManager;
@@ -36,15 +39,23 @@ pub use tabs_tm::TransactionManager;
 /// Commonly used items for applications and data servers.
 pub mod prelude {
     pub use crate::{Cluster, ClusterConfig, Node};
-    pub use tabs_app_lib::{AppError, AppHandle};
-    pub use tabs_kernel::{NodeId, ObjectId, SegmentId, Tid, PAGE_SIZE};
+    pub use tabs_app_lib::{AppError, AppHandle, CommitOutcome};
+    pub use tabs_kernel::{NodeId, ObjectId, PerfCounters, SegmentId, Tid, PAGE_SIZE};
     pub use tabs_lock::{DeadlockPolicy, StdMode};
+    pub use tabs_net::{NetConfig, Network};
+    pub use tabs_obs::{Metrics, MetricsSnapshot, Timeline, TraceCollector, TraceEvent};
     pub use tabs_proto::ServerError;
     pub use tabs_server_lib::{DataServer, Dispatch, OpCtx, ServerConfig, ServerDeps};
 }
 
-/// Cluster-wide configuration.
+/// Per-node persistent name → (segment index, pages) table.
+type SegTable = HashMap<String, (u32, u32)>;
+
+/// Cluster-wide configuration. Construct with [`ClusterConfig::default`]
+/// and the builder methods; the struct is `#[non_exhaustive]` so new knobs
+/// can be added without breaking callers.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ClusterConfig {
     /// Buffer-pool frames per node. The paper's Perq held roughly a third
     /// of the 5000-page benchmark array, hence the default.
@@ -59,6 +70,10 @@ pub struct ClusterConfig {
     /// this directory (surviving even process restarts); otherwise they
     /// use in-memory devices that survive only simulated node crashes.
     pub storage_dir: Option<std::path::PathBuf>,
+    /// When true, booting a node installs a [`TraceCollector`] and wires
+    /// every subsystem's trace hooks, so [`Cluster::timeline`] can render
+    /// per-transaction swimlanes.
+    pub trace: bool,
 }
 
 impl Default for ClusterConfig {
@@ -69,7 +84,46 @@ impl Default for ClusterConfig {
             net: NetConfig::default(),
             lock_timeout: Duration::from_secs(2),
             storage_dir: None,
+            trace: false,
         }
+    }
+}
+
+impl ClusterConfig {
+    /// Sets the buffer-pool frame count per node.
+    pub fn pool_pages(mut self, pages: usize) -> Self {
+        self.pool_pages = pages;
+        self
+    }
+
+    /// Sets the log device capacity in bytes.
+    pub fn log_capacity(mut self, bytes: u64) -> Self {
+        self.log_capacity = bytes;
+        self
+    }
+
+    /// Sets the network behaviour.
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Sets the default lock time-out handed to data servers.
+    pub fn lock_timeout(mut self, timeout: Duration) -> Self {
+        self.lock_timeout = timeout;
+        self
+    }
+
+    /// Puts recoverable segments and logs in real files under `dir`.
+    pub fn storage_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.storage_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables (or disables) transaction tracing on every booted node.
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
     }
 }
 
@@ -80,17 +134,17 @@ pub struct Cluster {
     log_devices: Mutex<HashMap<NodeId, Arc<dyn tabs_wal::LogDevice>>>,
     /// Persistent name → (segment index, pages) tables per node, so a
     /// restarted node maps the same segments to the same identifiers.
-    seg_tables: Mutex<HashMap<NodeId, HashMap<String, (u32, u32)>>>,
+    seg_tables: Mutex<HashMap<NodeId, SegTable>>,
     incarnations: Mutex<HashMap<NodeId, u32>>,
     perfs: Mutex<HashMap<NodeId, Arc<PerfCounters>>>,
+    traces: Mutex<HashMap<NodeId, Arc<TraceCollector>>>,
+    metrics: Mutex<HashMap<NodeId, Arc<Metrics>>>,
     config: ClusterConfig,
 }
 
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Cluster")
-            .field("net", &self.net)
-            .finish()
+        f.debug_struct("Cluster").field("net", &self.net).finish()
     }
 }
 
@@ -109,6 +163,8 @@ impl Cluster {
             seg_tables: Mutex::new(HashMap::new()),
             incarnations: Mutex::new(HashMap::new()),
             perfs: Mutex::new(HashMap::new()),
+            traces: Mutex::new(HashMap::new()),
+            metrics: Mutex::new(HashMap::new()),
             config,
         })
     }
@@ -121,12 +177,34 @@ impl Cluster {
     /// Per-node primitive counters (persistent across restarts so that
     /// benchmark measurements span crashes).
     pub fn perf(&self, id: NodeId) -> Arc<PerfCounters> {
+        Arc::clone(self.perfs.lock().entry(id).or_default())
+    }
+
+    /// Per-node trace collector (created on first use, persistent across
+    /// node restarts so one timeline can span crashes). Events are only
+    /// fed into it when the cluster was configured with
+    /// [`ClusterConfig::trace`].
+    pub fn trace(&self, id: NodeId) -> Arc<TraceCollector> {
         Arc::clone(
-            self.perfs
+            self.traces
                 .lock()
                 .entry(id)
-                .or_insert_with(PerfCounters::new),
+                .or_insert_with(|| TraceCollector::new(id, tabs_obs::DEFAULT_TRACE_CAPACITY)),
         )
+    }
+
+    /// Per-node metric registry, wrapping the node's [`PerfCounters`] so
+    /// the nine Table 5-1 primitive counters stay the single source of
+    /// truth.
+    pub fn metrics(&self, id: NodeId) -> Arc<Metrics> {
+        let perf = self.perf(id);
+        Arc::clone(self.metrics.lock().entry(id).or_insert_with(|| Metrics::new(perf)))
+    }
+
+    /// A merged, causally ordered timeline over every node traced so far.
+    pub fn timeline(&self) -> Timeline {
+        let collectors: Vec<Arc<TraceCollector>> = self.traces.lock().values().cloned().collect();
+        Timeline::from_collectors(&collectors)
     }
 
     /// Aggregated counter snapshot across all nodes ever booted.
@@ -172,24 +250,27 @@ impl Cluster {
                 }
             }
         };
-        let log = tabs_wal::LogManager::open(log_device, Arc::clone(&perf))
-            .expect("log device scan");
+        let log =
+            tabs_wal::LogManager::open(log_device, Arc::clone(&perf)).expect("log device scan");
         let rm = RecoveryManager::new(id, log, Arc::clone(&pool), Arc::clone(&perf));
         pool.set_gate(rm.gate());
         let tm = TransactionManager::new(id, incarnation, Arc::clone(&rm), Arc::clone(&perf));
         let ns = NameServer::new(id);
         let endpoint = self.net.attach(id, Arc::clone(&perf));
-        let cm = CommManager::start(kernel.clone(), endpoint, Arc::clone(&tm), Arc::clone(&ns));
-        Node {
-            id,
-            kernel,
-            pool,
-            rm,
-            tm,
-            ns,
-            cm,
-            cluster: Arc::clone(self),
+        let trace = self.config.trace.then(|| self.trace(id));
+        if let Some(t) = &trace {
+            // Wire every layer's hook to the one per-node collector: the
+            // kernel pager and port space, the write-ahead log (via the
+            // Recovery Manager), the commit protocol, and the wire.
+            let bridge = KernelTraceBridge::new(Arc::clone(t));
+            kernel.set_trace(bridge.clone());
+            pool.set_trace(bridge);
+            rm.set_trace(Arc::clone(t));
+            tm.set_trace(Arc::clone(t));
+            endpoint.set_trace(Arc::clone(t));
         }
+        let cm = CommManager::start(kernel.clone(), endpoint, Arc::clone(&tm), Arc::clone(&ns));
+        Node { id, kernel, pool, rm, tm, ns, cm, trace, cluster: Arc::clone(self) }
     }
 
     /// Detaches a node from the network without orderly shutdown (used
@@ -216,6 +297,7 @@ pub struct Node {
     pub ns: Arc<NameServer>,
     /// Communication Manager.
     pub cm: Arc<CommManager>,
+    trace: Option<Arc<TraceCollector>>,
     cluster: Arc<Cluster>,
 }
 
@@ -234,19 +316,13 @@ impl Node {
             let table = tables.entry(self.id).or_default();
             let next = table.len() as u32;
             let entry = table.entry(name.to_string()).or_insert((next, pages));
-            assert_eq!(
-                entry.1, pages,
-                "segment {name} re-opened with a different size"
-            );
+            assert_eq!(entry.1, pages, "segment {name} re-opened with a different size");
             entry.0
         };
         let id = SegmentId { node: self.id, index };
         let disk_name = format!("{}.{}", self.id, name);
         let disk = match &self.cluster.config.storage_dir {
-            None => self
-                .cluster
-                .disks
-                .get_or_create_mem(&disk_name, u64::from(pages)),
+            None => self.cluster.disks.get_or_create_mem(&disk_name, u64::from(pages)),
             Some(dir) => match self.cluster.disks.get(&disk_name) {
                 Some(d) => d,
                 None => {
@@ -255,8 +331,7 @@ impl Node {
                     let d: std::sync::Arc<dyn tabs_kernel::Disk> = if path.exists() {
                         tabs_kernel::FileDisk::open(&path).expect("open disk")
                     } else {
-                        tabs_kernel::FileDisk::create(&path, u64::from(pages))
-                            .expect("create disk")
+                        tabs_kernel::FileDisk::create(&path, u64::from(pages)).expect("create disk")
                     };
                     self.cluster.disks.insert(&disk_name, std::sync::Arc::clone(&d));
                     d
@@ -275,12 +350,17 @@ impl Node {
         id
     }
 
+    /// This node's trace collector, when the cluster traces.
+    pub fn trace(&self) -> Option<&Arc<TraceCollector>> {
+        self.trace.as_ref()
+    }
+
     /// Dependencies handed to data servers built on the server library.
     pub fn deps(&self) -> ServerDeps {
-        ServerDeps {
-            kernel: self.kernel.clone(),
-            rm: Arc::clone(&self.rm),
-            tm: Arc::clone(&self.tm),
+        let deps = ServerDeps::new(self.kernel.clone(), Arc::clone(&self.rm), Arc::clone(&self.tm));
+        match &self.trace {
+            Some(t) => deps.with_trace(Arc::clone(t)),
+            None => deps,
         }
     }
 
@@ -294,13 +374,18 @@ impl Node {
     /// are accepted (the §3.1.1 startup order).
     pub fn recover(&self) -> Result<RecoveryReport, tabs_rm::RmError> {
         let report = self.rm.recover()?;
-        self.tm
-            .load_recovery(&report.committed, &report.aborted, &report.in_doubt);
+        self.tm.load_recovery(&report.committed, &report.aborted, &report.in_doubt);
         Ok(report)
     }
 
     /// Registers a data server's object with the Name Server.
-    pub fn register_server(&self, server: &DataServer, name: &str, type_name: &str, object: ObjectId) {
+    pub fn register_server(
+        &self,
+        server: &DataServer,
+        name: &str,
+        type_name: &str,
+        object: ObjectId,
+    ) {
         self.ns.register(name, type_name, server.port_id(), object);
     }
 
@@ -403,7 +488,7 @@ mod tests {
         let tid = app.begin_transaction(Tid::NULL).unwrap();
         set(&app, &s, tid, 0, 41);
         assert_eq!(get(&app, &s, tid, 0), 41);
-        assert!(app.end_transaction(tid).unwrap());
+        assert!(app.end_transaction(tid).unwrap().is_committed());
         node.shutdown();
     }
 
@@ -419,7 +504,7 @@ mod tests {
         // Commit 7 → survives; write 9 uncommitted → rolled back.
         let t1 = app.begin_transaction(Tid::NULL).unwrap();
         set(&app, &s, t1, 0, 7);
-        assert!(app.end_transaction(t1).unwrap());
+        assert!(app.end_transaction(t1).unwrap().is_committed());
         let t2 = app.begin_transaction(Tid::NULL).unwrap();
         set(&app, &s, t2, 1, 9);
         node.rm.force(None).unwrap();
@@ -460,7 +545,7 @@ mod tests {
         let tid = app.begin_transaction(Tid::NULL).unwrap();
         set(&app, &ds1.send_right(), tid, 0, 100);
         set(&app, remote_s, tid, 0, 200);
-        assert!(app.end_transaction(tid).unwrap());
+        assert!(app.end_transaction(tid).unwrap().is_committed());
 
         // Both nodes see committed values in fresh transactions.
         let t2 = app.begin_transaction(Tid::NULL).unwrap();
@@ -579,7 +664,7 @@ mod tests {
         let t = app.begin_transaction(Tid::NULL).unwrap();
         set(&app, &ds.send_right(), t, 0, 5);
         node.checkpoint().unwrap();
-        assert!(app.end_transaction(t).unwrap());
+        assert!(app.end_transaction(t).unwrap().is_committed());
         // The checkpoint recorded the in-flight transaction.
         let has_ckpt = node
             .rm
@@ -595,10 +680,7 @@ mod tests {
     fn file_backed_cluster_survives_crash() {
         let dir = std::env::temp_dir().join(format!("tabs-fs-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let cluster = Cluster::with_config(ClusterConfig {
-            storage_dir: Some(dir.clone()),
-            ..Default::default()
-        });
+        let cluster = Cluster::with_config(ClusterConfig::default().storage_dir(dir.clone()));
         let node = cluster.boot_node(NodeId(1));
         let ds = cell_server(&node, "cells");
         node.recover().unwrap();
@@ -606,7 +688,7 @@ mod tests {
         let s = ds.send_right();
         let t = app.begin_transaction(Tid::NULL).unwrap();
         set(&app, &s, t, 0, 321);
-        assert!(app.end_transaction(t).unwrap());
+        assert!(app.end_transaction(t).unwrap().is_committed());
         node.crash();
 
         // Reboot against the same on-disk files.

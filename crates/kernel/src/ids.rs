@@ -237,11 +237,7 @@ impl Encode for Tid {
 
 impl Decode for Tid {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        Ok(Tid {
-            node: NodeId::decode(r)?,
-            incarnation: u32::decode(r)?,
-            seq: u64::decode(r)?,
-        })
+        Ok(Tid { node: NodeId::decode(r)?, incarnation: u32::decode(r)?, seq: u64::decode(r)? })
     }
 }
 

@@ -29,6 +29,7 @@ pub mod perfctr;
 pub mod port;
 pub mod process;
 pub mod storage;
+pub mod trace;
 pub mod vm;
 
 pub use ids::{NodeId, ObjectId, PageId, PortId, SegmentId, Tid, PAGE_SIZE};
@@ -36,4 +37,5 @@ pub use msg::{Message, Transfer, SMALL_MESSAGE_LIMIT};
 pub use perfctr::{PerfCounters, PerfSnapshot, PrimitiveOp};
 pub use port::{Kernel, PortClass, ReceiveRight, RecvError, SendError, SendRight};
 pub use storage::{Disk, DiskRegistry, FileDisk, MemDisk, Sector, SECTOR_SIZE};
+pub use trace::TraceSink;
 pub use vm::{BufferPool, MappedSegment, NullWalGate, SegmentSpec, VmError, WalGate};

@@ -84,26 +84,11 @@ mod tests {
 
     #[test]
     fn message_classification() {
-        assert_eq!(
-            Message::new(1, vec![0; 10]).class(),
-            PrimitiveOp::SmallContiguousMessage
-        );
-        assert_eq!(
-            Message::new(1, vec![0; 499]).class(),
-            PrimitiveOp::SmallContiguousMessage
-        );
-        assert_eq!(
-            Message::new(1, vec![0; 500]).class(),
-            PrimitiveOp::LargeContiguousMessage
-        );
-        assert_eq!(
-            Message::new(1, vec![0; 1100]).class(),
-            PrimitiveOp::LargeContiguousMessage
-        );
-        assert_eq!(
-            Message::pointer(1, vec![0; 8192]).class(),
-            PrimitiveOp::PointerMessage
-        );
+        assert_eq!(Message::new(1, vec![0; 10]).class(), PrimitiveOp::SmallContiguousMessage);
+        assert_eq!(Message::new(1, vec![0; 499]).class(), PrimitiveOp::SmallContiguousMessage);
+        assert_eq!(Message::new(1, vec![0; 500]).class(), PrimitiveOp::LargeContiguousMessage);
+        assert_eq!(Message::new(1, vec![0; 1100]).class(), PrimitiveOp::LargeContiguousMessage);
+        assert_eq!(Message::pointer(1, vec![0; 8192]).class(), PrimitiveOp::PointerMessage);
         // Pointer classification wins regardless of size.
         assert_eq!(Message::pointer(1, vec![]).class(), PrimitiveOp::PointerMessage);
     }

@@ -125,8 +125,8 @@ impl PerfSnapshot {
     /// Counter-wise difference `self - earlier` (saturating).
     pub fn since(&self, earlier: &PerfSnapshot) -> PerfSnapshot {
         let mut d = [0u64; PRIMITIVE_OP_COUNT];
-        for i in 0..PRIMITIVE_OP_COUNT {
-            d[i] = self.0[i].saturating_sub(earlier.0[i]);
+        for (i, slot) in d.iter_mut().enumerate() {
+            *slot = self.0[i].saturating_sub(earlier.0[i]);
         }
         PerfSnapshot(d)
     }
@@ -134,8 +134,8 @@ impl PerfSnapshot {
     /// Counter-wise sum, used to aggregate across nodes.
     pub fn plus(&self, other: &PerfSnapshot) -> PerfSnapshot {
         let mut d = [0u64; PRIMITIVE_OP_COUNT];
-        for i in 0..PRIMITIVE_OP_COUNT {
-            d[i] = self.0[i] + other.0[i];
+        for (i, slot) in d.iter_mut().enumerate() {
+            *slot = self.0[i] + other.0[i];
         }
         PerfSnapshot(d)
     }

@@ -78,6 +78,7 @@ pub(crate) struct KernelInner {
     next_port: AtomicU64,
     ports: Mutex<HashMap<u64, Sender<Message>>>,
     perf: Arc<PerfCounters>,
+    trace: Mutex<Option<Arc<dyn crate::trace::TraceSink>>>,
     alive: AtomicBool,
     /// Receivers clone this; dropping the paired sender wakes them all.
     shutdown_rx: Receiver<()>,
@@ -127,6 +128,7 @@ impl Kernel {
                 next_port: AtomicU64::new(u64::from(epoch) << 32 | 1),
                 ports: Mutex::new(HashMap::new()),
                 perf,
+                trace: Mutex::new(None),
                 alive: AtomicBool::new(true),
                 shutdown_rx,
                 shutdown_tx: Mutex::new(Some(shutdown_tx)),
@@ -143,6 +145,11 @@ impl Kernel {
     /// The node's primitive-operation counters.
     pub fn perf(&self) -> &Arc<PerfCounters> {
         &self.inner.perf
+    }
+
+    /// Installs an observability sink for port sends.
+    pub fn set_trace(&self, trace: Arc<dyn crate::trace::TraceSink>) {
+        *self.inner.trace.lock() = Some(trace);
     }
 
     /// Whether the kernel is still running.
@@ -224,10 +231,7 @@ pub struct SendRight {
 
 impl std::fmt::Debug for SendRight {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SendRight")
-            .field("id", &self.id)
-            .field("class", &self.class)
-            .finish()
+        f.debug_struct("SendRight").field("id", &self.id).field("class", &self.class).finish()
     }
 }
 
@@ -250,6 +254,10 @@ impl SendRight {
     /// Sends `msg`, counting it against the node's message counters.
     pub fn send(&self, msg: Message) -> Result<(), SendError> {
         self.kernel.perf.record(msg.class());
+        let trace = self.kernel.trace.lock().clone();
+        if let Some(trace) = trace {
+            trace.port_send(self.id, msg.class(), msg.body.len());
+        }
         self.send_unmetered(msg)
     }
 
@@ -400,10 +408,7 @@ mod tests {
     fn recv_timeout_elapses() {
         let k = Kernel::new(NodeId(1));
         let (_tx, rx) = k.allocate_port(PortClass::System);
-        assert!(matches!(
-            rx.recv_timeout(Duration::from_millis(10)),
-            Err(RecvError::Timeout)
-        ));
+        assert!(matches!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvError::Timeout)));
     }
 
     #[test]
@@ -411,9 +416,7 @@ mod tests {
         let k = Kernel::new(NodeId(1));
         let (main_tx, main_rx) = k.allocate_port(PortClass::System);
         let (inner_tx, inner_rx) = k.allocate_port(PortClass::Reply);
-        main_tx
-            .send(Message::new(1, vec![]).with_port(inner_tx))
-            .unwrap();
+        main_tx.send(Message::new(1, vec![]).with_port(inner_tx)).unwrap();
         let mut m = main_rx.recv().unwrap();
         let carried = m.ports.pop().unwrap();
         carried.send(Message::new(2, vec![9])).unwrap();

@@ -66,10 +66,7 @@ pub trait Disk: Send + Sync {
 }
 
 fn out_of_range(idx: u64, n: u64) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidInput,
-        format!("sector {idx} out of range (disk has {n})"),
-    )
+    io::Error::new(io::ErrorKind::InvalidInput, format!("sector {idx} out of range (disk has {n})"))
 }
 
 /// An in-memory disk; fast, used by tests and benchmarks.
@@ -80,9 +77,7 @@ pub struct MemDisk {
 impl MemDisk {
     /// Creates a zeroed in-memory disk of `n` sectors.
     pub fn new(n: u64) -> Arc<Self> {
-        Arc::new(Self {
-            sectors: Mutex::new(vec![Sector::zeroed(); n as usize]),
-        })
+        Arc::new(Self { sectors: Mutex::new(vec![Sector::zeroed(); n as usize]) })
     }
 }
 
@@ -93,10 +88,7 @@ impl Disk for MemDisk {
 
     fn read(&self, idx: u64) -> io::Result<Sector> {
         let sectors = self.sectors.lock();
-        sectors
-            .get(idx as usize)
-            .copied()
-            .ok_or_else(|| out_of_range(idx, sectors.len() as u64))
+        sectors.get(idx as usize).copied().ok_or_else(|| out_of_range(idx, sectors.len() as u64))
     }
 
     fn write(&self, idx: u64, sector: &Sector) -> io::Result<()> {
@@ -128,12 +120,8 @@ const SLOT: u64 = 8 + SECTOR_SIZE as u64;
 impl FileDisk {
     /// Creates (or truncates) a file-backed disk of `n` sectors at `path`.
     pub fn create(path: &Path, n: u64) -> io::Result<Arc<Self>> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         file.set_len(n * SLOT)?;
         Ok(Arc::new(Self { file: Mutex::new(file), sectors: n }))
     }

@@ -1,0 +1,28 @@
+//! The kernel's trace hook.
+//!
+//! The kernel sits below transaction management, so it cannot attribute
+//! its own activity (page faults, write-backs, port sends) to a
+//! transaction — but that activity is exactly what the observability
+//! layer's swimlanes and metrics need. [`TraceSink`] is the kernel-side
+//! half of that bridge, mirroring the [`crate::vm::WalGate`] pattern: the
+//! kernel calls into an installed sink and stays ignorant of who listens.
+//! `tabs-obs` provides the collector-backed implementation.
+
+use crate::ids::{PageId, PortId};
+use crate::perfctr::PrimitiveOp;
+
+/// Receiver for kernel-level trace events.
+///
+/// Implementations must be cheap and non-blocking: hooks run inside the
+/// pager (holding the pool lock) and on the message send path.
+pub trait TraceSink: Send + Sync {
+    /// A page was demand-paged in; `sequential` is the Table 5-1
+    /// classification of the fault.
+    fn page_in(&self, page: PageId, sequential: bool);
+
+    /// A dirty page was written back to disk.
+    fn page_out(&self, page: PageId);
+
+    /// A message of `class` with a `bytes`-byte body was sent to `port`.
+    fn port_send(&self, port: PortId, class: PrimitiveOp, bytes: usize);
+}

@@ -171,6 +171,7 @@ pub struct BufferPool {
     inner: Mutex<PoolInner>,
     cond: Condvar,
     gate: Mutex<Arc<dyn WalGate>>,
+    trace: Mutex<Option<Arc<dyn crate::trace::TraceSink>>>,
     perf: Arc<PerfCounters>,
 }
 
@@ -199,6 +200,7 @@ impl BufferPool {
             }),
             cond: Condvar::new(),
             gate: Mutex::new(Arc::new(NullWalGate::default())),
+            trace: Mutex::new(None),
             perf,
         })
     }
@@ -210,6 +212,15 @@ impl BufferPool {
 
     fn current_gate(&self) -> Arc<dyn WalGate> {
         Arc::clone(&self.gate.lock())
+    }
+
+    /// Installs an observability sink for pager events.
+    pub fn set_trace(&self, trace: Arc<dyn crate::trace::TraceSink>) {
+        *self.trace.lock() = Some(trace);
+    }
+
+    fn current_trace(&self) -> Option<Arc<dyn crate::trace::TraceSink>> {
+        self.trace.lock().clone()
     }
 
     /// Registers a recoverable segment (maps the disk file, §3.2.1).
@@ -299,24 +310,15 @@ impl BufferPool {
 
     /// Whether the page currently holds any pins (used by tests).
     pub fn is_pinned(&self, page: PageId) -> bool {
-        self.inner
-            .lock()
-            .frames
-            .get(&page)
-            .map(|f| f.pins > 0)
-            .unwrap_or(false)
+        self.inner.lock().frames.get(&page).map(|f| f.pins > 0).unwrap_or(false)
     }
 
     /// All resident dirty pages (checkpoint support, §3.2.2: "a list of the
     /// pages currently in volatile storage … are written to the log").
     pub fn dirty_pages(&self) -> Vec<PageId> {
         let guard = self.inner.lock();
-        let mut v: Vec<_> = guard
-            .frames
-            .iter()
-            .filter(|(_, fr)| fr.dirty)
-            .map(|(p, _)| *p)
-            .collect();
+        let mut v: Vec<_> =
+            guard.frames.iter().filter(|(_, fr)| fr.dirty).map(|(p, _)| *p).collect();
         v.sort();
         v
     }
@@ -366,10 +368,8 @@ impl BufferPool {
     /// faulting (operation-logging recovery reads sector headers, §3.2.1).
     pub fn read_disk_seqno(&self, page: PageId) -> Result<u64, VmError> {
         let guard = self.inner.lock();
-        let spec = guard
-            .segments
-            .get(&page.segment)
-            .ok_or(VmError::UnknownSegment(page.segment))?;
+        let spec =
+            guard.segments.get(&page.segment).ok_or(VmError::UnknownSegment(page.segment))?;
         if page.page >= spec.pages {
             return Err(VmError::OutOfRange(format!("{page}")));
         }
@@ -412,10 +412,8 @@ impl BufferPool {
                 continue;
             }
             // Service the fault.
-            let spec = guard
-                .segments
-                .get(&page.segment)
-                .ok_or(VmError::UnknownSegment(page.segment))?;
+            let spec =
+                guard.segments.get(&page.segment).ok_or(VmError::UnknownSegment(page.segment))?;
             if page.page >= spec.pages {
                 return Err(VmError::OutOfRange(format!("{page}")));
             }
@@ -426,14 +424,17 @@ impl BufferPool {
             // Sequential-read detection: consecutive page of the same
             // segment as the previous fault (§5.1 distinguishes sequential
             // reads from random paged I/O).
-            let sequential = guard.last_fault.map_or(false, |prev| {
-                prev.segment == page.segment && prev.page + 1 == page.page
-            });
+            let sequential = guard
+                .last_fault
+                .is_some_and(|prev| prev.segment == page.segment && prev.page + 1 == page.page);
             self.perf.record(if sequential {
                 PrimitiveOp::SequentialRead
             } else {
                 PrimitiveOp::RandomAccessPagedIo
             });
+            if let Some(trace) = self.current_trace() {
+                trace.page_in(page, sequential);
+            }
             guard.last_fault = Some(page);
             guard.stats.faults += 1;
             guard.tick += 1;
@@ -456,10 +457,7 @@ impl BufferPool {
     }
 
     /// Evicts one LRU unpinned frame, writing it back first if dirty.
-    fn evict_one(
-        &self,
-        guard: &mut parking_lot::MutexGuard<'_, PoolInner>,
-    ) -> Result<(), VmError> {
+    fn evict_one(&self, guard: &mut parking_lot::MutexGuard<'_, PoolInner>) -> Result<(), VmError> {
         let victim = guard
             .frames
             .iter()
@@ -509,8 +507,7 @@ impl BufferPool {
         // Ask the Recovery Manager for permission (message 2). The pool
         // lock must be free: the RM may concurrently enumerate dirty pages
         // for a checkpoint.
-        let gate_result =
-            parking_lot::MutexGuard::unlocked(guard, || gate.before_page_write(page));
+        let gate_result = parking_lot::MutexGuard::unlocked(guard, || gate.before_page_write(page));
         let seqno = match gate_result {
             Ok(s) => s,
             Err(e) => {
@@ -531,6 +528,9 @@ impl BufferPool {
         };
         let io = disk.write(base + u64::from(page.page), &sector);
         self.perf.record(PrimitiveOp::RandomAccessPagedIo);
+        if let Some(trace) = self.current_trace() {
+            trace.page_out(page);
+        }
         let ok = io.is_ok();
         // Message 3: report the outcome.
         parking_lot::MutexGuard::unlocked(guard, || gate.after_page_write(page, ok));
@@ -567,19 +567,14 @@ pub struct MappedSegment {
 
 impl std::fmt::Debug for MappedSegment {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MappedSegment")
-            .field("id", &self.id)
-            .field("len", &self.len)
-            .finish()
+        f.debug_struct("MappedSegment").field("id", &self.id).field("len", &self.len).finish()
     }
 }
 
 impl MappedSegment {
     /// Maps `segment` through `pool`. The segment must be registered.
     pub fn new(pool: Arc<BufferPool>, segment: SegmentId) -> Result<Self, VmError> {
-        let spec = pool
-            .segment(segment)
-            .ok_or(VmError::UnknownSegment(segment))?;
+        let spec = pool.segment(segment).ok_or(VmError::UnknownSegment(segment))?;
         Ok(Self { pool, id: segment, len: spec.len_bytes() })
     }
 
@@ -707,14 +702,8 @@ mod tests {
         let pool = BufferPool::new(capacity, perf);
         let disk = MemDisk::new(u64::from(pages));
         let id = seg_id(0);
-        pool.register_segment(SegmentSpec {
-            id,
-            name: "test".into(),
-            disk,
-            base_sector: 0,
-            pages,
-        })
-        .unwrap();
+        pool.register_segment(SegmentSpec { id, name: "test".into(), disk, base_sector: 0, pages })
+            .unwrap();
         (pool, id)
     }
 
@@ -722,9 +711,7 @@ mod tests {
     fn fault_in_zeroed_page() {
         let (pool, seg) = make_pool(4, 8);
         let page = PageId { segment: seg, page: 3 };
-        let sum: u32 = pool
-            .with_page(page, |d| d.iter().map(|&b| u32::from(b)).sum())
-            .unwrap();
+        let sum: u32 = pool.with_page(page, |d| d.iter().map(|&b| u32::from(b)).sum()).unwrap();
         assert_eq!(sum, 0);
         assert_eq!(pool.stats().faults, 1);
     }
@@ -743,15 +730,9 @@ mod tests {
     fn unknown_segment_and_out_of_range() {
         let (pool, seg) = make_pool(4, 8);
         let bogus = PageId { segment: seg_id(9), page: 0 };
-        assert!(matches!(
-            pool.with_page(bogus, |_| ()),
-            Err(VmError::UnknownSegment(_))
-        ));
+        assert!(matches!(pool.with_page(bogus, |_| ()), Err(VmError::UnknownSegment(_))));
         let past = PageId { segment: seg, page: 8 };
-        assert!(matches!(
-            pool.with_page(past, |_| ()),
-            Err(VmError::OutOfRange(_))
-        ));
+        assert!(matches!(pool.with_page(past, |_| ()), Err(VmError::OutOfRange(_))));
     }
 
     #[test]
@@ -865,11 +846,7 @@ mod tests {
         let log = gate.log.lock().clone();
         assert_eq!(
             log,
-            vec![
-                format!("dirtied {p}"),
-                format!("before {p}"),
-                format!("after {p} true"),
-            ]
+            vec![format!("dirtied {p}"), format!("before {p}"), format!("after {p} true"),]
         );
         // The sequence number from the gate was stamped into the header.
         assert_eq!(pool.read_disk_seqno(p).unwrap(), 100);
@@ -907,10 +884,7 @@ mod tests {
         assert_eq!(s.get(PrimitiveOp::SequentialRead), 3);
         // A jump is random again.
         pool.with_page(PageId { segment: seg, page: 10 }, |_| ()).unwrap();
-        assert_eq!(
-            perf.snapshot().get(PrimitiveOp::RandomAccessPagedIo),
-            2
-        );
+        assert_eq!(perf.snapshot().get(PrimitiveOp::RandomAccessPagedIo), 2);
     }
 
     #[test]
@@ -957,8 +931,7 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..200u32 {
                         let page = PageId { segment: seg, page: (t * 8 + i % 8) % 32 };
-                        pool.with_page_mut(page, |d| d[t as usize] = (i % 251) as u8)
-                            .unwrap();
+                        pool.with_page_mut(page, |d| d[t as usize] = (i % 251) as u8).unwrap();
                     }
                 });
             }

@@ -26,6 +26,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use tabs_kernel::{ObjectId, Tid};
+use tabs_obs::{TraceCollector, TraceEvent};
 
 /// A lock-mode lattice with a compatibility relation.
 ///
@@ -118,6 +119,7 @@ pub struct LockManager<M: LockMode = StdMode> {
     state: Mutex<State<M>>,
     cond: Condvar,
     policy: DeadlockPolicy,
+    trace: Mutex<Option<Arc<TraceCollector>>>,
 }
 
 impl<M: LockMode> Default for LockManager<M> {
@@ -147,12 +149,25 @@ impl<M: LockMode> LockManager<M> {
             }),
             cond: Condvar::new(),
             policy,
+            trace: Mutex::new(None),
         }
     }
 
     /// Creates a shared lock manager.
     pub fn shared(policy: DeadlockPolicy) -> Arc<Self> {
         Arc::new(Self::new(policy))
+    }
+
+    /// Attaches a trace collector; grants, waits and time-outs are
+    /// recorded as lock [`TraceEvent`]s.
+    pub fn set_trace(&self, trace: Arc<TraceCollector>) {
+        *self.trace.lock() = Some(trace);
+    }
+
+    fn emit(&self, tid: Tid, event: TraceEvent) {
+        if let Some(t) = self.trace.lock().as_ref() {
+            t.record(tid, event);
+        }
     }
 
     fn blockers(state: &State<M>, object: ObjectId, tid: Tid, mode: M) -> Vec<Tid> {
@@ -206,27 +221,32 @@ impl<M: LockMode> LockManager<M> {
         timeout: Duration,
     ) -> Result<(), LockError> {
         let deadline = Instant::now() + timeout;
+        let mut waited = false;
         let mut state = self.state.lock();
         loop {
             let blockers = Self::blockers(&state, object, tid, mode);
             if blockers.is_empty() {
                 Self::grant(&mut state, object, tid, mode);
                 state.waits_for.remove(&tid);
+                drop(state);
+                self.emit(tid, TraceEvent::LockAcquire { object, mode: format!("{mode:?}") });
                 return Ok(());
             }
-            if self.policy == DeadlockPolicy::Detect
-                && Self::creates_cycle(&state, tid, &blockers)
+            if self.policy == DeadlockPolicy::Detect && Self::creates_cycle(&state, tid, &blockers)
             {
                 state.waits_for.remove(&tid);
                 return Err(LockError::Deadlock(object));
             }
             state.waits_for.insert(tid, blockers.into_iter().collect());
-            let timed_out = self
-                .cond
-                .wait_until(&mut state, deadline)
-                .timed_out();
+            if !waited {
+                waited = true;
+                self.emit(tid, TraceEvent::LockWait { object, mode: format!("{mode:?}") });
+            }
+            let timed_out = self.cond.wait_until(&mut state, deadline).timed_out();
             if timed_out {
                 state.waits_for.remove(&tid);
+                drop(state);
+                self.emit(tid, TraceEvent::LockTimeout { object, mode: format!("{mode:?}") });
                 return Err(LockError::Timeout(object));
             }
         }
@@ -247,12 +267,7 @@ impl<M: LockMode> LockManager<M> {
     /// `IsObjectLocked` (Table 3-1): whether *any* transaction holds a lock
     /// on `object`. Added to the server library for the weak queue (§4.2).
     pub fn is_locked(&self, object: ObjectId) -> bool {
-        self.state
-            .lock()
-            .holders
-            .get(&object)
-            .map(|h| !h.is_empty())
-            .unwrap_or(false)
+        self.state.lock().holders.get(&object).map(|h| !h.is_empty()).unwrap_or(false)
     }
 
     /// Whether `tid` itself holds a lock on `object` in any mode.
@@ -267,22 +282,14 @@ impl<M: LockMode> LockManager<M> {
 
     /// Current holders of `object`.
     pub fn holders(&self, object: ObjectId) -> Vec<(Tid, M)> {
-        self.state
-            .lock()
-            .holders
-            .get(&object)
-            .cloned()
-            .unwrap_or_default()
+        self.state.lock().holders.get(&object).cloned().unwrap_or_default()
     }
 
     /// Objects locked by `tid`.
     pub fn locked_by(&self, tid: Tid) -> Vec<ObjectId> {
         let state = self.state.lock();
-        let mut v: Vec<_> = state
-            .by_tx
-            .get(&tid)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default();
+        let mut v: Vec<_> =
+            state.by_tx.get(&tid).map(|s| s.iter().copied().collect()).unwrap_or_default();
         v.sort();
         v
     }
@@ -454,9 +461,7 @@ mod tests {
         });
         std::thread::sleep(Duration::from_millis(30));
         // tid(1) → obj(2) closes the cycle and is refused immediately.
-        let err = lm
-            .lock(tid(1), obj(2), StdMode::Exclusive, Duration::from_secs(5))
-            .unwrap_err();
+        let err = lm.lock(tid(1), obj(2), StdMode::Exclusive, Duration::from_secs(5)).unwrap_err();
         assert_eq!(err, LockError::Deadlock(obj(2)));
         // Resolving by aborting tid(1) lets the waiter through.
         lm.release_all(tid(1));
@@ -514,8 +519,7 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..50 {
                         let me = tid(t * 1000 + i);
-                        lm.lock(me, obj(1), StdMode::Exclusive, Duration::from_secs(10))
-                            .unwrap();
+                        lm.lock(me, obj(1), StdMode::Exclusive, Duration::from_secs(10)).unwrap();
                         {
                             let mut c = counter.lock();
                             *c += 1;

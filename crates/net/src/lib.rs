@@ -22,7 +22,8 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use tabs_kernel::{NodeId, PerfCounters, PrimitiveOp};
+use tabs_kernel::{NodeId, PerfCounters, PrimitiveOp, Tid};
+use tabs_obs::{TraceCollector, TraceEvent};
 
 /// Errors surfaced to network users.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +48,12 @@ impl std::fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
+impl From<NetError> for tabs_proto::ServerError {
+    fn from(e: NetError) -> Self {
+        tabs_proto::ServerError::Other(e.to_string())
+    }
+}
+
 /// An unreliable, unordered packet (used by two-phase commit).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
@@ -67,8 +74,11 @@ pub struct SessionMsg {
     pub body: Vec<u8>,
 }
 
-/// Tunable network behaviour.
+/// Tunable network behaviour. Construct with [`NetConfig::default`] and
+/// the builder methods; the struct is `#[non_exhaustive]` so new knobs can
+/// be added without breaking callers.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct NetConfig {
     /// Probability in `[0, 1]` that a datagram is silently dropped.
     pub datagram_loss: f64,
@@ -88,6 +98,32 @@ impl Default for NetConfig {
             session_latency: Duration::ZERO,
             seed: 0x7ab5,
         }
+    }
+}
+
+impl NetConfig {
+    /// Sets the probability in `[0, 1]` that a datagram is silently lost.
+    pub fn datagram_loss(mut self, loss: f64) -> Self {
+        self.datagram_loss = loss;
+        self
+    }
+
+    /// Sets the added one-way datagram delay.
+    pub fn datagram_latency(mut self, latency: Duration) -> Self {
+        self.datagram_latency = latency;
+        self
+    }
+
+    /// Sets the added one-way session-message delay.
+    pub fn session_latency(mut self, latency: Duration) -> Self {
+        self.session_latency = latency;
+        self
+    }
+
+    /// Sets the seed of the deterministic loss process.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 }
 
@@ -118,9 +154,7 @@ pub struct Network {
 
 impl std::fmt::Debug for Network {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Network")
-            .field("nodes", &self.inner.nodes.lock().len())
-            .finish()
+        f.debug_struct("Network").field("nodes", &self.inner.nodes.lock().len()).finish()
     }
 }
 
@@ -153,16 +187,14 @@ impl Network {
     pub fn attach(&self, node: NodeId, perf: Arc<PerfCounters>) -> Endpoint {
         let (datagram_tx, datagram_rx) = channel::unbounded();
         let (session_tx, session_rx) = channel::unbounded();
-        self.inner
-            .nodes
-            .lock()
-            .insert(node, Inbox { datagram_tx, session_tx });
+        self.inner.nodes.lock().insert(node, Inbox { datagram_tx, session_tx });
         Endpoint {
             node,
             inner: Arc::clone(&self.inner),
             datagram_rx,
             session_rx,
             perf,
+            trace: Mutex::new(None),
         }
     }
 
@@ -211,6 +243,7 @@ pub struct Endpoint {
     datagram_rx: Receiver<Packet>,
     session_rx: Receiver<SessionMsg>,
     perf: Arc<PerfCounters>,
+    trace: Mutex<Option<Arc<TraceCollector>>>,
 }
 
 impl std::fmt::Debug for Endpoint {
@@ -223,6 +256,19 @@ impl Endpoint {
     /// The node this endpoint belongs to.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// Attaches a trace collector; wire traffic through this endpoint is
+    /// recorded as datagram / session [`TraceEvent`]s (the wire cannot
+    /// attribute traffic to transactions, so records carry [`Tid::NULL`]).
+    pub fn set_trace(&self, trace: Arc<TraceCollector>) {
+        *self.trace.lock() = Some(trace);
+    }
+
+    fn emit(&self, event: TraceEvent) {
+        if let Some(t) = self.trace.lock().as_ref() {
+            t.record(Tid::NULL, event);
+        }
     }
 
     fn deliver_delayed<T: Send + 'static>(tx: Sender<T>, value: T, delay: Duration) {
@@ -247,6 +293,7 @@ impl Endpoint {
             return Err(NetError::Detached);
         }
         self.perf.record(PrimitiveOp::Datagram);
+        self.emit(TraceEvent::DatagramSend { to, bytes: body.len() });
         if self.inner.partitioned(self.node, to) {
             return Ok(()); // dropped on the floor, as on a real wire
         }
@@ -267,14 +314,8 @@ impl Endpoint {
 
     /// Broadcasts a datagram to every other attached node (name lookup).
     pub fn broadcast(&self, body: Vec<u8>) -> Result<(), NetError> {
-        let targets: Vec<NodeId> = self
-            .inner
-            .nodes
-            .lock()
-            .keys()
-            .copied()
-            .filter(|&n| n != self.node)
-            .collect();
+        let targets: Vec<NodeId> =
+            self.inner.nodes.lock().keys().copied().filter(|&n| n != self.node).collect();
         for t in targets {
             self.send_datagram(t, body.clone())?;
         }
@@ -298,23 +339,30 @@ impl Endpoint {
             Some(inbox) => inbox.session_tx.clone(),
             None => return Err(NetError::NodeUnreachable(to)),
         };
+        self.emit(TraceEvent::SessionSend { to, bytes: body.len() });
         Self::deliver_delayed(tx, SessionMsg { from: self.node, body }, latency);
         Ok(())
     }
 
     /// Receives the next incoming datagram, waiting up to `timeout`.
     pub fn recv_datagram(&self, timeout: Duration) -> Option<Packet> {
-        self.datagram_rx.recv_timeout(timeout).ok()
+        let p = self.datagram_rx.recv_timeout(timeout).ok()?;
+        self.emit(TraceEvent::DatagramRecv { from: p.from, bytes: p.body.len() });
+        Some(p)
     }
 
     /// Receives the next incoming session message, waiting up to `timeout`.
     pub fn recv_session(&self, timeout: Duration) -> Option<SessionMsg> {
-        self.session_rx.recv_timeout(timeout).ok()
+        let m = self.session_rx.recv_timeout(timeout).ok()?;
+        self.emit(TraceEvent::SessionRecv { from: m.from, bytes: m.body.len() });
+        Some(m)
     }
 
     /// Non-blocking datagram receive.
     pub fn try_recv_datagram(&self) -> Option<Packet> {
-        self.datagram_rx.try_recv().ok()
+        let p = self.datagram_rx.try_recv().ok()?;
+        self.emit(TraceEvent::DatagramRecv { from: p.from, bytes: p.body.len() });
+        Some(p)
     }
 
     /// Non-blocking session receive.
@@ -388,10 +436,7 @@ mod tests {
         assert!(a.send_session(n(2), vec![]).is_ok());
         drop(b);
         net.detach(n(2));
-        assert_eq!(
-            a.send_session(n(2), vec![]),
-            Err(NetError::NodeUnreachable(n(2)))
-        );
+        assert_eq!(a.send_session(n(2), vec![]), Err(NetError::NodeUnreachable(n(2))));
         assert!(!a.is_reachable(n(2)));
     }
 
@@ -399,10 +444,7 @@ mod tests {
     fn partition_blocks_sessions_and_drops_datagrams() {
         let (net, a, b) = two_nodes();
         net.partition(n(1), n(2));
-        assert_eq!(
-            a.send_session(n(2), vec![]),
-            Err(NetError::Partitioned(n(1), n(2)))
-        );
+        assert_eq!(a.send_session(n(2), vec![]), Err(NetError::Partitioned(n(1), n(2))));
         a.send_datagram(n(2), vec![7]).unwrap(); // silently dropped
         assert!(b.recv_datagram(Duration::from_millis(30)).is_none());
         net.heal(n(1), n(2));

@@ -81,12 +81,8 @@ impl NameServer {
 
     /// `Register(Name, Type, Port, ObjectID)` (Table 3-3).
     pub fn register(&self, name: &str, type_name: &str, port: PortId, object: ObjectId) {
-        let entry = NameEntry {
-            name: name.to_string(),
-            type_name: type_name.to_string(),
-            port,
-            object,
-        };
+        let entry =
+            NameEntry { name: name.to_string(), type_name: type_name.to_string(), port, object };
         let mut st = self.state.lock();
         let entries = st.local.entry(name.to_string()).or_default();
         entries.retain(|e| !(e.port == port && e.object == object));
@@ -129,10 +125,7 @@ impl NameServer {
         // datagrams are unreliable, so the request is re-broadcast
         // periodically until the deadline.
         let transport = Arc::clone(&self.transport.lock());
-        let request = NsMsg::LookupRequest {
-            name: name.to_string(),
-            reply_to: self.node,
-        };
+        let request = NsMsg::LookupRequest { name: name.to_string(), reply_to: self.node };
         transport.broadcast(request.clone());
         let deadline = Instant::now() + max_wait;
         let rebroadcast_every = Duration::from_millis(100);
@@ -190,9 +183,7 @@ impl NameServer {
                 for e in entries {
                     // Replace stale entries from the same node (its ports
                     // changed across a crash), then add.
-                    slot.retain(|x| {
-                        !(x.port.node == e.port.node && x.object == e.object)
-                    });
+                    slot.retain(|x| !(x.port.node == e.port.node && x.object == e.object));
                     slot.push(e);
                 }
                 self.cond.notify_all();

@@ -1,0 +1,256 @@
+//! The per-node trace collector.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use tabs_kernel::{NodeId, PageId, PortId, PrimitiveOp, Tid, TraceSink};
+
+use crate::event::TraceEvent;
+
+/// Default ring capacity used by cluster boot when none is configured.
+pub const DEFAULT_TRACE_CAPACITY: usize = 64 * 1024;
+
+/// One recorded event, stamped by the collector.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Node whose collector recorded the event.
+    pub node: NodeId,
+    /// Per-collector sequence number (dense, starts at 0).
+    pub seq: u64,
+    /// Transaction the event belongs to ([`Tid::NULL`] if unattributed).
+    pub tid: Tid,
+    /// Monotonic timestamp; comparable across collectors in one process.
+    pub at: Instant,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+impl std::fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{} #{}] {} {}", self.node, self.seq, self.tid, self.event)
+    }
+}
+
+/// A bounded per-node event ring.
+///
+/// Writers claim a slot with a single atomic fetch-add on the cursor, then
+/// fill that slot under its own fine-grained lock — concurrent recorders
+/// never contend on a shared lock unless the ring wraps onto the same
+/// slot. When the ring is full the oldest records are overwritten;
+/// [`TraceCollector::dropped`] reports how many.
+pub struct TraceCollector {
+    node: NodeId,
+    epoch: Instant,
+    enabled: AtomicBool,
+    cursor: AtomicU64,
+    slots: Vec<Mutex<Option<TraceRecord>>>,
+}
+
+impl TraceCollector {
+    /// Creates a collector for `node` retaining up to `capacity` records.
+    pub fn new(node: NodeId, capacity: usize) -> Arc<Self> {
+        let capacity = capacity.max(1);
+        Arc::new(TraceCollector {
+            node,
+            epoch: Instant::now(),
+            enabled: AtomicBool::new(true),
+            cursor: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        })
+    }
+
+    /// The node this collector belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The collector's creation instant (timeline zero for rendering).
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Turns recording on or off; recording is on by default.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether events are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Records `event` on behalf of `tid`, stamping node, sequence number
+    /// and a monotonic timestamp.
+    pub fn record(&self, tid: Tid, event: TraceEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let record = TraceRecord { node: self.node, seq, tid, at: Instant::now(), event };
+        let slot = (seq % self.slots.len() as u64) as usize;
+        *self.slots[slot].lock() = Some(record);
+    }
+
+    /// Total events recorded since creation (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to ring wrap-around.
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Copies out the retained records in sequence order.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        let mut out: Vec<TraceRecord> =
+            self.slots.iter().filter_map(|s| s.lock().clone()).collect();
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// Discards every retained record (the sequence counter keeps going).
+    pub fn clear(&self) {
+        for slot in &self.slots {
+            *slot.lock() = None;
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceCollector")
+            .field("node", &self.node)
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+/// Adapts a [`TraceCollector`] to the kernel's [`TraceSink`].
+///
+/// The kernel sits below transaction management and cannot attribute pager
+/// or port activity to a transaction, so these events carry [`Tid::NULL`].
+pub struct KernelTraceBridge {
+    collector: Arc<TraceCollector>,
+}
+
+impl KernelTraceBridge {
+    /// Wraps `collector` for installation via `BufferPool::set_trace` /
+    /// `Kernel::set_trace`.
+    pub fn new(collector: Arc<TraceCollector>) -> Arc<Self> {
+        Arc::new(KernelTraceBridge { collector })
+    }
+}
+
+impl TraceSink for KernelTraceBridge {
+    fn page_in(&self, page: PageId, sequential: bool) {
+        self.collector.record(Tid::NULL, TraceEvent::PageIn { page, sequential });
+    }
+
+    fn page_out(&self, page: PageId) {
+        self.collector.record(Tid::NULL, TraceEvent::PageOut { page });
+    }
+
+    fn port_send(&self, port: PortId, class: PrimitiveOp, bytes: usize) {
+        self.collector.record(Tid::NULL, TraceEvent::PortSend { port, class, bytes });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(seq: u64) -> Tid {
+        Tid { node: NodeId(1), incarnation: 1, seq }
+    }
+
+    #[test]
+    fn records_are_stamped_and_ordered() {
+        let c = TraceCollector::new(NodeId(3), 16);
+        c.record(tid(1), TraceEvent::TxnBegin { parent: Tid::NULL });
+        c.record(tid(1), TraceEvent::TxnCommit);
+        let snap = c.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].seq, 0);
+        assert_eq!(snap[1].seq, 1);
+        assert_eq!(snap[0].node, NodeId(3));
+        assert!(snap[0].at <= snap[1].at);
+        assert_eq!(c.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let c = TraceCollector::new(NodeId(1), 4);
+        for i in 0..10 {
+            c.record(tid(i), TraceEvent::TxnCommit);
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap[0].seq, 6);
+        assert_eq!(c.recorded(), 10);
+        assert_eq!(c.dropped(), 6);
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let c = TraceCollector::new(NodeId(1), 4);
+        c.set_enabled(false);
+        c.record(tid(1), TraceEvent::TxnCommit);
+        assert!(c.snapshot().is_empty());
+        c.set_enabled(true);
+        c.record(tid(1), TraceEvent::TxnCommit);
+        assert_eq!(c.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_unique_seqs() {
+        let c = TraceCollector::new(NodeId(1), 1024);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        c.record(tid(t * 100 + i), TraceEvent::TxnCommit);
+                    }
+                });
+            }
+        });
+        let snap = c.snapshot();
+        assert_eq!(snap.len(), 800);
+        let mut seqs: Vec<u64> = snap.iter().map(|r| r.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 800, "sequence numbers are unique");
+    }
+
+    #[test]
+    fn bridge_attributes_to_null_tid() {
+        let c = TraceCollector::new(NodeId(2), 8);
+        let bridge = KernelTraceBridge::new(Arc::clone(&c));
+        let seg = tabs_kernel::SegmentId { node: NodeId(2), index: 0 };
+        bridge.page_in(PageId { segment: seg, page: 1 }, true);
+        bridge.page_out(PageId { segment: seg, page: 1 });
+        bridge.port_send(
+            PortId { node: NodeId(2), index: 5 },
+            PrimitiveOp::SmallContiguousMessage,
+            64,
+        );
+        let snap = c.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert!(snap.iter().all(|r| r.tid.is_null()));
+        assert_eq!(snap[0].event.label(), "page-in");
+        assert_eq!(snap[2].event.label(), "port-send");
+    }
+
+    #[test]
+    fn clear_keeps_counting() {
+        let c = TraceCollector::new(NodeId(1), 8);
+        c.record(tid(1), TraceEvent::TxnCommit);
+        c.clear();
+        assert!(c.snapshot().is_empty());
+        c.record(tid(2), TraceEvent::TxnCommit);
+        assert_eq!(c.snapshot()[0].seq, 1);
+    }
+}

@@ -1,0 +1,299 @@
+//! Typed trace events.
+
+use tabs_kernel::{NodeId, ObjectId, PageId, PortId, PrimitiveOp, Tid};
+
+/// A participant's answer to a coordinator's prepare request (§3.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vote {
+    /// Prepared: updates are on stable storage, locks are held.
+    Yes,
+    /// Refused: the participant has aborted.
+    No,
+    /// Read-only optimization: no second phase needed at this site.
+    ReadOnly,
+}
+
+impl std::fmt::Display for Vote {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Vote::Yes => write!(f, "yes"),
+            Vote::No => write!(f, "no"),
+            Vote::ReadOnly => write!(f, "read-only"),
+        }
+    }
+}
+
+/// One observable step of the facility, attributed to a transaction (or
+/// [`Tid::NULL`] for traffic the layer cannot attribute).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A transaction began (`parent` is [`Tid::NULL`] for top-level ones).
+    TxnBegin {
+        /// Parent transaction, for subtransactions.
+        parent: Tid,
+    },
+    /// A transaction committed at this node.
+    TxnCommit,
+    /// A transaction aborted at this node.
+    TxnAbort,
+
+    /// A lock was granted.
+    LockAcquire {
+        /// Locked object.
+        object: ObjectId,
+        /// Requested mode (`Debug` form of the type-specific mode).
+        mode: String,
+    },
+    /// A lock request started waiting on an incompatible holder.
+    LockWait {
+        /// Contended object.
+        object: ObjectId,
+        /// Requested mode.
+        mode: String,
+    },
+    /// A lock wait exceeded its time-out (the paper's deadlock policy).
+    LockTimeout {
+        /// Contended object.
+        object: ObjectId,
+        /// Requested mode.
+        mode: String,
+    },
+
+    /// A record was appended to the write-ahead log.
+    LogAppend {
+        /// Log sequence number assigned to the record.
+        lsn: u64,
+    },
+    /// The log was forced to stable storage.
+    LogForce {
+        /// Highest LSN guaranteed durable by this force.
+        lsn: u64,
+    },
+
+    /// A page was demand-paged in from disk.
+    PageIn {
+        /// Faulted page.
+        page: PageId,
+        /// Whether the fault was classified as sequential (Table 5-1).
+        sequential: bool,
+    },
+    /// A dirty page was written back (eviction or explicit flush).
+    PageOut {
+        /// Written page.
+        page: PageId,
+    },
+
+    /// A message was sent to a local port.
+    PortSend {
+        /// Destination port.
+        port: PortId,
+        /// Message class (small/large/pointer, Table 5-1).
+        class: PrimitiveOp,
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+
+    /// An inter-node datagram left this node.
+    DatagramSend {
+        /// Destination node.
+        to: NodeId,
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+    /// An inter-node datagram arrived at this node.
+    DatagramRecv {
+        /// Source node.
+        from: NodeId,
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+    /// A session (byte-stream) payload left this node.
+    SessionSend {
+        /// Destination node.
+        to: NodeId,
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+    /// A session payload arrived at this node.
+    SessionRecv {
+        /// Source node.
+        from: NodeId,
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+
+    /// Phase one: the coordinator asked a participant to prepare.
+    PrepareSend {
+        /// Participant node.
+        to: NodeId,
+    },
+    /// Phase one: a participant received the prepare request.
+    PrepareRecv {
+        /// Coordinator node.
+        from: NodeId,
+    },
+    /// Phase one: a participant answered the coordinator.
+    VoteSend {
+        /// Coordinator node.
+        to: NodeId,
+        /// The participant's vote.
+        vote: Vote,
+    },
+    /// Phase one: the coordinator received a participant's vote.
+    VoteRecv {
+        /// Participant node.
+        from: NodeId,
+        /// The participant's vote.
+        vote: Vote,
+    },
+    /// Phase two: the coordinator announced its decision.
+    DecisionSend {
+        /// Participant node.
+        to: NodeId,
+        /// True for commit, false for abort.
+        commit: bool,
+    },
+    /// Phase two: a participant received the decision.
+    DecisionRecv {
+        /// Coordinator node.
+        from: NodeId,
+        /// True for commit, false for abort.
+        commit: bool,
+    },
+    /// Phase two: a participant acknowledged the decision.
+    AckSend {
+        /// Coordinator node.
+        to: NodeId,
+    },
+    /// Phase two: the coordinator received an acknowledgement.
+    AckRecv {
+        /// Participant node.
+        from: NodeId,
+    },
+}
+
+impl TraceEvent {
+    /// Short stable label for filtering and rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceEvent::TxnBegin { .. } => "txn-begin",
+            TraceEvent::TxnCommit => "txn-commit",
+            TraceEvent::TxnAbort => "txn-abort",
+            TraceEvent::LockAcquire { .. } => "lock-acquire",
+            TraceEvent::LockWait { .. } => "lock-wait",
+            TraceEvent::LockTimeout { .. } => "lock-timeout",
+            TraceEvent::LogAppend { .. } => "log-append",
+            TraceEvent::LogForce { .. } => "log-force",
+            TraceEvent::PageIn { .. } => "page-in",
+            TraceEvent::PageOut { .. } => "page-out",
+            TraceEvent::PortSend { .. } => "port-send",
+            TraceEvent::DatagramSend { .. } => "datagram-send",
+            TraceEvent::DatagramRecv { .. } => "datagram-recv",
+            TraceEvent::SessionSend { .. } => "session-send",
+            TraceEvent::SessionRecv { .. } => "session-recv",
+            TraceEvent::PrepareSend { .. } => "2pc-prepare-send",
+            TraceEvent::PrepareRecv { .. } => "2pc-prepare-recv",
+            TraceEvent::VoteSend { .. } => "2pc-vote-send",
+            TraceEvent::VoteRecv { .. } => "2pc-vote-recv",
+            TraceEvent::DecisionSend { .. } => "2pc-decision-send",
+            TraceEvent::DecisionRecv { .. } => "2pc-decision-recv",
+            TraceEvent::AckSend { .. } => "2pc-ack-send",
+            TraceEvent::AckRecv { .. } => "2pc-ack-recv",
+        }
+    }
+
+    /// Whether this is one of the two-phase-commit transitions.
+    pub fn is_two_phase_commit(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::PrepareSend { .. }
+                | TraceEvent::PrepareRecv { .. }
+                | TraceEvent::VoteSend { .. }
+                | TraceEvent::VoteRecv { .. }
+                | TraceEvent::DecisionSend { .. }
+                | TraceEvent::DecisionRecv { .. }
+                | TraceEvent::AckSend { .. }
+                | TraceEvent::AckRecv { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceEvent::TxnBegin { parent } if parent.is_null() => write!(f, "begin"),
+            TraceEvent::TxnBegin { parent } => write!(f, "begin (child of {parent})"),
+            TraceEvent::TxnCommit => write!(f, "commit"),
+            TraceEvent::TxnAbort => write!(f, "abort"),
+            TraceEvent::LockAcquire { object, mode } => {
+                write!(f, "lock {object} {mode}")
+            }
+            TraceEvent::LockWait { object, mode } => {
+                write!(f, "lock-wait {object} {mode}")
+            }
+            TraceEvent::LockTimeout { object, mode } => {
+                write!(f, "lock-timeout {object} {mode}")
+            }
+            TraceEvent::LogAppend { lsn } => write!(f, "log-append lsn={lsn}"),
+            TraceEvent::LogForce { lsn } => write!(f, "LOG-FORCE lsn={lsn}"),
+            TraceEvent::PageIn { page, sequential } => {
+                let kind = if *sequential { "seq" } else { "rand" };
+                write!(f, "page-in {page} ({kind})")
+            }
+            TraceEvent::PageOut { page } => write!(f, "page-out {page}"),
+            TraceEvent::PortSend { port, bytes, .. } => {
+                write!(f, "port-send {port} {bytes}B")
+            }
+            TraceEvent::DatagramSend { to, bytes } => {
+                write!(f, "datagram→{to} {bytes}B")
+            }
+            TraceEvent::DatagramRecv { from, bytes } => {
+                write!(f, "datagram←{from} {bytes}B")
+            }
+            TraceEvent::SessionSend { to, bytes } => {
+                write!(f, "session→{to} {bytes}B")
+            }
+            TraceEvent::SessionRecv { from, bytes } => {
+                write!(f, "session←{from} {bytes}B")
+            }
+            TraceEvent::PrepareSend { to } => write!(f, "PREPARE→{to}"),
+            TraceEvent::PrepareRecv { from } => write!(f, "PREPARE←{from}"),
+            TraceEvent::VoteSend { to, vote } => write!(f, "VOTE({vote})→{to}"),
+            TraceEvent::VoteRecv { from, vote } => write!(f, "VOTE({vote})←{from}"),
+            TraceEvent::DecisionSend { to, commit } => {
+                write!(f, "{}→{to}", if *commit { "COMMIT" } else { "ABORT" })
+            }
+            TraceEvent::DecisionRecv { from, commit } => {
+                write!(f, "{}←{from}", if *commit { "COMMIT" } else { "ABORT" })
+            }
+            TraceEvent::AckSend { to } => write!(f, "ACK→{to}"),
+            TraceEvent::AckRecv { from } => write!(f, "ACK←{from}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabs_kernel::SegmentId;
+
+    #[test]
+    fn labels_and_classification() {
+        let e = TraceEvent::PrepareSend { to: NodeId(2) };
+        assert_eq!(e.label(), "2pc-prepare-send");
+        assert!(e.is_two_phase_commit());
+        assert!(!TraceEvent::TxnCommit.is_two_phase_commit());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let seg = SegmentId { node: NodeId(1), index: 0 };
+        let e =
+            TraceEvent::LockAcquire { object: ObjectId::new(seg, 8, 8), mode: "Exclusive".into() };
+        assert_eq!(e.to_string(), "lock n1s0+8:8 Exclusive");
+        assert_eq!(
+            TraceEvent::VoteSend { to: NodeId(1), vote: Vote::ReadOnly }.to_string(),
+            "VOTE(read-only)→n1"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Transaction-trace observability for the TABS facility.
+//!
+//! The paper evaluates TABS by counting primitive operations (Table 5-1)
+//! and attributing them to benchmark transactions (Tables 5-2…5-4). This
+//! crate generalizes that instrumentation into a first-class observability
+//! layer:
+//!
+//! - [`TraceEvent`] / [`TraceRecord`] — typed events covering the whole
+//!   transaction lifecycle: begin/commit/abort, lock acquire/wait/timeout,
+//!   log append/force (with LSN), page-in/page-out, datagram and session
+//!   traffic, and every two-phase-commit transition.
+//! - [`TraceCollector`] — a per-node bounded ring buffer. Writers claim a
+//!   slot with one atomic fetch-add (no global lock on the hot path) and
+//!   each record is stamped with its node, a per-node sequence number and
+//!   a monotonic timestamp, so traces from several nodes merge into one
+//!   causally ordered timeline.
+//! - [`Metrics`] — a named counter / latency-histogram registry that wraps
+//!   the node's [`PerfCounters`], so the nine Table 5-1 counters and any
+//!   new metrics are read from one source of truth.
+//! - [`Timeline`] — a `Tid`-indexed reconstructor that merges collectors
+//!   and renders per-transaction swimlane views
+//!   ([`Timeline::render_swimlane`]).
+//! - [`KernelTraceBridge`] — adapts a collector to the kernel's
+//!   [`tabs_kernel::TraceSink`], attributing pager and port events (which
+//!   the kernel cannot associate with a transaction) to [`Tid::NULL`].
+
+mod collector;
+mod event;
+mod metrics;
+mod timeline;
+
+pub use collector::{KernelTraceBridge, TraceCollector, TraceRecord, DEFAULT_TRACE_CAPACITY};
+pub use event::{TraceEvent, Vote};
+pub use metrics::{Counter, Histogram, Metrics, MetricsSnapshot};
+pub use timeline::Timeline;
+
+pub use tabs_kernel::{PerfCounters, PerfSnapshot, PrimitiveOp};

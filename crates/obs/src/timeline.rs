@@ -1,0 +1,220 @@
+//! Merging per-node traces into per-transaction timelines.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+use tabs_kernel::{NodeId, Tid};
+
+use crate::collector::{TraceCollector, TraceRecord};
+use crate::event::TraceEvent;
+
+/// A merged, time-ordered view over one or more collectors' records.
+pub struct Timeline {
+    records: Vec<TraceRecord>,
+    nodes: Vec<NodeId>,
+}
+
+impl Timeline {
+    /// Merges snapshots of `collectors` into one timeline, ordered by
+    /// monotonic timestamp (per-node sequence breaks ties).
+    pub fn from_collectors(collectors: &[Arc<TraceCollector>]) -> Self {
+        let mut records: Vec<TraceRecord> = collectors.iter().flat_map(|c| c.snapshot()).collect();
+        records.sort_by(|a, b| a.at.cmp(&b.at).then(a.node.cmp(&b.node)).then(a.seq.cmp(&b.seq)));
+        let mut nodes: Vec<NodeId> = collectors.iter().map(|c| c.node()).collect();
+        nodes.sort();
+        nodes.dedup();
+        Timeline { records, nodes }
+    }
+
+    /// Builds a timeline from already-captured records (for tests).
+    pub fn from_records(mut records: Vec<TraceRecord>) -> Self {
+        records.sort_by(|a, b| a.at.cmp(&b.at).then(a.node.cmp(&b.node)).then(a.seq.cmp(&b.seq)));
+        let mut nodes: Vec<NodeId> = records.iter().map(|r| r.node).collect();
+        nodes.sort();
+        nodes.dedup();
+        Timeline { records, nodes }
+    }
+
+    /// Every record, time-ordered.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// The nodes contributing to this timeline.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Distinct non-null transactions observed, in first-seen order.
+    pub fn tids(&self) -> Vec<Tid> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for r in &self.records {
+            if !r.tid.is_null() && seen.insert(r.tid) {
+                out.push(r.tid);
+            }
+        }
+        out
+    }
+
+    /// Time-ordered records attributed to `tid`.
+    pub fn for_tid(&self, tid: Tid) -> Vec<&TraceRecord> {
+        self.records.iter().filter(|r| r.tid == tid).collect()
+    }
+
+    /// Index (within [`Timeline::for_tid`]) of the first record of `tid`
+    /// on `node` whose event matches `pred`.
+    pub fn position<F>(&self, tid: Tid, node: NodeId, pred: F) -> Option<usize>
+    where
+        F: Fn(&TraceEvent) -> bool,
+    {
+        self.for_tid(tid).iter().position(|r| r.node == node && pred(&r.event))
+    }
+
+    /// Renders the transaction's events as one swimlane per node.
+    ///
+    /// Each row is one event: a relative timestamp, one column per node
+    /// (the owning node's column carries the event, others a rule), so
+    /// 2PC message flow reads as left/right hops between lanes.
+    pub fn render_swimlane(&self, tid: Tid) -> String {
+        let records = self.for_tid(tid);
+        let mut out = String::new();
+        out.push_str(&format!("transaction {tid}\n"));
+        if records.is_empty() {
+            out.push_str("  (no trace records)\n");
+            return out;
+        }
+        let width = self
+            .nodes
+            .iter()
+            .map(|n| {
+                records
+                    .iter()
+                    .filter(|r| r.node == *n)
+                    .map(|r| r.event.to_string().len())
+                    .max()
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let zero: Instant = records[0].at;
+
+        out.push_str(&format!("{:>10} ", "µs"));
+        for n in &self.nodes {
+            out.push_str(&format!("| {:^width$} ", n.to_string()));
+        }
+        out.push('\n');
+        out.push_str(&format!("{:->10}-", ""));
+        for _ in &self.nodes {
+            out.push_str(&format!("+-{:-<width$}-", ""));
+        }
+        out.push('\n');
+
+        for r in &records {
+            let micros = r.at.duration_since(zero).as_micros();
+            out.push_str(&format!("{micros:>10} "));
+            for n in &self.nodes {
+                if r.node == *n {
+                    out.push_str(&format!("| {:^width$} ", r.event.to_string()));
+                } else {
+                    out.push_str(&format!("| {:^width$} ", "·"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders swimlanes for every transaction on the timeline.
+    pub fn render_all(&self) -> String {
+        let tids = self.tids();
+        if tids.is_empty() {
+            return "no transactions traced\n".to_string();
+        }
+        tids.iter().map(|t| self.render_swimlane(*t)).collect::<Vec<_>>().join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Vote;
+
+    fn tid() -> Tid {
+        Tid { node: NodeId(1), incarnation: 1, seq: 9 }
+    }
+
+    fn two_node_2pc() -> (Arc<TraceCollector>, Arc<TraceCollector>) {
+        let c1 = TraceCollector::new(NodeId(1), 64);
+        let c2 = TraceCollector::new(NodeId(2), 64);
+        let t = tid();
+        c1.record(t, TraceEvent::TxnBegin { parent: Tid::NULL });
+        c1.record(t, TraceEvent::PrepareSend { to: NodeId(2) });
+        c2.record(t, TraceEvent::PrepareRecv { from: NodeId(1) });
+        c2.record(t, TraceEvent::LogForce { lsn: 4 });
+        c2.record(t, TraceEvent::VoteSend { to: NodeId(1), vote: Vote::Yes });
+        c1.record(t, TraceEvent::VoteRecv { from: NodeId(2), vote: Vote::Yes });
+        c1.record(t, TraceEvent::DecisionSend { to: NodeId(2), commit: true });
+        c2.record(t, TraceEvent::DecisionRecv { from: NodeId(1), commit: true });
+        c2.record(t, TraceEvent::AckSend { to: NodeId(1) });
+        c1.record(t, TraceEvent::AckRecv { from: NodeId(2) });
+        c1.record(t, TraceEvent::TxnCommit);
+        (c1, c2)
+    }
+
+    #[test]
+    fn merge_preserves_causal_order() {
+        let (c1, c2) = two_node_2pc();
+        let tl = Timeline::from_collectors(&[c1, c2]);
+        let t = tid();
+        assert_eq!(tl.tids(), vec![t]);
+        let order = [
+            tl.position(t, NodeId(1), |e| matches!(e, TraceEvent::PrepareSend { .. })),
+            tl.position(t, NodeId(2), |e| matches!(e, TraceEvent::PrepareRecv { .. })),
+            tl.position(t, NodeId(2), |e| matches!(e, TraceEvent::VoteSend { .. })),
+            tl.position(t, NodeId(1), |e| matches!(e, TraceEvent::VoteRecv { .. })),
+            tl.position(t, NodeId(1), |e| matches!(e, TraceEvent::DecisionSend { .. })),
+            tl.position(t, NodeId(2), |e| matches!(e, TraceEvent::DecisionRecv { .. })),
+            tl.position(t, NodeId(2), |e| matches!(e, TraceEvent::AckSend { .. })),
+            tl.position(t, NodeId(1), |e| matches!(e, TraceEvent::AckRecv { .. })),
+        ];
+        let order: Vec<usize> = order.into_iter().map(|p| p.unwrap()).collect();
+        for pair in order.windows(2) {
+            assert!(pair[0] < pair[1], "2PC phases out of order: {order:?}");
+        }
+    }
+
+    #[test]
+    fn swimlane_shows_both_lanes() {
+        let (c1, c2) = two_node_2pc();
+        let tl = Timeline::from_collectors(&[c1, c2]);
+        let text = tl.render_swimlane(tid());
+        assert!(text.contains("n1"));
+        assert!(text.contains("n2"));
+        assert!(text.contains("PREPARE→n2"));
+        assert!(text.contains("VOTE(yes)←n2"));
+        assert!(text.contains("LOG-FORCE lsn=4"));
+        assert!(text.contains("commit"));
+    }
+
+    #[test]
+    fn unknown_tid_renders_empty_lane() {
+        let (c1, _) = two_node_2pc();
+        let tl = Timeline::from_collectors(&[c1]);
+        let text = tl.render_swimlane(Tid { node: NodeId(9), incarnation: 1, seq: 1 });
+        assert!(text.contains("no trace records"));
+    }
+
+    #[test]
+    fn tids_skips_null_and_dedups() {
+        let c = TraceCollector::new(NodeId(1), 16);
+        c.record(Tid::NULL, TraceEvent::LogForce { lsn: 1 });
+        c.record(tid(), TraceEvent::TxnBegin { parent: Tid::NULL });
+        c.record(tid(), TraceEvent::TxnCommit);
+        let tl = Timeline::from_collectors(&[c]);
+        assert_eq!(tl.tids(), vec![tid()]);
+        assert_eq!(tl.records().len(), 3);
+    }
+}

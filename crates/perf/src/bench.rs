@@ -94,10 +94,7 @@ pub struct BenchWorld {
 impl BenchWorld {
     /// Boots the three-node benchmark cluster with all arrays in place.
     pub fn new() -> Self {
-        let cluster = Cluster::with_config(ClusterConfig {
-            pool_pages: POOL_PAGES,
-            ..Default::default()
-        });
+        let cluster = Cluster::with_config(ClusterConfig::default().pool_pages(POOL_PAGES));
         let mut nodes = Vec::new();
         let mut servers = Vec::new();
         for i in 1..=3u16 {
@@ -106,12 +103,9 @@ impl BenchWorld {
                 IntArrayServer::spawn(&node, &format!("small{i}"), 100).expect("small array");
             servers.push(small);
             if i <= 2 {
-                let big = IntArrayServer::spawn(
-                    &node,
-                    &format!("big{i}"),
-                    BIG_PAGES * CELLS_PER_PAGE,
-                )
-                .expect("big array");
+                let big =
+                    IntArrayServer::spawn(&node, &format!("big{i}"), BIG_PAGES * CELLS_PER_PAGE)
+                        .expect("big array");
                 servers.push(big);
             }
             node.recover().expect("recovery");
@@ -213,8 +207,8 @@ impl BenchResult {
     /// Total per-transaction counts (pre-commit + commit).
     pub fn total_counts(&self) -> [f64; 9] {
         let mut t = [0.0; 9];
-        for i in 0..9 {
-            t[i] = self.pre_counts[i] + self.commit_counts[i];
+        for (i, slot) in t.iter_mut().enumerate() {
+            *slot = self.pre_counts[i] + self.commit_counts[i];
         }
         t
     }
@@ -222,8 +216,8 @@ impl BenchResult {
 
 fn snapshot_to_f(delta: PerfSnapshot) -> [f64; 9] {
     let mut out = [0.0; 9];
-    for i in 0..9 {
-        out[i] = delta.0[i] as f64;
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = delta.0[i] as f64;
     }
     out
 }
@@ -250,7 +244,7 @@ pub fn run(bench: &Benchmark, world: &BenchWorld, warmup: u32, iters: u32) -> Be
             continue;
         }
         let s1 = world.cluster.perf_all();
-        if !world.app.end_transaction(tid).unwrap_or(false) {
+        if !world.app.end_transaction(tid).is_ok_and(|o| o.is_committed()) {
             continue;
         }
         elapsed += t0.elapsed();
@@ -435,10 +429,7 @@ pub fn benchmarks() -> Vec<Benchmark> {
 /// Runs every benchmark against one shared world.
 pub fn run_all(warmup: u32, iters: u32) -> Vec<BenchResult> {
     let world = BenchWorld::new();
-    let results = benchmarks()
-        .iter()
-        .map(|b| run(b, &world, warmup, iters))
-        .collect();
+    let results = benchmarks().iter().map(|b| run(b, &world, warmup, iters)).collect();
     world.shutdown();
     results
 }
@@ -487,10 +478,7 @@ mod tests {
         let seq = run(by_name("1 Local Read, Seq. Paging"), &world, 5, 20);
         let t = seq.total_counts();
         let seq_reads = t[PrimitiveOp::SequentialRead as usize];
-        assert!(
-            seq_reads > 0.5,
-            "sequential paging reads faulted ({seq_reads}/txn)"
-        );
+        assert!(seq_reads > 0.5, "sequential paging reads faulted ({seq_reads}/txn)");
 
         let rnd = run(by_name("1 Local Read, Random Paging"), &world, 5, 20);
         let tr = rnd.total_counts();

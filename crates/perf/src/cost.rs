@@ -19,19 +19,12 @@ impl CostTable {
 
     /// Weighted sum over integer counts: the paper's predicted system time.
     pub fn predict(&self, counts: &PerfSnapshot) -> f64 {
-        counts
-            .iter()
-            .map(|(op, n)| self.cost(op) * n as f64)
-            .sum()
+        counts.iter().map(|(op, n)| self.cost(op) * n as f64).sum()
     }
 
     /// Weighted sum over fractional per-transaction counts.
     pub fn predict_f(&self, counts: &[f64; 9]) -> f64 {
-        counts
-            .iter()
-            .zip(self.ms.iter())
-            .map(|(n, c)| n * c)
-            .sum()
+        counts.iter().zip(self.ms.iter()).map(|(n, c)| n * c).sum()
     }
 }
 

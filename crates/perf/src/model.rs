@@ -35,10 +35,7 @@ pub fn improved_counts(result: &BenchResult) -> [f64; 9] {
     c[PrimitiveOp::LargeContiguousMessage as usize] = 0.0;
     // Distributed write commit overlapped with succeeding transactions:
     // the phase-2 datagrams leave the critical path.
-    if matches!(
-        result.commit_class,
-        CommitClass::TwoNodeWrite | CommitClass::ThreeNodeWrite
-    ) {
+    if matches!(result.commit_class, CommitClass::TwoNodeWrite | CommitClass::ThreeNodeWrite) {
         c[PrimitiveOp::Datagram as usize] /= 2.0;
     }
     c
@@ -100,14 +97,8 @@ pub fn conclusions_model() -> Vec<(String, f64)> {
             "5 ops x 2 non-resident page updates (local)".to_string(),
             paging * ELAPSED_OVER_PREDICTED,
         ),
-        (
-            "same, data resident in main memory".to_string(),
-            resident * ELAPSED_OVER_PREDICTED,
-        ),
-        (
-            "increment if operations were remote".to_string(),
-            remote_extra * ELAPSED_OVER_PREDICTED,
-        ),
+        ("same, data resident in main memory".to_string(), resident * ELAPSED_OVER_PREDICTED),
+        ("increment if operations were remote".to_string(), remote_extra * ELAPSED_OVER_PREDICTED),
     ]
 }
 

@@ -26,20 +26,118 @@ pub struct PaperTimes {
 
 /// Table 5-4 as published.
 pub const TABLE_5_4: [PaperTimes; 14] = [
-    PaperTimes { name: "1 Local Read, No Paging", predicted: 53.0, tabs_process: 41.0, elapsed: 110.0, improved: 107.0, new_primitives: 67.0 },
-    PaperTimes { name: "5 Local Read, No Paging", predicted: 157.0, tabs_process: 41.0, elapsed: 217.0, improved: 213.0, new_primitives: 80.0 },
-    PaperTimes { name: "1 Local Read, Seq. Paging", predicted: 71.0, tabs_process: 41.0, elapsed: 126.0, improved: 123.0, new_primitives: 75.0 },
-    PaperTimes { name: "1 Local Read, Random Paging", predicted: 81.0, tabs_process: 41.0, elapsed: 140.0, improved: 137.0, new_primitives: 98.0 },
-    PaperTimes { name: "1 Local Write, No Paging", predicted: 156.0, tabs_process: 83.0, elapsed: 247.0, improved: 228.0, new_primitives: 136.0 },
-    PaperTimes { name: "5 Local Write, No Paging", predicted: 302.0, tabs_process: 119.0, elapsed: 467.0, improved: 424.0, new_primitives: 225.0 },
-    PaperTimes { name: "1 Local Write, Seq. Paging", predicted: 232.0, tabs_process: 104.0, elapsed: 371.0, improved: 345.0, new_primitives: 249.0 },
-    PaperTimes { name: "1 Lcl Rd, 1 Rem Rd, No Paging", predicted: 306.0, tabs_process: 223.0, elapsed: 469.0, improved: 459.0, new_primitives: 228.0 },
-    PaperTimes { name: "1 Lcl Rd, 5 Rem Rd, No Paging", predicted: 662.0, tabs_process: 368.0, elapsed: 829.0, improved: 819.0, new_primitives: 268.0 },
-    PaperTimes { name: "1 Lcl Rd, 1 Rem Rd, Seq. Paging", predicted: 341.0, tabs_process: 226.0, elapsed: 514.0, improved: 504.0, new_primitives: 257.0 },
-    PaperTimes { name: "1 Lcl Wr, 1 Rem Wr, No Paging", predicted: 697.0, tabs_process: 407.0, elapsed: 989.0, improved: 775.0, new_primitives: 442.0 },
-    PaperTimes { name: "1 Lcl Wr, 1 Rem Wr, Seq. Paging", predicted: 864.0, tabs_process: 441.0, elapsed: 1125.0, improved: 873.0, new_primitives: 539.0 },
-    PaperTimes { name: "1 Lcl Rd, 1 Rem Rd, 1 Rem Rd, NP", predicted: 416.0, tabs_process: 381.0, elapsed: 621.0, improved: 611.0, new_primitives: 282.0 },
-    PaperTimes { name: "1 Lcl Wr, 1 Rem Wr, 1 Rem Wr, NP", predicted: 831.0, tabs_process: 670.0, elapsed: 1200.0, improved: 968.0, new_primitives: 534.0 },
+    PaperTimes {
+        name: "1 Local Read, No Paging",
+        predicted: 53.0,
+        tabs_process: 41.0,
+        elapsed: 110.0,
+        improved: 107.0,
+        new_primitives: 67.0,
+    },
+    PaperTimes {
+        name: "5 Local Read, No Paging",
+        predicted: 157.0,
+        tabs_process: 41.0,
+        elapsed: 217.0,
+        improved: 213.0,
+        new_primitives: 80.0,
+    },
+    PaperTimes {
+        name: "1 Local Read, Seq. Paging",
+        predicted: 71.0,
+        tabs_process: 41.0,
+        elapsed: 126.0,
+        improved: 123.0,
+        new_primitives: 75.0,
+    },
+    PaperTimes {
+        name: "1 Local Read, Random Paging",
+        predicted: 81.0,
+        tabs_process: 41.0,
+        elapsed: 140.0,
+        improved: 137.0,
+        new_primitives: 98.0,
+    },
+    PaperTimes {
+        name: "1 Local Write, No Paging",
+        predicted: 156.0,
+        tabs_process: 83.0,
+        elapsed: 247.0,
+        improved: 228.0,
+        new_primitives: 136.0,
+    },
+    PaperTimes {
+        name: "5 Local Write, No Paging",
+        predicted: 302.0,
+        tabs_process: 119.0,
+        elapsed: 467.0,
+        improved: 424.0,
+        new_primitives: 225.0,
+    },
+    PaperTimes {
+        name: "1 Local Write, Seq. Paging",
+        predicted: 232.0,
+        tabs_process: 104.0,
+        elapsed: 371.0,
+        improved: 345.0,
+        new_primitives: 249.0,
+    },
+    PaperTimes {
+        name: "1 Lcl Rd, 1 Rem Rd, No Paging",
+        predicted: 306.0,
+        tabs_process: 223.0,
+        elapsed: 469.0,
+        improved: 459.0,
+        new_primitives: 228.0,
+    },
+    PaperTimes {
+        name: "1 Lcl Rd, 5 Rem Rd, No Paging",
+        predicted: 662.0,
+        tabs_process: 368.0,
+        elapsed: 829.0,
+        improved: 819.0,
+        new_primitives: 268.0,
+    },
+    PaperTimes {
+        name: "1 Lcl Rd, 1 Rem Rd, Seq. Paging",
+        predicted: 341.0,
+        tabs_process: 226.0,
+        elapsed: 514.0,
+        improved: 504.0,
+        new_primitives: 257.0,
+    },
+    PaperTimes {
+        name: "1 Lcl Wr, 1 Rem Wr, No Paging",
+        predicted: 697.0,
+        tabs_process: 407.0,
+        elapsed: 989.0,
+        improved: 775.0,
+        new_primitives: 442.0,
+    },
+    PaperTimes {
+        name: "1 Lcl Wr, 1 Rem Wr, Seq. Paging",
+        predicted: 864.0,
+        tabs_process: 441.0,
+        elapsed: 1125.0,
+        improved: 873.0,
+        new_primitives: 539.0,
+    },
+    PaperTimes {
+        name: "1 Lcl Rd, 1 Rem Rd, 1 Rem Rd, NP",
+        predicted: 416.0,
+        tabs_process: 381.0,
+        elapsed: 621.0,
+        improved: 611.0,
+        new_primitives: 282.0,
+    },
+    PaperTimes {
+        name: "1 Lcl Wr, 1 Rem Wr, 1 Rem Wr, NP",
+        predicted: 831.0,
+        tabs_process: 670.0,
+        elapsed: 1200.0,
+        improved: 968.0,
+        new_primitives: 534.0,
+    },
 ];
 
 /// One Table 5-2 row of published pre-commit primitive counts. Column
@@ -55,20 +153,62 @@ pub struct PaperPreCounts {
 
 /// Table 5-2 as published (best-effort transcription).
 pub const TABLE_5_2: [PaperPreCounts; 14] = [
-    PaperPreCounts { name: "1 Local Read, No Paging", counts: [Some(1.0), None, Some(4.0), None, None, None] },
-    PaperPreCounts { name: "5 Local Read, No Paging", counts: [Some(5.0), None, Some(4.0), None, None, None] },
-    PaperPreCounts { name: "1 Local Read, Seq. Paging", counts: [Some(1.0), None, Some(4.0), None, Some(0.86), None] },
-    PaperPreCounts { name: "1 Local Read, Random Paging", counts: [Some(1.0), None, Some(4.0), None, None, Some(1.0)] },
-    PaperPreCounts { name: "1 Local Write, No Paging", counts: [Some(1.0), None, Some(6.0), Some(1.0), None, None] },
-    PaperPreCounts { name: "5 Local Write, No Paging", counts: [Some(5.0), None, Some(14.0), Some(5.0), None, None] },
-    PaperPreCounts { name: "1 Local Write, Seq. Paging", counts: [Some(1.0), None, Some(10.0), Some(1.0), None, None] },
-    PaperPreCounts { name: "1 Lcl Rd, 1 Rem Rd, No Paging", counts: [Some(1.0), Some(1.0), Some(8.0), None, None, None] },
-    PaperPreCounts { name: "1 Lcl Rd, 5 Rem Rd, No Paging", counts: [Some(1.0), Some(5.0), Some(8.0), None, None, None] },
-    PaperPreCounts { name: "1 Lcl Rd, 1 Rem Rd, Seq. Paging", counts: [Some(1.0), Some(1.0), Some(8.0), None, None, None] },
-    PaperPreCounts { name: "1 Lcl Wr, 1 Rem Wr, No Paging", counts: [Some(1.0), Some(1.0), Some(12.0), Some(2.0), None, None] },
-    PaperPreCounts { name: "1 Lcl Wr, 1 Rem Wr, Seq. Paging", counts: [Some(1.0), Some(1.0), Some(20.0), Some(2.0), None, None] },
-    PaperPreCounts { name: "1 Lcl Rd, 1 Rem Rd, 1 Rem Rd, NP", counts: [Some(1.0), Some(2.0), Some(11.0), Some(1.0), None, None] },
-    PaperPreCounts { name: "1 Lcl Wr, 1 Rem Wr, 1 Rem Wr, NP", counts: [Some(1.0), Some(2.0), Some(17.0), Some(3.0), None, None] },
+    PaperPreCounts {
+        name: "1 Local Read, No Paging",
+        counts: [Some(1.0), None, Some(4.0), None, None, None],
+    },
+    PaperPreCounts {
+        name: "5 Local Read, No Paging",
+        counts: [Some(5.0), None, Some(4.0), None, None, None],
+    },
+    PaperPreCounts {
+        name: "1 Local Read, Seq. Paging",
+        counts: [Some(1.0), None, Some(4.0), None, Some(0.86), None],
+    },
+    PaperPreCounts {
+        name: "1 Local Read, Random Paging",
+        counts: [Some(1.0), None, Some(4.0), None, None, Some(1.0)],
+    },
+    PaperPreCounts {
+        name: "1 Local Write, No Paging",
+        counts: [Some(1.0), None, Some(6.0), Some(1.0), None, None],
+    },
+    PaperPreCounts {
+        name: "5 Local Write, No Paging",
+        counts: [Some(5.0), None, Some(14.0), Some(5.0), None, None],
+    },
+    PaperPreCounts {
+        name: "1 Local Write, Seq. Paging",
+        counts: [Some(1.0), None, Some(10.0), Some(1.0), None, None],
+    },
+    PaperPreCounts {
+        name: "1 Lcl Rd, 1 Rem Rd, No Paging",
+        counts: [Some(1.0), Some(1.0), Some(8.0), None, None, None],
+    },
+    PaperPreCounts {
+        name: "1 Lcl Rd, 5 Rem Rd, No Paging",
+        counts: [Some(1.0), Some(5.0), Some(8.0), None, None, None],
+    },
+    PaperPreCounts {
+        name: "1 Lcl Rd, 1 Rem Rd, Seq. Paging",
+        counts: [Some(1.0), Some(1.0), Some(8.0), None, None, None],
+    },
+    PaperPreCounts {
+        name: "1 Lcl Wr, 1 Rem Wr, No Paging",
+        counts: [Some(1.0), Some(1.0), Some(12.0), Some(2.0), None, None],
+    },
+    PaperPreCounts {
+        name: "1 Lcl Wr, 1 Rem Wr, Seq. Paging",
+        counts: [Some(1.0), Some(1.0), Some(20.0), Some(2.0), None, None],
+    },
+    PaperPreCounts {
+        name: "1 Lcl Rd, 1 Rem Rd, 1 Rem Rd, NP",
+        counts: [Some(1.0), Some(2.0), Some(11.0), Some(1.0), None, None],
+    },
+    PaperPreCounts {
+        name: "1 Lcl Wr, 1 Rem Wr, 1 Rem Wr, NP",
+        counts: [Some(1.0), Some(2.0), Some(17.0), Some(3.0), None, None],
+    },
 ];
 
 /// One Table 5-3 row of published commit-phase counts. Column order:
@@ -86,11 +226,26 @@ pub struct PaperCommitCounts {
 /// Table 5-3 as published (best-effort transcription).
 pub const TABLE_5_3: [PaperCommitCounts; 6] = [
     PaperCommitCounts { name: "1 Node, Read Only", counts: [None, Some(5.0), None, None, None] },
-    PaperCommitCounts { name: "1 Node, Write", counts: [None, Some(8.0), None, Some(1.0), Some(1.0)] },
-    PaperCommitCounts { name: "2 Node, Read Only", counts: [Some(2.0), Some(11.0), Some(1.0), None, None] },
-    PaperCommitCounts { name: "2 Node, Write", counts: [Some(4.0), Some(17.0), Some(5.0), None, Some(1.0)] },
-    PaperCommitCounts { name: "3 Node, Read Only", counts: [Some(2.5), Some(11.0), Some(1.0), None, None] },
-    PaperCommitCounts { name: "3 Node, Write", counts: [Some(5.0), Some(17.0), Some(5.0), None, Some(1.0)] },
+    PaperCommitCounts {
+        name: "1 Node, Write",
+        counts: [None, Some(8.0), None, Some(1.0), Some(1.0)],
+    },
+    PaperCommitCounts {
+        name: "2 Node, Read Only",
+        counts: [Some(2.0), Some(11.0), Some(1.0), None, None],
+    },
+    PaperCommitCounts {
+        name: "2 Node, Write",
+        counts: [Some(4.0), Some(17.0), Some(5.0), None, Some(1.0)],
+    },
+    PaperCommitCounts {
+        name: "3 Node, Read Only",
+        counts: [Some(2.5), Some(11.0), Some(1.0), None, None],
+    },
+    PaperCommitCounts {
+        name: "3 Node, Write",
+        counts: [Some(5.0), Some(17.0), Some(5.0), None, Some(1.0)],
+    },
 ];
 
 #[cfg(test)]

@@ -34,10 +34,7 @@ pub fn table_5_1() -> String {
 pub fn table_5_5() -> String {
     let mut out = String::new();
     out.push_str("Table 5-5: Achievable Primitive Operation Times (milliseconds)\n");
-    out.push_str(&format!(
-        "{:<32} {:>10} {:>12}\n",
-        "Primitive", "Perq (ms)", "Achievable"
-    ));
+    out.push_str(&format!("{:<32} {:>10} {:>12}\n", "Primitive", "Perq (ms)", "Achievable"));
     for op in PrimitiveOp::ALL {
         out.push_str(&format!(
             "{:<32} {:>10} {:>12}\n",
@@ -54,7 +51,9 @@ pub fn table_5_5() -> String {
 pub fn table_5_2(results: &[BenchResult]) -> String {
     let mut out = String::new();
     out.push_str("Table 5-2: Pre-Commit Primitive Counts (per transaction)\n");
-    out.push_str("measured = this implementation; (paper) = published counts, ? = illegible scan\n\n");
+    out.push_str(
+        "measured = this implementation; (paper) = published counts, ? = illegible scan\n\n",
+    );
     out.push_str(&format!(
         "{:<34} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}\n",
         "Benchmark", "DS Call", "Rem DS", "Small Msg", "Large Msg", "Seq Read", "Rand I/O"
@@ -98,15 +97,18 @@ pub fn table_5_3(results: &[BenchResult]) -> String {
         CommitClass::ThreeNodeWrite,
     ];
     for class in order {
-        if let Some(r) = results.iter().find(|r| {
-            r.commit_class == class && !r.name.contains('5') && !r.name.contains("Seq")
-        }) {
+        if let Some(r) = results
+            .iter()
+            .find(|r| r.commit_class == class && !r.name.contains('5') && !r.name.contains("Seq"))
+        {
             per_class.insert(class.label(), r.commit_counts);
         }
     }
     let mut out = String::new();
     out.push_str("Table 5-3: Commit Primitive Counts (per transaction)\n");
-    out.push_str("measured = this implementation; (paper) = published counts, ? = illegible scan\n\n");
+    out.push_str(
+        "measured = this implementation; (paper) = published counts, ? = illegible scan\n\n",
+    );
     out.push_str(&format!(
         "{:<22} {:>11} {:>11} {:>11} {:>11} {:>11}\n",
         "Commit Protocol", "Datagram", "Small Msg", "Large Msg", "Pointer", "Stable Wr"
@@ -180,29 +182,68 @@ pub fn shape_report(results: &[BenchResult]) -> String {
     let mut out = String::new();
     out.push_str("Shape comparison (ratios; paper from Table 5-4 elapsed, ours from both\n");
     out.push_str("measured microseconds and modelled milliseconds)\n\n");
-    out.push_str(&format!(
-        "{:<44} {:>7} {:>9} {:>9}\n",
-        "Ratio", "paper", "ours-us", "ours-ms"
-    ));
+    out.push_str(&format!("{:<44} {:>7} {:>9} {:>9}\n", "Ratio", "paper", "ours-us", "ours-ms"));
     let mut row = |label: &str, a: &str, b: &str, paper_ratio: f64| {
         if let (Some(x), Some(y)) = (get(a), get(b)) {
             let us = x.elapsed_us / y.elapsed_us;
             let ms = Projection::of(x).predicted_ms / Projection::of(y).predicted_ms;
-            out.push_str(&format!(
-                "{:<44} {:>7.2} {:>9.2} {:>9.2}\n",
-                label, paper_ratio, us, ms
-            ));
+            out.push_str(&format!("{:<44} {:>7.2} {:>9.2} {:>9.2}\n", label, paper_ratio, us, ms));
         }
     };
-    row("write / read (local, no paging)", "1 Local Write, No Paging", "1 Local Read, No Paging", 247.0 / 110.0);
-    row("5 reads / 1 read (local)", "5 Local Read, No Paging", "1 Local Read, No Paging", 217.0 / 110.0);
-    row("5 writes / 1 write (local)", "5 Local Write, No Paging", "1 Local Write, No Paging", 467.0 / 247.0);
-    row("remote read / local read", "1 Lcl Rd, 1 Rem Rd, No Paging", "1 Local Read, No Paging", 469.0 / 110.0);
-    row("remote write / local write", "1 Lcl Wr, 1 Rem Wr, No Paging", "1 Local Write, No Paging", 989.0 / 247.0);
-    row("3-node read / 2-node read", "1 Lcl Rd, 1 Rem Rd, 1 Rem Rd, NP", "1 Lcl Rd, 1 Rem Rd, No Paging", 621.0 / 469.0);
-    row("3-node write / 2-node write", "1 Lcl Wr, 1 Rem Wr, 1 Rem Wr, NP", "1 Lcl Wr, 1 Rem Wr, No Paging", 1200.0 / 989.0);
-    row("seq-paging read / resident read", "1 Local Read, Seq. Paging", "1 Local Read, No Paging", 126.0 / 110.0);
-    row("random-paging read / resident read", "1 Local Read, Random Paging", "1 Local Read, No Paging", 140.0 / 110.0);
+    row(
+        "write / read (local, no paging)",
+        "1 Local Write, No Paging",
+        "1 Local Read, No Paging",
+        247.0 / 110.0,
+    );
+    row(
+        "5 reads / 1 read (local)",
+        "5 Local Read, No Paging",
+        "1 Local Read, No Paging",
+        217.0 / 110.0,
+    );
+    row(
+        "5 writes / 1 write (local)",
+        "5 Local Write, No Paging",
+        "1 Local Write, No Paging",
+        467.0 / 247.0,
+    );
+    row(
+        "remote read / local read",
+        "1 Lcl Rd, 1 Rem Rd, No Paging",
+        "1 Local Read, No Paging",
+        469.0 / 110.0,
+    );
+    row(
+        "remote write / local write",
+        "1 Lcl Wr, 1 Rem Wr, No Paging",
+        "1 Local Write, No Paging",
+        989.0 / 247.0,
+    );
+    row(
+        "3-node read / 2-node read",
+        "1 Lcl Rd, 1 Rem Rd, 1 Rem Rd, NP",
+        "1 Lcl Rd, 1 Rem Rd, No Paging",
+        621.0 / 469.0,
+    );
+    row(
+        "3-node write / 2-node write",
+        "1 Lcl Wr, 1 Rem Wr, 1 Rem Wr, NP",
+        "1 Lcl Wr, 1 Rem Wr, No Paging",
+        1200.0 / 989.0,
+    );
+    row(
+        "seq-paging read / resident read",
+        "1 Local Read, Seq. Paging",
+        "1 Local Read, No Paging",
+        126.0 / 110.0,
+    );
+    row(
+        "random-paging read / resident read",
+        "1 Local Read, Random Paging",
+        "1 Local Read, No Paging",
+        140.0 / 110.0,
+    );
     out
 }
 

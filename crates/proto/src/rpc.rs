@@ -49,6 +49,15 @@ impl std::fmt::Display for ServerError {
 
 impl std::error::Error for ServerError {}
 
+impl From<tabs_lock::LockError> for ServerError {
+    fn from(e: tabs_lock::LockError) -> Self {
+        match e {
+            tabs_lock::LockError::Timeout(_) => ServerError::LockTimeout,
+            tabs_lock::LockError::Deadlock(_) => ServerError::Deadlock,
+        }
+    }
+}
+
 impl Encode for ServerError {
     fn encode(&self, w: &mut Writer) {
         match self {
@@ -109,11 +118,7 @@ impl Encode for Request {
 
 impl Decode for Request {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        Ok(Request {
-            tid: Tid::decode(r)?,
-            opcode: u32::decode(r)?,
-            args: Vec::<u8>::decode(r)?,
-        })
+        Ok(Request { tid: Tid::decode(r)?, opcode: u32::decode(r)?, args: Vec::<u8>::decode(r)? })
     }
 }
 
@@ -207,9 +212,7 @@ pub fn call_with_timeout(
 ) -> Result<Vec<u8>, RpcError> {
     // One call = one primitive, chosen by the port's class (§5.1).
     match port.class() {
-        PortClass::RemoteDataServer => {
-            kernel.perf().record(PrimitiveOp::InterNodeDataServerCall)
-        }
+        PortClass::RemoteDataServer => kernel.perf().record(PrimitiveOp::InterNodeDataServerCall),
         PortClass::DataServer => kernel.perf().record(PrimitiveOp::DataServerCall),
         // System/reply ports: the caller accounts messages itself.
         _ => {}
@@ -218,12 +221,10 @@ pub fn call_with_timeout(
     let req = Request { tid, opcode, args };
     let msg = Message::new(opcode, req.encode_to_vec()).with_reply(reply_tx);
     port.send_unmetered(msg).map_err(|_| RpcError::Unreachable)?;
-    let reply = reply_rx
-        .recv_timeout(timeout)
-        .map_err(|e| match e {
-            tabs_kernel::RecvError::Timeout => RpcError::Timeout,
-            tabs_kernel::RecvError::ShutDown => RpcError::Unreachable,
-        })?;
+    let reply = reply_rx.recv_timeout(timeout).map_err(|e| match e {
+        tabs_kernel::RecvError::Timeout => RpcError::Timeout,
+        tabs_kernel::RecvError::ShutDown => RpcError::Unreachable,
+    })?;
     let resp = Response::decode_all(&reply.body).map_err(|e| RpcError::Codec(e.to_string()))?;
     resp.result.map_err(RpcError::Server)
 }
@@ -299,9 +300,7 @@ mod tests {
             match rx.recv() {
                 Ok(m) => {
                     if let Some(r) = m.reply {
-                        let _ = r.send_unmetered(response_message(Err(
-                            ServerError::LockTimeout,
-                        )));
+                        let _ = r.send_unmetered(response_message(Err(ServerError::LockTimeout)));
                     }
                 }
                 Err(_) => return,
@@ -318,18 +317,15 @@ mod tests {
         let k = Kernel::new(NodeId(1));
         let (tx, rx) = k.allocate_port(PortClass::DataServer);
         drop(rx);
-        assert_eq!(
-            call(&k, &tx, tid(), 1, vec![]).unwrap_err(),
-            RpcError::Unreachable
-        );
+        assert_eq!(call(&k, &tx, tid(), 1, vec![]).unwrap_err(), RpcError::Unreachable);
     }
 
     #[test]
     fn call_times_out() {
         let k = Kernel::new(NodeId(1));
         let (tx, _rx) = k.allocate_port(PortClass::DataServer);
-        let err = call_with_timeout(&k, &tx, tid(), 1, vec![], Duration::from_millis(20))
-            .unwrap_err();
+        let err =
+            call_with_timeout(&k, &tx, tid(), 1, vec![], Duration::from_millis(20)).unwrap_err();
         assert_eq!(err, RpcError::Timeout);
     }
 

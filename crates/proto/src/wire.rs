@@ -154,14 +154,10 @@ impl Encode for NsMsg {
 impl Decode for NsMsg {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         match r.get_u8()? {
-            0 => Ok(NsMsg::LookupRequest {
-                name: String::decode(r)?,
-                reply_to: NodeId::decode(r)?,
-            }),
-            1 => Ok(NsMsg::LookupResponse {
-                name: String::decode(r)?,
-                entries: decode_seq(r)?,
-            }),
+            0 => {
+                Ok(NsMsg::LookupRequest { name: String::decode(r)?, reply_to: NodeId::decode(r)? })
+            }
+            1 => Ok(NsMsg::LookupResponse { name: String::decode(r)?, entries: decode_seq(r)? }),
             _ => Err(DecodeError::Invalid("NsMsg tag")),
         }
     }
@@ -205,8 +201,8 @@ impl Decode for Datagram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tabs_kernel::Tid;
     use tabs_kernel::SegmentId;
+    use tabs_kernel::Tid;
 
     fn port() -> PortId {
         PortId { node: NodeId(2), index: 7 }
@@ -227,16 +223,10 @@ mod tests {
                 args: vec![1, 2, 3],
             },
         };
-        assert_eq!(
-            SessionFrame::decode_all(&call.encode_to_vec()).unwrap(),
-            call
-        );
+        assert_eq!(SessionFrame::decode_all(&call.encode_to_vec()).unwrap(), call);
         let ok = SessionFrame::Reply { call_id: 12, result: Ok(vec![4]) };
         assert_eq!(SessionFrame::decode_all(&ok.encode_to_vec()).unwrap(), ok);
-        let err = SessionFrame::Reply {
-            call_id: 13,
-            result: Err(ServerError::LockTimeout),
-        };
+        let err = SessionFrame::Reply { call_id: 13, result: Err(ServerError::LockTimeout) };
         assert_eq!(SessionFrame::decode_all(&err.encode_to_vec()).unwrap(), err);
     }
 
@@ -263,10 +253,7 @@ mod tests {
             merged: vec![],
         });
         assert_eq!(Datagram::decode_all(&d.encode_to_vec()).unwrap(), d);
-        let d = Datagram::Ns(NsMsg::LookupRequest {
-            name: "x".into(),
-            reply_to: NodeId(9),
-        });
+        let d = Datagram::Ns(NsMsg::LookupRequest { name: "x".into(), reply_to: NodeId(9) });
         assert_eq!(Datagram::decode_all(&d.encode_to_vec()).unwrap(), d);
     }
 

@@ -34,6 +34,7 @@ use parking_lot::{Mutex, RwLock};
 use tabs_kernel::{
     BufferPool, NodeId, ObjectId, PageId, PerfCounters, PrimitiveOp, SegmentId, Tid, WalGate,
 };
+use tabs_obs::{TraceCollector, TraceEvent};
 use tabs_wal::{LogEntry, LogManager, LogRecord, Lsn, TxState, WalError};
 
 /// Errors from recovery-manager operations.
@@ -132,14 +133,12 @@ pub struct RecoveryManager {
     handlers: RwLock<HashMap<SegmentId, Arc<dyn OperationHandler>>>,
     /// Fraction of log capacity that triggers reclamation.
     reclaim_threshold: f64,
+    trace: Mutex<Option<Arc<TraceCollector>>>,
 }
 
 impl std::fmt::Debug for RecoveryManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RecoveryManager")
-            .field("node", &self.node)
-            .field("log", &self.log)
-            .finish()
+        f.debug_struct("RecoveryManager").field("node", &self.node).field("log", &self.log).finish()
     }
 }
 
@@ -157,12 +156,10 @@ impl RecoveryManager {
             log,
             pool,
             perf,
-            state: Mutex::new(RmState {
-                recovery_lsn: HashMap::new(),
-                high_lsn: HashMap::new(),
-            }),
+            state: Mutex::new(RmState { recovery_lsn: HashMap::new(), high_lsn: HashMap::new() }),
             handlers: RwLock::new(HashMap::new()),
             reclaim_threshold: 0.8,
+            trace: Mutex::new(None),
         })
     }
 
@@ -174,6 +171,20 @@ impl RecoveryManager {
     /// Registers the operation-logging handler for `segment`.
     pub fn register_handler(&self, segment: SegmentId, handler: Arc<dyn OperationHandler>) {
         self.handlers.write().insert(segment, handler);
+    }
+
+    /// Attaches a trace collector. Commit/abort outcomes recorded through
+    /// this Recovery Manager are traced, and the collector is forwarded to
+    /// the underlying [`LogManager`] so appends and forces are traced too.
+    pub fn set_trace(&self, trace: Arc<TraceCollector>) {
+        self.log.set_trace(Arc::clone(&trace));
+        *self.trace.lock() = Some(trace);
+    }
+
+    fn emit(&self, tid: Tid, event: TraceEvent) {
+        if let Some(t) = self.trace.lock().as_ref() {
+            t.record(tid, event);
+        }
     }
 
     /// The shared log (read access for the Transaction Manager and tests).
@@ -260,7 +271,9 @@ impl RecoveryManager {
     /// Writes and forces the commit record (the WAL commit rule).
     pub fn log_commit(&self, tid: Tid) -> Result<Lsn, RmError> {
         self.count_msg(16);
-        Ok(self.log.append_forced(LogRecord::Commit { tid })?)
+        let lsn = self.log.append_forced(LogRecord::Commit { tid })?;
+        self.emit(tid, TraceEvent::TxnCommit);
+        Ok(lsn)
     }
 
     /// Forces the log through `lsn` (or everything).
@@ -288,11 +301,7 @@ impl RecoveryManager {
     }
 
     fn handler_for(&self, segment: SegmentId) -> Result<Arc<dyn OperationHandler>, RmError> {
-        self.handlers
-            .read()
-            .get(&segment)
-            .cloned()
-            .ok_or(RmError::NoHandler(segment))
+        self.handlers.read().get(&segment).cloned().ok_or(RmError::NoHandler(segment))
     }
 
     /// Undoes one update record, instructing the owning server (one message
@@ -338,6 +347,7 @@ impl RecoveryManager {
             }
         }
         self.log.append(LogRecord::AbortComplete { tid });
+        self.emit(tid, TraceEvent::TxnAbort);
         Ok(())
     }
 
@@ -372,9 +382,7 @@ impl RecoveryManager {
     pub fn reclaim(&self, active_floor: Option<Lsn>) -> Result<usize, RmError> {
         // Force every dirty page so no recovery LSN pins the log tail.
         for page in self.pool.dirty_pages() {
-            self.pool
-                .flush_page(page)
-                .map_err(|e| RmError::Vm(e.to_string()))?;
+            self.pool.flush_page(page).map_err(|e| RmError::Vm(e.to_string()))?;
         }
         let mut floor = self.log.durable_lsn();
         {
@@ -401,10 +409,8 @@ impl RecoveryManager {
     /// forward-redo passes (three in total, §2.1.3).
     pub fn recover(&self) -> Result<RecoveryReport, RmError> {
         let entries = self.log.durable_entries();
-        let mut report = RecoveryReport {
-            records_scanned: entries.len(),
-            ..RecoveryReport::default()
-        };
+        let mut report =
+            RecoveryReport { records_scanned: entries.len(), ..RecoveryReport::default() };
 
         // ---- Pass 1: analysis. Build transaction status + parents.
         let mut status: HashMap<Tid, TxState> = HashMap::new();
@@ -444,16 +450,14 @@ impl RecoveryManager {
         // tentatively (in doubt).
         let effective = |tid: Tid| -> TxState {
             let mut cur = tid;
-            let mut saw_prepared = false;
             loop {
                 match status.get(&cur) {
                     Some(TxState::Aborted) => return TxState::Aborted,
-                    Some(TxState::Prepared) => saw_prepared = true,
-                    Some(TxState::Committed) => {}
+                    Some(TxState::Prepared) | Some(TxState::Committed) => {}
                     Some(TxState::Active) | None => {
                         // An active ancestor at crash time means the whole
                         // lineage loses.
-                        if parent.get(&cur).is_none() {
+                        if !parent.contains_key(&cur) {
                             // cur is top-level and not committed.
                             if let Some(TxState::Prepared) = status.get(&cur) {
                                 return TxState::Prepared;
@@ -467,13 +471,7 @@ impl RecoveryManager {
                     None => {
                         // Reached the top level.
                         return match status.get(&cur) {
-                            Some(TxState::Committed) => {
-                                if saw_prepared {
-                                    TxState::Committed
-                                } else {
-                                    TxState::Committed
-                                }
-                            }
+                            Some(TxState::Committed) => TxState::Committed,
                             Some(TxState::Prepared) => TxState::Prepared,
                             _ => TxState::Aborted,
                         };
@@ -482,16 +480,10 @@ impl RecoveryManager {
             }
         };
 
-        let winners: HashSet<Tid> = status
-            .keys()
-            .copied()
-            .filter(|t| effective(*t) == TxState::Committed)
-            .collect();
-        let in_doubt: HashSet<Tid> = status
-            .keys()
-            .copied()
-            .filter(|t| effective(*t) == TxState::Prepared)
-            .collect();
+        let winners: HashSet<Tid> =
+            status.keys().copied().filter(|t| effective(*t) == TxState::Committed).collect();
+        let in_doubt: HashSet<Tid> =
+            status.keys().copied().filter(|t| effective(*t) == TxState::Prepared).collect();
 
         // ---- Value logging: one backward pass with per-object
         // finalization. Winners' and in-doubt transactions' newest images
@@ -588,11 +580,8 @@ impl RecoveryManager {
 
         report.committed = winners.into_iter().collect();
         report.committed.sort();
-        report.aborted = status
-            .keys()
-            .copied()
-            .filter(|t| effective(*t) == TxState::Aborted)
-            .collect();
+        report.aborted =
+            status.keys().copied().filter(|t| effective(*t) == TxState::Aborted).collect();
         report.aborted.sort();
         Ok(report)
     }
@@ -601,10 +590,7 @@ impl RecoveryManager {
     /// judged by the sector sequence numbers of the pages it touches.
     fn op_effect_missing(&self, lsn: Lsn, pages: &[PageId]) -> Result<bool, RmError> {
         for p in pages {
-            let seq = self
-                .pool
-                .read_disk_seqno(*p)
-                .map_err(|e| RmError::Vm(e.to_string()))?;
+            let seq = self.pool.read_disk_seqno(*p).map_err(|e| RmError::Vm(e.to_string()))?;
             if seq < lsn.0 {
                 return Ok(true);
             }
@@ -683,11 +669,7 @@ mod tests {
     }
 
     impl Rig {
-        fn build(
-            disk: Arc<MemDisk>,
-            logdev: Arc<MemLogDevice>,
-            perf: Arc<PerfCounters>,
-        ) -> Rig {
+        fn build(disk: Arc<MemDisk>, logdev: Arc<MemLogDevice>, perf: Arc<PerfCounters>) -> Rig {
             let pool = BufferPool::new(16, Arc::clone(&perf));
             pool.register_segment(SegmentSpec {
                 id: seg(),
@@ -719,8 +701,7 @@ mod tests {
         fn update(&self, t: Tid, o: ObjectId, val: u64) {
             let old = self.read(o);
             self.write_raw(o, val);
-            self.rm
-                .log_value_update(t, o, old.to_le_bytes().to_vec(), val.to_le_bytes().to_vec());
+            self.rm.log_value_update(t, o, old.to_le_bytes().to_vec(), val.to_le_bytes().to_vec());
         }
 
         fn write_raw(&self, o: ObjectId, val: u64) {
@@ -800,11 +781,8 @@ mod tests {
         );
         // And the stamped sector seqno equals the record's LSN.
         let seq = r.pool.read_disk_seqno(obj(0).first_page()).unwrap();
-        let upd_lsn = durable
-            .iter()
-            .find(|e| matches!(e.record, LogRecord::ValueUpdate { .. }))
-            .unwrap()
-            .lsn;
+        let upd_lsn =
+            durable.iter().find(|e| matches!(e.record, LogRecord::ValueUpdate { .. })).unwrap().lsn;
         assert_eq!(seq, upd_lsn.0);
     }
 
@@ -820,13 +798,8 @@ mod tests {
         assert_eq!(r.read(obj(0)), 0);
         assert_eq!(r.read(obj(1)), 0);
         // Abort + AbortComplete were logged.
-        let kinds: Vec<_> = r
-            .rm
-            .log()
-            .all_entries()
-            .iter()
-            .map(|e| std::mem::discriminant(&e.record))
-            .collect();
+        let kinds: Vec<_> =
+            r.rm.log().all_entries().iter().map(|e| std::mem::discriminant(&e.record)).collect();
         assert!(kinds.contains(&std::mem::discriminant(&LogRecord::Abort { tid: t })));
     }
 
@@ -1019,10 +992,7 @@ mod tests {
     }
 
     fn register_counter(r: &Rig) {
-        r.rm.register_handler(
-            seg(),
-            Arc::new(CounterHandler { pool: Arc::clone(&r.pool) }),
-        );
+        r.rm.register_handler(seg(), Arc::new(CounterHandler { pool: Arc::clone(&r.pool) }));
     }
 
     fn op_add(r: &Rig, t: Tid, o: ObjectId, amount: u64) {

@@ -36,10 +36,9 @@ use std::time::Duration;
 
 use parking_lot::{Mutex, MutexGuard};
 
-use tabs_kernel::{
-    Kernel, MappedSegment, Message, ObjectId, PortClass, PortId, SegmentId, Tid,
-};
+use tabs_kernel::{Kernel, MappedSegment, Message, ObjectId, PortClass, PortId, SegmentId, Tid};
 use tabs_lock::{DeadlockPolicy, LockError, LockManager, StdMode};
+use tabs_obs::TraceCollector;
 use tabs_proto::{Request, ServerError};
 use tabs_rm::{OperationHandler, RecoveryManager};
 use tabs_tm::{Participant, TransactionManager};
@@ -55,10 +54,29 @@ pub struct ServerDeps {
     pub rm: Arc<RecoveryManager>,
     /// The node's Transaction Manager.
     pub tm: Arc<TransactionManager>,
+    /// Optional trace collector; servers built from these deps record
+    /// their lock activity against it.
+    pub trace: Option<Arc<TraceCollector>>,
 }
 
-/// Configuration for one data server.
+impl ServerDeps {
+    /// Bundles the node facilities a data server needs.
+    pub fn new(kernel: Kernel, rm: Arc<RecoveryManager>, tm: Arc<TransactionManager>) -> Self {
+        Self { kernel, rm, tm, trace: None }
+    }
+
+    /// Attaches the node's trace collector.
+    pub fn with_trace(mut self, trace: Arc<TraceCollector>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+}
+
+/// Configuration for one data server. Construct with
+/// [`ServerConfig::new`] and the builder methods; the struct is
+/// `#[non_exhaustive]` so new knobs can be added without breaking callers.
 #[derive(Clone)]
+#[non_exhaustive]
 pub struct ServerConfig {
     /// Server name (used for Transaction Manager enlistment and threads).
     pub name: String,
@@ -85,6 +103,13 @@ impl ServerConfig {
     /// set by system users", §2.1.3).
     pub fn with_lock_timeout(mut self, timeout: Duration) -> Self {
         self.lock_timeout = timeout;
+        self
+    }
+
+    /// Overrides the deadlock policy (`Timeout` is the paper's; `Detect`
+    /// the waits-for-graph extension).
+    pub fn with_deadlock_policy(mut self, policy: DeadlockPolicy) -> Self {
+        self.deadlock_policy = policy;
         self
     }
 }
@@ -168,16 +193,16 @@ impl DataServer {
             ops: Mutex::new(HashMap::new()),
             accepting: AtomicBool::new(false),
         });
+        if let Some(trace) = &deps.trace {
+            inner.locks.set_trace(Arc::clone(trace));
+        }
         // `RecoverServer`: the Recovery Manager dispatches this server's
         // operation-logged records (and in-doubt relocks) through us.
-        deps.rm
-            .register_handler(config.segment, Arc::new(ServerRecovery { inner: Arc::clone(&inner) }));
-        Ok(DataServer {
-            port: send.id(),
-            send,
-            inner,
-            rx: Arc::new(Mutex::new(Some(rx))),
-        })
+        deps.rm.register_handler(
+            config.segment,
+            Arc::new(ServerRecovery { inner: Arc::clone(&inner) }),
+        );
+        Ok(DataServer { port: send.id(), send, inner, rx: Arc::new(Mutex::new(Some(rx))) })
     }
 
     /// The server's request port (register it with the Name Server).
@@ -214,20 +239,13 @@ impl DataServer {
         redo: impl Fn(ObjectId, &[u8]) -> Result<(), String> + Send + Sync + 'static,
         undo: impl Fn(ObjectId, &[u8]) -> Result<(), String> + Send + Sync + 'static,
     ) {
-        self.inner
-            .ops
-            .lock()
-            .insert(name.to_string(), (Box::new(redo), Box::new(undo)));
+        self.inner.ops.lock().insert(name.to_string(), (Box::new(redo), Box::new(undo)));
     }
 
     /// `AcceptRequests`: starts the request loop. Each incoming request
     /// becomes a coroutine invocation serialized by the server monitor.
     pub fn accept_requests(&self, dispatch: Dispatch) {
-        let rx = self
-            .rx
-            .lock()
-            .take()
-            .expect("accept_requests called twice");
+        let rx = self.rx.lock().take().expect("accept_requests called twice");
         let inner = Arc::clone(&self.inner);
         inner.accepting.store(true, Ordering::Release);
         let participant: Arc<dyn Participant> =
@@ -282,21 +300,15 @@ impl ServerInner {
         // Enlist with the Transaction Manager on first contact (§3.2.3).
         if !req.tid.is_null() {
             let mut tx = inner.tx.lock();
-            if !tx.contains_key(&req.tid) {
-                tx.insert(req.tid, TxCtx::default());
+            if let std::collections::hash_map::Entry::Vacant(e) = tx.entry(req.tid) {
+                e.insert(TxCtx::default());
                 drop(tx);
-                inner
-                    .tm
-                    .enlist(req.tid, &inner.name, Arc::clone(&participant));
+                inner.tm.enlist(req.tid, &inner.name, Arc::clone(&participant));
             }
         }
         // Enter the monitor: the coroutine runs.
         let guard = inner.monitor.lock();
-        let ctx = OpCtx {
-            server: &inner,
-            tid: req.tid,
-            guard: RefCell::new(Some(guard)),
-        };
+        let ctx = OpCtx { server: &inner, tid: req.tid, guard: RefCell::new(Some(guard)) };
         let result = dispatch(&ctx, req.opcode, &req.args);
         drop(ctx);
         if let Some(r) = reply {
@@ -321,10 +333,7 @@ impl Participant for ServerParticipant {
         let tx = self.inner.tx.lock();
         if let Some(ctx) = tx.get(&tid) {
             if !ctx.pinned.is_empty() {
-                return Err(format!(
-                    "transaction {tid} left {} objects pinned",
-                    ctx.pinned.len()
-                ));
+                return Err(format!("transaction {tid} left {} objects pinned", ctx.pinned.len()));
             }
             if !ctx.buffered.is_empty() {
                 return Err(format!("transaction {tid} has unlogged buffered objects"));
@@ -424,11 +433,10 @@ impl<'a> OpCtx<'a> {
         let timeout = self.server.lock_timeout;
         let locks = Arc::clone(&self.server.locks);
         let tid = self.tid;
-        self.coroutine_wait(move || locks.lock(tid, object, mode, timeout))
-            .map_err(|e| match e {
-                LockError::Timeout(_) => ServerError::LockTimeout,
-                LockError::Deadlock(_) => ServerError::Deadlock,
-            })
+        self.coroutine_wait(move || locks.lock(tid, object, mode, timeout)).map_err(|e| match e {
+            LockError::Timeout(_) => ServerError::LockTimeout,
+            LockError::Deadlock(_) => ServerError::Deadlock,
+        })
     }
 
     /// `ConditionallyLockObject`: acquires only if immediately available.
@@ -451,16 +459,9 @@ impl<'a> OpCtx<'a> {
     pub fn pin_object(&self, object: ObjectId) -> Result<(), ServerError> {
         let pool = self.pool();
         for page in object.pages() {
-            pool.pin(page)
-                .map_err(|e| ServerError::Storage(e.to_string()))?;
+            pool.pin(page).map_err(|e| ServerError::Storage(e.to_string()))?;
         }
-        self.server
-            .tx
-            .lock()
-            .entry(self.tid)
-            .or_default()
-            .pinned
-            .push(object);
+        self.server.tx.lock().entry(self.tid).or_default().pinned.push(object);
         Ok(())
     }
 
@@ -468,8 +469,7 @@ impl<'a> OpCtx<'a> {
     pub fn unpin_object(&self, object: ObjectId) -> Result<(), ServerError> {
         let pool = self.pool();
         for page in object.pages() {
-            pool.unpin(page)
-                .map_err(|e| ServerError::Storage(e.to_string()))?;
+            pool.unpin(page).map_err(|e| ServerError::Storage(e.to_string()))?;
         }
         if let Some(ctx) = self.server.tx.lock().get_mut(&self.tid) {
             if let Some(i) = ctx.pinned.iter().position(|o| *o == object) {
@@ -491,8 +491,7 @@ impl<'a> OpCtx<'a> {
         let pool = self.pool();
         for object in pinned {
             for page in object.pages() {
-                pool.unpin(page)
-                    .map_err(|e| ServerError::Storage(e.to_string()))?;
+                pool.unpin(page).map_err(|e| ServerError::Storage(e.to_string()))?;
             }
         }
         Ok(())
@@ -533,13 +532,7 @@ impl<'a> OpCtx<'a> {
     pub fn pin_and_buffer(&self, object: ObjectId) -> Result<(), ServerError> {
         self.pin_object(object)?;
         let old = self.read_object(object)?;
-        self.server
-            .tx
-            .lock()
-            .entry(self.tid)
-            .or_default()
-            .buffered
-            .insert(object, old);
+        self.server.tx.lock().entry(self.tid).or_default().buffered.insert(object, old);
         Ok(())
     }
 
@@ -554,15 +547,8 @@ impl<'a> OpCtx<'a> {
             .and_then(|c| c.buffered.remove(&object))
             .ok_or_else(|| ServerError::BadRequest("object was not buffered".into()))?;
         let new = self.read_object(object)?;
-        self.server
-            .rm
-            .log_value_update(self.tid, object, old, new);
-        self.server
-            .tx
-            .lock()
-            .entry(self.tid)
-            .or_default()
-            .updates = true;
+        self.server.rm.log_value_update(self.tid, object, old, new);
+        self.server.tx.lock().entry(self.tid).or_default().updates = true;
         self.unpin_object(object)
     }
 
@@ -572,26 +558,15 @@ impl<'a> OpCtx<'a> {
     /// "to be modified" queue.
     pub fn lock_and_mark(&self, object: ObjectId, mode: StdMode) -> Result<(), ServerError> {
         self.lock_object(object, mode)?;
-        self.server
-            .tx
-            .lock()
-            .entry(self.tid)
-            .or_default()
-            .marked
-            .push(object);
+        self.server.tx.lock().entry(self.tid).or_default().marked.push(object);
         Ok(())
     }
 
     /// `PinAndBufferMarkedObjects`: pins every marked object and buffers
     /// its current (old) value.
     pub fn pin_and_buffer_marked_objects(&self) -> Result<(), ServerError> {
-        let marked: Vec<ObjectId> = self
-            .server
-            .tx
-            .lock()
-            .get(&self.tid)
-            .map(|c| c.marked.clone())
-            .unwrap_or_default();
+        let marked: Vec<ObjectId> =
+            self.server.tx.lock().get(&self.tid).map(|c| c.marked.clone()).unwrap_or_default();
         for object in marked {
             if !self
                 .server
@@ -644,19 +619,10 @@ impl<'a> OpCtx<'a> {
         redo_args: Vec<u8>,
     ) -> Result<(), ServerError> {
         if !self.server.ops.lock().contains_key(name) {
-            return Err(ServerError::BadRequest(format!(
-                "operation {name} not registered"
-            )));
+            return Err(ServerError::BadRequest(format!("operation {name} not registered")));
         }
-        self.server
-            .rm
-            .log_operation(self.tid, object, name, undo_args, redo_args);
-        self.server
-            .tx
-            .lock()
-            .entry(self.tid)
-            .or_default()
-            .updates = true;
+        self.server.rm.log_operation(self.tid, object, name, undo_args, redo_args);
+        self.server.tx.lock().entry(self.tid).or_default().updates = true;
         Ok(())
     }
 
@@ -748,13 +714,8 @@ mod tests {
         let log = LogManager::open(MemLogDevice::new(1 << 20), Arc::clone(&perf)).unwrap();
         let rm = RecoveryManager::new(NodeId(1), log, Arc::clone(&pool), perf);
         pool.set_gate(rm.gate());
-        let tm = TransactionManager::new(
-            NodeId(1),
-            1,
-            Arc::clone(&rm),
-            PerfCounters::new(),
-        );
-        Rig { deps: ServerDeps { kernel, rm, tm }, pool }
+        let tm = TransactionManager::new(NodeId(1), 1, Arc::clone(&rm), PerfCounters::new());
+        Rig { deps: ServerDeps::new(kernel, rm, tm), pool }
     }
 
     fn cell_dispatch() -> Dispatch {
@@ -786,13 +747,8 @@ mod tests {
     }
 
     fn get(r: &Rig, ds: &DataServer, tid: Tid, idx: u64) -> Result<u64, tabs_proto::RpcError> {
-        let out = tabs_proto::call(
-            &r.deps.kernel,
-            &ds.send_right(),
-            tid,
-            1,
-            idx.to_le_bytes().to_vec(),
-        )?;
+        let out =
+            tabs_proto::call(&r.deps.kernel, &ds.send_right(), tid, 1, idx.to_le_bytes().to_vec())?;
         Ok(u64::from_le_bytes(out[..8].try_into().unwrap()))
     }
 
@@ -853,10 +809,7 @@ mod tests {
         set(&r, &ds, t1, 2, 5).unwrap();
         let t2 = r.deps.tm.begin(Tid::NULL).unwrap();
         let err = set(&r, &ds, t2, 2, 6).unwrap_err();
-        assert_eq!(
-            err,
-            tabs_proto::RpcError::Server(ServerError::LockTimeout)
-        );
+        assert_eq!(err, tabs_proto::RpcError::Server(ServerError::LockTimeout));
         r.deps.tm.abort(t1).unwrap();
         r.deps.tm.abort(t2).unwrap();
         r.deps.kernel.shutdown();
@@ -886,7 +839,7 @@ mod tests {
         let ds = start_cell_server(&r);
         let t1 = r.deps.tm.begin(Tid::NULL).unwrap();
         assert_eq!(get(&r, &ds, t1, 4).unwrap(), 0); // shared lock held
-        // Writer in another thread blocks (monitor released during wait!).
+                                                     // Writer in another thread blocks (monitor released during wait!).
         let r2 = Rig { deps: r.deps.clone(), pool: Arc::clone(&r.pool) };
         let ds2 = ds.clone();
         let t2 = r.deps.tm.begin(Tid::NULL).unwrap();
@@ -958,10 +911,7 @@ mod tests {
         assert_eq!(ds.segment().read_u64(8).unwrap(), 101);
         assert_eq!(ds.segment().read_u64(16).unwrap(), 102);
         // No pins leaked.
-        assert!(!r.pool.is_pinned(tabs_kernel::PageId {
-            segment: seg(),
-            page: 0
-        }));
+        assert!(!r.pool.is_pinned(tabs_kernel::PageId { segment: seg(), page: 0 }));
         r.deps.kernel.shutdown();
         r.deps.kernel.join_all();
     }
@@ -1022,10 +972,7 @@ mod tests {
         set(&r, &ds, t, 0, 1).unwrap();
         r.deps.tm.abort(t).unwrap();
         let err = set(&r, &ds, t, 0, 2).unwrap_err();
-        assert!(matches!(
-            err,
-            tabs_proto::RpcError::Server(ServerError::Aborted(_))
-        ));
+        assert!(matches!(err, tabs_proto::RpcError::Server(ServerError::Aborted(_))));
         r.deps.kernel.shutdown();
         r.deps.kernel.join_all();
     }

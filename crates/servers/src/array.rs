@@ -55,8 +55,7 @@ impl IntArrayServer {
         let max_cell = cells;
         server.accept_requests(Arc::new(move |ctx, opcode, args| {
             let mut r = Reader::new(args);
-            let cell = u64::decode(&mut r)
-                .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+            let cell = u64::decode(&mut r).map_err(|e| ServerError::BadRequest(e.to_string()))?;
             if cell >= max_cell {
                 // The paper's `IndexOutOfRange` return.
                 return Err(ServerError::BadRequest(format!(
@@ -74,8 +73,8 @@ impl IntArrayServer {
                     Ok(w.into_vec())
                 }
                 OP_SET => {
-                    let value = i64::decode(&mut r)
-                        .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+                    let value =
+                        i64::decode(&mut r).map_err(|e| ServerError::BadRequest(e.to_string()))?;
                     ctx.lock_object(obj, StdMode::Exclusive)?;
                     ctx.pin_and_buffer(obj)?;
                     ctx.write_raw(obj, &value.to_le_bytes())?;
@@ -83,8 +82,8 @@ impl IntArrayServer {
                     Ok(Vec::new())
                 }
                 OP_ADD => {
-                    let delta = i64::decode(&mut r)
-                        .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+                    let delta =
+                        i64::decode(&mut r).map_err(|e| ServerError::BadRequest(e.to_string()))?;
                     ctx.lock_object(obj, StdMode::Exclusive)?;
                     ctx.pin_and_buffer(obj)?;
                     let bytes = ctx.read_object(obj)?;
@@ -99,12 +98,7 @@ impl IntArrayServer {
                 other => Err(ServerError::BadRequest(format!("opcode {other}"))),
             }
         }));
-        node.register_server(
-            &server,
-            name,
-            "integer-array",
-            ObjectId::new(seg, 0, CELL as u32),
-        );
+        node.register_server(&server, name, "integer-array", ObjectId::new(seg, 0, CELL as u32));
         Ok(Self { server, cells })
     }
 
@@ -147,8 +141,7 @@ impl IntArrayClient {
         let mut w = Writer::new();
         cell.encode(&mut w);
         let out = self.app.call(&self.port, tid, OP_GET, w.into_vec())?;
-        i64::decode_all(&out)
-            .map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
+        i64::decode_all(&out).map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
     }
 
     /// `SetCell(cellNum, value)`.
@@ -166,8 +159,7 @@ impl IntArrayClient {
         cell.encode(&mut w);
         delta.encode(&mut w);
         let out = self.app.call(&self.port, tid, OP_ADD, w.into_vec())?;
-        i64::decode_all(&out)
-            .map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
+        i64::decode_all(&out).map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
     }
 }
 
@@ -189,7 +181,7 @@ mod tests {
         let t = app.begin_transaction(Tid::NULL).unwrap();
         client.set(t, 5, -42).unwrap();
         assert_eq!(client.get(t, 5).unwrap(), -42);
-        assert!(app.end_transaction(t).unwrap());
+        assert!(app.end_transaction(t).unwrap().is_committed());
 
         let t2 = app.begin_transaction(Tid::NULL).unwrap();
         assert_eq!(client.get(t2, 5).unwrap(), -42);
@@ -260,10 +252,7 @@ mod tests {
         // The §5 paging benchmarks use a 5000-page array, "more than three
         // times the available physical memory". A miniature version: 64
         // pages against a 16-frame pool.
-        let cluster = Cluster::with_config(tabs_core::ClusterConfig {
-            pool_pages: 16,
-            ..Default::default()
-        });
+        let cluster = Cluster::with_config(tabs_core::ClusterConfig::default().pool_pages(16));
         let node = cluster.boot_node(NodeId(1));
         let cells = 64 * (tabs_kernel::PAGE_SIZE as u64 / 8);
         let arr = IntArrayServer::spawn(&node, "big", cells).unwrap();

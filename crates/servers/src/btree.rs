@@ -212,9 +212,7 @@ fn page_obj(ctx: &OpCtx<'_>, page: u32) -> ObjectId {
 }
 
 fn root_page(ctx: &OpCtx<'_>) -> Result<u32, ServerError> {
-    ctx.segment()
-        .read_u32(SUPER_ROOT_OFF)
-        .map_err(|e| ServerError::Storage(e.to_string()))
+    ctx.segment().read_u32(SUPER_ROOT_OFF).map_err(|e| ServerError::Storage(e.to_string()))
 }
 
 impl BTreeServer {
@@ -235,16 +233,12 @@ impl BTreeServer {
                 segmap
                     .write(PAGE, &[T_LEAF, 0])
                     .map_err(|e| ServerError::Storage(e.to_string()))?;
-                segmap
-                    .pool()
-                    .flush_all()
-                    .map_err(|e| ServerError::Storage(e.to_string()))?;
+                segmap.pool().flush_all().map_err(|e| ServerError::Storage(e.to_string()))?;
             }
         }
         let total = pages;
-        server.accept_requests(Arc::new(move |ctx, opcode, args| {
-            dispatch(ctx, opcode, args, total)
-        }));
+        server
+            .accept_requests(Arc::new(move |ctx, opcode, args| dispatch(ctx, opcode, args, total)));
         node.register_server(&server, name, "b-tree", ObjectId::new(seg, 0, 8));
         Ok(Self { server })
     }
@@ -264,8 +258,8 @@ fn dispatch(ctx: &OpCtx<'_>, opcode: u32, args: &[u8], total: u32) -> Result<Vec
     let mut r = Reader::new(args);
     match opcode {
         OP_LOOKUP => {
-            let key = Vec::<u8>::decode(&mut r)
-                .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+            let key =
+                Vec::<u8>::decode(&mut r).map_err(|e| ServerError::BadRequest(e.to_string()))?;
             ctx.lock_object(super_obj(ctx), StdMode::Shared)?;
             let found = lookup(ctx, root_page(ctx)?, &key)?;
             let mut w = Writer::new();
@@ -285,19 +279,17 @@ fn dispatch(ctx: &OpCtx<'_>, opcode: u32, args: &[u8], total: u32) -> Result<Vec
             Ok(w.into_vec())
         }
         OP_ADD | OP_MODIFY | OP_PUT => {
-            let key = Vec::<u8>::decode(&mut r)
-                .map_err(|e| ServerError::BadRequest(e.to_string()))?;
-            let val = Vec::<u8>::decode(&mut r)
-                .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+            let key =
+                Vec::<u8>::decode(&mut r).map_err(|e| ServerError::BadRequest(e.to_string()))?;
+            let val =
+                Vec::<u8>::decode(&mut r).map_err(|e| ServerError::BadRequest(e.to_string()))?;
             if key.is_empty() || key.len() > MAX_KEY || val.len() > MAX_VAL {
                 return Err(ServerError::BadRequest("key/value size".into()));
             }
             update(ctx, total, |ctx, plan, root| {
                 let exists = lookup(ctx, root, &key)?.is_some();
                 match opcode {
-                    OP_ADD if exists => {
-                        return Err(ServerError::BadRequest("key exists".into()))
-                    }
+                    OP_ADD if exists => return Err(ServerError::BadRequest("key exists".into())),
                     OP_MODIFY if !exists => {
                         return Err(ServerError::BadRequest("no such key".into()))
                     }
@@ -307,8 +299,8 @@ fn dispatch(ctx: &OpCtx<'_>, opcode: u32, args: &[u8], total: u32) -> Result<Vec
             })
         }
         OP_DELETE => {
-            let key = Vec::<u8>::decode(&mut r)
-                .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+            let key =
+                Vec::<u8>::decode(&mut r).map_err(|e| ServerError::BadRequest(e.to_string()))?;
             update(ctx, total, |ctx, plan, root| {
                 if lookup(ctx, root, &key)?.is_none() {
                     return Err(ServerError::BadRequest("no such key".into()));
@@ -552,8 +544,7 @@ impl BTreeClient {
 
     /// Modifies an existing entry; errors if the key is absent.
     pub fn modify(&self, tid: Tid, key: &[u8], val: &[u8]) -> Result<(), tabs_app_lib::AppError> {
-        self.app
-            .call(&self.port, tid, OP_MODIFY, Self::kv_args(key, Some(val)))?;
+        self.app.call(&self.port, tid, OP_MODIFY, Self::kv_args(key, Some(val)))?;
         Ok(())
     }
 
@@ -571,20 +562,16 @@ impl BTreeClient {
 
     /// Looks a key up.
     pub fn lookup(&self, tid: Tid, key: &[u8]) -> Result<Option<Vec<u8>>, tabs_app_lib::AppError> {
-        let out = self
-            .app
-            .call(&self.port, tid, OP_LOOKUP, Self::kv_args(key, None))?;
-        Option::<Vec<u8>>::decode_all(&out)
-            .map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
+        let out = self.app.call(&self.port, tid, OP_LOOKUP, Self::kv_args(key, None))?;
+        Option::<Vec<u8>>::decode_all(&out).map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
     }
 
     /// Lists all entries in key order.
+    #[allow(clippy::type_complexity)]
     pub fn list(&self, tid: Tid) -> Result<Vec<(Vec<u8>, Vec<u8>)>, tabs_app_lib::AppError> {
         let out = self.app.call(&self.port, tid, OP_LIST, Vec::new())?;
         let mut r = Reader::new(&out);
-        let n = r
-            .get_varint()
-            .map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))?;
+        let n = r.get_varint().map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))?;
         let mut v = Vec::new();
         for _ in 0..n {
             let k = Vec::<u8>::decode(&mut r)

@@ -85,9 +85,7 @@ impl CounterServer {
         let seg_map = server.segment().clone();
         let apply = move |object: ObjectId, delta: i64| -> Result<(), String> {
             let cur = seg_map.read_i64(object.offset).map_err(|e| e.to_string())?;
-            seg_map
-                .write_i64(object.offset, cur.wrapping_add(delta))
-                .map_err(|e| e.to_string())
+            seg_map.write_i64(object.offset, cur.wrapping_add(delta)).map_err(|e| e.to_string())
         };
         let apply_redo = apply.clone();
         server.register_operation(
@@ -105,8 +103,7 @@ impl CounterServer {
         let total = counters;
         server.accept_requests(Arc::new(move |ctx, opcode, args| {
             let mut r = Reader::new(args);
-            let idx = u64::decode(&mut r)
-                .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+            let idx = u64::decode(&mut r).map_err(|e| ServerError::BadRequest(e.to_string()))?;
             if idx >= total {
                 return Err(ServerError::BadRequest(format!("counter {idx} out of range")));
             }
@@ -124,8 +121,8 @@ impl CounterServer {
                     Ok(w.into_vec())
                 }
                 OP_ADD => {
-                    let delta = i64::decode(&mut r)
-                        .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+                    let delta =
+                        i64::decode(&mut r).map_err(|e| ServerError::BadRequest(e.to_string()))?;
                     // Adds commute: the add lock is the Shared embedding.
                     ctx.lock_object(lock_obj(ctx, idx, total), StdMode::Shared)?;
                     let obj = cell_obj(ctx, idx);
@@ -138,12 +135,7 @@ impl CounterServer {
                     ctx.segment()
                         .write_i64(obj.offset, cur.wrapping_add(delta))
                         .map_err(|e| ServerError::Storage(e.to_string()))?;
-                    ctx.log_operation(
-                        obj,
-                        "add",
-                        delta.encode_to_vec(),
-                        delta.encode_to_vec(),
-                    )?;
+                    ctx.log_operation(obj, "add", delta.encode_to_vec(), delta.encode_to_vec())?;
                     Ok(Vec::new())
                 }
                 other => Err(ServerError::BadRequest(format!("opcode {other}"))),
@@ -236,8 +228,8 @@ mod tests {
         let t2 = app.begin_transaction(Tid::NULL).unwrap();
         ctr.add(t1, 0, 10).unwrap();
         ctr.add(t2, 0, 20).unwrap(); // would deadlock under S/X locking
-        assert!(app.end_transaction(t1).unwrap());
-        assert!(app.end_transaction(t2).unwrap());
+        assert!(app.end_transaction(t1).unwrap().is_committed());
+        assert!(app.end_transaction(t2).unwrap().is_committed());
         app.run(|t| {
             assert_eq!(ctr.read(t, 0)?, 30);
             Ok(())
@@ -256,7 +248,7 @@ mod tests {
         let t2 = app.begin_transaction(Tid::NULL).unwrap();
         assert!(ctr.read(t2, 0).is_err(), "read blocked by pending add");
         app.end_transaction(t2).unwrap();
-        assert!(app.end_transaction(t1).unwrap());
+        assert!(app.end_transaction(t1).unwrap().is_committed());
         node.shutdown();
     }
 
@@ -272,7 +264,7 @@ mod tests {
         ctr.add(t1, 0, 100).unwrap();
         ctr.add(t2, 0, 1).unwrap();
         app.abort_transaction(t1).unwrap();
-        assert!(app.end_transaction(t2).unwrap());
+        assert!(app.end_transaction(t2).unwrap().is_committed());
         app.run(|t| {
             assert_eq!(ctr.read(t, 0)?, 1, "t2's increment survived t1's abort");
             Ok(())
@@ -323,11 +315,7 @@ mod tests {
         let before = node.rm.log().usage().0;
         app.run(|t| ctr.add(t, 0, 1)).unwrap();
         let after = node.rm.log().usage().0;
-        assert!(
-            after - before < 150,
-            "one op-logged txn cost {} log bytes",
-            after - before
-        );
+        assert!(after - before < 150, "one op-logged txn cost {} log bytes", after - before);
         node.shutdown();
     }
 }

@@ -122,9 +122,7 @@ impl IoServer {
 }
 
 fn seg_read_u64(ctx: &OpCtx<'_>, off: u64) -> Result<u64, ServerError> {
-    ctx.segment()
-        .read_u64(off)
-        .map_err(|e| ServerError::Storage(e.to_string()))
+    ctx.segment().read_u64(off).map_err(|e| ServerError::Storage(e.to_string()))
 }
 
 /// Logged single-word write (lock + pin/buffer + log).
@@ -298,11 +296,7 @@ fn epoch_state(ctx: &OpCtx<'_>, area: u64, epoch: u64) -> Result<AreaState, Serv
     Ok(if v == 1 { AreaState::Committed } else { AreaState::Aborted })
 }
 
-fn line_record(
-    ctx: &OpCtx<'_>,
-    area: u64,
-    line: u64,
-) -> Result<(u64, u64, String), ServerError> {
+fn line_record(ctx: &OpCtx<'_>, area: u64, line: u64) -> Result<(u64, u64, String), ServerError> {
     let base = area_base(area) + PAGE_SIZE as u64 + line * LINE_REC;
     let rec = ctx
         .segment()
@@ -388,8 +382,7 @@ impl IoClient {
 
     /// `DestroyIOarea`.
     pub fn destroy_area(&self, tid: Tid, area: u64) -> Result<(), tabs_app_lib::AppError> {
-        self.app
-            .call(&self.port, tid, OP_DESTROY, Self::area_args(area).into_vec())?;
+        self.app.call(&self.port, tid, OP_DESTROY, Self::area_args(area).into_vec())?;
         Ok(())
     }
 
@@ -403,17 +396,13 @@ impl IoClient {
 
     /// `ReadLineFromArea`.
     pub fn read_line(&self, tid: Tid, area: u64) -> Result<String, tabs_app_lib::AppError> {
-        let out = self
-            .app
-            .call(&self.port, tid, OP_READ_LINE, Self::area_args(area).into_vec())?;
+        let out = self.app.call(&self.port, tid, OP_READ_LINE, Self::area_args(area).into_vec())?;
         String::decode_all(&out).map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
     }
 
     /// `ReadCharFromArea`.
     pub fn read_char(&self, tid: Tid, area: u64) -> Result<String, tabs_app_lib::AppError> {
-        let out = self
-            .app
-            .call(&self.port, tid, OP_READ_CHAR, Self::area_args(area).into_vec())?;
+        let out = self.app.call(&self.port, tid, OP_READ_CHAR, Self::area_args(area).into_vec())?;
         String::decode_all(&out).map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
     }
 
@@ -432,14 +421,14 @@ impl IoClient {
     }
 
     /// Structured line dump: `(state, kind, text)` per line.
-    pub fn lines(&self, area: u64) -> Result<Vec<(AreaState, u64, String)>, tabs_app_lib::AppError> {
-        let out = self
-            .app
-            .call(&self.port, Tid::NULL, OP_LINES, Self::area_args(area).into_vec())?;
+    pub fn lines(
+        &self,
+        area: u64,
+    ) -> Result<Vec<(AreaState, u64, String)>, tabs_app_lib::AppError> {
+        let out =
+            self.app.call(&self.port, Tid::NULL, OP_LINES, Self::area_args(area).into_vec())?;
         let mut r = Reader::new(&out);
-        let n = r
-            .get_varint()
-            .map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))?;
+        let n = r.get_varint().map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))?;
         let mut v = Vec::new();
         for _ in 0..n {
             let state = match r.get_u8().map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))? {
@@ -483,7 +472,7 @@ mod tests {
         assert_eq!(lines[0].0, AreaState::InProgress);
         assert!(io.render().unwrap().contains("\u{2591} deposit 35"));
         // After commit: black.
-        assert!(app.end_transaction(t).unwrap());
+        assert!(app.end_transaction(t).unwrap().is_committed());
         let lines = io.lines(area).unwrap();
         assert_eq!(lines[0], (AreaState::Committed, 0, "deposit 35".into()));
         assert!(io.render().unwrap().contains("  deposit 35"));
@@ -513,7 +502,7 @@ mod tests {
         assert_eq!(area, 0);
         let input = io.read_line(t, area).unwrap();
         assert_eq!(input, "35");
-        assert!(app.end_transaction(t).unwrap());
+        assert!(app.end_transaction(t).unwrap().is_committed());
         assert!(io.render().unwrap().contains("[35]"));
         node.shutdown();
     }
@@ -544,7 +533,7 @@ mod tests {
         let t1 = app.begin_transaction(Tid::NULL).unwrap();
         let a = client.obtain_area(t1).unwrap();
         client.writeln(t1, a, "deposit 35 -> ok").unwrap();
-        assert!(app.end_transaction(t1).unwrap());
+        assert!(app.end_transaction(t1).unwrap().is_committed());
 
         // A second area with an interaction cut short by the crash.
         let t2 = app.begin_transaction(Tid::NULL).unwrap();

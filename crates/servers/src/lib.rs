@@ -34,8 +34,8 @@ pub mod queue;
 pub mod repdir;
 
 pub use array::{IntArrayClient, IntArrayServer};
-pub use counter::{CounterClient, CounterServer};
 pub use btree::{BTreeClient, BTreeServer};
+pub use counter::{CounterClient, CounterServer};
 pub use io::{AreaState, IoClient, IoServer};
 pub use queue::{WeakQueueClient, WeakQueueServer};
 pub use repdir::{RepDirCoordinator, RepDirServer};

@@ -72,22 +72,15 @@ fn elem_obj(ctx: &OpCtx<'_>, capacity: u64, logical: u64) -> ObjectId {
 fn read_head(ctx: &OpCtx<'_>) -> Result<u64, ServerError> {
     // Unprotected read (checked for fullness only); the head is updated
     // transactionally by garbage collection.
-    ctx.segment()
-        .read_u64(0)
-        .map_err(|e| ServerError::Storage(e.to_string()))
+    ctx.segment().read_u64(0).map_err(|e| ServerError::Storage(e.to_string()))
 }
 
 fn read_elem(ctx: &OpCtx<'_>, capacity: u64, logical: u64) -> Result<(bool, i64), ServerError> {
     let slot = logical % capacity;
     let base = ELEMS_BASE + slot * ELEM;
-    let in_use = ctx
-        .segment()
-        .read_u64(base)
-        .map_err(|e| ServerError::Storage(e.to_string()))?;
-    let value = ctx
-        .segment()
-        .read_i64(base + 8)
-        .map_err(|e| ServerError::Storage(e.to_string()))?;
+    let in_use = ctx.segment().read_u64(base).map_err(|e| ServerError::Storage(e.to_string()))?;
+    let value =
+        ctx.segment().read_i64(base + 8).map_err(|e| ServerError::Storage(e.to_string()))?;
     Ok((in_use != 0, value))
 }
 
@@ -104,11 +97,7 @@ fn recompute_tail(ctx: &OpCtx<'_>, capacity: u64) -> Result<u64, ServerError> {
     Ok(tail)
 }
 
-fn ensure_tail(
-    ctx: &OpCtx<'_>,
-    capacity: u64,
-    vol: &Mutex<Volatile>,
-) -> Result<u64, ServerError> {
+fn ensure_tail(ctx: &OpCtx<'_>, capacity: u64, vol: &Mutex<Volatile>) -> Result<u64, ServerError> {
     let mut v = vol.lock();
     match v.tail {
         Some(t) => Ok(t),
@@ -195,11 +184,7 @@ fn enqueue(
 /// moves the head pointer past any elements that are not locked, and whose
 /// InUse bits are False. The current implementation does the garbage
 /// collection as a side effect of Enqueue."
-fn garbage_collect_head(
-    ctx: &OpCtx<'_>,
-    capacity: u64,
-    tail: u64,
-) -> Result<(), ServerError> {
+fn garbage_collect_head(ctx: &OpCtx<'_>, capacity: u64, tail: u64) -> Result<(), ServerError> {
     let head = read_head(ctx)?;
     let mut new_head = head;
     while new_head < tail {
@@ -230,11 +215,7 @@ fn garbage_collect_head(
 /// IsObjectLocked primitive, and then testing the InUse bit. When an
 /// unlocked element whose InUse bit is True is found, Dequeue locks it and
 /// returns its contents."
-fn dequeue(
-    ctx: &OpCtx<'_>,
-    capacity: u64,
-    vol: &Mutex<Volatile>,
-) -> Result<Vec<u8>, ServerError> {
+fn dequeue(ctx: &OpCtx<'_>, capacity: u64, vol: &Mutex<Volatile>) -> Result<Vec<u8>, ServerError> {
     let tail = ensure_tail(ctx, capacity, vol)?;
     let head = read_head(ctx)?;
     for logical in head..tail {
@@ -266,11 +247,7 @@ fn dequeue(
     Ok(w.into_vec())
 }
 
-fn is_empty(
-    ctx: &OpCtx<'_>,
-    capacity: u64,
-    vol: &Mutex<Volatile>,
-) -> Result<Vec<u8>, ServerError> {
+fn is_empty(ctx: &OpCtx<'_>, capacity: u64, vol: &Mutex<Volatile>) -> Result<Vec<u8>, ServerError> {
     let tail = ensure_tail(ctx, capacity, vol)?;
     let head = read_head(ctx)?;
     let mut empty = true;
@@ -313,8 +290,7 @@ impl WeakQueueClient {
     /// `Dequeue` — `None` when no element is currently dequeuable.
     pub fn dequeue(&self, tid: Tid) -> Result<Option<i64>, tabs_app_lib::AppError> {
         let out = self.app.call(&self.port, tid, OP_DEQUEUE, Vec::new())?;
-        Option::<i64>::decode_all(&out)
-            .map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
+        Option::<i64>::decode_all(&out).map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
     }
 
     /// `IsQueueEmpty`.
@@ -424,7 +400,7 @@ mod tests {
         let t2 = app.begin_transaction(Tid::NULL).unwrap();
         assert_eq!(q.dequeue(t2).unwrap(), None);
         app.end_transaction(t2).unwrap();
-        assert!(app.end_transaction(t1).unwrap());
+        assert!(app.end_transaction(t1).unwrap().is_committed());
         app.run(|t| {
             assert_eq!(q.dequeue(t)?.unwrap(), 7);
             Ok(())

@@ -178,15 +178,9 @@ impl RepDirCoordinator {
     pub fn lookup(&self, tid: Tid, key: &[u8]) -> Result<Option<Vec<u8>>, RepDirError> {
         let (votes, weight) = self.gather(tid, key, self.read_quorum);
         if weight < self.read_quorum {
-            return Err(RepDirError::NoReadQuorum {
-                gathered: weight,
-                needed: self.read_quorum,
-            });
+            return Err(RepDirError::NoReadQuorum { gathered: weight, needed: self.read_quorum });
         }
-        let newest = votes
-            .into_iter()
-            .filter_map(|(_, e)| e)
-            .max_by_key(|e| e.version);
+        let newest = votes.into_iter().filter_map(|(_, e)| e).max_by_key(|e| e.version);
         Ok(match newest {
             Some(e) if !e.deleted => Some(e.data),
             _ => None,
@@ -217,17 +211,10 @@ impl RepDirCoordinator {
         // Phase 1: read-quorum gather to learn the current version.
         let (votes, weight) = self.gather(tid, key, self.read_quorum);
         if weight < self.read_quorum {
-            return Err(RepDirError::NoReadQuorum {
-                gathered: weight,
-                needed: self.read_quorum,
-            });
+            return Err(RepDirError::NoReadQuorum { gathered: weight, needed: self.read_quorum });
         }
-        let version = votes
-            .iter()
-            .filter_map(|(_, e)| e.as_ref().map(|e| e.version))
-            .max()
-            .unwrap_or(0)
-            + 1;
+        let version =
+            votes.iter().filter_map(|(_, e)| e.as_ref().map(|e| e.version)).max().unwrap_or(0) + 1;
         let entry = VersionedEntry { version, deleted, data };
         let bytes = entry.encode_to_vec();
 
@@ -296,9 +283,7 @@ mod tests {
         node.recover().unwrap();
         let app = node.app();
         let reps = |n: u32| {
-            (0..n)
-                .map(|_| Replica { port: rep.send_right(), weight: 1 })
-                .collect::<Vec<_>>()
+            (0..n).map(|_| Replica { port: rep.send_right(), weight: 1 }).collect::<Vec<_>>()
         };
         // r + w ≤ total rejected.
         assert!(matches!(
@@ -321,7 +306,7 @@ mod tests {
         let t = app.begin_transaction(Tid::NULL).unwrap();
         coord.update(t, b"home", b"node3:/usr").unwrap();
         assert_eq!(coord.lookup(t, b"home").unwrap().unwrap(), b"node3:/usr");
-        assert!(app.end_transaction(t).unwrap());
+        assert!(app.end_transaction(t).unwrap().is_committed());
         // Fresh transaction still sees it.
         let t2 = app.begin_transaction(Tid::NULL).unwrap();
         assert_eq!(coord.lookup(t2, b"home").unwrap().unwrap(), b"node3:/usr");
@@ -473,10 +458,8 @@ mod tests {
             coord.update(t, b"k", b"v").map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
         })
         .unwrap();
-        app.run(|t| {
-            coord.delete(t, b"k").map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))
-        })
-        .unwrap();
+        app.run(|t| coord.delete(t, b"k").map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string())))
+            .unwrap();
         app.run(|t| {
             assert_eq!(
                 coord.lookup(t, b"k").map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string()))?,

@@ -25,6 +25,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use tabs_kernel::{NodeId, PerfCounters, PrimitiveOp, Tid};
+use tabs_obs::{TraceCollector, TraceEvent, Vote as ObsVote};
 use tabs_proto::CommitMsg;
 use tabs_rm::RecoveryManager;
 use tabs_wal::TxState;
@@ -175,6 +176,7 @@ pub struct TransactionManager {
     /// crash recovery, appended to at runtime).
     outcomes: Mutex<HashMap<Tid, bool>>,
     perf: Arc<PerfCounters>,
+    trace: Mutex<Option<Arc<TraceCollector>>>,
 }
 
 impl std::fmt::Debug for TransactionManager {
@@ -205,6 +207,7 @@ impl TransactionManager {
             cond: Condvar::new(),
             outcomes: Mutex::new(HashMap::new()),
             perf,
+            trace: Mutex::new(None),
         })
     }
 
@@ -215,6 +218,26 @@ impl TransactionManager {
 
     fn transport(&self) -> Arc<dyn CommitTransport> {
         Arc::clone(&self.transport.lock())
+    }
+
+    /// Attaches a trace collector: transaction begins and every
+    /// two-phase-commit datagram this manager sends or receives (including
+    /// retransmissions) are recorded against the transaction's identifier.
+    pub fn set_trace(&self, trace: Arc<TraceCollector>) {
+        *self.trace.lock() = Some(trace);
+    }
+
+    fn emit(&self, tid: Tid, event: TraceEvent) {
+        if let Some(t) = self.trace.lock().as_ref() {
+            t.record(tid, event);
+        }
+    }
+
+    fn send_traced(&self, transport: &Arc<dyn CommitTransport>, to: NodeId, msg: CommitMsg) {
+        if let Some((tid, event)) = commit_msg_send_event(to, &msg) {
+            self.emit(tid, event);
+        }
+        transport.send(to, msg);
     }
 
     /// This node.
@@ -249,6 +272,7 @@ impl TransactionManager {
         };
         self.rm.log_begin(tid, parent);
         self.inner.lock().insert(tid, TxInfo::new(parent, tid));
+        self.emit(tid, TraceEvent::TxnBegin { parent });
         Ok(tid)
     }
 
@@ -258,9 +282,7 @@ impl TransactionManager {
         // The server's one-time notification message.
         self.perf.record(PrimitiveOp::SmallContiguousMessage);
         let mut inner = self.inner.lock();
-        let info = inner
-            .entry(tid)
-            .or_insert_with(|| TxInfo::new(Tid::NULL, tid));
+        let info = inner.entry(tid).or_insert_with(|| TxInfo::new(Tid::NULL, tid));
         info.participants.entry(server.to_string()).or_insert(p);
     }
 
@@ -374,11 +396,8 @@ impl TransactionManager {
         }
         info.phase = TxPhase::Committed;
         let child_merged = info.merged.clone();
-        let child_parts: Vec<(String, Arc<dyn Participant>)> = info
-            .participants
-            .iter()
-            .map(|(k, v)| (k.clone(), Arc::clone(v)))
-            .collect();
+        let child_parts: Vec<(String, Arc<dyn Participant>)> =
+            info.participants.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect();
         for (_, p) in &child_parts {
             for t in &child_merged {
                 p.commit_subtransaction(*t, parent);
@@ -439,9 +458,7 @@ impl TransactionManager {
         // Decision. Read-only transactions need no commit record or force
         // (the cheap path of Table 5-3, "1 Node, Read Only").
         if updates {
-            self.rm
-                .log_commit(tid)
-                .map_err(|e| TmError::Rm(e.to_string()))?;
+            self.rm.log_commit(tid).map_err(|e| TmError::Rm(e.to_string()))?;
         }
         {
             let mut inner = self.inner.lock();
@@ -480,7 +497,7 @@ impl TransactionManager {
         let deadline = Instant::now() + VOTE_DEADLINE;
         let msg = CommitMsg::Prepare { tid, merged: merged.to_vec() };
         for &c in children {
-            transport.send(c, msg.clone());
+            self.send_traced(&transport, c, msg.clone());
         }
         let mut inner = self.inner.lock();
         loop {
@@ -497,24 +514,19 @@ impl TransactionManager {
                 let any_updates = !yes.is_empty();
                 return Ok((yes, any_updates));
             }
-            let timed_out = self
-                .cond
-                .wait_until(&mut inner, Instant::now() + RETRANSMIT_EVERY)
-                .timed_out();
+            let timed_out =
+                self.cond.wait_until(&mut inner, Instant::now() + RETRANSMIT_EVERY).timed_out();
             if Instant::now() >= deadline {
                 return Err(TmError::VoteTimeout(tid));
             }
             if timed_out {
                 // Retransmit to children that have not voted.
                 let info = inner.get(&tid).ok_or(TmError::Unknown(tid))?;
-                let missing: Vec<NodeId> = children
-                    .iter()
-                    .copied()
-                    .filter(|c| !info.votes.contains_key(c))
-                    .collect();
+                let missing: Vec<NodeId> =
+                    children.iter().copied().filter(|c| !info.votes.contains_key(c)).collect();
                 parking_lot::MutexGuard::unlocked(&mut inner, || {
                     for c in missing {
-                        transport.send(c, msg.clone());
+                        self.send_traced(&transport, c, msg.clone());
                     }
                 });
             }
@@ -528,7 +540,7 @@ impl TransactionManager {
     fn chase_acks_blocking(&self, tid: Tid, targets: HashSet<NodeId>, msg: CommitMsg) {
         let transport = self.transport();
         for &c in &targets {
-            transport.send(c, msg.clone());
+            self.send_traced(&transport, c, msg.clone());
         }
         let deadline = Instant::now() + ACK_DEADLINE;
         let mut inner = self.inner.lock();
@@ -540,22 +552,18 @@ impl TransactionManager {
             if done || Instant::now() >= deadline {
                 return;
             }
-            let timed_out = self
-                .cond
-                .wait_until(&mut inner, Instant::now() + RETRANSMIT_EVERY)
-                .timed_out();
+            let timed_out =
+                self.cond.wait_until(&mut inner, Instant::now() + RETRANSMIT_EVERY).timed_out();
             if timed_out {
                 let missing: Vec<NodeId> = match inner.get(&tid) {
-                    Some(info) => targets
-                        .iter()
-                        .copied()
-                        .filter(|c| !info.acks.contains(c))
-                        .collect(),
+                    Some(info) => {
+                        targets.iter().copied().filter(|c| !info.acks.contains(c)).collect()
+                    }
                     None => Vec::new(),
                 };
                 parking_lot::MutexGuard::unlocked(&mut inner, || {
                     for c in missing {
-                        transport.send(c, msg.clone());
+                        self.send_traced(&transport, c, msg.clone());
                     }
                 });
             }
@@ -566,10 +574,16 @@ impl TransactionManager {
     /// side is idempotent and acknowledgements are absorbed by `handle`.
     fn chase_acks_background(&self, _tid: Tid, targets: HashSet<NodeId>, msg: CommitMsg) {
         let transport = self.transport();
+        let trace = self.trace.lock().clone();
         std::thread::spawn(move || {
             let deadline = Instant::now() + ACK_DEADLINE;
             while Instant::now() < deadline {
                 for &c in &targets {
+                    if let Some(t) = trace.as_ref() {
+                        if let Some((tid, event)) = commit_msg_send_event(c, &msg) {
+                            t.record(tid, event);
+                        }
+                    }
                     transport.send(c, msg.clone());
                 }
                 std::thread::sleep(RETRANSMIT_EVERY);
@@ -580,15 +594,16 @@ impl TransactionManager {
     /// Entry point for incoming two-phase-commit datagrams, called by the
     /// Communication Manager's datagram loop.
     pub fn handle(self: &Arc<Self>, from: NodeId, msg: CommitMsg) {
+        if let Some((tid, event)) = commit_msg_recv_event(from, &msg) {
+            self.emit(tid, event);
+        }
         match msg {
             CommitMsg::Prepare { tid, merged } => {
                 let tm = Arc::clone(self);
                 std::thread::spawn(move || tm.handle_prepare(from, tid, merged));
             }
             CommitMsg::VoteYes { tid, from } => self.record_vote(tid, from, Vote::Yes),
-            CommitMsg::VoteReadOnly { tid, from } => {
-                self.record_vote(tid, from, Vote::ReadOnly)
-            }
+            CommitMsg::VoteReadOnly { tid, from } => self.record_vote(tid, from, Vote::ReadOnly),
             CommitMsg::VoteNo { tid, from } => self.record_vote(tid, from, Vote::No),
             CommitMsg::Commit { tid } => {
                 let tm = Arc::clone(self);
@@ -612,7 +627,7 @@ impl TransactionManager {
                     // Presumed abort: no durable commit outcome means abort.
                     _ => CommitMsg::Abort { tid },
                 };
-                self.transport().send(from, reply);
+                self.send_traced(&self.transport(), from, reply);
             }
         }
     }
@@ -635,18 +650,29 @@ impl TransactionManager {
                 match info.phase {
                     TxPhase::Prepared => {
                         drop(inner);
-                        transport.send(from, CommitMsg::VoteYes { tid, from: self.node });
+                        self.send_traced(
+                            &transport,
+                            from,
+                            CommitMsg::VoteYes { tid, from: self.node },
+                        );
                         return;
                     }
                     TxPhase::Committed => {
                         drop(inner);
-                        transport
-                            .send(from, CommitMsg::CommitAck { tid, from: self.node });
+                        self.send_traced(
+                            &transport,
+                            from,
+                            CommitMsg::CommitAck { tid, from: self.node },
+                        );
                         return;
                     }
                     TxPhase::Aborted => {
                         drop(inner);
-                        transport.send(from, CommitMsg::VoteNo { tid, from: self.node });
+                        self.send_traced(
+                            &transport,
+                            from,
+                            CommitMsg::VoteNo { tid, from: self.node },
+                        );
                         return;
                     }
                     TxPhase::Running => {}
@@ -658,9 +684,7 @@ impl TransactionManager {
         let mut participants: HashMap<String, Arc<dyn Participant>> = HashMap::new();
         {
             let mut inner = self.inner.lock();
-            let entry = inner
-                .entry(tid)
-                .or_insert_with(|| TxInfo::new(Tid::NULL, tid));
+            let entry = inner.entry(tid).or_insert_with(|| TxInfo::new(Tid::NULL, tid));
             entry.remote_parent = Some(from);
             for t in &merged {
                 if let Some(info) = inner.get(t) {
@@ -679,9 +703,7 @@ impl TransactionManager {
             // enlisted under subtransaction tids.
             if let Some(info) = inner.get_mut(&tid) {
                 for (k, v) in &participants {
-                    info.participants
-                        .entry(k.clone())
-                        .or_insert_with(|| Arc::clone(v));
+                    info.participants.entry(k.clone()).or_insert_with(|| Arc::clone(v));
                 }
             }
         }
@@ -692,7 +714,11 @@ impl TransactionManager {
                 match p.prepare(*t) {
                     Ok(u) => updates |= u,
                     Err(_) => {
-                        transport.send(from, CommitMsg::VoteNo { tid, from: self.node });
+                        self.send_traced(
+                            &transport,
+                            from,
+                            CommitMsg::VoteNo { tid, from: self.node },
+                        );
                         let _ = self.abort_local_tree(tid, &merged);
                         return;
                     }
@@ -715,7 +741,7 @@ impl TransactionManager {
                     yes_children = yes;
                 }
                 Err(_) => {
-                    transport.send(from, CommitMsg::VoteNo { tid, from: self.node });
+                    self.send_traced(&transport, from, CommitMsg::VoteNo { tid, from: self.node });
                     let _ = self.abort_local_tree(tid, &merged);
                     return;
                 }
@@ -731,7 +757,7 @@ impl TransactionManager {
                 }
             }
             if self.rm.log_prepare(tid, from).is_err() {
-                transport.send(from, CommitMsg::VoteNo { tid, from: self.node });
+                self.send_traced(&transport, from, CommitMsg::VoteNo { tid, from: self.node });
                 return;
             }
             {
@@ -742,7 +768,7 @@ impl TransactionManager {
                     info.merged = merged.clone();
                 }
             }
-            transport.send(from, CommitMsg::VoteYes { tid, from: self.node });
+            self.send_traced(&transport, from, CommitMsg::VoteYes { tid, from: self.node });
         } else {
             // Read-only subtree: vote and forget (no phase 2 needed).
             {
@@ -756,7 +782,7 @@ impl TransactionManager {
                     p.finish(*t, true);
                 }
             }
-            transport.send(from, CommitMsg::VoteReadOnly { tid, from: self.node });
+            self.send_traced(&transport, from, CommitMsg::VoteReadOnly { tid, from: self.node });
         }
     }
 
@@ -774,7 +800,11 @@ impl TransactionManager {
                 ),
                 None => {
                     // Already resolved and forgotten: just re-ack.
-                    transport.send(from, CommitMsg::CommitAck { tid, from: self.node });
+                    self.send_traced(
+                        &transport,
+                        from,
+                        CommitMsg::CommitAck { tid, from: self.node },
+                    );
                     return;
                 }
             }
@@ -803,7 +833,7 @@ impl TransactionManager {
                 );
             }
         }
-        transport.send(from, CommitMsg::CommitAck { tid, from: self.node });
+        self.send_traced(&transport, from, CommitMsg::CommitAck { tid, from: self.node });
     }
 
     /// Participant side of abort.
@@ -816,7 +846,7 @@ impl TransactionManager {
         if let Some(merged) = merged {
             let _ = self.abort_local_tree(tid, &merged);
         }
-        transport.send(from, CommitMsg::AbortAck { tid, from: self.node });
+        self.send_traced(&transport, from, CommitMsg::AbortAck { tid, from: self.node });
     }
 
     fn abort_local_tree(&self, tid: Tid, merged: &[Tid]) -> Result<(), TmError> {
@@ -848,7 +878,7 @@ impl TransactionManager {
             children.extend(transport.children(*t));
         }
         for c in children {
-            transport.send(c, CommitMsg::Abort { tid });
+            self.send_traced(&transport, c, CommitMsg::Abort { tid });
         }
         self.cond.notify_all();
         Ok(())
@@ -879,23 +909,57 @@ impl TransactionManager {
         }
         drop(inner);
         // Ask each coordinator for the outcome (periodically until told).
-        for (tid, coord) in in_doubt.to_vec() {
+        for (tid, coord) in in_doubt.iter().copied() {
             let tm = Arc::clone(self);
-            let tid = tid;
-            let coord = coord;
             std::thread::spawn(move || {
                 let deadline = Instant::now() + Duration::from_secs(10);
                 while Instant::now() < deadline {
                     if !matches!(tm.phase(tid), Some(TxPhase::Prepared)) {
                         return;
                     }
-                    tm.transport()
-                        .send(coord, CommitMsg::Inquire { tid, from: tm.node });
+                    tm.transport().send(coord, CommitMsg::Inquire { tid, from: tm.node });
                     std::thread::sleep(RETRANSMIT_EVERY * 3);
                 }
             });
         }
     }
+}
+
+/// Maps an outbound commit datagram to its trace event (`None` for
+/// protocol traffic outside the four two-phase-commit phases: `Inquire`).
+fn commit_msg_send_event(to: NodeId, msg: &CommitMsg) -> Option<(Tid, TraceEvent)> {
+    Some(match msg {
+        CommitMsg::Prepare { tid, .. } => (*tid, TraceEvent::PrepareSend { to }),
+        CommitMsg::VoteYes { tid, .. } => (*tid, TraceEvent::VoteSend { to, vote: ObsVote::Yes }),
+        CommitMsg::VoteReadOnly { tid, .. } => {
+            (*tid, TraceEvent::VoteSend { to, vote: ObsVote::ReadOnly })
+        }
+        CommitMsg::VoteNo { tid, .. } => (*tid, TraceEvent::VoteSend { to, vote: ObsVote::No }),
+        CommitMsg::Commit { tid } => (*tid, TraceEvent::DecisionSend { to, commit: true }),
+        CommitMsg::Abort { tid } => (*tid, TraceEvent::DecisionSend { to, commit: false }),
+        CommitMsg::CommitAck { tid, .. } | CommitMsg::AbortAck { tid, .. } => {
+            (*tid, TraceEvent::AckSend { to })
+        }
+        CommitMsg::Inquire { .. } => return None,
+    })
+}
+
+/// Inbound counterpart of [`commit_msg_send_event`].
+fn commit_msg_recv_event(from: NodeId, msg: &CommitMsg) -> Option<(Tid, TraceEvent)> {
+    Some(match msg {
+        CommitMsg::Prepare { tid, .. } => (*tid, TraceEvent::PrepareRecv { from }),
+        CommitMsg::VoteYes { tid, .. } => (*tid, TraceEvent::VoteRecv { from, vote: ObsVote::Yes }),
+        CommitMsg::VoteReadOnly { tid, .. } => {
+            (*tid, TraceEvent::VoteRecv { from, vote: ObsVote::ReadOnly })
+        }
+        CommitMsg::VoteNo { tid, .. } => (*tid, TraceEvent::VoteRecv { from, vote: ObsVote::No }),
+        CommitMsg::Commit { tid } => (*tid, TraceEvent::DecisionRecv { from, commit: true }),
+        CommitMsg::Abort { tid } => (*tid, TraceEvent::DecisionRecv { from, commit: false }),
+        CommitMsg::CommitAck { tid, .. } | CommitMsg::AbortAck { tid, .. } => {
+            (*tid, TraceEvent::AckRecv { from })
+        }
+        CommitMsg::Inquire { .. } => return None,
+    })
 }
 
 #[cfg(test)]
@@ -922,8 +986,7 @@ mod tests {
         (rm, pool)
     }
 
-    fn make_tm(node: NodeId) -> (Arc<TransactionManager>, Arc<RecoveryManager>, Arc<BufferPool>)
-    {
+    fn make_tm(node: NodeId) -> (Arc<TransactionManager>, Arc<RecoveryManager>, Arc<BufferPool>) {
         let (rm, pool) = make_rm(node);
         let tm = TransactionManager::new(node, 1, Arc::clone(&rm), PerfCounters::new());
         (tm, rm, pool)
@@ -1002,9 +1065,7 @@ mod tests {
         tm.enlist(t, "srv", part);
         assert!(tm.end(t).unwrap());
         let durable = rm.log().durable_entries();
-        assert!(durable
-            .iter()
-            .any(|e| matches!(e.record, tabs_wal::LogRecord::Commit { .. })));
+        assert!(durable.iter().any(|e| matches!(e.record, tabs_wal::LogRecord::Commit { .. })));
     }
 
     #[test]
@@ -1016,11 +1077,7 @@ mod tests {
         tm.enlist(t, "srv", part.clone());
         assert!(!tm.end(t).unwrap());
         assert_eq!(tm.phase(t), Some(TxPhase::Aborted));
-        assert!(part
-            .log
-            .lock()
-            .iter()
-            .any(|l| l.contains("finish") && l.contains("false")));
+        assert!(part.log.lock().iter().any(|l| l.contains("finish") && l.contains("false")));
     }
 
     #[test]
@@ -1031,11 +1088,7 @@ mod tests {
         let sub = tm.begin(top).unwrap();
         tm.enlist(sub, "srv", part.clone());
         assert!(tm.end(sub).unwrap());
-        assert!(part
-            .log
-            .lock()
-            .iter()
-            .any(|l| l.starts_with(&format!("subcommit {sub}"))));
+        assert!(part.log.lock().iter().any(|l| l.starts_with(&format!("subcommit {sub}"))));
         // Parent commit finishes the child's participant too.
         assert!(tm.end(top).unwrap());
         let log = part.log.lock().clone();
@@ -1131,6 +1184,7 @@ mod tests {
         }
     }
 
+    #[allow(clippy::type_complexity)]
     fn two_node_rig() -> (
         Arc<TransactionManager>,
         Arc<TransactionManager>,
@@ -1161,22 +1215,14 @@ mod tests {
 
         // Both logs carry durable records; node 2 prepared then committed.
         let recs2 = rm2.log().durable_entries();
-        assert!(recs2
-            .iter()
-            .any(|e| matches!(e.record, tabs_wal::LogRecord::Prepare { .. })));
-        assert!(recs2
-            .iter()
-            .any(|e| matches!(e.record, tabs_wal::LogRecord::Commit { .. })));
+        assert!(recs2.iter().any(|e| matches!(e.record, tabs_wal::LogRecord::Prepare { .. })));
+        assert!(recs2.iter().any(|e| matches!(e.record, tabs_wal::LogRecord::Commit { .. })));
         assert!(rm1
             .log()
             .durable_entries()
             .iter()
             .any(|e| matches!(e.record, tabs_wal::LogRecord::Commit { .. })));
-        assert!(part2
-            .log
-            .lock()
-            .iter()
-            .any(|l| l.contains("finish") && l.contains("true")));
+        assert!(part2.log.lock().iter().any(|l| l.contains("finish") && l.contains("true")));
         assert_eq!(tm2.phase(t), Some(TxPhase::Committed));
     }
 
@@ -1217,11 +1263,7 @@ mod tests {
             std::thread::sleep(Duration::from_millis(10));
         }
         assert_eq!(tm2.phase(t), Some(TxPhase::Aborted));
-        assert!(part2
-            .log
-            .lock()
-            .iter()
-            .any(|l| l.contains("finish") && l.contains("false")));
+        assert!(part2.log.lock().iter().any(|l| l.contains("finish") && l.contains("false")));
         assert!(rm2
             .log()
             .all_entries()
@@ -1242,11 +1284,7 @@ mod tests {
         tm2.enlist(t, "s2", part2);
         assert!(!tm1.end(t).unwrap());
         assert_eq!(tm1.phase(t), Some(TxPhase::Aborted));
-        assert!(part1
-            .log
-            .lock()
-            .iter()
-            .any(|l| l.contains("finish") && l.contains("false")));
+        assert!(part1.log.lock().iter().any(|l| l.contains("finish") && l.contains("false")));
     }
 
     #[test]
@@ -1281,10 +1319,6 @@ mod tests {
             std::thread::sleep(Duration::from_millis(10));
         }
         assert_eq!(tm2.phase(t), Some(TxPhase::Committed));
-        assert!(part2
-            .log
-            .lock()
-            .iter()
-            .any(|l| l.contains("finish") && l.contains("true")));
+        assert!(part2.log.lock().iter().any(|l| l.contains("finish") && l.contains("true")));
     }
 }

@@ -108,11 +108,7 @@ impl LogDevice for MemLogDevice {
     fn truncate_front(&self, n: usize) -> io::Result<()> {
         let mut data = self.data.lock();
         let frames = parse_frames(&data);
-        let keep: Vec<u8> = frames
-            .iter()
-            .skip(n)
-            .flat_map(|p| frame(p))
-            .collect();
+        let keep: Vec<u8> = frames.iter().skip(n).flat_map(|p| frame(p)).collect();
         *data = keep;
         Ok(())
     }
@@ -135,12 +131,8 @@ pub struct FileLogDevice {
 impl FileLogDevice {
     /// Creates or opens a log file at `path`.
     pub fn open(path: &Path, capacity: u64) -> io::Result<Arc<Self>> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
         Ok(Arc::new(Self { file: Mutex::new(file), capacity }))
     }
 }
@@ -178,11 +170,7 @@ impl LogDevice for FileLogDevice {
     }
 
     fn len_bytes(&self) -> u64 {
-        self.file
-            .lock()
-            .metadata()
-            .map(|m| m.len())
-            .unwrap_or(0)
+        self.file.lock().metadata().map(|m| m.len()).unwrap_or(0)
     }
 
     fn capacity_bytes(&self) -> u64 {

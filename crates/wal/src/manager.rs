@@ -11,6 +11,7 @@ use parking_lot::Mutex;
 
 use tabs_codec::{Decode, Encode};
 use tabs_kernel::{PerfCounters, PrimitiveOp, Tid};
+use tabs_obs::{TraceCollector, TraceEvent};
 
 use crate::device::LogDevice;
 use crate::records::{LogEntry, LogRecord, Lsn};
@@ -56,6 +57,7 @@ pub struct LogManager {
     device: Arc<dyn LogDevice>,
     inner: Mutex<Inner>,
     perf: Arc<PerfCounters>,
+    trace: Mutex<Option<Arc<TraceCollector>>>,
 }
 
 impl std::fmt::Debug for LogManager {
@@ -77,8 +79,7 @@ impl LogManager {
         let frames = device.scan().map_err(|e| WalError::Io(e.to_string()))?;
         let mut durable = Vec::with_capacity(frames.len());
         for f in &frames {
-            let entry =
-                LogEntry::decode_all(f).map_err(|e| WalError::Codec(e.to_string()))?;
+            let entry = LogEntry::decode_all(f).map_err(|e| WalError::Codec(e.to_string()))?;
             durable.push(entry);
         }
         let next_lsn = durable.last().map(|e| e.lsn.0 + 1).unwrap_or(1);
@@ -93,7 +94,20 @@ impl LogManager {
                 chain: HashMap::new(),
             }),
             perf,
+            trace: Mutex::new(None),
         })
+    }
+
+    /// Attaches a trace collector; appends and forces are recorded as
+    /// [`TraceEvent::LogAppend`] / [`TraceEvent::LogForce`].
+    pub fn set_trace(&self, trace: Arc<TraceCollector>) {
+        *self.trace.lock() = Some(trace);
+    }
+
+    fn emit(&self, tid: Tid, event: TraceEvent) {
+        if let Some(t) = self.trace.lock().as_ref() {
+            t.record(tid, event);
+        }
     }
 
     /// Appends `record`, linking it into its transaction's backward chain.
@@ -102,11 +116,14 @@ impl LogManager {
         let mut inner = self.inner.lock();
         let lsn = Lsn(inner.next_lsn);
         inner.next_lsn += 1;
-        let prev = record.tid().and_then(|tid| inner.chain.get(&tid).copied());
-        if let Some(tid) = record.tid() {
+        let record_tid = record.tid();
+        let prev = record_tid.and_then(|tid| inner.chain.get(&tid).copied());
+        if let Some(tid) = record_tid {
             inner.chain.insert(tid, lsn);
         }
         inner.buffer.push(LogEntry { lsn, prev, record });
+        drop(inner);
+        self.emit(record_tid.unwrap_or(Tid::NULL), TraceEvent::LogAppend { lsn: lsn.0 });
         lsn
     }
 
@@ -116,23 +133,27 @@ impl LogManager {
     pub fn force(&self, upto: Option<Lsn>) -> Result<Lsn, WalError> {
         let mut inner = self.inner.lock();
         let limit = upto.unwrap_or(Lsn(u64::MAX));
-        if inner.buffer.first().map_or(true, |e| e.lsn > limit) {
+        if inner.buffer.first().is_none_or(|e| e.lsn > limit) {
             return Ok(inner.durable_lsn); // nothing to do
         }
         let split = inner.buffer.partition_point(|e| e.lsn <= limit);
         let to_write: Vec<LogEntry> = inner.buffer.drain(..split).collect();
         for entry in &to_write {
-            self.device
-                .append(&entry.encode_to_vec())
-                .map_err(|e| WalError::Io(e.to_string()))?;
+            self.device.append(&entry.encode_to_vec()).map_err(|e| WalError::Io(e.to_string()))?;
         }
         self.device.force().map_err(|e| WalError::Io(e.to_string()))?;
         self.perf.record(PrimitiveOp::StableStorageWrite);
         if let Some(last) = to_write.last() {
             inner.durable_lsn = last.lsn;
         }
+        // Attribute the force to the newest transaction it made durable
+        // (typically the commit or prepare record that demanded it).
+        let force_tid = to_write.iter().rev().find_map(|e| e.record.tid()).unwrap_or(Tid::NULL);
         inner.durable.extend(to_write);
-        Ok(inner.durable_lsn)
+        let durable_lsn = inner.durable_lsn;
+        drop(inner);
+        self.emit(force_tid, TraceEvent::LogForce { lsn: durable_lsn.0 });
+        Ok(durable_lsn)
     }
 
     /// Appends `record` and immediately forces through it.
@@ -208,9 +229,7 @@ impl LogManager {
         if n == 0 {
             return Ok(0);
         }
-        self.device
-            .truncate_front(n)
-            .map_err(|e| WalError::Io(e.to_string()))?;
+        self.device.truncate_front(n).map_err(|e| WalError::Io(e.to_string()))?;
         inner.durable.drain(..n);
         Ok(n)
     }
@@ -239,11 +258,8 @@ mod tests {
 
     fn manager() -> (LogManager, Arc<MemLogDevice>) {
         let dev = MemLogDevice::new(1 << 20);
-        let lm = LogManager::open(
-            Arc::clone(&dev) as Arc<dyn LogDevice>,
-            PerfCounters::new(),
-        )
-        .unwrap();
+        let lm =
+            LogManager::open(Arc::clone(&dev) as Arc<dyn LogDevice>, PerfCounters::new()).unwrap();
         (lm, dev)
     }
 
@@ -261,12 +277,10 @@ mod tests {
     fn unforced_records_lost_on_reopen() {
         let (lm, dev) = manager();
         lm.append(LogRecord::Begin { tid: tid(1), parent: Tid::NULL });
-        lm.append_forced(LogRecord::Begin { tid: tid(2), parent: Tid::NULL })
-            .unwrap();
+        lm.append_forced(LogRecord::Begin { tid: tid(2), parent: Tid::NULL }).unwrap();
         lm.append(LogRecord::Commit { tid: tid(2) }); // never forced
         drop(lm); // crash
-        let lm2 =
-            LogManager::open(dev as Arc<dyn LogDevice>, PerfCounters::new()).unwrap();
+        let lm2 = LogManager::open(dev as Arc<dyn LogDevice>, PerfCounters::new()).unwrap();
         let entries = lm2.durable_entries();
         // Both begins were forced (force writes everything ≤ the target
         // LSN), the commit was not.
@@ -280,8 +294,7 @@ mod tests {
     fn force_counts_stable_storage_writes() {
         let dev = MemLogDevice::new(1 << 20);
         let perf = PerfCounters::new();
-        let lm =
-            LogManager::open(dev as Arc<dyn LogDevice>, Arc::clone(&perf)).unwrap();
+        let lm = LogManager::open(dev as Arc<dyn LogDevice>, Arc::clone(&perf)).unwrap();
         lm.append(LogRecord::Begin { tid: tid(1), parent: Tid::NULL });
         lm.force(None).unwrap();
         lm.force(None).unwrap(); // empty force: no write counted
@@ -330,8 +343,7 @@ mod tests {
     fn truncation_drops_prefix_only() {
         let (lm, _) = manager();
         for i in 1..=5 {
-            lm.append_forced(LogRecord::Begin { tid: tid(i), parent: Tid::NULL })
-                .unwrap();
+            lm.append_forced(LogRecord::Begin { tid: tid(i), parent: Tid::NULL }).unwrap();
         }
         let dropped = lm.truncate_before(Lsn(3)).unwrap();
         assert_eq!(dropped, 2);
@@ -348,8 +360,7 @@ mod tests {
         let (used0, cap) = lm.usage();
         assert_eq!(used0, 0);
         assert_eq!(cap, 1 << 20);
-        lm.append_forced(LogRecord::Begin { tid: tid(1), parent: Tid::NULL })
-            .unwrap();
+        lm.append_forced(LogRecord::Begin { tid: tid(1), parent: Tid::NULL }).unwrap();
         assert!(lm.usage().0 > 0);
     }
 
@@ -423,13 +434,11 @@ mod tests {
     fn reopen_continues_lsn_sequence_after_truncation() {
         let (lm, dev) = manager();
         for i in 1..=4 {
-            lm.append_forced(LogRecord::Begin { tid: tid(i), parent: Tid::NULL })
-                .unwrap();
+            lm.append_forced(LogRecord::Begin { tid: tid(i), parent: Tid::NULL }).unwrap();
         }
         lm.truncate_before(Lsn(3)).unwrap();
         drop(lm);
-        let lm2 =
-            LogManager::open(dev as Arc<dyn LogDevice>, PerfCounters::new()).unwrap();
+        let lm2 = LogManager::open(dev as Arc<dyn LogDevice>, PerfCounters::new()).unwrap();
         assert_eq!(lm2.next_lsn(), Lsn(5));
         assert_eq!(lm2.durable_entries().len(), 2);
     }

@@ -244,17 +244,11 @@ impl Decode for LogRecord {
                 redo: Vec::<u8>::decode(r)?,
                 pages: decode_seq(r)?,
             }),
-            3 => Ok(LogRecord::Prepare {
-                tid: Tid::decode(r)?,
-                coordinator: NodeId::decode(r)?,
-            }),
+            3 => Ok(LogRecord::Prepare { tid: Tid::decode(r)?, coordinator: NodeId::decode(r)? }),
             4 => Ok(LogRecord::Commit { tid: Tid::decode(r)? }),
             5 => Ok(LogRecord::Abort { tid: Tid::decode(r)? }),
             6 => Ok(LogRecord::AbortComplete { tid: Tid::decode(r)? }),
-            7 => Ok(LogRecord::Checkpoint {
-                active: decode_seq(r)?,
-                dirty: decode_seq(r)?,
-            }),
+            7 => Ok(LogRecord::Checkpoint { active: decode_seq(r)?, dirty: decode_seq(r)? }),
             _ => Err(DecodeError::Invalid("LogRecord tag")),
         }
     }
@@ -347,24 +341,13 @@ mod tests {
 
     #[test]
     fn tid_extraction() {
-        assert_eq!(
-            LogRecord::Commit { tid: tid(1, 5) }.tid(),
-            Some(tid(1, 5))
-        );
-        assert_eq!(
-            LogRecord::Checkpoint { active: vec![], dirty: vec![] }.tid(),
-            None
-        );
+        assert_eq!(LogRecord::Commit { tid: tid(1, 5) }.tid(), Some(tid(1, 5)));
+        assert_eq!(LogRecord::Checkpoint { active: vec![], dirty: vec![] }.tid(), None);
     }
 
     #[test]
     fn update_classification_and_pages() {
-        let v = LogRecord::ValueUpdate {
-            tid: tid(1, 1),
-            object: oid(),
-            old: vec![],
-            new: vec![],
-        };
+        let v = LogRecord::ValueUpdate { tid: tid(1, 1), object: oid(), old: vec![], new: vec![] };
         assert!(v.is_update());
         assert_eq!(v.pages(), oid().pages().collect::<Vec<_>>());
         assert!(!LogRecord::Commit { tid: tid(1, 1) }.is_update());

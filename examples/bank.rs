@@ -38,10 +38,8 @@ fn main() {
     assert_eq!(cmd, "deposit 35");
     let balance = bank.get(t, CHECKING).expect("read balance");
     bank.set(t, CHECKING, balance + 35).expect("deposit");
-    screen
-        .writeln(t, area1, &format!("deposit 35 -> balance {}", balance + 35))
-        .expect("echo");
-    assert!(app.end_transaction(t).expect("commit"));
+    screen.writeln(t, area1, &format!("deposit 35 -> balance {}", balance + 35)).expect("echo");
+    assert!(app.end_transaction(t).expect("commit").is_committed());
 
     // Area two: "the user attempted to withdraw 80 dollars from a checking
     // account, but the node failed during the transaction, causing it to
@@ -53,9 +51,7 @@ fn main() {
     assert_eq!(cmd, "withdraw 80");
     let balance = bank.get(t, CHECKING).expect("read balance");
     bank.set(t, CHECKING, balance - 80).expect("withdraw");
-    screen
-        .writeln(t, area2, "withdraw 80 ...")
-        .expect("echo");
+    screen.writeln(t, area2, "withdraw 80 ...").expect("echo");
     // The node fails before the transaction commits.
     node.rm.force(None).expect("force");
     drop((accounts, io));
@@ -79,9 +75,7 @@ fn main() {
     let cmd = screen.read_line(t3, area3).expect("read");
     let balance = bank.get(t3, CHECKING).expect("balance");
     bank.set(t3, CHECKING, balance - 80).expect("withdraw");
-    screen
-        .writeln(t3, area3, &format!("{cmd} -> balance {}", balance - 80))
-        .expect("echo");
+    screen.writeln(t3, area3, &format!("{cmd} -> balance {}", balance - 80)).expect("echo");
     // … t3 deliberately left in progress for the snapshot.
 
     println!("Figure 4-1, reproduced (plain = committed/black, ░ = in");
@@ -92,7 +86,7 @@ fn main() {
     assert_eq!(balance, 135, "100 + 35 committed; the crashed withdraw-80 undone");
 
     // Finish area three for a clean exit.
-    assert!(app.end_transaction(t3).expect("commit"));
+    assert!(app.end_transaction(t3).expect("commit").is_committed());
     println!("final committed balance: {}", balance - 80);
     node.shutdown();
 }

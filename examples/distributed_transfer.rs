@@ -39,7 +39,7 @@ fn main() {
     branch_a.set(t, 0, a - 300).expect("debit A");
     let b = branch_b.get(t, 0).expect("read B");
     branch_b.set(t, 0, b + 300).expect("credit B");
-    assert!(app.end_transaction(t).expect("2PC commit"));
+    assert!(app.end_transaction(t).expect("2PC commit").is_committed());
     println!("transferred 300 with tree two-phase commit");
 
     // A second transfer is abandoned after the debit: the abort restores

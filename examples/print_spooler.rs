@@ -51,9 +51,7 @@ fn main() {
     println!("after reboot, draining the spool:");
     let mut printed = Vec::new();
     loop {
-        let job = app
-            .run(|t| q.dequeue(t))
-            .expect("dequeue");
+        let job = app.run(|t| q.dequeue(t)).expect("dequeue");
         match job {
             Some(j) => {
                 println!("  printed job {j}");

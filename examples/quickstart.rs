@@ -33,7 +33,7 @@ fn main() {
     let t1 = app.begin_transaction(Tid::NULL).expect("begin");
     client.set(t1, 0, 500).expect("set");
     client.set(t1, 1, 250).expect("set");
-    assert!(app.end_transaction(t1).expect("end"));
+    assert!(app.end_transaction(t1).expect("end").is_committed());
     println!("\ncommitted: cell0=500, cell1=250");
 
     // An aborted transaction: its effects vanish.

@@ -36,8 +36,7 @@ fn main() {
     app.run(|t| {
         dir.update(t, b"alpha", b"node2:/srv/a")
             .map_err(|e| tabs_core::AppError::Rpc(e.to_string()))?;
-        dir.update(t, b"beta", b"node3:/srv/b")
-            .map_err(|e| tabs_core::AppError::Rpc(e.to_string()))
+        dir.update(t, b"beta", b"node3:/srv/b").map_err(|e| tabs_core::AppError::Rpc(e.to_string()))
     })
     .expect("initial inserts");
     println!("inserted: alpha, beta (replicated with version numbers)");

@@ -1,0 +1,490 @@
+//! A hermetic stand-in for the `crossbeam` crate.
+//!
+//! The workspace builds with no network access, so this shim provides the
+//! `crossbeam::channel` subset the TABS reproduction uses: multi-producer
+//! multi-consumer channels with disconnect detection, timeouts, and a
+//! two-receiver [`select!`] macro (the kernel's receive-or-shutdown and the
+//! Communication Manager loops use exactly that shape).
+//!
+//! Channels are unbounded; `bounded(n)` is accepted for API compatibility
+//! but does not apply back-pressure. The only bounded channel in the tree
+//! is the kernel's zero-capacity shutdown channel, which is never sent on —
+//! it signals purely by sender drop — so the distinction is unobservable.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, Weak};
+    use std::time::{Duration, Instant};
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`]: channel empty and disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message currently queued.
+        Empty,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline elapsed with no message.
+        Timeout,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Wakes a blocked [`select2`] when either channel becomes ready.
+    pub struct SelectWaker {
+        flag: Mutex<bool>,
+        cond: Condvar,
+    }
+
+    impl SelectWaker {
+        fn new() -> Arc<Self> {
+            Arc::new(Self { flag: Mutex::new(false), cond: Condvar::new() })
+        }
+
+        fn notify(&self) {
+            let mut f = self.flag.lock().unwrap_or_else(|p| p.into_inner());
+            *f = true;
+            self.cond.notify_all();
+        }
+
+        /// Waits for a notification or the deadline; returns false on timeout.
+        fn wait_until(&self, deadline: Option<Instant>) -> bool {
+            let mut f = self.flag.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if *f {
+                    *f = false;
+                    return true;
+                }
+                match deadline {
+                    None => {
+                        f = self.cond.wait(f).unwrap_or_else(|p| p.into_inner());
+                    }
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return false;
+                        }
+                        let (g, _) =
+                            self.cond.wait_timeout(f, d - now).unwrap_or_else(|p| p.into_inner());
+                        f = g;
+                    }
+                }
+            }
+        }
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        recv_cond: Condvar,
+        wakers: Mutex<Vec<Weak<SelectWaker>>>,
+    }
+
+    impl<T> Shared<T> {
+        fn wake_selects(&self) {
+            let mut ws = self.wakers.lock().unwrap_or_else(|p| p.into_inner());
+            ws.retain(|w| match w.upgrade() {
+                Some(w) => {
+                    w.notify();
+                    true
+                }
+                None => false,
+            });
+        }
+    }
+
+    /// The sending half of a channel. Cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel. Cloneable.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            recv_cond: Condvar::new(),
+            wakers: Mutex::new(Vec::new()),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    /// Creates a channel; the capacity bound is not enforced (see crate docs).
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, failing if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            {
+                let mut inner = self.shared.inner.lock().unwrap_or_else(|p| p.into_inner());
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                inner.queue.push_back(value);
+            }
+            self.shared.recv_cond.notify_all();
+            self.shared.wake_selects();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().unwrap_or_else(|p| p.into_inner()).senders += 1;
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let last = {
+                let mut inner = self.shared.inner.lock().unwrap_or_else(|p| p.into_inner());
+                inner.senders -= 1;
+                inner.senders == 0
+            };
+            if last {
+                self.shared.recv_cond.notify_all();
+                self.shared.wake_selects();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.recv_cond.wait(inner).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (g, _) = self
+                    .shared
+                    .recv_cond
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap_or_else(|p| p.into_inner());
+                inner = g;
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|p| p.into_inner());
+            match inner.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap_or_else(|p| p.into_inner()).queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        fn register_waker(&self, waker: &Arc<SelectWaker>) {
+            self.shared
+                .wakers
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(Arc::downgrade(waker));
+        }
+
+        /// Ready check for select: a message, or a disconnect.
+        fn poll(&self) -> Option<Result<T, RecvError>> {
+            match self.try_recv() {
+                Ok(v) => Some(Ok(v)),
+                Err(TryRecvError::Disconnected) => Some(Err(RecvError)),
+                Err(TryRecvError::Empty) => None,
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().unwrap_or_else(|p| p.into_inner()).receivers += 1;
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.inner.lock().unwrap_or_else(|p| p.into_inner()).receivers -= 1;
+        }
+    }
+
+    /// Which arm of a two-receiver select fired.
+    pub enum Sel<T1, T2> {
+        /// First receiver ready (message or disconnect).
+        R1(Result<T1, RecvError>),
+        /// Second receiver ready (message or disconnect).
+        R2(Result<T2, RecvError>),
+        /// The `default(timeout)` arm fired.
+        Default,
+    }
+
+    /// Blocks until either receiver is ready (or `timeout`, if given).
+    /// The first receiver has priority when both are ready.
+    pub fn select2<T1, T2>(
+        r1: &Receiver<T1>,
+        r2: &Receiver<T2>,
+        timeout: Option<Duration>,
+    ) -> Sel<T1, T2> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        // Fast path before paying for waker registration.
+        if let Some(res) = r1.poll() {
+            return Sel::R1(res);
+        }
+        if let Some(res) = r2.poll() {
+            return Sel::R2(res);
+        }
+        let waker = SelectWaker::new();
+        r1.register_waker(&waker);
+        r2.register_waker(&waker);
+        loop {
+            if let Some(res) = r1.poll() {
+                return Sel::R1(res);
+            }
+            if let Some(res) = r2.poll() {
+                return Sel::R2(res);
+            }
+            if !waker.wait_until(deadline) {
+                return Sel::Default;
+            }
+        }
+    }
+
+    // Make the macro reachable as `crossbeam::channel::select!`.
+    pub use crate::select;
+}
+
+/// Two-receiver `select!` with an optional `default(timeout)` arm — the only
+/// shapes this workspace uses.
+#[macro_export]
+macro_rules! select {
+    (
+        recv($r1:expr) -> $p1:pat => $e1:expr,
+        recv($r2:expr) -> $p2:pat => $e2:expr $(,)?
+    ) => {
+        match $crate::channel::select2(&$r1, &$r2, ::core::option::Option::None) {
+            $crate::channel::Sel::R1(res) => {
+                let $p1 = res;
+                $e1
+            }
+            $crate::channel::Sel::R2(res) => {
+                let $p2 = res;
+                $e2
+            }
+            $crate::channel::Sel::Default => unreachable!("no default arm"),
+        }
+    };
+    // A block arm needs no separating comma before `default`.
+    (
+        recv($r1:expr) -> $p1:pat => $e1:expr,
+        recv($r2:expr) -> $p2:pat => $e2:block
+        default($t:expr) => $e3:expr $(,)?
+    ) => {
+        $crate::select! {
+            recv($r1) -> $p1 => $e1,
+            recv($r2) -> $p2 => $e2,
+            default($t) => $e3,
+        }
+    };
+    (
+        recv($r1:expr) -> $p1:pat => $e1:expr,
+        recv($r2:expr) -> $p2:pat => $e2:expr,
+        default($t:expr) => $e3:expr $(,)?
+    ) => {
+        match $crate::channel::select2(&$r1, &$r2, ::core::option::Option::Some($t)) {
+            $crate::channel::Sel::R1(res) => {
+                let $p1 = res;
+                $e1
+            }
+            $crate::channel::Sel::R2(res) => {
+                let $p2 = res;
+                $e2
+            }
+            $crate::channel::Sel::Default => $e3,
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{self, RecvTimeoutError, TryRecvError};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn disconnect_detected_both_ways() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 9); // queued message survives
+        assert!(rx.recv().is_err());
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_elapses() {
+        let (_tx, rx) = channel::unbounded::<u8>();
+        let t0 = Instant::now();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(20)), Err(RecvTimeoutError::Timeout));
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn blocked_recv_wakes_on_send() {
+        let (tx, rx) = channel::unbounded();
+        let t = std::thread::spawn(move || rx.recv().unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        tx.send(42u32).unwrap();
+        assert_eq!(t.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn select_prefers_data_over_shutdown() {
+        let (tx, rx) = channel::unbounded();
+        let (_stx, srx) = channel::bounded::<()>(0);
+        tx.send(5u8).unwrap();
+        let got = select! {
+            recv(rx) -> m => m.unwrap(),
+            recv(srx) -> _ => unreachable!("shutdown not signalled"),
+        };
+        assert_eq!(got, 5);
+    }
+
+    #[test]
+    fn select_fires_on_disconnect() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        let (stx, srx) = channel::bounded::<()>(0);
+        let t = std::thread::spawn(move || {
+            select! {
+                recv(rx) -> m => m.is_ok(),
+                recv(srx) -> _ => false,
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        drop(stx); // closing the shutdown channel readies its arm
+        assert!(!t.join().unwrap());
+        drop(tx);
+    }
+
+    #[test]
+    fn select_default_times_out() {
+        let (_tx, rx) = channel::unbounded::<u8>();
+        let (_stx, srx) = channel::unbounded::<()>();
+        let fired = select! {
+            recv(rx) -> _ => false,
+            recv(srx) -> _ => false,
+            default(Duration::from_millis(15)) => true,
+        };
+        assert!(fired);
+    }
+
+    #[test]
+    fn select_wakes_on_late_send() {
+        let (tx, rx) = channel::unbounded();
+        let (_stx, srx) = channel::unbounded::<()>();
+        let t = std::thread::spawn(move || {
+            select! {
+                recv(rx) -> m => m.unwrap(),
+                recv(srx) -> _ => 0u8,
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        tx.send(7u8).unwrap();
+        assert_eq!(t.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn clones_share_the_queue() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx2.send(1).unwrap();
+        assert_eq!(rx2.recv().unwrap(), 1);
+        drop(tx);
+        drop(tx2);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,403 @@
+//! A hermetic stand-in for the `proptest` crate.
+//!
+//! Implements exactly the surface this workspace's property tests use:
+//! the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_oneof!`], `any::<T>()`,
+//! integer-range and `".*"` string strategies, tuples, [`Just`],
+//! `prop_map`, and [`collection::vec`]. Cases are generated from a
+//! deterministic per-test seed (derived from the test name), so runs are
+//! reproducible. There is no shrinking: a failing case panics with the
+//! standard assertion message.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A generator of test values.
+    ///
+    /// Unlike real proptest there is no value tree or shrinking —
+    /// `generate` draws one concrete value.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by [`prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Chooses uniformly among type-erased alternatives ([`prop_oneof!`]).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union; panics if `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    /// Integer ranges are strategies over their own element type.
+    impl<T: rand::UniformInt + 'static> Strategy for Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    /// String-pattern strategy. Only the universal pattern `".*"` is
+    /// honoured (the one this workspace uses): it yields a random short
+    /// string of arbitrary Unicode scalar values.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let len = rng.gen_range(0usize..16);
+            (0..len)
+                .map(|_| loop {
+                    // Bias toward ASCII but exercise wider scalars too.
+                    let raw = if rng.gen_bool(0.8) {
+                        rng.gen_range(0u32..128)
+                    } else {
+                        rng.gen_range(0u32..0x11_0000)
+                    };
+                    if let Some(c) = char::from_u32(raw) {
+                        return c;
+                    }
+                })
+                .collect()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A / 0, B / 1)
+        (A / 0, B / 1, C / 2)
+        (A / 0, B / 1, C / 2, D / 3)
+        (A / 0, B / 1, C / 2, D / 3, E / 4)
+        (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5)
+    }
+
+    /// Full-domain generation for `any::<T>()`.
+    pub trait Arbitrary: Sized {
+        /// Draws one value from the type's whole domain.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen::<$t>()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen::<bool>()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy over the whole domain of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// Vectors of `elem`-generated values with a length in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.start..self.len.end);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    /// Per-test run configuration. Only `cases` is interpreted; the
+    /// struct supports the `..ProptestConfig::default()` idiom.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+        /// Accepted for source compatibility; ignored (no shrinking).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_shrink_iters: 0 }
+        }
+    }
+
+    /// Deterministic generator for a named test: same name, same cases.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut h = DefaultHasher::new();
+        test_name.hash(&mut h);
+        StdRng::seed_from_u64(h.finish() ^ 0x7ab5_0b5e_55ed_5eed)
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+    pub use rand::Rng;
+}
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and functions whose parameters are either
+/// all `pat in strategy` bindings or all plain `name: Type` (the latter
+/// draw from `any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(
+            @cfg ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg ($config:expr)) => {};
+    // `pat in strategy` parameters.
+    (@cfg ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __pt_config = $config;
+            let mut __pt_rng = $crate::test_runner::rng_for(stringify!($name));
+            for __pt_case in 0..__pt_config.cases {
+                let _ = __pt_case;
+                $(let $arg =
+                    $crate::strategy::Strategy::generate(&($strat), &mut __pt_rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns!(@cfg ($config) $($rest)*);
+    };
+    // `name: Type` parameters (drawn from `any::<Type>()`).
+    (@cfg ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident : $ty:ty),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __pt_config = $config;
+            let mut __pt_rng = $crate::test_runner::rng_for(stringify!($name));
+            for __pt_case in 0..__pt_config.cases {
+                let _ = __pt_case;
+                $(let $arg = $crate::strategy::Strategy::generate(
+                    &$crate::strategy::any::<$ty>(),
+                    &mut __pt_rng,
+                );)+
+                $body
+            }
+        }
+        $crate::__proptest_fns!(@cfg ($config) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; no
+/// shrinking, so this is plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Chooses uniformly among the given strategies, which must share a
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        A(u8),
+        B,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(v in 3u64..9, w in 0usize..4) {
+            prop_assert!((3..9).contains(&v));
+            prop_assert!(w < 4);
+        }
+
+        #[test]
+        fn typed_args_cover_domain(x: u64, b: bool) {
+            let _ = (x, b);
+        }
+
+        #[test]
+        fn vec_and_tuple_and_map(
+            pairs in crate::collection::vec((0u8..10, any::<bool>()), 1..5),
+            op in prop_oneof![
+                (0u8..5).prop_map(Op::A),
+                Just(Op::B),
+            ],
+        ) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 5);
+            for (k, _) in &pairs {
+                prop_assert!(*k < 10);
+            }
+            match op {
+                Op::A(v) => prop_assert!(v < 5),
+                Op::B => {}
+            }
+        }
+
+        #[test]
+        fn strings_from_pattern(s in ".*") {
+            let s: String = s;
+            prop_assert!(s.chars().count() < 16);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::rng_for("t");
+        let mut b = crate::test_runner::rng_for("t");
+        let s = crate::collection::vec(0u32..100, 3..10);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

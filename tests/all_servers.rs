@@ -32,7 +32,7 @@ fn five_servers_one_node_one_crash() {
     q.enqueue(t, 7).unwrap();
     d.add(t, b"answer", b"42").unwrap();
     scr.writeln(t, area, "all four updated").unwrap();
-    assert!(app.end_transaction(t).unwrap());
+    assert!(app.end_transaction(t).unwrap().is_committed());
 
     // And one that aborts across all of them.
     let t = app.begin_transaction(Tid::NULL).unwrap();
@@ -94,10 +94,7 @@ fn name_server_finds_all_five() {
         let found = node.resolve(name, 1, std::time::Duration::from_millis(200));
         assert_eq!(found.len(), 1, "{name} registered and resolvable");
     }
-    assert_eq!(
-        node.ns.local_names(),
-        vec!["array", "directory", "display", "queue"]
-    );
+    assert_eq!(node.ns.local_names(), vec!["array", "directory", "display", "queue"]);
     node.shutdown();
 }
 
@@ -120,14 +117,14 @@ fn subtransactions_spanning_servers() {
     // Subtransaction one: succeeds and merges into the parent.
     let sub1 = app.begin_transaction(top).unwrap();
     d.add(sub1, b"kept", b"yes").unwrap();
-    assert!(app.end_transaction(sub1).unwrap());
+    assert!(app.end_transaction(sub1).unwrap().is_committed());
 
     // Subtransaction two: aborts without hurting the parent.
     let sub2 = app.begin_transaction(top).unwrap();
     a.set(sub2, 1, 999).unwrap();
     app.abort_transaction(sub2).unwrap();
 
-    assert!(app.end_transaction(top).unwrap());
+    assert!(app.end_transaction(top).unwrap().is_committed());
     app.run(|t| {
         assert_eq!(a.get(t, 0)?, 1, "parent work committed");
         assert_eq!(a.get(t, 1)?, 0, "aborted subtransaction undone");

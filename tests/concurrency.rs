@@ -88,8 +88,7 @@ fn weak_queue_parallel_producers_and_consumers() {
 
     const PRODUCERS: i64 = 3;
     const ITEMS: i64 = 12;
-    let consumed: Arc<parking_lot::Mutex<Vec<i64>>> =
-        Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let consumed: Arc<parking_lot::Mutex<Vec<i64>>> = Arc::new(parking_lot::Mutex::new(Vec::new()));
 
     std::thread::scope(|s| {
         for p in 0..PRODUCERS {
@@ -98,8 +97,7 @@ fn weak_queue_parallel_producers_and_consumers() {
             s.spawn(move || {
                 for i in 0..ITEMS {
                     let value = p * 1000 + i;
-                    app.run_with_retries(10, |t| client.enqueue(t, value))
-                        .expect("enqueue");
+                    app.run_with_retries(10, |t| client.enqueue(t, value)).expect("enqueue");
                 }
             });
         }
@@ -128,11 +126,7 @@ fn weak_queue_parallel_producers_and_consumers() {
     });
 
     let got = consumed.lock();
-    assert_eq!(
-        got.len() as i64,
-        PRODUCERS * ITEMS,
-        "every enqueued item dequeued exactly once"
-    );
+    assert_eq!(got.len() as i64, PRODUCERS * ITEMS, "every enqueued item dequeued exactly once");
     let mut sorted = got.clone();
     sorted.sort();
     sorted.dedup();
@@ -157,7 +151,7 @@ fn lock_timeout_aborts_one_of_two_colliders() {
     let err = client.set(t2, 0, 2).unwrap_err();
     assert!(format!("{err}").contains("lock"), "got: {err}");
     app.abort_transaction(t2).unwrap();
-    assert!(app.end_transaction(t1).unwrap());
+    assert!(app.end_transaction(t1).unwrap().is_committed());
     node.shutdown();
 }
 

@@ -8,7 +8,11 @@ use std::time::Duration;
 use tabs_core::{Cluster, Node, NodeId, Tid};
 use tabs_servers::{IntArrayClient, IntArrayServer};
 
-fn boot_with_array(cluster: &std::sync::Arc<Cluster>, id: u16, name: &str) -> (Node, IntArrayServer) {
+fn boot_with_array(
+    cluster: &std::sync::Arc<Cluster>,
+    id: u16,
+    name: &str,
+) -> (Node, IntArrayServer) {
     let node = cluster.boot_node(NodeId(id));
     let arr = IntArrayServer::spawn(&node, name, 32).unwrap();
     node.recover().unwrap();
@@ -36,7 +40,7 @@ fn participant_crash_before_prepare_aborts_transaction() {
     // The participant dies before the coordinator commits.
     n2.crash();
     // Commit cannot gather the vote: the transaction aborts.
-    assert!(!app.end_transaction(t).unwrap(), "commit must fail");
+    assert!(app.end_transaction(t).unwrap().is_aborted(), "commit must fail");
     // Local effects were rolled back.
     let t2 = app.begin_transaction(Tid::NULL).unwrap();
     assert_eq!(local.get(t2, 0).unwrap(), 0);
@@ -57,7 +61,7 @@ fn rebooted_participant_learns_commit_outcome() {
     let t = app.begin_transaction(Tid::NULL).unwrap();
     local.set(t, 0, 10).unwrap();
     remote.set(t, 0, 20).unwrap();
-    assert!(app.end_transaction(t).unwrap());
+    assert!(app.end_transaction(t).unwrap().is_committed());
 
     // Crash and reboot the participant: its durable state must hold the
     // committed remote value.
@@ -87,7 +91,7 @@ fn three_node_commit_survives_participant_reboot() {
     ca.set(t, 0, 1).unwrap();
     cb.set(t, 0, 2).unwrap();
     cc.set(t, 0, 3).unwrap();
-    assert!(app.end_transaction(t).unwrap());
+    assert!(app.end_transaction(t).unwrap().is_committed());
 
     // Both participants reboot; durable values persist.
     n2.crash();
@@ -145,14 +149,10 @@ fn repeated_crashes_converge() {
 fn lossy_network_still_commits() {
     // 2PC datagrams are retransmitted, so a moderately lossy network only
     // slows commit down.
-    let cluster = Cluster::with_config(tabs_core::ClusterConfig {
-        net: tabs_core::NetConfig {
-            datagram_loss: 0.3,
-            seed: 7,
-            ..Default::default()
-        },
-        ..Default::default()
-    });
+    let cluster = Cluster::with_config(
+        tabs_core::ClusterConfig::default()
+            .net(tabs_core::NetConfig::default().datagram_loss(0.3).seed(7)),
+    );
     let (n1, a1) = boot_with_array(&cluster, 1, "a");
     let (n2, _a2) = boot_with_array(&cluster, 2, "b");
     let app = n1.app();
@@ -162,7 +162,7 @@ fn lossy_network_still_commits() {
         let t = app.begin_transaction(Tid::NULL).unwrap();
         local.set(t, 0, i).unwrap();
         remote.set(t, 0, i).unwrap();
-        assert!(app.end_transaction(t).unwrap(), "iteration {i}");
+        assert!(app.end_transaction(t).unwrap().is_committed(), "iteration {i}");
     }
     n1.shutdown();
     n2.shutdown();
@@ -183,14 +183,14 @@ fn partition_blocks_commit_then_heals() {
     remote.set(t, 0, 5).unwrap();
     cluster.network().partition(NodeId(1), NodeId(2));
     // Votes cannot arrive: the coordinator aborts after its deadline.
-    assert!(!app.end_transaction(t).unwrap());
+    assert!(app.end_transaction(t).unwrap().is_aborted());
 
     // After healing, a fresh transaction commits normally.
     cluster.network().heal(NodeId(1), NodeId(2));
     let t2 = app.begin_transaction(Tid::NULL).unwrap();
     local.set(t2, 0, 6).unwrap();
     remote.set(t2, 0, 6).unwrap();
-    assert!(app.end_transaction(t2).unwrap());
+    assert!(app.end_transaction(t2).unwrap().is_committed());
     n1.shutdown();
     n2.shutdown();
 }
@@ -214,9 +214,9 @@ fn subtransaction_with_remote_work_merges_into_parent_commit() {
     // The subtransaction does the remote write.
     let sub = app.begin_transaction(top).unwrap();
     remote.set(sub, 0, 2).unwrap();
-    assert!(app.end_transaction(sub).unwrap(), "subtransaction commits into parent");
+    assert!(app.end_transaction(sub).unwrap().is_committed(), "subtransaction commits into parent");
 
-    assert!(app.end_transaction(top).unwrap(), "top-level 2PC commits");
+    assert!(app.end_transaction(top).unwrap().is_committed(), "top-level 2PC commits");
 
     // The remote value is durable and visible.
     let t = app.begin_transaction(Tid::NULL).unwrap();
@@ -257,7 +257,7 @@ fn aborted_subtransaction_remote_work_rolled_back_while_parent_commits() {
     remote.set(sub, 0, 99).unwrap();
     app.abort_transaction(sub).unwrap();
     // The parent tolerates the subtransaction failure and commits.
-    assert!(app.end_transaction(top).unwrap());
+    assert!(app.end_transaction(top).unwrap().is_committed());
 
     // Remote work of the aborted subtransaction is gone (poll: the abort
     // datagram propagates asynchronously).

@@ -66,7 +66,7 @@ fn table_3_1_locking_primitives() {
         |_n, ds, app| {
             let t = app.begin_transaction(Tid::NULL).unwrap();
             call(app, ds, t).unwrap();
-            assert!(app.end_transaction(t).unwrap());
+            assert!(app.end_transaction(t).unwrap().is_committed());
             // "All unlocking is done automatically by the server library at
             // commit or abort time."
             assert_eq!(ds.locks().locked_object_count(), 0);
@@ -94,7 +94,7 @@ fn table_3_1_paging_control_and_logging() {
         |node, ds, app| {
             let t = app.begin_transaction(Tid::NULL).unwrap();
             call(app, ds, t).unwrap();
-            assert!(app.end_transaction(t).unwrap());
+            assert!(app.end_transaction(t).unwrap().is_committed());
             // The update was value-logged.
             assert!(node
                 .rm
@@ -125,7 +125,7 @@ fn table_3_1_marked_object_batch() {
         |_n, ds, app| {
             let t = app.begin_transaction(Tid::NULL).unwrap();
             call(app, ds, t).unwrap();
-            assert!(app.end_transaction(t).unwrap());
+            assert!(app.end_transaction(t).unwrap().is_committed());
             assert_eq!(ds.segment().read_u64(24).unwrap(), 4);
         },
     );
@@ -172,12 +172,12 @@ fn table_3_2_begin_end_abort() {
     let sub = app.begin_transaction(top).unwrap();
     assert_ne!(top, sub);
     // EndTransaction returns a boolean.
-    assert!(app.end_transaction(sub).unwrap());
+    assert!(app.end_transaction(sub).unwrap().is_committed());
     // AbortTransaction.
     app.abort_transaction(top).unwrap();
     // TransactionIsAborted is observable.
     assert!(app.transaction_is_aborted(top));
-    assert!(!app.end_transaction(top).unwrap());
+    assert!(app.end_transaction(top).unwrap().is_aborted());
     node.shutdown();
 }
 
@@ -253,11 +253,7 @@ fn run_commits_and_run_with_retries_retries() {
                 })
                 .unwrap_err();
             assert!(matches!(err, AppError::Rpc(_)));
-            assert_eq!(
-                ds.segment().read_u64(0).unwrap(),
-                1,
-                "failed run's increment rolled back"
-            );
+            assert_eq!(ds.segment().read_u64(0).unwrap(), 1, "failed run's increment rolled back");
             // run_with_retries: eventually succeeds after transient errors.
             let attempts = std::sync::atomic::AtomicU32::new(0);
             app.run_with_retries(5, |t| {

@@ -1,0 +1,127 @@
+//! Integration tests for the tabs-obs observability layer: causal order
+//! of traced 2PC phases across a two-node cluster, and exact agreement
+//! between the metrics registry and the underlying `PerfCounters`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tabs_core::prelude::*;
+use tabs_kernel::PrimitiveOp;
+use tabs_servers::{IntArrayClient, IntArrayServer};
+
+/// Boots a traced two-node cluster with one array server per node and
+/// returns it together with a client pair bound to node 1's app.
+fn traced_world(cluster: &Arc<Cluster>) -> (Node, Node, IntArrayClient, IntArrayClient) {
+    let n1 = cluster.boot_node(NodeId(1));
+    let n2 = cluster.boot_node(NodeId(2));
+    let a1 = IntArrayServer::spawn(&n1, "obs-a1", 32).expect("local array");
+    let _a2 = IntArrayServer::spawn(&n2, "obs-a2", 32).expect("remote array");
+    n1.recover().expect("recover node 1");
+    n2.recover().expect("recover node 2");
+    let (remote_port, _) = n1
+        .resolve("obs-a2", 1, Duration::from_secs(2))
+        .into_iter()
+        .next()
+        .expect("remote array resolvable");
+    let app = n1.app();
+    let local = IntArrayClient::new(app.clone(), a1.send_right());
+    let remote = IntArrayClient::new(app, remote_port);
+    (n1, n2, local, remote)
+}
+
+/// A committed two-node write must leave a trace whose 2PC phases appear
+/// in causal order on the correct nodes: the coordinator (n1) sends
+/// PREPARE before the participant (n2) receives it, the participant
+/// votes before the coordinator collects the vote, the decision follows
+/// the vote, and the ack closes the exchange. Both nodes must also have
+/// forced their logs for this transaction.
+#[test]
+fn two_node_write_traces_all_2pc_phases_in_causal_order() {
+    let cluster = Cluster::with_config(ClusterConfig::default().trace(true));
+    let (n1, n2, local, remote) = traced_world(&cluster);
+
+    let app = n1.app();
+    let tid = app.begin_transaction(Tid::NULL).expect("begin");
+    local.set(tid, 3, 111).expect("local write");
+    remote.set(tid, 4, 222).expect("remote write");
+    assert!(app.end_transaction(tid).expect("end").is_committed());
+
+    let tl = cluster.timeline();
+    let phases = [
+        tl.position(tid, NodeId(1), |e| matches!(e, TraceEvent::PrepareSend { .. })),
+        tl.position(tid, NodeId(2), |e| matches!(e, TraceEvent::PrepareRecv { .. })),
+        tl.position(tid, NodeId(2), |e| matches!(e, TraceEvent::VoteSend { .. })),
+        tl.position(tid, NodeId(1), |e| matches!(e, TraceEvent::VoteRecv { .. })),
+        tl.position(tid, NodeId(1), |e| matches!(e, TraceEvent::DecisionSend { .. })),
+        tl.position(tid, NodeId(2), |e| matches!(e, TraceEvent::DecisionRecv { .. })),
+        tl.position(tid, NodeId(2), |e| matches!(e, TraceEvent::AckSend { .. })),
+        tl.position(tid, NodeId(1), |e| matches!(e, TraceEvent::AckRecv { .. })),
+    ];
+    let phases: Vec<usize> = phases
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| p.unwrap_or_else(|| panic!("2PC phase {i} missing from trace")))
+        .collect();
+    for pair in phases.windows(2) {
+        assert!(pair[0] < pair[1], "2PC phases out of causal order: {phases:?}");
+    }
+
+    // Commit is durable on both sides: each node forced its log at least
+    // once on behalf of this transaction (participant prepare force,
+    // coordinator commit force).
+    for node in [NodeId(1), NodeId(2)] {
+        assert!(
+            tl.position(tid, node, |e| matches!(e, TraceEvent::LogForce { .. })).is_some(),
+            "no log force traced on {node}"
+        );
+    }
+
+    // The swimlane rendering carries every phase for human consumption.
+    let lane = tl.render_swimlane(tid);
+    for needle in ["PREPARE", "VOTE(yes)", "COMMIT", "ACK", "LOG-FORCE"] {
+        assert!(lane.contains(needle), "swimlane missing {needle}:\n{lane}");
+    }
+
+    n1.shutdown();
+    n2.shutdown();
+}
+
+/// The metrics registry wraps the node's `PerfCounters` rather than
+/// keeping a copy, so over any workload the primitive deltas seen
+/// through `Metrics::snapshot` must equal the deltas seen through
+/// `Cluster::perf` exactly — not approximately.
+#[test]
+fn metrics_deltas_match_perf_counters_exactly() {
+    let cluster = Cluster::with_config(ClusterConfig::default().trace(true));
+    let (n1, n2, local, remote) = traced_world(&cluster);
+
+    let metrics_before: Vec<MetricsSnapshot> =
+        [NodeId(1), NodeId(2)].iter().map(|id| cluster.metrics(*id).snapshot()).collect();
+    let perf_before: Vec<_> =
+        [NodeId(1), NodeId(2)].iter().map(|id| cluster.perf(*id).snapshot()).collect();
+
+    let app = n1.app();
+    for round in 0..3u32 {
+        let tid = app.begin_transaction(Tid::NULL).expect("begin");
+        local.set(tid, 0, i64::from(round)).expect("local write");
+        remote.set(tid, 1, i64::from(round) * 10).expect("remote write");
+        assert!(app.end_transaction(tid).expect("end").is_committed());
+    }
+
+    for (i, id) in [NodeId(1), NodeId(2)].into_iter().enumerate() {
+        let metrics_delta =
+            cluster.metrics(id).snapshot().primitives.since(&metrics_before[i].primitives);
+        let perf_delta = cluster.perf(id).snapshot().since(&perf_before[i]);
+        assert_eq!(metrics_delta, perf_delta, "metrics and perf counter deltas diverge on {id}");
+        // The workload actually moved the counters: every committed
+        // distributed write costs datagrams and stable-storage writes.
+        assert!(perf_delta.get(PrimitiveOp::Datagram) > 0, "no datagrams counted on {id}");
+        assert!(
+            perf_delta.get(PrimitiveOp::StableStorageWrite) > 0,
+            "no log forces counted on {id}"
+        );
+    }
+
+    n1.shutdown();
+    n2.shutdown();
+}

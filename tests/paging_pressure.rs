@@ -2,7 +2,7 @@
 //! checkpoints, log reclamation and crashes — the §5 paging regime plus
 //! the §3.2.2 log-space machinery, end to end.
 
-use tabs_core::{Cluster, ClusterConfig, NodeId, Tid};
+use tabs_core::{Cluster, ClusterConfig, NodeId};
 use tabs_kernel::PrimitiveOp;
 use tabs_servers::{IntArrayClient, IntArrayServer};
 
@@ -12,10 +12,7 @@ const CELLS_PER_PAGE: u64 = 64;
 fn writes_across_a_thrashing_pool_recover_exactly() {
     // 16-frame pool, 64-page array: every page write evicts another dirty
     // page through the WAL gate (log forced before each write-back).
-    let cluster = Cluster::with_config(ClusterConfig {
-        pool_pages: 16,
-        ..Default::default()
-    });
+    let cluster = Cluster::with_config(ClusterConfig::default().pool_pages(16));
     let node = cluster.boot_node(NodeId(1));
     let arr = IntArrayServer::spawn(&node, "big", 64 * CELLS_PER_PAGE).unwrap();
     node.recover().unwrap();
@@ -57,10 +54,8 @@ fn near_full_log_triggers_reclamation_automatically() {
     // threshold, forcing dirty pages and truncating the prefix ("Log
     // reclamation may force pages back to disk before they would
     // otherwise be written", §3.2.2).
-    let cluster = Cluster::with_config(ClusterConfig {
-        log_capacity: 32 << 10, // 32 KiB
-        ..Default::default()
-    });
+    // 32 KiB log.
+    let cluster = Cluster::with_config(ClusterConfig::default().log_capacity(32 << 10));
     let node = cluster.boot_node(NodeId(1));
     let arr = IntArrayServer::spawn(&node, "hot", 256).unwrap();
     node.recover().unwrap();

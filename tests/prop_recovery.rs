@@ -49,8 +49,6 @@ fn tx_strategy() -> impl Strategy<Value = TxSpec> {
 struct Rig {
     rm: Arc<RecoveryManager>,
     pool: Arc<BufferPool>,
-    disk: Arc<MemDisk>,
-    logdev: Arc<MemLogDevice>,
 }
 
 fn build(disk: Arc<MemDisk>, logdev: Arc<MemLogDevice>) -> Rig {
@@ -64,30 +62,26 @@ fn build(disk: Arc<MemDisk>, logdev: Arc<MemLogDevice>) -> Rig {
         pages: 4,
     })
     .unwrap();
-    let log = LogManager::open(
-        Arc::clone(&logdev) as Arc<dyn tabs_wal::LogDevice>,
-        perf.clone(),
-    )
-    .unwrap();
+    let log = LogManager::open(Arc::clone(&logdev) as Arc<dyn tabs_wal::LogDevice>, perf.clone())
+        .unwrap();
     let rm = RecoveryManager::new(NodeId(1), log, Arc::clone(&pool), perf);
     pool.set_gate(rm.gate());
-    Rig { rm, pool, disk, logdev }
+    let _ = (disk, logdev);
+    Rig { rm, pool }
 }
 
 fn read_obj(pool: &BufferPool, i: u64) -> u64 {
     let o = obj(i);
     let page = o.first_page();
     let off = (o.offset % 512) as usize;
-    pool.with_page(page, |d| u64::from_le_bytes(d[off..off + 8].try_into().unwrap()))
-        .unwrap()
+    pool.with_page(page, |d| u64::from_le_bytes(d[off..off + 8].try_into().unwrap())).unwrap()
 }
 
 fn write_obj(pool: &BufferPool, i: u64, v: u64) {
     let o = obj(i);
     let page = o.first_page();
     let off = (o.offset % 512) as usize;
-    pool.with_page_mut(page, |d| d[off..off + 8].copy_from_slice(&v.to_le_bytes()))
-        .unwrap();
+    pool.with_page_mut(page, |d| d[off..off + 8].copy_from_slice(&v.to_le_bytes())).unwrap();
 }
 
 proptest! {
@@ -172,10 +166,8 @@ proptest! {
         let logdev = MemLogDevice::new(8 << 20);
         let mut model: HashMap<u64, u64> = HashMap::new();
         let rig = build(Arc::clone(&disk), Arc::clone(&logdev));
-        let mut seq = 1u64;
         for (n, spec) in txns.iter().enumerate() {
-            let tid = Tid { node: NodeId(1), incarnation: 1, seq };
-            seq += 1;
+            let tid = Tid { node: NodeId(1), incarnation: 1, seq: n as u64 + 1 };
             rig.rm.log_begin(tid, Tid::NULL);
             for &(i, v) in &spec.updates {
                 let old = read_obj(&rig.pool, i);

@@ -52,7 +52,7 @@ proptest! {
                     // Capacity 64 > max ops: enqueue never sees Full.
                     client.enqueue(t, v).unwrap();
                     if commit {
-                        prop_assert!(app.end_transaction(t).unwrap());
+                        prop_assert!(app.end_transaction(t).unwrap().is_committed());
                         model.push_back(v);
                     } else {
                         app.abort_transaction(t).unwrap();
@@ -63,7 +63,7 @@ proptest! {
                     let got = client.dequeue(t).unwrap();
                     prop_assert_eq!(got, model.front().copied(), "dequeue sees model front");
                     if commit {
-                        prop_assert!(app.end_transaction(t).unwrap());
+                        prop_assert!(app.end_transaction(t).unwrap().is_committed());
                         if got.is_some() {
                             model.pop_front();
                         }
@@ -137,7 +137,7 @@ proptest! {
                     let r = client.delete(t, &key(k));
                     prop_assert_eq!(r.is_ok(), model.contains_key(&key(k)));
                     if r.is_ok() {
-                        prop_assert!(app.end_transaction(t).unwrap());
+                        prop_assert!(app.end_transaction(t).unwrap().is_committed());
                         model.remove(&key(k));
                     } else {
                         app.abort_transaction(t).unwrap();

@@ -28,7 +28,7 @@ fn dequeue_skips_locked_head_out_of_fifo_order() {
     assert_eq!(got_first, Some(200), "later element dequeued first");
 
     // Once t1 commits, A becomes available.
-    assert!(app.end_transaction(t1).unwrap());
+    assert!(app.end_transaction(t1).unwrap().is_committed());
     let got_second = app.run(|t| client.dequeue(t)).unwrap();
     assert_eq!(got_second, Some(100));
     node.shutdown();
@@ -55,13 +55,14 @@ fn two_consumers_never_get_the_same_element() {
     // Both consumers hold their dequeues open before either commits.
     let c1 = app.begin_transaction(Tid::NULL).unwrap();
     let c2 = app.begin_transaction(Tid::NULL).unwrap();
-    let mut taken = Vec::new();
-    taken.push(client.dequeue(c1).unwrap().unwrap());
-    taken.push(client.dequeue(c2).unwrap().unwrap());
-    taken.push(client.dequeue(c1).unwrap().unwrap());
-    taken.push(client.dequeue(c2).unwrap().unwrap());
-    assert!(app.end_transaction(c1).unwrap());
-    assert!(app.end_transaction(c2).unwrap());
+    let mut taken = vec![
+        client.dequeue(c1).unwrap().unwrap(),
+        client.dequeue(c2).unwrap().unwrap(),
+        client.dequeue(c1).unwrap().unwrap(),
+        client.dequeue(c2).unwrap().unwrap(),
+    ];
+    assert!(app.end_transaction(c1).unwrap().is_committed());
+    assert!(app.end_transaction(c2).unwrap().is_committed());
     taken.sort();
     assert_eq!(taken, vec![1, 2, 3, 4], "each element went to exactly one consumer");
     node.shutdown();
@@ -82,7 +83,7 @@ fn io_area_epochs_keep_prior_output_after_reuse() {
     let t1 = app.begin_transaction(Tid::NULL).unwrap();
     let a = scr.obtain_area(t1).unwrap();
     scr.writeln(t1, a, "first epoch").unwrap();
-    assert!(app.end_transaction(t1).unwrap());
+    assert!(app.end_transaction(t1).unwrap().is_committed());
 
     // Epoch 2 on the same area id after destroy: an aborted interaction.
     app.run(|t| scr.destroy_area(t, a)).unwrap();

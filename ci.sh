@@ -16,4 +16,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> chaos sweep (bounded): cargo test -q -p tabs-chaos --test chaos_sweep"
+if ! cargo test -q -p tabs-chaos --test chaos_sweep; then
+    echo "chaos sweep failed: the assertion output above carries a" >&2
+    echo "'seed=<N> crash_point=<name>' line; replay it exactly with" >&2
+    echo "  cargo run -p tabs-bench --bin tables -- chaos --seed <N>" >&2
+    exit 1
+fi
+
 echo "CI green."

@@ -5,12 +5,19 @@
 //! ```text
 //! tables [table5_1|table5_2|table5_3|table5_4|table5_5|shapes|accounting|all] [--iters N] [--warmup N]
 //! tables trace
+//! tables chaos [--seed N]
 //! ```
 //!
 //! `tables trace` boots a two-node cluster with transaction tracing
 //! enabled, runs one distributed write transaction, and renders its
 //! per-node swimlane timeline: all four two-phase-commit phases
 //! (prepare, vote, decision, acknowledgement) plus every log force.
+//!
+//! `tables chaos` runs the deterministic fault-injection sweeps from
+//! `tabs-chaos`: every registered crash point is armed over the bank
+//! workloads, each scenario recovers and is checked against the
+//! invariant oracle. Any failure prints `seed=<N> crash_point=<name>`
+//! for exact replay.
 //!
 //! Tables 5-2, 5-3, 5-4, the shape report and the accounting section are
 //! *measured*: a three-node cluster is booted and the fourteen benchmark
@@ -23,6 +30,7 @@ fn main() {
     let mut which = "all".to_string();
     let mut iters = 40u32;
     let mut warmup = 8u32;
+    let mut seed = 0xC4A0_05EDu64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -31,6 +39,9 @@ fn main() {
             }
             "--warmup" => {
                 warmup = it.next().and_then(|v| v.parse().ok()).expect("--warmup N");
+            }
+            "--seed" => {
+                seed = it.next().and_then(|v| v.parse().ok()).expect("--seed N");
             }
             other => which = other.to_string(),
         }
@@ -48,6 +59,10 @@ fn main() {
         }
         "trace" => {
             run_trace();
+            return;
+        }
+        "chaos" => {
+            run_chaos(seed);
             return;
         }
         _ => {}
@@ -106,4 +121,36 @@ fn run_trace() {
 
     n1.shutdown();
     n2.shutdown();
+}
+
+/// Runs the full crash-point sweeps plus the deterministic disk-fault
+/// scenarios and reports coverage; exits non-zero with a reproduction
+/// line on any invariant violation.
+fn run_chaos(seed: u64) {
+    use tabs_chaos::{registry, ChaosRunner};
+
+    eprintln!("chaos sweep, seed={seed} …");
+    let runner = ChaosRunner::new(seed);
+    let mut killed = std::collections::BTreeSet::new();
+    let outcome = runner
+        .sweep_single_node()
+        .map(|k| killed.extend(k))
+        .and_then(|()| runner.sweep_distributed().map(|k| killed.extend(k)))
+        .and_then(|()| runner.torn_write_scenario())
+        .and_then(|()| runner.transient_read_scenario());
+    if let Err(e) = outcome {
+        eprintln!("chaos FAILED: {e}");
+        eprintln!("reproduce with: tables chaos --seed {seed}");
+        std::process::exit(1);
+    }
+    println!("crash points killed and recovered ({}):", killed.len());
+    for p in &killed {
+        println!("  {p}");
+    }
+    let missing: Vec<&str> = registry().into_iter().filter(|p| !killed.contains(p)).collect();
+    if !missing.is_empty() {
+        eprintln!("chaos FAILED: seed={seed} crash_point=none unswept points: {missing:?}");
+        std::process::exit(1);
+    }
+    println!("all {} registered crash points swept; invariants held.", killed.len());
 }

@@ -1,0 +1,170 @@
+//! The crash controller: arms one registered crash point on one node and
+//! "kills" the node the instant execution reaches it.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tabs_core::{Cluster, Node, NodeId};
+use tabs_kernel::{CrashHooks, DiskFaults};
+use tabs_wal::LogFaults;
+
+/// The fault handles that make a node's non-volatile devices refuse
+/// further mutation when it "dies".
+#[derive(Clone)]
+pub struct NodeFaults {
+    /// Faults on the node's log device ([`tabs_wal::FaultLogDevice`]).
+    pub log: Arc<LogFaults>,
+    /// Faults on the node's data disk ([`tabs_kernel::FaultDisk`]).
+    pub disk: Arc<DiskFaults>,
+}
+
+impl NodeFaults {
+    /// Fresh, quiescent fault handles; `seed` drives the disk's RNG.
+    pub fn new(seed: u64) -> Self {
+        Self { log: LogFaults::new(), disk: DiskFaults::new(seed) }
+    }
+
+    /// Halts both devices: every subsequent write or force fails.
+    pub fn halt(&self) {
+        self.log.halt();
+        self.disk.halt();
+    }
+
+    /// Clears all faults (the "replace the machine, keep the disks" step
+    /// before a reboot).
+    pub fn clear(&self) {
+        self.log.clear();
+        self.disk.clear();
+    }
+}
+
+/// Shared record of `(crash point, node)` kills across a scenario's
+/// controllers, in the order they happened.
+pub type KillLog = Arc<Mutex<Vec<(&'static str, NodeId)>>>;
+
+/// Per-node [`CrashHooks`] implementation.
+///
+/// When the armed point fires, the controller halts the node's log device
+/// and disks, detaches it from the network and partitions it from every
+/// peer. The calling thread continues, but from that instant nothing the
+/// node does can reach stable storage or the wire — the write-ahead-log
+/// gate turns every later commit attempt into an abort, so no uncommitted
+/// page can leak to disk either. The runner later discards volatile state
+/// with [`Node::crash`] and reboots.
+pub struct CrashController {
+    cluster: Arc<Cluster>,
+    node: NodeId,
+    peers: Vec<NodeId>,
+    armed: Option<&'static str>,
+    faults: NodeFaults,
+    killed: AtomicBool,
+    fired: Mutex<BTreeSet<&'static str>>,
+    kills: KillLog,
+}
+
+impl CrashController {
+    /// Builds a controller for `node`. `armed` is the point that kills the
+    /// node (or `None` to only record which points fire); `peers` are
+    /// partitioned away on death.
+    pub fn new(
+        cluster: &Arc<Cluster>,
+        node: NodeId,
+        peers: Vec<NodeId>,
+        armed: Option<&'static str>,
+        faults: NodeFaults,
+        kills: KillLog,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            cluster: Arc::clone(cluster),
+            node,
+            peers,
+            armed,
+            faults,
+            killed: AtomicBool::new(false),
+            fired: Mutex::new(BTreeSet::new()),
+            kills,
+        })
+    }
+
+    /// Installs this controller on every crash-point slot of `node`: the
+    /// Recovery Manager, its write-ahead log, and the Transaction Manager.
+    pub fn install(self: &Arc<Self>, node: &Node) {
+        let hooks: Arc<dyn CrashHooks> = Arc::clone(self) as Arc<dyn CrashHooks>;
+        node.rm.set_crash_hooks(Arc::clone(&hooks));
+        node.rm.log().set_crash_hooks(Arc::clone(&hooks));
+        node.tm.set_crash_hooks(hooks);
+    }
+
+    /// Whether the armed point fired and killed the node.
+    pub fn was_killed(&self) -> bool {
+        self.killed.load(Ordering::SeqCst)
+    }
+
+    /// Every crash point observed while the node was alive.
+    pub fn fired(&self) -> BTreeSet<&'static str> {
+        self.fired.lock().clone()
+    }
+}
+
+impl CrashHooks for CrashController {
+    fn reached(&self, point: &'static str) {
+        if self.killed.load(Ordering::SeqCst) {
+            // The node is already dead; the still-running threads' points
+            // are not observable events.
+            return;
+        }
+        self.fired.lock().insert(point);
+        if self.armed == Some(point) && !self.killed.swap(true, Ordering::SeqCst) {
+            self.faults.halt();
+            self.cluster.detach(self.node);
+            for &p in &self.peers {
+                self.cluster.network().partition(self.node, p);
+            }
+            self.kills.lock().push((point, self.node));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabs_kernel::crash_point;
+    use tabs_kernel::CrashHookSlot;
+
+    #[test]
+    fn unarmed_controller_only_records() {
+        let cluster = Cluster::new();
+        let kills: KillLog = Arc::new(Mutex::new(Vec::new()));
+        let ctl =
+            CrashController::new(&cluster, NodeId(1), vec![], None, NodeFaults::new(1), kills);
+        let slot = CrashHookSlot::new(Some(Arc::clone(&ctl) as Arc<dyn CrashHooks>));
+        crash_point!(&slot, "wal.force.before");
+        assert!(!ctl.was_killed());
+        assert!(ctl.fired().contains("wal.force.before"));
+    }
+
+    #[test]
+    fn armed_point_halts_devices_and_logs_the_kill() {
+        let cluster = Cluster::new();
+        let kills: KillLog = Arc::new(Mutex::new(Vec::new()));
+        let faults = NodeFaults::new(1);
+        let ctl = CrashController::new(
+            &cluster,
+            NodeId(1),
+            vec![NodeId(2)],
+            Some("rm.commit.before"),
+            faults.clone(),
+            Arc::clone(&kills),
+        );
+        let slot = CrashHookSlot::new(Some(Arc::clone(&ctl) as Arc<dyn CrashHooks>));
+        crash_point!(&slot, "rm.commit.before");
+        assert!(ctl.was_killed());
+        assert!(faults.log.is_halted() && faults.disk.is_halted());
+        assert_eq!(kills.lock().as_slice(), &[("rm.commit.before", NodeId(1))]);
+        // Points reached after death are not recorded.
+        crash_point!(&slot, "rm.commit.after");
+        assert!(!ctl.fired().contains("rm.commit.after"));
+    }
+}

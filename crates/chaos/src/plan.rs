@@ -1,0 +1,174 @@
+//! Seed-reproducible fault plans: disk-fault probabilities plus an
+//! adversarial network schedule, all derived from one `u64`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use tabs_kernel::NodeId;
+use tabs_net::{DatagramFate, DatagramPolicy};
+
+/// xorshift64* — the same tiny generator the kernel's [`tabs_kernel::DiskFaults`]
+/// uses, so a plan's behaviour depends on nothing but its seed.
+#[derive(Debug, Clone)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// Seeds the generator (zero is mapped to a fixed odd constant).
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed | 1 }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.next_f64() < p
+    }
+
+    /// Uniform draw in `[0, n)` (`n == 0` is treated as 1).
+    pub fn pick(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+/// Adversarial datagram schedule: every routing decision is drawn from the
+/// plan's RNG, so the same seed replays the same drops, duplicates and
+/// delay-reorderings.
+#[derive(Debug, Clone)]
+pub struct NetSchedule {
+    /// Probability a datagram is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a datagram is delivered twice.
+    pub dup_prob: f64,
+    /// Probability a datagram is delayed (and thereby reordered behind
+    /// later traffic).
+    pub delay_prob: f64,
+    /// Upper bound on the injected delay.
+    pub max_delay: Duration,
+}
+
+/// Sector-level disk misbehaviour applied through [`tabs_kernel::FaultDisk`].
+#[derive(Debug, Clone)]
+pub struct DiskFaultSpec {
+    /// Probability a sector read fails transiently.
+    pub read_error_prob: f64,
+    /// Probability a sector write is torn (header updated, payload stale).
+    pub torn_write_prob: f64,
+}
+
+/// A complete reproducible fault plan for one chaos run.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// The seed every derived decision flows from.
+    pub seed: u64,
+    /// Disk faults applied to every node's data disks.
+    pub disk: DiskFaultSpec,
+    /// The network schedule installed on the cluster switch.
+    pub net: NetSchedule,
+}
+
+impl FaultPlan {
+    /// Derives a plan from `seed`. Probabilities are bounded so workloads
+    /// stay live (2PC retransmission and client retries can always make
+    /// progress between injected faults).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = ChaosRng::new(seed);
+        let disk = DiskFaultSpec {
+            read_error_prob: rng.next_f64() * 0.10,
+            torn_write_prob: rng.next_f64() * 0.25,
+        };
+        let net = NetSchedule {
+            drop_prob: rng.next_f64() * 0.20,
+            dup_prob: rng.next_f64() * 0.20,
+            delay_prob: rng.next_f64() * 0.40,
+            max_delay: Duration::from_millis(1 + rng.pick(15)),
+        };
+        FaultPlan { seed, disk, net }
+    }
+
+    /// The datagram policy realizing this plan's network schedule.
+    pub fn policy(&self) -> Arc<ScheduledPolicy> {
+        ScheduledPolicy::new(self.net.clone(), self.seed ^ 0x5EED_0000_0000_0001)
+    }
+}
+
+/// [`DatagramPolicy`] implementation driven by a [`NetSchedule`] and a
+/// seeded RNG.
+pub struct ScheduledPolicy {
+    schedule: NetSchedule,
+    rng: Mutex<ChaosRng>,
+}
+
+impl ScheduledPolicy {
+    /// Builds the policy with its own RNG stream.
+    pub fn new(schedule: NetSchedule, seed: u64) -> Arc<Self> {
+        Arc::new(Self { schedule, rng: Mutex::new(ChaosRng::new(seed)) })
+    }
+}
+
+impl DatagramPolicy for ScheduledPolicy {
+    fn route(&self, _from: NodeId, _to: NodeId, _body: &[u8]) -> DatagramFate {
+        let mut rng = self.rng.lock();
+        if rng.chance(self.schedule.drop_prob) {
+            DatagramFate::Drop
+        } else if rng.chance(self.schedule.dup_prob) {
+            DatagramFate::Duplicate
+        } else if rng.chance(self.schedule.delay_prob) {
+            let ns = self.schedule.max_delay.as_nanos().max(1) as u64;
+            DatagramFate::Delay(Duration::from_nanos(1 + rng.pick(ns)))
+        } else {
+            DatagramFate::Deliver
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::from_seed(42);
+        let b = FaultPlan::from_seed(42);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::from_seed(1);
+        let b = FaultPlan::from_seed(2);
+        assert_ne!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn policy_decisions_replay_bit_for_bit() {
+        let plan = FaultPlan { seed: 7, ..FaultPlan::from_seed(7) };
+        let fates = |p: Arc<ScheduledPolicy>| -> Vec<String> {
+            (0..256).map(|_| format!("{:?}", p.route(NodeId(1), NodeId(2), b"x"))).collect()
+        };
+        assert_eq!(fates(plan.policy()), fates(plan.policy()));
+    }
+
+    #[test]
+    fn rng_is_uniform_enough_for_probabilities() {
+        let mut rng = ChaosRng::new(99);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((1_800..3_200).contains(&hits), "got {hits} hits for p=0.25");
+    }
+}

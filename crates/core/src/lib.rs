@@ -174,6 +174,20 @@ impl Cluster {
         &self.net
     }
 
+    /// The cluster's disk registry. Fault-injection harnesses pre-register
+    /// wrapped disks here (under `"{node}.{segment}"` names) before the
+    /// segment is created, so every write goes through the wrapper.
+    pub fn disks(&self) -> &Arc<DiskRegistry> {
+        &self.disks
+    }
+
+    /// Pre-installs the log device `node` will use at its next boot
+    /// (replacing any existing device). Fault-injection harnesses use this
+    /// to slide a fault-injecting device under the write-ahead log.
+    pub fn set_log_device(&self, id: NodeId, dev: Arc<dyn tabs_wal::LogDevice>) {
+        self.log_devices.lock().insert(id, dev);
+    }
+
     /// Per-node primitive counters (persistent across restarts so that
     /// benchmark measurements span crashes).
     pub fn perf(&self, id: NodeId) -> Arc<PerfCounters> {
@@ -257,6 +271,10 @@ impl Cluster {
         let tm = TransactionManager::new(id, incarnation, Arc::clone(&rm), Arc::clone(&perf));
         let ns = NameServer::new(id);
         let endpoint = self.net.attach(id, Arc::clone(&perf));
+        // Datagrams dropped on their way to this node (loss, partitions,
+        // chaos schedules, or dying with a detached inbox) are visible in
+        // the node's metric registry.
+        self.net.install_drop_counter(id, self.metrics(id).counter("net.datagram.dropped"));
         let trace = self.config.trace.then(|| self.trace(id));
         if let Some(t) = &trace {
             // Wire every layer's hook to the one per-node collector: the

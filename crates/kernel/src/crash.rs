@@ -1,0 +1,87 @@
+//! Named crash-points for deterministic fault injection.
+//!
+//! The recovery claims of the paper (§4, §6.4) are universally quantified:
+//! a node may fail at *any* instant and recoverable objects still converge.
+//! To test that claim mechanically, the WAL, Recovery Manager and
+//! Transaction Manager thread named crash-points through their critical
+//! sections — one immediately before and one immediately after each
+//! durability-relevant step. A chaos controller (the `tabs-chaos` crate)
+//! installs a [`CrashHooks`] implementation that, when armed for a given
+//! point, "kills" the node right there by halting its devices and
+//! detaching it from the network.
+//!
+//! Components that expose crash-points publish their names in a
+//! `CRASH_POINTS` constant so a sweep can verify it visited every one.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Receiver for crash-point notifications.
+///
+/// `reached` is called synchronously at the named point; an implementation
+/// that wants to simulate a crash there should make all subsequent durable
+/// work fail (halt the log device and disks, detach the network) rather
+/// than panic — the calling thread keeps running but nothing it does
+/// escapes volatile storage, exactly as on a real power failure.
+pub trait CrashHooks: Send + Sync {
+    /// Called when execution reaches the named crash-point.
+    fn reached(&self, point: &'static str);
+}
+
+/// The slot a component stores its optional hooks in.
+pub type CrashHookSlot = Mutex<Option<Arc<dyn CrashHooks>>>;
+
+/// Fires `reached(point)` on the hooks in `slot`, if any are installed.
+///
+/// The `Arc` is cloned out of the slot before the call so the component's
+/// lock is not held while the controller runs (it may call back into the
+/// component, e.g. to halt its log device).
+#[macro_export]
+macro_rules! crash_point {
+    ($slot:expr, $point:literal) => {{
+        let hooks = $slot.lock().clone();
+        if let Some(hooks) = hooks {
+            hooks.reached($point);
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder(Mutex<Vec<&'static str>>);
+
+    impl CrashHooks for Recorder {
+        fn reached(&self, point: &'static str) {
+            self.0.lock().push(point);
+        }
+    }
+
+    #[test]
+    fn crash_point_fires_installed_hooks() {
+        let slot: CrashHookSlot = Mutex::new(None);
+        crash_point!(&slot, "unit.noop"); // no hooks installed: silent
+        let rec = Arc::new(Recorder(Mutex::new(Vec::new())));
+        *slot.lock() = Some(rec.clone() as Arc<dyn CrashHooks>);
+        crash_point!(&slot, "unit.a");
+        crash_point!(&slot, "unit.b");
+        assert_eq!(*rec.0.lock(), vec!["unit.a", "unit.b"]);
+    }
+
+    #[test]
+    fn hooks_may_reenter_the_slot() {
+        // The macro must not hold the slot lock across the callback.
+        struct Clearer(Arc<CrashHookSlot>);
+        impl CrashHooks for Clearer {
+            fn reached(&self, _point: &'static str) {
+                *self.0.lock() = None;
+            }
+        }
+        let slot = Arc::new(CrashHookSlot::new(None));
+        *slot.lock() = Some(Arc::new(Clearer(Arc::clone(&slot))) as Arc<dyn CrashHooks>);
+        crash_point!(&*slot, "unit.reenter");
+        assert!(slot.lock().is_none());
+    }
+}

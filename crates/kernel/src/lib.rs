@@ -23,6 +23,7 @@
 //! - [`perfctr`] — counters for the nine primitive operations of Table 5-1,
 //!   from which the performance-evaluation harness derives Tables 5-2…5-4.
 
+pub mod crash;
 pub mod ids;
 pub mod msg;
 pub mod perfctr;
@@ -32,10 +33,13 @@ pub mod storage;
 pub mod trace;
 pub mod vm;
 
+pub use crash::{CrashHookSlot, CrashHooks};
 pub use ids::{NodeId, ObjectId, PageId, PortId, SegmentId, Tid, PAGE_SIZE};
 pub use msg::{Message, Transfer, SMALL_MESSAGE_LIMIT};
 pub use perfctr::{PerfCounters, PerfSnapshot, PrimitiveOp};
 pub use port::{Kernel, PortClass, ReceiveRight, RecvError, SendError, SendRight};
-pub use storage::{Disk, DiskRegistry, FileDisk, MemDisk, Sector, SECTOR_SIZE};
+pub use storage::{
+    Disk, DiskFaults, DiskRegistry, FaultDisk, FileDisk, MemDisk, Sector, SECTOR_SIZE,
+};
 pub use trace::TraceSink;
 pub use vm::{BufferPool, MappedSegment, NullWalGate, SegmentSpec, VmError, WalGate};

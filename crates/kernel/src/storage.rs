@@ -205,6 +205,175 @@ impl DiskRegistry {
     }
 }
 
+/// Shared control handle for the faults a [`FaultDisk`] injects.
+///
+/// All knobs are live: a chaos controller holds a clone of the `Arc` and
+/// flips them while the node runs. Faults are drawn from a private
+/// deterministic RNG so the same seed yields the same fault schedule.
+pub struct DiskFaults {
+    state: Mutex<FaultState>,
+}
+
+struct FaultState {
+    rng: u64,
+    /// Probability a read returns a transient error (retry may succeed).
+    read_error_prob: f64,
+    /// Probability a write is silently torn: header updated, payload stale.
+    torn_write_prob: f64,
+    /// One-shot: tear the next write regardless of probability.
+    tear_next: bool,
+    /// Remaining successful writes before the device halts (partial
+    /// multi-sector write: power fails after `n` more sectors). `None`
+    /// disables the countdown.
+    writes_until_halt: Option<u64>,
+    /// Halted: writes and sync fail, reads still work (a crashed node's
+    /// disk is readable again at reboot).
+    halted: bool,
+}
+
+impl DiskFaults {
+    /// Creates a fault controller with no faults armed.
+    pub fn new(seed: u64) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(FaultState {
+                rng: seed | 1,
+                read_error_prob: 0.0,
+                torn_write_prob: 0.0,
+                tear_next: false,
+                writes_until_halt: None,
+                halted: false,
+            }),
+        })
+    }
+
+    /// Sets the probability of a transient read error.
+    pub fn set_read_error_prob(&self, p: f64) {
+        self.state.lock().read_error_prob = p;
+    }
+
+    /// Sets the probability of a torn write (header new, payload stale).
+    pub fn set_torn_write_prob(&self, p: f64) {
+        self.state.lock().torn_write_prob = p;
+    }
+
+    /// Arms a one-shot torn write: the next write updates only the header.
+    pub fn tear_next_write(&self) {
+        self.state.lock().tear_next = true;
+    }
+
+    /// Halts the device after `n` more successful writes (models a crash
+    /// partway through a multi-sector write).
+    pub fn halt_after_writes(&self, n: u64) {
+        self.state.lock().writes_until_halt = Some(n);
+    }
+
+    /// Halts the device now: writes and sync fail until [`Self::clear`].
+    pub fn halt(&self) {
+        self.state.lock().halted = true;
+    }
+
+    /// Whether the device is currently halted.
+    pub fn is_halted(&self) -> bool {
+        self.state.lock().halted
+    }
+
+    /// Clears every armed fault (the "reboot": disk works again).
+    pub fn clear(&self) {
+        let mut s = self.state.lock();
+        s.read_error_prob = 0.0;
+        s.torn_write_prob = 0.0;
+        s.tear_next = false;
+        s.writes_until_halt = None;
+        s.halted = false;
+    }
+}
+
+impl FaultState {
+    /// xorshift64*: deterministic uniform draw in `[0, 1)`.
+    fn draw(&mut self) -> f64 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        (self.rng.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn injected(kind: io::ErrorKind, what: &str) -> io::Error {
+    io::Error::new(kind, format!("injected fault: {what}"))
+}
+
+/// A [`Disk`] wrapper that injects sector-level faults under the control
+/// of a shared [`DiskFaults`] handle.
+///
+/// Torn writes update the sector header (sequence number) while leaving
+/// the payload stale — precisely the failure the per-sector sequence
+/// number of §3.2.1 exists to detect during operation-logging recovery.
+pub struct FaultDisk {
+    inner: Arc<dyn Disk>,
+    faults: Arc<DiskFaults>,
+}
+
+impl FaultDisk {
+    /// Wraps `inner`, injecting faults driven by `faults`.
+    pub fn new(inner: Arc<dyn Disk>, faults: Arc<DiskFaults>) -> Arc<Self> {
+        Arc::new(Self { inner, faults })
+    }
+
+    /// The shared fault controller.
+    pub fn faults(&self) -> &Arc<DiskFaults> {
+        &self.faults
+    }
+}
+
+impl Disk for FaultDisk {
+    fn num_sectors(&self) -> u64 {
+        self.inner.num_sectors()
+    }
+
+    fn read(&self, idx: u64) -> io::Result<Sector> {
+        {
+            let mut s = self.faults.state.lock();
+            if s.read_error_prob > 0.0 && s.draw() < s.read_error_prob {
+                return Err(injected(io::ErrorKind::Interrupted, "transient read error"));
+            }
+        }
+        self.inner.read(idx)
+    }
+
+    fn write(&self, idx: u64, sector: &Sector) -> io::Result<()> {
+        let torn = {
+            let mut s = self.faults.state.lock();
+            if s.halted {
+                return Err(injected(io::ErrorKind::BrokenPipe, "disk halted"));
+            }
+            if let Some(n) = s.writes_until_halt {
+                if n == 0 {
+                    s.halted = true;
+                    return Err(injected(io::ErrorKind::BrokenPipe, "disk halted mid-write"));
+                }
+                s.writes_until_halt = Some(n - 1);
+            }
+            let torn = s.tear_next || (s.torn_write_prob > 0.0 && s.draw() < s.torn_write_prob);
+            s.tear_next = false;
+            torn
+        };
+        if torn {
+            // Header lands, payload does not: the caller sees success.
+            let stale = self.inner.read(idx)?;
+            let half = Sector { header: sector.header, data: stale.data };
+            return self.inner.write(idx, &half);
+        }
+        self.inner.write(idx, sector)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        if self.faults.is_halted() {
+            return Err(injected(io::ErrorKind::BrokenPipe, "disk halted"));
+        }
+        self.inner.sync()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +437,71 @@ mod tests {
     fn registry_missing_name() {
         let reg = DiskRegistry::new();
         assert!(reg.get("nope").is_none());
+    }
+
+    #[test]
+    fn fault_disk_torn_write_keeps_stale_payload() {
+        let base = MemDisk::new(4);
+        let mut s = Sector::zeroed();
+        s.header = 1;
+        s.data = [0xaa; SECTOR_SIZE];
+        base.write(0, &s).unwrap();
+
+        let faults = DiskFaults::new(7);
+        let d = FaultDisk::new(base, Arc::clone(&faults));
+        faults.tear_next_write();
+        let mut s2 = Sector::zeroed();
+        s2.header = 2;
+        s2.data = [0xbb; SECTOR_SIZE];
+        d.write(0, &s2).unwrap(); // "succeeds"
+        let got = d.read(0).unwrap();
+        assert_eq!(got.header, 2, "header (seqno) updated");
+        assert_eq!(got.data[0], 0xaa, "payload stale: torn");
+        // One-shot: the next write is clean.
+        d.write(0, &s2).unwrap();
+        assert_eq!(d.read(0).unwrap().data[0], 0xbb);
+    }
+
+    #[test]
+    fn fault_disk_halt_blocks_writes_not_reads() {
+        let faults = DiskFaults::new(7);
+        let d = FaultDisk::new(MemDisk::new(4), Arc::clone(&faults));
+        let s = Sector::zeroed();
+        d.write(1, &s).unwrap();
+        faults.halt();
+        assert!(d.write(1, &s).is_err());
+        assert!(d.sync().is_err());
+        assert!(d.read(1).is_ok(), "reads survive a halt (reboot reads the disk)");
+        faults.clear();
+        d.write(1, &s).unwrap();
+    }
+
+    #[test]
+    fn fault_disk_halt_after_writes_counts_down() {
+        let faults = DiskFaults::new(7);
+        let d = FaultDisk::new(MemDisk::new(8), Arc::clone(&faults));
+        faults.halt_after_writes(2);
+        let s = Sector::zeroed();
+        d.write(0, &s).unwrap();
+        d.write(1, &s).unwrap();
+        assert!(d.write(2, &s).is_err(), "third write hits the halt");
+        assert!(faults.is_halted());
+    }
+
+    #[test]
+    fn fault_disk_read_errors_are_transient_and_seeded() {
+        let faults = DiskFaults::new(0x5eed);
+        let d = FaultDisk::new(MemDisk::new(2), Arc::clone(&faults));
+        faults.set_read_error_prob(0.5);
+        let outcomes: Vec<bool> = (0..32).map(|_| d.read(0).is_ok()).collect();
+        assert!(outcomes.iter().any(|&ok| ok), "some reads succeed");
+        assert!(outcomes.iter().any(|&ok| !ok), "some reads fail");
+        // Same seed, same schedule.
+        let faults2 = DiskFaults::new(0x5eed);
+        let d2 = FaultDisk::new(MemDisk::new(2), Arc::clone(&faults2));
+        faults2.set_read_error_prob(0.5);
+        let outcomes2: Vec<bool> = (0..32).map(|_| d2.read(0).is_ok()).collect();
+        assert_eq!(outcomes, outcomes2, "fault schedule is seed-deterministic");
     }
 
     #[test]

@@ -23,7 +23,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use tabs_kernel::{NodeId, PerfCounters, PrimitiveOp, Tid};
-use tabs_obs::{TraceCollector, TraceEvent};
+use tabs_obs::{Counter, TraceCollector, TraceEvent};
 
 /// Errors surfaced to network users.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -127,6 +127,27 @@ impl NetConfig {
     }
 }
 
+/// What an adversarial schedule decides to do with one datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatagramFate {
+    /// Deliver normally.
+    Deliver,
+    /// Drop silently (counted against the destination's drop counter).
+    Drop,
+    /// Deliver twice (exercises receiver idempotence).
+    Duplicate,
+    /// Deliver after an extra delay (reordering against later traffic).
+    Delay(Duration),
+}
+
+/// A deterministic per-datagram schedule, replacing the ad-hoc loss
+/// probability when installed. Implementations draw from their own seeded
+/// RNG so a whole run's network behaviour replays from one seed.
+pub trait DatagramPolicy: Send + Sync {
+    /// Decides the fate of one datagram from `from` to `to`.
+    fn route(&self, from: NodeId, to: NodeId, body: &[u8]) -> DatagramFate;
+}
+
 struct Inbox {
     datagram_tx: Sender<Packet>,
     session_tx: Sender<SessionMsg>,
@@ -137,12 +158,24 @@ struct NetInner {
     partitions: Mutex<HashSet<(NodeId, NodeId)>>,
     config: Mutex<NetConfig>,
     rng: Mutex<StdRng>,
+    policy: Mutex<Option<Arc<dyn DatagramPolicy>>>,
+    /// Per-destination dropped-datagram counters (tabs-obs metrics).
+    drop_counters: Mutex<HashMap<NodeId, Counter>>,
 }
 
 impl NetInner {
     fn partitioned(&self, a: NodeId, b: NodeId) -> bool {
         let key = if a < b { (a, b) } else { (b, a) };
         self.partitions.lock().contains(&key)
+    }
+
+    /// Charges `n` dropped datagrams against `to`'s counter, if installed.
+    fn count_drops(&self, to: NodeId, n: u64) {
+        if n > 0 {
+            if let Some(c) = self.drop_counters.lock().get(&to) {
+                c.add(n);
+            }
+        }
     }
 }
 
@@ -173,8 +206,28 @@ impl Network {
                 partitions: Mutex::new(HashSet::new()),
                 config: Mutex::new(config),
                 rng: Mutex::new(StdRng::seed_from_u64(seed)),
+                policy: Mutex::new(None),
+                drop_counters: Mutex::new(HashMap::new()),
             }),
         }
+    }
+
+    /// Installs an adversarial datagram schedule. While installed it
+    /// replaces the probabilistic loss process entirely.
+    pub fn set_datagram_policy(&self, policy: Arc<dyn DatagramPolicy>) {
+        *self.inner.policy.lock() = Some(policy);
+    }
+
+    /// Removes any installed datagram schedule.
+    pub fn clear_datagram_policy(&self) {
+        *self.inner.policy.lock() = None;
+    }
+
+    /// Registers `counter` to be bumped once per datagram dropped on its
+    /// way to `node` — by loss, partition, an adversarial schedule, or the
+    /// node being detached.
+    pub fn install_drop_counter(&self, node: NodeId, counter: Counter) {
+        self.inner.drop_counters.lock().insert(node, counter);
     }
 
     /// Replaces the live configuration (loss, latency).
@@ -199,9 +252,14 @@ impl Network {
     }
 
     /// Detaches `node` (simulated crash): its inbox vanishes and sends to
-    /// it fail with [`NetError::NodeUnreachable`].
+    /// it fail with [`NetError::NodeUnreachable`]. Datagrams queued for the
+    /// node but not yet consumed die with the inbox and are charged to its
+    /// dropped-message counter.
     pub fn detach(&self, node: NodeId) {
-        self.inner.nodes.lock().remove(&node);
+        let inbox = self.inner.nodes.lock().remove(&node);
+        if let Some(inbox) = inbox {
+            self.inner.count_drops(node, inbox.datagram_tx.len() as u64);
+        }
     }
 
     /// Whether `node` is currently attached.
@@ -272,12 +330,30 @@ impl Endpoint {
     }
 
     fn deliver_delayed<T: Send + 'static>(tx: Sender<T>, value: T, delay: Duration) {
+        Self::deliver_counted(tx, value, delay, None);
+    }
+
+    /// Like [`Self::deliver_delayed`], but a send that fails because the
+    /// receiver vanished (detached node) bumps `dropped`.
+    fn deliver_counted<T: Send + 'static>(
+        tx: Sender<T>,
+        value: T,
+        delay: Duration,
+        dropped: Option<Counter>,
+    ) {
+        let send = move || {
+            if tx.send(value).is_err() {
+                if let Some(c) = dropped {
+                    c.inc();
+                }
+            }
+        };
         if delay.is_zero() {
-            let _ = tx.send(value);
+            send();
         } else {
             std::thread::spawn(move || {
                 std::thread::sleep(delay);
-                let _ = tx.send(value);
+                send();
             });
         }
     }
@@ -295,20 +371,47 @@ impl Endpoint {
         self.perf.record(PrimitiveOp::Datagram);
         self.emit(TraceEvent::DatagramSend { to, bytes: body.len() });
         if self.inner.partitioned(self.node, to) {
+            self.inner.count_drops(to, 1);
             return Ok(()); // dropped on the floor, as on a real wire
         }
         let (loss, latency) = {
             let c = self.inner.config.lock();
             (c.datagram_loss, c.datagram_latency)
         };
-        if loss > 0.0 && self.inner.rng.lock().gen::<f64>() < loss {
+        // An installed adversarial schedule decides each datagram's fate;
+        // otherwise the probabilistic loss process applies.
+        let policy = self.inner.policy.lock().clone();
+        let fate = match policy {
+            Some(p) => p.route(self.node, to, &body),
+            None if loss > 0.0 && self.inner.rng.lock().gen::<f64>() < loss => DatagramFate::Drop,
+            None => DatagramFate::Deliver,
+        };
+        if fate == DatagramFate::Drop {
+            self.inner.count_drops(to, 1);
             return Ok(());
         }
         let tx = match self.inner.nodes.lock().get(&to) {
             Some(inbox) => inbox.datagram_tx.clone(),
-            None => return Ok(()),
+            None => {
+                self.inner.count_drops(to, 1);
+                return Ok(());
+            }
         };
-        Self::deliver_delayed(tx, Packet { from: self.node, to, body }, latency);
+        let dropped = self.inner.drop_counters.lock().get(&to).cloned();
+        let packet = Packet { from: self.node, to, body };
+        match fate {
+            DatagramFate::Deliver => {
+                Self::deliver_counted(tx, packet, latency, dropped);
+            }
+            DatagramFate::Duplicate => {
+                Self::deliver_counted(tx.clone(), packet.clone(), latency, dropped.clone());
+                Self::deliver_counted(tx, packet, latency, dropped);
+            }
+            DatagramFate::Delay(extra) => {
+                Self::deliver_counted(tx, packet, latency + extra, dropped);
+            }
+            DatagramFate::Drop => unreachable!("handled above"),
+        }
         Ok(())
     }
 
@@ -416,6 +519,90 @@ mod tests {
         let (_net, a, _b) = two_nodes();
         // Node 9 does not exist; datagrams give no feedback.
         assert!(a.send_datagram(n(9), vec![1]).is_ok());
+    }
+
+    #[test]
+    fn drop_counter_charges_partition_loss_and_dead_destinations() {
+        let (net, a, _b) = two_nodes();
+        let c = Counter::default();
+        net.install_drop_counter(n(2), c.clone());
+        net.partition(n(1), n(2));
+        a.send_datagram(n(2), vec![1]).unwrap();
+        assert_eq!(c.get(), 1, "partition drop counted");
+        net.heal(n(1), n(2));
+        net.detach(n(2));
+        a.send_datagram(n(2), vec![2]).unwrap();
+        assert_eq!(c.get(), 2, "send to detached node counted");
+    }
+
+    #[test]
+    fn detach_counts_queued_datagrams() {
+        let (net, a, _b) = two_nodes();
+        let c = Counter::default();
+        net.install_drop_counter(n(2), c.clone());
+        // Three datagrams sit unconsumed in node 2's inbox.
+        for i in 0..3u8 {
+            a.send_datagram(n(2), vec![i]).unwrap();
+        }
+        net.detach(n(2));
+        assert_eq!(c.get(), 3, "in-flight datagrams died with the inbox");
+    }
+
+    #[test]
+    fn datagram_policy_overrides_loss_and_duplicates() {
+        struct EveryOther(Mutex<u64>);
+        impl DatagramPolicy for EveryOther {
+            fn route(&self, _from: NodeId, _to: NodeId, _body: &[u8]) -> DatagramFate {
+                let mut k = self.0.lock();
+                *k += 1;
+                match *k % 3 {
+                    1 => DatagramFate::Deliver,
+                    2 => DatagramFate::Drop,
+                    _ => DatagramFate::Duplicate,
+                }
+            }
+        }
+        let (net, a, b) = two_nodes();
+        let c = Counter::default();
+        net.install_drop_counter(n(2), c.clone());
+        net.set_datagram_policy(Arc::new(EveryOther(Mutex::new(0))));
+        for i in 0..3u8 {
+            a.send_datagram(n(2), vec![i]).unwrap();
+        }
+        // Fates: deliver #0, drop #1, duplicate #2.
+        let mut got = Vec::new();
+        while let Some(p) = b.recv_datagram(Duration::from_millis(200)) {
+            got.push(p.body[0]);
+        }
+        assert_eq!(got, vec![0, 2, 2]);
+        assert_eq!(c.get(), 1);
+        // Clearing the policy restores normal delivery.
+        net.clear_datagram_policy();
+        a.send_datagram(n(2), vec![9]).unwrap();
+        assert_eq!(b.recv_datagram(Duration::from_millis(200)).unwrap().body, vec![9]);
+    }
+
+    #[test]
+    fn datagram_policy_delay_reorders() {
+        struct DelayFirst(Mutex<bool>);
+        impl DatagramPolicy for DelayFirst {
+            fn route(&self, _from: NodeId, _to: NodeId, _body: &[u8]) -> DatagramFate {
+                let mut first = self.0.lock();
+                if *first {
+                    *first = false;
+                    DatagramFate::Delay(Duration::from_millis(80))
+                } else {
+                    DatagramFate::Deliver
+                }
+            }
+        }
+        let (net, a, b) = two_nodes();
+        net.set_datagram_policy(Arc::new(DelayFirst(Mutex::new(true))));
+        a.send_datagram(n(2), vec![1]).unwrap();
+        a.send_datagram(n(2), vec![2]).unwrap();
+        let first = b.recv_datagram(Duration::from_secs(1)).unwrap();
+        let second = b.recv_datagram(Duration::from_secs(1)).unwrap();
+        assert_eq!((first.body[0], second.body[0]), (2, 1), "delayed datagram arrived late");
     }
 
     #[test]

@@ -31,8 +31,10 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
+use tabs_kernel::crash::CrashHookSlot;
 use tabs_kernel::{
-    BufferPool, NodeId, ObjectId, PageId, PerfCounters, PrimitiveOp, SegmentId, Tid, WalGate,
+    crash_point, BufferPool, CrashHooks, NodeId, ObjectId, PageId, PerfCounters, PrimitiveOp,
+    SegmentId, Tid, WalGate,
 };
 use tabs_obs::{TraceCollector, TraceEvent};
 use tabs_wal::{LogEntry, LogManager, LogRecord, Lsn, TxState, WalError};
@@ -134,7 +136,19 @@ pub struct RecoveryManager {
     /// Fraction of log capacity that triggers reclamation.
     reclaim_threshold: f64,
     trace: Mutex<Option<Arc<TraceCollector>>>,
+    crash: CrashHookSlot,
 }
+
+/// Crash-points the Recovery Manager fires (see `tabs_kernel::crash`):
+/// either side of the prepare, commit and abort record writes.
+pub const CRASH_POINTS: &[&str] = &[
+    "rm.prepare.before",
+    "rm.prepare.after",
+    "rm.commit.before",
+    "rm.commit.after",
+    "rm.abort.before",
+    "rm.abort.after",
+];
 
 impl std::fmt::Debug for RecoveryManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -160,6 +174,7 @@ impl RecoveryManager {
             handlers: RwLock::new(HashMap::new()),
             reclaim_threshold: 0.8,
             trace: Mutex::new(None),
+            crash: CrashHookSlot::new(None),
         })
     }
 
@@ -185,6 +200,11 @@ impl RecoveryManager {
         if let Some(t) = self.trace.lock().as_ref() {
             t.record(tid, event);
         }
+    }
+
+    /// Installs crash-point hooks fired at the [`CRASH_POINTS`] boundaries.
+    pub fn set_crash_hooks(&self, hooks: Arc<dyn CrashHooks>) {
+        *self.crash.lock() = Some(hooks);
     }
 
     /// The shared log (read access for the Transaction Manager and tests).
@@ -265,13 +285,18 @@ impl RecoveryManager {
     /// durable before "yes" is sent).
     pub fn log_prepare(&self, tid: Tid, coordinator: NodeId) -> Result<Lsn, RmError> {
         self.count_msg(24);
-        Ok(self.log.append_forced(LogRecord::Prepare { tid, coordinator })?)
+        crash_point!(&self.crash, "rm.prepare.before");
+        let lsn = self.log.append_forced(LogRecord::Prepare { tid, coordinator })?;
+        crash_point!(&self.crash, "rm.prepare.after");
+        Ok(lsn)
     }
 
     /// Writes and forces the commit record (the WAL commit rule).
     pub fn log_commit(&self, tid: Tid) -> Result<Lsn, RmError> {
         self.count_msg(16);
+        crash_point!(&self.crash, "rm.commit.before");
         let lsn = self.log.append_forced(LogRecord::Commit { tid })?;
+        crash_point!(&self.crash, "rm.commit.after");
         self.emit(tid, TraceEvent::TxnCommit);
         Ok(lsn)
     }
@@ -340,6 +365,7 @@ impl RecoveryManager {
     /// undoes its effects, then records the abort. The caller (Transaction
     /// Manager) still holds the transaction's locks.
     pub fn abort(&self, tid: Tid) -> Result<(), RmError> {
+        crash_point!(&self.crash, "rm.abort.before");
         self.log.append(LogRecord::Abort { tid });
         for entry in self.log.backward_chain(tid) {
             if entry.record.is_update() && entry.record.tid() == Some(tid) {
@@ -347,6 +373,7 @@ impl RecoveryManager {
             }
         }
         self.log.append(LogRecord::AbortComplete { tid });
+        crash_point!(&self.crash, "rm.abort.after");
         self.emit(tid, TraceEvent::TxnAbort);
         Ok(())
     }

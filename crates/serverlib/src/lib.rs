@@ -386,6 +386,18 @@ impl OperationHandler for ServerRecovery {
     fn relock(&self, tid: Tid, object: ObjectId) {
         // Recovery runs before requests are accepted: no contention.
         let _ = self.inner.locks.try_lock(tid, object, StdMode::Exclusive);
+        // Re-enlist with the Transaction Manager: when the in-doubt
+        // transaction's outcome arrives, the phase-2 finish must reach
+        // this server to release the relocked objects (without this, an
+        // in-doubt transaction resolved after recovery leaked its locks).
+        let mut tx = self.inner.tx.lock();
+        if let std::collections::hash_map::Entry::Vacant(e) = tx.entry(tid) {
+            e.insert(TxCtx::default());
+            drop(tx);
+            let participant: Arc<dyn Participant> =
+                Arc::new(ServerParticipant { inner: Arc::clone(&self.inner) });
+            self.inner.tm.enlist(tid, &self.inner.name, participant);
+        }
     }
 }
 

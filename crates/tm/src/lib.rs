@@ -24,7 +24,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
-use tabs_kernel::{NodeId, PerfCounters, PrimitiveOp, Tid};
+use tabs_kernel::crash::CrashHookSlot;
+use tabs_kernel::{crash_point, CrashHooks, NodeId, PerfCounters, PrimitiveOp, Tid};
 use tabs_obs::{TraceCollector, TraceEvent, Vote as ObsVote};
 use tabs_proto::CommitMsg;
 use tabs_rm::RecoveryManager;
@@ -156,12 +157,35 @@ impl TxInfo {
     }
 }
 
-/// Retransmission interval for unacknowledged commit datagrams.
-const RETRANSMIT_EVERY: Duration = Duration::from_millis(100);
-/// Total time to wait for votes before presuming failure and aborting.
-const VOTE_DEADLINE: Duration = Duration::from_secs(5);
-/// Total time to chase phase-2 acknowledgements.
-const ACK_DEADLINE: Duration = Duration::from_secs(5);
+/// Two-phase-commit timing knobs.
+///
+/// Defaults match the paper-era behaviour; fault-injection harnesses
+/// shorten them so "coordinator presumed dead" scenarios resolve in
+/// milliseconds instead of seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct TmTimeouts {
+    /// Retransmission interval for unacknowledged commit datagrams.
+    pub retransmit: Duration,
+    /// Total time to wait for votes before presuming failure and aborting.
+    pub vote_deadline: Duration,
+    /// Total time to chase phase-2 acknowledgements.
+    pub ack_deadline: Duration,
+}
+
+impl Default for TmTimeouts {
+    fn default() -> Self {
+        Self {
+            retransmit: Duration::from_millis(100),
+            vote_deadline: Duration::from_secs(5),
+            ack_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Crash-points the Transaction Manager fires (see `tabs_kernel::crash`):
+/// one per two-phase-commit state transition.
+pub const CRASH_POINTS: &[&str] =
+    &["tm.prepare.sent", "tm.vote.logged", "tm.commit.logged", "tm.ack.sent"];
 
 /// The Transaction Manager of one node.
 pub struct TransactionManager {
@@ -177,6 +201,8 @@ pub struct TransactionManager {
     outcomes: Mutex<HashMap<Tid, bool>>,
     perf: Arc<PerfCounters>,
     trace: Mutex<Option<Arc<TraceCollector>>>,
+    crash: CrashHookSlot,
+    timeouts: Mutex<TmTimeouts>,
 }
 
 impl std::fmt::Debug for TransactionManager {
@@ -208,7 +234,24 @@ impl TransactionManager {
             outcomes: Mutex::new(HashMap::new()),
             perf,
             trace: Mutex::new(None),
+            crash: CrashHookSlot::new(None),
+            timeouts: Mutex::new(TmTimeouts::default()),
         })
+    }
+
+    /// Replaces the two-phase-commit timing knobs.
+    pub fn set_timeouts(&self, t: TmTimeouts) {
+        *self.timeouts.lock() = t;
+    }
+
+    fn timeouts(&self) -> TmTimeouts {
+        *self.timeouts.lock()
+    }
+
+    /// Installs crash-point hooks fired at the [`CRASH_POINTS`]
+    /// two-phase-commit state transitions.
+    pub fn set_crash_hooks(&self, hooks: Arc<dyn CrashHooks>) {
+        *self.crash.lock() = Some(hooks);
     }
 
     /// Installs the Communication Manager's transport.
@@ -459,6 +502,7 @@ impl TransactionManager {
         // (the cheap path of Table 5-3, "1 Node, Read Only").
         if updates {
             self.rm.log_commit(tid).map_err(|e| TmError::Rm(e.to_string()))?;
+            crash_point!(&self.crash, "tm.commit.logged");
         }
         {
             let mut inner = self.inner.lock();
@@ -494,11 +538,13 @@ impl TransactionManager {
         children: &[NodeId],
     ) -> Result<(Vec<NodeId>, bool), TmError> {
         let transport = self.transport();
-        let deadline = Instant::now() + VOTE_DEADLINE;
+        let timeouts = self.timeouts();
+        let deadline = Instant::now() + timeouts.vote_deadline;
         let msg = CommitMsg::Prepare { tid, merged: merged.to_vec() };
         for &c in children {
             self.send_traced(&transport, c, msg.clone());
         }
+        crash_point!(&self.crash, "tm.prepare.sent");
         let mut inner = self.inner.lock();
         loop {
             let info = inner.get(&tid).ok_or(TmError::Unknown(tid))?;
@@ -515,7 +561,7 @@ impl TransactionManager {
                 return Ok((yes, any_updates));
             }
             let timed_out =
-                self.cond.wait_until(&mut inner, Instant::now() + RETRANSMIT_EVERY).timed_out();
+                self.cond.wait_until(&mut inner, Instant::now() + timeouts.retransmit).timed_out();
             if Instant::now() >= deadline {
                 return Err(TmError::VoteTimeout(tid));
             }
@@ -539,10 +585,11 @@ impl TransactionManager {
     /// the critical path).
     fn chase_acks_blocking(&self, tid: Tid, targets: HashSet<NodeId>, msg: CommitMsg) {
         let transport = self.transport();
+        let timeouts = self.timeouts();
         for &c in &targets {
             self.send_traced(&transport, c, msg.clone());
         }
-        let deadline = Instant::now() + ACK_DEADLINE;
+        let deadline = Instant::now() + timeouts.ack_deadline;
         let mut inner = self.inner.lock();
         loop {
             let done = match inner.get(&tid) {
@@ -553,7 +600,7 @@ impl TransactionManager {
                 return;
             }
             let timed_out =
-                self.cond.wait_until(&mut inner, Instant::now() + RETRANSMIT_EVERY).timed_out();
+                self.cond.wait_until(&mut inner, Instant::now() + timeouts.retransmit).timed_out();
             if timed_out {
                 let missing: Vec<NodeId> = match inner.get(&tid) {
                     Some(info) => {
@@ -575,8 +622,9 @@ impl TransactionManager {
     fn chase_acks_background(&self, _tid: Tid, targets: HashSet<NodeId>, msg: CommitMsg) {
         let transport = self.transport();
         let trace = self.trace.lock().clone();
+        let timeouts = self.timeouts();
         std::thread::spawn(move || {
-            let deadline = Instant::now() + ACK_DEADLINE;
+            let deadline = Instant::now() + timeouts.ack_deadline;
             while Instant::now() < deadline {
                 for &c in &targets {
                     if let Some(t) = trace.as_ref() {
@@ -586,7 +634,7 @@ impl TransactionManager {
                     }
                     transport.send(c, msg.clone());
                 }
-                std::thread::sleep(RETRANSMIT_EVERY);
+                std::thread::sleep(timeouts.retransmit);
             }
         });
     }
@@ -760,6 +808,7 @@ impl TransactionManager {
                 self.send_traced(&transport, from, CommitMsg::VoteNo { tid, from: self.node });
                 return;
             }
+            crash_point!(&self.crash, "tm.vote.logged");
             {
                 let mut inner = self.inner.lock();
                 if let Some(info) = inner.get_mut(&tid) {
@@ -813,6 +862,7 @@ impl TransactionManager {
             if self.rm.log_commit(tid).is_err() {
                 return; // keep in doubt; coordinator will retransmit
             }
+            crash_point!(&self.crash, "tm.commit.logged");
             {
                 let mut inner = self.inner.lock();
                 if let Some(info) = inner.get_mut(&tid) {
@@ -834,6 +884,7 @@ impl TransactionManager {
             }
         }
         self.send_traced(&transport, from, CommitMsg::CommitAck { tid, from: self.node });
+        crash_point!(&self.crash, "tm.ack.sent");
     }
 
     /// Participant side of abort.
@@ -912,13 +963,14 @@ impl TransactionManager {
         for (tid, coord) in in_doubt.iter().copied() {
             let tm = Arc::clone(self);
             std::thread::spawn(move || {
+                let retransmit = tm.timeouts().retransmit;
                 let deadline = Instant::now() + Duration::from_secs(10);
                 while Instant::now() < deadline {
                     if !matches!(tm.phase(tid), Some(TxPhase::Prepared)) {
                         return;
                     }
                     tm.transport().send(coord, CommitMsg::Inquire { tid, from: tm.node });
-                    std::thread::sleep(RETRANSMIT_EVERY * 3);
+                    std::thread::sleep(retransmit * 3);
                 }
             });
         }

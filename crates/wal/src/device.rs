@@ -178,6 +178,143 @@ impl LogDevice for FileLogDevice {
     }
 }
 
+/// Shared control handle for the faults a [`FaultLogDevice`] injects.
+pub struct LogFaults {
+    state: Mutex<LogFaultState>,
+}
+
+#[derive(Default)]
+struct LogFaultState {
+    /// Halted: appends, forces and truncations fail; scans still work
+    /// (the log is readable again at reboot).
+    halted: bool,
+    /// One-shot: the next force writes only a torn prefix of the staged
+    /// frames and then halts the device (power fails mid-force).
+    tear_next_force: bool,
+}
+
+impl LogFaults {
+    /// Creates a controller with no faults armed.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self { state: Mutex::new(LogFaultState::default()) })
+    }
+
+    /// Halts the device: all mutating calls fail until [`Self::clear`].
+    pub fn halt(&self) {
+        self.state.lock().halted = true;
+    }
+
+    /// Whether the device is currently halted.
+    pub fn is_halted(&self) -> bool {
+        self.state.lock().halted
+    }
+
+    /// Arms a one-shot torn force: the next force leaves a torn final
+    /// frame on the device and halts it.
+    pub fn tear_next_force(&self) {
+        self.state.lock().tear_next_force = true;
+    }
+
+    /// Clears every armed fault (the "reboot": device works again).
+    pub fn clear(&self) {
+        *self.state.lock() = LogFaultState::default();
+    }
+}
+
+/// A [`LogDevice`] that models the volatile-buffer/durable split at the
+/// device level and injects crash faults under a [`LogFaults`] handle.
+///
+/// Appends stage frames; only [`LogDevice::force`] makes them durable, so
+/// halting the device between an append and its force loses exactly the
+/// un-forced tail — the paper's crash model. A torn force additionally
+/// leaves a half-written final frame for the scanner's checksum to reject.
+pub struct FaultLogDevice {
+    buffers: Mutex<LogBuffers>,
+    capacity: u64,
+    faults: Arc<LogFaults>,
+}
+
+#[derive(Default)]
+struct LogBuffers {
+    /// Framed bytes appended but not yet forced.
+    staged: Vec<u8>,
+    /// Framed bytes made durable by a force.
+    durable: Vec<u8>,
+}
+
+impl FaultLogDevice {
+    /// Creates an empty device with the given capacity and fault handle.
+    pub fn new(capacity: u64, faults: Arc<LogFaults>) -> Arc<Self> {
+        Arc::new(Self { buffers: Mutex::new(LogBuffers::default()), capacity, faults })
+    }
+
+    /// The shared fault controller.
+    pub fn faults(&self) -> &Arc<LogFaults> {
+        &self.faults
+    }
+
+    fn halted_err() -> io::Error {
+        io::Error::new(io::ErrorKind::BrokenPipe, "injected fault: log device halted")
+    }
+}
+
+impl LogDevice for FaultLogDevice {
+    fn append(&self, payload: &[u8]) -> io::Result<()> {
+        if self.faults.is_halted() {
+            return Err(Self::halted_err());
+        }
+        self.buffers.lock().staged.extend_from_slice(&frame(payload));
+        Ok(())
+    }
+
+    fn force(&self) -> io::Result<()> {
+        let mut state = self.faults.state.lock();
+        if state.halted {
+            return Err(Self::halted_err());
+        }
+        let mut buffers = self.buffers.lock();
+        if state.tear_next_force {
+            state.tear_next_force = false;
+            state.halted = true;
+            // Power fails mid-force: all but the last byte of the staged
+            // frames reach the platter, leaving a torn final frame.
+            if !buffers.staged.is_empty() {
+                let cut = buffers.staged.len() - 1;
+                let torn: Vec<u8> = buffers.staged.drain(..).take(cut).collect();
+                buffers.durable.extend_from_slice(&torn);
+            }
+            return Err(Self::halted_err());
+        }
+        let staged: Vec<u8> = buffers.staged.drain(..).collect();
+        buffers.durable.extend_from_slice(&staged);
+        Ok(())
+    }
+
+    fn scan(&self) -> io::Result<Vec<Vec<u8>>> {
+        // Scans model reading the disk at reboot: only durable bytes.
+        Ok(parse_frames(&self.buffers.lock().durable))
+    }
+
+    fn truncate_front(&self, n: usize) -> io::Result<()> {
+        if self.faults.is_halted() {
+            return Err(Self::halted_err());
+        }
+        let mut buffers = self.buffers.lock();
+        let frames = parse_frames(&buffers.durable);
+        buffers.durable = frames.iter().skip(n).flat_map(|p| frame(p)).collect();
+        Ok(())
+    }
+
+    fn len_bytes(&self) -> u64 {
+        let buffers = self.buffers.lock();
+        (buffers.durable.len() + buffers.staged.len()) as u64
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +351,49 @@ mod tests {
         let d = FileLogDevice::open(&path, 1 << 20).unwrap();
         assert_eq!(d.scan().unwrap().len(), 2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_device_unforced_appends_are_volatile() {
+        let d = FaultLogDevice::new(1 << 20, LogFaults::new());
+        d.append(b"durable").unwrap();
+        d.force().unwrap();
+        d.append(b"volatile").unwrap();
+        // No force: a scan (= reboot) sees only the forced frame.
+        assert_eq!(d.scan().unwrap(), vec![b"durable".to_vec()]);
+    }
+
+    #[test]
+    fn fault_device_halt_blocks_mutation_not_scan() {
+        let faults = LogFaults::new();
+        let d = FaultLogDevice::new(1 << 20, Arc::clone(&faults));
+        d.append(b"one").unwrap();
+        d.force().unwrap();
+        faults.halt();
+        assert!(d.append(b"two").is_err());
+        assert!(d.force().is_err());
+        assert!(d.truncate_front(1).is_err());
+        assert_eq!(d.scan().unwrap(), vec![b"one".to_vec()], "scan survives the halt");
+        faults.clear();
+        d.append(b"two").unwrap();
+        d.force().unwrap();
+        assert_eq!(d.scan().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn fault_device_torn_force_loses_final_frame() {
+        let faults = LogFaults::new();
+        let d = FaultLogDevice::new(1 << 20, Arc::clone(&faults));
+        d.append(b"committed").unwrap();
+        d.force().unwrap();
+        faults.tear_next_force();
+        d.append(b"first").unwrap();
+        d.append(b"torn-victim").unwrap();
+        assert!(d.force().is_err(), "power failed mid-force");
+        assert!(faults.is_halted());
+        // The scanner stops at the torn final frame but keeps the rest.
+        let frames = d.scan().unwrap();
+        assert_eq!(frames, vec![b"committed".to_vec(), b"first".to_vec()]);
     }
 
     #[test]

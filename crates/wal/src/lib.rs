@@ -22,6 +22,6 @@ pub mod device;
 pub mod manager;
 pub mod records;
 
-pub use device::{FileLogDevice, LogDevice, MemLogDevice};
-pub use manager::{LogManager, WalError};
+pub use device::{FaultLogDevice, FileLogDevice, LogDevice, LogFaults, MemLogDevice};
+pub use manager::{LogManager, WalError, CRASH_POINTS};
 pub use records::{LogEntry, LogRecord, Lsn, TxState};

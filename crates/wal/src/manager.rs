@@ -10,7 +10,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use tabs_codec::{Decode, Encode};
-use tabs_kernel::{PerfCounters, PrimitiveOp, Tid};
+use tabs_kernel::crash::CrashHookSlot;
+use tabs_kernel::{crash_point, CrashHooks, PerfCounters, PrimitiveOp, Tid};
 use tabs_obs::{TraceCollector, TraceEvent};
 
 use crate::device::LogDevice;
@@ -58,7 +59,12 @@ pub struct LogManager {
     inner: Mutex<Inner>,
     perf: Arc<PerfCounters>,
     trace: Mutex<Option<Arc<TraceCollector>>>,
+    crash: CrashHookSlot,
 }
+
+/// Crash-points the log manager fires (see `tabs_kernel::crash`).
+pub const CRASH_POINTS: &[&str] =
+    &["wal.append.before", "wal.append.after", "wal.force.before", "wal.force.after"];
 
 impl std::fmt::Debug for LogManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -84,17 +90,21 @@ impl LogManager {
         }
         let next_lsn = durable.last().map(|e| e.lsn.0 + 1).unwrap_or(1);
         let durable_lsn = durable.last().map(|e| e.lsn).unwrap_or(Lsn::ZERO);
+        // Rebuild the backward-chain tails from the durable records, so a
+        // transaction recovered in-doubt can still be undone through
+        // `backward_chain` after a reboot.
+        let mut chain = HashMap::new();
+        for e in &durable {
+            if let Some(tid) = e.record.tid() {
+                chain.insert(tid, e.lsn);
+            }
+        }
         Ok(Self {
             device,
-            inner: Mutex::new(Inner {
-                buffer: Vec::new(),
-                durable,
-                next_lsn,
-                durable_lsn,
-                chain: HashMap::new(),
-            }),
+            inner: Mutex::new(Inner { buffer: Vec::new(), durable, next_lsn, durable_lsn, chain }),
             perf,
             trace: Mutex::new(None),
+            crash: CrashHookSlot::new(None),
         })
     }
 
@@ -102,6 +112,11 @@ impl LogManager {
     /// [`TraceEvent::LogAppend`] / [`TraceEvent::LogForce`].
     pub fn set_trace(&self, trace: Arc<TraceCollector>) {
         *self.trace.lock() = Some(trace);
+    }
+
+    /// Installs crash-point hooks fired at the [`CRASH_POINTS`] boundaries.
+    pub fn set_crash_hooks(&self, hooks: Arc<dyn CrashHooks>) {
+        *self.crash.lock() = Some(hooks);
     }
 
     fn emit(&self, tid: Tid, event: TraceEvent) {
@@ -113,6 +128,7 @@ impl LogManager {
     /// Appends `record`, linking it into its transaction's backward chain.
     /// The record is volatile until [`LogManager::force`].
     pub fn append(&self, record: LogRecord) -> Lsn {
+        crash_point!(&self.crash, "wal.append.before");
         let mut inner = self.inner.lock();
         let lsn = Lsn(inner.next_lsn);
         inner.next_lsn += 1;
@@ -124,6 +140,7 @@ impl LogManager {
         inner.buffer.push(LogEntry { lsn, prev, record });
         drop(inner);
         self.emit(record_tid.unwrap_or(Tid::NULL), TraceEvent::LogAppend { lsn: lsn.0 });
+        crash_point!(&self.crash, "wal.append.after");
         lsn
     }
 
@@ -131,6 +148,7 @@ impl LogManager {
     /// `None`) to the device. One Stable-Storage-Write primitive is counted
     /// per force that moves data.
     pub fn force(&self, upto: Option<Lsn>) -> Result<Lsn, WalError> {
+        crash_point!(&self.crash, "wal.force.before");
         let mut inner = self.inner.lock();
         let limit = upto.unwrap_or(Lsn(u64::MAX));
         if inner.buffer.first().is_none_or(|e| e.lsn > limit) {
@@ -153,6 +171,7 @@ impl LogManager {
         let durable_lsn = inner.durable_lsn;
         drop(inner);
         self.emit(force_tid, TraceEvent::LogForce { lsn: durable_lsn.0 });
+        crash_point!(&self.crash, "wal.force.after");
         Ok(durable_lsn)
     }
 
@@ -288,6 +307,26 @@ mod tests {
         assert!(matches!(entries[1].record, LogRecord::Begin { .. }));
         // New LSNs continue after the durable tail.
         assert_eq!(lm2.next_lsn(), Lsn(3));
+    }
+
+    #[test]
+    fn backward_chain_rebuilt_after_reopen() {
+        // A transaction left in-doubt by a crash must still be undoable
+        // after reboot: `open` rebuilds the chain tails from the durable
+        // records.
+        let dev = MemLogDevice::new(1 << 20);
+        let lm =
+            LogManager::open(Arc::clone(&dev) as Arc<dyn LogDevice>, PerfCounters::new()).unwrap();
+        let t = tid(9);
+        lm.append(LogRecord::Begin { tid: t, parent: Tid::NULL });
+        lm.append(LogRecord::Commit { tid: t });
+        lm.force(None).unwrap();
+        drop(lm); // crash
+        let lm2 = LogManager::open(dev as Arc<dyn LogDevice>, PerfCounters::new()).unwrap();
+        let chain = lm2.backward_chain(t);
+        assert_eq!(chain.len(), 2, "chain tail survives reopen");
+        assert!(matches!(chain[0].record, LogRecord::Commit { .. }));
+        assert!(matches!(chain[1].record, LogRecord::Begin { .. }));
     }
 
     #[test]

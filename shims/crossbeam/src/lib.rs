@@ -167,6 +167,16 @@ pub mod channel {
             self.shared.wake_selects();
             Ok(())
         }
+
+        /// Number of messages queued in the channel.
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap_or_else(|p| p.into_inner()).queue.len()
+        }
+
+        /// Whether the channel holds no queued messages.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     impl<T> Clone for Sender<T> {

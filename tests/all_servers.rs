@@ -3,25 +3,24 @@
 
 use tabs_core::{Cluster, NodeId, Tid};
 use tabs_servers::{
-    AreaState, BTreeClient, BTreeServer, IntArrayClient, IntArrayServer, IoClient, IoServer,
-    WeakQueueClient, WeakQueueServer,
+    AreaState, BTreeClient, BTreeServer, IntArrayClient, IntArrayServer, IoClient, WeakQueueClient,
 };
+
+mod common;
+use common::spawn_suite;
 
 #[test]
 fn five_servers_one_node_one_crash() {
     let cluster = Cluster::new();
     let node = cluster.boot_node(NodeId(1));
-    let arr = IntArrayServer::spawn(&node, "array", 32).unwrap();
-    let queue = WeakQueueServer::spawn(&node, "queue", 32).unwrap();
-    let io = IoServer::spawn(&node, "display").unwrap();
-    let btree = BTreeServer::spawn(&node, "directory", 64).unwrap();
+    let suite = spawn_suite(&node, 32, 32, 64);
     node.recover().unwrap();
     let app = node.app();
 
-    let a = IntArrayClient::new(app.clone(), arr.send_right());
-    let q = WeakQueueClient::new(app.clone(), queue.send_right());
-    let scr = IoClient::new(app.clone(), io.send_right());
-    let d = BTreeClient::new(app.clone(), btree.send_right());
+    let a = IntArrayClient::new(app.clone(), suite.array.send_right());
+    let q = WeakQueueClient::new(app.clone(), suite.queue.send_right());
+    let scr = IoClient::new(app.clone(), suite.io.send_right());
+    let d = BTreeClient::new(app.clone(), suite.btree.send_right());
 
     // One transaction touching four servers (the I/O server output
     // commits independently through ExecuteTransaction but the ownership
@@ -45,20 +44,17 @@ fn five_servers_one_node_one_crash() {
 
     // Crash everything; non-volatile state survives.
     node.rm.force(None).unwrap();
-    drop((arr, queue, io, btree));
+    drop(suite);
     node.crash();
 
     let node = cluster.boot_node(NodeId(1));
-    let arr = IntArrayServer::spawn(&node, "array", 32).unwrap();
-    let queue = WeakQueueServer::spawn(&node, "queue", 32).unwrap();
-    let io = IoServer::spawn(&node, "display").unwrap();
-    let btree = BTreeServer::spawn(&node, "directory", 64).unwrap();
+    let suite = spawn_suite(&node, 32, 32, 64);
     node.recover().unwrap();
     let app = node.app();
-    let a = IntArrayClient::new(app.clone(), arr.send_right());
-    let q = WeakQueueClient::new(app.clone(), queue.send_right());
-    let scr = IoClient::new(app.clone(), io.send_right());
-    let d = BTreeClient::new(app.clone(), btree.send_right());
+    let a = IntArrayClient::new(app.clone(), suite.array.send_right());
+    let q = WeakQueueClient::new(app.clone(), suite.queue.send_right());
+    let scr = IoClient::new(app.clone(), suite.io.send_right());
+    let d = BTreeClient::new(app.clone(), suite.btree.send_right());
 
     app.run(|t| {
         assert_eq!(a.get(t, 0)?, 42, "array: committed value survived");
@@ -85,10 +81,7 @@ fn five_servers_one_node_one_crash() {
 fn name_server_finds_all_five() {
     let cluster = Cluster::new();
     let node = cluster.boot_node(NodeId(1));
-    let _arr = IntArrayServer::spawn(&node, "array", 16).unwrap();
-    let _q = WeakQueueServer::spawn(&node, "queue", 16).unwrap();
-    let _io = IoServer::spawn(&node, "display").unwrap();
-    let _bt = BTreeServer::spawn(&node, "directory", 16).unwrap();
+    let _suite = spawn_suite(&node, 16, 16, 16);
     node.recover().unwrap();
     for name in ["array", "queue", "display", "directory"] {
         let found = node.resolve(name, 1, std::time::Duration::from_millis(200));

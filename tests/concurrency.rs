@@ -5,16 +5,17 @@ use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
 use tabs_core::{Cluster, NodeId, Tid};
-use tabs_servers::{IntArrayClient, IntArrayServer, WeakQueueClient, WeakQueueServer};
+use tabs_servers::{IntArrayClient, WeakQueueClient, WeakQueueServer};
+
+mod common;
+use common::boot_with_array_cells;
 
 #[test]
 fn concurrent_transfers_conserve_money() {
     // Classic serializability check: N accounts, concurrent random
     // transfers with retries; the total is invariant.
     let cluster = Cluster::new();
-    let node = cluster.boot_node(NodeId(1));
-    let arr = IntArrayServer::spawn(&node, "accounts", 8).unwrap();
-    node.recover().unwrap();
+    let (node, arr) = boot_with_array_cells(&cluster, 1, "accounts", 8);
     let app = node.app();
     let client = IntArrayClient::new(app.clone(), arr.send_right());
     const ACCOUNTS: u64 = 4;
@@ -137,9 +138,7 @@ fn weak_queue_parallel_producers_and_consumers() {
 #[test]
 fn lock_timeout_aborts_one_of_two_colliders() {
     let cluster = Cluster::new();
-    let node = cluster.boot_node(NodeId(1));
-    let arr = IntArrayServer::spawn(&node, "hot", 4).unwrap();
-    node.recover().unwrap();
+    let (node, arr) = boot_with_array_cells(&cluster, 1, "hot", 4);
     let app = node.app();
     let client = IntArrayClient::new(app.clone(), arr.send_right());
 
@@ -160,9 +159,7 @@ fn many_small_transactions_under_checkpoints() {
     // Sustained update load with periodic checkpoints and reclamation;
     // the log must not grow without bound and the data must stay right.
     let cluster = Cluster::new();
-    let node = cluster.boot_node(NodeId(1));
-    let arr = IntArrayServer::spawn(&node, "counters", 16).unwrap();
-    node.recover().unwrap();
+    let (node, arr) = boot_with_array_cells(&cluster, 1, "counters", 16);
     let app = node.app();
     let client = IntArrayClient::new(app.clone(), arr.send_right());
 
@@ -179,9 +176,7 @@ fn many_small_transactions_under_checkpoints() {
     // Crash and verify the final values anyway.
     drop(arr);
     node.crash();
-    let node = cluster.boot_node(NodeId(1));
-    let arr = IntArrayServer::spawn(&node, "counters", 16).unwrap();
-    node.recover().unwrap();
+    let (node, arr) = boot_with_array_cells(&cluster, 1, "counters", 16);
     let app = node.app();
     let client = IntArrayClient::new(app.clone(), arr.send_right());
     let t = app.begin_transaction(Tid::NULL).unwrap();

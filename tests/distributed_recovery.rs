@@ -5,25 +5,11 @@
 
 use std::time::Duration;
 
-use tabs_core::{Cluster, Node, NodeId, Tid};
-use tabs_servers::{IntArrayClient, IntArrayServer};
+use tabs_core::{Cluster, NodeId, Tid};
+use tabs_servers::IntArrayClient;
 
-fn boot_with_array(
-    cluster: &std::sync::Arc<Cluster>,
-    id: u16,
-    name: &str,
-) -> (Node, IntArrayServer) {
-    let node = cluster.boot_node(NodeId(id));
-    let arr = IntArrayServer::spawn(&node, name, 32).unwrap();
-    node.recover().unwrap();
-    (node, arr)
-}
-
-fn client_for(node: &Node, name: &str) -> IntArrayClient {
-    let found = node.resolve(name, 1, Duration::from_secs(3));
-    assert_eq!(found.len(), 1);
-    IntArrayClient::new(node.app(), found[0].0.clone())
-}
+mod common;
+use common::{boot_with_array, client_for};
 
 #[test]
 fn participant_crash_before_prepare_aborts_transaction() {

@@ -24,4 +24,15 @@ if ! cargo test -q -p tabs-chaos --test chaos_sweep; then
     exit 1
 fi
 
+echo "==> deadlock detection (bounded): unit + cross-node + adversarial-net sweep"
+cargo clippy -p tabs-detect --all-targets -- -D warnings
+cargo test -q -p tabs-detect
+cargo test -q -p tabs-servers --test concurrency cross_node_deadlock
+if ! cargo test -q -p tabs-detect --test probe_chaos; then
+    echo "probe chaos sweep failed: the assertion output above carries a" >&2
+    echo "'seed=<N>' — rerun that seed's datagram schedule exactly by" >&2
+    echo "editing SEEDS in crates/detect/tests/probe_chaos.rs" >&2
+    exit 1
+fi
+
 echo "CI green."

@@ -6,12 +6,21 @@
 //! tables [table5_1|table5_2|table5_3|table5_4|table5_5|shapes|accounting|all] [--iters N] [--warmup N]
 //! tables trace
 //! tables chaos [--seed N]
+//! tables contention [--iters N]
 //! ```
 //!
 //! `tables trace` boots a two-node cluster with transaction tracing
 //! enabled, runs one distributed write transaction, and renders its
 //! per-node swimlane timeline: all four two-phase-commit phases
 //! (prepare, vote, decision, acknowledgement) plus every log force.
+//! It then manufactures a cross-node deadlock and renders the victim's
+//! swimlane: the edge-chasing probes and the victim broadcast appear
+//! alongside the lock waits they resolved.
+//!
+//! `tables contention` measures deadlock-resolution latency (p50/p95)
+//! and victim throughput on a two-node opposite-order lock workload,
+//! side by side: the paper's time-out-only policy versus the
+//! probe-based detector. `--iters` sets rounds per mode (default 40).
 //!
 //! `tables chaos` runs the deterministic fault-injection sweeps from
 //! `tabs-chaos`: every registered crash point is armed over the bank
@@ -65,6 +74,10 @@ fn main() {
             run_chaos(seed);
             return;
         }
+        "contention" => {
+            run_contention(iters);
+            return;
+        }
         _ => {}
     }
 
@@ -89,11 +102,12 @@ fn run_trace() {
     use tabs_servers::{IntArrayClient, IntArrayServer};
 
     eprintln!("booting two-node traced cluster …");
-    let cluster = Cluster::with_config(ClusterConfig::default().trace(true));
+    let cluster =
+        Cluster::with_config(ClusterConfig::default().trace(true).deadlock_detection(true));
     let n1 = cluster.boot_node(NodeId(1));
     let n2 = cluster.boot_node(NodeId(2));
     let a1 = IntArrayServer::spawn(&n1, "arr-1", 64).expect("local array");
-    let _a2 = IntArrayServer::spawn(&n2, "arr-2", 64).expect("remote array");
+    let a2 = IntArrayServer::spawn(&n2, "arr-2", 64).expect("remote array");
     n1.recover().expect("recover node 1");
     n2.recover().expect("recover node 2");
 
@@ -115,12 +129,70 @@ fn run_trace() {
     // Commit chases phase-2 acks synchronously, so by now the timeline
     // holds the whole protocol exchange.
     print!("{}", cluster.timeline().render_swimlane(tid));
+
+    // Second act: a manufactured cross-node deadlock, so the detector's
+    // probe exchange and victim broadcast show up in a swimlane too.
     eprintln!();
-    eprintln!("node 1 metrics after the traced transaction:");
+    eprintln!("manufacturing a cross-node deadlock for the detector …");
+    let app2 = n2.app();
+    let c2_local = IntArrayClient::new(app2.clone(), a2.send_right());
+    let (r1_port, _) = n2
+        .resolve("arr-1", 1, Duration::from_secs(2))
+        .into_iter()
+        .next()
+        .expect("arr-1 resolvable from node 2");
+    let c2_remote = IntArrayClient::new(app2.clone(), r1_port);
+
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+    let side = |app: tabs_core::AppHandle,
+                first: IntArrayClient,
+                second: IntArrayClient,
+                barrier: std::sync::Arc<std::sync::Barrier>| {
+        std::thread::spawn(move || {
+            let t = app.begin_transaction(Tid::NULL).expect("begin");
+            first.add(t, 1, 1).expect("first lock");
+            barrier.wait();
+            match second.add(t, 1, 1) {
+                Ok(_) => {
+                    app.end_transaction(t).expect("end");
+                    (t, false)
+                }
+                Err(_) => {
+                    let _ = app.abort_transaction(t);
+                    (t, true)
+                }
+            }
+        })
+    };
+    let h1 = side(app.clone(), local, remote, std::sync::Arc::clone(&barrier));
+    let h2 = side(app2, c2_local, c2_remote, barrier);
+    let (t1, dead1) = h1.join().expect("side 1");
+    let (t2, dead2) = h2.join().expect("side 2");
+    assert!(dead1 ^ dead2, "exactly one side must be the deadlock victim");
+    let (victim, survivor) = if dead1 { (t1, t2) } else { (t2, t1) };
+    // Probes are traced under the waiter whose scan initiated them, so
+    // the exchange may land in either lane; render both.
+    eprintln!("victim {victim} — its swimlane (victim broadcast, abort):");
+    print!("{}", cluster.timeline().render_swimlane(victim));
+    eprintln!();
+    eprintln!("survivor {survivor} — its swimlane (probes, resumed lock, commit):");
+    print!("{}", cluster.timeline().render_swimlane(survivor));
+
+    eprintln!();
+    eprintln!("node 1 metrics after the traced transactions:");
     eprint!("{}", cluster.metrics(NodeId(1)).render());
 
     n1.shutdown();
     n2.shutdown();
+}
+
+/// Runs the contention microbenchmark in both resolution modes and
+/// prints the comparison table.
+fn run_contention(rounds: u32) {
+    use std::time::Duration;
+
+    eprintln!("contention microbenchmark: {rounds} manufactured deadlocks per mode …");
+    print!("{}", tabs_perf::contention::compare(rounds, Duration::from_millis(400)));
 }
 
 /// Runs the full crash-point sweeps plus the deterministic disk-fault

@@ -63,6 +63,28 @@ pub struct NetSchedule {
     pub max_delay: Duration,
 }
 
+impl NetSchedule {
+    /// A schedule tuned to stress control-plane datagrams (deadlock
+    /// probes, 2PC retransmissions): heavier duplication and delay than
+    /// the general-purpose plan draws, with drops still bounded so
+    /// retransmission and re-initiated scans can always make progress.
+    pub fn probe_stress(seed: u64) -> Self {
+        let mut rng = ChaosRng::new(seed ^ 0x5EED_0000_0000_0002);
+        NetSchedule {
+            drop_prob: 0.05 + rng.next_f64() * 0.20,
+            dup_prob: 0.10 + rng.next_f64() * 0.25,
+            delay_prob: 0.20 + rng.next_f64() * 0.30,
+            max_delay: Duration::from_millis(1 + rng.pick(10)),
+        }
+    }
+
+    /// Realizes this schedule as an installable datagram policy with its
+    /// own seeded RNG stream.
+    pub fn policy(&self, seed: u64) -> Arc<ScheduledPolicy> {
+        ScheduledPolicy::new(self.clone(), seed)
+    }
+}
+
 /// Sector-level disk misbehaviour applied through [`tabs_kernel::FaultDisk`].
 #[derive(Debug, Clone)]
 pub struct DiskFaultSpec {

@@ -28,10 +28,11 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use tabs_codec::{Decode, Encode};
+use tabs_detect::{Detector, ProbeTransport};
 use tabs_kernel::{Kernel, Message, NodeId, PortClass, PortId, PrimitiveOp, SendRight, Tid};
 use tabs_net::Endpoint;
 use tabs_ns::{Broadcast, NameServer};
-use tabs_proto::{CommitMsg, Datagram, NsMsg, Request, ServerError, SessionFrame};
+use tabs_proto::{CommitMsg, Datagram, DetectMsg, NsMsg, Request, ServerError, SessionFrame};
 use tabs_tm::{CommitTransport, TransactionManager};
 
 /// How long the relay waits for a local data server to answer a forwarded
@@ -51,8 +52,10 @@ struct SpanningTree {
 
 struct CmState {
     tree: SpanningTree,
-    /// In-flight outbound calls awaiting session replies.
-    pending: HashMap<u64, SendRight>,
+    /// In-flight outbound calls awaiting session replies, with the
+    /// transaction each call works for (the deadlock detector tracks
+    /// where a transaction may be blocked remotely).
+    pending: HashMap<u64, (SendRight, Tid)>,
     /// Proxy send rights already created, per remote port.
     proxies: HashMap<PortId, SendRight>,
 }
@@ -63,6 +66,7 @@ pub struct CommManager {
     endpoint: Arc<Endpoint>,
     tm: Arc<TransactionManager>,
     ns: Arc<NameServer>,
+    detect: Option<Arc<Detector>>,
     state: Mutex<CmState>,
     next_call: AtomicU64,
 }
@@ -83,11 +87,25 @@ impl CommManager {
         tm: Arc<TransactionManager>,
         ns: Arc<NameServer>,
     ) -> Arc<Self> {
+        Self::start_with_detector(kernel, endpoint, tm, ns, None)
+    }
+
+    /// [`CommManager::start`] with an optional distributed deadlock
+    /// detector, which gets its datagram transport and remote-call
+    /// registrations from this Communication Manager.
+    pub fn start_with_detector(
+        kernel: Kernel,
+        endpoint: Endpoint,
+        tm: Arc<TransactionManager>,
+        ns: Arc<NameServer>,
+        detect: Option<Arc<Detector>>,
+    ) -> Arc<Self> {
         let cm = Arc::new(Self {
             kernel: kernel.clone(),
             endpoint: Arc::new(endpoint),
             tm: Arc::clone(&tm),
             ns: Arc::clone(&ns),
+            detect,
             state: Mutex::new(CmState {
                 tree: SpanningTree { children: HashMap::new(), parent: HashMap::new() },
                 pending: HashMap::new(),
@@ -97,6 +115,9 @@ impl CommManager {
         });
         tm.set_transport(Arc::new(CmCommitTransport { cm: Arc::clone(&cm) }));
         ns.set_transport(Arc::new(CmBroadcast { cm: Arc::clone(&cm) }));
+        if let Some(d) = &cm.detect {
+            d.set_transport(Arc::new(CmProbeTransport { cm: Arc::clone(&cm) }));
+        }
 
         let cm_s = Arc::clone(&cm);
         kernel.spawn("comm-mgr-session", move || cm_s.session_loop());
@@ -160,7 +181,13 @@ impl CommManager {
         };
         let tid = request.tid;
         let call_id = self.next_call.fetch_add(1, Ordering::Relaxed);
-        self.state.lock().pending.insert(call_id, reply);
+        self.state.lock().pending.insert(call_id, (reply, tid));
+        // While this call is outstanding the transaction may be blocked
+        // (e.g. on a lock) at the remote node; tell the deadlock detector
+        // where to forward probes that chase it.
+        if let (Some(d), false) = (&self.detect, tid.is_null()) {
+            d.remote_call_begin(tid, remote.node);
+        }
         // Spanning tree: the first operation this node sends to
         // `remote.node` on behalf of the transaction makes that node our
         // child; the Communication Manager tells the Transaction Manager
@@ -189,7 +216,10 @@ impl CommManager {
                     children.remove(&remote.node);
                 }
             }
-            if let Some(reply) = self.state.lock().pending.remove(&call_id) {
+            if let (Some(d), false) = (&self.detect, tid.is_null()) {
+                d.remote_call_end(tid, remote.node);
+            }
+            if let Some((reply, _)) = self.state.lock().pending.remove(&call_id) {
                 let _ = reply.send_unmetered(tabs_proto::rpc::response_message(Err(
                     ServerError::Other("remote node unreachable".into()),
                 )));
@@ -214,7 +244,10 @@ impl CommManager {
                 }
                 SessionFrame::Reply { call_id, result } => {
                     let reply = self.state.lock().pending.remove(&call_id);
-                    if let Some(r) = reply {
+                    if let Some((r, tid)) = reply {
+                        if let (Some(d), false) = (&self.detect, tid.is_null()) {
+                            d.remote_call_end(tid, msg.from);
+                        }
                         let _ = r.send_unmetered(tabs_proto::rpc::response_message(result));
                     }
                 }
@@ -289,6 +322,11 @@ impl CommManager {
                     self.tm.handle(pkt.from, msg);
                 }
                 Ok(Datagram::Ns(msg)) => self.ns.handle(msg),
+                Ok(Datagram::Detect(msg)) => {
+                    if let Some(d) = &self.detect {
+                        d.handle(pkt.from, msg);
+                    }
+                }
                 Err(_) => {}
             }
         }
@@ -335,6 +373,24 @@ impl CommitTransport for CmCommitTransport {
 
     fn parent(&self, tid: Tid) -> Option<NodeId> {
         self.cm.tree_parent(tid)
+    }
+}
+
+/// The deadlock detector's view of the Communication Manager: probes ride
+/// the same unreliable datagram channel as two-phase commit (§3.2.3).
+struct CmProbeTransport {
+    cm: Arc<CommManager>,
+}
+
+impl ProbeTransport for CmProbeTransport {
+    fn send(&self, to: NodeId, msg: DetectMsg) {
+        let body = Datagram::Detect(msg).encode_to_vec();
+        let _ = self.cm.endpoint.send_datagram(to, body);
+    }
+
+    fn broadcast(&self, msg: DetectMsg) {
+        let body = Datagram::Detect(msg).encode_to_vec();
+        let _ = self.cm.endpoint.broadcast(body);
     }
 }
 

@@ -23,6 +23,7 @@ use parking_lot::Mutex;
 
 pub use tabs_app_lib::{AppError, AppHandle, CommitOutcome};
 pub use tabs_cm::CommManager;
+pub use tabs_detect::{DetectConfig, Detector};
 pub use tabs_kernel::{
     BufferPool, DiskRegistry, FileDisk, Kernel, MemDisk, NodeId, ObjectId, PageId, PerfCounters,
     PortId, SegmentId, SegmentSpec, Tid,
@@ -40,6 +41,7 @@ pub use tabs_tm::TransactionManager;
 pub mod prelude {
     pub use crate::{Cluster, ClusterConfig, Node};
     pub use tabs_app_lib::{AppError, AppHandle, CommitOutcome};
+    pub use tabs_detect::{DetectConfig, Detector};
     pub use tabs_kernel::{NodeId, ObjectId, PerfCounters, SegmentId, Tid, PAGE_SIZE};
     pub use tabs_lock::{DeadlockPolicy, StdMode};
     pub use tabs_net::{NetConfig, Network};
@@ -74,6 +76,11 @@ pub struct ClusterConfig {
     /// every subsystem's trace hooks, so [`Cluster::timeline`] can render
     /// per-transaction swimlanes.
     pub trace: bool,
+    /// When true, every booted node runs a distributed deadlock
+    /// [`Detector`]: cross-node waits-for cycles are found by edge-chasing
+    /// probes and broken promptly instead of waiting out the lock
+    /// time-out (which remains the backstop).
+    pub detect: bool,
 }
 
 impl Default for ClusterConfig {
@@ -82,9 +89,10 @@ impl Default for ClusterConfig {
             pool_pages: 1536,
             log_capacity: 64 << 20,
             net: NetConfig::default(),
-            lock_timeout: Duration::from_secs(2),
+            lock_timeout: Duration::from_millis(300),
             storage_dir: None,
             trace: false,
+            detect: false,
         }
     }
 }
@@ -123,6 +131,13 @@ impl ClusterConfig {
     /// Enables (or disables) transaction tracing on every booted node.
     pub fn trace(mut self, enabled: bool) -> Self {
         self.trace = enabled;
+        self
+    }
+
+    /// Enables (or disables) distributed deadlock detection on every
+    /// booted node.
+    pub fn deadlock_detection(mut self, enabled: bool) -> Self {
+        self.detect = enabled;
         self
     }
 }
@@ -287,8 +302,24 @@ impl Cluster {
             tm.set_trace(Arc::clone(t));
             endpoint.set_trace(Arc::clone(t));
         }
-        let cm = CommManager::start(kernel.clone(), endpoint, Arc::clone(&tm), Arc::clone(&ns));
-        Node { id, kernel, pool, rm, tm, ns, cm, trace, cluster: Arc::clone(self) }
+        let detect = self.config.detect.then(|| {
+            let d = Detector::new(id, Arc::clone(&tm) as _, DetectConfig::default());
+            if let Some(t) = &trace {
+                d.set_trace(Arc::clone(t));
+            }
+            d
+        });
+        let cm = CommManager::start_with_detector(
+            kernel.clone(),
+            endpoint,
+            Arc::clone(&tm),
+            Arc::clone(&ns),
+            detect.clone(),
+        );
+        if let Some(d) = &detect {
+            d.start(&kernel);
+        }
+        Node { id, kernel, pool, rm, tm, ns, cm, detect, trace, cluster: Arc::clone(self) }
     }
 
     /// Detaches a node from the network without orderly shutdown (used
@@ -315,6 +346,7 @@ pub struct Node {
     pub ns: Arc<NameServer>,
     /// Communication Manager.
     pub cm: Arc<CommManager>,
+    detect: Option<Arc<Detector>>,
     trace: Option<Arc<TraceCollector>>,
     cluster: Arc<Cluster>,
 }
@@ -373,13 +405,28 @@ impl Node {
         self.trace.as_ref()
     }
 
+    /// This node's deadlock detector, when the cluster detects.
+    pub fn detector(&self) -> Option<&Arc<Detector>> {
+        self.detect.as_ref()
+    }
+
     /// Dependencies handed to data servers built on the server library.
     pub fn deps(&self) -> ServerDeps {
-        let deps = ServerDeps::new(self.kernel.clone(), Arc::clone(&self.rm), Arc::clone(&self.tm));
-        match &self.trace {
-            Some(t) => deps.with_trace(Arc::clone(t)),
-            None => deps,
+        let mut deps =
+            ServerDeps::new(self.kernel.clone(), Arc::clone(&self.rm), Arc::clone(&self.tm));
+        if let Some(t) = &self.trace {
+            deps = deps.with_trace(Arc::clone(t));
         }
+        if let Some(d) = &self.detect {
+            deps = deps.with_detect(Arc::clone(d));
+        }
+        deps
+    }
+
+    /// A [`ServerConfig`] for a data server on this node, honouring the
+    /// cluster's configured lock time-out.
+    pub fn server_config(&self, name: &str, segment: SegmentId) -> ServerConfig {
+        ServerConfig::new(name, segment).with_lock_timeout(self.cluster.config.lock_timeout)
     }
 
     /// An application handle (Table 3-2 interface).

@@ -1,0 +1,668 @@
+//! Distributed deadlock detection (edge-chasing probes with confirmation).
+//!
+//! TABS "currently relies on time-outs" to resolve lock waits (§3.2.1)
+//! and cites distributed waits-for detection as the natural extension;
+//! this crate implements it. Each node runs one [`Detector`] that
+//! periodically snapshots the waits-for edges of every local
+//! [`WaitGraphSource`] (the per-server lock managers, §2.1.3) and chases
+//! chains Chandy–Misra–Haas style:
+//!
+//! 1. **Probe.** A scan walks local edges; when a chain ends at a
+//!    transaction that is not blocked here, the accumulated path is
+//!    forwarded as a [`DetectMsg::Probe`] datagram to the site where that
+//!    transaction may be blocked (its home node, or — for locally homed
+//!    transactions — the nodes it has outstanding remote calls to, as
+//!    registered by the Communication Manager). A cycle closes when an
+//!    extension reaches the head of the path again.
+//! 2. **Confirm.** Datagrams are unreliable and snapshots go stale, so a
+//!    closed path is only a *candidate*: a [`DetectMsg::Confirm`] walks
+//!    the cycle again, re-checking every edge live at the site where its
+//!    waiter is blocked. Under strict two-phase locking a wait edge only
+//!    disappears when a transaction finishes, so a cycle whose every edge
+//!    is still present at confirmation time is a genuine deadlock.
+//! 3. **Victim.** The victim is chosen deterministically — the highest
+//!    (youngest) [`Tid`] in the cycle, so every node agrees without
+//!    negotiation. A [`DetectMsg::Victim`] broadcast wakes the victim's
+//!    blocked lock request with `LockError::Deadlock` wherever it waits,
+//!    and the victim's home node aborts the transaction through its
+//!    [`VictimSink`] (the Transaction Manager).
+//!
+//! Safety under chaos nets: every message is deduplicated by content
+//! hash, so duplicated datagrams are idempotent; dropped datagrams are
+//! repaired by the next scan round (each round carries a fresh round
+//! number, defeating the dedup cache on purpose); and a victim is only
+//! aborted at its home while still `Running`. The lock time-out remains
+//! the backstop if detection traffic is lost entirely — detection can
+//! only ever resolve a deadlock *earlier*, never abort a transaction
+//! that is not deadlocked.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use tabs_kernel::{Kernel, NodeId, Tid};
+use tabs_lock::WaitGraphSource;
+use tabs_obs::{TraceCollector, TraceEvent};
+use tabs_proto::DetectMsg;
+use tabs_tm::{TransactionManager, TxPhase};
+
+/// Tuning knobs for the per-node detector.
+#[derive(Debug, Clone)]
+pub struct DetectConfig {
+    /// How often the local wait graph is scanned and probes re-initiated.
+    pub scan_interval: Duration,
+    /// Upper bound on probe path length (bounds datagram size and rules
+    /// out unbounded chases on pathological graphs).
+    pub max_path: usize,
+}
+
+impl Default for DetectConfig {
+    fn default() -> Self {
+        Self { scan_interval: Duration::from_millis(5), max_path: 16 }
+    }
+}
+
+/// Sends detection datagrams to peers; implemented by the Communication
+/// Manager (probes ride the same unreliable datagram channel as
+/// two-phase commit, §3.2.3).
+pub trait ProbeTransport: Send + Sync {
+    /// Sends `msg` to one node (best effort).
+    fn send(&self, to: NodeId, msg: DetectMsg);
+    /// Sends `msg` to every reachable node (best effort).
+    fn broadcast(&self, msg: DetectMsg);
+}
+
+/// The home-node authority consulted before a victim is aborted;
+/// implemented by [`TransactionManager`].
+pub trait VictimSink: Send + Sync {
+    /// Whether `tid` is a live, still-running transaction at this node.
+    fn is_running(&self, tid: Tid) -> bool;
+    /// Aborts `tid` (must be idempotent; errors are swallowed).
+    fn abort_victim(&self, tid: Tid);
+}
+
+impl VictimSink for TransactionManager {
+    fn is_running(&self, tid: Tid) -> bool {
+        matches!(self.phase(tid), Some(TxPhase::Running))
+    }
+
+    fn abort_victim(&self, tid: Tid) {
+        let _ = self.abort(tid);
+    }
+}
+
+/// Per-node distributed deadlock detector.
+pub struct Detector {
+    node: NodeId,
+    config: DetectConfig,
+    sink: Arc<dyn VictimSink>,
+    sources: Mutex<Vec<Weak<dyn WaitGraphSource>>>,
+    /// For each locally homed transaction, the nodes it currently has
+    /// outstanding remote calls to (refcounted; maintained by the CM).
+    remote_calls: Mutex<HashMap<Tid, HashMap<NodeId, usize>>>,
+    transport: Mutex<Option<Arc<dyn ProbeTransport>>>,
+    trace: Mutex<Option<Arc<TraceCollector>>>,
+    /// Content hashes of already-processed messages (duplicate
+    /// suppression); cleared whenever the local wait graph drains.
+    seen: Mutex<HashSet<u64>>,
+    round: AtomicU64,
+    victims: AtomicU64,
+}
+
+impl Detector {
+    /// Creates a detector for `node`, aborting victims through `sink`.
+    pub fn new(node: NodeId, sink: Arc<dyn VictimSink>, config: DetectConfig) -> Arc<Self> {
+        Arc::new(Self {
+            node,
+            config,
+            sink,
+            sources: Mutex::new(Vec::new()),
+            remote_calls: Mutex::new(HashMap::new()),
+            transport: Mutex::new(None),
+            trace: Mutex::new(None),
+            seen: Mutex::new(HashSet::new()),
+            round: AtomicU64::new(0),
+            victims: AtomicU64::new(0),
+        })
+    }
+
+    /// Installs the datagram transport (done by the CM at boot).
+    pub fn set_transport(&self, transport: Arc<dyn ProbeTransport>) {
+        *self.transport.lock() = Some(transport);
+    }
+
+    /// Attaches a trace collector; probe traffic and victim choices are
+    /// recorded as [`TraceEvent`]s.
+    pub fn set_trace(&self, trace: Arc<TraceCollector>) {
+        *self.trace.lock() = Some(trace);
+    }
+
+    /// Registers a local wait-graph source (one per data-server lock
+    /// manager). Only a weak reference is kept; dead sources are pruned.
+    pub fn register_source(&self, source: Arc<dyn WaitGraphSource>) {
+        self.sources.lock().push(Arc::downgrade(&source));
+    }
+
+    /// Records that `tid` issued a remote call to `node` (CM hook; paired
+    /// with [`Detector::remote_call_end`]). Probes chasing `tid` are
+    /// forwarded to these nodes.
+    pub fn remote_call_begin(&self, tid: Tid, node: NodeId) {
+        *self.remote_calls.lock().entry(tid).or_default().entry(node).or_insert(0) += 1;
+    }
+
+    /// Records that a remote call by `tid` to `node` completed.
+    pub fn remote_call_end(&self, tid: Tid, node: NodeId) {
+        let mut calls = self.remote_calls.lock();
+        if let Some(per_node) = calls.get_mut(&tid) {
+            if let Some(n) = per_node.get_mut(&node) {
+                *n -= 1;
+                if *n == 0 {
+                    per_node.remove(&node);
+                }
+            }
+            if per_node.is_empty() {
+                calls.remove(&tid);
+            }
+        }
+    }
+
+    /// Number of deadlock victims this node has chosen or aborted.
+    pub fn victims(&self) -> u64 {
+        self.victims.load(Ordering::Relaxed)
+    }
+
+    /// Spawns the periodic scan process on `kernel`.
+    pub fn start(self: &Arc<Self>, kernel: &Kernel) {
+        let detector = Arc::clone(self);
+        let kernel = kernel.clone();
+        let interval = self.config.scan_interval;
+        kernel.clone().spawn("deadlock-detector", move || {
+            while kernel.is_alive() {
+                std::thread::sleep(interval);
+                detector.scan();
+            }
+        });
+    }
+
+    /// One scan round: snapshot local edges and (re-)chase every chain.
+    /// Fresh rounds deliberately defeat the duplicate cache, so probes or
+    /// confirmations lost by the network are re-driven until the deadlock
+    /// is resolved or the waiter times out.
+    pub fn scan(&self) {
+        let graph = self.local_graph();
+        if graph.is_empty() {
+            self.seen.lock().clear();
+            return;
+        }
+        self.remote_calls
+            .lock()
+            .retain(|tid, _| tid.node != self.node || self.sink.is_running(*tid));
+        let round = self.round.fetch_add(1, Ordering::Relaxed) + 1;
+        for waiter in graph.keys() {
+            self.advance(self.node, round, vec![*waiter], &graph);
+        }
+    }
+
+    /// Handles one incoming detection datagram.
+    pub fn handle(&self, from: NodeId, msg: DetectMsg) {
+        match msg {
+            DetectMsg::Probe { origin, round, path } => {
+                let Some(head) = path.first() else { return };
+                self.emit(*head, TraceEvent::ProbeRecv { from, hops: path.len() as u32 });
+                let graph = self.local_graph();
+                self.advance(origin, round, path, &graph);
+            }
+            DetectMsg::Confirm { origin, round, cycle, verified } => {
+                let Some(head) = cycle.first() else { return };
+                self.emit(*head, TraceEvent::ProbeRecv { from, hops: cycle.len() as u32 });
+                let graph = self.local_graph();
+                self.confirm(origin, round, cycle, verified, &graph);
+            }
+            DetectMsg::Victim { round, cycle, victim } => {
+                self.apply_victim(round, cycle, victim);
+            }
+        }
+    }
+
+    /// Union of every live source's exported wait graph.
+    fn local_graph(&self) -> HashMap<Tid, Vec<Tid>> {
+        let mut graph: HashMap<Tid, Vec<Tid>> = HashMap::new();
+        let sources: Vec<Arc<dyn WaitGraphSource>> = {
+            let mut list = self.sources.lock();
+            list.retain(|w| w.strong_count() > 0);
+            list.iter().filter_map(Weak::upgrade).collect()
+        };
+        for source in sources {
+            for (waiter, holder) in source.wait_graph() {
+                graph.entry(waiter).or_default().push(holder);
+            }
+        }
+        graph
+    }
+
+    /// Chases `start` through local edges, forwarding the path when it
+    /// leaves this node and confirming any cycle that closes.
+    fn advance(&self, origin: NodeId, round: u64, start: Vec<Tid>, graph: &HashMap<Tid, Vec<Tid>>) {
+        let mut work = vec![start];
+        while let Some(path) = work.pop() {
+            if !self.mark_seen(&DetectMsg::Probe { origin, round, path: path.clone() }) {
+                continue;
+            }
+            let target = *path.last().expect("probe path is never empty");
+            match graph.get(&target) {
+                Some(nexts) => {
+                    for &next in nexts {
+                        if next == path[0] {
+                            // The chain closed on its head: candidate
+                            // cycle; re-verify before declaring.
+                            self.confirm(origin, round, Self::normalize(&path), 0, graph);
+                        } else if !path.contains(&next) && path.len() < self.config.max_path {
+                            let mut longer = path.clone();
+                            longer.push(next);
+                            work.push(longer);
+                        }
+                        // A repeat that is not the head is an inner cycle;
+                        // its own members' scans chase it directly.
+                    }
+                }
+                None => {
+                    if path.len() >= 2 {
+                        self.forward(origin, round, path);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forwards a probe whose last transaction is not blocked locally to
+    /// the site(s) where it may be blocked.
+    fn forward(&self, origin: NodeId, round: u64, path: Vec<Tid>) {
+        let Some(transport) = self.transport.lock().clone() else { return };
+        let target = *path.last().expect("probe path is never empty");
+        let head = path[0];
+        let hops = path.len() as u32;
+        let msg = DetectMsg::Probe { origin, round, path };
+        for to in self.sites_of(target) {
+            self.emit(head, TraceEvent::ProbeSend { to, hops });
+            transport.send(to, msg.clone());
+        }
+    }
+
+    /// Where a transaction that is not blocked here may be blocked: the
+    /// nodes it has outstanding remote calls to (if homed here), or its
+    /// home node (which knows its remote calls).
+    fn sites_of(&self, tid: Tid) -> Vec<NodeId> {
+        if tid.node == self.node {
+            self.remote_calls
+                .lock()
+                .get(&tid)
+                .map(|per_node| per_node.keys().copied().collect())
+                .unwrap_or_default()
+        } else {
+            vec![tid.node]
+        }
+    }
+
+    /// Walks a candidate cycle, re-verifying each edge live at the site
+    /// where its waiter is blocked; forwards the walk when the next edge
+    /// is not visible here; declares the deadlock once every edge has
+    /// been confirmed.
+    fn confirm(
+        &self,
+        origin: NodeId,
+        round: u64,
+        cycle: Vec<Tid>,
+        verified: u32,
+        graph: &HashMap<Tid, Vec<Tid>>,
+    ) {
+        if !self.mark_seen(&DetectMsg::Confirm { origin, round, cycle: cycle.clone(), verified }) {
+            return;
+        }
+        let n = cycle.len() as u32;
+        let mut v = verified;
+        while v < n {
+            let waiter = cycle[v as usize];
+            let holder = cycle[((v + 1) % n) as usize];
+            match graph.get(&waiter) {
+                Some(nexts) if nexts.contains(&holder) => v += 1,
+                Some(_) => return, // waiter re-blocked elsewhere: cycle broken
+                None => {
+                    // The waiter is not blocked here; hand the walk to its
+                    // site. If it is blocked nowhere the cycle has broken
+                    // and the walk dies with the message — no false abort.
+                    let Some(transport) = self.transport.lock().clone() else { return };
+                    let head = cycle[0];
+                    let msg =
+                        DetectMsg::Confirm { origin, round, cycle: cycle.clone(), verified: v };
+                    for to in self.sites_of(waiter) {
+                        self.emit(head, TraceEvent::ProbeSend { to, hops: n });
+                        transport.send(to, msg.clone());
+                    }
+                    return;
+                }
+            }
+        }
+        self.declare(round, cycle);
+    }
+
+    /// Every edge of `cycle` was re-verified: pick the deterministic
+    /// victim and tell the world.
+    fn declare(&self, round: u64, cycle: Vec<Tid>) {
+        let victim = *cycle.iter().max().expect("cycle is never empty");
+        self.apply_victim(round, cycle.clone(), victim);
+        if let Some(transport) = self.transport.lock().clone() {
+            transport.broadcast(DetectMsg::Victim { round, cycle, victim });
+        }
+    }
+
+    /// Applies a victim decision locally: wake the victim's blocked lock
+    /// request, and — at its home node, if it is still running — abort it.
+    fn apply_victim(&self, round: u64, cycle: Vec<Tid>, victim: Tid) {
+        if !self.mark_seen(&DetectMsg::Victim { round, cycle: cycle.clone(), victim }) {
+            return;
+        }
+        self.emit(victim, TraceEvent::VictimChosen { victim, cycle: cycle.len() as u32 });
+        let sources: Vec<Arc<dyn WaitGraphSource>> =
+            self.sources.lock().iter().filter_map(Weak::upgrade).collect();
+        for source in sources {
+            source.abort_waiter(victim);
+        }
+        if victim.node == self.node && self.sink.is_running(victim) {
+            self.victims.fetch_add(1, Ordering::Relaxed);
+            // Abort off this thread: the caller may be the CM datagram
+            // loop, and the abort fans out to participants.
+            let sink = Arc::clone(&self.sink);
+            std::thread::spawn(move || sink.abort_victim(victim));
+        }
+    }
+
+    /// Rotates a cycle so its smallest Tid comes first, preserving edge
+    /// order — every node derives the same canonical form, which both
+    /// deduplication and victim choice rely on.
+    fn normalize(path: &[Tid]) -> Vec<Tid> {
+        let min =
+            path.iter().enumerate().min_by_key(|(_, t)| **t).map(|(i, _)| i).unwrap_or_default();
+        let mut cycle = Vec::with_capacity(path.len());
+        cycle.extend_from_slice(&path[min..]);
+        cycle.extend_from_slice(&path[..min]);
+        cycle
+    }
+
+    /// Inserts the message's content hash into the duplicate cache;
+    /// returns false if it was already there.
+    fn mark_seen(&self, msg: &DetectMsg) -> bool {
+        let mut hasher = DefaultHasher::new();
+        msg.hash(&mut hasher);
+        self.seen.lock().insert(hasher.finish())
+    }
+
+    fn emit(&self, tid: Tid, event: TraceEvent) {
+        if let Some(t) = self.trace.lock().as_ref() {
+            t.record(tid, event);
+        }
+    }
+}
+
+impl std::fmt::Debug for Detector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Detector")
+            .field("node", &self.node)
+            .field("victims", &self.victims())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+    use tabs_kernel::{ObjectId, SegmentId};
+    use tabs_lock::{DeadlockPolicy, LockError, LockManager, StdMode};
+
+    struct TestSink {
+        running: Mutex<HashSet<Tid>>,
+        aborted: Mutex<Vec<Tid>>,
+    }
+
+    impl TestSink {
+        fn new(running: &[Tid]) -> Arc<Self> {
+            Arc::new(Self {
+                running: Mutex::new(running.iter().copied().collect()),
+                aborted: Mutex::new(Vec::new()),
+            })
+        }
+    }
+
+    impl VictimSink for TestSink {
+        fn is_running(&self, tid: Tid) -> bool {
+            self.running.lock().contains(&tid)
+        }
+        fn abort_victim(&self, tid: Tid) {
+            self.running.lock().remove(&tid);
+            self.aborted.lock().push(tid);
+        }
+    }
+
+    /// Loss-free transport delivering synchronously between detectors.
+    struct Router {
+        peers: Mutex<HashMap<NodeId, Weak<Detector>>>,
+        from: NodeId,
+        sent: AtomicU64,
+    }
+
+    impl Router {
+        fn wire(detectors: &[(NodeId, &Arc<Detector>)]) {
+            for (me, d) in detectors {
+                let peers = detectors
+                    .iter()
+                    .filter(|(id, _)| id != me)
+                    .map(|(id, p)| (*id, Arc::downgrade(p)))
+                    .collect();
+                d.set_transport(Arc::new(Router {
+                    peers: Mutex::new(peers),
+                    from: *me,
+                    sent: AtomicU64::new(0),
+                }));
+            }
+        }
+    }
+
+    impl ProbeTransport for Router {
+        fn send(&self, to: NodeId, msg: DetectMsg) {
+            self.sent.fetch_add(1, Ordering::Relaxed);
+            let peer = self.peers.lock().get(&to).and_then(Weak::upgrade);
+            if let Some(peer) = peer {
+                peer.handle(self.from, msg);
+            }
+        }
+        fn broadcast(&self, msg: DetectMsg) {
+            let peers: Vec<Arc<Detector>> =
+                self.peers.lock().values().filter_map(Weak::upgrade).collect();
+            for peer in peers {
+                peer.handle(self.from, msg.clone());
+            }
+        }
+    }
+
+    fn tid(node: u16, seq: u64) -> Tid {
+        Tid { node: NodeId(node), incarnation: 1, seq }
+    }
+
+    fn obj(node: u16, o: u64) -> ObjectId {
+        ObjectId::new(SegmentId { node: NodeId(node), index: 0 }, o * 8, 8)
+    }
+
+    fn wait_for<F: Fn() -> bool>(what: &str, cond: F) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !cond() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    const LONG: Duration = Duration::from_secs(30);
+
+    #[test]
+    fn local_cycle_resolved_without_transport() {
+        let sink = TestSink::new(&[tid(1, 1), tid(1, 2)]);
+        let detector = Detector::new(NodeId(1), sink.clone(), DetectConfig::default());
+        let locks = LockManager::<StdMode>::shared(DeadlockPolicy::Timeout);
+        detector.register_source(locks.clone());
+
+        locks.lock(tid(1, 1), obj(1, 1), StdMode::Exclusive, LONG).unwrap();
+        locks.lock(tid(1, 2), obj(1, 2), StdMode::Exclusive, LONG).unwrap();
+        let l1 = Arc::clone(&locks);
+        let a = std::thread::spawn(move || l1.lock(tid(1, 1), obj(1, 2), StdMode::Exclusive, LONG));
+        let l2 = Arc::clone(&locks);
+        let b = std::thread::spawn(move || l2.lock(tid(1, 2), obj(1, 1), StdMode::Exclusive, LONG));
+        wait_for("both waiters blocked", || locks.wait_graph().len() == 2);
+
+        detector.scan();
+        // Victim is the max Tid; its lock call wakes with Deadlock.
+        assert_eq!(b.join().unwrap(), Err(LockError::Deadlock(obj(1, 1))));
+        wait_for("home abort", || sink.aborted.lock().contains(&tid(1, 2)));
+        locks.release_all(tid(1, 2));
+        a.join().unwrap().unwrap();
+        assert_eq!(detector.victims(), 1);
+    }
+
+    #[test]
+    fn cross_node_cycle_resolved_by_probes() {
+        // T1 (home n1) holds a@n1 and waits for b@n2; T2 (home n2) holds
+        // b@n2 and waits for a@n1 — the canonical two-node deadlock.
+        let t1 = tid(1, 1);
+        let t2 = tid(2, 1);
+        let sink1 = TestSink::new(&[t1]);
+        let sink2 = TestSink::new(&[t2]);
+        let d1 = Detector::new(NodeId(1), sink1.clone(), DetectConfig::default());
+        let d2 = Detector::new(NodeId(2), sink2.clone(), DetectConfig::default());
+        Router::wire(&[(NodeId(1), &d1), (NodeId(2), &d2)]);
+        let locks1 = LockManager::<StdMode>::shared(DeadlockPolicy::Timeout);
+        let locks2 = LockManager::<StdMode>::shared(DeadlockPolicy::Timeout);
+        d1.register_source(locks1.clone());
+        d2.register_source(locks2.clone());
+
+        locks1.lock(t1, obj(1, 1), StdMode::Exclusive, LONG).unwrap();
+        locks2.lock(t2, obj(2, 1), StdMode::Exclusive, LONG).unwrap();
+        d1.remote_call_begin(t1, NodeId(2));
+        d2.remote_call_begin(t2, NodeId(1));
+        let l2 = Arc::clone(&locks2);
+        let w1 = std::thread::spawn(move || l2.lock(t1, obj(2, 1), StdMode::Exclusive, LONG));
+        let l1 = Arc::clone(&locks1);
+        let w2 = std::thread::spawn(move || l1.lock(t2, obj(1, 1), StdMode::Exclusive, LONG));
+        wait_for("both waiters blocked", || {
+            !locks1.wait_graph().is_empty() && !locks2.wait_graph().is_empty()
+        });
+
+        d1.scan();
+        // Victim is T2 (higher node id ⇒ higher Tid): woken with Deadlock
+        // at n1 where it waits, aborted by its home n2.
+        assert_eq!(w2.join().unwrap(), Err(LockError::Deadlock(obj(1, 1))));
+        wait_for("home abort", || sink2.aborted.lock().contains(&t2));
+        assert!(sink1.aborted.lock().is_empty(), "survivor must not be aborted");
+        locks2.release_all(t2);
+        w1.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn duplicate_messages_are_idempotent() {
+        let sink = TestSink::new(&[]);
+        let detector = Detector::new(NodeId(2), sink.clone(), DetectConfig::default());
+        let locks = LockManager::<StdMode>::shared(DeadlockPolicy::Timeout);
+        detector.register_source(locks.clone());
+        let counter = Arc::new(Router {
+            peers: Mutex::new(HashMap::new()),
+            from: NodeId(2),
+            sent: AtomicU64::new(0),
+        });
+        detector.set_transport(counter.clone());
+
+        // A probe for a transaction not blocked here is forwarded to its
+        // home node — exactly once, however often the datagram arrives.
+        let probe =
+            DetectMsg::Probe { origin: NodeId(1), round: 3, path: vec![tid(1, 5), tid(3, 6)] };
+        detector.handle(NodeId(1), probe.clone());
+        let sent_once = counter.sent.load(Ordering::Relaxed);
+        assert_eq!(sent_once, 1);
+        detector.handle(NodeId(1), probe.clone());
+        detector.handle(NodeId(1), probe);
+        assert_eq!(counter.sent.load(Ordering::Relaxed), sent_once);
+    }
+
+    #[test]
+    fn stale_confirm_cannot_abort_anyone() {
+        // A fully-unverified Confirm arrives for a "cycle" whose edges do
+        // not exist (e.g. the deadlock resolved while the datagram was
+        // delayed). No edge verifies, no victim may be declared.
+        let t1 = tid(1, 1);
+        let t2 = tid(2, 1);
+        let sink = TestSink::new(&[t1, t2]);
+        let detector = Detector::new(NodeId(1), sink.clone(), DetectConfig::default());
+        let locks = LockManager::<StdMode>::shared(DeadlockPolicy::Timeout);
+        detector.register_source(locks.clone());
+
+        let confirm =
+            DetectMsg::Confirm { origin: NodeId(2), round: 9, cycle: vec![t1, t2], verified: 0 };
+        detector.handle(NodeId(2), confirm);
+        let victim = DetectMsg::Victim { round: 9, cycle: vec![t1, t2], victim: t2 };
+        detector.handle(NodeId(2), victim);
+        // The Victim datagram *does* apply (its sender confirmed the
+        // cycle), but only at the victim's home — and t2 is homed at n2,
+        // not here, so nothing is aborted at n1.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(sink.aborted.lock().is_empty());
+        assert_eq!(detector.victims(), 0);
+    }
+
+    #[test]
+    fn waits_without_cycle_produce_no_victim() {
+        let sink = TestSink::new(&[tid(1, 1), tid(1, 2), tid(1, 3)]);
+        let detector = Detector::new(NodeId(1), sink.clone(), DetectConfig::default());
+        let locks = LockManager::<StdMode>::shared(DeadlockPolicy::Timeout);
+        detector.register_source(locks.clone());
+
+        // Chain T3 → T2 → T1, no cycle.
+        locks.lock(tid(1, 1), obj(1, 1), StdMode::Exclusive, LONG).unwrap();
+        let l1 = Arc::clone(&locks);
+        let w2 =
+            std::thread::spawn(move || l1.lock(tid(1, 2), obj(1, 1), StdMode::Exclusive, LONG));
+        wait_for("T2 blocked", || !locks.wait_graph().is_empty());
+        locks.lock(tid(1, 3), obj(1, 2), StdMode::Exclusive, LONG).unwrap();
+        for _ in 0..10 {
+            detector.scan();
+        }
+        assert!(sink.aborted.lock().is_empty());
+        assert_eq!(detector.victims(), 0);
+        locks.release_all(tid(1, 1));
+        w2.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn normalize_is_rotation_invariant() {
+        let c = [tid(2, 7), tid(1, 3), tid(3, 1)];
+        let n1 = Detector::normalize(&c);
+        let rotated = [tid(1, 3), tid(3, 1), tid(2, 7)];
+        assert_eq!(n1, Detector::normalize(&rotated));
+        assert_eq!(n1[0], tid(1, 3));
+        // Edge order is preserved.
+        assert_eq!(n1, vec![tid(1, 3), tid(3, 1), tid(2, 7)]);
+    }
+
+    #[test]
+    fn remote_call_registry_is_refcounted() {
+        let sink = TestSink::new(&[]);
+        let d = Detector::new(NodeId(1), sink, DetectConfig::default());
+        let t = tid(1, 4);
+        d.remote_call_begin(t, NodeId(2));
+        d.remote_call_begin(t, NodeId(2));
+        d.remote_call_end(t, NodeId(2));
+        assert_eq!(d.sites_of(t), vec![NodeId(2)]);
+        d.remote_call_end(t, NodeId(2));
+        assert!(d.sites_of(t).is_empty());
+    }
+}

@@ -108,6 +108,24 @@ struct State<M: LockMode> {
     /// Waits-for edges, maintained while requests block (Detect policy and
     /// introspection).
     waits_for: HashMap<Tid, HashSet<Tid>>,
+    /// Waiters flagged as deadlock victims by an external detector; their
+    /// pending `lock` call returns [`LockError::Deadlock`] on wakeup.
+    victims: HashSet<Tid>,
+}
+
+/// A source of waits-for edges plus a victim-wakeup hook, implemented by
+/// every [`LockManager`] regardless of mode lattice. The distributed
+/// deadlock detector (`tabs-detect`) aggregates these per node.
+pub trait WaitGraphSource: Send + Sync {
+    /// Snapshot of blocked→holder edges. Only edges whose holder still
+    /// holds at least one lock are reported (stale edges are cleared on
+    /// release, but a snapshot taken mid-release must not resurrect them).
+    fn wait_graph(&self) -> Vec<(Tid, Tid)>;
+
+    /// Flags `tid` as a deadlock victim if it is currently blocked here;
+    /// its pending `lock` call wakes and fails with
+    /// [`LockError::Deadlock`]. Returns whether a waiter was flagged.
+    fn abort_waiter(&self, tid: Tid) -> bool;
 }
 
 /// A lock manager, generic over the mode lattice.
@@ -146,6 +164,7 @@ impl<M: LockMode> LockManager<M> {
                 holders: HashMap::new(),
                 by_tx: HashMap::new(),
                 waits_for: HashMap::new(),
+                victims: HashSet::new(),
             }),
             cond: Condvar::new(),
             policy,
@@ -224,6 +243,13 @@ impl<M: LockMode> LockManager<M> {
         let mut waited = false;
         let mut state = self.state.lock();
         loop {
+            if state.victims.remove(&tid) {
+                // An external detector picked this waiter as a deadlock
+                // victim while it was blocked; surface the same error the
+                // local cycle check would have produced.
+                state.waits_for.remove(&tid);
+                return Err(LockError::Deadlock(object));
+            }
             let blockers = Self::blockers(&state, object, tid, mode);
             if blockers.is_empty() {
                 Self::grant(&mut state, object, tid, mode);
@@ -239,8 +265,14 @@ impl<M: LockMode> LockManager<M> {
             }
             state.waits_for.insert(tid, blockers.into_iter().collect());
             if !waited {
+                // Emit outside the state mutex: tracing must never extend
+                // the lock-table critical section (the grant and timeout
+                // paths already drop it first).
                 waited = true;
+                drop(state);
                 self.emit(tid, TraceEvent::LockWait { object, mode: format!("{mode:?}") });
+                state = self.state.lock();
+                continue;
             }
             let timed_out = self.cond.wait_until(&mut state, deadline).timed_out();
             if timed_out {
@@ -309,6 +341,14 @@ impl<M: LockMode> LockManager<M> {
             }
         }
         state.waits_for.remove(&tid);
+        // Also clear other waiters' edges *to* tid: it holds nothing any
+        // more, so the exported wait graph must not keep pointing at it.
+        // (Woken waiters recompute their real blockers anyway.)
+        state.waits_for.retain(|_, on| {
+            on.remove(&tid);
+            !on.is_empty()
+        });
+        state.victims.remove(&tid);
         self.cond.notify_all();
     }
 
@@ -332,12 +372,50 @@ impl<M: LockMode> LockManager<M> {
             state.by_tx.entry(to).or_default().extend(objects);
         }
         state.waits_for.remove(&from);
+        // Waiters blocked on the child are now really blocked on the
+        // parent; redirect their edges so the wait graph stays truthful.
+        for on in state.waits_for.values_mut() {
+            if on.remove(&from) {
+                on.insert(to);
+            }
+        }
         self.cond.notify_all();
     }
 
     /// Number of distinct locked objects (introspection for tests).
     pub fn locked_object_count(&self) -> usize {
         self.state.lock().holders.len()
+    }
+}
+
+impl<M: LockMode> WaitGraphSource for LockManager<M> {
+    fn wait_graph(&self) -> Vec<(Tid, Tid)> {
+        let state = self.state.lock();
+        let mut edges: Vec<(Tid, Tid)> = state
+            .waits_for
+            .iter()
+            .flat_map(|(waiter, on)| {
+                on.iter()
+                    .filter(|holder| state.by_tx.contains_key(holder))
+                    .map(move |holder| (*waiter, *holder))
+            })
+            .collect();
+        drop(state);
+        edges.sort();
+        edges
+    }
+
+    fn abort_waiter(&self, tid: Tid) -> bool {
+        let mut state = self.state.lock();
+        // Only flag transactions actually blocked here; otherwise the flag
+        // would linger and poison an unrelated later wait.
+        if state.waits_for.contains_key(&tid) {
+            state.victims.insert(tid);
+            self.cond.notify_all();
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -506,6 +584,105 @@ mod tests {
                 assert_eq!(a.compatible(&b), b.compatible(&a));
             }
         }
+    }
+
+    #[test]
+    fn wait_graph_exports_blocked_edges() {
+        let lm = Arc::new(LockManager::<StdMode>::default());
+        lm.lock(tid(1), obj(1), StdMode::Exclusive, T).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let waiter = std::thread::spawn(move || {
+            lm2.lock(tid(2), obj(1), StdMode::Exclusive, Duration::from_secs(5))
+        });
+        while lm.wait_graph().is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(lm.wait_graph(), vec![(tid(2), tid(1))]);
+        lm.release_all(tid(1));
+        waiter.join().unwrap().unwrap();
+        assert!(lm.wait_graph().is_empty());
+        lm.release_all(tid(2));
+    }
+
+    #[test]
+    fn aborted_holder_leaves_no_stale_wait_edges() {
+        // Satellite: once a holder releases (commit or abort), no exported
+        // edge may still point at it — even if its waiters have not yet
+        // been rescheduled to recompute their blockers.
+        let lm = Arc::new(LockManager::<StdMode>::default());
+        lm.lock(tid(1), obj(1), StdMode::Shared, T).unwrap();
+        lm.lock(tid(3), obj(1), StdMode::Shared, T).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let waiter = std::thread::spawn(move || {
+            lm2.lock(tid(2), obj(1), StdMode::Exclusive, Duration::from_secs(5))
+        });
+        while lm.wait_graph().len() < 2 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // tid(1) aborts. The waiter thread has not necessarily woken yet,
+        // but the snapshot must already have dropped the tid(2)→tid(1)
+        // edge (checked under the same mutex as the release).
+        lm.release_all(tid(1));
+        for (_, holder) in lm.wait_graph() {
+            assert_ne!(holder, tid(1), "stale edge to released holder");
+        }
+        lm.release_all(tid(3));
+        waiter.join().unwrap().unwrap();
+        lm.release_all(tid(2));
+    }
+
+    #[test]
+    fn abort_waiter_wakes_victim_with_deadlock_error() {
+        let lm = Arc::new(LockManager::<StdMode>::default());
+        lm.lock(tid(1), obj(1), StdMode::Exclusive, T).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let waiter = std::thread::spawn(move || {
+            lm2.lock(tid(2), obj(1), StdMode::Exclusive, Duration::from_secs(30))
+        });
+        while lm.wait_graph().is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let start = Instant::now();
+        assert!(lm.abort_waiter(tid(2)));
+        assert_eq!(waiter.join().unwrap(), Err(LockError::Deadlock(obj(1))));
+        assert!(start.elapsed() < Duration::from_secs(5), "victim should wake promptly");
+        // The victim holds nothing and left no residue.
+        assert!(lm.wait_graph().is_empty());
+        assert!(!lm.holds(tid(2), obj(1)));
+    }
+
+    #[test]
+    fn abort_waiter_ignores_transactions_not_blocked_here() {
+        let lm = LockManager::<StdMode>::default();
+        lm.lock(tid(1), obj(1), StdMode::Exclusive, T).unwrap();
+        assert!(!lm.abort_waiter(tid(1)), "holder is not a waiter");
+        assert!(!lm.abort_waiter(tid(9)), "unknown tid is not a waiter");
+        // A later legitimate wait by tid(9) must not be poisoned.
+        assert!(matches!(lm.lock(tid(9), obj(1), StdMode::Shared, T), Err(LockError::Timeout(_))));
+    }
+
+    #[test]
+    fn transfer_redirects_wait_edges_to_parent() {
+        let lm = Arc::new(LockManager::<StdMode>::default());
+        let child = tid(2);
+        let parent = tid(1);
+        lm.lock(child, obj(1), StdMode::Exclusive, T).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let waiter = std::thread::spawn(move || {
+            lm2.lock(tid(3), obj(1), StdMode::Exclusive, Duration::from_secs(5))
+        });
+        while lm.wait_graph().is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        lm.transfer(child, parent);
+        // Snapshot taken before the waiter reschedules already points at
+        // the parent, never at the vanished child.
+        for (_, holder) in lm.wait_graph() {
+            assert_eq!(holder, parent);
+        }
+        lm.release_all(parent);
+        waiter.join().unwrap().unwrap();
+        lm.release_all(tid(3));
     }
 
     #[test]

@@ -170,6 +170,30 @@ pub enum TraceEvent {
         /// Participant node.
         from: NodeId,
     },
+
+    /// A deadlock-detection probe left this node, chasing a waits-for
+    /// chain (attributed to the transaction at the head of the path).
+    ProbeSend {
+        /// Destination node.
+        to: NodeId,
+        /// Length of the waits-for chain carried so far.
+        hops: u32,
+    },
+    /// A deadlock-detection probe arrived at this node.
+    ProbeRecv {
+        /// Source node.
+        from: NodeId,
+        /// Length of the waits-for chain carried so far.
+        hops: u32,
+    },
+    /// A confirmed waits-for cycle chose a victim (attributed to the
+    /// victim transaction).
+    VictimChosen {
+        /// The transaction being aborted to break the cycle.
+        victim: Tid,
+        /// Number of transactions in the confirmed cycle.
+        cycle: u32,
+    },
 }
 
 impl TraceEvent {
@@ -199,6 +223,9 @@ impl TraceEvent {
             TraceEvent::DecisionRecv { .. } => "2pc-decision-recv",
             TraceEvent::AckSend { .. } => "2pc-ack-send",
             TraceEvent::AckRecv { .. } => "2pc-ack-recv",
+            TraceEvent::ProbeSend { .. } => "detect-probe-send",
+            TraceEvent::ProbeRecv { .. } => "detect-probe-recv",
+            TraceEvent::VictimChosen { .. } => "detect-victim",
         }
     }
 
@@ -268,6 +295,11 @@ impl std::fmt::Display for TraceEvent {
             }
             TraceEvent::AckSend { to } => write!(f, "ACK→{to}"),
             TraceEvent::AckRecv { from } => write!(f, "ACK←{from}"),
+            TraceEvent::ProbeSend { to, hops } => write!(f, "probe→{to} ({hops} hops)"),
+            TraceEvent::ProbeRecv { from, hops } => write!(f, "probe←{from} ({hops} hops)"),
+            TraceEvent::VictimChosen { victim, cycle } => {
+                write!(f, "VICTIM {victim} (cycle of {cycle})")
+            }
         }
     }
 }
@@ -283,6 +315,22 @@ mod tests {
         assert_eq!(e.label(), "2pc-prepare-send");
         assert!(e.is_two_phase_commit());
         assert!(!TraceEvent::TxnCommit.is_two_phase_commit());
+    }
+
+    #[test]
+    fn detect_events_label_and_display() {
+        let send = TraceEvent::ProbeSend { to: NodeId(2), hops: 3 };
+        assert_eq!(send.label(), "detect-probe-send");
+        assert_eq!(send.to_string(), "probe→n2 (3 hops)");
+        assert!(!send.is_two_phase_commit());
+        let recv = TraceEvent::ProbeRecv { from: NodeId(1), hops: 3 };
+        assert_eq!(recv.to_string(), "probe←n1 (3 hops)");
+        let victim = TraceEvent::VictimChosen {
+            victim: Tid { node: NodeId(1), incarnation: 1, seq: 3 },
+            cycle: 2,
+        };
+        assert_eq!(victim.label(), "detect-victim");
+        assert_eq!(victim.to_string(), "VICTIM T1.1.3 (cycle of 2)");
     }
 
     #[test]

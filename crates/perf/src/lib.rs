@@ -16,6 +16,9 @@
 //!   against a live three-node cluster with instrumented counters, split
 //!   into pre-commit and commit phases exactly as Tables 5-2 and 5-3
 //!   split them.
+//! - [`contention`] — the deadlock-resolution microbenchmark comparing
+//!   the paper's time-out policy against the probe-based detector
+//!   (p50/p95 resolution latency, victims per second).
 //! - [`model`] — predicted latency (counts × costs), the
 //!   "Improved TABS Architecture" and "New Primitive Times" projections,
 //!   and the §5.2/§7 latency-accounting compositions.
@@ -23,11 +26,13 @@
 //! - [`tables`] — ASCII renderers regenerating every table.
 
 pub mod bench;
+pub mod contention;
 pub mod cost;
 pub mod model;
 pub mod paper;
 pub mod tables;
 
 pub use bench::{benchmarks, run_all, BenchResult, BenchWorld, Benchmark, CommitClass};
+pub use contention::ContentionResult;
 pub use cost::{CostTable, ACHIEVABLE, PERQ_T2};
 pub use model::{improved_counts, predicted_ms, Projection};

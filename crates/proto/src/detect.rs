@@ -1,0 +1,141 @@
+//! Distributed deadlock-detection datagrams.
+//!
+//! TABS resolves lock waits "by time-outs" (§3.2.1); the probe protocol
+//! here is the Obermarck/Chandy–Misra–Haas-style extension the paper
+//! cites. Probes chase waits-for edges node to node; a closed path is
+//! re-verified edge by edge with a confirmation round before any victim
+//! is declared, so a stale probe (delayed, duplicated, or racing a
+//! commit) can never abort a transaction that is not genuinely
+//! deadlocked. All three messages ride unreliable datagrams: duplicates
+//! are deduplicated by the receiver, losses are repaired by the next
+//! periodic scan, and the lock time-out remains the backstop.
+
+use tabs_codec::{decode_seq, encode_seq, Decode, DecodeError, Encode, Reader, Writer};
+use tabs_kernel::{NodeId, Tid};
+
+/// One deadlock-detection datagram.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DetectMsg {
+    /// An edge-chasing probe. `path` is a waits-for chain
+    /// `path[0] → path[1] → …`; the receiver extends it with the local
+    /// out-edges of the last element. A cycle closes when an extension
+    /// reaches `path[0]` again.
+    Probe {
+        /// Node whose scan initiated this probe.
+        origin: NodeId,
+        /// Scan round at the origin; new rounds re-chase edges lost in
+        /// transit, and the (origin, round) pair scopes deduplication.
+        round: u64,
+        /// The waits-for chain accumulated so far.
+        path: Vec<Tid>,
+    },
+    /// Cycle re-verification. Each `cycle[i] → cycle[(i+1) % n]` edge is
+    /// re-checked live at the site where `cycle[i]` is blocked; `verified`
+    /// counts the edges confirmed so far. Only a fully confirmed cycle
+    /// yields a victim.
+    Confirm {
+        /// Node whose scan found the candidate cycle.
+        origin: NodeId,
+        /// Scan round at the origin.
+        round: u64,
+        /// The candidate cycle, rotated so the smallest Tid is first.
+        cycle: Vec<Tid>,
+        /// Number of edges confirmed so far.
+        verified: u32,
+    },
+    /// A confirmed deadlock: every node aborts its local waits of
+    /// `victim`, and the victim's home node aborts the transaction.
+    Victim {
+        /// Scan round that confirmed the cycle (re-declarations after
+        /// message loss carry a fresh round and are not deduplicated
+        /// away).
+        round: u64,
+        /// The confirmed cycle.
+        cycle: Vec<Tid>,
+        /// Deterministically chosen victim: the highest (youngest) Tid in
+        /// the cycle, so every node agrees without negotiation.
+        victim: Tid,
+    },
+}
+
+impl Encode for DetectMsg {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            DetectMsg::Probe { origin, round, path } => {
+                w.put_u8(0);
+                origin.encode(w);
+                round.encode(w);
+                encode_seq(path, w);
+            }
+            DetectMsg::Confirm { origin, round, cycle, verified } => {
+                w.put_u8(1);
+                origin.encode(w);
+                round.encode(w);
+                encode_seq(cycle, w);
+                verified.encode(w);
+            }
+            DetectMsg::Victim { round, cycle, victim } => {
+                w.put_u8(2);
+                round.encode(w);
+                encode_seq(cycle, w);
+                victim.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for DetectMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(DetectMsg::Probe {
+                origin: NodeId::decode(r)?,
+                round: u64::decode(r)?,
+                path: decode_seq(r)?,
+            }),
+            1 => Ok(DetectMsg::Confirm {
+                origin: NodeId::decode(r)?,
+                round: u64::decode(r)?,
+                cycle: decode_seq(r)?,
+                verified: u32::decode(r)?,
+            }),
+            2 => Ok(DetectMsg::Victim {
+                round: u64::decode(r)?,
+                cycle: decode_seq(r)?,
+                victim: Tid::decode(r)?,
+            }),
+            _ => Err(DecodeError::Invalid("DetectMsg tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(node: u16, seq: u64) -> Tid {
+        Tid { node: NodeId(node), incarnation: 1, seq }
+    }
+
+    #[test]
+    fn detect_messages_roundtrip() {
+        let probe = DetectMsg::Probe { origin: NodeId(1), round: 7, path: vec![t(1, 1), t(2, 9)] };
+        assert_eq!(DetectMsg::decode_all(&probe.encode_to_vec()).unwrap(), probe);
+        let confirm = DetectMsg::Confirm {
+            origin: NodeId(2),
+            round: 8,
+            cycle: vec![t(1, 1), t(2, 9)],
+            verified: 1,
+        };
+        assert_eq!(DetectMsg::decode_all(&confirm.encode_to_vec()).unwrap(), confirm);
+        let victim = DetectMsg::Victim { round: 8, cycle: vec![t(1, 1), t(2, 9)], victim: t(2, 9) };
+        assert_eq!(DetectMsg::decode_all(&victim.encode_to_vec()).unwrap(), victim);
+    }
+
+    #[test]
+    fn empty_path_roundtrips_and_garbage_rejected() {
+        let probe = DetectMsg::Probe { origin: NodeId(3), round: 0, path: vec![] };
+        assert_eq!(DetectMsg::decode_all(&probe.encode_to_vec()).unwrap(), probe);
+        assert!(DetectMsg::decode_all(&[7]).is_err());
+        assert!(DetectMsg::decode_all(&[]).is_err());
+    }
+}

@@ -13,11 +13,16 @@
 //!   exchanged by Transaction Managers (§3.2.3: commit uses datagrams,
 //!   "more costly communication based on sessions is used only for the
 //!   remote procedure calls").
+//! - [`detect`] — the distributed deadlock-detection probes exchanged by
+//!   the per-node detectors (`tabs-detect`), the active alternative to
+//!   the paper's time-out-only resolution (§3.2.1).
 
 pub mod commit;
+pub mod detect;
 pub mod rpc;
 pub mod wire;
 
 pub use commit::CommitMsg;
+pub use detect::DetectMsg;
 pub use rpc::{call, call_with_timeout, Request, Response, RpcError, ServerError};
 pub use wire::{Datagram, NameEntry, NsMsg, SessionFrame};

@@ -4,6 +4,7 @@ use tabs_codec::{decode_seq, encode_seq, Decode, DecodeError, Encode, Reader, Wr
 use tabs_kernel::{NodeId, ObjectId, PortId};
 
 use crate::commit::CommitMsg;
+use crate::detect::DetectMsg;
 use crate::rpc::{Request, ServerError};
 
 /// One frame on a Communication Manager session (remote procedure calls
@@ -163,14 +164,16 @@ impl Decode for NsMsg {
     }
 }
 
-/// Envelope for every inter-node datagram: transaction management or name
-/// service.
+/// Envelope for every inter-node datagram: transaction management, name
+/// service, or deadlock detection.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Datagram {
     /// Two-phase-commit traffic for the Transaction Manager.
     Commit(CommitMsg),
     /// Name-lookup traffic for the Name Server.
     Ns(NsMsg),
+    /// Deadlock-detection probes, confirmations and victim broadcasts.
+    Detect(DetectMsg),
 }
 
 impl Encode for Datagram {
@@ -184,6 +187,10 @@ impl Encode for Datagram {
                 w.put_u8(1);
                 m.encode(w);
             }
+            Datagram::Detect(m) => {
+                w.put_u8(2);
+                m.encode(w);
+            }
         }
     }
 }
@@ -193,6 +200,7 @@ impl Decode for Datagram {
         match r.get_u8()? {
             0 => Ok(Datagram::Commit(CommitMsg::decode(r)?)),
             1 => Ok(Datagram::Ns(NsMsg::decode(r)?)),
+            2 => Ok(Datagram::Detect(DetectMsg::decode(r)?)),
             _ => Err(DecodeError::Invalid("Datagram tag")),
         }
     }
@@ -254,6 +262,12 @@ mod tests {
         });
         assert_eq!(Datagram::decode_all(&d.encode_to_vec()).unwrap(), d);
         let d = Datagram::Ns(NsMsg::LookupRequest { name: "x".into(), reply_to: NodeId(9) });
+        assert_eq!(Datagram::decode_all(&d.encode_to_vec()).unwrap(), d);
+        let d = Datagram::Detect(DetectMsg::Probe {
+            origin: NodeId(1),
+            round: 4,
+            path: vec![Tid { node: NodeId(1), incarnation: 1, seq: 3 }],
+        });
         assert_eq!(Datagram::decode_all(&d.encode_to_vec()).unwrap(), d);
     }
 

@@ -36,6 +36,7 @@ use std::time::Duration;
 
 use parking_lot::{Mutex, MutexGuard};
 
+use tabs_detect::Detector;
 use tabs_kernel::{Kernel, MappedSegment, Message, ObjectId, PortClass, PortId, SegmentId, Tid};
 use tabs_lock::{DeadlockPolicy, LockError, LockManager, StdMode};
 use tabs_obs::TraceCollector;
@@ -57,17 +58,26 @@ pub struct ServerDeps {
     /// Optional trace collector; servers built from these deps record
     /// their lock activity against it.
     pub trace: Option<Arc<TraceCollector>>,
+    /// Optional distributed deadlock detector; servers built from these
+    /// deps export their waits-for edges to it.
+    pub detect: Option<Arc<Detector>>,
 }
 
 impl ServerDeps {
     /// Bundles the node facilities a data server needs.
     pub fn new(kernel: Kernel, rm: Arc<RecoveryManager>, tm: Arc<TransactionManager>) -> Self {
-        Self { kernel, rm, tm, trace: None }
+        Self { kernel, rm, tm, trace: None, detect: None }
     }
 
     /// Attaches the node's trace collector.
     pub fn with_trace(mut self, trace: Arc<TraceCollector>) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Attaches the node's distributed deadlock detector.
+    pub fn with_detect(mut self, detect: Arc<Detector>) -> Self {
+        self.detect = Some(detect);
         self
     }
 }
@@ -195,6 +205,11 @@ impl DataServer {
         });
         if let Some(trace) = &deps.trace {
             inner.locks.set_trace(Arc::clone(trace));
+        }
+        if let Some(detect) = &deps.detect {
+            // Export this server's waits-for edges to the node's
+            // distributed deadlock detector.
+            detect.register_source(Arc::clone(&inner.locks) as _);
         }
         // `RecoverServer`: the Recovery Manager dispatches this server's
         // operation-logged records (and in-doubt relocks) through us.
@@ -445,10 +460,22 @@ impl<'a> OpCtx<'a> {
         let timeout = self.server.lock_timeout;
         let locks = Arc::clone(&self.server.locks);
         let tid = self.tid;
-        self.coroutine_wait(move || locks.lock(tid, object, mode, timeout)).map_err(|e| match e {
-            LockError::Timeout(_) => ServerError::LockTimeout,
-            LockError::Deadlock(_) => ServerError::Deadlock,
-        })
+        self.coroutine_wait(move || locks.lock(tid, object, mode, timeout)).map_err(
+            |e| match e {
+                LockError::Timeout(_) => ServerError::LockTimeout,
+                LockError::Deadlock(_) => ServerError::Deadlock,
+            },
+        )?;
+        // The transaction may have been aborted while this request was
+        // blocked (deadlock victim, remote abort): its locks were already
+        // released and its updates undone, yet the wait above can still be
+        // *granted* afterwards. Refuse the grant rather than write as a
+        // zombie after rollback.
+        if self.server.tm.is_aborted(self.tid) {
+            self.server.locks.release_all(self.tid);
+            return Err(ServerError::Aborted(format!("{} aborted during lock wait", self.tid)));
+        }
+        Ok(())
     }
 
     /// `ConditionallyLockObject`: acquires only if immediately available.

@@ -18,7 +18,7 @@ use tabs_core::{AppHandle, Node, ObjectId};
 use tabs_kernel::{SendRight, Tid};
 use tabs_lock::StdMode;
 use tabs_proto::ServerError;
-use tabs_server_lib::{DataServer, ServerConfig};
+use tabs_server_lib::DataServer;
 
 /// `GetCell` opcode.
 pub const OP_GET: u32 = 1;
@@ -51,7 +51,7 @@ impl IntArrayServer {
     pub fn spawn(node: &Node, name: &str, cells: u64) -> Result<Self, ServerError> {
         let pages = ((cells * CELL).div_ceil(tabs_kernel::PAGE_SIZE as u64)).max(1) as u32;
         let seg = node.add_segment(&format!("{name}-segment"), pages);
-        let server = DataServer::new(&node.deps(), ServerConfig::new(name, seg))?;
+        let server = DataServer::new(&node.deps(), node.server_config(name, seg))?;
         let max_cell = cells;
         server.accept_requests(Arc::new(move |ctx, opcode, args| {
             let mut r = Reader::new(args);

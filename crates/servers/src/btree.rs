@@ -29,7 +29,7 @@ use tabs_core::{AppHandle, Node, ObjectId};
 use tabs_kernel::{SendRight, Tid, PAGE_SIZE};
 use tabs_lock::StdMode;
 use tabs_proto::ServerError;
-use tabs_server_lib::{DataServer, OpCtx, ServerConfig};
+use tabs_server_lib::{DataServer, OpCtx};
 
 /// `Add` opcode (insert; error if present).
 pub const OP_ADD: u32 = 1;
@@ -220,7 +220,7 @@ impl BTreeServer {
     pub fn spawn(node: &Node, name: &str, pages: u32) -> Result<Self, ServerError> {
         assert!(pages >= 4, "b-tree needs at least 4 pages");
         let seg = node.add_segment(&format!("{name}-segment"), pages);
-        let server = DataServer::new(&node.deps(), ServerConfig::new(name, seg))?;
+        let server = DataServer::new(&node.deps(), node.server_config(name, seg))?;
         // First-boot initialization: root = leaf page 1. Recognized by a
         // zero root pointer; written directly (pre-transactional install,
         // like mkfs).

@@ -31,7 +31,7 @@ use tabs_core::{AppHandle, Node, ObjectId};
 use tabs_kernel::{SendRight, Tid};
 use tabs_lock::StdMode;
 use tabs_proto::ServerError;
-use tabs_server_lib::{DataServer, ServerConfig};
+use tabs_server_lib::DataServer;
 
 /// `Read` opcode (takes the exclusive/read lock; sees only committed
 /// values since pending increments hold add locks).
@@ -77,7 +77,7 @@ impl CounterServer {
         let bytes = counters * CELL * 2; // cells + lock-object region
         let pages = bytes.div_ceil(tabs_kernel::PAGE_SIZE as u64).max(1) as u32;
         let seg = node.add_segment(&format!("{name}-segment"), pages);
-        let server = DataServer::new(&node.deps(), ServerConfig::new(name, seg))?;
+        let server = DataServer::new(&node.deps(), node.server_config(name, seg))?;
 
         // Register the operation's redo/undo with the recovery machinery:
         // redo re-applies the increment, undo applies the compensating

@@ -35,7 +35,7 @@ use tabs_core::{AppHandle, Node, ObjectId};
 use tabs_kernel::{SendRight, Tid, PAGE_SIZE};
 use tabs_lock::StdMode;
 use tabs_proto::ServerError;
-use tabs_server_lib::{DataServer, OpCtx, ServerConfig};
+use tabs_server_lib::{DataServer, OpCtx};
 
 /// `ObtainIOarea` opcode.
 pub const OP_OBTAIN: u32 = 1;
@@ -104,7 +104,7 @@ impl IoServer {
     pub fn spawn(node: &Node, name: &str) -> Result<Self, ServerError> {
         let pages = (MAX_AREAS * AREA_BYTES).div_ceil(PAGE_SIZE as u64) as u32;
         let seg = node.add_segment(&format!("{name}-segment"), pages);
-        let server = DataServer::new(&node.deps(), ServerConfig::new(name, seg))?;
+        let server = DataServer::new(&node.deps(), node.server_config(name, seg))?;
         let shared = Arc::new(Mutex::new(IoShared {
             input: (0..MAX_AREAS).map(|_| VecDeque::new()).collect(),
         }));

@@ -35,7 +35,7 @@ use tabs_core::{AppHandle, Node, ObjectId};
 use tabs_kernel::{SendRight, Tid, PAGE_SIZE};
 use tabs_lock::StdMode;
 use tabs_proto::ServerError;
-use tabs_server_lib::{DataServer, OpCtx, ServerConfig};
+use tabs_server_lib::{DataServer, OpCtx};
 
 /// `Enqueue` opcode.
 pub const OP_ENQUEUE: u32 = 1;
@@ -115,7 +115,7 @@ impl WeakQueueServer {
         let bytes = ELEMS_BASE + capacity * ELEM;
         let pages = bytes.div_ceil(PAGE_SIZE as u64) as u32;
         let seg = node.add_segment(&format!("{name}-segment"), pages);
-        let server = DataServer::new(&node.deps(), ServerConfig::new(name, seg))?;
+        let server = DataServer::new(&node.deps(), node.server_config(name, seg))?;
         let vol = Arc::new(Mutex::new(Volatile { tail: None }));
         let cap = capacity;
         server.accept_requests(Arc::new(move |ctx, opcode, args| match opcode {

@@ -2,10 +2,11 @@
 //! queue under parallel producers/consumers.
 
 use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
-use tabs_core::{Cluster, NodeId, Tid};
-use tabs_servers::{IntArrayClient, WeakQueueClient, WeakQueueServer};
+use tabs_core::{Cluster, ClusterConfig, NodeId, Tid};
+use tabs_servers::{IntArrayClient, IntArrayServer, WeakQueueClient, WeakQueueServer};
 
 mod common;
 use common::boot_with_array_cells;
@@ -152,6 +153,99 @@ fn lock_timeout_aborts_one_of_two_colliders() {
     app.abort_transaction(t2).unwrap();
     assert!(app.end_transaction(t1).unwrap().is_committed());
     node.shutdown();
+}
+
+#[test]
+fn cross_node_deadlock_broken_well_before_timeout() {
+    // Two nodes, one account array on each, and two transactions that
+    // transfer in opposite orders: T1 (home n1) locks acct1 then wants
+    // acct2, T2 (home n2) locks acct2 then wants acct1. With timeouts
+    // alone this would stall for the full lock time-out (2s here); the
+    // probe-based detector must find the cross-node cycle and abort one
+    // victim well before that — we require resolution in under 25% of
+    // the configured time-out.
+    const TIMEOUT: Duration = Duration::from_secs(2);
+    let cluster = Cluster::with_config(
+        ClusterConfig::default().deadlock_detection(true).lock_timeout(TIMEOUT),
+    );
+    let n1 = cluster.boot_node(NodeId(1));
+    let n2 = cluster.boot_node(NodeId(2));
+    let a1 = IntArrayServer::spawn(&n1, "acct1", 4).unwrap();
+    let a2 = IntArrayServer::spawn(&n2, "acct2", 4).unwrap();
+    n1.recover().unwrap();
+    n2.recover().unwrap();
+
+    let app1 = n1.app();
+    let app2 = n2.app();
+    // Each node gets its own client pair, resolving the remote array
+    // through the name server.
+    let resolve = |node: &tabs_core::Node, name: &str| {
+        let found = node.resolve(name, 1, Duration::from_secs(3));
+        assert_eq!(found.len(), 1, "{name} resolvable");
+        found.into_iter().next().unwrap().0
+    };
+    let c1_local = IntArrayClient::new(app1.clone(), a1.send_right());
+    let c1_remote = IntArrayClient::new(app1.clone(), resolve(&n1, "acct2"));
+    let c2_local = IntArrayClient::new(app2.clone(), a2.send_right());
+    let c2_remote = IntArrayClient::new(app2.clone(), resolve(&n2, "acct1"));
+
+    const OPENING: i64 = 1000;
+    app1.run(|t| {
+        c1_local.set(t, 0, OPENING)?;
+        c1_remote.set(t, 0, OPENING)
+    })
+    .unwrap();
+
+    // Both sides take their local lock, rendezvous, then reach for the
+    // other's — a guaranteed cross-node cycle.
+    let barrier = Arc::new(Barrier::new(2));
+    let run_side = |app: tabs_core::AppHandle,
+                    local: IntArrayClient,
+                    remote: IntArrayClient,
+                    barrier: Arc<Barrier>| {
+        std::thread::spawn(move || {
+            let t = app.begin_transaction(Tid::NULL).unwrap();
+            local.add(t, 0, -10).unwrap();
+            barrier.wait();
+            let start = Instant::now();
+            match remote.add(t, 0, 10) {
+                Ok(_) => {
+                    assert!(app.end_transaction(t).unwrap().is_committed());
+                    (true, start.elapsed())
+                }
+                Err(_) => {
+                    let _ = app.abort_transaction(t);
+                    (false, start.elapsed())
+                }
+            }
+        })
+    };
+    let h1 = run_side(app1.clone(), c1_local.clone(), c1_remote.clone(), Arc::clone(&barrier));
+    let h2 = run_side(app2, c2_local, c2_remote, barrier);
+    let (ok1, el1) = h1.join().unwrap();
+    let (ok2, el2) = h2.join().unwrap();
+
+    // Exactly one side survives and commits; the other is the victim.
+    assert!(
+        ok1 ^ ok2,
+        "exactly one transaction should survive the deadlock (got ok1={ok1}, ok2={ok2})"
+    );
+    // The acceptance bar: resolved in < 25% of the lock time-out. The
+    // victim's abort and the survivor's wakeup must both beat it.
+    let bound = TIMEOUT / 4;
+    assert!(el1 < bound, "side 1 resolved in {el1:?}, want < {bound:?}");
+    assert!(el2 < bound, "side 2 resolved in {el2:?}, want < {bound:?}");
+
+    // Money conserved: only the survivor's transfer applied.
+    let total: i64 = {
+        let t = app1.begin_transaction(Tid::NULL).unwrap();
+        let sum = c1_local.get(t, 0).unwrap() + c1_remote.get(t, 0).unwrap();
+        app1.end_transaction(t).unwrap();
+        sum
+    };
+    assert_eq!(total, 2 * OPENING, "money conserved across deadlock resolution");
+    n1.shutdown();
+    n2.shutdown();
 }
 
 #[test]

@@ -35,4 +35,13 @@ if ! cargo test -q -p tabs-detect --test probe_chaos; then
     exit 1
 fi
 
+echo "==> group commit (bounded): durability sweep + amortization gate"
+if ! cargo test -q -p tabs-chaos --test prop_group_commit; then
+    echo "group-commit durability sweep failed: the assertion output above" >&2
+    echo "carries a 'seed=<N> crash_point=<name>' line; replay it with" >&2
+    echo "  ChaosRunner::new(seed).sweep_group_commit()" >&2
+    exit 1
+fi
+cargo run -q -p tabs-bench --release --bin tables -- groupcommit --quick
+
 echo "CI green."

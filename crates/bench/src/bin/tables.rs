@@ -7,6 +7,7 @@
 //! tables trace
 //! tables chaos [--seed N]
 //! tables contention [--iters N]
+//! tables groupcommit [--iters N] [--quick]
 //! ```
 //!
 //! `tables trace` boots a two-node cluster with transaction tracing
@@ -21,6 +22,11 @@
 //! and victim throughput on a two-node opposite-order lock workload,
 //! side by side: the paper's time-out-only policy versus the
 //! probe-based detector. `--iters` sets rounds per mode (default 40).
+//!
+//! `tables groupcommit` measures stable-storage forces per committed
+//! transaction at 8 concurrent committers, group commit on versus off,
+//! and fails (exit 1) unless batching cuts forces/commit below 0.5 and
+//! at least 4× under the seed path. `--quick` shrinks the rounds for CI.
 //!
 //! `tables chaos` runs the deterministic fault-injection sweeps from
 //! `tabs-chaos`: every registered crash point is armed over the bank
@@ -40,12 +46,14 @@ fn main() {
     let mut iters = 40u32;
     let mut warmup = 8u32;
     let mut seed = 0xC4A0_05EDu64;
+    let mut quick = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--iters" => {
                 iters = it.next().and_then(|v| v.parse().ok()).expect("--iters N");
             }
+            "--quick" => quick = true,
             "--warmup" => {
                 warmup = it.next().and_then(|v| v.parse().ok()).expect("--warmup N");
             }
@@ -76,6 +84,10 @@ fn main() {
         }
         "contention" => {
             run_contention(iters);
+            return;
+        }
+        "groupcommit" => {
+            run_groupcommit(iters, quick);
             return;
         }
         _ => {}
@@ -195,6 +207,30 @@ fn run_contention(rounds: u32) {
     print!("{}", tabs_perf::contention::compare(rounds, Duration::from_millis(400)));
 }
 
+/// Runs the group-commit microbenchmark, prints the comparison table and
+/// enforces the amortization gate: batched forces/commit below 0.5 and a
+/// ≥ 4× reduction versus the unbatched seed path at 8 committers.
+fn run_groupcommit(rounds: u32, quick: bool) {
+    const COMMITTERS: u32 = 8;
+    let rounds = if quick { 5 } else { rounds };
+    eprintln!("group-commit microbenchmark: {COMMITTERS} committers x {rounds} rounds per mode …");
+    let (unbatched, batched) = tabs_perf::groupcommit::compare(COMMITTERS, rounds);
+    print!("{}", tabs_perf::groupcommit::render(&[unbatched.clone(), batched.clone()]));
+    let ratio = unbatched.forces_per_commit() / batched.forces_per_commit().max(1e-9);
+    println!("force reduction: {ratio:.1}x");
+    if batched.forces_per_commit() >= 0.5 {
+        eprintln!(
+            "groupcommit FAILED: batched mode paid {:.3} forces/commit (gate: < 0.5)",
+            batched.forces_per_commit()
+        );
+        std::process::exit(1);
+    }
+    if ratio < 4.0 {
+        eprintln!("groupcommit FAILED: only {ratio:.1}x force reduction (gate: >= 4x)");
+        std::process::exit(1);
+    }
+}
+
 /// Runs the full crash-point sweeps plus the deterministic disk-fault
 /// scenarios and reports coverage; exits non-zero with a reproduction
 /// line on any invariant violation.
@@ -207,6 +243,7 @@ fn run_chaos(seed: u64) {
     let outcome = runner
         .sweep_single_node()
         .map(|k| killed.extend(k))
+        .and_then(|()| runner.sweep_group_commit().map(|k| killed.extend(k)))
         .and_then(|()| runner.sweep_distributed().map(|k| killed.extend(k)))
         .and_then(|()| runner.torn_write_scenario())
         .and_then(|()| runner.transient_read_scenario());

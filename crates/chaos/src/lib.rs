@@ -31,7 +31,8 @@ pub mod runner;
 pub use controller::{CrashController, KillLog, NodeFaults};
 pub use plan::{ChaosRng, DiskFaultSpec, FaultPlan, NetSchedule, ScheduledPolicy};
 pub use runner::{
-    registry, ChaosRunner, Outcome, Xfer, PAIRWISE_ARMS, SINGLE_NODE_POINTS, TWO_PC_POINTS,
+    registry, ChaosRunner, Outcome, Xfer, GROUP_COMMIT_POINTS, PAIRWISE_ARMS, SINGLE_NODE_POINTS,
+    TWO_PC_POINTS,
 };
 
 #[cfg(test)]
@@ -64,6 +65,7 @@ mod tests {
     fn sweep_points_cover_the_registry_exactly() {
         let mut swept: Vec<&str> = Vec::new();
         swept.extend_from_slice(SINGLE_NODE_POINTS);
+        swept.extend_from_slice(GROUP_COMMIT_POINTS);
         swept.extend_from_slice(TWO_PC_POINTS);
         swept.sort_unstable();
         swept.dedup();

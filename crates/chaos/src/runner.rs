@@ -56,6 +56,11 @@ pub const SINGLE_NODE_POINTS: &[&str] = &[
     "rm.abort.after",
 ];
 
+/// Crash points exercised only with group commit enabled: the default
+/// cluster never routes a force through the batch leader, so the
+/// group-commit sweep runs its own concurrent-committer workload.
+pub const GROUP_COMMIT_POINTS: &[&str] = &["wal.group.before-force", "wal.group.after-force"];
+
 /// Crash points exercised only by the two-phase-commit protocol; the
 /// distributed sweep arms each on the coordinator and on the participant.
 pub const TWO_PC_POINTS: &[&str] = &[
@@ -352,8 +357,8 @@ impl ChaosRunner {
 
         // Reboot, recover, check the oracle, then prove re-recovery is
         // idempotent with a second crash/reboot cycle.
-        let balances = self.recovered_balances(&cluster, point, &xfers)?;
-        let again = self.recovered_balances(&cluster, point, &xfers)?;
+        let balances = self.recovered_balances(&cluster, point, &xfers, 4)?;
+        let again = self.recovered_balances(&cluster, point, &xfers, 4)?;
         if balances != again {
             return Err(fail(format!(
                 "re-recovery not idempotent: first {balances:?}, second {again:?}"
@@ -362,29 +367,130 @@ impl ChaosRunner {
         Ok(was_killed)
     }
 
-    /// Reboots the single bank node, recovers, checks the oracle and
-    /// crashes it again (leaving the cluster ready for another cycle).
+    /// Reboots the single bank node, recovers, checks the oracle over
+    /// `cells` accounts and crashes it again (leaving the cluster ready
+    /// for another cycle).
     fn recovered_balances(
         &self,
         cluster: &Arc<Cluster>,
         point: &str,
         xfers: &[Xfer],
+        cells: u64,
     ) -> Result<Vec<i64>, String> {
         let fail = |m: String| self.fail(point, m);
-        let (node, arr) = boot_array(cluster, 1, "bank", 4).map_err(&fail)?;
+        let (node, arr) = boot_array(cluster, 1, "bank", cells).map_err(&fail)?;
         let app = node.app();
         let client = IntArrayClient::new(app.clone(), arr.send_right());
         let deadline = Instant::now() + Duration::from_secs(8);
         poll_locks_drained(&arr, "bank server", deadline).map_err(&fail)?;
         let mut balances = Vec::new();
-        for cell in 0..4 {
+        for cell in 0..cells {
             balances.push(poll_read(&app, &client, cell, deadline).map_err(&fail)?);
         }
-        check_model(&balances, &[BASE; 4], xfers).map_err(&fail)?;
+        let base = vec![BASE; cells as usize];
+        check_model(&balances, &base, xfers).map_err(&fail)?;
         drop(client);
         drop(arr);
         node.crash();
         Ok(balances)
+    }
+
+    // ---- Group-commit sweep ------------------------------------------
+
+    /// Arms each point in [`GROUP_COMMIT_POINTS`] over a concurrent bank
+    /// workload on a cluster with group commit enabled (the only way a
+    /// force reaches the batch leader). Returns the points that killed.
+    pub fn sweep_group_commit(&self) -> Result<BTreeSet<&'static str>, String> {
+        let mut killed = BTreeSet::new();
+        for &point in GROUP_COMMIT_POINTS {
+            if self.group_commit_scenario(point)? {
+                killed.insert(point);
+            }
+        }
+        Ok(killed)
+    }
+
+    /// Runs a concurrent single-node bank workload (four committer
+    /// threads on disjoint account pairs, group commit enabled) with
+    /// `point` armed; returns whether the node was killed at it. Every
+    /// ticket that resolved durable must survive recovery — the oracle's
+    /// durability check is exactly the group-commit correctness claim.
+    fn group_commit_scenario(&self, point: &'static str) -> Result<bool, String> {
+        const CELLS: u64 = 8;
+        const THREADS: u64 = CELLS / 2;
+        let fail = |m: String| self.fail(point, m);
+        let cluster = Cluster::with_config(tabs_core::ClusterConfig::default().group_commit(
+            tabs_core::GroupCommitConfig {
+                max_delay: Duration::from_millis(5),
+                max_batch: THREADS as usize,
+            },
+        ));
+        let faults = NodeFaults::new(self.seed ^ 0x6C);
+        install_fault_log(&cluster, 1, &faults);
+        install_fault_disk(&cluster, 1, "bank", &faults);
+
+        let (node, arr) = boot_array(&cluster, 1, "bank", CELLS).map_err(&fail)?;
+        let app = node.app();
+        let client = IntArrayClient::new(app.clone(), arr.send_right());
+        app.run(|t| {
+            for cell in 0..CELLS {
+                client.set(t, cell, BASE)?;
+            }
+            Ok(())
+        })
+        .map_err(|e| fail(format!("seeding failed: {e}")))?;
+
+        let kills: KillLog = Arc::new(Mutex::new(Vec::new()));
+        let ctl = CrashController::new(
+            &cluster,
+            NodeId(1),
+            vec![],
+            Some(point),
+            faults.clone(),
+            Arc::clone(&kills),
+        );
+        ctl.install(&node);
+
+        // Concurrent committers racing into the same batch window, each
+        // transferring within its own disjoint account pair so the oracle
+        // can tell exactly which transfers landed.
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS as usize));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|i| {
+                let app = app.clone();
+                let client = client.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let (from, to) = (2 * i, 2 * i + 1);
+                    barrier.wait();
+                    let mut xfers = Vec::new();
+                    for amount in [10, 3] {
+                        let outcome = transfer(&app, &client, from, &client, to, amount);
+                        xfers.push(Xfer { from: from as usize, to: to as usize, amount, outcome });
+                    }
+                    xfers
+                })
+            })
+            .collect();
+        let mut xfers = Vec::new();
+        for h in handles {
+            xfers.extend(h.join().map_err(|_| fail("committer thread panicked".into()))?);
+        }
+
+        let was_killed = ctl.was_killed();
+        drop(client);
+        drop(arr);
+        node.crash();
+        faults.clear();
+
+        let balances = self.recovered_balances(&cluster, point, &xfers, CELLS)?;
+        let again = self.recovered_balances(&cluster, point, &xfers, CELLS)?;
+        if balances != again {
+            return Err(fail(format!(
+                "re-recovery not idempotent: first {balances:?}, second {again:?}"
+            )));
+        }
+        Ok(was_killed)
     }
 
     // ---- Distributed sweep -------------------------------------------
@@ -579,7 +685,7 @@ impl ChaosRunner {
         drop(arr);
         node.crash();
         faults.clear();
-        let _ = self.recovered_balances(&cluster, point, &xfers)?;
+        let _ = self.recovered_balances(&cluster, point, &xfers, 4)?;
         Ok(())
     }
 

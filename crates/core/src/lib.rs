@@ -36,10 +36,11 @@ pub use tabs_obs::{
 pub use tabs_rm::{RecoveryManager, RecoveryReport};
 pub use tabs_server_lib::{DataServer, Dispatch, OpCtx, ServerConfig, ServerDeps};
 pub use tabs_tm::TransactionManager;
+pub use tabs_wal::GroupCommitConfig;
 
 /// Commonly used items for applications and data servers.
 pub mod prelude {
-    pub use crate::{Cluster, ClusterConfig, Node};
+    pub use crate::{Cluster, ClusterConfig, GroupCommitConfig, Node};
     pub use tabs_app_lib::{AppError, AppHandle, CommitOutcome};
     pub use tabs_detect::{DetectConfig, Detector};
     pub use tabs_kernel::{NodeId, ObjectId, PerfCounters, SegmentId, Tid, PAGE_SIZE};
@@ -81,6 +82,12 @@ pub struct ClusterConfig {
     /// probes and broken promptly instead of waiting out the lock
     /// time-out (which remains the backstop).
     pub detect: bool,
+    /// When set, commit-path log forces (commit and prepare records) go
+    /// through the group-commit scheduler: concurrent committers share
+    /// one device force, bounded by the window's max delay and max batch.
+    /// `None` (the default) keeps the seed behaviour — one force per
+    /// committing transaction.
+    pub group_commit: Option<GroupCommitConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -93,6 +100,7 @@ impl Default for ClusterConfig {
             storage_dir: None,
             trace: false,
             detect: false,
+            group_commit: None,
         }
     }
 }
@@ -138,6 +146,13 @@ impl ClusterConfig {
     /// booted node.
     pub fn deadlock_detection(mut self, enabled: bool) -> Self {
         self.detect = enabled;
+        self
+    }
+
+    /// Enables group commit: commit-path log forces on every booted node
+    /// are batched under `cfg`'s window.
+    pub fn group_commit(mut self, cfg: GroupCommitConfig) -> Self {
+        self.group_commit = Some(cfg);
         self
     }
 }
@@ -281,6 +296,14 @@ impl Cluster {
         };
         let log =
             tabs_wal::LogManager::open(log_device, Arc::clone(&perf)).expect("log device scan");
+        if let Some(gc) = self.config.group_commit {
+            log.set_group_commit(Some(gc));
+            let metrics = self.metrics(id);
+            log.set_group_metrics(
+                metrics.counter("wal.group.batches"),
+                metrics.counter("wal.group.batched_commits"),
+            );
+        }
         let rm = RecoveryManager::new(id, log, Arc::clone(&pool), Arc::clone(&perf));
         pool.set_gate(rm.gate());
         let tm = TransactionManager::new(id, incarnation, Arc::clone(&rm), Arc::clone(&perf));

@@ -69,6 +69,13 @@ pub enum TraceEvent {
         /// Highest LSN guaranteed durable by this force.
         lsn: u64,
     },
+    /// One group-commit force covered several committers' tickets.
+    LogForceBatched {
+        /// Highest LSN guaranteed durable by this force.
+        lsn: u64,
+        /// Number of committers whose tickets rode this force.
+        batch_size: u64,
+    },
 
     /// A page was demand-paged in from disk.
     PageIn {
@@ -208,6 +215,7 @@ impl TraceEvent {
             TraceEvent::LockTimeout { .. } => "lock-timeout",
             TraceEvent::LogAppend { .. } => "log-append",
             TraceEvent::LogForce { .. } => "log-force",
+            TraceEvent::LogForceBatched { .. } => "log-force-batched",
             TraceEvent::PageIn { .. } => "page-in",
             TraceEvent::PageOut { .. } => "page-out",
             TraceEvent::PortSend { .. } => "port-send",
@@ -263,6 +271,9 @@ impl std::fmt::Display for TraceEvent {
             }
             TraceEvent::LogAppend { lsn } => write!(f, "log-append lsn={lsn}"),
             TraceEvent::LogForce { lsn } => write!(f, "LOG-FORCE lsn={lsn}"),
+            TraceEvent::LogForceBatched { lsn, batch_size } => {
+                write!(f, "LOG-FORCE-BATCHED lsn={lsn} x{batch_size}")
+            }
             TraceEvent::PageIn { page, sequential } => {
                 let kind = if *sequential { "seq" } else { "rand" };
                 write!(f, "page-in {page} ({kind})")
@@ -331,6 +342,14 @@ mod tests {
         };
         assert_eq!(victim.label(), "detect-victim");
         assert_eq!(victim.to_string(), "VICTIM T1.1.3 (cycle of 2)");
+    }
+
+    #[test]
+    fn batched_force_label_and_display() {
+        let e = TraceEvent::LogForceBatched { lsn: 42, batch_size: 5 };
+        assert_eq!(e.label(), "log-force-batched");
+        assert_eq!(e.to_string(), "LOG-FORCE-BATCHED lsn=42 x5");
+        assert!(!e.is_two_phase_commit());
     }
 
     #[test]

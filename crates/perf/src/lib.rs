@@ -19,6 +19,9 @@
 //! - [`contention`] — the deadlock-resolution microbenchmark comparing
 //!   the paper's time-out policy against the probe-based detector
 //!   (p50/p95 resolution latency, victims per second).
+//! - [`groupcommit`] — the group-commit microbenchmark: stable-storage
+//!   forces per committed transaction, batched versus the seed
+//!   one-force-per-commit path.
 //! - [`model`] — predicted latency (counts × costs), the
 //!   "Improved TABS Architecture" and "New Primitive Times" projections,
 //!   and the §5.2/§7 latency-accounting compositions.
@@ -28,6 +31,7 @@
 pub mod bench;
 pub mod contention;
 pub mod cost;
+pub mod groupcommit;
 pub mod model;
 pub mod paper;
 pub mod tables;
@@ -35,4 +39,5 @@ pub mod tables;
 pub use bench::{benchmarks, run_all, BenchResult, BenchWorld, Benchmark, CommitClass};
 pub use contention::ContentionResult;
 pub use cost::{CostTable, ACHIEVABLE, PERQ_T2};
+pub use groupcommit::GroupCommitResult;
 pub use model::{improved_counts, predicted_ms, Projection};

@@ -282,20 +282,27 @@ impl RecoveryManager {
     }
 
     /// Writes and forces a prepare record (the participant's vote must be
-    /// durable before "yes" is sent).
+    /// durable before "yes" is sent). This is a commit-path force: with
+    /// group commit enabled it shares the device force with concurrent
+    /// committers; the vote still waits for the covering force to return.
     pub fn log_prepare(&self, tid: Tid, coordinator: NodeId) -> Result<Lsn, RmError> {
         self.count_msg(24);
         crash_point!(&self.crash, "rm.prepare.before");
-        let lsn = self.log.append_forced(LogRecord::Prepare { tid, coordinator })?;
+        let lsn = self.log.append(LogRecord::Prepare { tid, coordinator });
+        self.log.force_batched(lsn)?;
         crash_point!(&self.crash, "rm.prepare.after");
         Ok(lsn)
     }
 
-    /// Writes and forces the commit record (the WAL commit rule).
+    /// Writes and forces the commit record (the WAL commit rule). This is
+    /// a commit-path force: with group commit enabled the caller blocks
+    /// on its group-commit ticket, which resolves only after a device
+    /// force covering the commit record has returned.
     pub fn log_commit(&self, tid: Tid) -> Result<Lsn, RmError> {
         self.count_msg(16);
         crash_point!(&self.crash, "rm.commit.before");
-        let lsn = self.log.append_forced(LogRecord::Commit { tid })?;
+        let lsn = self.log.append(LogRecord::Commit { tid });
+        self.log.force_batched(lsn)?;
         crash_point!(&self.crash, "rm.commit.after");
         self.emit(tid, TraceEvent::TxnCommit);
         Ok(lsn)

@@ -499,7 +499,10 @@ impl TransactionManager {
         }
 
         // Decision. Read-only transactions need no commit record or force
-        // (the cheap path of Table 5-3, "1 Node, Read Only").
+        // (the cheap path of Table 5-3, "1 Node, Read Only"). The commit
+        // force below goes through the RM's batched commit path: with
+        // group commit enabled, concurrent committers share one device
+        // force.
         if updates {
             self.rm.log_commit(tid).map_err(|e| TmError::Rm(e.to_string()))?;
             crash_point!(&self.crash, "tm.commit.logged");
@@ -798,7 +801,8 @@ impl TransactionManager {
 
         if updates {
             // Parent tids for remote-origin merged records, then the forced
-            // prepare record; only now may we vote yes.
+            // prepare record (batched with concurrent committers when
+            // group commit is on); only now may we vote yes.
             for t in &merged {
                 if *t != tid {
                     self.rm.log_begin(*t, tid);

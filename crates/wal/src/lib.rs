@@ -23,5 +23,5 @@ pub mod manager;
 pub mod records;
 
 pub use device::{FaultLogDevice, FileLogDevice, LogDevice, LogFaults, MemLogDevice};
-pub use manager::{LogManager, WalError, CRASH_POINTS};
+pub use manager::{GroupCommitConfig, LogManager, WalError, CRASH_POINTS};
 pub use records::{LogEntry, LogRecord, Lsn, TxState};

@@ -6,13 +6,14 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use tabs_codec::{Decode, Encode};
 use tabs_kernel::crash::CrashHookSlot;
 use tabs_kernel::{crash_point, CrashHooks, PerfCounters, PrimitiveOp, Tid};
-use tabs_obs::{TraceCollector, TraceEvent};
+use tabs_obs::{Counter, TraceCollector, TraceEvent};
 
 use crate::device::LogDevice;
 use crate::records::{LogEntry, LogRecord, Lsn};
@@ -41,6 +42,48 @@ impl std::fmt::Display for WalError {
 
 impl std::error::Error for WalError {}
 
+/// The group-commit window: how long a batch leader may wait for peer
+/// committers and how many it collects before forcing regardless.
+///
+/// Commit-path forces ([`LogManager::force_batched`]) from concurrent
+/// committers are amortized into one device force per window. A lone
+/// committer is delayed at most `max_delay`; a window that fills to
+/// `max_batch` queued committers forces immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommitConfig {
+    /// Longest a batch leader waits for peer committers before forcing.
+    pub max_delay: Duration,
+    /// Queued-committer count that triggers an immediate force.
+    pub max_batch: usize,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        Self { max_delay: Duration::from_millis(2), max_batch: 32 }
+    }
+}
+
+/// Counters surfacing the amortization (`wal.group.*` in the node's
+/// metric registry). Stable-storage write counts themselves stay in
+/// [`PerfCounters`] — Table 5-1 remains the single source of truth.
+struct GroupMetrics {
+    /// Covering forces issued by batch leaders (`wal.group.batches`).
+    batches: Counter,
+    /// Committers whose ticket a batched force resolved
+    /// (`wal.group.batched_commits`).
+    batched_commits: Counter,
+}
+
+/// Shared state of the group-commit window.
+struct GroupState {
+    /// Highest LSN any queued committer needs durable.
+    high: Lsn,
+    /// Committers currently queued on the window, leader included.
+    waiters: usize,
+    /// Whether a leader is collecting a batch or forcing right now.
+    leader_active: bool,
+}
+
 struct Inner {
     /// Appended but not yet durable (lost at crash).
     buffer: Vec<LogEntry>,
@@ -49,6 +92,11 @@ struct Inner {
     next_lsn: u64,
     /// Highest durable LSN.
     durable_lsn: Lsn,
+    /// First LSN dropped by a failed device write: records from here on
+    /// left the buffer but never reached stable storage, so any force
+    /// covering them must fail rather than report an empty-buffer success
+    /// (a committer must never be told "durable" for a lost record).
+    lost_from: Option<Lsn>,
     /// Backward-chain tails: last LSN written per transaction.
     chain: HashMap<Tid, Lsn>,
 }
@@ -60,11 +108,23 @@ pub struct LogManager {
     perf: Arc<PerfCounters>,
     trace: Mutex<Option<Arc<TraceCollector>>>,
     crash: CrashHookSlot,
+    group_cfg: Mutex<Option<GroupCommitConfig>>,
+    group: Mutex<GroupState>,
+    group_cv: Condvar,
+    group_metrics: Mutex<Option<GroupMetrics>>,
 }
 
-/// Crash-points the log manager fires (see `tabs_kernel::crash`).
-pub const CRASH_POINTS: &[&str] =
-    &["wal.append.before", "wal.append.after", "wal.force.before", "wal.force.after"];
+/// Crash-points the log manager fires (see `tabs_kernel::crash`). The
+/// `wal.group.*` pair brackets the batch leader's covering force and only
+/// fires when group commit is enabled.
+pub const CRASH_POINTS: &[&str] = &[
+    "wal.append.before",
+    "wal.append.after",
+    "wal.force.before",
+    "wal.force.after",
+    "wal.group.before-force",
+    "wal.group.after-force",
+];
 
 impl std::fmt::Debug for LogManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -101,11 +161,35 @@ impl LogManager {
         }
         Ok(Self {
             device,
-            inner: Mutex::new(Inner { buffer: Vec::new(), durable, next_lsn, durable_lsn, chain }),
+            inner: Mutex::new(Inner {
+                buffer: Vec::new(),
+                durable,
+                next_lsn,
+                durable_lsn,
+                lost_from: None,
+                chain,
+            }),
             perf,
             trace: Mutex::new(None),
             crash: CrashHookSlot::new(None),
+            group_cfg: Mutex::new(None),
+            group: Mutex::new(GroupState { high: Lsn::ZERO, waiters: 0, leader_active: false }),
+            group_cv: Condvar::new(),
+            group_metrics: Mutex::new(None),
         })
+    }
+
+    /// Enables (`Some`) or disables (`None`) the group-commit window for
+    /// [`LogManager::force_batched`]. Disabled, the batched entry point is
+    /// byte-identical to [`LogManager::force`] — the seed commit path.
+    pub fn set_group_commit(&self, cfg: Option<GroupCommitConfig>) {
+        *self.group_cfg.lock() = cfg;
+    }
+
+    /// Wires the `wal.group.batches` / `wal.group.batched_commits`
+    /// counters a batch leader bumps per covering force.
+    pub fn set_group_metrics(&self, batches: Counter, batched_commits: Counter) {
+        *self.group_metrics.lock() = Some(GroupMetrics { batches, batched_commits });
     }
 
     /// Attaches a trace collector; appends and forces are recorded as
@@ -151,15 +235,38 @@ impl LogManager {
         crash_point!(&self.crash, "wal.force.before");
         let mut inner = self.inner.lock();
         let limit = upto.unwrap_or(Lsn(u64::MAX));
+        if let Some(lost) = inner.lost_from {
+            if limit >= lost {
+                // An earlier device failure dropped records from `lost`
+                // on: they can never become durable, so a force covering
+                // them must not report success (the empty buffer below
+                // would otherwise look like an already-satisfied force).
+                return Err(WalError::Io(format!(
+                    "records from {lost:?} were lost by an earlier device failure"
+                )));
+            }
+        }
         if inner.buffer.first().is_none_or(|e| e.lsn > limit) {
-            return Ok(inner.durable_lsn); // nothing to do
+            // Nothing to do: no stable-storage write is counted and no
+            // `LogForce` event is emitted — a force that moved no data
+            // must not show up as a phantom force on timelines.
+            return Ok(inner.durable_lsn);
         }
         let split = inner.buffer.partition_point(|e| e.lsn <= limit);
         let to_write: Vec<LogEntry> = inner.buffer.drain(..split).collect();
-        for entry in &to_write {
-            self.device.append(&entry.encode_to_vec()).map_err(|e| WalError::Io(e.to_string()))?;
+        let write = || -> Result<(), WalError> {
+            for entry in &to_write {
+                self.device
+                    .append(&entry.encode_to_vec())
+                    .map_err(|e| WalError::Io(e.to_string()))?;
+            }
+            self.device.force().map_err(|e| WalError::Io(e.to_string()))
+        };
+        if let Err(e) = write() {
+            let first = to_write.first().expect("non-empty batch").lsn;
+            inner.lost_from = Some(inner.lost_from.map_or(first, |l| l.min(first)));
+            return Err(e);
         }
-        self.device.force().map_err(|e| WalError::Io(e.to_string()))?;
         self.perf.record(PrimitiveOp::StableStorageWrite);
         if let Some(last) = to_write.last() {
             inner.durable_lsn = last.lsn;
@@ -176,10 +283,90 @@ impl LogManager {
     }
 
     /// Appends `record` and immediately forces through it.
+    ///
+    /// This is the *immediate* force path — recovery, checkpointing and
+    /// the write-ahead-log gate need durability right now, with no batch
+    /// window. Commit-path callers (commit and prepare records) should go
+    /// through [`LogManager::force_batched`] instead so concurrent
+    /// committers share one device force.
     pub fn append_forced(&self, record: LogRecord) -> Result<Lsn, WalError> {
         let lsn = self.append(record);
         self.force(Some(lsn))?;
         Ok(lsn)
+    }
+
+    /// Commit-path force: blocks until a force covering `lsn` has
+    /// returned, sharing one device force among every committer queued in
+    /// the same group-commit window.
+    ///
+    /// With group commit disabled this is exactly `force(Some(lsn))` —
+    /// the seed path, byte-identical primitive counts. Enabled, the first
+    /// arriving committer becomes the batch *leader* (leader-piggyback:
+    /// no dedicated batcher thread): it waits up to the configured
+    /// `max_delay` for peers — returning early once `max_batch` are
+    /// queued — then issues one `device.force()` covering the highest
+    /// queued LSN and wakes every satisfied waiter. The durability
+    /// argument is the ticket: this call returns `Ok` only after a force
+    /// covering `lsn` has returned from the device, so a transaction
+    /// reported committed is always on stable storage.
+    pub fn force_batched(&self, lsn: Lsn) -> Result<Lsn, WalError> {
+        let Some(cfg) = *self.group_cfg.lock() else {
+            return self.force(Some(lsn));
+        };
+        let mut g = self.group.lock();
+        g.waiters += 1;
+        if g.high < lsn {
+            g.high = lsn;
+        }
+        // Poke a collecting leader: the window may just have filled.
+        self.group_cv.notify_all();
+        let result = loop {
+            if self.durable_lsn() >= lsn {
+                break Ok(self.durable_lsn());
+            }
+            if g.leader_active {
+                // Ride the in-flight batch (or the next one).
+                self.group_cv.wait(&mut g);
+                continue;
+            }
+            // Leader-piggyback: this committer forces for the batch.
+            g.leader_active = true;
+            let deadline = Instant::now() + cfg.max_delay;
+            while g.waiters < cfg.max_batch {
+                if self.group_cv.wait_until(&mut g, deadline).timed_out() {
+                    break;
+                }
+            }
+            let target = g.high;
+            let batch = g.waiters as u64;
+            drop(g);
+            crash_point!(&self.crash, "wal.group.before-force");
+            let before = self.durable_lsn();
+            let forced = self.force(Some(target));
+            crash_point!(&self.crash, "wal.group.after-force");
+            if matches!(&forced, Ok(durable) if *durable > before) {
+                // The force moved data: account the batch. (If a
+                // concurrent immediate force already covered the window,
+                // no batch happened and none is counted.)
+                if let Some(m) = self.group_metrics.lock().as_ref() {
+                    m.batches.inc();
+                    m.batched_commits.add(batch);
+                }
+                self.emit(
+                    Tid::NULL,
+                    TraceEvent::LogForceBatched { lsn: target.0, batch_size: batch },
+                );
+            }
+            g = self.group.lock();
+            g.leader_active = false;
+            if forced.is_ok() && g.high <= target {
+                g.high = Lsn::ZERO;
+            }
+            self.group_cv.notify_all();
+            break forced;
+        };
+        g.waiters -= 1;
+        result
     }
 
     /// Highest LSN guaranteed durable.
@@ -401,6 +588,139 @@ mod tests {
         assert_eq!(cap, 1 << 20);
         lm.append_forced(LogRecord::Begin { tid: tid(1), parent: Tid::NULL }).unwrap();
         assert!(lm.usage().0 > 0);
+    }
+
+    #[test]
+    fn failed_force_poisons_the_lost_records() {
+        // Regression: a failed device write drains the buffered records,
+        // and before the `lost_from` poison a retry covering them hit the
+        // empty-buffer early return and reported success — a committer
+        // could be told "durable" for a record that no longer exists.
+        let faults = crate::LogFaults::new();
+        let dev = crate::FaultLogDevice::new(1 << 20, Arc::clone(&faults));
+        let lm = LogManager::open(dev as Arc<dyn LogDevice>, PerfCounters::new()).unwrap();
+        let a = lm.append_forced(LogRecord::Begin { tid: tid(1), parent: Tid::NULL }).unwrap();
+        let b = lm.append(LogRecord::Commit { tid: tid(1) });
+        faults.halt();
+        assert!(lm.force(Some(b)).is_err(), "halted device must fail the force");
+        faults.clear();
+        // The commit record is gone: forcing over it must keep failing,
+        // while forces the durable prefix already covers still succeed.
+        assert!(lm.force(Some(b)).is_err(), "lost records must never report durable");
+        assert!(lm.force_batched(b).is_err());
+        assert_eq!(lm.force(Some(a)).unwrap(), a);
+        assert_eq!(lm.durable_lsn(), a);
+    }
+
+    #[test]
+    fn empty_force_emits_no_trace_event() {
+        // Regression: a force that moves no data must not show up as a
+        // phantom `LogForce` on timelines.
+        let (lm, _) = manager();
+        let trace = TraceCollector::new(NodeId(1), 64);
+        lm.set_trace(Arc::clone(&trace));
+        let lsn = lm.append(LogRecord::Begin { tid: tid(1), parent: Tid::NULL });
+        lm.force(Some(lsn)).unwrap();
+        lm.force(Some(lsn)).unwrap(); // nothing left to move
+        lm.force(None).unwrap(); // nothing left at all
+        let forces = trace
+            .snapshot()
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::LogForce { .. }))
+            .count();
+        assert_eq!(forces, 1, "only the data-moving force is on the timeline");
+    }
+
+    #[test]
+    fn force_batched_without_config_matches_seed_path() {
+        // Group commit disabled (the default): force_batched is exactly
+        // force(Some(lsn)) — one stable-storage write per data-moving
+        // force, no batch metrics, no batched trace events.
+        let dev = MemLogDevice::new(1 << 20);
+        let perf = PerfCounters::new();
+        let lm = LogManager::open(dev as Arc<dyn LogDevice>, Arc::clone(&perf)).unwrap();
+        let trace = TraceCollector::new(NodeId(1), 64);
+        lm.set_trace(Arc::clone(&trace));
+        let batches = Counter::default();
+        let batched_commits = Counter::default();
+        lm.set_group_metrics(batches.clone(), batched_commits.clone());
+        for i in 1..=3 {
+            let lsn = lm.append(LogRecord::Commit { tid: tid(i) });
+            lm.force_batched(lsn).unwrap();
+        }
+        assert_eq!(perf.get(PrimitiveOp::StableStorageWrite), 3);
+        assert_eq!(batches.get(), 0);
+        assert_eq!(batched_commits.get(), 0);
+        assert!(!trace
+            .snapshot()
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::LogForceBatched { .. })));
+    }
+
+    #[test]
+    fn lone_committer_is_forced_within_the_window() {
+        // A committer with no peers must not wait beyond max_delay.
+        let dev = MemLogDevice::new(1 << 20);
+        let perf = PerfCounters::new();
+        let lm = LogManager::open(dev as Arc<dyn LogDevice>, Arc::clone(&perf)).unwrap();
+        lm.set_group_commit(Some(GroupCommitConfig {
+            max_delay: Duration::from_millis(50),
+            max_batch: 64,
+        }));
+        let lsn = lm.append(LogRecord::Commit { tid: tid(1) });
+        let start = Instant::now();
+        let durable = lm.force_batched(lsn).unwrap();
+        assert!(durable >= lsn);
+        assert_eq!(lm.durable_lsn(), lsn);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "lone committer delayed far beyond the window: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn concurrent_committers_share_one_force() {
+        // With a generous window, N committers arriving together should
+        // be amortized into far fewer than N device forces.
+        const COMMITTERS: u64 = 8;
+        let dev = MemLogDevice::new(1 << 20);
+        let perf = PerfCounters::new();
+        let lm = Arc::new(LogManager::open(dev as Arc<dyn LogDevice>, Arc::clone(&perf)).unwrap());
+        lm.set_group_commit(Some(GroupCommitConfig {
+            max_delay: Duration::from_millis(20),
+            max_batch: COMMITTERS as usize,
+        }));
+        let batches = Counter::default();
+        let batched_commits = Counter::default();
+        lm.set_group_metrics(batches.clone(), batched_commits.clone());
+        let barrier = Arc::new(std::sync::Barrier::new(COMMITTERS as usize));
+        let handles: Vec<_> = (1..=COMMITTERS)
+            .map(|i| {
+                let lm = Arc::clone(&lm);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let lsn = lm.append(LogRecord::Commit { tid: tid(i) });
+                    lm.force_batched(lsn).map(|durable| (lsn, durable))
+                })
+            })
+            .collect();
+        let mut high = Lsn::ZERO;
+        for h in handles {
+            let (lsn, durable) = h.join().expect("committer").expect("force");
+            assert!(durable >= lsn, "ticket resolved before the covering force");
+            high = high.max(lsn);
+        }
+        assert_eq!(lm.durable_lsn(), high);
+        let forces = perf.get(PrimitiveOp::StableStorageWrite);
+        assert!(forces < COMMITTERS, "{COMMITTERS} committers should share forces, saw {forces}");
+        // A committer whose LSN was covered by a force it never
+        // registered with is satisfied without riding a batch, so the
+        // rider count is bounded by — not always equal to — COMMITTERS.
+        assert!(batched_commits.get() <= COMMITTERS);
+        assert!(batched_commits.get() >= batches.get(), "every batch has at least one rider");
+        assert_eq!(batches.get(), forces, "one batch accounted per data-moving force");
     }
 
     proptest! {

@@ -1,9 +1,11 @@
 //! Integration tests for the tabs-obs observability layer: causal order
-//! of traced 2PC phases across a two-node cluster, and exact agreement
-//! between the metrics registry and the underlying `PerfCounters`.
+//! of traced 2PC phases across a two-node cluster, exact agreement
+//! between the metrics registry and the underlying `PerfCounters`, and
+//! the group-commit surface (window bound, disabled-mode parity with the
+//! seed force counts, and the commit-path audit).
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tabs_core::prelude::*;
 use tabs_kernel::PrimitiveOp;
@@ -122,6 +124,146 @@ fn metrics_deltas_match_perf_counters_exactly() {
         );
     }
 
+    n1.shutdown();
+    n2.shutdown();
+}
+
+/// A lone committer must not wait out an unbounded batch: its force is
+/// issued within the configured group-commit window and the batched
+/// force is visible on the timeline with a batch of one.
+#[test]
+fn lone_committer_is_forced_within_the_group_commit_window() {
+    let cluster =
+        Cluster::with_config(ClusterConfig::default().trace(true).group_commit(
+            GroupCommitConfig { max_delay: Duration::from_millis(25), max_batch: 8 },
+        ));
+    let n1 = cluster.boot_node(NodeId(1));
+    let a1 = IntArrayServer::spawn(&n1, "gc-lone", 4).expect("array");
+    n1.recover().expect("recover");
+    let app = n1.app();
+    let client = IntArrayClient::new(app.clone(), a1.send_right());
+
+    let start = Instant::now();
+    let tid = app.begin_transaction(Tid::NULL).expect("begin");
+    client.set(tid, 0, 7).expect("write");
+    assert!(app.end_transaction(tid).expect("end").is_committed());
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "lone committer stalled far beyond the 25ms window: {elapsed:?}"
+    );
+
+    // The commit rode a batch of exactly one, and the record is durable.
+    let batched: Vec<u64> = cluster
+        .trace(NodeId(1))
+        .snapshot()
+        .into_iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::LogForceBatched { batch_size, .. } => Some(batch_size),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        batched.contains(&1),
+        "no batch-of-one force traced for the lone committer: {batched:?}"
+    );
+    assert_eq!(cluster.metrics(NodeId(1)).snapshot().counter("wal.group.batches") as usize, {
+        batched.len()
+    });
+    n1.shutdown();
+}
+
+/// With `group_commit` unset (the default) the commit path must be
+/// byte-identical to the seed: one stable-storage write per committed
+/// local transaction, no group counters, no batched trace events.
+#[test]
+fn disabled_group_commit_reproduces_seed_force_counts() {
+    let cluster = Cluster::with_config(ClusterConfig::default().trace(true));
+    let n1 = cluster.boot_node(NodeId(1));
+    let a1 = IntArrayServer::spawn(&n1, "gc-off", 4).expect("array");
+    n1.recover().expect("recover");
+    let app = n1.app();
+    let client = IntArrayClient::new(app.clone(), a1.send_right());
+
+    let before = cluster.perf(NodeId(1)).get(PrimitiveOp::StableStorageWrite);
+    for round in 0..3i64 {
+        let tid = app.begin_transaction(Tid::NULL).expect("begin");
+        client.set(tid, 0, round).expect("write");
+        assert!(app.end_transaction(tid).expect("end").is_committed());
+    }
+    let delta = cluster.perf(NodeId(1)).get(PrimitiveOp::StableStorageWrite) - before;
+    assert_eq!(delta, 3, "seed parity: exactly one commit force per transaction");
+
+    let snap = cluster.metrics(NodeId(1)).snapshot();
+    assert_eq!(snap.counter("wal.group.batches"), 0);
+    assert_eq!(snap.counter("wal.group.batched_commits"), 0);
+    assert!(
+        !cluster
+            .trace(NodeId(1))
+            .snapshot()
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::LogForceBatched { .. })),
+        "disabled group commit must not emit batched-force events"
+    );
+    n1.shutdown();
+}
+
+/// Commit-path force audit: under a five-transaction workload (three
+/// local, two distributed) every commit-path force — local commits,
+/// coordinator commits, participant prepares and participant commits —
+/// must go through the batched path. A future caller bypassing group
+/// commit shows up as a stable-storage write with no matching batch.
+#[test]
+fn audit_all_commit_path_forces_ride_the_batched_path() {
+    let cluster = Cluster::with_config(
+        ClusterConfig::default()
+            .trace(true)
+            .group_commit(GroupCommitConfig { max_delay: Duration::from_millis(5), max_batch: 8 }),
+    );
+    let (n1, n2, local, remote) = traced_world(&cluster);
+    let app = n1.app();
+
+    let nodes = [NodeId(1), NodeId(2)];
+    let ssw_before: Vec<u64> =
+        nodes.iter().map(|id| cluster.perf(*id).get(PrimitiveOp::StableStorageWrite)).collect();
+    let snap_before: Vec<MetricsSnapshot> =
+        nodes.iter().map(|id| cluster.metrics(*id).snapshot()).collect();
+
+    // Three local transactions: one commit force each on node 1.
+    for round in 0..3i64 {
+        let tid = app.begin_transaction(Tid::NULL).expect("begin");
+        local.set(tid, 0, round).expect("local write");
+        assert!(app.end_transaction(tid).expect("end").is_committed());
+    }
+    // Two distributed transactions: a coordinator commit force on node 1,
+    // a prepare force and a commit force on node 2, each.
+    for round in 0..2i64 {
+        let tid = app.begin_transaction(Tid::NULL).expect("begin");
+        local.set(tid, 1, round).expect("local write");
+        remote.set(tid, 2, round).expect("remote write");
+        assert!(app.end_transaction(tid).expect("end").is_committed());
+    }
+
+    // Expected commit-path force counts per node for the 5-transaction
+    // workload: n1 = 3 local + 2 coordinator commits; n2 = 2 prepares +
+    // 2 participant commits.
+    for (i, (id, expected)) in nodes.into_iter().zip([5u64, 4u64]).enumerate() {
+        let snap = cluster.metrics(id).snapshot();
+        let batched = snap.counter("wal.group.batched_commits")
+            - snap_before[i].counter("wal.group.batched_commits");
+        let batches =
+            snap.counter("wal.group.batches") - snap_before[i].counter("wal.group.batches");
+        let ssw = cluster.perf(id).get(PrimitiveOp::StableStorageWrite) - ssw_before[i];
+        assert_eq!(
+            batched, expected,
+            "{id}: commit-path forces missing from the batched path (bypass?)"
+        );
+        assert_eq!(
+            ssw, batches,
+            "{id}: stable-storage writes not accounted as batches — a commit-path force \
+             bypassed group commit"
+        );
+    }
     n1.shutdown();
     n2.shutdown();
 }

@@ -44,4 +44,13 @@ if ! cargo test -q -p tabs-chaos --test prop_group_commit; then
 fi
 cargo run -q -p tabs-bench --release --bin tables -- groupcommit --quick
 
+echo "==> partition tolerance (bounded): convergence properties + resolution gate"
+if ! cargo test -q -p tabs-chaos --test prop_partition; then
+    echo "partition property sweep failed: the assertion output above carries" >&2
+    echo "a 'seed=<N> crash_point=<label>' line; replay the scenario with" >&2
+    echo "  ChaosRunner::new(seed).partition_rejoin_scenario(...)" >&2
+    exit 1
+fi
+cargo run -q -p tabs-bench --release --bin tables -- partition --quick
+
 echo "CI green."

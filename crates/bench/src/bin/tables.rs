@@ -8,6 +8,7 @@
 //! tables chaos [--seed N]
 //! tables contention [--iters N]
 //! tables groupcommit [--iters N] [--quick]
+//! tables partition [--seed N] [--quick]
 //! ```
 //!
 //! `tables trace` boots a two-node cluster with transaction tracing
@@ -27,6 +28,12 @@
 //! transaction at 8 concurrent committers, group commit on versus off,
 //! and fails (exit 1) unless batching cuts forces/commit below 0.5 and
 //! at least 4× under the seed path. `--quick` shrinks the rounds for CI.
+//!
+//! `tables partition` measures in-doubt resolution latency after a
+//! coordinator crash mid-commit (the commit record durable, the decision
+//! never sent), cooperative termination versus the retransmit-timeout
+//! baseline, and fails (exit 1) unless the cooperative p50 is under 25%
+//! of the baseline's. `--quick` shrinks the rounds for CI.
 //!
 //! `tables chaos` runs the deterministic fault-injection sweeps from
 //! `tabs-chaos`: every registered crash point is armed over the bank
@@ -88,6 +95,10 @@ fn main() {
         }
         "groupcommit" => {
             run_groupcommit(iters, quick);
+            return;
+        }
+        "partition" => {
+            run_partition(seed, quick);
             return;
         }
         _ => {}
@@ -196,6 +207,47 @@ fn run_trace() {
 
     n1.shutdown();
     n2.shutdown();
+
+    // Third act: a partition on a heartbeat cluster — suspicion, heal,
+    // and a node rebooting into a fresh incarnation. The failure
+    // detector traces outside any transaction, so its swimlane rides the
+    // null-transaction lane.
+    eprintln!();
+    eprintln!("partitioning a heartbeat cluster: suspicion, heal, rejoin …");
+    let hb = tabs_core::HeartbeatConfig {
+        interval: Duration::from_millis(10),
+        suspect_after: 3,
+        probe_cap: Duration::from_millis(100),
+    };
+    let pc = Cluster::with_config(ClusterConfig::default().trace(true).heartbeat(hb));
+    let p1 = pc.boot_node(NodeId(1));
+    let p2 = pc.boot_node(NodeId(2));
+    p1.recover().expect("recover partition-demo node 1");
+    p2.recover().expect("recover partition-demo node 2");
+
+    let reaches = |node: &tabs_core::Node, peer: NodeId, up: bool, what: &str| {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !node.reachability().iter().any(|&(n, u)| n == peer && u == up) {
+            assert!(std::time::Instant::now() < deadline, "never observed {what}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+    // Let heartbeats flow first: a peer never heard from is not watched,
+    // so there would be nothing to suspect.
+    reaches(&p1, NodeId(2), true, "initial heartbeats");
+    pc.network().partition(NodeId(1), NodeId(2));
+    reaches(&p1, NodeId(2), false, "suspicion of the partitioned peer");
+    pc.network().heal(NodeId(1), NodeId(2));
+    reaches(&p1, NodeId(2), true, "reachability after heal");
+
+    // Node 2 reboots on its durable disks: incarnation bump plus rejoin.
+    p2.crash();
+    let p2b = pc.boot_node(NodeId(2));
+    p2b.recover().expect("recover rejoined node 2");
+
+    print!("{}", pc.timeline().render_swimlane(Tid::NULL));
+    p1.shutdown();
+    p2b.shutdown();
 }
 
 /// Runs the contention microbenchmark in both resolution modes and
@@ -227,6 +279,33 @@ fn run_groupcommit(rounds: u32, quick: bool) {
     }
     if ratio < 4.0 {
         eprintln!("groupcommit FAILED: only {ratio:.1}x force reduction (gate: >= 4x)");
+        std::process::exit(1);
+    }
+}
+
+/// Runs the partition-recovery microbenchmark in both modes and enforces
+/// the acceptance gate: cooperative in-doubt resolution p50 under 25% of
+/// the retransmit-timeout-only baseline's.
+fn run_partition(seed: u64, quick: bool) {
+    let iters = if quick { 2 } else { 5 };
+    eprintln!(
+        "partition microbenchmark: {iters} coordinator-crash/rejoin runs per mode, seed={seed} …"
+    );
+    let (baseline, coop) = match tabs_perf::partition::compare(iters, seed) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("partition FAILED: {e}");
+            eprintln!("reproduce with: tables partition --seed {seed}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", tabs_perf::partition::render(&[baseline.clone(), coop.clone()]));
+    if coop.p50() * 4 >= baseline.p50() {
+        eprintln!(
+            "partition FAILED: cooperative p50 {:?} is not under 25% of the baseline's {:?}",
+            coop.p50(),
+            baseline.p50()
+        );
         std::process::exit(1);
     }
 }

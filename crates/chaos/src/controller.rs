@@ -106,6 +106,21 @@ impl CrashController {
     pub fn fired(&self) -> BTreeSet<&'static str> {
         self.fired.lock().clone()
     }
+
+    /// Reverses [`CrashHooks::reached`]'s kill while the rest of the
+    /// cluster keeps serving: clears the device faults ("replace the
+    /// machine, keep the disks"), heals the partitions the kill installed,
+    /// and reboots the node on its surviving non-volatile storage. The
+    /// returned node has a bumped incarnation (Tids stay unique); the
+    /// caller re-registers segments and data servers and runs
+    /// [`Node::recover`], exactly like a cold boot.
+    pub fn revive(&self) -> Node {
+        self.faults.clear();
+        for &p in &self.peers {
+            self.cluster.network().heal(self.node, p);
+        }
+        self.cluster.boot_node(self.node)
+    }
 }
 
 impl CrashHooks for CrashController {

@@ -31,8 +31,8 @@ pub mod runner;
 pub use controller::{CrashController, KillLog, NodeFaults};
 pub use plan::{ChaosRng, DiskFaultSpec, FaultPlan, NetSchedule, ScheduledPolicy};
 pub use runner::{
-    registry, ChaosRunner, Outcome, Xfer, GROUP_COMMIT_POINTS, PAIRWISE_ARMS, SINGLE_NODE_POINTS,
-    TWO_PC_POINTS,
+    registry, ChaosRunner, Outcome, PartitionRun, Xfer, GROUP_COMMIT_POINTS, PAIRWISE_ARMS,
+    SINGLE_NODE_POINTS, TWO_PC_POINTS,
 };
 
 #[cfg(test)]

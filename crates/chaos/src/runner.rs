@@ -92,6 +92,24 @@ const CHAOS_TIMEOUTS: TmTimeouts = TmTimeouts {
     ack_deadline: Duration::from_millis(300),
 };
 
+/// Timeouts for the partition-tolerance scenario. The vote deadline is
+/// deliberately long: it is the retransmit-timeout-only baseline's only
+/// trigger for in-doubt resolution, which is exactly the delay cooperative
+/// termination exists to cut.
+const PARTITION_TIMEOUTS: TmTimeouts = TmTimeouts {
+    retransmit: Duration::from_millis(25),
+    vote_deadline: Duration::from_millis(1500),
+    ack_deadline: Duration::from_millis(300),
+};
+
+/// Heartbeat tuning for the partition-tolerance scenario: suspicion after
+/// ~30ms of silence, far inside the baseline's 1.5s vote deadline.
+const PARTITION_HEARTBEAT: tabs_core::HeartbeatConfig = tabs_core::HeartbeatConfig {
+    interval: Duration::from_millis(10),
+    suspect_after: 3,
+    probe_cap: Duration::from_millis(200),
+};
+
 const LOG_CAP: u64 = 8 << 20;
 const BASE: i64 = 100;
 
@@ -105,6 +123,16 @@ pub enum Outcome {
     /// The client got an error (typically because the node died mid-call):
     /// the transfer may be fully present or fully absent.
     Unknown,
+}
+
+/// Measurements from one [`ChaosRunner::partition_rejoin_scenario`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionRun {
+    /// Time from the coordinator's kill until the survivor's last
+    /// in-doubt transaction resolved.
+    pub resolution: Duration,
+    /// Local transactions the survivor committed inside that window.
+    pub survivor_commits: u64,
 }
 
 /// One attempted transfer of the workload, for the oracle's shadow model.
@@ -645,6 +673,197 @@ impl ChaosRunner {
         n1.crash();
         n2.crash();
         Ok(vec![a, b])
+    }
+
+    // ---- Partition / rejoin scenario ---------------------------------
+
+    /// Kills the coordinator of a two-node cluster at `tm.commit.logged`
+    /// (commit record durable, decision never sent), reboots it on its
+    /// surviving disks with [`CrashController::revive`] while the
+    /// participant keeps serving, and measures how long the participant's
+    /// in-doubt transaction stays unresolved.
+    ///
+    /// With `cooperative` the cluster runs the heartbeat failure detector
+    /// ([`PARTITION_HEARTBEAT`]) and the cooperative termination protocol;
+    /// without it, resolution waits for the retransmit-timeout watchdog
+    /// ([`PARTITION_TIMEOUTS`]'s vote deadline). The audit demands zero
+    /// leaked locks, zero unresolved Tids on both nodes, an uninterrupted
+    /// stream of survivor commits, and model-consistent balances.
+    pub fn partition_rejoin_scenario(&self, cooperative: bool) -> Result<PartitionRun, String> {
+        let label: &str =
+            if cooperative { "tm.commit.logged@partition" } else { "tm.commit.logged@baseline" };
+        let fail = |m: String| self.fail(label, m);
+
+        let mut config = tabs_core::ClusterConfig::default();
+        if cooperative {
+            config = config.heartbeat(PARTITION_HEARTBEAT);
+        }
+        let cluster = Cluster::with_config(config);
+        let f1 = NodeFaults::new(self.seed ^ 0xB1);
+        let f2 = NodeFaults::new(self.seed ^ 0xB2);
+        install_fault_log(&cluster, 1, &f1);
+        install_fault_log(&cluster, 2, &f2);
+        install_fault_disk(&cluster, 1, "acct-a", &f1);
+        install_fault_disk(&cluster, 2, "acct-b", &f2);
+
+        // Node 2's array has a second cell the survivor workload commits
+        // to while cell 0 sits under the in-doubt transaction's lock.
+        let (n1, a1) = boot_array(&cluster, 1, "acct-a", 1).map_err(&fail)?;
+        let (n2, a2) = boot_array(&cluster, 2, "acct-b", 2).map_err(&fail)?;
+        n1.tm.set_timeouts(PARTITION_TIMEOUTS);
+        n2.tm.set_timeouts(PARTITION_TIMEOUTS);
+
+        let app = n1.app();
+        let local = IntArrayClient::new(app.clone(), a1.send_right());
+        let found = n1.resolve("acct-b", 1, Duration::from_secs(3));
+        if found.len() != 1 {
+            return Err(fail("name service never resolved acct-b".into()));
+        }
+        let remote = IntArrayClient::new(app.clone(), found[0].0.clone());
+        app.run(|t| local.set(t, 0, BASE)).map_err(|e| fail(format!("seed A: {e}")))?;
+        let app2 = n2.app();
+        let local2 = IntArrayClient::new(app2.clone(), a2.send_right());
+        app2.run(|t| {
+            local2.set(t, 0, BASE)?;
+            local2.set(t, 1, BASE)
+        })
+        .map_err(|e| fail(format!("seed B: {e}")))?;
+
+        let kills: KillLog = Arc::new(Mutex::new(Vec::new()));
+        let ctl = CrashController::new(
+            &cluster,
+            NodeId(1),
+            vec![NodeId(2)],
+            Some("tm.commit.logged"),
+            f1.clone(),
+            Arc::clone(&kills),
+        );
+        ctl.install(&n1);
+
+        // Survivor workload: node 2 keeps committing local increments to
+        // its second cell throughout the coordinator's outage. Any error
+        // is a liveness failure — a partitioned-away coordinator must not
+        // stall the survivor's local transactions.
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let commits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let survivor = {
+            let (app2, local2) = (app2.clone(), local2.clone());
+            let (stop, commits) = (Arc::clone(&stop), Arc::clone(&commits));
+            std::thread::spawn(move || -> Result<u64, String> {
+                let mut done = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    app2.run(|t| local2.add(t, 1, 1))
+                        .map_err(|e| format!("survivor commit #{done} failed: {e}"))?;
+                    done += 1;
+                    commits.store(done, std::sync::atomic::Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok(done)
+            })
+        };
+
+        // The transfer that dies mid-commit: the kill fires inside
+        // end_transaction, so it runs on its own thread while this one
+        // watches for the kill.
+        let xfer_thread = {
+            let (app, local, remote) = (app.clone(), local.clone(), remote.clone());
+            std::thread::spawn(move || transfer(&app, &local, 0, &remote, 0, 10))
+        };
+        let arm_deadline = Instant::now() + Duration::from_secs(5);
+        while !ctl.was_killed() {
+            if Instant::now() >= arm_deadline {
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                return Err(fail("tm.commit.logged never fired on the coordinator".into()));
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        let t_kill = Instant::now();
+        let commits_at_kill = commits.load(std::sync::atomic::Ordering::Relaxed);
+
+        // The participant voted yes before the coordinator could log the
+        // decision, so it must be in doubt right now.
+        let in_doubt_deadline = t_kill + Duration::from_millis(500);
+        while n2.tm.in_doubt_tids().is_empty() {
+            if Instant::now() >= in_doubt_deadline {
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                return Err(fail("participant never entered the in-doubt window".into()));
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+
+        // "Replace the machine, keep the disks": discard volatile state
+        // and reboot the dead coordinator while the survivor serves.
+        std::thread::sleep(Duration::from_millis(40));
+        drop((local, remote));
+        drop(a1);
+        n1.crash();
+        let n1b = ctl.revive();
+        let a1b = IntArrayServer::spawn(&n1b, "acct-a", 1)
+            .map_err(|e| fail(format!("re-spawn acct-a: {e}")))?;
+        n1b.tm.set_timeouts(PARTITION_TIMEOUTS);
+        n1b.recover().map_err(|e| fail(format!("recover rebooted n1: {e}")))?;
+
+        // Resolution: the survivor's in-doubt set drains once the
+        // termination protocol finds the durable commit record.
+        let resolve_deadline = t_kill + Duration::from_secs(30);
+        while !n2.tm.in_doubt_tids().is_empty() {
+            if Instant::now() >= resolve_deadline {
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                return Err(fail(format!(
+                    "in-doubt transactions never resolved: {:?}",
+                    n2.tm.in_doubt_tids()
+                )));
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        let resolution = t_kill.elapsed();
+        let survivor_commits =
+            commits.load(std::sync::atomic::Ordering::Relaxed).saturating_sub(commits_at_kill);
+
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let total_commits =
+            survivor.join().map_err(|_| fail("survivor thread panicked".into()))?.map_err(&fail)?;
+        let outcome = xfer_thread.join().map_err(|_| fail("transfer thread panicked".into()))?;
+        if survivor_commits == 0 {
+            return Err(fail("survivor committed nothing during the outage".into()));
+        }
+
+        // Full-cluster audit: no leaked locks, no unresolved Tids, and
+        // balances the model accepts (the commit record was durable, so
+        // the transfer must have landed whatever the client was told).
+        let deadline = Instant::now() + Duration::from_secs(8);
+        poll_locks_drained(&a1b, "rebooted coordinator server", deadline).map_err(&fail)?;
+        poll_locks_drained(&a2, "survivor server", deadline).map_err(&fail)?;
+        for (who, tm) in [("rebooted coordinator", &n1b.tm), ("survivor", &n2.tm)] {
+            let tids = tm.in_doubt_tids();
+            if !tids.is_empty() {
+                return Err(fail(format!("{who} left unresolved Tids: {tids:?}")));
+            }
+        }
+        let app1b = n1b.app();
+        let c1b = IntArrayClient::new(app1b.clone(), a1b.send_right());
+        let a = poll_read(&app1b, &c1b, 0, deadline).map_err(&fail)?;
+        let b = poll_read(&app2, &local2, 0, deadline).map_err(&fail)?;
+        let xfers = [Xfer { from: 0, to: 1, amount: 10, outcome }];
+        check_model(&[a, b], &[BASE, BASE], &xfers).map_err(&fail)?;
+        if a != BASE - 10 || b != BASE + 10 {
+            return Err(fail(format!(
+                "durable commit record did not survive the reboot: balances [{a}, {b}]"
+            )));
+        }
+        let side = poll_read(&app2, &local2, 1, deadline).map_err(&fail)?;
+        if side != BASE + total_commits as i64 {
+            return Err(fail(format!(
+                "survivor cell lost updates: read {side}, expected {}",
+                BASE + total_commits as i64
+            )));
+        }
+
+        drop((c1b, local2));
+        drop((a1b, a2));
+        n1b.crash();
+        n2.crash();
+        Ok(PartitionRun { resolution, survivor_commits })
     }
 
     // ---- Deterministic disk-fault scenarios --------------------------

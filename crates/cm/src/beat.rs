@@ -1,0 +1,388 @@
+//! The Communication Managers' failure detector.
+//!
+//! §3.2.4 assumes a session service that "detects node failure"; this
+//! module implements the detection for the datagram side as well. Each
+//! Communication Manager broadcasts a heartbeat every interval and tracks
+//! when it last heard from every watched peer (any `Ping` or `Pong`
+//! counts). A peer silent for `suspect_after` consecutive intervals is
+//! *suspected*: suspicion sinks are notified (the Transaction Manager
+//! starts cooperative termination for in-doubt transactions, the Name
+//! Server drops cached entries), and the suspect is probed directly with
+//! exponential backoff until it answers. Suspicion is a local, revocable
+//! judgement — a single `Pong` clears it — so a false suspicion under a
+//! lossy-but-connected network costs retries, never safety.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use tabs_kernel::{Kernel, NodeId, Tid};
+use tabs_obs::{TraceCollector, TraceEvent};
+use tabs_proto::BeatMsg;
+
+/// Heartbeat and suspicion tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct HeartbeatConfig {
+    /// How often each node broadcasts a heartbeat.
+    pub interval: Duration,
+    /// Consecutive silent intervals before a peer is suspected.
+    pub suspect_after: u32,
+    /// Cap on the exponential backoff between direct probes of a suspect.
+    pub probe_cap: Duration,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(50),
+            suspect_after: 4,
+            probe_cap: Duration::from_millis(800),
+        }
+    }
+}
+
+/// How the failure detector reaches the network (the Communication
+/// Manager's datagram endpoint).
+pub trait BeatTransport: Send + Sync {
+    /// Sends a heartbeat to one peer.
+    fn send(&self, to: NodeId, msg: BeatMsg);
+    /// Broadcasts a heartbeat to every attached node.
+    fn broadcast(&self, msg: BeatMsg);
+}
+
+/// A component that wants to hear about reachability transitions.
+pub trait SuspicionSink: Send + Sync {
+    /// `peer` has been silent past the suspicion threshold.
+    fn peer_suspected(&self, peer: NodeId);
+    /// A previously suspected `peer` answered again.
+    fn peer_reachable(&self, _peer: NodeId) {}
+}
+
+struct PeerState {
+    last_seen: Instant,
+    /// Consecutive intervals with no traffic from the peer.
+    missed: u32,
+    suspected: bool,
+    next_probe: Instant,
+    probe_backoff: Duration,
+}
+
+/// Per-node failure detector run by the Communication Manager.
+pub struct FailureDetector {
+    node: NodeId,
+    config: HeartbeatConfig,
+    transport: Mutex<Option<Arc<dyn BeatTransport>>>,
+    trace: Mutex<Option<Arc<TraceCollector>>>,
+    sinks: Mutex<Vec<Arc<dyn SuspicionSink>>>,
+    peers: Mutex<HashMap<NodeId, PeerState>>,
+    seq: AtomicU64,
+}
+
+impl std::fmt::Debug for FailureDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailureDetector").field("node", &self.node).finish()
+    }
+}
+
+impl FailureDetector {
+    /// Creates a detector for `node`; wire it with [`set_transport`],
+    /// [`watch`] and [`add_sink`], then [`start`] it.
+    ///
+    /// [`set_transport`]: FailureDetector::set_transport
+    /// [`watch`]: FailureDetector::watch
+    /// [`add_sink`]: FailureDetector::add_sink
+    /// [`start`]: FailureDetector::start
+    pub fn new(node: NodeId, config: HeartbeatConfig) -> Arc<Self> {
+        Arc::new(Self {
+            node,
+            config,
+            transport: Mutex::new(None),
+            trace: Mutex::new(None),
+            sinks: Mutex::new(Vec::new()),
+            peers: Mutex::new(HashMap::new()),
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// This node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The heartbeat tuning in effect.
+    pub fn config(&self) -> HeartbeatConfig {
+        self.config
+    }
+
+    /// Installs the datagram transport.
+    pub fn set_transport(&self, transport: Arc<dyn BeatTransport>) {
+        *self.transport.lock() = Some(transport);
+    }
+
+    /// Installs a trace collector for reachability events.
+    pub fn set_trace(&self, trace: Arc<TraceCollector>) {
+        *self.trace.lock() = Some(trace);
+    }
+
+    /// Registers a component to notify on suspicion transitions.
+    pub fn add_sink(&self, sink: Arc<dyn SuspicionSink>) {
+        self.sinks.lock().push(sink);
+    }
+
+    /// Starts monitoring `peer` (counted as just seen).
+    pub fn watch(&self, peer: NodeId) {
+        if peer == self.node {
+            return;
+        }
+        let now = Instant::now();
+        self.peers.lock().entry(peer).or_insert(PeerState {
+            last_seen: now,
+            missed: 0,
+            suspected: false,
+            next_probe: now,
+            probe_backoff: self.config.interval,
+        });
+    }
+
+    /// Whether `peer` is currently suspected unreachable.
+    pub fn is_suspected(&self, peer: NodeId) -> bool {
+        self.peers.lock().get(&peer).map(|p| p.suspected).unwrap_or(false)
+    }
+
+    /// The exported reachability view: every watched peer and whether it
+    /// currently looks reachable.
+    pub fn reachability(&self) -> Vec<(NodeId, bool)> {
+        let mut v: Vec<(NodeId, bool)> =
+            self.peers.lock().iter().map(|(n, p)| (*n, !p.suspected)).collect();
+        v.sort();
+        v
+    }
+
+    /// Spawns the periodic heartbeat process on `kernel`.
+    pub fn start(self: &Arc<Self>, kernel: &Kernel) {
+        let fd = Arc::clone(self);
+        let kernel = kernel.clone();
+        let interval = self.config.interval;
+        kernel.clone().spawn("failure-detector", move || {
+            while kernel.is_alive() {
+                std::thread::sleep(interval);
+                fd.tick();
+            }
+        });
+    }
+
+    /// One heartbeat round: broadcast a ping, advance miss counters, and
+    /// probe suspects whose backoff expired.
+    pub fn tick(&self) {
+        let transport = match self.transport.lock().clone() {
+            Some(t) => t,
+            None => return,
+        };
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        transport.broadcast(BeatMsg::Ping { from: self.node, seq });
+
+        let now = Instant::now();
+        let mut newly_suspected = Vec::new();
+        let mut misses = Vec::new();
+        let mut probes = Vec::new();
+        {
+            let mut peers = self.peers.lock();
+            for (&peer, state) in peers.iter_mut() {
+                if state.suspected {
+                    // Probe directly with exponential backoff: broadcast
+                    // alone would stop reaching a peer that heals on a
+                    // different schedule than our suspicion did.
+                    if now >= state.next_probe {
+                        probes.push(peer);
+                        state.next_probe = now + state.probe_backoff;
+                        state.probe_backoff = (state.probe_backoff * 2).min(self.config.probe_cap);
+                    }
+                    continue;
+                }
+                if now.duration_since(state.last_seen) > self.config.interval {
+                    state.missed += 1;
+                    misses.push((peer, state.missed));
+                    if state.missed >= self.config.suspect_after {
+                        state.suspected = true;
+                        state.next_probe = now + self.config.interval;
+                        state.probe_backoff = self.config.interval * 2;
+                        newly_suspected.push(peer);
+                    }
+                }
+            }
+        }
+        for (peer, missed) in misses {
+            self.emit(TraceEvent::HeartbeatMiss { node: peer, missed });
+        }
+        for peer in probes {
+            transport.send(peer, BeatMsg::Ping { from: self.node, seq });
+        }
+        for peer in newly_suspected {
+            self.emit(TraceEvent::PeerSuspected { node: peer });
+            for sink in self.sinks.lock().clone() {
+                sink.peer_suspected(peer);
+            }
+        }
+    }
+
+    /// Handles an inbound heartbeat datagram. `from` is the envelope
+    /// sender (it matches the `from` inside the message; the envelope is
+    /// authoritative).
+    pub fn handle(&self, from: NodeId, msg: BeatMsg) {
+        self.record_alive(from);
+        match msg {
+            BeatMsg::Ping { seq, .. } => {
+                if let Some(t) = self.transport.lock().clone() {
+                    t.send(from, BeatMsg::Pong { from: self.node, seq });
+                }
+            }
+            BeatMsg::Pong { .. } => {}
+        }
+    }
+
+    /// Marks `peer` as heard-from now; clears suspicion if set.
+    fn record_alive(&self, peer: NodeId) {
+        if peer == self.node {
+            return;
+        }
+        let recovered = {
+            let mut peers = self.peers.lock();
+            match peers.get_mut(&peer) {
+                Some(state) => {
+                    state.last_seen = Instant::now();
+                    state.missed = 0;
+                    std::mem::replace(&mut state.suspected, false)
+                }
+                // Traffic from an unwatched peer (e.g. a node that joined
+                // after boot): start watching it.
+                None => {
+                    let now = Instant::now();
+                    peers.insert(
+                        peer,
+                        PeerState {
+                            last_seen: now,
+                            missed: 0,
+                            suspected: false,
+                            next_probe: now,
+                            probe_backoff: self.config.interval,
+                        },
+                    );
+                    false
+                }
+            }
+        };
+        if recovered {
+            self.emit(TraceEvent::PeerReachable { node: peer });
+            for sink in self.sinks.lock().clone() {
+                sink.peer_reachable(peer);
+            }
+        }
+    }
+
+    fn emit(&self, event: TraceEvent) {
+        if let Some(t) = self.trace.lock().as_ref() {
+            t.record(Tid::NULL, event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        sent: Mutex<Vec<(NodeId, BeatMsg)>>,
+        broadcasts: Mutex<Vec<BeatMsg>>,
+    }
+
+    impl BeatTransport for Recorder {
+        fn send(&self, to: NodeId, msg: BeatMsg) {
+            self.sent.lock().push((to, msg));
+        }
+        fn broadcast(&self, msg: BeatMsg) {
+            self.broadcasts.lock().push(msg);
+        }
+    }
+
+    #[derive(Default)]
+    struct SinkLog {
+        suspected: Mutex<Vec<NodeId>>,
+        reachable: Mutex<Vec<NodeId>>,
+    }
+
+    impl SuspicionSink for SinkLog {
+        fn peer_suspected(&self, peer: NodeId) {
+            self.suspected.lock().push(peer);
+        }
+        fn peer_reachable(&self, peer: NodeId) {
+            self.reachable.lock().push(peer);
+        }
+    }
+
+    fn fast_config() -> HeartbeatConfig {
+        HeartbeatConfig {
+            interval: Duration::from_millis(1),
+            suspect_after: 3,
+            probe_cap: Duration::from_millis(8),
+        }
+    }
+
+    #[test]
+    fn silent_peer_becomes_suspected_then_recovers() {
+        let fd = FailureDetector::new(NodeId(1), fast_config());
+        let transport = Arc::new(Recorder::default());
+        fd.set_transport(Arc::clone(&transport) as Arc<dyn BeatTransport>);
+        let sink = Arc::new(SinkLog::default());
+        fd.add_sink(Arc::clone(&sink) as Arc<dyn SuspicionSink>);
+        fd.watch(NodeId(2));
+        assert!(!fd.is_suspected(NodeId(2)));
+
+        // Let enough silence accumulate, ticking past the threshold.
+        for _ in 0..fast_config().suspect_after + 1 {
+            std::thread::sleep(Duration::from_millis(3));
+            fd.tick();
+        }
+        assert!(fd.is_suspected(NodeId(2)));
+        assert_eq!(sink.suspected.lock().clone(), vec![NodeId(2)]);
+        assert_eq!(fd.reachability(), vec![(NodeId(2), false)]);
+        // Suspects get directed probes, not just broadcasts.
+        assert!(transport.sent.lock().iter().any(|(to, _)| *to == NodeId(2)));
+
+        // One answer clears the suspicion.
+        fd.handle(NodeId(2), BeatMsg::Pong { from: NodeId(2), seq: 0 });
+        assert!(!fd.is_suspected(NodeId(2)));
+        assert_eq!(sink.reachable.lock().clone(), vec![NodeId(2)]);
+        assert_eq!(fd.reachability(), vec![(NodeId(2), true)]);
+    }
+
+    #[test]
+    fn ping_draws_pong_and_counts_as_alive() {
+        let fd = FailureDetector::new(NodeId(1), fast_config());
+        let transport = Arc::new(Recorder::default());
+        fd.set_transport(Arc::clone(&transport) as Arc<dyn BeatTransport>);
+        fd.handle(NodeId(3), BeatMsg::Ping { from: NodeId(3), seq: 9 });
+        let sent = transport.sent.lock().clone();
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].0, NodeId(3));
+        assert!(matches!(sent[0].1, BeatMsg::Pong { from: NodeId(1), seq: 9 }));
+        // The unwatched sender is now watched and reachable.
+        assert_eq!(fd.reachability(), vec![(NodeId(3), true)]);
+    }
+
+    #[test]
+    fn regular_traffic_never_suspects() {
+        let fd = FailureDetector::new(NodeId(1), fast_config());
+        let transport = Arc::new(Recorder::default());
+        fd.set_transport(transport as Arc<dyn BeatTransport>);
+        fd.watch(NodeId(2));
+        for _ in 0..20 {
+            fd.handle(NodeId(2), BeatMsg::Ping { from: NodeId(2), seq: 0 });
+            fd.tick();
+        }
+        assert!(!fd.is_suspected(NodeId(2)));
+    }
+}

@@ -20,6 +20,8 @@
 //! two-phase commit", recording the node's parent, whether the transaction
 //! was initiated remotely, and the list of children.
 
+pub mod beat;
+
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -30,10 +32,14 @@ use parking_lot::Mutex;
 use tabs_codec::{Decode, Encode};
 use tabs_detect::{Detector, ProbeTransport};
 use tabs_kernel::{Kernel, Message, NodeId, PortClass, PortId, PrimitiveOp, SendRight, Tid};
-use tabs_net::Endpoint;
+use tabs_net::{Endpoint, NetError};
 use tabs_ns::{Broadcast, NameServer};
-use tabs_proto::{CommitMsg, Datagram, DetectMsg, NsMsg, Request, ServerError, SessionFrame};
+use tabs_proto::{
+    BeatMsg, CommitMsg, Datagram, DetectMsg, NsMsg, Request, ServerError, SessionFrame,
+};
 use tabs_tm::{CommitTransport, TransactionManager};
+
+pub use beat::{BeatTransport, FailureDetector, HeartbeatConfig, SuspicionSink};
 
 /// How long the relay waits for a local data server to answer a forwarded
 /// remote request before reporting failure to the caller.
@@ -67,6 +73,7 @@ pub struct CommManager {
     tm: Arc<TransactionManager>,
     ns: Arc<NameServer>,
     detect: Option<Arc<Detector>>,
+    fd: Option<Arc<FailureDetector>>,
     state: Mutex<CmState>,
     next_call: AtomicU64,
 }
@@ -100,12 +107,30 @@ impl CommManager {
         ns: Arc<NameServer>,
         detect: Option<Arc<Detector>>,
     ) -> Arc<Self> {
+        Self::start_full(kernel, endpoint, tm, ns, detect, None)
+    }
+
+    /// [`CommManager::start_with_detector`] plus an optional failure
+    /// detector. When present, the failure detector gets its heartbeat
+    /// transport from this Communication Manager and its suspicions feed
+    /// the Transaction Manager (cooperative termination for in-doubt
+    /// transactions) and Name Server (cache invalidation). The caller
+    /// still [`FailureDetector::start`]s it.
+    pub fn start_full(
+        kernel: Kernel,
+        endpoint: Endpoint,
+        tm: Arc<TransactionManager>,
+        ns: Arc<NameServer>,
+        detect: Option<Arc<Detector>>,
+        fd: Option<Arc<FailureDetector>>,
+    ) -> Arc<Self> {
         let cm = Arc::new(Self {
             kernel: kernel.clone(),
             endpoint: Arc::new(endpoint),
             tm: Arc::clone(&tm),
             ns: Arc::clone(&ns),
             detect,
+            fd,
             state: Mutex::new(CmState {
                 tree: SpanningTree { children: HashMap::new(), parent: HashMap::new() },
                 pending: HashMap::new(),
@@ -117,6 +142,10 @@ impl CommManager {
         ns.set_transport(Arc::new(CmBroadcast { cm: Arc::clone(&cm) }));
         if let Some(d) = &cm.detect {
             d.set_transport(Arc::new(CmProbeTransport { cm: Arc::clone(&cm) }));
+        }
+        if let Some(f) = &cm.fd {
+            f.set_transport(Arc::new(CmBeatTransport { cm: Arc::clone(&cm) }));
+            f.add_sink(Arc::new(CmSuspicionSink { tm: Arc::clone(&tm), ns: Arc::clone(&ns) }));
         }
 
         let cm_s = Arc::clone(&cm);
@@ -206,10 +235,11 @@ impl CommManager {
             self.kernel.perf().record(PrimitiveOp::SmallContiguousMessage);
         }
         let frame = SessionFrame::Call { call_id, target_port: remote, request };
-        if self.endpoint.send_session(remote.node, frame.encode_to_vec()).is_err() {
-            // Session failure: the remote node is down (§3.2.4 failure
-            // detection). Fail the call immediately — and roll back the
-            // child registration, since the node never received work.
+        if let Err(e) = self.send_session_retrying(remote.node, frame.encode_to_vec(), call_id) {
+            // Session failure after bounded retries (§3.2.4 failure
+            // detection): fail the call with a typed retryable error
+            // instead of hanging — and roll back the child registration,
+            // since the node never received work.
             if newly_registered {
                 let mut state = self.state.lock();
                 if let Some(children) = state.tree.children.get_mut(&tid) {
@@ -219,12 +249,69 @@ impl CommManager {
             if let (Some(d), false) = (&self.detect, tid.is_null()) {
                 d.remote_call_end(tid, remote.node);
             }
+            if !e.is_partition() {
+                // A crash, not a partition: the node will reboot with
+                // fresh ports, so cached name entries and proxies for it
+                // can only mislead. Callers re-resolve through the name
+                // service; a partitioned peer keeps its state, so its
+                // entries stay cached and the same session is retried.
+                self.ns.invalidate_node(remote.node);
+                self.drop_proxies_for(remote.node);
+            }
             if let Some((reply, _)) = self.state.lock().pending.remove(&call_id) {
-                let _ = reply.send_unmetered(tabs_proto::rpc::response_message(Err(
-                    ServerError::Other("remote node unreachable".into()),
-                )));
+                let _ = reply
+                    .send_unmetered(tabs_proto::rpc::response_message(Err(ServerError::from(e))));
             }
         }
+    }
+
+    /// Sends a session frame, retrying with bounded exponential backoff
+    /// plus deterministic jitter while the destination is partitioned or
+    /// merely suspected. A crashed destination fails immediately (retrying
+    /// a dead session is pointless); a destination still suspect after the
+    /// retry budget fails with [`NetError::NodeUnreachable`], which maps
+    /// to the typed retryable [`ServerError::Unavailable`].
+    fn send_session_retrying(
+        &self,
+        to: NodeId,
+        body: Vec<u8>,
+        call_id: u64,
+    ) -> Result<(), NetError> {
+        const MAX_ATTEMPTS: u32 = 4;
+        let mut backoff = Duration::from_millis(5);
+        for attempt in 0..MAX_ATTEMPTS {
+            if !self.suspected(to) {
+                match self.endpoint.send_session(to, body.clone()) {
+                    Ok(()) => return Ok(()),
+                    Err(e) if !e.is_partition() => return Err(e),
+                    Err(e) => {
+                        if attempt + 1 == MAX_ATTEMPTS {
+                            return Err(e);
+                        }
+                    }
+                }
+            } else if attempt + 1 == MAX_ATTEMPTS {
+                return Err(NetError::NodeUnreachable(to));
+            }
+            // Deterministic jitter (hashed from the call id and attempt)
+            // de-synchronizes retry herds without a randomness source.
+            let salt = (call_id ^ u64::from(attempt)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let jitter = Duration::from_micros((salt >> 48) % 3_000);
+            std::thread::sleep(backoff + jitter);
+            backoff *= 2;
+        }
+        Err(NetError::NodeUnreachable(to))
+    }
+
+    /// Whether the failure detector currently suspects `node`.
+    fn suspected(&self, node: NodeId) -> bool {
+        self.fd.as_ref().map(|f| f.is_suspected(node)).unwrap_or(false)
+    }
+
+    /// Drops cached proxies for ports hosted by `node` (its ports die with
+    /// it; the replacements after reboot have fresh indices).
+    fn drop_proxies_for(&self, node: NodeId) {
+        self.state.lock().proxies.retain(|port, _| port.node != node);
     }
 
     /// The session receive loop: inbound remote calls and replies.
@@ -304,7 +391,9 @@ impl CommManager {
                 None => Err(ServerError::BadRequest(format!("no such port {target_port}"))),
             };
             let frame = SessionFrame::Reply { call_id, result };
-            let _ = cm.endpoint.send_session(from, frame.encode_to_vec());
+            // Retry partitions briefly: dropping the reply would leave the
+            // caller waiting out its full relay timeout for nothing.
+            let _ = cm.send_session_retrying(from, frame.encode_to_vec(), call_id);
         });
     }
 
@@ -325,6 +414,11 @@ impl CommManager {
                 Ok(Datagram::Detect(msg)) => {
                     if let Some(d) = &self.detect {
                         d.handle(pkt.from, msg);
+                    }
+                }
+                Ok(Datagram::Beat(msg)) => {
+                    if let Some(f) = &self.fd {
+                        f.handle(pkt.from, msg);
                     }
                 }
                 Err(_) => {}
@@ -350,9 +444,55 @@ impl CommManager {
         self.state.lock().tree.parent.get(&tid).copied()
     }
 
-    /// Whether `node` currently looks reachable.
+    /// Whether `node` currently looks reachable: attached, not partitioned
+    /// from us, and not suspected by the failure detector.
     pub fn is_reachable(&self, node: NodeId) -> bool {
-        self.endpoint.is_reachable(node)
+        self.endpoint.is_reachable(node) && !self.suspected(node)
+    }
+
+    /// The failure detector, when one is running.
+    pub fn failure_detector(&self) -> Option<&Arc<FailureDetector>> {
+        self.fd.as_ref()
+    }
+
+    /// The failure detector's per-node reachability view (empty without a
+    /// failure detector).
+    pub fn reachability(&self) -> Vec<(NodeId, bool)> {
+        self.fd.as_ref().map(|f| f.reachability()).unwrap_or_default()
+    }
+}
+
+/// Routes failure-detector suspicions into the rest of the node: the
+/// Transaction Manager starts cooperative termination (or aborts
+/// transactions that can no longer prepare everywhere), and the Name
+/// Server drops cache entries that would route calls at the suspect.
+struct CmSuspicionSink {
+    tm: Arc<TransactionManager>,
+    ns: Arc<NameServer>,
+}
+
+impl SuspicionSink for CmSuspicionSink {
+    fn peer_suspected(&self, peer: NodeId) {
+        self.ns.invalidate_node(peer);
+        self.tm.peer_suspected(peer);
+    }
+}
+
+/// The failure detector's view of the Communication Manager: heartbeats
+/// ride the same unreliable datagram channel as two-phase commit.
+struct CmBeatTransport {
+    cm: Arc<CommManager>,
+}
+
+impl BeatTransport for CmBeatTransport {
+    fn send(&self, to: NodeId, msg: BeatMsg) {
+        let body = Datagram::Beat(msg).encode_to_vec();
+        let _ = self.cm.endpoint.send_datagram(to, body);
+    }
+
+    fn broadcast(&self, msg: BeatMsg) {
+        let body = Datagram::Beat(msg).encode_to_vec();
+        let _ = self.cm.endpoint.broadcast(body);
     }
 }
 
@@ -373,6 +513,15 @@ impl CommitTransport for CmCommitTransport {
 
     fn parent(&self, tid: Tid) -> Option<NodeId> {
         self.cm.tree_parent(tid)
+    }
+
+    fn broadcast(&self, msg: CommitMsg) {
+        let body = Datagram::Commit(msg).encode_to_vec();
+        let _ = self.cm.endpoint.broadcast(body);
+    }
+
+    fn unreachable(&self, to: NodeId) -> bool {
+        self.cm.suspected(to) || self.cm.endpoint.connectivity(to).is_err()
     }
 }
 
@@ -556,7 +705,14 @@ mod tests {
         b.kernel.shutdown();
         b.kernel.join_all();
         let err = tabs_proto::call(&a.kernel, &right, Tid::NULL, 1, vec![1]).unwrap_err();
-        assert!(matches!(err, tabs_proto::RpcError::Server(ServerError::Other(_))));
+        // Typed and retryable: the caller can re-resolve and reissue.
+        match err {
+            tabs_proto::RpcError::Server(e) => {
+                assert!(matches!(e, ServerError::Unavailable(NodeId(2))));
+                assert!(e.is_retryable());
+            }
+            other => panic!("expected server error, got {other:?}"),
+        }
         shutdown(a);
     }
 

@@ -22,7 +22,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 pub use tabs_app_lib::{AppError, AppHandle, CommitOutcome};
-pub use tabs_cm::CommManager;
+pub use tabs_cm::{CommManager, FailureDetector, HeartbeatConfig};
 pub use tabs_detect::{DetectConfig, Detector};
 pub use tabs_kernel::{
     BufferPool, DiskRegistry, FileDisk, Kernel, MemDisk, NodeId, ObjectId, PageId, PerfCounters,
@@ -42,6 +42,7 @@ pub use tabs_wal::GroupCommitConfig;
 pub mod prelude {
     pub use crate::{Cluster, ClusterConfig, GroupCommitConfig, Node};
     pub use tabs_app_lib::{AppError, AppHandle, CommitOutcome};
+    pub use tabs_cm::{FailureDetector, HeartbeatConfig};
     pub use tabs_detect::{DetectConfig, Detector};
     pub use tabs_kernel::{NodeId, ObjectId, PerfCounters, SegmentId, Tid, PAGE_SIZE};
     pub use tabs_lock::{DeadlockPolicy, StdMode};
@@ -88,6 +89,13 @@ pub struct ClusterConfig {
     /// `None` (the default) keeps the seed behaviour — one force per
     /// committing transaction.
     pub group_commit: Option<GroupCommitConfig>,
+    /// When set, every booted node runs a heartbeat [`FailureDetector`]:
+    /// silent peers are suspected, in-doubt transactions whose coordinator
+    /// is suspected resolve through cooperative termination, transactions
+    /// spanning a suspected child abort instead of hanging, and calls to
+    /// suspects fail fast with a typed retryable error. `None` (the
+    /// default) keeps the seed behaviour — time-outs only.
+    pub heartbeat: Option<HeartbeatConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -101,6 +109,7 @@ impl Default for ClusterConfig {
             trace: false,
             detect: false,
             group_commit: None,
+            heartbeat: None,
         }
     }
 }
@@ -153,6 +162,13 @@ impl ClusterConfig {
     /// are batched under `cfg`'s window.
     pub fn group_commit(mut self, cfg: GroupCommitConfig) -> Self {
         self.group_commit = Some(cfg);
+        self
+    }
+
+    /// Enables the heartbeat failure detector (and with it cooperative
+    /// 2PC termination and fail-fast remote calls) on every booted node.
+    pub fn heartbeat(mut self, cfg: HeartbeatConfig) -> Self {
+        self.heartbeat = Some(cfg);
         self
     }
 }
@@ -332,17 +348,43 @@ impl Cluster {
             }
             d
         });
-        let cm = CommManager::start_with_detector(
+        let fd = self.config.heartbeat.map(|hb| {
+            let f = FailureDetector::new(id, hb);
+            if let Some(t) = &trace {
+                f.set_trace(Arc::clone(t));
+            }
+            // Watch every node currently on the wire; nodes that boot
+            // later are picked up from their first heartbeat.
+            for peer in self.net.attached_nodes() {
+                f.watch(peer);
+            }
+            // With a detector present, in-doubt transactions resolve
+            // cooperatively instead of waiting out retransmit time-outs.
+            tm.set_cooperative_termination(true);
+            f
+        });
+        if incarnation > 1 {
+            // A reboot on the same durable disks: make the rejoin visible
+            // in the timeline (the epoch bump keeps new Tids unique).
+            if let Some(t) = &trace {
+                t.record(Tid::NULL, TraceEvent::NodeRejoin { node: id, incarnation });
+            }
+        }
+        let cm = CommManager::start_full(
             kernel.clone(),
             endpoint,
             Arc::clone(&tm),
             Arc::clone(&ns),
             detect.clone(),
+            fd.clone(),
         );
         if let Some(d) = &detect {
             d.start(&kernel);
         }
-        Node { id, kernel, pool, rm, tm, ns, cm, detect, trace, cluster: Arc::clone(self) }
+        if let Some(f) = &fd {
+            f.start(&kernel);
+        }
+        Node { id, kernel, pool, rm, tm, ns, cm, detect, fd, trace, cluster: Arc::clone(self) }
     }
 
     /// Detaches a node from the network without orderly shutdown (used
@@ -370,6 +412,7 @@ pub struct Node {
     /// Communication Manager.
     pub cm: Arc<CommManager>,
     detect: Option<Arc<Detector>>,
+    fd: Option<Arc<FailureDetector>>,
     trace: Option<Arc<TraceCollector>>,
     cluster: Arc<Cluster>,
 }
@@ -431,6 +474,18 @@ impl Node {
     /// This node's deadlock detector, when the cluster detects.
     pub fn detector(&self) -> Option<&Arc<Detector>> {
         self.detect.as_ref()
+    }
+
+    /// This node's failure detector, when the cluster heartbeats.
+    pub fn failure_detector(&self) -> Option<&Arc<FailureDetector>> {
+        self.fd.as_ref()
+    }
+
+    /// The failure detector's per-node reachability view: every watched
+    /// peer and whether it currently looks reachable (empty without a
+    /// failure detector).
+    pub fn reachability(&self) -> Vec<(NodeId, bool)> {
+        self.fd.as_ref().map(|f| f.reachability()).unwrap_or_default()
     }
 
     /// Dependencies handed to data servers built on the server library.
@@ -738,6 +793,47 @@ mod tests {
             assert!(std::time::Instant::now() < deadline, "in-doubt never resolved");
             std::thread::sleep(Duration::from_millis(20));
         }
+        n1.shutdown();
+        n2.shutdown();
+    }
+
+    #[test]
+    fn failure_detector_suspects_crash_and_clears_on_rejoin() {
+        let hb = HeartbeatConfig {
+            interval: Duration::from_millis(5),
+            suspect_after: 3,
+            probe_cap: Duration::from_millis(40),
+        };
+        let cluster = Cluster::with_config(ClusterConfig::default().heartbeat(hb).trace(true));
+        let n1 = cluster.boot_node(NodeId(1));
+        let n2 = cluster.boot_node(NodeId(2));
+        let wait_for = |pred: &dyn Fn() -> bool, what: &str| {
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while !pred() {
+                assert!(std::time::Instant::now() < deadline, "timed out: {what}");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        };
+        // Heartbeats flow: node 1 sees node 2 as reachable.
+        wait_for(&|| n1.reachability().contains(&(NodeId(2), true)), "peer seen");
+        n2.crash();
+        wait_for(
+            &|| n1.failure_detector().unwrap().is_suspected(NodeId(2)),
+            "crashed peer suspected",
+        );
+        assert!(!n1.cm.is_reachable(NodeId(2)));
+        // Reboot on the same durable state: heartbeats resume, suspicion
+        // clears without any help from node 1.
+        let n2 = cluster.boot_node(NodeId(2));
+        wait_for(
+            &|| !n1.failure_detector().unwrap().is_suspected(NodeId(2)),
+            "rebooted peer reachable again",
+        );
+        // The rejoin (incarnation 2) is visible in the timeline.
+        assert!(cluster.timeline().records().iter().any(|r| matches!(
+            r.event,
+            TraceEvent::NodeRejoin { node: NodeId(2), incarnation: 2 }
+        )));
         n1.shutdown();
         n2.shutdown();
     }

@@ -48,9 +48,27 @@ impl std::fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
+impl NetError {
+    /// Whether the failure is a network partition (the peer may well be
+    /// alive; the same session will work once the partition heals), as
+    /// opposed to a crashed peer or a dead local endpoint.
+    pub fn is_partition(&self) -> bool {
+        matches!(self, NetError::Partitioned(..))
+    }
+}
+
 impl From<NetError> for tabs_proto::ServerError {
     fn from(e: NetError) -> Self {
-        tabs_proto::ServerError::Other(e.to_string())
+        match e {
+            // Both a crashed peer and a partitioned one surface as the
+            // typed, retryable unavailability error; the Communication
+            // Manager distinguishes the two *before* converting (crash →
+            // re-resolve through the name service, partition → retry the
+            // same session after the heal).
+            NetError::NodeUnreachable(n) => tabs_proto::ServerError::Unavailable(n),
+            NetError::Partitioned(_, peer) => tabs_proto::ServerError::Unavailable(peer),
+            NetError::Detached => tabs_proto::ServerError::Other(e.to_string()),
+        }
     }
 }
 
@@ -151,10 +169,16 @@ pub trait DatagramPolicy: Send + Sync {
 struct Inbox {
     datagram_tx: Sender<Packet>,
     session_tx: Sender<SessionMsg>,
+    /// Attach generation: bumped every time the node re-attaches, so
+    /// endpoints of dead incarnations are fenced off the wire.
+    generation: u64,
 }
 
 struct NetInner {
     nodes: Mutex<HashMap<NodeId, Inbox>>,
+    /// Last attach generation handed out per node (never reset by
+    /// detach, so a rebooted node always outranks its predecessor).
+    generations: Mutex<HashMap<NodeId, u64>>,
     partitions: Mutex<HashSet<(NodeId, NodeId)>>,
     config: Mutex<NetConfig>,
     rng: Mutex<StdRng>,
@@ -203,6 +227,7 @@ impl Network {
         Network {
             inner: Arc::new(NetInner {
                 nodes: Mutex::new(HashMap::new()),
+                generations: Mutex::new(HashMap::new()),
                 partitions: Mutex::new(HashSet::new()),
                 config: Mutex::new(config),
                 rng: Mutex::new(StdRng::seed_from_u64(seed)),
@@ -237,12 +262,25 @@ impl Network {
 
     /// Attaches `node` to the network, returning its endpoint. `perf` is
     /// charged one Datagram primitive per datagram the node sends.
+    ///
+    /// Re-attaching a node fences every endpoint of its previous
+    /// incarnations: their sends fail with [`NetError::Detached`], exactly
+    /// as a restarted machine's old sockets stay dead even though the
+    /// address answers again. Without the fence, threads that survived a
+    /// simulated crash could speak for the rebooted node.
     pub fn attach(&self, node: NodeId, perf: Arc<PerfCounters>) -> Endpoint {
         let (datagram_tx, datagram_rx) = channel::unbounded();
         let (session_tx, session_rx) = channel::unbounded();
-        self.inner.nodes.lock().insert(node, Inbox { datagram_tx, session_tx });
+        let generation = {
+            let mut g = self.inner.generations.lock();
+            let next = g.get(&node).copied().unwrap_or(0) + 1;
+            g.insert(node, next);
+            next
+        };
+        self.inner.nodes.lock().insert(node, Inbox { datagram_tx, session_tx, generation });
         Endpoint {
             node,
+            generation,
             inner: Arc::clone(&self.inner),
             datagram_rx,
             session_rx,
@@ -297,6 +335,9 @@ impl Default for Network {
 /// Manager.
 pub struct Endpoint {
     node: NodeId,
+    /// The attach generation this endpoint belongs to; a newer attach of
+    /// the same node fences it (see [`Network::attach`]).
+    generation: u64,
     inner: Arc<NetInner>,
     datagram_rx: Receiver<Packet>,
     session_rx: Receiver<SessionMsg>,
@@ -327,6 +368,12 @@ impl Endpoint {
         if let Some(t) = self.trace.lock().as_ref() {
             t.record(Tid::NULL, event);
         }
+    }
+
+    /// Whether this endpoint is the node's *current* incarnation on the
+    /// wire: attached, and not fenced by a newer attach.
+    fn live(&self) -> bool {
+        self.inner.nodes.lock().get(&self.node).is_some_and(|i| i.generation == self.generation)
     }
 
     fn deliver_delayed<T: Send + 'static>(tx: Sender<T>, value: T, delay: Duration) {
@@ -365,7 +412,7 @@ impl Endpoint {
     /// a datagram sender gets no feedback. Only a detached *local* endpoint
     /// reports an error.
     pub fn send_datagram(&self, to: NodeId, body: Vec<u8>) -> Result<(), NetError> {
-        if !self.inner.nodes.lock().contains_key(&self.node) {
+        if !self.live() {
             return Err(NetError::Detached);
         }
         self.perf.record(PrimitiveOp::Datagram);
@@ -431,7 +478,7 @@ impl Endpoint {
     /// partitioned peer returns an error, which the Communication Manager
     /// uses to detect remote node crashes (§3.2.4).
     pub fn send_session(&self, to: NodeId, body: Vec<u8>) -> Result<(), NetError> {
-        if !self.inner.nodes.lock().contains_key(&self.node) {
+        if !self.live() {
             return Err(NetError::Detached);
         }
         if self.inner.partitioned(self.node, to) {
@@ -475,7 +522,30 @@ impl Endpoint {
 
     /// Whether `to` currently looks reachable (attached and unpartitioned).
     pub fn is_reachable(&self, to: NodeId) -> bool {
-        self.inner.nodes.lock().contains_key(&to) && !self.inner.partitioned(self.node, to)
+        self.connectivity(to).is_ok()
+    }
+
+    /// Typed connectivity check, distinguishing the three distinct ways
+    /// `to` can be unreachable: the *local* endpoint is detached
+    /// ([`NetError::Detached`]), the peer is detached — i.e. crashed —
+    /// ([`NetError::NodeUnreachable`]; the caller should re-resolve its
+    /// servers through the name service once it rejoins), or the two nodes
+    /// are partitioned ([`NetError::Partitioned`]; the same session works
+    /// again after the heal). A plain boolean conflates these and forces
+    /// callers into the pessimal recovery path.
+    pub fn connectivity(&self, to: NodeId) -> Result<(), NetError> {
+        let nodes = self.inner.nodes.lock();
+        if nodes.get(&self.node).is_none_or(|i| i.generation != self.generation) {
+            return Err(NetError::Detached);
+        }
+        if !nodes.contains_key(&to) {
+            return Err(NetError::NodeUnreachable(to));
+        }
+        drop(nodes);
+        if self.inner.partitioned(self.node, to) {
+            return Err(NetError::Partitioned(self.node, to));
+        }
+        Ok(())
     }
 }
 
@@ -699,11 +769,58 @@ mod tests {
     }
 
     #[test]
+    fn reattach_fences_stale_endpoints() {
+        let (net, a_old, b) = two_nodes();
+        net.detach(n(1));
+        // The node reboots: a fresh endpoint under the same NodeId.
+        let a_new = net.attach(n(1), PerfCounters::new());
+        // The dead incarnation's endpoint stays dead even though the
+        // address answers again — no zombie traffic.
+        assert_eq!(a_old.send_datagram(n(2), vec![1]), Err(NetError::Detached));
+        assert_eq!(a_old.send_session(n(2), vec![1]), Err(NetError::Detached));
+        assert_eq!(a_old.connectivity(n(2)), Err(NetError::Detached));
+        // The new incarnation works.
+        a_new.send_datagram(n(2), vec![2]).unwrap();
+        assert_eq!(b.recv_datagram(Duration::from_secs(1)).unwrap().body, vec![2]);
+        assert_eq!(a_new.connectivity(n(2)), Ok(()));
+    }
+
+    #[test]
     fn detached_local_endpoint_errors() {
         let (net, a, _b) = two_nodes();
         net.detach(n(1));
         assert_eq!(a.send_datagram(n(2), vec![]), Err(NetError::Detached));
         assert_eq!(a.send_session(n(2), vec![]), Err(NetError::Detached));
+    }
+
+    #[test]
+    fn connectivity_distinguishes_crash_from_partition() {
+        let (net, a, b) = two_nodes();
+        assert_eq!(a.connectivity(n(2)), Ok(()));
+        net.partition(n(1), n(2));
+        assert_eq!(a.connectivity(n(2)), Err(NetError::Partitioned(n(1), n(2))));
+        assert!(a.connectivity(n(2)).unwrap_err().is_partition());
+        net.heal(n(1), n(2));
+        drop(b);
+        net.detach(n(2));
+        assert_eq!(a.connectivity(n(2)), Err(NetError::NodeUnreachable(n(2))));
+        assert!(!a.connectivity(n(2)).unwrap_err().is_partition());
+        net.detach(n(1));
+        assert_eq!(a.connectivity(n(2)), Err(NetError::Detached));
+        // The boolean view is the typed view collapsed.
+        assert!(!a.is_reachable(n(2)));
+    }
+
+    #[test]
+    fn net_errors_convert_to_typed_server_errors() {
+        use tabs_proto::ServerError;
+        let crash: ServerError = NetError::NodeUnreachable(n(2)).into();
+        assert_eq!(crash, ServerError::Unavailable(n(2)));
+        assert!(crash.is_retryable());
+        let part: ServerError = NetError::Partitioned(n(1), n(2)).into();
+        assert_eq!(part, ServerError::Unavailable(n(2)));
+        let dead: ServerError = NetError::Detached.into();
+        assert!(!dead.is_retryable());
     }
 
     #[test]

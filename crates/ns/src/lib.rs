@@ -198,6 +198,17 @@ impl NameServer {
         self.state.lock().remote.remove(name);
     }
 
+    /// Drops every cached remote entry hosted by `node`. The failure
+    /// detector calls this when `node` is suspected unreachable: a crashed
+    /// node reboots with fresh ports, so its old entries can only mislead.
+    pub fn invalidate_node(&self, node: NodeId) {
+        let mut st = self.state.lock();
+        for entries in st.remote.values_mut() {
+            entries.retain(|e| e.port.node != node);
+        }
+        st.remote.retain(|_, entries| !entries.is_empty());
+    }
+
     /// All local registrations, for introspection.
     pub fn local_names(&self) -> Vec<String> {
         let mut v: Vec<String> = self.state.lock().local.keys().cloned().collect();
@@ -296,6 +307,27 @@ mod tests {
         let found = t.join().unwrap();
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].port.node, NodeId(2));
+    }
+
+    #[test]
+    fn invalidate_node_drops_only_that_nodes_entries() {
+        let ns = NameServer::new(NodeId(1));
+        for (node, name) in [(2, "a"), (2, "b"), (3, "b")] {
+            ns.handle(NsMsg::LookupResponse {
+                name: name.into(),
+                entries: vec![NameEntry {
+                    name: name.into(),
+                    type_name: "array".into(),
+                    port: port(node, 9),
+                    object: oid(u32::from(node)),
+                }],
+            });
+        }
+        ns.invalidate_node(NodeId(2));
+        assert!(ns.lookup("a", 1, Duration::ZERO).is_empty());
+        let b = ns.lookup("b", 2, Duration::ZERO);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].port.node, NodeId(3));
     }
 
     #[test]

@@ -201,6 +201,38 @@ pub enum TraceEvent {
         /// Number of transactions in the confirmed cycle.
         cycle: u32,
     },
+
+    /// A heartbeat interval elapsed without hearing from a peer (recorded
+    /// under [`Tid::NULL`]; failure detection is not transactional).
+    HeartbeatMiss {
+        /// The silent peer.
+        node: NodeId,
+        /// Consecutive intervals missed so far.
+        missed: u32,
+    },
+    /// The failure detector declared a peer suspected-unreachable.
+    PeerSuspected {
+        /// The suspected peer.
+        node: NodeId,
+    },
+    /// A previously suspected peer was heard from again.
+    PeerReachable {
+        /// The recovered peer.
+        node: NodeId,
+    },
+    /// Cooperative termination: an in-doubt participant asked a peer for
+    /// the outcome of a transaction (attributed to that transaction).
+    TerminationQuery {
+        /// Queried node ([`crate::TraceCollector`] direction: outgoing).
+        to: NodeId,
+    },
+    /// A node rebooted on its durable state and rejoined the cluster.
+    NodeRejoin {
+        /// The rejoining node.
+        node: NodeId,
+        /// Its new incarnation number (keeps Tids unique across reboots).
+        incarnation: u32,
+    },
 }
 
 impl TraceEvent {
@@ -234,6 +266,11 @@ impl TraceEvent {
             TraceEvent::ProbeSend { .. } => "detect-probe-send",
             TraceEvent::ProbeRecv { .. } => "detect-probe-recv",
             TraceEvent::VictimChosen { .. } => "detect-victim",
+            TraceEvent::HeartbeatMiss { .. } => "beat-miss",
+            TraceEvent::PeerSuspected { .. } => "peer-suspected",
+            TraceEvent::PeerReachable { .. } => "peer-reachable",
+            TraceEvent::TerminationQuery { .. } => "termination-query",
+            TraceEvent::NodeRejoin { .. } => "node-rejoin",
         }
     }
 
@@ -311,6 +348,15 @@ impl std::fmt::Display for TraceEvent {
             TraceEvent::VictimChosen { victim, cycle } => {
                 write!(f, "VICTIM {victim} (cycle of {cycle})")
             }
+            TraceEvent::HeartbeatMiss { node, missed } => {
+                write!(f, "beat-miss {node} (x{missed})")
+            }
+            TraceEvent::PeerSuspected { node } => write!(f, "SUSPECT {node}"),
+            TraceEvent::PeerReachable { node } => write!(f, "REACHABLE {node}"),
+            TraceEvent::TerminationQuery { to } => write!(f, "outcome?→{to}"),
+            TraceEvent::NodeRejoin { node, incarnation } => {
+                write!(f, "REJOIN {node} (incarnation {incarnation})")
+            }
         }
     }
 }
@@ -342,6 +388,26 @@ mod tests {
         };
         assert_eq!(victim.label(), "detect-victim");
         assert_eq!(victim.to_string(), "VICTIM T1.1.3 (cycle of 2)");
+    }
+
+    #[test]
+    fn partition_events_label_and_display() {
+        let miss = TraceEvent::HeartbeatMiss { node: NodeId(2), missed: 3 };
+        assert_eq!(miss.label(), "beat-miss");
+        assert_eq!(miss.to_string(), "beat-miss n2 (x3)");
+        assert!(!miss.is_two_phase_commit());
+        let sus = TraceEvent::PeerSuspected { node: NodeId(2) };
+        assert_eq!(sus.label(), "peer-suspected");
+        assert_eq!(sus.to_string(), "SUSPECT n2");
+        let back = TraceEvent::PeerReachable { node: NodeId(2) };
+        assert_eq!(back.label(), "peer-reachable");
+        assert_eq!(back.to_string(), "REACHABLE n2");
+        let query = TraceEvent::TerminationQuery { to: NodeId(1) };
+        assert_eq!(query.label(), "termination-query");
+        assert_eq!(query.to_string(), "outcome?→n1");
+        let rejoin = TraceEvent::NodeRejoin { node: NodeId(1), incarnation: 2 };
+        assert_eq!(rejoin.label(), "node-rejoin");
+        assert_eq!(rejoin.to_string(), "REJOIN n1 (incarnation 2)");
     }
 
     #[test]

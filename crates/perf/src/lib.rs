@@ -22,6 +22,9 @@
 //! - [`groupcommit`] — the group-commit microbenchmark: stable-storage
 //!   forces per committed transaction, batched versus the seed
 //!   one-force-per-commit path.
+//! - [`partition`] — the partition-recovery microbenchmark: in-doubt
+//!   resolution latency after a coordinator crash, cooperative
+//!   termination versus the retransmit-timeout-only baseline.
 //! - [`model`] — predicted latency (counts × costs), the
 //!   "Improved TABS Architecture" and "New Primitive Times" projections,
 //!   and the §5.2/§7 latency-accounting compositions.
@@ -34,6 +37,7 @@ pub mod cost;
 pub mod groupcommit;
 pub mod model;
 pub mod paper;
+pub mod partition;
 pub mod tables;
 
 pub use bench::{benchmarks, run_all, BenchResult, BenchWorld, Benchmark, CommitClass};
@@ -41,3 +45,4 @@ pub use contention::ContentionResult;
 pub use cost::{CostTable, ACHIEVABLE, PERQ_T2};
 pub use groupcommit::GroupCommitResult;
 pub use model::{improved_counts, predicted_ms, Projection};
+pub use partition::PartitionResult;

@@ -1,0 +1,85 @@
+//! Failure-detector heartbeats.
+//!
+//! TABS §3.2.4 assumes a session service that *detects* node failure;
+//! these datagrams give the Communication Manager an active detector.
+//! Every node periodically broadcasts a [`BeatMsg::Ping`]; hearing any
+//! beat (or the directed [`BeatMsg::Pong`] answer to a probe) refreshes
+//! the sender's liveness. Beats ride the same unreliable datagram
+//! channel as two-phase commit, so loss is expected and suspicion only
+//! follows several consecutive missed intervals.
+
+use tabs_codec::{Decode, DecodeError, Encode, Reader, Writer};
+use tabs_kernel::NodeId;
+
+/// One failure-detector heartbeat.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BeatMsg {
+    /// Periodic broadcast (or directed probe of a suspected peer):
+    /// "I am alive; answer me."
+    Ping {
+        /// Beating node.
+        from: NodeId,
+        /// Monotone sequence number within the sender's incarnation.
+        seq: u64,
+    },
+    /// Directed answer to a [`BeatMsg::Ping`].
+    Pong {
+        /// Answering node.
+        from: NodeId,
+        /// Echo of the ping's sequence number.
+        seq: u64,
+    },
+}
+
+impl Encode for BeatMsg {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            BeatMsg::Ping { from, seq } => {
+                w.put_u8(0);
+                from.encode(w);
+                seq.encode(w);
+            }
+            BeatMsg::Pong { from, seq } => {
+                w.put_u8(1);
+                from.encode(w);
+                seq.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for BeatMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let tag = r.get_u8()?;
+        let from = NodeId::decode(r)?;
+        let seq = u64::decode(r)?;
+        Ok(match tag {
+            0 => BeatMsg::Ping { from, seq },
+            1 => BeatMsg::Pong { from, seq },
+            _ => return Err(DecodeError::Invalid("BeatMsg tag")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beats_roundtrip() {
+        for m in
+            [BeatMsg::Ping { from: NodeId(1), seq: 7 }, BeatMsg::Pong { from: NodeId(2), seq: 7 }]
+        {
+            assert_eq!(BeatMsg::decode_all(&m.encode_to_vec()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut w = Writer::new();
+        w.put_u8(9);
+        NodeId(1).encode(&mut w);
+        7u64.encode(&mut w);
+        assert!(BeatMsg::decode_all(&w.into_vec()).is_err());
+    }
+}

@@ -79,6 +79,27 @@ pub enum CommitMsg {
         /// Inquiring node, to which the outcome should be sent.
         from: NodeId,
     },
+    /// Cooperative termination, in-doubt participant → any peer: does
+    /// anyone *know* the outcome of `tid`? Unlike [`CommitMsg::Inquire`],
+    /// a peer that does not know stays silent — presumed abort is only
+    /// the coordinator's prerogative, because only the coordinator can
+    /// prove the commit record was never logged.
+    OutcomeQuery {
+        /// In-doubt transaction.
+        tid: Tid,
+        /// Querying node, to which any answer should be sent.
+        from: NodeId,
+    },
+    /// Answer to an [`CommitMsg::OutcomeQuery`], sent only from durable
+    /// positive knowledge (the responder logged the decision itself).
+    OutcomeAnswer {
+        /// The transaction asked about.
+        tid: Tid,
+        /// Answering node.
+        from: NodeId,
+        /// The durably known outcome.
+        committed: bool,
+    },
 }
 
 impl CommitMsg {
@@ -93,7 +114,9 @@ impl CommitMsg {
             | CommitMsg::CommitAck { tid, .. }
             | CommitMsg::Abort { tid }
             | CommitMsg::AbortAck { tid, .. }
-            | CommitMsg::Inquire { tid, .. } => *tid,
+            | CommitMsg::Inquire { tid, .. }
+            | CommitMsg::OutcomeQuery { tid, .. }
+            | CommitMsg::OutcomeAnswer { tid, .. } => *tid,
         }
     }
 }
@@ -144,6 +167,17 @@ impl Encode for CommitMsg {
                 tid.encode(w);
                 from.encode(w);
             }
+            CommitMsg::OutcomeQuery { tid, from } => {
+                w.put_u8(9);
+                tid.encode(w);
+                from.encode(w);
+            }
+            CommitMsg::OutcomeAnswer { tid, from, committed } => {
+                w.put_u8(10);
+                tid.encode(w);
+                from.encode(w);
+                committed.encode(w);
+            }
         }
     }
 }
@@ -162,6 +196,12 @@ impl Decode for CommitMsg {
             6 => CommitMsg::Abort { tid },
             7 => CommitMsg::AbortAck { tid, from: NodeId::decode(r)? },
             8 => CommitMsg::Inquire { tid, from: NodeId::decode(r)? },
+            9 => CommitMsg::OutcomeQuery { tid, from: NodeId::decode(r)? },
+            10 => CommitMsg::OutcomeAnswer {
+                tid,
+                from: NodeId::decode(r)?,
+                committed: bool::decode(r)?,
+            },
             _ => return Err(DecodeError::Invalid("CommitMsg tag")),
         })
     }
@@ -187,6 +227,8 @@ mod tests {
             CommitMsg::Abort { tid: tid() },
             CommitMsg::AbortAck { tid: tid(), from: NodeId(2) },
             CommitMsg::Inquire { tid: tid(), from: NodeId(2) },
+            CommitMsg::OutcomeQuery { tid: tid(), from: NodeId(2) },
+            CommitMsg::OutcomeAnswer { tid: tid(), from: NodeId(2), committed: true },
         ];
         for m in msgs {
             let buf = m.encode_to_vec();

@@ -16,12 +16,17 @@
 //! - [`detect`] — the distributed deadlock-detection probes exchanged by
 //!   the per-node detectors (`tabs-detect`), the active alternative to
 //!   the paper's time-out-only resolution (§3.2.1).
+//! - [`beat`] — the Communication Managers' failure-detector heartbeats
+//!   (§3.2.4 assumes a session service that detects node failure; these
+//!   datagrams implement the detection).
 
+pub mod beat;
 pub mod commit;
 pub mod detect;
 pub mod rpc;
 pub mod wire;
 
+pub use beat::BeatMsg;
 pub use commit::CommitMsg;
 pub use detect::DetectMsg;
 pub use rpc::{call, call_with_timeout, Request, Response, RpcError, ServerError};

@@ -14,7 +14,7 @@
 use std::time::Duration;
 
 use tabs_codec::{Decode, DecodeError, Encode, Reader, Writer};
-use tabs_kernel::{Kernel, Message, PortClass, PrimitiveOp, SendRight, Tid};
+use tabs_kernel::{Kernel, Message, NodeId, PortClass, PrimitiveOp, SendRight, Tid};
 
 /// Errors a data server can return through the RPC layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +32,19 @@ pub enum ServerError {
     Storage(String),
     /// Any other server-specific failure.
     Other(String),
+    /// The node hosting the server is suspected unreachable (crashed or
+    /// partitioned); the call failed fast instead of hanging. Retryable:
+    /// the operation was never delivered, so reissuing it is safe.
+    Unavailable(NodeId),
+}
+
+impl ServerError {
+    /// Whether the failed call was provably never delivered, so the
+    /// caller may retry it verbatim (possibly after re-resolving the
+    /// server through the name service).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ServerError::Unavailable(_))
+    }
 }
 
 impl std::fmt::Display for ServerError {
@@ -43,6 +56,7 @@ impl std::fmt::Display for ServerError {
             ServerError::BadRequest(w) => write!(f, "bad request: {w}"),
             ServerError::Storage(w) => write!(f, "storage failure: {w}"),
             ServerError::Other(w) => write!(f, "server error: {w}"),
+            ServerError::Unavailable(n) => write!(f, "node {n} unavailable (retryable)"),
         }
     }
 }
@@ -79,6 +93,10 @@ impl Encode for ServerError {
                 w.put_u8(5);
                 s.encode(w);
             }
+            ServerError::Unavailable(n) => {
+                w.put_u8(6);
+                n.encode(w);
+            }
         }
     }
 }
@@ -92,6 +110,7 @@ impl Decode for ServerError {
             3 => Ok(ServerError::BadRequest(String::decode(r)?)),
             4 => Ok(ServerError::Storage(String::decode(r)?)),
             5 => Ok(ServerError::Other(String::decode(r)?)),
+            6 => Ok(ServerError::Unavailable(NodeId::decode(r)?)),
             _ => Err(DecodeError::Invalid("ServerError tag")),
         }
     }
@@ -259,6 +278,7 @@ mod tests {
             ServerError::BadRequest("b".into()),
             ServerError::Storage("s".into()),
             ServerError::Other("o".into()),
+            ServerError::Unavailable(NodeId(4)),
         ] {
             let resp = Response { result: Err(err.clone()) };
             assert_eq!(Response::decode_all(&resp.encode_to_vec()).unwrap(), resp);

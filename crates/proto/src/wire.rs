@@ -3,6 +3,7 @@
 use tabs_codec::{decode_seq, encode_seq, Decode, DecodeError, Encode, Reader, Writer};
 use tabs_kernel::{NodeId, ObjectId, PortId};
 
+use crate::beat::BeatMsg;
 use crate::commit::CommitMsg;
 use crate::detect::DetectMsg;
 use crate::rpc::{Request, ServerError};
@@ -174,6 +175,8 @@ pub enum Datagram {
     Ns(NsMsg),
     /// Deadlock-detection probes, confirmations and victim broadcasts.
     Detect(DetectMsg),
+    /// Failure-detector heartbeats and probes.
+    Beat(BeatMsg),
 }
 
 impl Encode for Datagram {
@@ -191,6 +194,10 @@ impl Encode for Datagram {
                 w.put_u8(2);
                 m.encode(w);
             }
+            Datagram::Beat(m) => {
+                w.put_u8(3);
+                m.encode(w);
+            }
         }
     }
 }
@@ -201,6 +208,7 @@ impl Decode for Datagram {
             0 => Ok(Datagram::Commit(CommitMsg::decode(r)?)),
             1 => Ok(Datagram::Ns(NsMsg::decode(r)?)),
             2 => Ok(Datagram::Detect(DetectMsg::decode(r)?)),
+            3 => Ok(Datagram::Beat(BeatMsg::decode(r)?)),
             _ => Err(DecodeError::Invalid("Datagram tag")),
         }
     }
@@ -268,6 +276,8 @@ mod tests {
             round: 4,
             path: vec![Tid { node: NodeId(1), incarnation: 1, seq: 3 }],
         });
+        assert_eq!(Datagram::decode_all(&d.encode_to_vec()).unwrap(), d);
+        let d = Datagram::Beat(BeatMsg::Ping { from: NodeId(1), seq: 5 });
         assert_eq!(Datagram::decode_all(&d.encode_to_vec()).unwrap(), d);
     }
 

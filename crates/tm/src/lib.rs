@@ -18,7 +18,7 @@
 //! its log records and locks at prepare time.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -88,6 +88,16 @@ pub trait CommitTransport: Send + Sync {
 
     /// Commit-tree parent, when `tid`'s work here was remotely initiated.
     fn parent(&self, tid: Tid) -> Option<NodeId>;
+
+    /// Best-effort broadcast of a commit datagram to every other node
+    /// (cooperative termination queries). Default: no peers.
+    fn broadcast(&self, _msg: CommitMsg) {}
+
+    /// Whether `to` is currently suspected unreachable by the failure
+    /// detector. Default: never (no detector wired).
+    fn unreachable(&self, _to: NodeId) -> bool {
+        false
+    }
 }
 
 /// A transport for single-node configurations: no remote sites ever.
@@ -203,6 +213,16 @@ pub struct TransactionManager {
     trace: Mutex<Option<Arc<TraceCollector>>>,
     crash: CrashHookSlot,
     timeouts: Mutex<TmTimeouts>,
+    /// Cooperative termination: on coordinator suspicion, in-doubt
+    /// participants also query fellow participants for the outcome.
+    cooperative: AtomicBool,
+    /// Whether [`Self::load_recovery`] has replayed the durable log.
+    /// Until then this node cannot *prove* an unknown transaction was
+    /// never committed, so presumed-abort replies are withheld.
+    recovered: AtomicBool,
+    /// Tids with a live resolver thread (avoids duplicate resolvers when
+    /// the watchdog and a suspicion callback race).
+    resolving: Mutex<HashSet<Tid>>,
 }
 
 impl std::fmt::Debug for TransactionManager {
@@ -236,7 +256,18 @@ impl TransactionManager {
             trace: Mutex::new(None),
             crash: CrashHookSlot::new(None),
             timeouts: Mutex::new(TmTimeouts::default()),
+            cooperative: AtomicBool::new(false),
+            recovered: AtomicBool::new(false),
+            resolving: Mutex::new(HashSet::new()),
         })
+    }
+
+    /// Enables the cooperative termination protocol: in-doubt resolvers
+    /// broadcast [`CommitMsg::OutcomeQuery`] to fellow participants in
+    /// addition to inquiring at the coordinator, and
+    /// [`Self::peer_suspected`] reacts to failure-detector suspicions.
+    pub fn set_cooperative_termination(&self, on: bool) {
+        self.cooperative.store(on, Ordering::Relaxed);
     }
 
     /// Replaces the two-phase-commit timing knobs.
@@ -551,6 +582,11 @@ impl TransactionManager {
         let mut inner = self.inner.lock();
         loop {
             let info = inner.get(&tid).ok_or(TmError::Unknown(tid))?;
+            if info.phase == TxPhase::Aborted {
+                // Aborted underneath us (deadlock victim, or a suspicion
+                // callback killed the transaction); stop waiting.
+                return Err(TmError::VoteTimeout(tid));
+            }
             if info.votes.values().any(|v| *v == Vote::No) {
                 return Err(TmError::VoteTimeout(tid)); // treated as abort
             }
@@ -569,15 +605,26 @@ impl TransactionManager {
                 return Err(TmError::VoteTimeout(tid));
             }
             if timed_out {
-                // Retransmit to children that have not voted.
+                // Retransmit to children that have not voted — unless one
+                // of them is suspected unreachable, in which case waiting
+                // out the full vote deadline is pointless: presume failure
+                // now and abort (the durable abort record lets the child
+                // learn the outcome whenever it asks).
                 let info = inner.get(&tid).ok_or(TmError::Unknown(tid))?;
                 let missing: Vec<NodeId> =
                     children.iter().copied().filter(|c| !info.votes.contains_key(c)).collect();
-                parking_lot::MutexGuard::unlocked(&mut inner, || {
+                let failed = parking_lot::MutexGuard::unlocked(&mut inner, || {
+                    if missing.iter().any(|&c| transport.unreachable(c)) {
+                        return true;
+                    }
                     for c in missing {
                         self.send_traced(&transport, c, msg.clone());
                     }
+                    false
                 });
+                if failed {
+                    return Err(TmError::VoteTimeout(tid));
+                }
             }
         }
     }
@@ -674,11 +721,57 @@ impl TransactionManager {
             CommitMsg::Inquire { tid, from } => {
                 let outcome = self.outcomes.lock().get(&tid).copied();
                 let reply = match outcome {
-                    Some(true) => CommitMsg::Commit { tid },
-                    // Presumed abort: no durable commit outcome means abort.
-                    _ => CommitMsg::Abort { tid },
+                    Some(true) => Some(CommitMsg::Commit { tid }),
+                    Some(false) => Some(CommitMsg::Abort { tid }),
+                    None => {
+                        // Presumed abort applies only when this node
+                        // *provably* never logged a commit for `tid`. If
+                        // the transaction is still in flight here (votes
+                        // being collected, or we are in doubt ourselves)
+                        // the decision is pending — stay silent and let
+                        // the inquirer retry, rather than answering Abort
+                        // moments before the commit record is forced.
+                        // Likewise before log replay: a rebooting node
+                        // does not yet know what it committed.
+                        let pending = matches!(
+                            self.inner.lock().get(&tid).map(|i| i.phase),
+                            Some(TxPhase::Running) | Some(TxPhase::Prepared)
+                        );
+                        if pending || !self.recovered.load(Ordering::Acquire) {
+                            None
+                        } else {
+                            Some(CommitMsg::Abort { tid })
+                        }
+                    }
                 };
-                self.send_traced(&self.transport(), from, reply);
+                if let Some(reply) = reply {
+                    self.send_traced(&self.transport(), from, reply);
+                }
+            }
+            CommitMsg::OutcomeQuery { tid, from } => {
+                // A peer may answer only from durable positive knowledge;
+                // a peer that does not know the outcome stays silent —
+                // presuming abort is the coordinator's prerogative alone.
+                if let Some(committed) = self.outcomes.lock().get(&tid).copied() {
+                    self.send_traced(
+                        &self.transport(),
+                        from,
+                        CommitMsg::OutcomeAnswer { tid, from: self.node, committed },
+                    );
+                }
+            }
+            CommitMsg::OutcomeAnswer { tid, committed, .. } => {
+                let tm = Arc::clone(self);
+                std::thread::spawn(move || {
+                    if committed {
+                        tm.apply_commit_decision(tid);
+                    } else {
+                        let merged = tm.inner.lock().get(&tid).map(|i| i.merged.clone());
+                        if let Some(merged) = merged {
+                            let _ = tm.abort_local_tree(tid, &merged);
+                        }
+                    }
+                });
             }
         }
     }
@@ -822,6 +915,10 @@ impl TransactionManager {
                 }
             }
             self.send_traced(&transport, from, CommitMsg::VoteYes { tid, from: self.node });
+            // We are now in doubt: if no decision arrives within the vote
+            // deadline, start pulling the outcome instead of waiting for
+            // coordinator retransmissions that may never come.
+            self.spawn_decision_watchdog(tid, from);
         } else {
             // Read-only subtree: vote and forget (no phase 2 needed).
             {
@@ -842,6 +939,23 @@ impl TransactionManager {
     /// Participant side of phase 2 (commit).
     fn handle_commit(self: Arc<Self>, from: NodeId, tid: Tid) {
         let transport = self.transport();
+        if !self.inner.lock().contains_key(&tid) {
+            // Already resolved and forgotten: just re-ack.
+            self.send_traced(&transport, from, CommitMsg::CommitAck { tid, from: self.node });
+            return;
+        }
+        if !self.apply_commit_decision(tid) {
+            return; // keep in doubt; coordinator will retransmit
+        }
+        self.send_traced(&transport, from, CommitMsg::CommitAck { tid, from: self.node });
+        crash_point!(&self.crash, "tm.ack.sent");
+    }
+
+    /// Applies a known commit decision to a prepared transaction (from the
+    /// coordinator's phase 2 or a peer's [`CommitMsg::OutcomeAnswer`]).
+    /// Idempotent; returns false only if the commit record could not be
+    /// logged (the transaction stays in doubt for a retransmission).
+    fn apply_commit_decision(self: &Arc<Self>, tid: Tid) -> bool {
         let (merged, participants, yes_children, phase) = {
             let inner = self.inner.lock();
             match inner.get(&tid) {
@@ -851,20 +965,12 @@ impl TransactionManager {
                     info.yes_children.clone(),
                     info.phase,
                 ),
-                None => {
-                    // Already resolved and forgotten: just re-ack.
-                    self.send_traced(
-                        &transport,
-                        from,
-                        CommitMsg::CommitAck { tid, from: self.node },
-                    );
-                    return;
-                }
+                None => return true,
             }
         };
         if phase == TxPhase::Prepared {
             if self.rm.log_commit(tid).is_err() {
-                return; // keep in doubt; coordinator will retransmit
+                return false;
             }
             crash_point!(&self.crash, "tm.commit.logged");
             {
@@ -879,6 +985,7 @@ impl TransactionManager {
                     p.finish(*t, true);
                 }
             }
+            self.cond.notify_all();
             if !yes_children.is_empty() {
                 self.chase_acks_blocking(
                     tid,
@@ -887,8 +994,7 @@ impl TransactionManager {
                 );
             }
         }
-        self.send_traced(&transport, from, CommitMsg::CommitAck { tid, from: self.node });
-        crash_point!(&self.crash, "tm.ack.sent");
+        true
     }
 
     /// Participant side of abort.
@@ -956,6 +1062,11 @@ impl TransactionManager {
                 o.insert(*t, false);
             }
         }
+        // Only now — with every durable outcome loaded — may an unknown
+        // tid be presumed aborted. A live participant inquiring between
+        // reboot and log replay must not draw an Abort for a transaction
+        // whose commit record is sitting on disk.
+        self.recovered.store(true, Ordering::Release);
         let mut inner = self.inner.lock();
         for (tid, coord) in in_doubt {
             let info = inner.entry(*tid).or_insert_with(|| TxInfo::new(Tid::NULL, *tid));
@@ -963,26 +1074,123 @@ impl TransactionManager {
             info.remote_parent = Some(*coord);
         }
         drop(inner);
-        // Ask each coordinator for the outcome (periodically until told).
+        // Pull the outcome of each in-doubt transaction until resolved.
         for (tid, coord) in in_doubt.iter().copied() {
-            let tm = Arc::clone(self);
-            std::thread::spawn(move || {
-                let retransmit = tm.timeouts().retransmit;
-                let deadline = Instant::now() + Duration::from_secs(10);
-                while Instant::now() < deadline {
+            self.spawn_resolver(tid, coord, Duration::from_secs(10));
+        }
+    }
+
+    /// Transactions still in doubt (voted yes, awaiting the decision) at
+    /// this node — the post-scenario audit's "unresolved Tids".
+    pub fn in_doubt_tids(&self) -> Vec<Tid> {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|(_, i)| i.phase == TxPhase::Prepared)
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
+    /// Failure-detector callback: `peer` is suspected unreachable.
+    ///
+    /// Participant side: every in-doubt transaction whose coordinator is
+    /// the suspect gets an immediate resolver (Inquire at the coordinator
+    /// plus, cooperatively, an outcome query broadcast to fellow
+    /// participants). Coordinator side: a still-running transaction that
+    /// already spans the suspect can never prepare there, so it is aborted
+    /// now with a durable abort record — when the suspect rejoins, its
+    /// inquiry finds an authoritative answer instead of a hung commit.
+    pub fn peer_suspected(self: &Arc<Self>, peer: NodeId) {
+        if !self.cooperative.load(Ordering::Relaxed) {
+            return;
+        }
+        let snapshot: Vec<(Tid, TxPhase, Option<NodeId>, Vec<Tid>)> = self
+            .inner
+            .lock()
+            .iter()
+            .map(|(tid, i)| (*tid, i.phase, i.remote_parent, i.merged.clone()))
+            .collect();
+        let transport = self.transport();
+        for (tid, phase, remote_parent, merged) in snapshot {
+            match phase {
+                TxPhase::Prepared if remote_parent == Some(peer) => {
+                    self.spawn_resolver(tid, peer, self.timeouts().vote_deadline * 24);
+                }
+                TxPhase::Running if tid.node == self.node => {
+                    let spans_suspect =
+                        merged.iter().any(|t| transport.children(*t).contains(&peer));
+                    if spans_suspect {
+                        let _ = self.abort_internal(tid);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Waits out the vote deadline after voting yes; if the decision still
+    /// has not arrived, assumes the coordinator is gone and starts pulling.
+    fn spawn_decision_watchdog(self: &Arc<Self>, tid: Tid, coord: NodeId) {
+        let tm = Arc::clone(self);
+        std::thread::spawn(move || {
+            let timeouts = tm.timeouts();
+            let deadline = Instant::now() + timeouts.vote_deadline;
+            while Instant::now() < deadline {
+                if !matches!(tm.phase(tid), Some(TxPhase::Prepared)) {
+                    return;
+                }
+                std::thread::sleep(timeouts.retransmit);
+            }
+            tm.spawn_resolver(tid, coord, timeouts.vote_deadline * 24);
+        });
+    }
+
+    /// Starts one resolver thread for an in-doubt transaction (no-op if
+    /// one is already running). The resolver inquires at the coordinator
+    /// with exponential backoff and — when cooperative termination is on —
+    /// broadcasts [`CommitMsg::OutcomeQuery`] to fellow participants, so
+    /// any node that durably knows the outcome can end the doubt.
+    fn spawn_resolver(self: &Arc<Self>, tid: Tid, coord: NodeId, patience: Duration) {
+        if !self.resolving.lock().insert(tid) {
+            return;
+        }
+        let tm = Arc::clone(self);
+        std::thread::spawn(move || {
+            let timeouts = tm.timeouts();
+            let deadline = Instant::now() + patience;
+            let mut backoff = timeouts.retransmit;
+            let cap = timeouts.retransmit * 8;
+            while Instant::now() < deadline {
+                if !matches!(tm.phase(tid), Some(TxPhase::Prepared)) {
+                    break;
+                }
+                let transport = tm.transport();
+                tm.send_traced(&transport, coord, CommitMsg::Inquire { tid, from: tm.node });
+                if tm.cooperative.load(Ordering::Relaxed) {
+                    tm.emit(tid, TraceEvent::TerminationQuery { to: coord });
+                    transport.broadcast(CommitMsg::OutcomeQuery { tid, from: tm.node });
+                }
+                // Exponential backoff between probes, but keep checking
+                // for resolution at retransmit granularity so an answer
+                // ends the doubt promptly.
+                let wake = Instant::now() + backoff;
+                while Instant::now() < wake {
                     if !matches!(tm.phase(tid), Some(TxPhase::Prepared)) {
+                        tm.resolving.lock().remove(&tid);
                         return;
                     }
-                    tm.transport().send(coord, CommitMsg::Inquire { tid, from: tm.node });
-                    std::thread::sleep(retransmit * 3);
+                    std::thread::sleep(timeouts.retransmit.min(Duration::from_millis(25)));
                 }
-            });
-        }
+                backoff = (backoff * 2).min(cap);
+            }
+            tm.resolving.lock().remove(&tid);
+        });
     }
 }
 
 /// Maps an outbound commit datagram to its trace event (`None` for
-/// protocol traffic outside the four two-phase-commit phases: `Inquire`).
+/// recovery traffic with a dedicated event or no event of its own:
+/// `Inquire` and `OutcomeQuery`, which is traced as `TerminationQuery`).
 fn commit_msg_send_event(to: NodeId, msg: &CommitMsg) -> Option<(Tid, TraceEvent)> {
     Some(match msg {
         CommitMsg::Prepare { tid, .. } => (*tid, TraceEvent::PrepareSend { to }),
@@ -996,7 +1204,10 @@ fn commit_msg_send_event(to: NodeId, msg: &CommitMsg) -> Option<(Tid, TraceEvent
         CommitMsg::CommitAck { tid, .. } | CommitMsg::AbortAck { tid, .. } => {
             (*tid, TraceEvent::AckSend { to })
         }
-        CommitMsg::Inquire { .. } => return None,
+        CommitMsg::Inquire { .. } | CommitMsg::OutcomeQuery { .. } => return None,
+        CommitMsg::OutcomeAnswer { tid, committed, .. } => {
+            (*tid, TraceEvent::DecisionSend { to, commit: *committed })
+        }
     })
 }
 
@@ -1014,7 +1225,10 @@ fn commit_msg_recv_event(from: NodeId, msg: &CommitMsg) -> Option<(Tid, TraceEve
         CommitMsg::CommitAck { tid, .. } | CommitMsg::AbortAck { tid, .. } => {
             (*tid, TraceEvent::AckRecv { from })
         }
-        CommitMsg::Inquire { .. } => return None,
+        CommitMsg::Inquire { .. } | CommitMsg::OutcomeQuery { .. } => return None,
+        CommitMsg::OutcomeAnswer { tid, committed, .. } => {
+            (*tid, TraceEvent::DecisionRecv { from, commit: *committed })
+        }
     })
 }
 
@@ -1238,6 +1452,12 @@ mod tests {
         fn parent(&self, _tid: Tid) -> Option<NodeId> {
             None
         }
+        fn broadcast(&self, msg: CommitMsg) {
+            let peers: Vec<_> = self.peers.lock().values().cloned().collect();
+            for p in peers {
+                p.handle(self.me, msg.clone());
+            }
+        }
     }
 
     #[allow(clippy::type_complexity)]
@@ -1344,15 +1564,25 @@ mod tests {
     }
 
     #[test]
-    fn inquire_gets_presumed_abort_for_unknown() {
-        let (tm1, _tm2, _t1, t2, _rm1, _rm2) = two_node_rig();
+    fn inquire_gets_presumed_abort_for_unknown_only_after_log_replay() {
+        let (tm1, _tm2, t1, t2, _rm1, _rm2) = two_node_rig();
         let ghost = Tid { node: NodeId(1), incarnation: 1, seq: 999 };
-        // Node 2 inquires about a transaction node 1 never committed.
+        // Before node 1 has replayed its log it cannot prove the ghost
+        // was never committed: the inquiry must draw no answer.
         t2.send(NodeId(1), CommitMsg::Inquire { tid: ghost, from: NodeId(2) });
-        // Node 1 replies Abort (presumed abort), delivered to node 2.
-        let sent = t2.sent.lock().clone();
-        assert!(matches!(sent[0].1, CommitMsg::Inquire { .. }));
-        let _ = tm1;
+        assert!(
+            t1.sent.lock().is_empty(),
+            "pre-recovery node answered an Inquire with presumed abort"
+        );
+        // After replay (empty log) the absence of a commit record is
+        // proof, and presumed abort applies.
+        tm1.load_recovery(&[], &[], &[]);
+        t2.send(NodeId(1), CommitMsg::Inquire { tid: ghost, from: NodeId(2) });
+        assert!(t1
+            .sent
+            .lock()
+            .iter()
+            .any(|(to, m)| *to == NodeId(2) && matches!(m, CommitMsg::Abort { .. })));
     }
 
     #[test]
@@ -1376,5 +1606,123 @@ mod tests {
         }
         assert_eq!(tm2.phase(t), Some(TxPhase::Committed));
         assert!(part2.log.lock().iter().any(|l| l.contains("finish") && l.contains("true")));
+    }
+
+    #[test]
+    fn inquire_stays_silent_while_decision_is_pending() {
+        let (tm1, _tm2, t1, t2, _rm1, _rm2) = two_node_rig();
+        let t = tm1.begin(Tid::NULL).unwrap();
+        // Decision in flight at node 1 (phase Running, no durable outcome):
+        // an Inquire must NOT draw presumed abort — the commit record may
+        // be about to land.
+        t2.send(NodeId(1), CommitMsg::Inquire { tid: t, from: NodeId(2) });
+        assert!(
+            t1.sent.lock().is_empty(),
+            "pending transaction answered an Inquire; presumed abort only \
+             applies when the outcome provably was never logged"
+        );
+        // Once durably aborted, the same Inquire gets an authoritative answer.
+        tm1.abort(t).unwrap();
+        t2.send(NodeId(1), CommitMsg::Inquire { tid: t, from: NodeId(2) });
+        assert!(t1
+            .sent
+            .lock()
+            .iter()
+            .any(|(to, m)| *to == NodeId(2) && matches!(m, CommitMsg::Abort { .. })));
+    }
+
+    #[test]
+    fn cooperative_termination_resolves_via_peer_answer() {
+        // Nodes 2 and 3 were fellow participants under coordinator node 1,
+        // which is unreachable (absent from the loopback peer map). Node 3
+        // durably knows t committed; node 2 is in doubt. The outcome-query
+        // broadcast must end node 2's doubt without the coordinator.
+        let (tm2, _rm2, _p2) = make_tm(NodeId(2));
+        let (tm3, _rm3, _p3) = make_tm(NodeId(3));
+        let (_t2, _t3) = Loopback::pair(&tm2, &tm3);
+        tm2.set_cooperative_termination(true);
+        let t = Tid { node: NodeId(1), incarnation: 1, seq: 7 };
+        tm3.outcomes.lock().insert(t, true);
+        let part2 = Arc::new(TracePart::default());
+        tm2.enlist(t, "s2", part2.clone());
+        {
+            let mut inner = tm2.inner.lock();
+            inner.get_mut(&t).unwrap().phase = TxPhase::Prepared;
+        }
+        tm2.load_recovery(&[], &[], &[(t, NodeId(1))]);
+        for _ in 0..200 {
+            if tm2.phase(t) == Some(TxPhase::Committed) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(tm2.phase(t), Some(TxPhase::Committed));
+        assert!(part2.log.lock().iter().any(|l| l.contains("finish") && l.contains("true")));
+        assert!(tm2.in_doubt_tids().is_empty());
+    }
+
+    #[test]
+    fn outcome_query_for_unknown_tid_stays_silent() {
+        let (_tm1, _tm2, t1, t2, _rm1, _rm2) = two_node_rig();
+        let ghost = Tid { node: NodeId(9), incarnation: 1, seq: 1 };
+        t2.send(NodeId(1), CommitMsg::OutcomeQuery { tid: ghost, from: NodeId(2) });
+        assert!(
+            t1.sent.lock().is_empty(),
+            "a peer without durable knowledge must not answer an outcome query"
+        );
+    }
+
+    #[test]
+    fn suspected_child_aborts_running_coordinator_transaction() {
+        let (tm1, _tm2, t1, _t2, rm1, _rm2) = two_node_rig();
+        tm1.set_cooperative_termination(true);
+        t1.set_children(vec![NodeId(2)]);
+        let t = tm1.begin(Tid::NULL).unwrap();
+        let part = Arc::new(TracePart::default());
+        tm1.enlist(t, "s1", part);
+        // The failure detector reports node 2 (a spanning-tree child of t)
+        // unreachable before prepare: the coordinator aborts durably now.
+        tm1.peer_suspected(NodeId(2));
+        for _ in 0..100 {
+            if tm1.phase(t) == Some(TxPhase::Aborted) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(tm1.phase(t), Some(TxPhase::Aborted));
+        assert!(rm1
+            .log()
+            .all_entries()
+            .iter()
+            .any(|e| matches!(e.record, tabs_wal::LogRecord::Abort { .. })));
+    }
+
+    #[test]
+    fn suspected_coordinator_starts_resolution_for_in_doubt() {
+        // tm2 in doubt under coordinator node 3 (reachable via loopback):
+        // the suspicion callback alone must pull the outcome.
+        let (tm2, _rm2, _p2) = make_tm(NodeId(2));
+        let (tm3, _rm3, _p3) = make_tm(NodeId(3));
+        let (_t2, _t3) = Loopback::pair(&tm2, &tm3);
+        tm2.set_cooperative_termination(true);
+        let t = Tid { node: NodeId(3), incarnation: 1, seq: 4 };
+        tm3.outcomes.lock().insert(t, false);
+        let part2 = Arc::new(TracePart::default());
+        tm2.enlist(t, "s2", part2.clone());
+        {
+            let mut inner = tm2.inner.lock();
+            let info = inner.get_mut(&t).unwrap();
+            info.phase = TxPhase::Prepared;
+            info.remote_parent = Some(NodeId(3));
+        }
+        tm2.peer_suspected(NodeId(3));
+        for _ in 0..200 {
+            if tm2.phase(t) == Some(TxPhase::Aborted) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(tm2.phase(t), Some(TxPhase::Aborted));
+        assert!(part2.log.lock().iter().any(|l| l.contains("finish") && l.contains("false")));
     }
 }

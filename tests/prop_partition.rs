@@ -1,0 +1,266 @@
+//! Partition tolerance: the cluster must converge — no wedged in-doubt
+//! transaction, no leaked lock, survivor still serving — no matter where
+//! in the two-phase-commit exchange a partition lands, and the heartbeat
+//! failure detector must never suspect a peer that is merely lossy.
+//!
+//! Three properties:
+//!
+//! 1. Cooperative termination resolves a coordinator-crash in-doubt
+//!    window in under a quarter of the retransmit-timeout-only baseline
+//!    (the acceptance gate, measured by the same scenario `tables
+//!    partition` benchmarks).
+//! 2. Cutting the wire at *every* commit-datagram boundary of a
+//!    distributed transfer, then healing, always converges to a
+//!    model-consistent state.
+//! 3. A lossy-but-connected `ScheduledPolicy` never drives a false
+//!    suspicion: drops and delays are not a partition.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tabs_chaos::{ChaosRunner, NetSchedule};
+use tabs_codec::Decode;
+use tabs_core::{Cluster, ClusterConfig, HeartbeatConfig, Node, NodeId, Tid};
+use tabs_net::{DatagramFate, DatagramPolicy};
+use tabs_obs::TraceEvent;
+use tabs_proto::Datagram;
+use tabs_servers::{IntArrayClient, IntArrayServer};
+use tabs_tm::TmTimeouts;
+
+/// Fixed seed, same convention as the chaos sweep: the properties are
+/// exhaustive over cut positions, so any seed must pass.
+const SEED: u64 = 0xC4A0_05ED;
+const BASE: i64 = 100;
+
+fn fast_heartbeat() -> HeartbeatConfig {
+    HeartbeatConfig {
+        interval: Duration::from_millis(10),
+        suspect_after: 3,
+        probe_cap: Duration::from_millis(100),
+    }
+}
+
+fn snappy_timeouts() -> TmTimeouts {
+    TmTimeouts {
+        retransmit: Duration::from_millis(25),
+        vote_deadline: Duration::from_millis(400),
+        ack_deadline: Duration::from_millis(200),
+    }
+}
+
+// ---- 1. The acceptance gate --------------------------------------------
+
+#[test]
+fn cooperative_termination_beats_timeout_baseline() {
+    let runner = ChaosRunner::new(SEED);
+    let baseline = runner.partition_rejoin_scenario(false).unwrap_or_else(|e| panic!("{e}"));
+    let coop = runner.partition_rejoin_scenario(true).unwrap_or_else(|e| panic!("{e}"));
+    assert!(
+        baseline.survivor_commits > 0 && coop.survivor_commits > 0,
+        "survivor stopped committing during the outage \
+         (baseline {}, cooperative {})",
+        baseline.survivor_commits,
+        coop.survivor_commits
+    );
+    assert!(
+        coop.resolution * 4 < baseline.resolution,
+        "cooperative in-doubt resolution took {:?}, not under 25% of the \
+         retransmit-timeout baseline's {:?}",
+        coop.resolution,
+        baseline.resolution
+    );
+}
+
+// ---- 2. Partition at every 2PC message boundary ------------------------
+
+/// Delivers everything until the `k`-th commit-protocol datagram, then
+/// drops *all* traffic (a full bidirectional partition) until cleared.
+struct CutAtBoundary {
+    k: u32,
+    seen: AtomicU32,
+    cutting: AtomicBool,
+}
+
+impl CutAtBoundary {
+    fn new(k: u32) -> Arc<Self> {
+        Arc::new(Self { k, seen: AtomicU32::new(0), cutting: AtomicBool::new(false) })
+    }
+}
+
+impl DatagramPolicy for CutAtBoundary {
+    fn route(&self, _from: NodeId, _to: NodeId, body: &[u8]) -> DatagramFate {
+        if self.cutting.load(Ordering::Relaxed) {
+            return DatagramFate::Drop;
+        }
+        if matches!(Datagram::decode_all(body), Ok(Datagram::Commit(_)))
+            && self.seen.fetch_add(1, Ordering::Relaxed) + 1 >= self.k
+        {
+            self.cutting.store(true, Ordering::Relaxed);
+            return DatagramFate::Drop;
+        }
+        DatagramFate::Deliver
+    }
+}
+
+fn boot_pair(config: ClusterConfig) -> (Arc<Cluster>, Node, IntArrayServer, Node, IntArrayServer) {
+    let cluster = Cluster::with_config(config);
+    let n1 = cluster.boot_node(NodeId(1));
+    let a1 = IntArrayServer::spawn(&n1, "acct-a", 1).unwrap_or_else(|e| panic!("spawn a: {e}"));
+    n1.recover().unwrap_or_else(|e| panic!("recover n1: {e}"));
+    let n2 = cluster.boot_node(NodeId(2));
+    let a2 = IntArrayServer::spawn(&n2, "acct-b", 1).unwrap_or_else(|e| panic!("spawn b: {e}"));
+    n2.recover().unwrap_or_else(|e| panic!("recover n2: {e}"));
+    n1.tm.set_timeouts(snappy_timeouts());
+    n2.tm.set_timeouts(snappy_timeouts());
+    (cluster, n1, a1, n2, a2)
+}
+
+#[test]
+fn partition_at_every_message_boundary_converges_after_heal() {
+    // A clean two-node transfer exchanges four commit datagrams (prepare,
+    // vote, decision, ack); sweeping past that covers "no cut at all".
+    for k in 1..=5u32 {
+        let ctx = format!("seed={SEED} crash_point=commit-msg-boundary-{k}");
+        let (cluster, n1, a1, n2, a2) = boot_pair(
+            ClusterConfig::default()
+                .heartbeat(HeartbeatConfig { suspect_after: 2, ..fast_heartbeat() }),
+        );
+        let app = n1.app();
+        let local = IntArrayClient::new(app.clone(), a1.send_right());
+        let found = n1.resolve("acct-b", 1, Duration::from_secs(3));
+        assert_eq!(found.len(), 1, "{ctx}: name service never resolved acct-b");
+        let remote = IntArrayClient::new(app.clone(), found[0].0.clone());
+        app.run(|t| local.set(t, 0, BASE)).unwrap_or_else(|e| panic!("{ctx}: seed A: {e}"));
+        let app2 = n2.app();
+        let local2 = IntArrayClient::new(app2.clone(), a2.send_right());
+        app2.run(|t| local2.set(t, 0, BASE)).unwrap_or_else(|e| panic!("{ctx}: seed B: {e}"));
+
+        let cut = CutAtBoundary::new(k);
+        cluster.network().set_datagram_policy(Arc::clone(&cut) as Arc<dyn DatagramPolicy>);
+
+        // The transfer runs against the cut wire on its own thread; the
+        // client may be told committed, aborted or nothing at all.
+        let xfer = {
+            let (app, local, remote) = (app.clone(), local.clone(), remote.clone());
+            std::thread::spawn(move || {
+                let t = app.begin_transaction(Tid::NULL).ok()?;
+                if local.add(t, 0, -10).is_err() || remote.add(t, 0, 10).is_err() {
+                    let _ = app.abort_transaction(t);
+                    return Some(false);
+                }
+                app.end_transaction(t).ok().map(|o| o.is_committed())
+            })
+        };
+
+        // Hold the partition long enough for suspicion to fire on both
+        // sides, then heal.
+        std::thread::sleep(Duration::from_millis(150));
+        cluster.network().clear_datagram_policy();
+        let outcome = xfer.join().unwrap_or_else(|_| panic!("{ctx}: transfer panicked"));
+
+        // Convergence: no wedged in-doubt transaction, no leaked lock.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let wedged = !n1.tm.in_doubt_tids().is_empty()
+                || !n2.tm.in_doubt_tids().is_empty()
+                || a1.server().locks().locked_object_count() != 0
+                || a2.server().locks().locked_object_count() != 0;
+            if !wedged {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "{ctx}: cluster never converged after heal \
+                 (in-doubt n1 {:?}, n2 {:?}, locks [{}, {}])",
+                n1.tm.in_doubt_tids(),
+                n2.tm.in_doubt_tids(),
+                a1.server().locks().locked_object_count(),
+                a2.server().locks().locked_object_count()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let read = |app: &tabs_app_lib::AppHandle, c: &IntArrayClient| -> i64 {
+            app.run(|t| c.get(t, 0)).unwrap_or_else(|e| panic!("{ctx}: post-heal read: {e}"))
+        };
+        let (a, b) = (read(&app, &local), read(&app2, &local2));
+        assert_eq!(a + b, 2 * BASE, "{ctx}: conservation violated: [{a}, {b}]");
+        match outcome {
+            Some(true) => assert_eq!(
+                (a, b),
+                (BASE - 10, BASE + 10),
+                "{ctx}: reported-committed transfer missing"
+            ),
+            Some(false) => {
+                assert_eq!((a, b), (BASE, BASE), "{ctx}: reported-aborted transfer applied")
+            }
+            None => assert!(
+                (a, b) == (BASE, BASE) || (a, b) == (BASE - 10, BASE + 10),
+                "{ctx}: half-applied transfer: [{a}, {b}]"
+            ),
+        }
+        drop((local, remote, local2));
+        drop((a1, a2));
+        n1.crash();
+        n2.crash();
+    }
+}
+
+// ---- 3. Lossy-but-connected traffic never looks like a partition -------
+
+#[test]
+fn lossy_but_connected_schedule_never_suspects() {
+    // 30% drop with two datagrams per direction per heartbeat interval:
+    // eight consecutive silent intervals (the suspicion threshold) would
+    // need ~16 consecutive drops — not a schedule, a partition.
+    let schedule = NetSchedule {
+        drop_prob: 0.30,
+        dup_prob: 0.15,
+        delay_prob: 0.20,
+        max_delay: Duration::from_millis(3),
+    };
+    let hb = HeartbeatConfig { suspect_after: 8, ..fast_heartbeat() };
+    let (cluster, n1, a1, n2, a2) = boot_pair(ClusterConfig::default().trace(true).heartbeat(hb));
+    let app = n1.app();
+    let local = IntArrayClient::new(app.clone(), a1.send_right());
+    let found = n1.resolve("acct-b", 1, Duration::from_secs(3));
+    assert_eq!(found.len(), 1, "name service never resolved acct-b");
+    let remote = IntArrayClient::new(app.clone(), found[0].0.clone());
+    app.run(|t| local.set(t, 0, BASE)).unwrap_or_else(|e| panic!("seed A: {e}"));
+    let app2 = n2.app();
+    let local2 = IntArrayClient::new(app2.clone(), a2.send_right());
+    app2.run(|t| local2.set(t, 0, BASE)).unwrap_or_else(|e| panic!("seed B: {e}"));
+
+    cluster.network().set_datagram_policy(schedule.policy(SEED));
+    // Mixed workload plus idle time under loss: distributed transfers and
+    // plain heartbeat silence both have to survive the schedule.
+    for _ in 0..3 {
+        let _ = app.run(|t| {
+            local.add(t, 0, -1)?;
+            remote.add(t, 0, 1)
+        });
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    cluster.network().clear_datagram_policy();
+
+    for (who, node, peer) in [("n1", &n1, NodeId(2)), ("n2", &n2, NodeId(1))] {
+        let view = node.reachability();
+        assert!(
+            view.iter().any(|&(n, up)| n == peer && up),
+            "{who} reports {peer} unreachable under a lossy-but-connected \
+             schedule: {view:?}"
+        );
+        let suspicions: Vec<String> = cluster
+            .trace(node.id)
+            .snapshot()
+            .into_iter()
+            .filter(|r| matches!(r.event, TraceEvent::PeerSuspected { .. }))
+            .map(|r| format!("{:?}", r.event))
+            .collect();
+        assert!(suspicions.is_empty(), "{who} raised false suspicions: {suspicions:?}");
+    }
+    drop((local, remote, local2));
+    drop((a1, a2));
+    n1.crash();
+    n2.crash();
+}

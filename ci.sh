@@ -53,4 +53,8 @@ if ! cargo test -q -p tabs-chaos --test prop_partition; then
 fi
 cargo run -q -p tabs-bench --release --bin tables -- partition --quick
 
+echo "==> load generator (bounded): quick run + bench-file validation"
+cargo run -q -p tabs-bench --release --bin tables -- load --quick --json /tmp/bench.json
+cargo run -q -p tabs-bench --release --bin tables -- checkbench /tmp/bench.json
+
 echo "CI green."

@@ -1,126 +1,338 @@
-//! Regenerates every table of the paper's §5 evaluation.
-//!
-//! Usage:
+//! The bench CLI: every workload and every regenerated §5 table behind
+//! one declarative subcommand table.
 //!
 //! ```text
-//! tables [table5_1|table5_2|table5_3|table5_4|table5_5|shapes|accounting|all] [--iters N] [--warmup N]
-//! tables trace
-//! tables chaos [--seed N]
-//! tables contention [--iters N]
-//! tables groupcommit [--iters N] [--quick]
-//! tables partition [--seed N] [--quick]
+//! tables [<command>] [--quick] [--seed N] [--iters N] [--warmup N] [--json PATH]
 //! ```
 //!
-//! `tables trace` boots a two-node cluster with transaction tracing
-//! enabled, runs one distributed write transaction, and renders its
-//! per-node swimlane timeline: all four two-phase-commit phases
-//! (prepare, vote, decision, acknowledgement) plus every log force.
-//! It then manufactures a cross-node deadlock and renders the victim's
-//! swimlane: the edge-chasing probes and the victim broadcast appear
-//! alongside the lock waits they resolved.
+//! Run `tables --help` for the command list. Without a command the full
+//! §5 report is regenerated (the `paper` workload). Workload commands
+//! (`load`, `contention`, `groupcommit`, `partition`, `paper`) and the
+//! measured-table commands all honor `--json PATH`, appending their
+//! versioned report rows as a `BENCH_*.json` document; `checkbench PATH`
+//! validates such a file (schema and liveness, no perf assertions).
 //!
-//! `tables contention` measures deadlock-resolution latency (p50/p95)
-//! and victim throughput on a two-node opposite-order lock workload,
-//! side by side: the paper's time-out-only policy versus the
-//! probe-based detector. `--iters` sets rounds per mode (default 40).
-//!
-//! `tables groupcommit` measures stable-storage forces per committed
-//! transaction at 8 concurrent committers, group commit on versus off,
-//! and fails (exit 1) unless batching cuts forces/commit below 0.5 and
-//! at least 4× under the seed path. `--quick` shrinks the rounds for CI.
-//!
-//! `tables partition` measures in-doubt resolution latency after a
-//! coordinator crash mid-commit (the commit record durable, the decision
-//! never sent), cooperative termination versus the retransmit-timeout
-//! baseline, and fails (exit 1) unless the cooperative p50 is under 25%
-//! of the baseline's. `--quick` shrinks the rounds for CI.
-//!
-//! `tables chaos` runs the deterministic fault-injection sweeps from
-//! `tabs-chaos`: every registered crash point is armed over the bank
-//! workloads, each scenario recovers and is checked against the
-//! invariant oracle. Any failure prints `seed=<N> crash_point=<name>`
-//! for exact replay.
-//!
-//! Tables 5-2, 5-3, 5-4, the shape report and the accounting section are
-//! *measured*: a three-node cluster is booted and the fourteen benchmark
-//! transactions run against it with instrumented primitive counters.
+//! Workloads with acceptance gates exit 1 when a gate fails:
+//! `load` (lock striping ≥ 1.5× committed throughput at 32 contended
+//! clients, full-length runs only), `groupcommit` (forces/commit < 0.5
+//! and ≥ 4× reduction), `partition` (cooperative p50 under 25% of the
+//! retransmit-timeout baseline). Usage errors exit 2.
 
-use tabs_perf::{bench, tables};
+use std::time::Duration;
+
+use tabs_perf::{bench, registry, tables, BenchFile, RunOpts, WorkloadOutput};
+
+/// Shared command-line flags.
+struct Flags {
+    quick: bool,
+    seed: u64,
+    iters: Option<u32>,
+    warmup: Option<u32>,
+    json: Option<String>,
+    /// Positional argument after the command (checkbench's PATH).
+    arg: Option<String>,
+}
+
+impl Flags {
+    fn run_opts(&self) -> RunOpts {
+        RunOpts { quick: self.quick, seed: self.seed, iters: self.iters, warmup: self.warmup }
+    }
+}
+
+/// One subcommand: a name, a `--help` line, and a handler returning the
+/// process exit code.
+struct Command {
+    name: &'static str,
+    about: &'static str,
+    run: fn(&Flags) -> i32,
+}
+
+/// The whole CLI, in `--help` order.
+const COMMANDS: &[Command] = &[
+    Command {
+        name: "all",
+        about: "full section 5 report: every regenerated table (the default)",
+        run: |f| workload("paper", f),
+    },
+    Command {
+        name: "load",
+        about: "sustained load: bank/mixed scenarios, lock-striping comparison",
+        run: |f| workload("load", f),
+    },
+    Command {
+        name: "contention",
+        about: "deadlock-resolution latency: time-out-only vs detection",
+        run: |f| workload("contention", f),
+    },
+    Command {
+        name: "groupcommit",
+        about: "commit-path log forces: batched vs one-force-per-commit",
+        run: |f| workload("groupcommit", f),
+    },
+    Command {
+        name: "partition",
+        about: "in-doubt resolution after a coordinator crash",
+        run: |f| workload("partition", f),
+    },
+    Command {
+        name: "paper",
+        about: "the fourteen Table 5-4 benchmarks, measured",
+        run: |f| workload("paper", f),
+    },
+    Command { name: "table5_1", about: "measured primitive times (static)", run: table5_1 },
+    Command { name: "table5_2", about: "pre-commit primitive counts, measured", run: table5_2 },
+    Command { name: "table5_3", about: "commit primitive counts, measured", run: table5_3 },
+    Command { name: "table5_4", about: "benchmark latencies vs the paper", run: table5_4 },
+    Command { name: "table5_5", about: "achievable primitive times (static)", run: table5_5 },
+    Command { name: "shapes", about: "benchmark shape report, measured", run: shapes },
+    Command { name: "accounting", about: "latency accounting, measured", run: accounting },
+    Command { name: "trace", about: "swimlane demos: 2PC, deadlock, partition", run: trace },
+    Command { name: "chaos", about: "crash-point sweeps against the invariant oracle", run: chaos },
+    Command {
+        name: "checkbench",
+        about: "validate a BENCH_*.json file: schema + liveness (usage: checkbench PATH)",
+        run: checkbench,
+    },
+];
+
+fn usage(mut to: impl std::io::Write) {
+    let _ = writeln!(
+        to,
+        "Usage: tables [<command>] [--quick] [--seed N] [--iters N] [--warmup N] [--json PATH]\n"
+    );
+    let _ = writeln!(to, "Commands (default: all):");
+    for c in COMMANDS {
+        let _ = writeln!(to, "  {:<12} {}", c.name, c.about);
+    }
+    let _ = writeln!(
+        to,
+        "\nFlags:\n  --quick       shrink iteration counts / windows for CI liveness runs\n  \
+         --seed N      deterministic seed (chaos scenarios, load RNG streams)\n  \
+         --iters N     iteration override (per-command meaning)\n  \
+         --warmup N    warmup transactions before measuring\n  \
+         --json PATH   write the run's report rows as a versioned BENCH json file\n  \
+         --help        this text"
+    );
+}
 
 fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut which = "all".to_string();
-    let mut iters = 40u32;
-    let mut warmup = 8u32;
-    let mut seed = 0xC4A0_05EDu64;
-    let mut quick = false;
+    let mut flags =
+        Flags { quick: false, seed: 0xC4A0_05ED, iters: None, warmup: None, json: None, arg: None };
+    let mut command: Option<String> = None;
+
+    let bad = |what: &str| -> i32 {
+        eprintln!("tables: {what}\n");
+        usage(std::io::stderr());
+        2
+    };
+
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--iters" => {
-                iters = it.next().and_then(|v| v.parse().ok()).expect("--iters N");
+            "--help" | "-h" => {
+                usage(std::io::stdout());
+                return 0;
             }
-            "--quick" => quick = true,
-            "--warmup" => {
-                warmup = it.next().and_then(|v| v.parse().ok()).expect("--warmup N");
+            "--quick" => flags.quick = true,
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => flags.seed = v,
+                None => return bad("--seed needs a number"),
+            },
+            "--iters" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => flags.iters = Some(v),
+                None => return bad("--iters needs a number"),
+            },
+            "--warmup" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => flags.warmup = Some(v),
+                None => return bad("--warmup needs a number"),
+            },
+            "--json" => match it.next() {
+                Some(v) => flags.json = Some(v.clone()),
+                None => return bad("--json needs a path"),
+            },
+            flag if flag.starts_with('-') => {
+                return bad(&format!("unknown flag '{flag}'"));
             }
-            "--seed" => {
-                seed = it.next().and_then(|v| v.parse().ok()).expect("--seed N");
-            }
-            other => which = other.to_string(),
+            positional if command.is_none() => command = Some(positional.to_string()),
+            positional if flags.arg.is_none() => flags.arg = Some(positional.to_string()),
+            extra => return bad(&format!("unexpected argument '{extra}'")),
         }
     }
 
-    // The static tables and the trace demo need no measurement run.
-    match which.as_str() {
-        "table5_1" => {
-            print!("{}", tables::table_5_1());
-            return;
-        }
-        "table5_5" => {
-            print!("{}", tables::table_5_5());
-            return;
-        }
-        "trace" => {
-            run_trace();
-            return;
-        }
-        "chaos" => {
-            run_chaos(seed);
-            return;
-        }
-        "contention" => {
-            run_contention(iters);
-            return;
-        }
-        "groupcommit" => {
-            run_groupcommit(iters, quick);
-            return;
-        }
-        "partition" => {
-            run_partition(seed, quick);
-            return;
-        }
-        _ => {}
+    let name = command.as_deref().unwrap_or("all");
+    match COMMANDS.iter().find(|c| c.name == name) {
+        Some(c) => (c.run)(&flags),
+        None => bad(&format!("unknown command '{name}'")),
     }
+}
 
+/// Runs a registered workload, prints its tables, honors `--json`, and
+/// turns a failed acceptance gate into exit 1.
+fn workload(name: &str, flags: &Flags) -> i32 {
+    let w = registry().into_iter().find(|w| w.name() == name).expect("registered workload");
+    eprintln!("{name}: {} …", w.describe());
+    match w.run(&flags.run_opts()) {
+        Ok(out) => finish(name, out, flags),
+        Err(e) => {
+            eprintln!("{name} FAILED: {e}");
+            eprintln!("reproduce with: tables {name} --seed {}", flags.seed);
+            1
+        }
+    }
+}
+
+/// Prints a finished run, writes `--json`, and maps the gate to the exit
+/// code.
+fn finish(name: &str, out: WorkloadOutput, flags: &Flags) -> i32 {
+    print!("{}", out.text);
+    if let Some(path) = &flags.json {
+        let file = BenchFile::new(today(), out.reports);
+        if let Err(e) = std::fs::write(path, file.to_json()) {
+            eprintln!("{name} FAILED: cannot write {path}: {e}");
+            return 1;
+        }
+        eprintln!("wrote {} report row(s) to {path}", file.runs.len());
+    }
+    match out.gate_failure {
+        Some(gate) => {
+            eprintln!("{name} FAILED: {gate}");
+            1
+        }
+        None => 0,
+    }
+}
+
+/// Today's civil date (UTC) without a clock library.
+fn today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = secs as i64 / 86_400 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Boots the benchmark cluster and runs the fourteen benchmarks with the
+/// shared `--iters`/`--warmup`/`--quick` semantics.
+fn measured(flags: &Flags) -> Vec<tabs_perf::BenchResult> {
+    let warmup = flags.warmup.unwrap_or(if flags.quick { 2 } else { 8 });
+    let iters = flags.iters.unwrap_or(if flags.quick { 3 } else { 40 });
     eprintln!("booting three-node cluster; {iters} iterations per benchmark …");
-    let results = bench::run_all(warmup, iters);
-    match which.as_str() {
-        "table5_2" => print!("{}", tables::table_5_2(&results)),
-        "table5_3" => print!("{}", tables::table_5_3(&results)),
-        "table5_4" => print!("{}", tables::table_5_4(&results)),
-        "shapes" => print!("{}", tables::shape_report(&results)),
-        "accounting" => print!("{}", tables::accounting(&results)),
-        _ => print!("{}", tables::full_report(&results)),
+    bench::run_all(warmup, iters)
+}
+
+/// Shared tail for the measured-table commands: print one rendered
+/// table, expose the same rows via `--json`.
+fn measured_table(flags: &Flags, render: fn(&[tabs_perf::BenchResult]) -> String) -> i32 {
+    let results = measured(flags);
+    let out = WorkloadOutput {
+        text: render(&results),
+        reports: tabs_perf::paper::reports(&results),
+        gate_failure: None,
+    };
+    finish("tables", out, flags)
+}
+
+fn table5_1(flags: &Flags) -> i32 {
+    finish(
+        "table5_1",
+        WorkloadOutput { text: tables::table_5_1(), reports: vec![], gate_failure: None },
+        flags,
+    )
+}
+
+fn table5_5(flags: &Flags) -> i32 {
+    finish(
+        "table5_5",
+        WorkloadOutput { text: tables::table_5_5(), reports: vec![], gate_failure: None },
+        flags,
+    )
+}
+
+fn table5_2(flags: &Flags) -> i32 {
+    measured_table(flags, tables::table_5_2)
+}
+
+fn table5_3(flags: &Flags) -> i32 {
+    measured_table(flags, tables::table_5_3)
+}
+
+fn table5_4(flags: &Flags) -> i32 {
+    measured_table(flags, tables::table_5_4)
+}
+
+fn shapes(flags: &Flags) -> i32 {
+    measured_table(flags, tables::shape_report)
+}
+
+fn accounting(flags: &Flags) -> i32 {
+    measured_table(flags, tables::accounting)
+}
+
+/// Validates a `BENCH_*.json` file: parses it (schema version and field
+/// shapes), then checks liveness — every row committed work, and no bank
+/// run reported a conservation violation. No performance assertions.
+fn checkbench(flags: &Flags) -> i32 {
+    let Some(path) = &flags.arg else {
+        eprintln!("tables: checkbench needs a path\n");
+        usage(std::io::stderr());
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("checkbench FAILED: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let file = match BenchFile::parse(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("checkbench FAILED: {path}: {e}");
+            return 1;
+        }
+    };
+    if file.runs.is_empty() {
+        eprintln!("checkbench FAILED: {path}: no report rows");
+        return 1;
     }
+    for r in &file.runs {
+        let label = format!("{}/{}/{}", r.workload, r.scenario, r.mode);
+        if r.committed == 0 {
+            eprintln!("checkbench FAILED: {label} committed nothing");
+            return 1;
+        }
+        if r.config.get("invariant_ok").is_some_and(|v| v != "true") {
+            eprintln!("checkbench FAILED: {label} reported a violated invariant");
+            return 1;
+        }
+    }
+    println!(
+        "{path}: schema {} generated {}, {} run(s), all live",
+        file.schema,
+        file.generated,
+        file.runs.len()
+    );
+    0
 }
 
 /// Boots a traced two-node cluster, commits one distributed write, and
 /// renders the transaction's swimlane timeline plus the coordinator's
 /// metric registry.
-fn run_trace() {
-    use std::time::Duration;
+fn trace(_flags: &Flags) -> i32 {
     use tabs_core::prelude::*;
     use tabs_servers::{IntArrayClient, IntArrayServer};
 
@@ -248,74 +460,16 @@ fn run_trace() {
     print!("{}", pc.timeline().render_swimlane(Tid::NULL));
     p1.shutdown();
     p2b.shutdown();
-}
-
-/// Runs the contention microbenchmark in both resolution modes and
-/// prints the comparison table.
-fn run_contention(rounds: u32) {
-    use std::time::Duration;
-
-    eprintln!("contention microbenchmark: {rounds} manufactured deadlocks per mode …");
-    print!("{}", tabs_perf::contention::compare(rounds, Duration::from_millis(400)));
-}
-
-/// Runs the group-commit microbenchmark, prints the comparison table and
-/// enforces the amortization gate: batched forces/commit below 0.5 and a
-/// ≥ 4× reduction versus the unbatched seed path at 8 committers.
-fn run_groupcommit(rounds: u32, quick: bool) {
-    const COMMITTERS: u32 = 8;
-    let rounds = if quick { 5 } else { rounds };
-    eprintln!("group-commit microbenchmark: {COMMITTERS} committers x {rounds} rounds per mode …");
-    let (unbatched, batched) = tabs_perf::groupcommit::compare(COMMITTERS, rounds);
-    print!("{}", tabs_perf::groupcommit::render(&[unbatched.clone(), batched.clone()]));
-    let ratio = unbatched.forces_per_commit() / batched.forces_per_commit().max(1e-9);
-    println!("force reduction: {ratio:.1}x");
-    if batched.forces_per_commit() >= 0.5 {
-        eprintln!(
-            "groupcommit FAILED: batched mode paid {:.3} forces/commit (gate: < 0.5)",
-            batched.forces_per_commit()
-        );
-        std::process::exit(1);
-    }
-    if ratio < 4.0 {
-        eprintln!("groupcommit FAILED: only {ratio:.1}x force reduction (gate: >= 4x)");
-        std::process::exit(1);
-    }
-}
-
-/// Runs the partition-recovery microbenchmark in both modes and enforces
-/// the acceptance gate: cooperative in-doubt resolution p50 under 25% of
-/// the retransmit-timeout-only baseline's.
-fn run_partition(seed: u64, quick: bool) {
-    let iters = if quick { 2 } else { 5 };
-    eprintln!(
-        "partition microbenchmark: {iters} coordinator-crash/rejoin runs per mode, seed={seed} …"
-    );
-    let (baseline, coop) = match tabs_perf::partition::compare(iters, seed) {
-        Ok(pair) => pair,
-        Err(e) => {
-            eprintln!("partition FAILED: {e}");
-            eprintln!("reproduce with: tables partition --seed {seed}");
-            std::process::exit(1);
-        }
-    };
-    print!("{}", tabs_perf::partition::render(&[baseline.clone(), coop.clone()]));
-    if coop.p50() * 4 >= baseline.p50() {
-        eprintln!(
-            "partition FAILED: cooperative p50 {:?} is not under 25% of the baseline's {:?}",
-            coop.p50(),
-            baseline.p50()
-        );
-        std::process::exit(1);
-    }
+    0
 }
 
 /// Runs the full crash-point sweeps plus the deterministic disk-fault
 /// scenarios and reports coverage; exits non-zero with a reproduction
 /// line on any invariant violation.
-fn run_chaos(seed: u64) {
+fn chaos(flags: &Flags) -> i32 {
     use tabs_chaos::{registry, ChaosRunner};
 
+    let seed = flags.seed;
     eprintln!("chaos sweep, seed={seed} …");
     let runner = ChaosRunner::new(seed);
     let mut killed = std::collections::BTreeSet::new();
@@ -329,7 +483,7 @@ fn run_chaos(seed: u64) {
     if let Err(e) = outcome {
         eprintln!("chaos FAILED: {e}");
         eprintln!("reproduce with: tables chaos --seed {seed}");
-        std::process::exit(1);
+        return 1;
     }
     println!("crash points killed and recovered ({}):", killed.len());
     for p in &killed {
@@ -338,7 +492,8 @@ fn run_chaos(seed: u64) {
     let missing: Vec<&str> = registry().into_iter().filter(|p| !killed.contains(p)).collect();
     if !missing.is_empty() {
         eprintln!("chaos FAILED: seed={seed} crash_point=none unswept points: {missing:?}");
-        std::process::exit(1);
+        return 1;
     }
     println!("all {} registered crash points swept; invariants held.", killed.len());
+    0
 }

@@ -29,13 +29,15 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use tabs_codec::{Decode, Encode};
+use tabs_codec::{Decode, DecodeRef, Encode, Reader, Writer};
 use tabs_detect::{Detector, ProbeTransport};
 use tabs_kernel::{Kernel, Message, NodeId, PortClass, PortId, PrimitiveOp, SendRight, Tid};
 use tabs_net::{Endpoint, NetError};
 use tabs_ns::{Broadcast, NameServer};
+use tabs_obs::Counter;
 use tabs_proto::{
-    BeatMsg, CommitMsg, Datagram, DetectMsg, NsMsg, Request, ServerError, SessionFrame,
+    BeatMsg, CommitMsg, Datagram, DetectMsg, NsMsg, RequestRef, ServerError, SessionFrame,
+    SessionFrameRef,
 };
 use tabs_tm::{CommitTransport, TransactionManager};
 
@@ -66,6 +68,18 @@ struct CmState {
     proxies: HashMap<PortId, SendRight>,
 }
 
+/// Counters surfacing how the session receive path handles payloads
+/// (`cm.session.rx.*` in the node's metric registry).
+struct RxMetrics {
+    /// Frames whose payload bytes were handed on without a per-message
+    /// copy (`cm.session.rx.zero_copy`).
+    zero_copy: Counter,
+    /// Frames that fell back to an owned decode — malformed payloads and
+    /// relay responses that failed validation
+    /// (`cm.session.rx.fallback`).
+    fallback: Counter,
+}
+
 /// The Communication Manager of one node.
 pub struct CommManager {
     kernel: Kernel,
@@ -76,6 +90,11 @@ pub struct CommManager {
     fd: Option<Arc<FailureDetector>>,
     state: Mutex<CmState>,
     next_call: AtomicU64,
+    rx_metrics: Mutex<Option<RxMetrics>>,
+    /// Coroutine cache for inbound remote-call relays: each relay blocks
+    /// on the local server's reply, so it runs off the session loop, but
+    /// on a reused parked worker rather than a freshly spawned thread.
+    workers: Arc<tabs_kernel::WorkerPool>,
 }
 
 impl std::fmt::Debug for CommManager {
@@ -137,6 +156,8 @@ impl CommManager {
                 proxies: HashMap::new(),
             }),
             next_call: AtomicU64::new(1),
+            rx_metrics: Mutex::new(None),
+            workers: tabs_kernel::WorkerPool::new(&format!("cm-{}", kernel.node().0)),
         });
         tm.set_transport(Arc::new(CmCommitTransport { cm: Arc::clone(&cm) }));
         ns.set_transport(Arc::new(CmBroadcast { cm: Arc::clone(&cm) }));
@@ -158,6 +179,22 @@ impl CommManager {
     /// This node.
     pub fn node(&self) -> NodeId {
         self.kernel.node()
+    }
+
+    /// Wires the `cm.session.rx.zero_copy` / `cm.session.rx.fallback`
+    /// counters the session receive loop bumps per frame.
+    pub fn set_rx_metrics(&self, zero_copy: Counter, fallback: Counter) {
+        *self.rx_metrics.lock() = Some(RxMetrics { zero_copy, fallback });
+    }
+
+    fn count_rx(&self, zero_copy: bool) {
+        if let Some(m) = self.rx_metrics.lock().as_ref() {
+            if zero_copy {
+                m.zero_copy.inc();
+            } else {
+                m.fallback.inc();
+            }
+        }
     }
 
     /// Returns a local send right for `port`: the port itself when local,
@@ -199,8 +236,10 @@ impl CommManager {
             Some(r) => r,
             None => return, // one-way messages are not proxied
         };
-        let request = match Request::decode_all(&msg.body) {
-            Ok(r) => r,
+        // Only the transaction id is needed here; the encoded request is
+        // forwarded verbatim as the session frame's trailing bytes.
+        let tid = match RequestRef::decode_ref_all(&msg.body) {
+            Ok(r) => r.tid,
             Err(_) => {
                 let _ = reply.send_unmetered(tabs_proto::rpc::response_message(Err(
                     ServerError::BadRequest("undecodable proxied request".into()),
@@ -208,7 +247,6 @@ impl CommManager {
                 return;
             }
         };
-        let tid = request.tid;
         let call_id = self.next_call.fetch_add(1, Ordering::Relaxed);
         self.state.lock().pending.insert(call_id, (reply, tid));
         // While this call is outstanding the transaction may be blocked
@@ -234,8 +272,17 @@ impl CommManager {
         if newly_registered {
             self.kernel.perf().record(PrimitiveOp::SmallContiguousMessage);
         }
-        let frame = SessionFrame::Call { call_id, target_port: remote, request };
-        if let Err(e) = self.send_session_retrying(remote.node, frame.encode_to_vec(), call_id) {
+        // Build the `SessionFrame::Call` encoding by hand: tag, call id
+        // and target port followed by the request bytes exactly as they
+        // arrived, instead of decoding the request into an owned value
+        // only to re-encode it. (`RequestRef::raw` above proves the body
+        // IS the request encoding.)
+        let mut w = Writer::with_capacity(msg.body.len() + 16);
+        w.put_u8(0);
+        call_id.encode(&mut w);
+        remote.encode(&mut w);
+        w.put_slice(&msg.body);
+        if let Err(e) = self.send_session_retrying(remote.node, w.into_vec(), call_id) {
             // Session failure after bounded retries (§3.2.4 failure
             // detection): fail the call with a typed retryable error
             // instead of hanging — and roll back the child registration,
@@ -315,73 +362,109 @@ impl CommManager {
     }
 
     /// The session receive loop: inbound remote calls and replies.
+    ///
+    /// Frames are decoded as borrowed [`SessionFrameRef`] views: a call's
+    /// request bytes are split out of the receive buffer and handed to
+    /// the relay without a copy, and a reply's payload is re-framed into
+    /// the local [`tabs_proto::Response`] straight from the buffer.
     fn session_loop(self: Arc<Self>) {
         while self.kernel.is_alive() {
-            let msg = match self.endpoint.recv_session(POLL) {
+            let mut msg = match self.endpoint.recv_session(POLL) {
                 Some(m) => m,
                 None => continue,
             };
-            let frame = match SessionFrame::decode_all(&msg.body) {
-                Ok(f) => f,
-                Err(_) => continue,
+            // Scalars are extracted from the borrowed view first so the
+            // buffer can be re-used (drained / replied from) afterwards.
+            enum Action {
+                Call { call_id: u64, target_port: PortId, tid: Tid, opcode: u32, skip: usize },
+                Reply { call_id: u64 },
+                Drop,
+            }
+            let action = match SessionFrameRef::decode_ref_all(&msg.body) {
+                Ok(SessionFrameRef::Call { call_id, target_port, request }) => Action::Call {
+                    call_id,
+                    target_port,
+                    tid: request.tid,
+                    opcode: request.opcode,
+                    skip: msg.body.len() - request.raw.len(),
+                },
+                Ok(SessionFrameRef::Reply { call_id, .. }) => Action::Reply { call_id },
+                Err(_) => Action::Drop,
             };
-            match frame {
-                SessionFrame::Call { call_id, target_port, request } => {
-                    self.handle_inbound_call(msg.from, call_id, target_port, request);
+            match action {
+                Action::Call { call_id, target_port, tid, opcode, skip } => {
+                    // The encoded request is the frame's trailing suffix;
+                    // draining the header leaves the request bytes in the
+                    // original allocation — zero-copy hand-off.
+                    msg.body.drain(..skip);
+                    self.count_rx(true);
+                    self.handle_inbound_call(msg.from, call_id, target_port, tid, opcode, msg.body);
                 }
-                SessionFrame::Reply { call_id, result } => {
+                Action::Reply { call_id } => {
                     let reply = self.state.lock().pending.remove(&call_id);
                     if let Some((r, tid)) = reply {
                         if let (Some(d), false) = (&self.detect, tid.is_null()) {
                             d.remote_call_end(tid, msg.from);
                         }
-                        let _ = r.send_unmetered(tabs_proto::rpc::response_message(result));
+                        // Re-decode borrowed now that the pending entry is
+                        // claimed; the payload goes into the response
+                        // message straight from the receive buffer.
+                        match SessionFrameRef::decode_ref_all(&msg.body) {
+                            Ok(SessionFrameRef::Reply { result, .. }) => {
+                                self.count_rx(true);
+                                let m = match &result {
+                                    Ok(v) => tabs_proto::rpc::response_message_ref(Ok(v)),
+                                    Err(e) => tabs_proto::rpc::response_message_ref(Err(e)),
+                                };
+                                let _ = r.send_unmetered(m);
+                            }
+                            _ => self.count_rx(false),
+                        }
                     }
                 }
+                Action::Drop => self.count_rx(false),
             }
         }
     }
 
     /// Delivers a remote call to the local data server and relays the
-    /// response back on the session.
+    /// response back on the session. `request_bytes` is the encoded
+    /// [`tabs_proto::Request`] exactly as it arrived off the wire.
     fn handle_inbound_call(
         self: &Arc<Self>,
         from: NodeId,
         call_id: u64,
         target_port: PortId,
-        request: Request,
+        tid: Tid,
+        opcode: u32,
+        request_bytes: Vec<u8>,
     ) {
         // Spanning tree: first inter-node message received on behalf of a
         // transaction records our parent and tells the Transaction Manager
         // that remote sites are involved (§3.2.3).
-        if !request.tid.is_null() {
+        if !tid.is_null() {
             let mut state = self.state.lock();
-            if let std::collections::hash_map::Entry::Vacant(e) =
-                state.tree.parent.entry(request.tid)
-            {
+            if let std::collections::hash_map::Entry::Vacant(e) = state.tree.parent.entry(tid) {
                 e.insert(from);
                 self.kernel.perf().record(PrimitiveOp::SmallContiguousMessage);
             }
         }
         let cm = Arc::clone(self);
         let kernel = self.kernel.clone();
-        std::thread::spawn(move || {
-            let result = match kernel.make_send_right(target_port, PortClass::System) {
+        self.workers.execute(move || {
+            let response = match kernel.make_send_right(target_port, PortClass::System) {
                 Some(target) => {
                     // Local delivery + reply: two local messages on this
                     // node (the call was already counted once, as an
                     // Inter-Node Data Server Call, on the calling node).
                     kernel.perf().record(PrimitiveOp::SmallContiguousMessage);
                     let (rtx, rrx) = kernel.allocate_port(PortClass::Reply);
-                    let m = Message::new(request.opcode, request.encode_to_vec()).with_reply(rtx);
+                    let m = Message::new(opcode, request_bytes).with_reply(rtx);
                     match target.send_unmetered(m) {
                         Ok(()) => match rrx.recv_timeout(RELAY_TIMEOUT) {
                             Ok(resp) => {
                                 kernel.perf().record(PrimitiveOp::SmallContiguousMessage);
-                                match tabs_proto::Response::decode_all(&resp.body) {
-                                    Ok(r) => r.result,
-                                    Err(e) => Err(ServerError::Other(format!("relay decode: {e}"))),
-                                }
+                                Ok(resp.body)
                             }
                             Err(_) => Err(ServerError::Other("server timeout".into())),
                         },
@@ -390,11 +473,43 @@ impl CommManager {
                 }
                 None => Err(ServerError::BadRequest(format!("no such port {target_port}"))),
             };
-            let frame = SessionFrame::Reply { call_id, result };
+            // A server's reply body is already the encoded
+            // `tabs_proto::Response`, whose result encoding is exactly
+            // `SessionFrame::Reply`'s — validate it and splice it into the
+            // frame verbatim instead of decoding the payload into an owned
+            // vector and re-encoding it.
+            let frame_bytes = match response {
+                Ok(body) if Self::valid_response(&body) => {
+                    cm.count_rx(true);
+                    let mut w = Writer::with_capacity(body.len() + 12);
+                    w.put_u8(1);
+                    call_id.encode(&mut w);
+                    w.put_slice(&body);
+                    w.into_vec()
+                }
+                Ok(_) => {
+                    cm.count_rx(false);
+                    let result = Err(ServerError::Other("relay decode: invalid response".into()));
+                    SessionFrame::Reply { call_id, result }.encode_to_vec()
+                }
+                Err(e) => SessionFrame::Reply { call_id, result: Err(e) }.encode_to_vec(),
+            };
             // Retry partitions briefly: dropping the reply would leave the
             // caller waiting out its full relay timeout for nothing.
-            let _ = cm.send_session_retrying(from, frame.encode_to_vec(), call_id);
+            let _ = cm.send_session_retrying(from, frame_bytes, call_id);
         });
+    }
+
+    /// Whether `body` is a well-formed encoded [`tabs_proto::Response`]
+    /// (checked without copying its payload out).
+    fn valid_response(body: &[u8]) -> bool {
+        let mut r = Reader::new(body);
+        let ok = match r.get_u8() {
+            Ok(0) => <&[u8]>::decode_ref(&mut r).is_ok(),
+            Ok(1) => ServerError::decode(&mut r).is_ok(),
+            _ => false,
+        };
+        ok && r.is_empty()
     }
 
     /// The datagram receive loop: two-phase commit and name service.
@@ -565,6 +680,7 @@ mod tests {
     use super::*;
     use tabs_kernel::{BufferPool, MemDisk, ObjectId, SegmentId, SegmentSpec};
     use tabs_net::Network;
+    use tabs_proto::Request;
     use tabs_rm::RecoveryManager;
     use tabs_wal::{LogManager, MemLogDevice};
 

@@ -201,6 +201,13 @@ impl<'a> Reader<'a> {
         let n = usize::try_from(n).map_err(|_| DecodeError::Invalid("length"))?;
         self.get_slice(n)
     }
+
+    /// The unconsumed tail of the input, without advancing the cursor.
+    /// Lets a zero-copy decoder capture the raw encoding of a trailing
+    /// field before reading it.
+    pub fn rest(&self) -> &'a [u8] {
+        self.buf
+    }
 }
 
 /// Types that can serialize themselves into a [`Writer`].
@@ -229,6 +236,41 @@ pub trait Decode: Sized {
             return Err(DecodeError::Invalid("trailing bytes"));
         }
         Ok(v)
+    }
+}
+
+/// Types that can deserialize themselves from a [`Reader`] *borrowing*
+/// from the input buffer instead of copying out of it.
+///
+/// This is the receive-path counterpart of [`Decode`]: a datagram or
+/// session handler can decode the message header and keep its payload as
+/// a `&[u8]` into the receive buffer, deferring (or entirely avoiding)
+/// the per-message `to_vec()` that [`Decode`] performs for owned byte
+/// fields.
+pub trait DecodeRef<'a>: Sized {
+    /// Reads one value from `r`, borrowing byte fields from the input.
+    fn decode_ref(r: &mut Reader<'a>) -> Result<Self>;
+
+    /// Convenience: decodes a value that must occupy the whole slice.
+    fn decode_ref_all(buf: &'a [u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        let v = Self::decode_ref(&mut r)?;
+        if !r.is_empty() {
+            return Err(DecodeError::Invalid("trailing bytes"));
+        }
+        Ok(v)
+    }
+}
+
+impl<'a> DecodeRef<'a> for &'a [u8] {
+    fn decode_ref(r: &mut Reader<'a>) -> Result<Self> {
+        r.get_bytes()
+    }
+}
+
+impl<'a> DecodeRef<'a> for &'a str {
+    fn decode_ref(r: &mut Reader<'a>) -> Result<Self> {
+        std::str::from_utf8(r.get_bytes()?).map_err(|_| DecodeError::Invalid("utf8"))
     }
 }
 
@@ -525,6 +567,41 @@ mod tests {
             let buf = v.encode_to_vec();
             assert_eq!(i64::decode_all(&buf).unwrap(), v);
         }
+    }
+
+    #[test]
+    fn decode_ref_borrows_from_input() {
+        let mut w = Writer::new();
+        w.put_bytes(b"payload");
+        w.put_bytes("name".as_bytes());
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf);
+        let bytes = <&[u8]>::decode_ref(&mut r).unwrap();
+        let s = <&str>::decode_ref(&mut r).unwrap();
+        assert_eq!(bytes, b"payload");
+        assert_eq!(s, "name");
+        // Borrowed straight out of `buf`, not copied.
+        assert_eq!(bytes.as_ptr(), buf[1..].as_ptr());
+        assert!(r.is_empty());
+        assert!(<&[u8]>::decode_ref_all(&buf).is_err());
+    }
+
+    #[test]
+    fn rest_exposes_unconsumed_tail() {
+        let buf = [1u8, 2, 3, 4];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.rest(), &buf);
+        r.get_u8().unwrap();
+        assert_eq!(r.rest(), &buf[1..]);
+        assert_eq!(r.rest().as_ptr(), buf[1..].as_ptr());
+    }
+
+    #[test]
+    fn decode_ref_str_rejects_bad_utf8() {
+        let mut w = Writer::new();
+        w.put_bytes(&[0xff, 0xfe]);
+        let buf = w.into_vec();
+        assert!(<&str>::decode_ref_all(&buf).is_err());
     }
 
     #[test]

@@ -70,6 +70,9 @@ pub struct ClusterConfig {
     pub net: NetConfig,
     /// Default lock time-out handed to data servers.
     pub lock_timeout: Duration,
+    /// Lock-table stripe count handed to data servers (1 reproduces the
+    /// original single-mutex lock table).
+    pub lock_stripes: usize,
     /// When set, recoverable segments and logs live in real files under
     /// this directory (surviving even process restarts); otherwise they
     /// use in-memory devices that survive only simulated node crashes.
@@ -105,6 +108,7 @@ impl Default for ClusterConfig {
             log_capacity: 64 << 20,
             net: NetConfig::default(),
             lock_timeout: Duration::from_millis(300),
+            lock_stripes: tabs_lock::DEFAULT_LOCK_STRIPES,
             storage_dir: None,
             trace: false,
             detect: false,
@@ -136,6 +140,12 @@ impl ClusterConfig {
     /// Sets the default lock time-out handed to data servers.
     pub fn lock_timeout(mut self, timeout: Duration) -> Self {
         self.lock_timeout = timeout;
+        self
+    }
+
+    /// Sets the lock-table stripe count handed to data servers.
+    pub fn lock_stripes(mut self, stripes: usize) -> Self {
+        self.lock_stripes = stripes.max(1);
         self
     }
 
@@ -378,6 +388,15 @@ impl Cluster {
             detect.clone(),
             fd.clone(),
         );
+        {
+            // Session receive-path accounting: frames relayed without a
+            // payload copy vs. owned-decode fallbacks.
+            let metrics = self.metrics(id);
+            cm.set_rx_metrics(
+                metrics.counter("cm.session.rx.zero_copy"),
+                metrics.counter("cm.session.rx.fallback"),
+            );
+        }
         if let Some(d) = &detect {
             d.start(&kernel);
         }
@@ -502,9 +521,11 @@ impl Node {
     }
 
     /// A [`ServerConfig`] for a data server on this node, honouring the
-    /// cluster's configured lock time-out.
+    /// cluster's configured lock time-out and lock-table striping.
     pub fn server_config(&self, name: &str, segment: SegmentId) -> ServerConfig {
-        ServerConfig::new(name, segment).with_lock_timeout(self.cluster.config.lock_timeout)
+        ServerConfig::new(name, segment)
+            .with_lock_timeout(self.cluster.config.lock_timeout)
+            .with_lock_stripes(self.cluster.config.lock_stripes)
     }
 
     /// An application handle (Table 3-2 interface).

@@ -22,6 +22,8 @@
 //!   paging-control primitives used by the server library.
 //! - [`perfctr`] — counters for the nine primitive operations of Table 5-1,
 //!   from which the performance-evaluation harness derives Tables 5-2…5-4.
+//! - [`workers`] — a cache of reusable coroutine threads shared by the hot
+//!   message paths (server request dispatch, inbound 2PC datagrams).
 
 pub mod crash;
 pub mod ids;
@@ -32,6 +34,7 @@ pub mod process;
 pub mod storage;
 pub mod trace;
 pub mod vm;
+pub mod workers;
 
 pub use crash::{CrashHookSlot, CrashHooks};
 pub use ids::{NodeId, ObjectId, PageId, PortId, SegmentId, Tid, PAGE_SIZE};
@@ -43,3 +46,4 @@ pub use storage::{
 };
 pub use trace::TraceSink;
 pub use vm::{BufferPool, MappedSegment, NullWalGate, SegmentSpec, VmError, WalGate};
+pub use workers::WorkerPool;

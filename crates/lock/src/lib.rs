@@ -20,6 +20,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt::Debug;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -100,17 +101,74 @@ impl std::fmt::Display for LockError {
 
 impl std::error::Error for LockError {}
 
-struct State<M: LockMode> {
-    /// Granted locks per object.
+/// Default number of lock-table stripes. Sixteen keeps the per-stripe
+/// tables small and makes release-time wakeups touch ~1/16 of the
+/// waiters while costing only sixteen tiny mutexes per server.
+pub const DEFAULT_LOCK_STRIPES: usize = 16;
+
+/// One parked waiter in a per-object wait queue (striped tables only).
+/// Each waiter parks on its own condition variable so a release can wake
+/// exactly the waiters it makes grantable, instead of the whole stripe.
+struct Waiter<M: LockMode> {
+    tid: Tid,
+    mode: M,
+    cond: Arc<Condvar>,
+}
+
+/// Granted-lock state for one stripe of the table. Grants, conditional
+/// locks and releases touch exactly one stripe (hashed from the
+/// [`ObjectId`]), so unrelated objects never contend on one mutex and a
+/// release wakes only the waiters parked on its own stripe.
+struct StripeState<M: LockMode> {
+    /// Granted locks per object (objects hashing to this stripe).
     holders: HashMap<ObjectId, Vec<(Tid, M)>>,
-    /// Objects locked per transaction (for release_all / transfer).
+    /// Objects locked per transaction *in this stripe* (for release_all /
+    /// transfer).
     by_tx: HashMap<Tid, HashSet<ObjectId>>,
+    /// FIFO wait queues per object (striped tables): a release wakes the
+    /// longest grantable prefix of the released object's queue and nobody
+    /// else. Empty in the one-stripe historical table, whose waiters all
+    /// park on the stripe-wide condition variable instead.
+    queues: HashMap<ObjectId, Vec<Waiter<M>>>,
+}
+
+struct Stripe<M: LockMode> {
+    state: Mutex<StripeState<M>>,
+    /// In the one-stripe historical table, waiters park here and every
+    /// release wakes them all. Striped tables park waiters on per-object
+    /// condition variables in [`StripeState::queues`] instead.
+    cond: Condvar,
+}
+
+impl<M: LockMode> Default for Stripe<M> {
+    fn default() -> Self {
+        Self {
+            state: Mutex::new(StripeState {
+                holders: HashMap::new(),
+                by_tx: HashMap::new(),
+                queues: HashMap::new(),
+            }),
+            cond: Condvar::new(),
+        }
+    }
+}
+
+/// Wait-side state, shared across stripes. Waiting is the cold path (a
+/// blocked request parks anyway), so one mutex over the waits-for graph
+/// keeps cross-stripe cycle detection and the exported wait graph exact.
+///
+/// Lock order: a stripe mutex may be held while taking `waits`, never the
+/// reverse.
+struct WaitState {
     /// Waits-for edges, maintained while requests block (Detect policy and
     /// introspection).
     waits_for: HashMap<Tid, HashSet<Tid>>,
     /// Waiters flagged as deadlock victims by an external detector; their
     /// pending `lock` call returns [`LockError::Deadlock`] on wakeup.
     victims: HashSet<Tid>,
+    /// Where each blocked waiter is parked (stripe index and object), so
+    /// `abort_waiter` can wake exactly that waiter.
+    waiting_in: HashMap<Tid, (usize, ObjectId)>,
 }
 
 /// A source of waits-for edges plus a victim-wakeup hook, implemented by
@@ -133,11 +191,62 @@ pub trait WaitGraphSource: Send + Sync {
 /// Each data server embeds one (§2.1.3: "servers implement locking
 /// locally"), so lock tables are per-server, not global — exactly the
 /// property that lets TABS servers tailor their locking.
+///
+/// The granted-lock table is split into [`DEFAULT_LOCK_STRIPES`] stripes
+/// keyed by the object-id hash: grants, conditional locks and releases
+/// lock one stripe, and each stripe keeps a FIFO wait queue per object —
+/// a release wakes the longest grantable prefix of the released object's
+/// queue and nothing else, so a storm of waiters on one hot object costs
+/// one wakeup per release instead of one per waiter. A single-stripe
+/// table (`with_stripes(_, 1)`) reproduces the historical design this
+/// replaced — one mutex, one condition variable, notify-all on every
+/// release, every waiter rechecking — and is kept as the benchmark
+/// baseline. The waits-for graph stays global (waiting is the cold
+/// path), so cross-stripe deadlock cycles are still detected exactly.
 pub struct LockManager<M: LockMode = StdMode> {
-    state: Mutex<State<M>>,
-    cond: Condvar,
+    stripes: Box<[Stripe<M>]>,
+    waits: Mutex<WaitState>,
     policy: DeadlockPolicy,
     trace: Mutex<Option<Arc<TraceCollector>>>,
+    /// Fast-path guard for [`Self::emit`]: tracing is off for production
+    /// servers, and the hot acquire path must not take the trace mutex
+    /// just to find that out.
+    trace_on: AtomicBool,
+    stats: WaitCounters,
+}
+
+/// Internal wakeup-behaviour counters (plain relaxed atomics; the wait
+/// path is already serialized by the stripe mutex, these only count).
+#[derive(Default)]
+struct WaitCounters {
+    waits: AtomicU64,
+    wakeups: AtomicU64,
+    spurious: AtomicU64,
+}
+
+/// A snapshot of the wait path's wakeup behaviour, for benchmarks and
+/// tests that quantify the thundering-herd cost of a coarse lock table.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WaitStats {
+    /// `lock` calls that had to park at least once.
+    pub waits: u64,
+    /// Condvar wakeups of parked waiters (non-timeout returns).
+    pub wakeups: u64,
+    /// Wakeups after which the waiter was still blocked and parked again
+    /// — the waste a single-stripe table's notify-all storm produces.
+    pub spurious: u64,
+}
+
+impl std::ops::Sub for WaitStats {
+    type Output = WaitStats;
+
+    fn sub(self, rhs: WaitStats) -> WaitStats {
+        WaitStats {
+            waits: self.waits.saturating_sub(rhs.waits),
+            wakeups: self.wakeups.saturating_sub(rhs.wakeups),
+            spurious: self.spurious.saturating_sub(rhs.spurious),
+        }
+    }
 }
 
 impl<M: LockMode> Default for LockManager<M> {
@@ -148,27 +257,39 @@ impl<M: LockMode> Default for LockManager<M> {
 
 impl<M: LockMode> std::fmt::Debug for LockManager<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = self.state.lock();
         f.debug_struct("LockManager")
-            .field("objects", &s.holders.len())
+            .field("objects", &self.locked_object_count())
+            .field("stripes", &self.stripes.len())
             .field("policy", &self.policy)
             .finish()
     }
 }
 
 impl<M: LockMode> LockManager<M> {
-    /// Creates a lock manager with the given deadlock-resolution policy.
+    /// Creates a lock manager with the given deadlock-resolution policy
+    /// and the default stripe count.
     pub fn new(policy: DeadlockPolicy) -> Self {
+        Self::with_stripes(policy, DEFAULT_LOCK_STRIPES)
+    }
+
+    /// Creates a lock manager with an explicit stripe count. One stripe
+    /// reproduces the historical single-mutex table — stripe-wide
+    /// condition variable, notify-all wakeups — as the benchmark
+    /// baseline; striped tables (the default) add per-object FIFO wait
+    /// queues with precise wakeups. Counts are clamped to at least one.
+    pub fn with_stripes(policy: DeadlockPolicy, stripes: usize) -> Self {
+        let n = stripes.max(1);
         Self {
-            state: Mutex::new(State {
-                holders: HashMap::new(),
-                by_tx: HashMap::new(),
+            stripes: (0..n).map(|_| Stripe::default()).collect(),
+            waits: Mutex::new(WaitState {
                 waits_for: HashMap::new(),
                 victims: HashSet::new(),
+                waiting_in: HashMap::new(),
             }),
-            cond: Condvar::new(),
             policy,
             trace: Mutex::new(None),
+            trace_on: AtomicBool::new(false),
+            stats: WaitCounters::default(),
         }
     }
 
@@ -177,19 +298,51 @@ impl<M: LockMode> LockManager<M> {
         Arc::new(Self::new(policy))
     }
 
+    /// Creates a shared lock manager with an explicit stripe count.
+    pub fn shared_with_stripes(policy: DeadlockPolicy, stripes: usize) -> Arc<Self> {
+        Arc::new(Self::with_stripes(policy, stripes))
+    }
+
+    /// Number of stripes the granted-lock table is split into.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The stripe an object's locks live in.
+    fn stripe_of(&self, object: ObjectId) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        object.hash(&mut h);
+        (h.finish() as usize) % self.stripes.len()
+    }
+
     /// Attaches a trace collector; grants, waits and time-outs are
     /// recorded as lock [`TraceEvent`]s.
     pub fn set_trace(&self, trace: Arc<TraceCollector>) {
         *self.trace.lock() = Some(trace);
+        self.trace_on.store(true, Ordering::Release);
+    }
+
+    /// Wakeup-behaviour counters since construction (monotonic; callers
+    /// diff two snapshots to scope a measurement window).
+    pub fn wait_stats(&self) -> WaitStats {
+        WaitStats {
+            waits: self.stats.waits.load(Ordering::Relaxed),
+            wakeups: self.stats.wakeups.load(Ordering::Relaxed),
+            spurious: self.stats.spurious.load(Ordering::Relaxed),
+        }
     }
 
     fn emit(&self, tid: Tid, event: TraceEvent) {
+        if !self.trace_on.load(Ordering::Acquire) {
+            return;
+        }
         if let Some(t) = self.trace.lock().as_ref() {
             t.record(tid, event);
         }
     }
 
-    fn blockers(state: &State<M>, object: ObjectId, tid: Tid, mode: M) -> Vec<Tid> {
+    fn blockers(state: &StripeState<M>, object: ObjectId, tid: Tid, mode: M) -> Vec<Tid> {
         state
             .holders
             .get(&object)
@@ -202,7 +355,7 @@ impl<M: LockMode> LockManager<M> {
             .unwrap_or_default()
     }
 
-    fn grant(state: &mut State<M>, object: ObjectId, tid: Tid, mode: M) {
+    fn grant(state: &mut StripeState<M>, object: ObjectId, tid: Tid, mode: M) {
         let hs = state.holders.entry(object).or_default();
         if !hs.iter().any(|(t, m)| *t == tid && *m == mode) {
             hs.push((tid, mode));
@@ -211,8 +364,9 @@ impl<M: LockMode> LockManager<M> {
     }
 
     /// Would granting `tid` → … → `tid` close a cycle if `tid` waited on
-    /// each transaction in `on`?
-    fn creates_cycle(state: &State<M>, tid: Tid, on: &[Tid]) -> bool {
+    /// each transaction in `on`? The waits-for graph is global, so cycles
+    /// spanning any mix of stripes are found.
+    fn creates_cycle(waits: &WaitState, tid: Tid, on: &[Tid]) -> bool {
         // DFS from each blocker through waits_for, looking for tid.
         let mut stack: Vec<Tid> = on.to_vec();
         let mut seen: HashSet<Tid> = HashSet::new();
@@ -223,11 +377,62 @@ impl<M: LockMode> LockManager<M> {
             if !seen.insert(t) {
                 continue;
             }
-            if let Some(next) = state.waits_for.get(&t) {
+            if let Some(next) = waits.waits_for.get(&t) {
                 stack.extend(next.iter().copied());
             }
         }
         false
+    }
+
+    /// Clears `tid`'s wait-side registration (edges and parked-stripe
+    /// entry).
+    fn clear_wait(waits: &mut WaitState, tid: Tid) {
+        waits.waits_for.remove(&tid);
+        waits.waiting_in.remove(&tid);
+    }
+
+    /// Whether this table uses per-object wait queues (striped tables) or
+    /// the historical stripe-wide notify-all (one stripe).
+    fn precise(&self) -> bool {
+        self.stripes.len() > 1
+    }
+
+    /// Removes `tid` from `object`'s wait queue (striped tables).
+    fn dequeue(state: &mut StripeState<M>, object: ObjectId, tid: Tid) {
+        if let Some(q) = state.queues.get_mut(&object) {
+            if let Some(pos) = q.iter().position(|w| w.tid == tid) {
+                q.remove(pos);
+            }
+            if q.is_empty() {
+                state.queues.remove(&object);
+            }
+        }
+    }
+
+    /// Wakes the longest grantable prefix of `object`'s wait queue: every
+    /// waiter compatible with the current holders and with the waiters
+    /// woken before it. Stopping at the first blocked waiter keeps grants
+    /// FIFO-fair (later compatible readers do not overtake a blocked
+    /// writer forever). Called whenever `object`'s holders shrink or a
+    /// waiter leaves its queue — a woken waiter that exits by timeout or
+    /// victim abort passes the baton here, so a free lock is never left
+    /// with its waiters all asleep.
+    fn wake_object(state: &StripeState<M>, object: ObjectId) {
+        let Some(queue) = state.queues.get(&object) else { return };
+        let no_holders = Vec::new();
+        let holders = state.holders.get(&object).unwrap_or(&no_holders);
+        let mut woken: Vec<(Tid, M)> = Vec::new();
+        for w in queue {
+            let blocked = holders
+                .iter()
+                .chain(woken.iter())
+                .any(|(t, m)| *t != w.tid && !w.mode.compatible(m));
+            if blocked {
+                break;
+            }
+            woken.push((w.tid, w.mode));
+            w.cond.notify_one();
+        }
     }
 
     /// `LockObject` (Table 3-1): acquires `mode` on `object` for `tid`,
@@ -240,43 +445,104 @@ impl<M: LockMode> LockManager<M> {
         timeout: Duration,
     ) -> Result<(), LockError> {
         let deadline = Instant::now() + timeout;
+        let idx = self.stripe_of(object);
+        let stripe = &self.stripes[idx];
         let mut waited = false;
-        let mut state = self.state.lock();
+        let mut parks: u64 = 0;
+        // The per-object queue entry's condition variable, once parked
+        // (striped tables only; the one-stripe table parks stripe-wide).
+        let mut queued: Option<Arc<Condvar>> = None;
+        let mut state = stripe.state.lock();
         loop {
-            if state.victims.remove(&tid) {
-                // An external detector picked this waiter as a deadlock
-                // victim while it was blocked; surface the same error the
-                // local cycle check would have produced.
-                state.waits_for.remove(&tid);
-                return Err(LockError::Deadlock(object));
+            if waited {
+                // An external detector may have picked this waiter as a
+                // deadlock victim while it was blocked; surface the same
+                // error the local cycle check would have produced. (A
+                // fresh request can't be a victim: flags are only set on
+                // registered waiters, and registering happens below.)
+                let mut waits = self.waits.lock();
+                if waits.victims.remove(&tid) {
+                    Self::clear_wait(&mut waits, tid);
+                    drop(waits);
+                    if queued.is_some() {
+                        Self::dequeue(&mut state, object, tid);
+                        Self::wake_object(&state, object);
+                    }
+                    return Err(LockError::Deadlock(object));
+                }
             }
             let blockers = Self::blockers(&state, object, tid, mode);
             if blockers.is_empty() {
                 Self::grant(&mut state, object, tid, mode);
-                state.waits_for.remove(&tid);
+                if waited {
+                    Self::clear_wait(&mut self.waits.lock(), tid);
+                }
+                if queued.is_some() {
+                    Self::dequeue(&mut state, object, tid);
+                }
                 drop(state);
                 self.emit(tid, TraceEvent::LockAcquire { object, mode: format!("{mode:?}") });
                 return Ok(());
             }
-            if self.policy == DeadlockPolicy::Detect && Self::creates_cycle(&state, tid, &blockers)
             {
-                state.waits_for.remove(&tid);
-                return Err(LockError::Deadlock(object));
+                let mut waits = self.waits.lock();
+                if self.policy == DeadlockPolicy::Detect
+                    && Self::creates_cycle(&waits, tid, &blockers)
+                {
+                    Self::clear_wait(&mut waits, tid);
+                    drop(waits);
+                    if queued.is_some() {
+                        Self::dequeue(&mut state, object, tid);
+                        Self::wake_object(&state, object);
+                    }
+                    return Err(LockError::Deadlock(object));
+                }
+                waits.waits_for.insert(tid, blockers.into_iter().collect());
+                waits.waiting_in.insert(tid, (idx, object));
             }
-            state.waits_for.insert(tid, blockers.into_iter().collect());
+            if self.precise() && queued.is_none() {
+                let cond = Arc::new(Condvar::new());
+                state.queues.entry(object).or_default().push(Waiter {
+                    tid,
+                    mode,
+                    cond: Arc::clone(&cond),
+                });
+                queued = Some(cond);
+            }
             if !waited {
-                // Emit outside the state mutex: tracing must never extend
+                // Emit outside the stripe mutex: tracing must never extend
                 // the lock-table critical section (the grant and timeout
                 // paths already drop it first).
                 waited = true;
+                self.stats.waits.fetch_add(1, Ordering::Relaxed);
                 drop(state);
                 self.emit(tid, TraceEvent::LockWait { object, mode: format!("{mode:?}") });
-                state = self.state.lock();
+                state = stripe.state.lock();
                 continue;
             }
-            let timed_out = self.cond.wait_until(&mut state, deadline).timed_out();
+            parks += 1;
+            if parks > 1 {
+                // The previous wakeup found the object still blocked: a
+                // spurious wakeup (on the one-stripe table, every release
+                // produces a storm of these).
+                self.stats.spurious.fetch_add(1, Ordering::Relaxed);
+            }
+            let timed_out = match &queued {
+                Some(cond) => cond.wait_until(&mut state, deadline).timed_out(),
+                None => stripe.cond.wait_until(&mut state, deadline).timed_out(),
+            };
+            if !timed_out {
+                self.stats.wakeups.fetch_add(1, Ordering::Relaxed);
+            }
             if timed_out {
-                state.waits_for.remove(&tid);
+                Self::clear_wait(&mut self.waits.lock(), tid);
+                if queued.is_some() {
+                    // Leave the queue and pass the baton: a release may
+                    // have woken only this waiter moments ago, and its
+                    // successors must not sleep on a now-free lock.
+                    Self::dequeue(&mut state, object, tid);
+                    Self::wake_object(&state, object);
+                }
                 drop(state);
                 self.emit(tid, TraceEvent::LockTimeout { object, mode: format!("{mode:?}") });
                 return Err(LockError::Timeout(object));
@@ -285,9 +551,9 @@ impl<M: LockMode> LockManager<M> {
     }
 
     /// `ConditionallyLockObject` (Table 3-1): acquires the lock only if it
-    /// is immediately available.
+    /// is immediately available. Touches one stripe, never the wait state.
     pub fn try_lock(&self, tid: Tid, object: ObjectId, mode: M) -> bool {
-        let mut state = self.state.lock();
+        let mut state = self.stripes[self.stripe_of(object)].state.lock();
         if Self::blockers(&state, object, tid, mode).is_empty() {
             Self::grant(&mut state, object, tid, mode);
             true
@@ -299,123 +565,203 @@ impl<M: LockMode> LockManager<M> {
     /// `IsObjectLocked` (Table 3-1): whether *any* transaction holds a lock
     /// on `object`. Added to the server library for the weak queue (§4.2).
     pub fn is_locked(&self, object: ObjectId) -> bool {
-        self.state.lock().holders.get(&object).map(|h| !h.is_empty()).unwrap_or(false)
+        let state = self.stripes[self.stripe_of(object)].state.lock();
+        state.holders.get(&object).map(|h| !h.is_empty()).unwrap_or(false)
     }
 
     /// Whether `tid` itself holds a lock on `object` in any mode.
     pub fn holds(&self, tid: Tid, object: ObjectId) -> bool {
-        self.state
-            .lock()
-            .holders
-            .get(&object)
-            .map(|h| h.iter().any(|(t, _)| *t == tid))
-            .unwrap_or(false)
+        let state = self.stripes[self.stripe_of(object)].state.lock();
+        state.holders.get(&object).map(|h| h.iter().any(|(t, _)| *t == tid)).unwrap_or(false)
     }
 
     /// Current holders of `object`.
     pub fn holders(&self, object: ObjectId) -> Vec<(Tid, M)> {
-        self.state.lock().holders.get(&object).cloned().unwrap_or_default()
+        let state = self.stripes[self.stripe_of(object)].state.lock();
+        state.holders.get(&object).cloned().unwrap_or_default()
     }
 
     /// Objects locked by `tid`.
     pub fn locked_by(&self, tid: Tid) -> Vec<ObjectId> {
-        let state = self.state.lock();
-        let mut v: Vec<_> =
-            state.by_tx.get(&tid).map(|s| s.iter().copied().collect()).unwrap_or_default();
+        let mut v: Vec<ObjectId> = Vec::new();
+        for stripe in self.stripes.iter() {
+            let state = stripe.state.lock();
+            if let Some(s) = state.by_tx.get(&tid) {
+                v.extend(s.iter().copied());
+            }
+        }
         v.sort();
         v
     }
 
+    /// Whether `tid` holds at least one lock in any stripe.
+    fn holds_any(&self, tid: Tid) -> bool {
+        self.stripes.iter().any(|s| s.state.lock().by_tx.contains_key(&tid))
+    }
+
     /// Releases every lock held by `tid` (done automatically by the server
-    /// library at commit or abort, §3.1.1) and wakes waiters.
+    /// library at commit or abort, §3.1.1) and wakes waiters — the
+    /// grantable prefix of each released object's queue on striped
+    /// tables, the whole stripe on the one-stripe baseline.
     pub fn release_all(&self, tid: Tid) {
-        let mut state = self.state.lock();
-        if let Some(objects) = state.by_tx.remove(&tid) {
-            for object in objects {
-                if let Some(hs) = state.holders.get_mut(&object) {
-                    hs.retain(|(t, _)| *t != tid);
-                    if hs.is_empty() {
-                        state.holders.remove(&object);
+        // Clear the granted state stripe by stripe BEFORE touching the
+        // wait graph: a `wait_graph` snapshot between the two phases
+        // filters edges through the (already emptied) holder tables, so
+        // no exported edge can still point at this transaction once its
+        // edges are gone.
+        let precise = self.precise();
+        let mut touched = Vec::new();
+        for (idx, stripe) in self.stripes.iter().enumerate() {
+            let mut state = stripe.state.lock();
+            if let Some(objects) = state.by_tx.remove(&tid) {
+                for object in objects {
+                    if let Some(hs) = state.holders.get_mut(&object) {
+                        hs.retain(|(t, _)| *t != tid);
+                        if hs.is_empty() {
+                            state.holders.remove(&object);
+                        }
+                    }
+                    if precise {
+                        Self::wake_object(&state, object);
                     }
                 }
+                touched.push(idx);
             }
         }
-        state.waits_for.remove(&tid);
-        // Also clear other waiters' edges *to* tid: it holds nothing any
-        // more, so the exported wait graph must not keep pointing at it.
-        // (Woken waiters recompute their real blockers anyway.)
-        state.waits_for.retain(|_, on| {
-            on.remove(&tid);
-            !on.is_empty()
-        });
-        state.victims.remove(&tid);
-        self.cond.notify_all();
+        {
+            let mut waits = self.waits.lock();
+            Self::clear_wait(&mut waits, tid);
+            // Also clear other waiters' edges *to* tid: it holds nothing
+            // any more, so the exported wait graph must not keep pointing
+            // at it. (Woken waiters recompute their real blockers anyway.)
+            waits.waits_for.retain(|_, on| {
+                on.remove(&tid);
+                !on.is_empty()
+            });
+            waits.victims.remove(&tid);
+        }
+        if !precise {
+            // Historical baseline: wake every waiter on every touched
+            // stripe and let them recheck.
+            for idx in touched {
+                self.stripes[idx].cond.notify_all();
+            }
+        }
     }
 
     /// Moves all of `from`'s locks to `to` (subtransaction commit: the
     /// parent assumes the child's locks).
     pub fn transfer(&self, from: Tid, to: Tid) {
-        let mut state = self.state.lock();
-        if let Some(objects) = state.by_tx.remove(&from) {
-            for object in &objects {
-                if let Some(hs) = state.holders.get_mut(object) {
-                    for entry in hs.iter_mut() {
-                        if entry.0 == from {
-                            entry.0 = to;
+        let precise = self.precise();
+        let mut touched = Vec::new();
+        for (idx, stripe) in self.stripes.iter().enumerate() {
+            let mut state = stripe.state.lock();
+            if let Some(objects) = state.by_tx.remove(&from) {
+                for object in &objects {
+                    if let Some(hs) = state.holders.get_mut(object) {
+                        for entry in hs.iter_mut() {
+                            if entry.0 == from {
+                                entry.0 = to;
+                            }
                         }
+                        // Merge duplicate (to, mode) pairs.
+                        let mut seen = HashSet::new();
+                        hs.retain(|e| seen.insert(*e));
                     }
-                    // Merge duplicate (to, mode) pairs.
-                    let mut seen = HashSet::new();
-                    hs.retain(|e| seen.insert(*e));
+                    if precise {
+                        // The rename may unblock a waiter the new holder
+                        // no longer conflicts with (self-compatibility).
+                        Self::wake_object(&state, *object);
+                    }
+                }
+                state.by_tx.entry(to).or_default().extend(objects);
+                touched.push(idx);
+            }
+        }
+        {
+            let mut waits = self.waits.lock();
+            Self::clear_wait(&mut waits, from);
+            // Waiters blocked on the child are now really blocked on the
+            // parent; redirect their edges so the wait graph stays
+            // truthful.
+            for on in waits.waits_for.values_mut() {
+                if on.remove(&from) {
+                    on.insert(to);
                 }
             }
-            state.by_tx.entry(to).or_default().extend(objects);
         }
-        state.waits_for.remove(&from);
-        // Waiters blocked on the child are now really blocked on the
-        // parent; redirect their edges so the wait graph stays truthful.
-        for on in state.waits_for.values_mut() {
-            if on.remove(&from) {
-                on.insert(to);
+        // The parent may itself be a waiter that the renamed holders no
+        // longer block (self-compatibility); on the one-stripe baseline,
+        // wake the touched stripes so it recomputes.
+        if !precise {
+            for idx in touched {
+                self.stripes[idx].cond.notify_all();
             }
         }
-        self.cond.notify_all();
     }
 
     /// Number of distinct locked objects (introspection for tests).
     pub fn locked_object_count(&self) -> usize {
-        self.state.lock().holders.len()
+        self.stripes.iter().map(|s| s.state.lock().holders.len()).sum()
     }
 }
 
 impl<M: LockMode> WaitGraphSource for LockManager<M> {
     fn wait_graph(&self) -> Vec<(Tid, Tid)> {
-        let state = self.state.lock();
-        let mut edges: Vec<(Tid, Tid)> = state
-            .waits_for
-            .iter()
-            .flat_map(|(waiter, on)| {
-                on.iter()
-                    .filter(|holder| state.by_tx.contains_key(holder))
-                    .map(move |holder| (*waiter, *holder))
-            })
+        // Snapshot the edges under the wait mutex, then filter holders
+        // against the stripes WITHOUT holding it (lock order is stripe →
+        // waits, so stripes must not be taken under waits). `release_all`
+        // empties a transaction's stripe entries before clearing its
+        // edges, so any edge still present here whose holder has fully
+        // released filters out — a snapshot taken mid-release never
+        // resurrects a stale edge.
+        let edges: Vec<(Tid, Tid)> = {
+            let waits = self.waits.lock();
+            waits
+                .waits_for
+                .iter()
+                .flat_map(|(waiter, on)| on.iter().map(move |holder| (*waiter, *holder)))
+                .collect()
+        };
+        let mut holds: HashMap<Tid, bool> = HashMap::new();
+        let mut out: Vec<(Tid, Tid)> = edges
+            .into_iter()
+            .filter(|(_, holder)| *holds.entry(*holder).or_insert_with(|| self.holds_any(*holder)))
             .collect();
-        drop(state);
-        edges.sort();
-        edges
+        out.sort();
+        out
     }
 
     fn abort_waiter(&self, tid: Tid) -> bool {
-        let mut state = self.state.lock();
-        // Only flag transactions actually blocked here; otherwise the flag
-        // would linger and poison an unrelated later wait.
-        if state.waits_for.contains_key(&tid) {
-            state.victims.insert(tid);
-            self.cond.notify_all();
-            true
-        } else {
-            false
+        // Flag under the wait mutex, then wake exactly the stripe the
+        // victim is parked in. Locking that stripe's mutex before
+        // notifying closes the race with a waiter that has registered but
+        // not yet parked: registration happens with the stripe mutex
+        // held, so acquiring it here means the victim is either already
+        // parked (and gets the notify) or will re-check the flag at its
+        // loop top before parking.
+        let parked = {
+            let mut waits = self.waits.lock();
+            // Only flag transactions actually blocked here; otherwise the
+            // flag would linger and poison an unrelated later wait.
+            if !waits.waits_for.contains_key(&tid) {
+                return false;
+            }
+            waits.victims.insert(tid);
+            waits.waiting_in.get(&tid).copied()
+        };
+        if let Some((idx, object)) = parked {
+            let state = self.stripes[idx].state.lock();
+            if let Some(w) = state.queues.get(&object).and_then(|q| q.iter().find(|w| w.tid == tid))
+            {
+                // Striped table: wake exactly the victim's own condvar.
+                w.cond.notify_one();
+            } else {
+                drop(state);
+                self.stripes[idx].cond.notify_all();
+            }
         }
+        true
     }
 }
 
@@ -707,6 +1053,288 @@ mod tests {
             }
         });
         assert_eq!(*counter.lock(), 400);
+        assert_eq!(lm.locked_object_count(), 0);
+    }
+
+    /// Finds two objects that hash to different stripes (the whole point
+    /// of the cross-stripe tests below).
+    fn cross_stripe_pair(lm: &LockManager<StdMode>) -> (ObjectId, ObjectId) {
+        let a = obj(1);
+        for o in 2..200 {
+            let b = obj(o);
+            if lm.stripe_of(b) != lm.stripe_of(a) {
+                return (a, b);
+            }
+        }
+        panic!("no cross-stripe pair among 200 objects");
+    }
+
+    #[test]
+    fn single_stripe_preserves_conflict_semantics() {
+        let lm = LockManager::<StdMode>::with_stripes(DeadlockPolicy::Timeout, 1);
+        assert_eq!(lm.stripe_count(), 1);
+        lm.lock(tid(1), obj(1), StdMode::Exclusive, T).unwrap();
+        assert_eq!(
+            lm.lock(tid(2), obj(1), StdMode::Shared, T).unwrap_err(),
+            LockError::Timeout(obj(1))
+        );
+        lm.release_all(tid(1));
+        lm.lock(tid(2), obj(1), StdMode::Shared, T).unwrap();
+    }
+
+    #[test]
+    fn stripe_count_clamps_to_one() {
+        let lm = LockManager::<StdMode>::with_stripes(DeadlockPolicy::Timeout, 0);
+        assert_eq!(lm.stripe_count(), 1);
+        lm.lock(tid(1), obj(1), StdMode::Exclusive, T).unwrap();
+        assert!(lm.holds(tid(1), obj(1)));
+    }
+
+    #[test]
+    fn concurrent_acquire_release_across_stripes() {
+        // Many threads each exercise lock/release over objects spread
+        // across every stripe; conflict semantics must hold throughout
+        // (the exclusive section below would corrupt `hits` otherwise).
+        let lm = LockManager::<StdMode>::shared(DeadlockPolicy::Timeout);
+        let hits = Arc::new(Mutex::new(vec![0i64; 8]));
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let lm = Arc::clone(&lm);
+                let hits = Arc::clone(&hits);
+                std::thread::spawn(move || {
+                    for round in 0..50u64 {
+                        let id = tid(t * 1000 + round + 1);
+                        let o = obj((t + round) % 8);
+                        lm.lock(id, o, StdMode::Exclusive, Duration::from_secs(5)).unwrap();
+                        {
+                            let mut h = hits.lock();
+                            let idx = ((t + round) % 8) as usize;
+                            let v = h[idx];
+                            std::thread::yield_now();
+                            h[idx] = v + 1;
+                        }
+                        lm.release_all(id);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(hits.lock().iter().sum::<i64>(), 400);
+        assert_eq!(lm.locked_object_count(), 0);
+        assert!(lm.wait_graph().is_empty());
+    }
+
+    #[test]
+    fn local_detect_refuses_cross_stripe_cycle() {
+        // T1 holds A (stripe i), T2 holds B (stripe j != i). T2 blocks on
+        // A; T1 then requesting B would close a cycle spanning both
+        // stripes — the Detect policy must refuse it even though each
+        // stripe alone sees only one edge.
+        let lm = LockManager::<StdMode>::shared(DeadlockPolicy::Detect);
+        let (a, b) = cross_stripe_pair(&lm);
+        lm.lock(tid(1), a, StdMode::Exclusive, T).unwrap();
+        lm.lock(tid(2), b, StdMode::Exclusive, T).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let blocked = std::thread::spawn(move || {
+            lm2.lock(tid(2), a, StdMode::Exclusive, Duration::from_secs(5))
+        });
+        while lm.wait_graph().is_empty() {
+            std::thread::yield_now();
+        }
+        let err = lm.lock(tid(1), b, StdMode::Exclusive, Duration::from_secs(5)).unwrap_err();
+        assert_eq!(err, LockError::Deadlock(b));
+        lm.release_all(tid(1));
+        blocked.join().unwrap().unwrap();
+        lm.release_all(tid(2));
+    }
+
+    #[test]
+    fn abort_waiter_resolves_cross_stripe_cycle() {
+        // The external-detector path: two waiters parked on different
+        // stripes form a cycle; abort_waiter must find the victim's
+        // stripe and wake exactly it with a deadlock error.
+        let lm = LockManager::<StdMode>::with_stripes(DeadlockPolicy::Timeout, 16);
+        let lm = Arc::new(lm);
+        let (a, b) = cross_stripe_pair(&lm);
+        lm.lock(tid(1), a, StdMode::Exclusive, T).unwrap();
+        lm.lock(tid(2), b, StdMode::Exclusive, T).unwrap();
+        let lm1 = Arc::clone(&lm);
+        let w1 = std::thread::spawn(move || {
+            lm1.lock(tid(1), b, StdMode::Exclusive, Duration::from_secs(10))
+        });
+        let lm2 = Arc::clone(&lm);
+        let w2 = std::thread::spawn(move || {
+            lm2.lock(tid(2), a, StdMode::Exclusive, Duration::from_secs(10))
+        });
+        while lm.wait_graph().len() < 2 {
+            std::thread::yield_now();
+        }
+        assert_eq!(lm.wait_graph(), vec![(tid(1), tid(2)), (tid(2), tid(1))]);
+        assert!(lm.abort_waiter(tid(2)));
+        let err = w2.join().unwrap().unwrap_err();
+        assert_eq!(err, LockError::Deadlock(a));
+        lm.release_all(tid(2));
+        w1.join().unwrap().unwrap();
+        lm.release_all(tid(1));
+        assert_eq!(lm.locked_object_count(), 0);
+    }
+
+    #[test]
+    fn release_wakes_only_waiters_on_touched_stripes() {
+        // A waiter parked on stripe(B) must still wake when its blocker
+        // releases, while an unrelated holder on another stripe releasing
+        // does not grant it anything.
+        let lm = LockManager::<StdMode>::shared(DeadlockPolicy::Timeout);
+        let (a, b) = cross_stripe_pair(&lm);
+        lm.lock(tid(1), b, StdMode::Exclusive, T).unwrap();
+        lm.lock(tid(3), a, StdMode::Exclusive, T).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let waiter = std::thread::spawn(move || {
+            lm2.lock(tid(2), b, StdMode::Exclusive, Duration::from_secs(5))
+        });
+        while lm.wait_graph().is_empty() {
+            std::thread::yield_now();
+        }
+        // Unrelated release on a different stripe: waiter stays parked.
+        lm.release_all(tid(3));
+        assert_eq!(lm.wait_graph(), vec![(tid(2), tid(1))]);
+        lm.release_all(tid(1));
+        waiter.join().unwrap().unwrap();
+        assert!(lm.holds(tid(2), b));
+        lm.release_all(tid(2));
+    }
+
+    /// Parks `n` exclusive waiters for distinct transactions on `o` and
+    /// returns their join handles once all are registered.
+    fn park_exclusive_waiters(
+        lm: &Arc<LockManager<StdMode>>,
+        o: ObjectId,
+        ids: &[u64],
+    ) -> Vec<std::thread::JoinHandle<Result<(), LockError>>> {
+        let handles: Vec<_> = ids
+            .iter()
+            .map(|&s| {
+                let lm = Arc::clone(lm);
+                std::thread::spawn(move || {
+                    let r = lm.lock(tid(s), o, StdMode::Exclusive, Duration::from_secs(10));
+                    if r.is_ok() {
+                        lm.release_all(tid(s));
+                    }
+                    r
+                })
+            })
+            .collect();
+        while lm.wait_graph().iter().map(|(w, _)| w).collect::<HashSet<_>>().len() < ids.len() {
+            std::thread::yield_now();
+        }
+        handles
+    }
+
+    #[test]
+    fn exclusive_herd_wakes_without_spurious_wakeups() {
+        // Striped table: four exclusive waiters pile onto one object. As
+        // the lock hands down the queue, each release must wake exactly
+        // the next grantable waiter — never the whole herd.
+        let lm = LockManager::<StdMode>::shared(DeadlockPolicy::Timeout);
+        lm.lock(tid(1), obj(1), StdMode::Exclusive, T).unwrap();
+        let handles = park_exclusive_waiters(&lm, obj(1), &[2, 3, 4, 5]);
+        lm.release_all(tid(1));
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+        let stats = lm.wait_stats();
+        assert_eq!(stats.waits, 4);
+        assert_eq!(stats.spurious, 0, "a precise wakeup must only wake a waiter it can grant");
+        assert_eq!(lm.locked_object_count(), 0);
+    }
+
+    #[test]
+    fn readers_wake_together_behind_a_writer() {
+        // Two shared waiters behind an exclusive holder form a compatible
+        // prefix: one release wakes both at once.
+        let lm = LockManager::<StdMode>::shared(DeadlockPolicy::Timeout);
+        lm.lock(tid(1), obj(1), StdMode::Exclusive, T).unwrap();
+        let readers: Vec<_> = [2u64, 3]
+            .iter()
+            .map(|&s| {
+                let lm = Arc::clone(&lm);
+                std::thread::spawn(move || {
+                    lm.lock(tid(s), obj(1), StdMode::Shared, Duration::from_secs(10))
+                })
+            })
+            .collect();
+        while lm.wait_graph().len() < 2 {
+            std::thread::yield_now();
+        }
+        lm.release_all(tid(1));
+        for r in readers {
+            r.join().unwrap().unwrap();
+        }
+        assert_eq!(lm.holders(obj(1)).len(), 2);
+        assert_eq!(lm.wait_stats().spurious, 0);
+    }
+
+    #[test]
+    fn timed_out_waiter_leaves_the_queue_cleanly() {
+        // W1 times out while parked behind the holder; W2, parked after
+        // W1, must still be woken by the eventual release (the departed
+        // waiter cannot leave a hole in the queue's wake order).
+        let lm = LockManager::<StdMode>::shared(DeadlockPolicy::Timeout);
+        lm.lock(tid(1), obj(1), StdMode::Exclusive, T).unwrap();
+        let lm1 = Arc::clone(&lm);
+        let w1 = std::thread::spawn(move || {
+            lm1.lock(tid(2), obj(1), StdMode::Exclusive, Duration::from_millis(200))
+        });
+        let lm2 = Arc::clone(&lm);
+        let w2 = std::thread::spawn(move || {
+            lm2.lock(tid(3), obj(1), StdMode::Exclusive, Duration::from_secs(10))
+        });
+        while lm.wait_graph().len() < 2 {
+            std::thread::yield_now();
+        }
+        assert_eq!(w1.join().unwrap().unwrap_err(), LockError::Timeout(obj(1)));
+        lm.release_all(tid(1));
+        w2.join().unwrap().unwrap();
+        assert!(lm.holds(tid(3), obj(1)));
+        lm.release_all(tid(3));
+    }
+
+    #[test]
+    fn upgrade_wakes_when_the_other_reader_releases() {
+        // T1 (shared) waits to upgrade behind T2's shared hold. T2's
+        // release must wake T1 even though T1 itself still holds the
+        // object — self-compatibility in the wake computation.
+        let lm = LockManager::<StdMode>::shared(DeadlockPolicy::Timeout);
+        lm.lock(tid(1), obj(1), StdMode::Shared, T).unwrap();
+        lm.lock(tid(2), obj(1), StdMode::Shared, T).unwrap();
+        let lm1 = Arc::clone(&lm);
+        let upgrader = std::thread::spawn(move || {
+            lm1.lock(tid(1), obj(1), StdMode::Exclusive, Duration::from_secs(10))
+        });
+        while lm.wait_graph().is_empty() {
+            std::thread::yield_now();
+        }
+        lm.release_all(tid(2));
+        upgrader.join().unwrap().unwrap();
+        assert!(!lm.try_lock(tid(3), obj(1), StdMode::Shared));
+        lm.release_all(tid(1));
+    }
+
+    #[test]
+    fn coarse_baseline_still_wakes_its_herd() {
+        // The one-stripe historical table keeps notify-all semantics: a
+        // herd of waiters on one object all make progress, at the cost of
+        // spurious wakeups (which the stats must show).
+        let lm = Arc::new(LockManager::<StdMode>::with_stripes(DeadlockPolicy::Timeout, 1));
+        lm.lock(tid(1), obj(1), StdMode::Exclusive, T).unwrap();
+        let handles = park_exclusive_waiters(&lm, obj(1), &[2, 3, 4]);
+        lm.release_all(tid(1));
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+        assert_eq!(lm.wait_stats().waits, 3);
         assert_eq!(lm.locked_object_count(), 0);
     }
 }

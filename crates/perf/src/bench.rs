@@ -29,6 +29,7 @@ use rand::{Rng, SeedableRng};
 use tabs_app_lib::{AppError, AppHandle};
 use tabs_core::{Cluster, ClusterConfig, Node, NodeId, Tid};
 use tabs_kernel::{PerfSnapshot, PAGE_SIZE};
+use tabs_servers::harness::client_for;
 use tabs_servers::{IntArrayClient, IntArrayServer};
 
 /// Pool frames per node in the benchmark cluster.
@@ -113,15 +114,10 @@ impl BenchWorld {
         }
         let n1 = &nodes[0];
         let app = n1.app();
-        let resolve = |name: &str| {
-            let found = n1.resolve(name, 1, Duration::from_secs(3));
-            assert_eq!(found.len(), 1, "{name} resolvable");
-            IntArrayClient::new(app.clone(), found[0].0.clone())
-        };
-        let local_small = resolve("small1");
-        let local_big = resolve("big1");
-        let remote_small = vec![resolve("small2"), resolve("small3")];
-        let remote_big = resolve("big2");
+        let local_small = client_for(n1, "small1");
+        let local_big = client_for(n1, "big1");
+        let remote_small = vec![client_for(n1, "small2"), client_for(n1, "small3")];
+        let remote_big = client_for(n1, "big2");
         Self {
             _servers: servers,
             cluster,

@@ -21,6 +21,8 @@ use tabs_app_lib::AppHandle;
 use tabs_core::{Cluster, ClusterConfig, NodeId, Tid};
 use tabs_servers::{IntArrayClient, IntArrayServer};
 
+use crate::report::{BenchReport, RunOpts, Workload, WorkloadOutput};
+
 /// One mode's measurements over a full run.
 #[derive(Debug, Clone)]
 pub struct ContentionResult {
@@ -65,12 +67,64 @@ impl ContentionResult {
         self.aborts as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
 
-    fn mode(&self) -> &'static str {
+    /// Mode label for tables and reports.
+    pub fn mode(&self) -> &'static str {
         if self.detect {
             "detect"
         } else {
             "timeout-only"
         }
+    }
+
+    /// The run as a serializable report row. The latency percentiles are
+    /// *deadlock-resolution* latencies (cycle closed → both sides
+    /// unblocked), not transaction latencies — `config.latency_kind`
+    /// records that.
+    pub fn to_report(&self) -> BenchReport {
+        let mut r = BenchReport {
+            workload: "contention".into(),
+            scenario: "two-node-cycle".into(),
+            mode: self.mode().into(),
+            duration_ms: self.elapsed.as_secs_f64() * 1e3,
+            committed: self.commits,
+            aborted: self.aborts,
+            throughput_tps: self.commits as f64 / self.elapsed.as_secs_f64().max(1e-9),
+            p50_ms: self.p50().as_secs_f64() * 1e3,
+            p95_ms: self.p95().as_secs_f64() * 1e3,
+            p99_ms: self.percentile(99).as_secs_f64() * 1e3,
+            deadlocks_resolved: self.aborts,
+            ..BenchReport::default()
+        };
+        r.config.insert("latency_kind".into(), "resolution".into());
+        r.config.insert("rounds".into(), self.resolutions.len().to_string());
+        r.config
+            .insert("lock_timeout_ms".into(), format!("{}", self.lock_timeout.as_secs_f64() * 1e3));
+        r
+    }
+}
+
+/// The `tables contention` workload: both resolution modes side by side.
+pub struct ContentionWorkload;
+
+impl Workload for ContentionWorkload {
+    fn name(&self) -> &'static str {
+        "contention"
+    }
+
+    fn describe(&self) -> &'static str {
+        "deadlock-resolution latency: time-out-only vs probe-based detection"
+    }
+
+    fn run(&self, opts: &RunOpts) -> Result<WorkloadOutput, String> {
+        let rounds = if opts.quick { 6 } else { opts.iters.unwrap_or(40) };
+        let timeout = Duration::from_millis(400);
+        let timeout_only = run(false, rounds, timeout);
+        let detect = run(true, rounds, timeout);
+        Ok(WorkloadOutput {
+            text: render(&[timeout_only.clone(), detect.clone()]),
+            reports: vec![timeout_only.to_report(), detect.to_report()],
+            gate_failure: None,
+        })
     }
 }
 

@@ -25,24 +25,37 @@
 //! - [`partition`] — the partition-recovery microbenchmark: in-doubt
 //!   resolution latency after a coordinator crash, cooperative
 //!   termination versus the retransmit-timeout-only baseline.
+//! - [`mod@load`] — the sustained load generator: open- and closed-loop
+//!   drivers over the bank and mixed-server scenarios, including the
+//!   lock-striping comparison.
 //! - [`model`] — predicted latency (counts × costs), the
 //!   "Improved TABS Architecture" and "New Primitive Times" projections,
 //!   and the §5.2/§7 latency-accounting compositions.
 //! - [`paper`] — the published numbers, for side-by-side comparison.
+//! - [`report`] — the [`Workload`] trait unifying every bench
+//!   entrypoint, the serializable [`BenchReport`] rows they emit, and the
+//!   versioned `BENCH_*.json` format.
 //! - [`tables`] — ASCII renderers regenerating every table.
 
 pub mod bench;
 pub mod contention;
 pub mod cost;
 pub mod groupcommit;
+pub mod load;
 pub mod model;
 pub mod paper;
 pub mod partition;
+pub mod report;
 pub mod tables;
 
 pub use bench::{benchmarks, run_all, BenchResult, BenchWorld, Benchmark, CommitClass};
-pub use contention::ContentionResult;
+pub use contention::{ContentionResult, ContentionWorkload};
 pub use cost::{CostTable, ACHIEVABLE, PERQ_T2};
-pub use groupcommit::GroupCommitResult;
+pub use groupcommit::{GroupCommitResult, GroupCommitWorkload};
+pub use load::{LoadProfile, LoadResult, LoadWorkload};
 pub use model::{improved_counts, predicted_ms, Projection};
-pub use partition::PartitionResult;
+pub use paper::PaperWorkload;
+pub use partition::{PartitionResult, PartitionWorkload};
+pub use report::{
+    registry, BenchFile, BenchReport, Json, RunOpts, Workload, WorkloadOutput, BENCH_SCHEMA_VERSION,
+};

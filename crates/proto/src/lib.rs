@@ -29,5 +29,5 @@ pub mod wire;
 pub use beat::BeatMsg;
 pub use commit::CommitMsg;
 pub use detect::DetectMsg;
-pub use rpc::{call, call_with_timeout, Request, Response, RpcError, ServerError};
-pub use wire::{Datagram, NameEntry, NsMsg, SessionFrame};
+pub use rpc::{call, call_with_timeout, Request, RequestRef, Response, RpcError, ServerError};
+pub use wire::{Datagram, NameEntry, NsMsg, SessionFrame, SessionFrameRef};

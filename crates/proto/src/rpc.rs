@@ -13,7 +13,7 @@
 
 use std::time::Duration;
 
-use tabs_codec::{Decode, DecodeError, Encode, Reader, Writer};
+use tabs_codec::{Decode, DecodeError, DecodeRef, Encode, Reader, Writer};
 use tabs_kernel::{Kernel, Message, NodeId, PortClass, PrimitiveOp, SendRight, Tid};
 
 /// Errors a data server can return through the RPC layer.
@@ -141,6 +141,42 @@ impl Decode for Request {
     }
 }
 
+/// A borrowed view of a [`Request`] decoded in place from a receive
+/// buffer: the argument bytes stay in the buffer instead of being copied
+/// per message (the datagram-receive hot path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestRef<'a> {
+    /// Transaction on whose behalf the operation runs.
+    pub tid: Tid,
+    /// Server-defined operation code.
+    pub opcode: u32,
+    /// Codec-encoded arguments, borrowed from the receive buffer.
+    pub args: &'a [u8],
+    /// The complete encoded request (the bytes this view was decoded
+    /// from). A relay can forward them verbatim — `Request::encode`
+    /// produces exactly these bytes — without re-encoding.
+    pub raw: &'a [u8],
+}
+
+impl<'a> RequestRef<'a> {
+    /// Copies the view into an owned [`Request`] (session reassembly and
+    /// other paths that must outlive the receive buffer).
+    pub fn to_owned(&self) -> Request {
+        Request { tid: self.tid, opcode: self.opcode, args: self.args.to_vec() }
+    }
+}
+
+impl<'a> DecodeRef<'a> for RequestRef<'a> {
+    fn decode_ref(r: &mut Reader<'a>) -> Result<Self, DecodeError> {
+        let raw = r.rest();
+        let tid = Tid::decode(r)?;
+        let opcode = u32::decode(r)?;
+        let args = <&[u8]>::decode_ref(r)?;
+        let raw = &raw[..raw.len() - r.remaining()];
+        Ok(RequestRef { tid, opcode, args, raw })
+    }
+}
+
 /// A data server's response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
@@ -254,6 +290,24 @@ pub fn response_message(result: Result<Vec<u8>, ServerError>) -> Message {
     Message::new(0, Response { result }.encode_to_vec())
 }
 
+/// [`response_message`] for a borrowed result payload: encodes the
+/// [`Response`] wire format directly from the slice, skipping the owned
+/// intermediate `Vec` (zero-copy relay path).
+pub fn response_message_ref(result: Result<&[u8], &ServerError>) -> Message {
+    let mut w = Writer::new();
+    match result {
+        Ok(v) => {
+            w.put_u8(0);
+            w.put_bytes(v);
+        }
+        Err(e) => {
+            w.put_u8(1);
+            e.encode(&mut w);
+        }
+    }
+    Message::new(0, w.into_vec())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,6 +315,30 @@ mod tests {
 
     fn tid() -> Tid {
         Tid { node: NodeId(1), incarnation: 1, seq: 9 }
+    }
+
+    #[test]
+    fn request_ref_agrees_with_owned_decode() {
+        let req = Request { tid: tid(), opcode: 3, args: vec![1, 2, 3] };
+        let buf = req.encode_to_vec();
+        let view = RequestRef::decode_ref_all(&buf).unwrap();
+        assert_eq!(view.tid, req.tid);
+        assert_eq!(view.opcode, req.opcode);
+        assert_eq!(view.args, &req.args[..]);
+        // Borrowed, not copied, and `raw` is the exact original encoding.
+        assert_eq!(view.args.as_ptr(), buf[buf.len() - 3..].as_ptr());
+        assert_eq!(view.raw, &buf[..]);
+        assert_eq!(view.to_owned(), req);
+    }
+
+    #[test]
+    fn response_message_ref_matches_owned_encoding() {
+        let owned = response_message(Ok(vec![7, 8]));
+        let borrowed = response_message_ref(Ok(&[7, 8]));
+        assert_eq!(owned.body, borrowed.body);
+        let owned = response_message(Err(ServerError::Deadlock));
+        let borrowed = response_message_ref(Err(&ServerError::Deadlock));
+        assert_eq!(owned.body, borrowed.body);
     }
 
     #[test]

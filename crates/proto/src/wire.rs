@@ -1,12 +1,12 @@
 //! Inter-node wire formats: session frames and datagram envelopes.
 
-use tabs_codec::{decode_seq, encode_seq, Decode, DecodeError, Encode, Reader, Writer};
+use tabs_codec::{decode_seq, encode_seq, Decode, DecodeError, DecodeRef, Encode, Reader, Writer};
 use tabs_kernel::{NodeId, ObjectId, PortId};
 
 use crate::beat::BeatMsg;
 use crate::commit::CommitMsg;
 use crate::detect::DetectMsg;
-use crate::rpc::{Request, ServerError};
+use crate::rpc::{Request, RequestRef, ServerError};
 
 /// One frame on a Communication Manager session (remote procedure calls
 /// ride sessions, §3.2.4).
@@ -75,6 +75,54 @@ impl Decode for SessionFrame {
                     _ => return Err(DecodeError::Invalid("SessionFrame result")),
                 };
                 Ok(SessionFrame::Reply { call_id, result })
+            }
+            _ => Err(DecodeError::Invalid("SessionFrame tag")),
+        }
+    }
+}
+
+/// A borrowed view of a [`SessionFrame`] decoded in place from a receive
+/// buffer. The call's request bytes and the reply's result payload stay
+/// in the buffer — the Communication Manager's relay loop forwards or
+/// re-frames them without the per-message copies [`SessionFrame`]'s owned
+/// decode performs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionFrameRef<'a> {
+    /// Borrowed view of [`SessionFrame::Call`].
+    Call {
+        /// Correlates the eventual reply.
+        call_id: u64,
+        /// The real (remote) port of the destination data server.
+        target_port: PortId,
+        /// The operation request, borrowed from the receive buffer.
+        request: RequestRef<'a>,
+    },
+    /// Borrowed view of [`SessionFrame::Reply`]. Error results are owned:
+    /// they are rare and carry short strings.
+    Reply {
+        /// Correlation id from the call.
+        call_id: u64,
+        /// Operation result; the success payload borrows the buffer.
+        result: Result<&'a [u8], ServerError>,
+    },
+}
+
+impl<'a> DecodeRef<'a> for SessionFrameRef<'a> {
+    fn decode_ref(r: &mut Reader<'a>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(SessionFrameRef::Call {
+                call_id: u64::decode(r)?,
+                target_port: PortId::decode(r)?,
+                request: RequestRef::decode_ref(r)?,
+            }),
+            1 => {
+                let call_id = u64::decode(r)?;
+                let result = match r.get_u8()? {
+                    0 => Ok(<&[u8]>::decode_ref(r)?),
+                    1 => Err(ServerError::decode(r)?),
+                    _ => return Err(DecodeError::Invalid("SessionFrame result")),
+                };
+                Ok(SessionFrameRef::Reply { call_id, result })
             }
             _ => Err(DecodeError::Invalid("SessionFrame tag")),
         }
@@ -244,6 +292,50 @@ mod tests {
         assert_eq!(SessionFrame::decode_all(&ok.encode_to_vec()).unwrap(), ok);
         let err = SessionFrame::Reply { call_id: 13, result: Err(ServerError::LockTimeout) };
         assert_eq!(SessionFrame::decode_all(&err.encode_to_vec()).unwrap(), err);
+    }
+
+    #[test]
+    fn session_frame_ref_agrees_with_owned_decode() {
+        let request = Request {
+            tid: Tid { node: NodeId(1), incarnation: 1, seq: 3 },
+            opcode: 5,
+            args: vec![1, 2, 3],
+        };
+        let call = SessionFrame::Call { call_id: 12, target_port: port(), request };
+        let buf = call.encode_to_vec();
+        match SessionFrameRef::decode_ref_all(&buf).unwrap() {
+            SessionFrameRef::Call { call_id, target_port, request } => {
+                assert_eq!(call_id, 12);
+                assert_eq!(target_port, port());
+                assert_eq!(request.opcode, 5);
+                assert_eq!(request.args, &[1, 2, 3]);
+                // The request's raw bytes are the frame's trailing suffix:
+                // a relay can forward them without re-encoding.
+                assert_eq!(request.raw, &buf[buf.len() - request.raw.len()..]);
+                assert_eq!(request.raw.as_ptr(), buf[buf.len() - request.raw.len()..].as_ptr());
+            }
+            other => panic!("expected Call, got {other:?}"),
+        }
+
+        let ok = SessionFrame::Reply { call_id: 12, result: Ok(vec![4, 5]) };
+        let buf = ok.encode_to_vec();
+        match SessionFrameRef::decode_ref_all(&buf).unwrap() {
+            SessionFrameRef::Reply { call_id, result } => {
+                assert_eq!(call_id, 12);
+                assert_eq!(result.unwrap(), &[4, 5]);
+            }
+            other => panic!("expected Reply, got {other:?}"),
+        }
+
+        let err = SessionFrame::Reply { call_id: 13, result: Err(ServerError::LockTimeout) };
+        let buf = err.encode_to_vec();
+        match SessionFrameRef::decode_ref_all(&buf).unwrap() {
+            SessionFrameRef::Reply { call_id, result } => {
+                assert_eq!(call_id, 13);
+                assert_eq!(result.unwrap_err(), ServerError::LockTimeout);
+            }
+            other => panic!("expected Reply, got {other:?}"),
+        }
     }
 
     #[test]

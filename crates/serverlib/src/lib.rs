@@ -40,11 +40,11 @@ use tabs_detect::Detector;
 use tabs_kernel::{Kernel, MappedSegment, Message, ObjectId, PortClass, PortId, SegmentId, Tid};
 use tabs_lock::{DeadlockPolicy, LockError, LockManager, StdMode};
 use tabs_obs::TraceCollector;
-use tabs_proto::{Request, ServerError};
+use tabs_proto::{RequestRef, ServerError};
 use tabs_rm::{OperationHandler, RecoveryManager};
 use tabs_tm::{Participant, TransactionManager};
 
-use tabs_codec::Decode;
+use tabs_codec::DecodeRef;
 
 /// Everything a data server needs from its node.
 #[derive(Clone)]
@@ -96,6 +96,9 @@ pub struct ServerConfig {
     pub lock_timeout: Duration,
     /// Deadlock policy; `Timeout` is the paper's, `Detect` the extension.
     pub deadlock_policy: DeadlockPolicy,
+    /// Number of lock-table stripes (hash partitions of the lock name
+    /// space, each with its own mutex and wait queue).
+    pub lock_stripes: usize,
 }
 
 impl ServerConfig {
@@ -106,6 +109,7 @@ impl ServerConfig {
             segment,
             lock_timeout: Duration::from_millis(300),
             deadlock_policy: DeadlockPolicy::Timeout,
+            lock_stripes: tabs_lock::DEFAULT_LOCK_STRIPES,
         }
     }
 
@@ -120,6 +124,13 @@ impl ServerConfig {
     /// the waits-for-graph extension).
     pub fn with_deadlock_policy(mut self, policy: DeadlockPolicy) -> Self {
         self.deadlock_policy = policy;
+        self
+    }
+
+    /// Overrides the lock-table stripe count (clamped to at least 1; 1
+    /// reproduces the original single-mutex lock table).
+    pub fn with_lock_stripes(mut self, stripes: usize) -> Self {
+        self.lock_stripes = stripes.max(1);
         self
     }
 }
@@ -194,7 +205,7 @@ impl DataServer {
             kernel: deps.kernel.clone(),
             rm: Arc::clone(&deps.rm),
             tm: Arc::clone(&deps.tm),
-            locks: LockManager::shared(config.deadlock_policy),
+            locks: LockManager::shared_with_stripes(config.deadlock_policy, config.lock_stripes),
             segment,
             seg_id: config.segment,
             lock_timeout: config.lock_timeout,
@@ -265,16 +276,19 @@ impl DataServer {
         inner.accepting.store(true, Ordering::Release);
         let participant: Arc<dyn Participant> =
             Arc::new(ServerParticipant { inner: Arc::clone(&self.inner) });
+        // A coroutine per request (§3.1.1): the OS thread is the stack and
+        // the monitor provides coroutine semantics. Threads come from a
+        // cache so sustained load does not pay a spawn per call; the pool
+        // spawns rather than queues when no worker is parked, so a request
+        // can never stall behind a coroutine blocked in a lock wait.
+        let workers = tabs_kernel::WorkerPool::new(&format!("ds-{}", self.inner.name));
         self.inner.kernel.spawn(&format!("ds-{}", self.inner.name), move || loop {
             match rx.recv() {
                 Ok(msg) => {
                     let inner = Arc::clone(&inner);
                     let dispatch = Arc::clone(&dispatch);
                     let participant = Arc::clone(&participant);
-                    // A new coroutine for this request (§3.1.1). The OS
-                    // thread is the stack; the monitor provides coroutine
-                    // semantics.
-                    std::thread::spawn(move || {
+                    workers.execute(move || {
                         ServerInner::serve_one(inner, dispatch, participant, msg);
                     });
                 }
@@ -292,7 +306,9 @@ impl ServerInner {
         msg: Message,
     ) {
         let reply = msg.reply;
-        let req = match Request::decode_all(&msg.body) {
+        // Borrowed decode: the argument bytes are dispatched straight out
+        // of the message buffer instead of being copied per request.
+        let req = match RequestRef::decode_ref_all(&msg.body) {
             Ok(r) => r,
             Err(e) => {
                 if let Some(r) = reply {
@@ -324,7 +340,7 @@ impl ServerInner {
         // Enter the monitor: the coroutine runs.
         let guard = inner.monitor.lock();
         let ctx = OpCtx { server: &inner, tid: req.tid, guard: RefCell::new(Some(guard)) };
-        let result = dispatch(&ctx, req.opcode, &req.args);
+        let result = dispatch(&ctx, req.opcode, req.args);
         drop(ctx);
         if let Some(r) = reply {
             let _ = r.send_unmetered(tabs_proto::rpc::response_message(result));

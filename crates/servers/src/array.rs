@@ -107,6 +107,11 @@ impl IntArrayServer {
         self.server.send_right()
     }
 
+    /// The server's lock manager (benchmarks snapshot its wait stats).
+    pub fn locks(&self) -> &Arc<tabs_lock::LockManager<tabs_lock::StdMode>> {
+        self.server.locks()
+    }
+
     /// The server's port (for Name Server registration elsewhere).
     pub fn port_id(&self) -> tabs_kernel::PortId {
         self.server.port_id()

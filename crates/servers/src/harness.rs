@@ -1,0 +1,65 @@
+//! Shared cluster/world-building helpers.
+//!
+//! One place for the boot-and-resolve boilerplate that the integration
+//! suites, the perf scenarios and the examples all need: boot a node,
+//! spawn servers on it, resolve them through the Name Server and wrap
+//! the ports in client stubs.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tabs_core::{Cluster, Node, NodeId};
+
+use crate::{BTreeServer, IntArrayClient, IntArrayServer, IoServer, WeakQueueServer};
+
+/// Boots node `id`, spawns an integer-array server with `cells` cells
+/// under `name`, and recovers the node.
+pub fn boot_with_array_cells(
+    cluster: &Arc<Cluster>,
+    id: u16,
+    name: &str,
+    cells: u64,
+) -> (Node, IntArrayServer) {
+    let node = cluster.boot_node(NodeId(id));
+    let arr = IntArrayServer::spawn(&node, name, cells).unwrap();
+    node.recover().unwrap();
+    (node, arr)
+}
+
+/// [`boot_with_array_cells`] with the suites' default 32-cell array.
+pub fn boot_with_array(cluster: &Arc<Cluster>, id: u16, name: &str) -> (Node, IntArrayServer) {
+    boot_with_array_cells(cluster, id, name, 32)
+}
+
+/// Resolves `name` through the Name Server and wraps it in a client.
+///
+/// # Panics
+/// Panics unless exactly one server is registered under `name`.
+pub fn client_for(node: &Node, name: &str) -> IntArrayClient {
+    let found = node.resolve(name, 1, Duration::from_secs(3));
+    assert_eq!(found.len(), 1, "{name} registered and resolvable");
+    IntArrayClient::new(node.app(), found[0].0.clone())
+}
+
+/// The four paper data servers the whole-facility suites spawn together.
+pub struct ServerSuite {
+    /// The integer array server (§4.1).
+    pub array: IntArrayServer,
+    /// The weak queue server (§4.2).
+    pub queue: WeakQueueServer,
+    /// The I/O server (§4.3).
+    pub io: IoServer,
+    /// The B-tree server (§4.4).
+    pub btree: BTreeServer,
+}
+
+/// Spawns the standard server suite on `node` ("array", "queue",
+/// "display", "directory").
+pub fn spawn_suite(node: &Node, array_cells: u64, queue_cap: u64, btree_pages: u32) -> ServerSuite {
+    ServerSuite {
+        array: IntArrayServer::spawn(node, "array", array_cells).unwrap(),
+        queue: WeakQueueServer::spawn(node, "queue", queue_cap).unwrap(),
+        io: IoServer::spawn(node, "display").unwrap(),
+        btree: BTreeServer::spawn(node, "directory", btree_pages).unwrap(),
+    }
+}

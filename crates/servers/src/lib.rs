@@ -29,6 +29,7 @@
 pub mod array;
 pub mod btree;
 pub mod counter;
+pub mod harness;
 pub mod io;
 pub mod queue;
 pub mod repdir;

@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use tabs_kernel::crash::CrashHookSlot;
-use tabs_kernel::{crash_point, CrashHooks, NodeId, PerfCounters, PrimitiveOp, Tid};
+use tabs_kernel::{crash_point, CrashHooks, NodeId, PerfCounters, PrimitiveOp, Tid, WorkerPool};
 use tabs_obs::{TraceCollector, TraceEvent, Vote as ObsVote};
 use tabs_proto::CommitMsg;
 use tabs_rm::RecoveryManager;
@@ -223,6 +223,10 @@ pub struct TransactionManager {
     /// Tids with a live resolver thread (avoids duplicate resolvers when
     /// the watchdog and a suspicion callback race).
     resolving: Mutex<HashSet<Tid>>,
+    /// Coroutine cache for inbound two-phase-commit datagrams that may
+    /// block (log forces, lock waits): reuses parked workers instead of
+    /// spawning a thread per `Prepare`/`Commit`/`Abort`.
+    workers: Arc<WorkerPool>,
 }
 
 impl std::fmt::Debug for TransactionManager {
@@ -259,6 +263,7 @@ impl TransactionManager {
             cooperative: AtomicBool::new(false),
             recovered: AtomicBool::new(false),
             resolving: Mutex::new(HashSet::new()),
+            workers: WorkerPool::new(&format!("tm-{}", node.0)),
         })
     }
 
@@ -698,14 +703,14 @@ impl TransactionManager {
         match msg {
             CommitMsg::Prepare { tid, merged } => {
                 let tm = Arc::clone(self);
-                std::thread::spawn(move || tm.handle_prepare(from, tid, merged));
+                self.workers.execute(move || tm.handle_prepare(from, tid, merged));
             }
             CommitMsg::VoteYes { tid, from } => self.record_vote(tid, from, Vote::Yes),
             CommitMsg::VoteReadOnly { tid, from } => self.record_vote(tid, from, Vote::ReadOnly),
             CommitMsg::VoteNo { tid, from } => self.record_vote(tid, from, Vote::No),
             CommitMsg::Commit { tid } => {
                 let tm = Arc::clone(self);
-                std::thread::spawn(move || tm.handle_commit(from, tid));
+                self.workers.execute(move || tm.handle_commit(from, tid));
             }
             CommitMsg::CommitAck { tid, from } | CommitMsg::AbortAck { tid, from } => {
                 let mut inner = self.inner.lock();
@@ -716,7 +721,7 @@ impl TransactionManager {
             }
             CommitMsg::Abort { tid } => {
                 let tm = Arc::clone(self);
-                std::thread::spawn(move || tm.handle_abort(from, tid));
+                self.workers.execute(move || tm.handle_abort(from, tid));
             }
             CommitMsg::Inquire { tid, from } => {
                 let outcome = self.outcomes.lock().get(&tid).copied();
@@ -762,7 +767,7 @@ impl TransactionManager {
             }
             CommitMsg::OutcomeAnswer { tid, committed, .. } => {
                 let tm = Arc::clone(self);
-                std::thread::spawn(move || {
+                self.workers.execute(move || {
                     if committed {
                         tm.apply_commit_decision(tid);
                     } else {

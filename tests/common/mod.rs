@@ -1,56 +1,11 @@
 //! Helpers shared by the cross-crate integration suites.
 //!
-//! Each suite is compiled as its own test binary, so not every helper is
-//! used by every binary.
-#![allow(dead_code)]
+//! The implementations live in `tabs_servers::harness` so the perf
+//! scenarios use the same cluster-building code; this module just
+//! re-exports them for the test binaries. Each suite is compiled as its
+//! own test binary, so not every helper is used by every binary.
+#![allow(unused_imports)]
 
-use std::sync::Arc;
-use std::time::Duration;
-
-use tabs_core::{Cluster, Node, NodeId};
-use tabs_servers::{BTreeServer, IntArrayClient, IntArrayServer, IoServer, WeakQueueServer};
-
-/// Boots node `id`, spawns an integer-array server with `cells` cells
-/// under `name`, and recovers the node.
-pub fn boot_with_array_cells(
-    cluster: &Arc<Cluster>,
-    id: u16,
-    name: &str,
-    cells: u64,
-) -> (Node, IntArrayServer) {
-    let node = cluster.boot_node(NodeId(id));
-    let arr = IntArrayServer::spawn(&node, name, cells).unwrap();
-    node.recover().unwrap();
-    (node, arr)
-}
-
-/// [`boot_with_array_cells`] with the suites' default 32-cell array.
-pub fn boot_with_array(cluster: &Arc<Cluster>, id: u16, name: &str) -> (Node, IntArrayServer) {
-    boot_with_array_cells(cluster, id, name, 32)
-}
-
-/// Resolves `name` through the Name Server and wraps it in a client.
-pub fn client_for(node: &Node, name: &str) -> IntArrayClient {
-    let found = node.resolve(name, 1, Duration::from_secs(3));
-    assert_eq!(found.len(), 1, "{name} registered and resolvable");
-    IntArrayClient::new(node.app(), found[0].0.clone())
-}
-
-/// The four paper data servers the whole-facility suites spawn together.
-pub struct ServerSuite {
-    pub array: IntArrayServer,
-    pub queue: WeakQueueServer,
-    pub io: IoServer,
-    pub btree: BTreeServer,
-}
-
-/// Spawns the standard server suite on `node` ("array", "queue",
-/// "display", "directory").
-pub fn spawn_suite(node: &Node, array_cells: u64, queue_cap: u64, btree_pages: u32) -> ServerSuite {
-    ServerSuite {
-        array: IntArrayServer::spawn(node, "array", array_cells).unwrap(),
-        queue: WeakQueueServer::spawn(node, "queue", queue_cap).unwrap(),
-        io: IoServer::spawn(node, "display").unwrap(),
-        btree: BTreeServer::spawn(node, "directory", btree_pages).unwrap(),
-    }
-}
+pub use tabs_servers::harness::{
+    boot_with_array, boot_with_array_cells, client_for, spawn_suite, ServerSuite,
+};

@@ -53,6 +53,15 @@ if ! cargo test -q -p tabs-chaos --test prop_partition; then
 fi
 cargo run -q -p tabs-bench --release --bin tables -- partition --quick
 
+echo "==> commit fast paths (bounded): property oracle + quick gated run"
+if ! cargo test -q -p tabs-chaos --test prop_fastpath; then
+    echo "fast-path property suite failed: the proptest output above carries" >&2
+    echo "the minimal failing schedule; the differential oracle compares the" >&2
+    echo "same schedule under CommitPathPolicy::Seed and ::Fast" >&2
+    exit 1
+fi
+cargo run -q -p tabs-bench --release --bin tables -- fastpath --quick
+
 echo "==> load generator (bounded): quick run + bench-file validation"
 cargo run -q -p tabs-bench --release --bin tables -- load --quick --json /tmp/bench.json
 cargo run -q -p tabs-bench --release --bin tables -- checkbench /tmp/bench.json

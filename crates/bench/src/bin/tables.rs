@@ -70,6 +70,11 @@ const COMMANDS: &[Command] = &[
         run: |f| workload("groupcommit", f),
     },
     Command {
+        name: "fastpath",
+        about: "commit fast paths: 1PC + read-only voter drop-out vs full 2PC",
+        run: |f| workload("fastpath", f),
+    },
+    Command {
         name: "partition",
         about: "in-doubt resolution after a coordinator crash",
         run: |f| workload("partition", f),
@@ -477,6 +482,7 @@ fn chaos(flags: &Flags) -> i32 {
         .sweep_single_node()
         .map(|k| killed.extend(k))
         .and_then(|()| runner.sweep_group_commit().map(|k| killed.extend(k)))
+        .and_then(|()| runner.sweep_fastpath().map(|k| killed.extend(k)))
         .and_then(|()| runner.sweep_distributed().map(|k| killed.extend(k)))
         .and_then(|()| runner.torn_write_scenario())
         .and_then(|()| runner.transient_read_scenario());

@@ -31,8 +31,8 @@ pub mod runner;
 pub use controller::{CrashController, KillLog, NodeFaults};
 pub use plan::{ChaosRng, DiskFaultSpec, FaultPlan, NetSchedule, ScheduledPolicy};
 pub use runner::{
-    registry, ChaosRunner, Outcome, PartitionRun, Xfer, GROUP_COMMIT_POINTS, PAIRWISE_ARMS,
-    SINGLE_NODE_POINTS, TWO_PC_POINTS,
+    registry, ChaosRunner, Outcome, PartitionRun, Xfer, FASTPATH_POINTS, GROUP_COMMIT_POINTS,
+    PAIRWISE_ARMS, SINGLE_NODE_POINTS, TWO_PC_POINTS,
 };
 
 #[cfg(test)]
@@ -66,6 +66,7 @@ mod tests {
         let mut swept: Vec<&str> = Vec::new();
         swept.extend_from_slice(SINGLE_NODE_POINTS);
         swept.extend_from_slice(GROUP_COMMIT_POINTS);
+        swept.extend_from_slice(FASTPATH_POINTS);
         swept.extend_from_slice(TWO_PC_POINTS);
         swept.sort_unstable();
         swept.dedup();

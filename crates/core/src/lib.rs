@@ -35,12 +35,12 @@ pub use tabs_obs::{
 };
 pub use tabs_rm::{RecoveryManager, RecoveryReport};
 pub use tabs_server_lib::{DataServer, Dispatch, OpCtx, ServerConfig, ServerDeps};
-pub use tabs_tm::TransactionManager;
+pub use tabs_tm::{CommitPathPolicy, TmTimeouts, TransactionManager};
 pub use tabs_wal::GroupCommitConfig;
 
 /// Commonly used items for applications and data servers.
 pub mod prelude {
-    pub use crate::{Cluster, ClusterConfig, GroupCommitConfig, Node};
+    pub use crate::{Cluster, ClusterConfig, CommitPathPolicy, GroupCommitConfig, Node};
     pub use tabs_app_lib::{AppError, AppHandle, CommitOutcome};
     pub use tabs_cm::{FailureDetector, HeartbeatConfig};
     pub use tabs_detect::{DetectConfig, Detector};
@@ -99,6 +99,12 @@ pub struct ClusterConfig {
     /// suspects fail fast with a typed retryable error. `None` (the
     /// default) keeps the seed behaviour — time-outs only.
     pub heartbeat: Option<HeartbeatConfig>,
+    /// Commit-path selection for every booted node's Transaction Manager:
+    /// [`CommitPathPolicy::Seed`] (the default) keeps the historical path
+    /// byte for byte, `Fast` labels and instruments the 1PC / read-only
+    /// fast paths, `Full` runs the pessimistic full-2PC baseline the
+    /// `fastpath` bench compares against.
+    pub commit_paths: CommitPathPolicy,
 }
 
 impl Default for ClusterConfig {
@@ -114,6 +120,7 @@ impl Default for ClusterConfig {
             detect: false,
             group_commit: None,
             heartbeat: None,
+            commit_paths: CommitPathPolicy::Seed,
         }
     }
 }
@@ -179,6 +186,12 @@ impl ClusterConfig {
     /// 2PC termination and fail-fast remote calls) on every booted node.
     pub fn heartbeat(mut self, cfg: HeartbeatConfig) -> Self {
         self.heartbeat = Some(cfg);
+        self
+    }
+
+    /// Selects the commit-path policy for every booted node.
+    pub fn commit_paths(mut self, policy: CommitPathPolicy) -> Self {
+        self.commit_paths = policy;
         self
     }
 }
@@ -333,6 +346,16 @@ impl Cluster {
         let rm = RecoveryManager::new(id, log, Arc::clone(&pool), Arc::clone(&perf));
         pool.set_gate(rm.gate());
         let tm = TransactionManager::new(id, incarnation, Arc::clone(&rm), Arc::clone(&perf));
+        if self.config.commit_paths != CommitPathPolicy::Seed {
+            tm.set_commit_paths(self.config.commit_paths);
+            if self.config.commit_paths == CommitPathPolicy::Fast {
+                let metrics = self.metrics(id);
+                tm.set_fastpath_metrics(
+                    metrics.counter("tm.commit.1pc"),
+                    metrics.counter("tm.prepare.readonly"),
+                );
+            }
+        }
         let ns = NameServer::new(id);
         let endpoint = self.net.attach(id, Arc::clone(&perf));
         // Datagrams dropped on their way to this node (loss, partitions,

@@ -594,6 +594,25 @@ impl<M: LockMode> LockManager<M> {
         v
     }
 
+    /// Every `(object, mode)` grant `tid` currently holds, across all
+    /// stripes (one entry per granted mode when a transaction holds an
+    /// object in several modes).
+    pub fn modes_held_by(&self, tid: Tid) -> Vec<(ObjectId, M)> {
+        let mut v: Vec<(ObjectId, M)> = Vec::new();
+        for stripe in self.stripes.iter() {
+            let state = stripe.state.lock();
+            if let Some(objects) = state.by_tx.get(&tid) {
+                for object in objects {
+                    if let Some(hs) = state.holders.get(object) {
+                        v.extend(hs.iter().filter(|(t, _)| *t == tid).map(|(_, m)| (*object, *m)));
+                    }
+                }
+            }
+        }
+        v.sort_by_key(|(o, _)| *o);
+        v
+    }
+
     /// Whether `tid` holds at least one lock in any stripe.
     fn holds_any(&self, tid: Tid) -> bool {
         self.stripes.iter().any(|s| s.state.lock().by_tx.contains_key(&tid))
@@ -703,6 +722,18 @@ impl<M: LockMode> LockManager<M> {
     /// Number of distinct locked objects (introspection for tests).
     pub fn locked_object_count(&self) -> usize {
         self.stripes.iter().map(|s| s.state.lock().holders.len()).sum()
+    }
+}
+
+impl LockManager<StdMode> {
+    /// Read-only classification for the commit fast paths: whether every
+    /// lock `tid` holds here is [`StdMode::Shared`]. A participant that
+    /// satisfies this (and logged no updates) may vote read-only, release
+    /// its locks at phase 1 and drop out of phase 2 — it has no durable
+    /// or exclusive state for the decision to protect. Vacuously true
+    /// when `tid` holds no locks.
+    pub fn holds_only_shared(&self, tid: Tid) -> bool {
+        self.modes_held_by(tid).iter().all(|(_, m)| *m == StdMode::Shared)
     }
 }
 
@@ -840,6 +871,28 @@ mod tests {
         assert!(lm.is_locked(obj(1)));
         assert!(lm.holds(tid(1), obj(1)));
         assert!(!lm.holds(tid(2), obj(1)));
+    }
+
+    #[test]
+    fn shared_only_classification() {
+        let lm = LockManager::<StdMode>::default();
+        // No locks at all: vacuously read-only.
+        assert!(lm.holds_only_shared(tid(1)));
+        lm.lock(tid(1), obj(1), StdMode::Shared, T).unwrap();
+        lm.lock(tid(1), obj(2), StdMode::Shared, T).unwrap();
+        assert!(lm.holds_only_shared(tid(1)));
+        assert_eq!(
+            lm.modes_held_by(tid(1)),
+            vec![(obj(1), StdMode::Shared), (obj(2), StdMode::Shared)]
+        );
+        // One exclusive grant disqualifies the transaction, another
+        // transaction's X-lock does not.
+        lm.lock(tid(2), obj(3), StdMode::Exclusive, T).unwrap();
+        assert!(lm.holds_only_shared(tid(1)));
+        lm.lock(tid(1), obj(4), StdMode::Exclusive, T).unwrap();
+        assert!(!lm.holds_only_shared(tid(1)));
+        lm.release_all(tid(1));
+        assert!(lm.holds_only_shared(tid(1)));
     }
 
     #[test]

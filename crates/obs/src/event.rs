@@ -233,6 +233,17 @@ pub enum TraceEvent {
         /// Its new incarnation number (keeps Tids unique across reboots).
         incarnation: u32,
     },
+
+    /// The commit protocol took a fast path for this transaction: the
+    /// single-participant 1PC (coordinator is the sole writer, prepare
+    /// phase skipped) or the read-only voter drop-out (this participant
+    /// voted read-only, released its locks and left phase 2).
+    CommitPath {
+        /// True for the coordinator's single-participant 1PC.
+        one_phase: bool,
+        /// True for a participant's read-only drop-out.
+        read_only: bool,
+    },
 }
 
 impl TraceEvent {
@@ -271,6 +282,7 @@ impl TraceEvent {
             TraceEvent::PeerReachable { .. } => "peer-reachable",
             TraceEvent::TerminationQuery { .. } => "termination-query",
             TraceEvent::NodeRejoin { .. } => "node-rejoin",
+            TraceEvent::CommitPath { .. } => "commit-path",
         }
     }
 
@@ -357,6 +369,11 @@ impl std::fmt::Display for TraceEvent {
             TraceEvent::NodeRejoin { node, incarnation } => {
                 write!(f, "REJOIN {node} (incarnation {incarnation})")
             }
+            TraceEvent::CommitPath { one_phase, read_only } => match (one_phase, read_only) {
+                (true, _) => write!(f, "FAST-PATH 1pc"),
+                (_, true) => write!(f, "FAST-PATH read-only"),
+                _ => write!(f, "FAST-PATH"),
+            },
         }
     }
 }
@@ -408,6 +425,16 @@ mod tests {
         let rejoin = TraceEvent::NodeRejoin { node: NodeId(1), incarnation: 2 };
         assert_eq!(rejoin.label(), "node-rejoin");
         assert_eq!(rejoin.to_string(), "REJOIN n1 (incarnation 2)");
+    }
+
+    #[test]
+    fn commit_path_label_and_display() {
+        let one = TraceEvent::CommitPath { one_phase: true, read_only: false };
+        assert_eq!(one.label(), "commit-path");
+        assert_eq!(one.to_string(), "FAST-PATH 1pc");
+        assert!(!one.is_two_phase_commit());
+        let ro = TraceEvent::CommitPath { one_phase: false, read_only: true };
+        assert_eq!(ro.to_string(), "FAST-PATH read-only");
     }
 
     #[test]

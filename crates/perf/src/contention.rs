@@ -285,4 +285,36 @@ mod tests {
         assert_eq!(r.percentile(100), Duration::from_millis(30));
         assert_eq!(ContentionResult { resolutions: vec![], ..r }.p50(), Duration::ZERO);
     }
+
+    /// `tables contention --json` rows must survive the `BENCH_*.json`
+    /// round trip and satisfy every `tables checkbench` liveness rule
+    /// (parseable schema, committed > 0, `invariant_ok` absent or true).
+    #[test]
+    fn report_rows_round_trip_through_a_bench_file_and_pass_checkbench_rules() {
+        use crate::report::BenchFile;
+
+        let result = ContentionResult {
+            detect: false,
+            lock_timeout: Duration::from_millis(400),
+            resolutions: vec![Duration::from_millis(410), Duration::from_millis(430)],
+            commits: 2,
+            aborts: 2,
+            elapsed: Duration::from_secs(1),
+        };
+        let file = BenchFile::new("2026-08-09", vec![result.to_report()]);
+        let parsed = BenchFile::parse(&file.to_json()).expect("round trip");
+        assert_eq!(parsed.runs.len(), 1);
+        let row = &parsed.runs[0];
+        assert_eq!(row.workload, "contention");
+        assert_eq!(row.scenario, "two-node-cycle");
+        assert_eq!(row.mode, "timeout-only");
+        assert_eq!(row.committed, 2);
+        assert_eq!(row.deadlocks_resolved, 2);
+        assert!((row.p50_ms - 410.0).abs() < 1e-6);
+        assert_eq!(row.config.get("latency_kind").map(String::as_str), Some("resolution"));
+        assert_eq!(row.config.get("rounds").map(String::as_str), Some("2"));
+        // The checkbench liveness rules the CLI applies to every row.
+        assert!(row.committed > 0);
+        assert!(row.config.get("invariant_ok").is_none_or(|v| v == "true"));
+    }
 }

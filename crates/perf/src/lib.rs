@@ -40,6 +40,7 @@
 pub mod bench;
 pub mod contention;
 pub mod cost;
+pub mod fastpath;
 pub mod groupcommit;
 pub mod load;
 pub mod model;
@@ -51,6 +52,7 @@ pub mod tables;
 pub use bench::{benchmarks, run_all, BenchResult, BenchWorld, Benchmark, CommitClass};
 pub use contention::{ContentionResult, ContentionWorkload};
 pub use cost::{CostTable, ACHIEVABLE, PERQ_T2};
+pub use fastpath::{FastpathRun, FastpathWorkload};
 pub use groupcommit::{GroupCommitResult, GroupCommitWorkload};
 pub use load::{LoadProfile, LoadResult, LoadWorkload};
 pub use model::{improved_counts, predicted_ms, Projection};

@@ -496,6 +496,7 @@ pub fn registry() -> Vec<Box<dyn Workload>> {
         Box::new(crate::load::LoadWorkload),
         Box::new(crate::contention::ContentionWorkload),
         Box::new(crate::groupcommit::GroupCommitWorkload),
+        Box::new(crate::fastpath::FastpathWorkload),
         Box::new(crate::partition::PartitionWorkload),
         Box::new(crate::paper::PaperWorkload),
     ]

@@ -100,6 +100,17 @@ pub enum CommitMsg {
         /// The durably known outcome.
         committed: bool,
     },
+    /// Phase 1, parent → child, pessimistic baseline: prepare the subtree
+    /// and vote [`CommitMsg::VoteYes`] even if it performed no updates —
+    /// the read-only voter drop-out is suppressed and every participant
+    /// forces a prepare record and joins phase 2. Used by the `full`
+    /// commit-path policy to measure what the fast paths save.
+    PrepareFull {
+        /// Top-level transaction being committed.
+        tid: Tid,
+        /// Same merged set as [`CommitMsg::Prepare`].
+        merged: Vec<Tid>,
+    },
 }
 
 impl CommitMsg {
@@ -116,7 +127,8 @@ impl CommitMsg {
             | CommitMsg::AbortAck { tid, .. }
             | CommitMsg::Inquire { tid, .. }
             | CommitMsg::OutcomeQuery { tid, .. }
-            | CommitMsg::OutcomeAnswer { tid, .. } => *tid,
+            | CommitMsg::OutcomeAnswer { tid, .. }
+            | CommitMsg::PrepareFull { tid, .. } => *tid,
         }
     }
 }
@@ -178,6 +190,11 @@ impl Encode for CommitMsg {
                 from.encode(w);
                 committed.encode(w);
             }
+            CommitMsg::PrepareFull { tid, merged } => {
+                w.put_u8(11);
+                tid.encode(w);
+                tabs_codec::encode_seq(merged, w);
+            }
         }
     }
 }
@@ -202,6 +219,7 @@ impl Decode for CommitMsg {
                 from: NodeId::decode(r)?,
                 committed: bool::decode(r)?,
             },
+            11 => CommitMsg::PrepareFull { tid, merged: tabs_codec::decode_seq(r)? },
             _ => return Err(DecodeError::Invalid("CommitMsg tag")),
         })
     }
@@ -229,6 +247,7 @@ mod tests {
             CommitMsg::Inquire { tid: tid(), from: NodeId(2) },
             CommitMsg::OutcomeQuery { tid: tid(), from: NodeId(2) },
             CommitMsg::OutcomeAnswer { tid: tid(), from: NodeId(2), committed: true },
+            CommitMsg::PrepareFull { tid: tid(), merged: vec![tid()] },
         ];
         for m in msgs {
             let buf = m.encode_to_vec();

@@ -285,6 +285,12 @@ impl RecoveryManager {
     /// durable before "yes" is sent). This is a commit-path force: with
     /// group commit enabled it shares the device force with concurrent
     /// committers; the vote still waits for the covering force to return.
+    ///
+    /// Read-only participants never reach this call: a subtree that
+    /// logged nothing votes read-only and drops out of phase 2, so its
+    /// prepare writes nothing to the WAL at all (the read-only voter
+    /// drop-out; the `full` commit-path baseline forces one anyway to
+    /// measure the saving).
     pub fn log_prepare(&self, tid: Tid, coordinator: NodeId) -> Result<Lsn, RmError> {
         self.count_msg(24);
         crash_point!(&self.crash, "rm.prepare.before");

@@ -26,7 +26,7 @@ use parking_lot::{Condvar, Mutex};
 
 use tabs_kernel::crash::CrashHookSlot;
 use tabs_kernel::{crash_point, CrashHooks, NodeId, PerfCounters, PrimitiveOp, Tid, WorkerPool};
-use tabs_obs::{TraceCollector, TraceEvent, Vote as ObsVote};
+use tabs_obs::{Counter, TraceCollector, TraceEvent, Vote as ObsVote};
 use tabs_proto::CommitMsg;
 use tabs_rm::RecoveryManager;
 use tabs_wal::TxState;
@@ -192,10 +192,45 @@ impl Default for TmTimeouts {
     }
 }
 
+/// Which commit path the Transaction Manager takes at top-level commit.
+///
+/// The protocol *decisions* are identical under `Seed` and `Fast` — the
+/// seed code already skips the commit force for read-only transactions
+/// and never sends datagrams for a sole-writer commit. `Fast` makes
+/// those paths explicit: the single-participant 1PC branch gets its own
+/// crash points, counter and trace event, and read-only voter drop-out
+/// is confirmed against the lock manager's S-only classification and
+/// counted. `Full` is the pessimistic measurement baseline that
+/// suppresses both optimizations, so the `fastpath` bench can show what
+/// they save.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitPathPolicy {
+    /// The seed commit path, byte for byte (the default).
+    #[default]
+    Seed,
+    /// Labeled fast paths: 1PC branch (crash points
+    /// `tm.1pc.before-force`/`after-force`, `tm.commit.1pc` counter) and
+    /// instrumented read-only drop-out (`tm.prepare.readonly` counter).
+    /// Observable force/datagram counts equal `Seed` by construction.
+    Fast,
+    /// Full-2PC baseline: participants are prepared with
+    /// [`CommitMsg::PrepareFull`] (forced prepare + phase 2 even when
+    /// read-only) and the coordinator always forces a commit record,
+    /// paying a forced self-prepare first when it wrote locally.
+    Full,
+}
+
 /// Crash-points the Transaction Manager fires (see `tabs_kernel::crash`):
-/// one per two-phase-commit state transition.
-pub const CRASH_POINTS: &[&str] =
-    &["tm.prepare.sent", "tm.vote.logged", "tm.commit.logged", "tm.ack.sent"];
+/// one per two-phase-commit state transition, plus the two sides of the
+/// single-participant 1PC commit force.
+pub const CRASH_POINTS: &[&str] = &[
+    "tm.prepare.sent",
+    "tm.vote.logged",
+    "tm.commit.logged",
+    "tm.ack.sent",
+    "tm.1pc.before-force",
+    "tm.1pc.after-force",
+];
 
 /// The Transaction Manager of one node.
 pub struct TransactionManager {
@@ -227,6 +262,14 @@ pub struct TransactionManager {
     /// block (log forces, lock waits): reuses parked workers instead of
     /// spawning a thread per `Prepare`/`Commit`/`Abort`.
     workers: Arc<WorkerPool>,
+    /// Commit-path selection: seed, labeled fast paths, or the
+    /// pessimistic full-2PC baseline.
+    commit_paths: Mutex<CommitPathPolicy>,
+    /// `tm.commit.1pc`: single-participant one-phase commits taken (wired
+    /// only under the fast policy; `None` leaves the seed path untouched).
+    one_pc_commits: Mutex<Option<Counter>>,
+    /// `tm.prepare.readonly`: read-only votes this participant sent.
+    readonly_votes: Mutex<Option<Counter>>,
 }
 
 impl std::fmt::Debug for TransactionManager {
@@ -264,7 +307,28 @@ impl TransactionManager {
             recovered: AtomicBool::new(false),
             resolving: Mutex::new(HashSet::new()),
             workers: WorkerPool::new(&format!("tm-{}", node.0)),
+            commit_paths: Mutex::new(CommitPathPolicy::Seed),
+            one_pc_commits: Mutex::new(None),
+            readonly_votes: Mutex::new(None),
         })
+    }
+
+    /// Selects the commit-path policy. [`CommitPathPolicy::Seed`] (the
+    /// default) restores the historical path byte for byte.
+    pub fn set_commit_paths(&self, policy: CommitPathPolicy) {
+        *self.commit_paths.lock() = policy;
+    }
+
+    /// Current commit-path policy.
+    pub fn commit_paths(&self) -> CommitPathPolicy {
+        *self.commit_paths.lock()
+    }
+
+    /// Wires the fast-path counters (`tm.commit.1pc` and
+    /// `tm.prepare.readonly`); they tick only on the fast-path branches.
+    pub fn set_fastpath_metrics(&self, one_pc: Counter, read_only: Counter) {
+        *self.one_pc_commits.lock() = Some(one_pc);
+        *self.readonly_votes.lock() = Some(read_only);
     }
 
     /// Enables the cooperative termination protocol: in-doubt resolvers
@@ -500,6 +564,7 @@ impl TransactionManager {
         };
 
         // Phase 1 (local): every enlisted server prepares each merged tid.
+        let policy = self.commit_paths();
         let mut updates = false;
         for p in participants.values() {
             for t in &merged {
@@ -512,6 +577,7 @@ impl TransactionManager {
                 }
             }
         }
+        let local_updates = updates;
 
         // Phase 1 (remote): prepare the commit-tree children.
         let transport = self.transport();
@@ -522,7 +588,7 @@ impl TransactionManager {
         let children: Vec<NodeId> = children.into_iter().collect();
         let mut remote_yes: Vec<NodeId> = Vec::new();
         if !children.is_empty() {
-            match self.collect_votes(tid, &merged, &children) {
+            match self.collect_votes(tid, &merged, &children, policy == CommitPathPolicy::Full) {
                 Ok((yes, any_updates)) => {
                     updates |= any_updates;
                     remote_yes = yes;
@@ -539,7 +605,25 @@ impl TransactionManager {
         // force below goes through the RM's batched commit path: with
         // group commit enabled, concurrent committers share one device
         // force.
-        if updates {
+        if policy == CommitPathPolicy::Fast && updates && children.is_empty() {
+            // Single-participant 1PC: this coordinator is the sole writer
+            // (no commit-tree children registered), so a prepare phase
+            // would protect nothing — the commit record alone is the
+            // atomic event. One log force, zero 2PC datagrams.
+            crash_point!(&self.crash, "tm.1pc.before-force");
+            self.rm.log_commit(tid).map_err(|e| TmError::Rm(e.to_string()))?;
+            crash_point!(&self.crash, "tm.1pc.after-force");
+            if let Some(c) = self.one_pc_commits.lock().as_ref() {
+                c.inc();
+            }
+            self.emit(tid, TraceEvent::CommitPath { one_phase: true, read_only: false });
+        } else if updates || policy == CommitPathPolicy::Full {
+            if policy == CommitPathPolicy::Full && local_updates {
+                // Pessimistic baseline: the coordinator's own writes pay
+                // the forced participant prepare record that the 1PC path
+                // proves unnecessary.
+                self.rm.log_prepare(tid, self.node).map_err(|e| TmError::Rm(e.to_string()))?;
+            }
             self.rm.log_commit(tid).map_err(|e| TmError::Rm(e.to_string()))?;
             crash_point!(&self.crash, "tm.commit.logged");
         }
@@ -568,18 +652,24 @@ impl TransactionManager {
         Ok(true)
     }
 
-    /// Sends Prepare to every child and waits for all votes, with
-    /// retransmission. Returns (yes-voters, any-updates).
+    /// Sends Prepare (or PrepareFull under the full-2PC baseline) to
+    /// every child and waits for all votes, with retransmission. Returns
+    /// (yes-voters, any-updates).
     fn collect_votes(
         &self,
         tid: Tid,
         merged: &[Tid],
         children: &[NodeId],
+        full: bool,
     ) -> Result<(Vec<NodeId>, bool), TmError> {
         let transport = self.transport();
         let timeouts = self.timeouts();
         let deadline = Instant::now() + timeouts.vote_deadline;
-        let msg = CommitMsg::Prepare { tid, merged: merged.to_vec() };
+        let msg = if full {
+            CommitMsg::PrepareFull { tid, merged: merged.to_vec() }
+        } else {
+            CommitMsg::Prepare { tid, merged: merged.to_vec() }
+        };
         for &c in children {
             self.send_traced(&transport, c, msg.clone());
         }
@@ -703,7 +793,11 @@ impl TransactionManager {
         match msg {
             CommitMsg::Prepare { tid, merged } => {
                 let tm = Arc::clone(self);
-                self.workers.execute(move || tm.handle_prepare(from, tid, merged));
+                self.workers.execute(move || tm.handle_prepare(from, tid, merged, false));
+            }
+            CommitMsg::PrepareFull { tid, merged } => {
+                let tm = Arc::clone(self);
+                self.workers.execute(move || tm.handle_prepare(from, tid, merged, true));
             }
             CommitMsg::VoteYes { tid, from } => self.record_vote(tid, from, Vote::Yes),
             CommitMsg::VoteReadOnly { tid, from } => self.record_vote(tid, from, Vote::ReadOnly),
@@ -790,7 +884,10 @@ impl TransactionManager {
     }
 
     /// Participant side of phase 1: prepare the local subtree and vote.
-    fn handle_prepare(self: Arc<Self>, from: NodeId, tid: Tid, merged: Vec<Tid>) {
+    /// `full` marks a [`CommitMsg::PrepareFull`]: the read-only drop-out
+    /// is suppressed, so this node forces a prepare record and joins
+    /// phase 2 even when its subtree logged nothing.
+    fn handle_prepare(self: Arc<Self>, from: NodeId, tid: Tid, merged: Vec<Tid>, full: bool) {
         let transport = self.transport();
         // Idempotence: if already prepared or resolved, re-vote accordingly.
         {
@@ -884,7 +981,9 @@ impl TransactionManager {
         let children: Vec<NodeId> = children.into_iter().collect();
         let mut yes_children = Vec::new();
         if !children.is_empty() {
-            match self.collect_votes(tid, &merged, &children) {
+            // The baseline propagates down the tree: a full-2PC prepare
+            // forces every descendant into phase 2 as well.
+            match self.collect_votes(tid, &merged, &children, full) {
                 Ok((yes, child_updates)) => {
                     updates |= child_updates;
                     yes_children = yes;
@@ -897,7 +996,7 @@ impl TransactionManager {
             }
         }
 
-        if updates {
+        if updates || full {
             // Parent tids for remote-origin merged records, then the forced
             // prepare record (batched with concurrent committers when
             // group commit is on); only now may we vote yes.
@@ -936,6 +1035,12 @@ impl TransactionManager {
                 for t in &merged {
                     p.finish(*t, true);
                 }
+            }
+            if self.commit_paths() == CommitPathPolicy::Fast {
+                if let Some(c) = self.readonly_votes.lock().as_ref() {
+                    c.inc();
+                }
+                self.emit(tid, TraceEvent::CommitPath { one_phase: false, read_only: true });
             }
             self.send_traced(&transport, from, CommitMsg::VoteReadOnly { tid, from: self.node });
         }
@@ -1198,7 +1303,9 @@ impl TransactionManager {
 /// `Inquire` and `OutcomeQuery`, which is traced as `TerminationQuery`).
 fn commit_msg_send_event(to: NodeId, msg: &CommitMsg) -> Option<(Tid, TraceEvent)> {
     Some(match msg {
-        CommitMsg::Prepare { tid, .. } => (*tid, TraceEvent::PrepareSend { to }),
+        CommitMsg::Prepare { tid, .. } | CommitMsg::PrepareFull { tid, .. } => {
+            (*tid, TraceEvent::PrepareSend { to })
+        }
         CommitMsg::VoteYes { tid, .. } => (*tid, TraceEvent::VoteSend { to, vote: ObsVote::Yes }),
         CommitMsg::VoteReadOnly { tid, .. } => {
             (*tid, TraceEvent::VoteSend { to, vote: ObsVote::ReadOnly })
@@ -1219,7 +1326,9 @@ fn commit_msg_send_event(to: NodeId, msg: &CommitMsg) -> Option<(Tid, TraceEvent
 /// Inbound counterpart of [`commit_msg_send_event`].
 fn commit_msg_recv_event(from: NodeId, msg: &CommitMsg) -> Option<(Tid, TraceEvent)> {
     Some(match msg {
-        CommitMsg::Prepare { tid, .. } => (*tid, TraceEvent::PrepareRecv { from }),
+        CommitMsg::Prepare { tid, .. } | CommitMsg::PrepareFull { tid, .. } => {
+            (*tid, TraceEvent::PrepareRecv { from })
+        }
         CommitMsg::VoteYes { tid, .. } => (*tid, TraceEvent::VoteRecv { from, vote: ObsVote::Yes }),
         CommitMsg::VoteReadOnly { tid, .. } => {
             (*tid, TraceEvent::VoteRecv { from, vote: ObsVote::ReadOnly })
@@ -1525,6 +1634,88 @@ mod tests {
         let sent2 = t2.sent.lock().clone();
         assert_eq!(sent2.len(), 1);
         assert!(matches!(sent2[0].1, CommitMsg::VoteReadOnly { .. }));
+    }
+
+    #[test]
+    fn full_policy_forces_read_only_participant_through_both_phases() {
+        let (tm1, tm2, t1, t2, rm1, rm2) = two_node_rig();
+        tm1.set_commit_paths(CommitPathPolicy::Full);
+        tm2.set_commit_paths(CommitPathPolicy::Full);
+        t1.set_children(vec![NodeId(2)]);
+        let part2 = Arc::new(TracePart::default()); // read-only
+        let t = tm1.begin(Tid::NULL).unwrap();
+        tm2.enlist(t, "s2", part2);
+        assert!(tm1.end(t).unwrap());
+        // The pessimistic baseline forces prepare + commit records on the
+        // read-only participant and a commit record on the coordinator.
+        let recs2 = rm2.log().durable_entries();
+        assert!(recs2.iter().any(|e| matches!(e.record, tabs_wal::LogRecord::Prepare { .. })));
+        assert!(recs2.iter().any(|e| matches!(e.record, tabs_wal::LogRecord::Commit { .. })));
+        assert!(rm1
+            .log()
+            .durable_entries()
+            .iter()
+            .any(|e| matches!(e.record, tabs_wal::LogRecord::Commit { .. })));
+        // Full four-message exchange: PrepareFull/VoteYes, Commit/CommitAck.
+        // Phase 2 runs on the worker pool, so poll for the ack.
+        for _ in 0..50 {
+            if t2.sent.lock().iter().any(|(_, m)| matches!(m, CommitMsg::CommitAck { .. })) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let sent1 = t1.sent.lock().clone();
+        assert!(matches!(sent1[0].1, CommitMsg::PrepareFull { .. }));
+        assert!(sent1.iter().any(|(_, m)| matches!(m, CommitMsg::Commit { .. })));
+        let sent2 = t2.sent.lock().clone();
+        assert!(matches!(sent2[0].1, CommitMsg::VoteYes { .. }));
+        assert!(sent2.iter().any(|(_, m)| matches!(m, CommitMsg::CommitAck { .. })));
+    }
+
+    #[test]
+    fn fast_policy_sole_writer_commits_in_one_phase() {
+        let (tm, rm, _p) = make_tm(NodeId(1));
+        tm.set_commit_paths(CommitPathPolicy::Fast);
+        let one_pc = Counter::default();
+        let read_only = Counter::default();
+        tm.set_fastpath_metrics(one_pc.clone(), read_only.clone());
+        let part = Arc::new(TracePart::default());
+        part.has_updates.store(true, Ordering::Relaxed);
+        let t = tm.begin(Tid::NULL).unwrap();
+        tm.enlist(t, "srv", part);
+        assert!(tm.end(t).unwrap());
+        // One forced commit record, no prepare record, and the 1PC
+        // counter ticked: single-participant commit skipped phase 1.
+        let durable = rm.log().durable_entries();
+        assert!(durable.iter().any(|e| matches!(e.record, tabs_wal::LogRecord::Commit { .. })));
+        assert!(!durable.iter().any(|e| matches!(e.record, tabs_wal::LogRecord::Prepare { .. })));
+        assert_eq!(one_pc.get(), 1);
+        assert_eq!(read_only.get(), 0);
+    }
+
+    #[test]
+    fn fast_policy_read_only_voter_matches_seed_wire_traffic() {
+        let (tm1, tm2, t1, t2, rm1, rm2) = two_node_rig();
+        tm1.set_commit_paths(CommitPathPolicy::Fast);
+        tm2.set_commit_paths(CommitPathPolicy::Fast);
+        let read_only = Counter::default();
+        tm2.set_fastpath_metrics(Counter::default(), read_only.clone());
+        t1.set_children(vec![NodeId(2)]);
+        let part2 = Arc::new(TracePart::default()); // read-only
+        let t = tm1.begin(Tid::NULL).unwrap();
+        tm2.enlist(t, "s2", part2);
+        assert!(tm1.end(t).unwrap());
+        // Identical observable behaviour to the seed path: no records,
+        // one Prepare out, one VoteReadOnly back — plus the counter.
+        assert!(rm1.log().durable_entries().is_empty());
+        assert!(rm2.log().durable_entries().is_empty());
+        let sent1 = t1.sent.lock().clone();
+        assert_eq!(sent1.len(), 1);
+        assert!(matches!(sent1[0].1, CommitMsg::Prepare { .. }));
+        let sent2 = t2.sent.lock().clone();
+        assert_eq!(sent2.len(), 1);
+        assert!(matches!(sent2[0].1, CommitMsg::VoteReadOnly { .. }));
+        assert_eq!(read_only.get(), 1);
     }
 
     #[test]

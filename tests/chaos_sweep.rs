@@ -9,7 +9,7 @@
 
 use std::collections::BTreeSet;
 
-use tabs_chaos::{registry, ChaosRunner, GROUP_COMMIT_POINTS, SINGLE_NODE_POINTS};
+use tabs_chaos::{registry, ChaosRunner, FASTPATH_POINTS, GROUP_COMMIT_POINTS, SINGLE_NODE_POINTS};
 
 /// Fixed sweep seed: sweeps are exhaustive over crash points, so the seed
 /// only picks the disk-fault RNG streams; any value must pass.
@@ -36,6 +36,15 @@ fn crash_point_sweeps_cover_the_entire_registry() {
         );
     }
 
+    let fastpath = runner.sweep_fastpath().unwrap_or_else(|e| panic!("{e}"));
+    for &p in FASTPATH_POINTS {
+        assert!(
+            fastpath.contains(p),
+            "seed={SEED} crash_point={p} armed on the 1PC fast-path workload but never killed \
+             the node"
+        );
+    }
+
     let distributed = runner.sweep_distributed().unwrap_or_else(|e| panic!("{e}"));
 
     // The acceptance gate: the union of points that actually killed a
@@ -43,6 +52,7 @@ fn crash_point_sweeps_cover_the_entire_registry() {
     // is a test failure, not a silent gap.
     let mut killed: BTreeSet<&str> = single.into_iter().collect();
     killed.extend(group);
+    killed.extend(fastpath);
     killed.extend(distributed);
     let reg: BTreeSet<&str> = registry().into_iter().collect();
     let missing: Vec<&&str> = reg.difference(&killed).collect();

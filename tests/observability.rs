@@ -11,6 +11,9 @@ use tabs_core::prelude::*;
 use tabs_kernel::PrimitiveOp;
 use tabs_servers::{IntArrayClient, IntArrayServer};
 
+mod common;
+use common::AccountingMeter;
+
 /// Boots a traced two-node cluster with one array server per node and
 /// returns it together with a client pair bound to node 1's app.
 fn traced_world(cluster: &Arc<Cluster>) -> (Node, Node, IntArrayClient, IntArrayClient) {
@@ -185,18 +188,18 @@ fn disabled_group_commit_reproduces_seed_force_counts() {
     let app = n1.app();
     let client = IntArrayClient::new(app.clone(), a1.send_right());
 
-    let before = cluster.perf(NodeId(1)).get(PrimitiveOp::StableStorageWrite);
+    let meter = AccountingMeter::start(&cluster, &[NodeId(1)]);
     for round in 0..3i64 {
         let tid = app.begin_transaction(Tid::NULL).expect("begin");
         client.set(tid, 0, round).expect("write");
         assert!(app.end_transaction(tid).expect("end").is_committed());
     }
-    let delta = cluster.perf(NodeId(1)).get(PrimitiveOp::StableStorageWrite) - before;
-    assert_eq!(delta, 3, "seed parity: exactly one commit force per transaction");
+    let delta = &meter.delta()[0];
+    assert_eq!(delta.forces, 3, "seed parity: exactly one commit force per transaction");
+    assert_eq!(delta.datagrams, 0, "local commits must not touch the network");
 
-    let snap = cluster.metrics(NodeId(1)).snapshot();
-    assert_eq!(snap.counter("wal.group.batches"), 0);
-    assert_eq!(snap.counter("wal.group.batched_commits"), 0);
+    assert_eq!(delta.counter("wal.group.batches"), 0);
+    assert_eq!(delta.counter("wal.group.batched_commits"), 0);
     assert!(
         !cluster
             .trace(NodeId(1))
@@ -224,10 +227,7 @@ fn audit_all_commit_path_forces_ride_the_batched_path() {
     let app = n1.app();
 
     let nodes = [NodeId(1), NodeId(2)];
-    let ssw_before: Vec<u64> =
-        nodes.iter().map(|id| cluster.perf(*id).get(PrimitiveOp::StableStorageWrite)).collect();
-    let snap_before: Vec<MetricsSnapshot> =
-        nodes.iter().map(|id| cluster.metrics(*id).snapshot()).collect();
+    let meter = AccountingMeter::start(&cluster, &nodes);
 
     // Three local transactions: one commit force each on node 1.
     for round in 0..3i64 {
@@ -247,19 +247,16 @@ fn audit_all_commit_path_forces_ride_the_batched_path() {
     // Expected commit-path force counts per node for the 5-transaction
     // workload: n1 = 3 local + 2 coordinator commits; n2 = 2 prepares +
     // 2 participant commits.
-    for (i, (id, expected)) in nodes.into_iter().zip([5u64, 4u64]).enumerate() {
-        let snap = cluster.metrics(id).snapshot();
-        let batched = snap.counter("wal.group.batched_commits")
-            - snap_before[i].counter("wal.group.batched_commits");
-        let batches =
-            snap.counter("wal.group.batches") - snap_before[i].counter("wal.group.batches");
-        let ssw = cluster.perf(id).get(PrimitiveOp::StableStorageWrite) - ssw_before[i];
+    for (delta, expected) in meter.delta().iter().zip([5u64, 4u64]) {
+        let id = delta.node;
         assert_eq!(
-            batched, expected,
+            delta.counter("wal.group.batched_commits"),
+            expected,
             "{id}: commit-path forces missing from the batched path (bypass?)"
         );
         assert_eq!(
-            ssw, batches,
+            delta.forces,
+            delta.counter("wal.group.batches"),
             "{id}: stable-storage writes not accounted as batches — a commit-path force \
              bypassed group commit"
         );

@@ -5,7 +5,35 @@
 
 use proptest::prelude::*;
 
-use tabs_chaos::{ChaosRunner, FaultPlan};
+use tabs_chaos::{
+    registry, ChaosRunner, FaultPlan, FASTPATH_POINTS, GROUP_COMMIT_POINTS, PAIRWISE_ARMS,
+    SINGLE_NODE_POINTS, TWO_PC_POINTS,
+};
+
+/// Registry-completeness gate: every crash point registered anywhere in
+/// the stack must appear in exactly one sweep list, and every pairwise
+/// double-kill arm must reference swept points. Adding a `crash_point!`
+/// to any crate without teaching a sweep to reach it fails here — before
+/// the expensive sweeps even run.
+#[test]
+fn every_registered_crash_point_has_a_sweep_entry() {
+    let mut swept: Vec<&str> = Vec::new();
+    swept.extend_from_slice(SINGLE_NODE_POINTS);
+    swept.extend_from_slice(GROUP_COMMIT_POINTS);
+    swept.extend_from_slice(FASTPATH_POINTS);
+    swept.extend_from_slice(TWO_PC_POINTS);
+    let unique: std::collections::BTreeSet<&str> = swept.iter().copied().collect();
+    assert_eq!(unique.len(), swept.len(), "a crash point appears in two sweep lists");
+    let reg: std::collections::BTreeSet<&str> = registry().into_iter().collect();
+    let missing: Vec<&&str> = reg.difference(&unique).collect();
+    assert!(missing.is_empty(), "registered crash points no sweep covers: {missing:?}");
+    let stale: Vec<&&str> = unique.difference(&reg).collect();
+    assert!(stale.is_empty(), "sweep lists name unregistered crash points: {stale:?}");
+    for &(coord, part) in PAIRWISE_ARMS {
+        assert!(reg.contains(coord), "pairwise arm references unregistered point {coord}");
+        assert!(reg.contains(part), "pairwise arm references unregistered point {part}");
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig {

@@ -66,4 +66,14 @@ echo "==> load generator (bounded): quick run + bench-file validation"
 cargo run -q -p tabs-bench --release --bin tables -- load --quick --json /tmp/bench.json
 cargo run -q -p tabs-bench --release --bin tables -- checkbench /tmp/bench.json
 
+echo "==> shard migration (bounded): kill-mid-migration sweep + scale-out gate"
+if ! cargo test -q -p tabs-chaos --test prop_migration migration_sweep_covers_every_point; then
+    echo "migration chaos sweep failed: the assertion output above carries a" >&2
+    echo "'seed=<N> crash_point=shard.migrate.<step>' line; replay it with" >&2
+    echo "  ChaosRunner::new(seed).sweep_migration()" >&2
+    exit 1
+fi
+cargo run -q -p tabs-bench --release --bin tables -- scale --quick --json /tmp/bench.json
+cargo run -q -p tabs-bench --release --bin tables -- checkbench /tmp/bench.json
+
 echo "CI green."

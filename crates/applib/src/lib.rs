@@ -24,6 +24,13 @@ pub enum AppError {
     Tm(String),
     /// A data-server call failed.
     Rpc(String),
+    /// A data-server call failed with a *retryable* server error
+    /// ([`ServerError::is_retryable`]): the operation was provably never
+    /// applied, and the structured error is preserved so routing layers
+    /// can react (e.g. refresh a shard map on
+    /// [`ServerError::WrongShard`], re-resolve a server on
+    /// [`ServerError::Unavailable`]) instead of string-matching.
+    Server(ServerError),
 }
 
 impl std::fmt::Display for AppError {
@@ -32,6 +39,7 @@ impl std::fmt::Display for AppError {
             AppError::TransactionIsAborted(t) => write!(f, "transaction {t} is aborted"),
             AppError::Tm(e) => write!(f, "transaction manager: {e}"),
             AppError::Rpc(e) => write!(f, "rpc: {e}"),
+            AppError::Server(e) => write!(f, "rpc: {e}"),
         }
     }
 }
@@ -49,7 +57,11 @@ impl From<TmError> for AppError {
 
 impl From<ServerError> for AppError {
     fn from(e: ServerError) -> Self {
-        AppError::Rpc(e.to_string())
+        if e.is_retryable() {
+            AppError::Server(e)
+        } else {
+            AppError::Rpc(e.to_string())
+        }
     }
 }
 
@@ -59,6 +71,7 @@ impl From<RpcError> for AppError {
             RpcError::Server(ServerError::Aborted(w)) => {
                 AppError::Rpc(format!("transaction aborted: {w}"))
             }
+            RpcError::Server(e) if e.is_retryable() => AppError::Server(e),
             other => AppError::Rpc(other.to_string()),
         }
     }
@@ -151,6 +164,7 @@ impl AppHandle {
     ) -> Result<Vec<u8>, AppError> {
         tabs_proto::call(&self.kernel, server, tid, opcode, args).map_err(|e| match e {
             RpcError::Server(ServerError::Aborted(_)) => AppError::TransactionIsAborted(tid),
+            RpcError::Server(e) if e.is_retryable() => AppError::Server(e),
             other => AppError::Rpc(other.to_string()),
         })
     }
@@ -186,7 +200,9 @@ impl AppHandle {
         for _ in 0..attempts.max(1) {
             match self.run(&mut f) {
                 Ok(r) => return Ok(r),
-                Err(e @ AppError::TransactionIsAborted(_)) | Err(e @ AppError::Rpc(_)) => {
+                Err(e @ AppError::TransactionIsAborted(_))
+                | Err(e @ AppError::Rpc(_))
+                | Err(e @ AppError::Server(_)) => {
                     last = Some(e);
                 }
                 Err(e) => return Err(e),

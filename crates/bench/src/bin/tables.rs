@@ -7,16 +7,20 @@
 //!
 //! Run `tables --help` for the command list. Without a command the full
 //! §5 report is regenerated (the `paper` workload). Workload commands
-//! (`load`, `contention`, `groupcommit`, `partition`, `paper`) and the
-//! measured-table commands all honor `--json PATH`, appending their
-//! versioned report rows as a `BENCH_*.json` document; `checkbench PATH`
-//! validates such a file (schema and liveness, no perf assertions).
+//! (`load`, `contention`, `groupcommit`, `fastpath`, `partition`,
+//! `scale`, `paper`) and the measured-table commands all honor
+//! `--json PATH`: report rows are upsert-merged into the `BENCH_*.json`
+//! document keyed on workload/scenario/mode/config, so re-running a
+//! workload refreshes its rows instead of duplicating them;
+//! `checkbench PATH` validates such a file (schema, duplicate rows and
+//! liveness, no perf assertions).
 //!
 //! Workloads with acceptance gates exit 1 when a gate fails:
 //! `load` (lock striping ≥ 1.5× committed throughput at 32 contended
 //! clients, full-length runs only), `groupcommit` (forces/commit < 0.5
 //! and ≥ 4× reduction), `partition` (cooperative p50 under 25% of the
-//! retransmit-timeout baseline). Usage errors exit 2.
+//! retransmit-timeout baseline), `scale` (≥ 2× aggregate committed
+//! throughput at four nodes versus one). Usage errors exit 2.
 
 use std::time::Duration;
 
@@ -80,6 +84,11 @@ const COMMANDS: &[Command] = &[
         run: |f| workload("partition", f),
     },
     Command {
+        name: "scale",
+        about: "scale-out: the sharded bank on 1, 2 and 4 nodes",
+        run: |f| workload("scale", f),
+    },
+    Command {
         name: "paper",
         about: "the fourteen Table 5-4 benchmarks, measured",
         run: |f| workload("paper", f),
@@ -91,11 +100,15 @@ const COMMANDS: &[Command] = &[
     Command { name: "table5_5", about: "achievable primitive times (static)", run: table5_5 },
     Command { name: "shapes", about: "benchmark shape report, measured", run: shapes },
     Command { name: "accounting", about: "latency accounting, measured", run: accounting },
-    Command { name: "trace", about: "swimlane demos: 2PC, deadlock, partition", run: trace },
+    Command {
+        name: "trace",
+        about: "swimlane demos: 2PC, deadlock, partition, shard migration",
+        run: trace,
+    },
     Command { name: "chaos", about: "crash-point sweeps against the invariant oracle", run: chaos },
     Command {
         name: "checkbench",
-        about: "validate a BENCH_*.json file: schema + liveness (usage: checkbench PATH)",
+        about: "validate a BENCH_*.json file: schema, duplicate rows, liveness (usage: checkbench PATH)",
         run: checkbench,
     },
 ];
@@ -191,17 +204,35 @@ fn workload(name: &str, flags: &Flags) -> i32 {
     }
 }
 
-/// Prints a finished run, writes `--json`, and maps the gate to the exit
-/// code.
+/// Prints a finished run, merges `--json`, and maps the gate to the
+/// exit code. An existing bench file is upsert-merged (rows keyed on
+/// workload/scenario/mode/config), so one dated file accumulates every
+/// workload's rows without duplicates.
 fn finish(name: &str, out: WorkloadOutput, flags: &Flags) -> i32 {
     print!("{}", out.text);
     if let Some(path) = &flags.json {
-        let file = BenchFile::new(today(), out.reports);
+        let fresh = out.reports.len();
+        let mut file = match std::fs::read_to_string(path) {
+            Ok(text) => match BenchFile::parse(&text) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("{name} FAILED: existing {path} is not a valid bench file: {e}");
+                    return 1;
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => BenchFile::new(today(), vec![]),
+            Err(e) => {
+                eprintln!("{name} FAILED: cannot read {path}: {e}");
+                return 1;
+            }
+        };
+        file.generated = today();
+        file.upsert(out.reports);
         if let Err(e) = std::fs::write(path, file.to_json()) {
             eprintln!("{name} FAILED: cannot write {path}: {e}");
             return 1;
         }
-        eprintln!("wrote {} report row(s) to {path}", file.runs.len());
+        eprintln!("merged {fresh} report row(s) into {path} ({} total)", file.runs.len());
     }
     match out.gate_failure {
         Some(gate) => {
@@ -465,6 +496,49 @@ fn trace(_flags: &Flags) -> i32 {
     print!("{}", pc.timeline().render_swimlane(Tid::NULL));
     p1.shutdown();
     p2b.shutdown();
+
+    // Fourth act: reconfiguration — a live shard migration on a traced
+    // sharded cluster. The engine's events (migration-start, the durable
+    // ownership flip, shard-map-update, migration-done) happen outside
+    // any one transaction, so they ride the null-transaction lane; the
+    // copy itself is an ordinary distributed transaction.
+    eprintln!();
+    eprintln!("migrating a bank shard between live nodes …");
+    use tabs_shard::{MigrateOptions, Migrator, Partitioning, ShardClient, ShardMap, ShardServer};
+    let sc = Cluster::with_config(ClusterConfig::default().trace(true));
+    let s1 = sc.boot_node(NodeId(1));
+    let s2 = sc.boot_node(NodeId(2));
+    let map = ShardMap {
+        service: "bank".into(),
+        version: 1,
+        partitioning: Partitioning::Hash,
+        owners: vec![NodeId(1), NodeId(1)],
+    };
+    let (c1, _src_servers) = ShardServer::spawn_all(&s1, &map, 8).expect("source shard servers");
+    let (c2, _dst_servers) =
+        ShardServer::spawn_all(&s2, &map, 8).expect("destination shard servers");
+    s1.recover().expect("recover shard source");
+    s2.recover().expect("recover shard destination");
+    s1.ns.publish_map("bank", map.version, map.to_blob());
+
+    let bank = ShardClient::new(&s2, "bank").expect("shard router");
+    let app_s2 = s2.app();
+    let t = app_s2.begin_transaction(Tid::NULL).expect("begin");
+    bank.set(t, 1, 500).expect("seed balance");
+    assert!(app_s2.end_transaction(t).expect("end").is_committed(), "seed write must commit");
+
+    let moved = Migrator::new()
+        .migrate(&s1, &c1, &s2, &c2, 1, &MigrateOptions::default())
+        .expect("live migration");
+    eprintln!("shard bank.s1 now on node {} (map v{})", moved.owner(1), moved.version);
+
+    let t = app_s2.begin_transaction(Tid::NULL).expect("begin");
+    assert_eq!(bank.get(t, 1).expect("read after migration"), 500, "moved balance must survive");
+    assert!(app_s2.end_transaction(t).expect("end").is_committed(), "read must commit");
+
+    print!("{}", sc.timeline().render_swimlane(Tid::NULL));
+    s1.shutdown();
+    s2.shutdown();
     0
 }
 
@@ -484,6 +558,7 @@ fn chaos(flags: &Flags) -> i32 {
         .and_then(|()| runner.sweep_group_commit().map(|k| killed.extend(k)))
         .and_then(|()| runner.sweep_fastpath().map(|k| killed.extend(k)))
         .and_then(|()| runner.sweep_distributed().map(|k| killed.extend(k)))
+        .and_then(|()| runner.sweep_migration().map(|k| killed.extend(k)))
         .and_then(|()| runner.torn_write_scenario())
         .and_then(|()| runner.transient_read_scenario());
     if let Err(e) = outcome {
@@ -502,4 +577,56 @@ fn chaos(flags: &Flags) -> i32 {
     }
     println!("all {} registered crash points swept; invariants held.", killed.len());
     0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn help_text() -> String {
+        let mut buf = Vec::new();
+        usage(&mut buf);
+        String::from_utf8(buf).expect("help is UTF-8")
+    }
+
+    /// Satellite guard against CLI/doc drift: `--help` must list every
+    /// entry in the dispatch table.
+    #[test]
+    fn help_covers_the_whole_dispatch_table() {
+        let help = help_text();
+        for c in COMMANDS {
+            assert!(
+                help.lines().any(|l| l.trim_start().starts_with(&format!("{} ", c.name))),
+                "--help does not list subcommand '{}'",
+                c.name
+            );
+        }
+    }
+
+    /// Every workload in the perf registry is reachable from the CLI.
+    #[test]
+    fn every_registered_workload_has_a_subcommand() {
+        for w in registry() {
+            assert!(
+                COMMANDS.iter().any(|c| c.name == w.name()),
+                "registered workload '{}' has no subcommand",
+                w.name()
+            );
+        }
+    }
+
+    /// The README subcommand table must mention every subcommand too.
+    #[test]
+    fn readme_subcommand_table_covers_the_dispatch_table() {
+        let readme =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"))
+                .expect("README.md at the workspace root");
+        for c in COMMANDS {
+            assert!(
+                readme.contains(&format!("`{}`", c.name)),
+                "README subcommand table does not mention `{}`",
+                c.name
+            );
+        }
+    }
 }

@@ -25,10 +25,12 @@
 //! red run can be replayed exactly.
 
 pub mod controller;
+pub mod migrate;
 pub mod plan;
 pub mod runner;
 
 pub use controller::{CrashController, KillLog, NodeFaults};
+pub use migrate::MIGRATION_POINTS;
 pub use plan::{ChaosRng, DiskFaultSpec, FaultPlan, NetSchedule, ScheduledPolicy};
 pub use runner::{
     registry, ChaosRunner, Outcome, PartitionRun, Xfer, FASTPATH_POINTS, GROUP_COMMIT_POINTS,
@@ -47,6 +49,7 @@ mod tests {
             tabs_wal::CRASH_POINTS.len()
                 + tabs_rm::CRASH_POINTS.len()
                 + tabs_tm::CRASH_POINTS.len()
+                + tabs_shard::CRASH_POINTS.len()
         );
         // No duplicates and stable naming convention: `<layer>.<step>.<edge>`.
         let mut sorted: Vec<_> = reg.clone();
@@ -55,7 +58,10 @@ mod tests {
         assert_eq!(sorted.len(), reg.len(), "crash-point names must be unique");
         for p in &reg {
             assert!(
-                p.starts_with("wal.") || p.starts_with("rm.") || p.starts_with("tm."),
+                p.starts_with("wal.")
+                    || p.starts_with("rm.")
+                    || p.starts_with("tm.")
+                    || p.starts_with("shard."),
                 "unexpected crash-point prefix: {p}"
             );
         }
@@ -68,6 +74,7 @@ mod tests {
         swept.extend_from_slice(GROUP_COMMIT_POINTS);
         swept.extend_from_slice(FASTPATH_POINTS);
         swept.extend_from_slice(TWO_PC_POINTS);
+        swept.extend_from_slice(MIGRATION_POINTS);
         swept.sort_unstable();
         swept.dedup();
         let mut reg = registry();

@@ -1,0 +1,320 @@
+//! Kill-mid-migration sweep: arms every `shard.migrate.*` crash point on
+//! the migration's source node and again on its destination node, over a
+//! sharded bank with transfers in flight, and checks that no write is
+//! lost or doubly applied.
+//!
+//! The scenario is a three-node cluster: node 1 owns shard 0, node 2
+//! owns shard 1, node 3 coordinates client transfers through a
+//! [`ShardClient`] router while a [`Migrator`] moves shard 0 from node 1
+//! to node 2. The armed [`CrashController`] makes the victim dead to the
+//! world the instant the migration engine reaches the armed point. After
+//! the dust settles every node is crashed, rebooted from its surviving
+//! non-volatile state (the durable map store decides who owns what — the
+//! linearization point of the reconfiguration), and the standard oracle
+//! runs over the balances read back through a fresh router:
+//! conservation (no transfer or shard copy half- or doubly-applied),
+//! durability of reported-committed transfers, drained lock tables, and
+//! idempotent re-recovery.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use tabs_app_lib::AppHandle;
+use tabs_core::{Cluster, Node, NodeId, Tid};
+use tabs_kernel::CrashHooks;
+use tabs_shard::{
+    shard_name, MigrateOptions, Migrator, Partitioning, ShardClient, ShardControl, ShardMap,
+    ShardServer,
+};
+
+use crate::controller::{CrashController, KillLog, NodeFaults};
+use crate::runner::{
+    check_model, install_fault_disk, install_fault_log, Outcome, Xfer, BASE, CHAOS_TIMEOUTS,
+};
+
+/// The crash points the migration sweep covers: every point the shard
+/// migration engine registers.
+pub const MIGRATION_POINTS: &[&str] = tabs_shard::CRASH_POINTS;
+
+/// The sharded service under test.
+const SERVICE: &str = "bank";
+/// Slots per shard; with two shards, global keys 0..8 exist.
+const SLOTS: u64 = 4;
+/// The accounts the workload moves money between (two per shard under
+/// hash partitioning: even keys on shard 0, odd keys on shard 1).
+const ACCOUNTS: [u64; 4] = [0, 1, 2, 3];
+
+/// The initial map: shard 0 on node 1 (migration source), shard 1 on
+/// node 2 (migration destination).
+fn initial_map() -> ShardMap {
+    ShardMap {
+        service: SERVICE.into(),
+        version: 1,
+        partitioning: Partitioning::Hash,
+        owners: vec![NodeId(1), NodeId(2)],
+    }
+}
+
+/// Boots `id` hosting every shard of `map` and recovers it.
+fn boot_sharded(
+    cluster: &Arc<Cluster>,
+    id: u16,
+    map: &ShardMap,
+) -> Result<(Node, Arc<ShardControl>, Vec<ShardServer>), String> {
+    let node = cluster.boot_node(NodeId(id));
+    let (control, servers) = ShardServer::spawn_all(&node, map, SLOTS)
+        .map_err(|e| format!("spawn shards n{id}: {e}"))?;
+    node.recover().map_err(|e| format!("recover n{id}: {e}"))?;
+    Ok((node, control, servers))
+}
+
+/// One money transfer between two global keys via the router.
+fn shard_transfer(
+    app: &AppHandle,
+    client: &ShardClient,
+    from: u64,
+    to: u64,
+    amount: i64,
+) -> Outcome {
+    let t = match app.begin_transaction(Tid::NULL) {
+        Ok(t) => t,
+        Err(_) => return Outcome::Unknown,
+    };
+    if client.add(t, from, -amount).is_err() || client.add(t, to, amount).is_err() {
+        return match app.abort_transaction(t) {
+            Ok(()) => Outcome::Aborted,
+            Err(_) => Outcome::Unknown,
+        };
+    }
+    match app.end_transaction(t) {
+        Ok(o) if o.is_committed() => Outcome::Committed,
+        Ok(_) => Outcome::Aborted,
+        Err(_) => Outcome::Unknown,
+    }
+}
+
+/// Reads one account through the router, retrying while recovery settles.
+fn poll_key(
+    app: &AppHandle,
+    client: &ShardClient,
+    key: u64,
+    deadline: Instant,
+) -> Result<i64, String> {
+    loop {
+        let t = match app.begin_transaction(Tid::NULL) {
+            Ok(t) => t,
+            Err(e) => return Err(format!("begin for read: {e}")),
+        };
+        let r = client.get(t, key);
+        let _ = app.abort_transaction(t);
+        match r {
+            Ok(v) => return Ok(v),
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(format!("key {key} never became readable: {e}")),
+        }
+    }
+}
+
+/// Polls every shard server's lock table down to zero held objects.
+fn poll_shard_locks_drained(
+    servers: &[ShardServer],
+    who: &str,
+    deadline: Instant,
+) -> Result<(), String> {
+    for s in servers {
+        loop {
+            let held = s.server().locks().locked_object_count();
+            if held == 0 {
+                break;
+            }
+            if Instant::now() >= deadline {
+                return Err(format!("{who} shard {} leaked {held} lock(s)", s.shard()));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    Ok(())
+}
+
+/// Arms each point in [`MIGRATION_POINTS`] on the source and on the
+/// destination of a live migration. Returns the set of points that
+/// actually killed a node.
+pub fn sweep_migration(seed: u64) -> Result<BTreeSet<&'static str>, String> {
+    let mut killed = BTreeSet::new();
+    for &point in MIGRATION_POINTS {
+        for kill_destination in [false, true] {
+            for (p, _node) in migration_scenario(seed, point, kill_destination)? {
+                killed.insert(p);
+            }
+        }
+    }
+    Ok(killed)
+}
+
+/// One kill-mid-migration scenario; see the module docs for the shape.
+fn migration_scenario(
+    seed: u64,
+    point: &'static str,
+    kill_destination: bool,
+) -> Result<Vec<(&'static str, NodeId)>, String> {
+    let label = format!("{point}@{}", if kill_destination { "destination" } else { "source" });
+    let fail = |m: String| format!("seed={seed} crash_point={label} {m}");
+
+    let cluster = Cluster::new();
+    let f1 = NodeFaults::new(seed ^ 0xE1);
+    let f2 = NodeFaults::new(seed ^ 0xE2);
+    install_fault_log(&cluster, 1, &f1);
+    install_fault_log(&cluster, 2, &f2);
+    let map1 = initial_map();
+    for shard in 0..map1.shards() {
+        install_fault_disk(&cluster, 1, &shard_name(SERVICE, shard), &f1);
+        install_fault_disk(&cluster, 2, &shard_name(SERVICE, shard), &f2);
+    }
+    // The initial configuration is committed durably before anything
+    // boots, so every (re)booted node's Name Server is seeded with at
+    // least this map and reboots never improvise ownership.
+    if !cluster.commit_shard_map(SERVICE, map1.version, map1.to_blob()) {
+        return Err(fail("seeding the durable map store failed".into()));
+    }
+
+    let (n1, c1, s1) = boot_sharded(&cluster, 1, &map1).map_err(&fail)?;
+    let (n2, c2, s2) = boot_sharded(&cluster, 2, &map1).map_err(&fail)?;
+    let n3 = cluster.boot_node(NodeId(3));
+    n3.recover().map_err(|e| fail(format!("recover n3: {e}")))?;
+    for n in [&n1, &n2, &n3] {
+        n.tm.set_timeouts(CHAOS_TIMEOUTS);
+    }
+
+    let app = n3.app();
+    let client =
+        Arc::new(ShardClient::new(&n3, SERVICE).map_err(|e| fail(format!("router: {e}")))?);
+    client.set_call_deadline(Duration::from_millis(1500));
+    for &key in &ACCOUNTS {
+        app.run(|t| client.set(t, key, BASE)).map_err(|e| fail(format!("seed key {key}: {e}")))?;
+    }
+
+    // Arm the victim: the controller kills it the instant the migration
+    // engine reaches the armed point (the `shard.migrate.*` points live
+    // on the Migrator, node-layer slots are installed for completeness).
+    let kills: KillLog = Arc::new(Mutex::new(Vec::new()));
+    let (victim_id, victim_node, victim_faults) =
+        if kill_destination { (NodeId(2), &n2, &f2) } else { (NodeId(1), &n1, &f1) };
+    let peers: Vec<NodeId> =
+        [NodeId(1), NodeId(2), NodeId(3)].into_iter().filter(|&p| p != victim_id).collect();
+    let ctl = CrashController::new(
+        &cluster,
+        victim_id,
+        peers,
+        Some(point),
+        victim_faults.clone(),
+        Arc::clone(&kills),
+    );
+    ctl.install(victim_node);
+    let migrator = Migrator::new();
+    migrator.set_crash_hooks(Arc::clone(&ctl) as Arc<dyn CrashHooks>);
+
+    // Transfers keep flowing through the router while the migration
+    // runs: same-shard (0->2), cross-shard (0->1, 3->2), so both the
+    // moving shard and the stable one see traffic.
+    let wl_client = Arc::clone(&client);
+    let wl_app = app.clone();
+    let workload = std::thread::spawn(move || {
+        let mut xfers = Vec::new();
+        for &(from, to) in &[(0u64, 2u64), (0u64, 1u64), (3u64, 2u64)] {
+            let outcome = shard_transfer(&wl_app, &wl_client, from, to, 10);
+            xfers.push(Xfer { from: from as usize, to: to as usize, amount: 10, outcome });
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        xfers
+    });
+
+    // Move shard 0 from node 1 to node 2. Whether this reports success
+    // depends on where the victim died; either way the oracle below
+    // holds the recovered cluster to the durable map store's verdict.
+    let opts = MigrateOptions {
+        drain_deadline: Duration::from_millis(500),
+        resolve_wait: Duration::from_secs(1),
+        copy_attempts: 2,
+    };
+    let _ = migrator.migrate(&n1, &c1, &n2, &c2, 0, &opts);
+    migrator.clear_crash_hooks();
+
+    let xfers = workload.join().map_err(|_| fail("workload thread panicked".into()))?;
+    if !ctl.was_killed() {
+        return Err(fail("armed point never fired — the sweep does not cover it".into()));
+    }
+
+    // Let in-flight protocol threads settle, then lose all volatile
+    // state everywhere and reboot on the surviving disks.
+    std::thread::sleep(Duration::from_millis(150));
+    let killed: Vec<(&'static str, NodeId)> = kills.lock().clone();
+    drop(client);
+    drop((s1, s2));
+    drop((c1, c2));
+    n1.crash();
+    n2.crash();
+    n3.crash();
+    cluster.network().heal(NodeId(1), NodeId(2));
+    cluster.network().heal(NodeId(1), NodeId(3));
+    cluster.network().heal(NodeId(2), NodeId(3));
+    f1.clear();
+    f2.clear();
+
+    let first = recovered_balances(seed, &cluster, &label, &xfers)?;
+    let second = recovered_balances(seed, &cluster, &label, &xfers)?;
+    if first != second {
+        return Err(fail(format!(
+            "re-recovery not idempotent: first {first:?}, second {second:?}"
+        )));
+    }
+    Ok(killed)
+}
+
+/// Reboots all three nodes onto the durable map store's latest map,
+/// recovers, runs the oracle over the balances read through a fresh
+/// router, and crashes everything again.
+fn recovered_balances(
+    seed: u64,
+    cluster: &Arc<Cluster>,
+    label: &str,
+    xfers: &[Xfer],
+) -> Result<Vec<i64>, String> {
+    let fail = |m: String| format!("seed={seed} crash_point={label} {m}");
+    let (version, blob) =
+        cluster.shard_map(SERVICE).ok_or_else(|| fail("durable map store is empty".into()))?;
+    let map = ShardMap::from_blob(&blob)
+        .map_err(|e| fail(format!("durable map v{version} does not decode: {e}")))?;
+
+    // The transfer coordinator (node 3) and the copy coordinator (node
+    // 2) come back before node 1: rebooted participants resolve their
+    // in-doubt transactions by inquiring at their coordinator.
+    let n3 = cluster.boot_node(NodeId(3));
+    n3.recover().map_err(|e| fail(format!("re-recover n3: {e}")))?;
+    let (n2, _c2, s2) = boot_sharded(cluster, 2, &map).map_err(&fail)?;
+    let (n1, _c1, s1) = boot_sharded(cluster, 1, &map).map_err(&fail)?;
+
+    let deadline = Instant::now() + Duration::from_secs(8);
+    poll_shard_locks_drained(&s1, "rebooted source", deadline).map_err(&fail)?;
+    poll_shard_locks_drained(&s2, "rebooted destination", deadline).map_err(&fail)?;
+
+    let app = n3.app();
+    let client = ShardClient::new(&n3, SERVICE).map_err(|e| fail(format!("re-router: {e}")))?;
+    let mut balances = Vec::with_capacity(ACCOUNTS.len());
+    for &key in &ACCOUNTS {
+        balances.push(poll_key(&app, &client, key, deadline).map_err(&fail)?);
+    }
+    let base = vec![BASE; ACCOUNTS.len()];
+    check_model(&balances, &base, xfers).map_err(&fail)?;
+
+    drop(client);
+    drop((s1, s2));
+    n1.crash();
+    n2.crash();
+    n3.crash();
+    Ok(balances)
+}

@@ -41,6 +41,7 @@ pub fn registry() -> Vec<&'static str> {
     v.extend_from_slice(tabs_wal::CRASH_POINTS);
     v.extend_from_slice(tabs_rm::CRASH_POINTS);
     v.extend_from_slice(tabs_tm::CRASH_POINTS);
+    v.extend_from_slice(tabs_shard::CRASH_POINTS);
     v
 }
 
@@ -91,7 +92,7 @@ pub const PAIRWISE_ARMS: &[(&str, &str)] = &[
 
 /// Aggressive protocol timeouts used while a kill is armed, so scenarios
 /// where a node dies mid-protocol resolve in milliseconds, not seconds.
-const CHAOS_TIMEOUTS: TmTimeouts = TmTimeouts {
+pub(crate) const CHAOS_TIMEOUTS: TmTimeouts = TmTimeouts {
     retransmit: Duration::from_millis(25),
     vote_deadline: Duration::from_millis(800),
     ack_deadline: Duration::from_millis(300),
@@ -116,7 +117,7 @@ const PARTITION_HEARTBEAT: tabs_core::HeartbeatConfig = tabs_core::HeartbeatConf
 };
 
 const LOG_CAP: u64 = 8 << 20;
-const BASE: i64 = 100;
+pub(crate) const BASE: i64 = 100;
 
 /// What the client was told about one transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,7 +156,7 @@ pub struct Xfer {
 
 /// Checks the recovered `balances` against base-plus-committed plus some
 /// subset of the unknown transfers.
-fn check_model(balances: &[i64], base: &[i64], xfers: &[Xfer]) -> Result<(), String> {
+pub(crate) fn check_model(balances: &[i64], base: &[i64], xfers: &[Xfer]) -> Result<(), String> {
     let total: i64 = balances.iter().sum();
     let expect_total: i64 = base.iter().sum();
     if total != expect_total {
@@ -212,7 +213,7 @@ fn boot_array(
 
 /// Registers a fault-wrapped in-memory disk for `name`'s segment on `id`
 /// (must run before the segment is first added).
-fn install_fault_disk(cluster: &Arc<Cluster>, id: u16, name: &str, faults: &NodeFaults) {
+pub(crate) fn install_fault_disk(cluster: &Arc<Cluster>, id: u16, name: &str, faults: &NodeFaults) {
     cluster.disks().insert(
         &format!("{}.{}-segment", NodeId(id), name),
         FaultDisk::new(MemDisk::new(64), Arc::clone(&faults.disk)) as Arc<dyn tabs_kernel::Disk>,
@@ -220,7 +221,7 @@ fn install_fault_disk(cluster: &Arc<Cluster>, id: u16, name: &str, faults: &Node
 }
 
 /// Installs a fault-wrapped log device for `id` (before the first boot).
-fn install_fault_log(cluster: &Arc<Cluster>, id: u16, faults: &NodeFaults) {
+pub(crate) fn install_fault_log(cluster: &Arc<Cluster>, id: u16, faults: &NodeFaults) {
     cluster.set_log_device(
         NodeId(id),
         FaultLogDevice::new(LOG_CAP, Arc::clone(&faults.log)) as Arc<dyn tabs_wal::LogDevice>,
@@ -632,6 +633,14 @@ impl ChaosRunner {
             }
         }
         Ok(killed)
+    }
+
+    /// Arms each point in [`crate::migrate::MIGRATION_POINTS`] on the
+    /// migration's source node and again on its destination node, over a
+    /// sharded bank workload with a live migration in flight. See
+    /// [`crate::migrate`].
+    pub fn sweep_migration(&self) -> Result<BTreeSet<&'static str>, String> {
+        crate::migrate::sweep_migration(self.seed)
     }
 
     fn arm_label(coord: Option<&str>, part: Option<&str>) -> String {

@@ -468,10 +468,16 @@ impl CommManager {
                             }
                             Err(_) => Err(ServerError::Other("server timeout".into())),
                         },
-                        Err(_) => Err(ServerError::Other("server port dead".into())),
+                        // The send never entered the server: the port
+                        // closed (e.g. the node rebooted and its servers
+                        // re-registered on fresh ports). Retryable — the
+                        // caller should re-resolve and try again.
+                        Err(_) => Err(ServerError::Unavailable(target_port.node)),
                     }
                 }
-                None => Err(ServerError::BadRequest(format!("no such port {target_port}"))),
+                // Unknown port: same story — the request was never
+                // delivered, so retrying after re-resolution is safe.
+                None => Err(ServerError::Unavailable(target_port.node)),
             };
             // A server's reply body is already the encoded
             // `tabs_proto::Response`, whose result encoding is exactly
@@ -536,6 +542,7 @@ impl CommManager {
                         f.handle(pkt.from, msg);
                     }
                 }
+                Ok(Datagram::Shard(msg)) => self.ns.handle_shard(msg),
                 Err(_) => {}
             }
         }
@@ -671,6 +678,16 @@ impl Broadcast for CmBroadcast {
 
     fn send(&self, to: NodeId, msg: NsMsg) {
         let body = Datagram::Ns(msg).encode_to_vec();
+        let _ = self.cm.endpoint.send_datagram(to, body);
+    }
+
+    fn broadcast_shard(&self, msg: tabs_proto::ShardMsg) {
+        let body = Datagram::Shard(msg).encode_to_vec();
+        let _ = self.cm.endpoint.broadcast(body);
+    }
+
+    fn send_shard(&self, to: NodeId, msg: tabs_proto::ShardMsg) {
+        let body = Datagram::Shard(msg).encode_to_vec();
         let _ = self.cm.endpoint.send_datagram(to, body);
     }
 }

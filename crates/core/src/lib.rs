@@ -208,6 +208,13 @@ pub struct Cluster {
     perfs: Mutex<HashMap<NodeId, Arc<PerfCounters>>>,
     traces: Mutex<HashMap<NodeId, Arc<TraceCollector>>>,
     metrics: Mutex<HashMap<NodeId, Arc<Metrics>>>,
+    /// Durable anchor for versioned shard maps: service → (version,
+    /// encoded map). Models the replicated cluster-configuration store a
+    /// real deployment would keep the placement map in; like `disks` and
+    /// `seg_tables` it survives node crashes, so a rebooted node's Name
+    /// Server is re-seeded with the newest committed map and a stale old
+    /// owner can never serve a migrated shard again.
+    shard_maps: Mutex<HashMap<String, (u64, Vec<u8>)>>,
     config: ClusterConfig,
 }
 
@@ -234,6 +241,7 @@ impl Cluster {
             perfs: Mutex::new(HashMap::new()),
             traces: Mutex::new(HashMap::new()),
             metrics: Mutex::new(HashMap::new()),
+            shard_maps: Mutex::new(HashMap::new()),
             config,
         })
     }
@@ -255,6 +263,31 @@ impl Cluster {
     /// to slide a fault-injecting device under the write-ahead log.
     pub fn set_log_device(&self, id: NodeId, dev: Arc<dyn tabs_wal::LogDevice>) {
         self.log_devices.lock().insert(id, dev);
+    }
+
+    /// Commits a shard map to the cluster's durable map store iff
+    /// `version` is strictly newer than the stored one. This is the
+    /// linearization point of a shard-ownership change: migration engines
+    /// call it *after* the shard's data is durably copied and *before*
+    /// announcing the new map through the Name Servers, so a crash
+    /// anywhere in between leaves either the old complete placement or
+    /// the new complete placement, never a split. Returns whether the map
+    /// was committed.
+    pub fn commit_shard_map(&self, service: &str, version: u64, map: Vec<u8>) -> bool {
+        let mut maps = self.shard_maps.lock();
+        match maps.get(service) {
+            Some((held, _)) if *held >= version => false,
+            _ => {
+                maps.insert(service.to_string(), (version, map));
+                true
+            }
+        }
+    }
+
+    /// The newest durably committed `(version, encoded-map)` for
+    /// `service`, if any.
+    pub fn shard_map(&self, service: &str) -> Option<(u64, Vec<u8>)> {
+        self.shard_maps.lock().get(service).cloned()
     }
 
     /// Per-node primitive counters (persistent across restarts so that
@@ -357,6 +390,13 @@ impl Cluster {
             }
         }
         let ns = NameServer::new(id);
+        // Seed the fresh Name Server from the durable map store: a node
+        // that crashed mid-migration reboots already knowing the newest
+        // committed shard placement, so it fences itself off shards it
+        // lost while down instead of serving stale data.
+        for (service, (version, map)) in self.shard_maps.lock().iter() {
+            ns.adopt_map(service, *version, map.clone());
+        }
         let endpoint = self.net.attach(id, Arc::clone(&perf));
         // Datagrams dropped on their way to this node (loss, partitions,
         // chaos schedules, or dying with a detached inbox) are visible in
@@ -511,6 +551,12 @@ impl Node {
     /// This node's trace collector, when the cluster traces.
     pub fn trace(&self) -> Option<&Arc<TraceCollector>> {
         self.trace.as_ref()
+    }
+
+    /// The cluster this node belongs to — its durable cluster-wide
+    /// facilities (disks, segment tables, the shard-map store).
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
     }
 
     /// This node's deadlock detector, when the cluster detects.

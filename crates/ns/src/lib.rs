@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use tabs_kernel::{NodeId, ObjectId, PortId};
-use tabs_proto::{NameEntry, NsMsg};
+use tabs_proto::{NameEntry, NsMsg, ShardMsg};
 
 /// Outbound broadcast path, supplied by the Communication Manager
 /// ("broadcasting for name lookup by the Name Server", §3.2.4).
@@ -30,6 +30,13 @@ pub trait Broadcast: Send + Sync {
 
     /// Sends a name-service message to one node.
     fn send(&self, to: NodeId, msg: NsMsg);
+
+    /// Broadcasts a shard-map message to every other node. Default:
+    /// dropped (single-node configurations have nobody to tell).
+    fn broadcast_shard(&self, _msg: ShardMsg) {}
+
+    /// Sends a shard-map message to one node. Default: dropped.
+    fn send_shard(&self, _to: NodeId, _msg: ShardMsg) {}
 }
 
 /// A broadcast sink for single-node configurations.
@@ -47,6 +54,12 @@ struct NsState {
     /// Entries learned from remote lookup responses (a soft cache; remote
     /// re-registration after a crash replaces entries on next lookup).
     remote: HashMap<String, Vec<NameEntry>>,
+    /// Versioned shard maps, keyed by service name: the highest
+    /// `(version, encoded-map)` this node has published or adopted.
+    /// Unlike `local`, maps are cluster-wide facts, not port bindings, so
+    /// gossip keeps them monotone: a map is only replaced by a strictly
+    /// newer version.
+    maps: HashMap<String, (u64, Vec<u8>)>,
 }
 
 /// The Name Server of one node.
@@ -68,7 +81,11 @@ impl NameServer {
     pub fn new(node: NodeId) -> Arc<Self> {
         Arc::new(Self {
             node,
-            state: Mutex::new(NsState { local: HashMap::new(), remote: HashMap::new() }),
+            state: Mutex::new(NsState {
+                local: HashMap::new(),
+                remote: HashMap::new(),
+                maps: HashMap::new(),
+            }),
             cond: Condvar::new(),
             transport: Mutex::new(Arc::new(NullBroadcast)),
         })
@@ -187,6 +204,106 @@ impl NameServer {
                     slot.push(e);
                 }
                 self.cond.notify_all();
+            }
+        }
+    }
+
+    /// Publishes a shard map: adopts `(version, map)` locally iff it is
+    /// strictly newer than what this node holds, and broadcasts it to
+    /// every other Name Server. Returns whether the map was adopted.
+    pub fn publish_map(&self, service: &str, version: u64, map: Vec<u8>) -> bool {
+        let adopted = self.adopt_map(service, version, map.clone());
+        if adopted {
+            let transport = Arc::clone(&self.transport.lock());
+            transport.broadcast_shard(ShardMsg::Publish {
+                service: service.to_string(),
+                version,
+                map,
+            });
+        }
+        adopted
+    }
+
+    /// Adopts a shard map locally without broadcasting (used when seeding
+    /// a rebooted node from the cluster's durable map store, and when
+    /// gossip delivers a newer version). Strictly-newer versions win.
+    pub fn adopt_map(&self, service: &str, version: u64, map: Vec<u8>) -> bool {
+        let mut st = self.state.lock();
+        match st.maps.get(service) {
+            Some((held, _)) if *held >= version => false,
+            _ => {
+                st.maps.insert(service.to_string(), (version, map));
+                self.cond.notify_all();
+                true
+            }
+        }
+    }
+
+    /// The newest `(version, encoded-map)` this node holds for `service`.
+    pub fn map_blob(&self, service: &str) -> Option<(u64, Vec<u8>)> {
+        self.state.lock().maps.get(service).cloned()
+    }
+
+    /// Waits until this node holds a map of `service` with version ≥
+    /// `min_version`, gossiping requests to the other Name Servers while
+    /// waiting (requests are datagrams, so they are re-broadcast until the
+    /// deadline like name lookups). Returns the newest map held at
+    /// return, which may still be older than `min_version` on timeout.
+    pub fn await_map_version(
+        &self,
+        service: &str,
+        min_version: u64,
+        max_wait: Duration,
+    ) -> Option<(u64, Vec<u8>)> {
+        {
+            let st = self.state.lock();
+            if let Some((v, m)) = st.maps.get(service) {
+                if *v >= min_version {
+                    return Some((*v, m.clone()));
+                }
+            }
+        }
+        let transport = Arc::clone(&self.transport.lock());
+        let request = ShardMsg::Request { service: service.to_string(), reply_to: self.node };
+        transport.broadcast_shard(request.clone());
+        let deadline = Instant::now() + max_wait;
+        let rebroadcast_every = Duration::from_millis(25);
+        let mut st = self.state.lock();
+        loop {
+            if let Some((v, m)) = st.maps.get(service) {
+                if *v >= min_version {
+                    return Some((*v, m.clone()));
+                }
+            }
+            let next_wake = (Instant::now() + rebroadcast_every).min(deadline);
+            let timed_out = self.cond.wait_until(&mut st, next_wake).timed_out();
+            if Instant::now() >= deadline {
+                return st.maps.get(service).cloned();
+            }
+            if timed_out {
+                parking_lot::MutexGuard::unlocked(&mut st, || {
+                    transport.broadcast_shard(request.clone());
+                });
+            }
+        }
+    }
+
+    /// Entry point for shard-map datagrams, called by the Communication
+    /// Manager's datagram loop.
+    pub fn handle_shard(&self, msg: ShardMsg) {
+        match msg {
+            ShardMsg::Publish { service, version, map } => {
+                self.adopt_map(&service, version, map);
+            }
+            ShardMsg::Request { service, reply_to } => {
+                if reply_to == self.node {
+                    return; // our own broadcast echoed back
+                }
+                let held = self.map_blob(&service);
+                if let Some((version, map)) = held {
+                    let transport = Arc::clone(&self.transport.lock());
+                    transport.send_shard(reply_to, ShardMsg::Publish { service, version, map });
+                }
             }
         }
     }
@@ -377,6 +494,67 @@ mod tests {
         let found = ns.lookup("svc", 9, Duration::ZERO);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].port, port(2, 7));
+    }
+
+    #[test]
+    fn shard_maps_are_version_monotone() {
+        let ns = NameServer::new(NodeId(1));
+        assert!(ns.publish_map("bank", 3, vec![3]));
+        assert!(!ns.publish_map("bank", 2, vec![2]), "older version must not replace");
+        assert!(!ns.adopt_map("bank", 3, vec![9]), "equal version must not replace");
+        assert_eq!(ns.map_blob("bank"), Some((3, vec![3])));
+        assert!(ns.adopt_map("bank", 4, vec![4]));
+        assert_eq!(ns.map_blob("bank"), Some((4, vec![4])));
+    }
+
+    #[test]
+    fn publish_broadcasts_and_requests_are_answered() {
+        struct Capture(Mutex<Vec<ShardMsg>>, Mutex<Vec<(NodeId, ShardMsg)>>);
+        impl Broadcast for Capture {
+            fn broadcast(&self, _msg: NsMsg) {}
+            fn send(&self, _to: NodeId, _msg: NsMsg) {}
+            fn broadcast_shard(&self, msg: ShardMsg) {
+                self.0.lock().push(msg);
+            }
+            fn send_shard(&self, to: NodeId, msg: ShardMsg) {
+                self.1.lock().push((to, msg));
+            }
+        }
+        let ns = NameServer::new(NodeId(1));
+        let cap = Arc::new(Capture(Mutex::new(Vec::new()), Mutex::new(Vec::new())));
+        ns.set_transport(Arc::clone(&cap) as Arc<dyn Broadcast>);
+
+        ns.publish_map("bank", 1, vec![1]);
+        assert!(matches!(
+            cap.0.lock()[0],
+            ShardMsg::Publish { ref service, version: 1, .. } if service == "bank"
+        ));
+
+        // A request from another node is answered with our newest map.
+        ns.handle_shard(ShardMsg::Request { service: "bank".into(), reply_to: NodeId(2) });
+        let sent = cap.1.lock();
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].0, NodeId(2));
+        // Our own echoed request and unknown services stay silent.
+        drop(sent);
+        ns.handle_shard(ShardMsg::Request { service: "bank".into(), reply_to: NodeId(1) });
+        ns.handle_shard(ShardMsg::Request { service: "ghost".into(), reply_to: NodeId(2) });
+        assert_eq!(cap.1.lock().len(), 1);
+    }
+
+    #[test]
+    fn await_map_version_wakes_on_gossip() {
+        let ns = NameServer::new(NodeId(1));
+        ns.adopt_map("bank", 1, vec![1]);
+        let ns2 = Arc::clone(&ns);
+        let t =
+            std::thread::spawn(move || ns2.await_map_version("bank", 2, Duration::from_secs(2)));
+        std::thread::sleep(Duration::from_millis(30));
+        ns.handle_shard(ShardMsg::Publish { service: "bank".into(), version: 2, map: vec![2] });
+        assert_eq!(t.join().unwrap(), Some((2, vec![2])));
+        // Timeout returns whatever is held.
+        assert_eq!(ns.await_map_version("bank", 9, Duration::from_millis(30)), Some((2, vec![2])));
+        assert_eq!(ns.await_map_version("ghost", 1, Duration::from_millis(10)), None);
     }
 
     #[test]

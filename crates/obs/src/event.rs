@@ -244,6 +244,36 @@ pub enum TraceEvent {
         /// True for a participant's read-only drop-out.
         read_only: bool,
     },
+
+    /// A node adopted a newer shard map for a sharded service.
+    ShardMapUpdate {
+        /// Logical service the map partitions (e.g. `"bank"`).
+        service: String,
+        /// Version of the adopted map (strictly monotone per service).
+        version: u64,
+    },
+    /// A shard migration began: ownership of `shard` is moving between
+    /// nodes (source write-fenced, drain-and-copy under way).
+    MigrationStart {
+        /// Logical service the shard belongs to.
+        service: String,
+        /// Index of the migrating shard.
+        shard: u32,
+        /// Current owner (source).
+        from: NodeId,
+        /// New owner (destination).
+        to: NodeId,
+    },
+    /// A shard migration committed: the new map version is durable and
+    /// the destination serves the shard.
+    MigrationDone {
+        /// Logical service the shard belongs to.
+        service: String,
+        /// Index of the migrated shard.
+        shard: u32,
+        /// Map version that records the new ownership.
+        version: u64,
+    },
 }
 
 impl TraceEvent {
@@ -283,6 +313,9 @@ impl TraceEvent {
             TraceEvent::TerminationQuery { .. } => "termination-query",
             TraceEvent::NodeRejoin { .. } => "node-rejoin",
             TraceEvent::CommitPath { .. } => "commit-path",
+            TraceEvent::ShardMapUpdate { .. } => "shard-map-update",
+            TraceEvent::MigrationStart { .. } => "migration-start",
+            TraceEvent::MigrationDone { .. } => "migration-done",
         }
     }
 
@@ -374,6 +407,15 @@ impl std::fmt::Display for TraceEvent {
                 (_, true) => write!(f, "FAST-PATH read-only"),
                 _ => write!(f, "FAST-PATH"),
             },
+            TraceEvent::ShardMapUpdate { service, version } => {
+                write!(f, "SHARD-MAP {service} v{version}")
+            }
+            TraceEvent::MigrationStart { service, shard, from, to } => {
+                write!(f, "MIGRATE {service}.s{shard} {from}→{to}")
+            }
+            TraceEvent::MigrationDone { service, shard, version } => {
+                write!(f, "MIGRATED {service}.s{shard} (map v{version})")
+            }
         }
     }
 }
@@ -435,6 +477,25 @@ mod tests {
         assert!(!one.is_two_phase_commit());
         let ro = TraceEvent::CommitPath { one_phase: false, read_only: true };
         assert_eq!(ro.to_string(), "FAST-PATH read-only");
+    }
+
+    #[test]
+    fn shard_events_label_and_display() {
+        let map = TraceEvent::ShardMapUpdate { service: "bank".into(), version: 3 };
+        assert_eq!(map.label(), "shard-map-update");
+        assert_eq!(map.to_string(), "SHARD-MAP bank v3");
+        assert!(!map.is_two_phase_commit());
+        let start = TraceEvent::MigrationStart {
+            service: "bank".into(),
+            shard: 2,
+            from: NodeId(1),
+            to: NodeId(3),
+        };
+        assert_eq!(start.label(), "migration-start");
+        assert_eq!(start.to_string(), "MIGRATE bank.s2 n1→n3");
+        let done = TraceEvent::MigrationDone { service: "bank".into(), shard: 2, version: 4 };
+        assert_eq!(done.label(), "migration-done");
+        assert_eq!(done.to_string(), "MIGRATED bank.s2 (map v4)");
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod model;
 pub mod paper;
 pub mod partition;
 pub mod report;
+pub mod scale;
 pub mod tables;
 
 pub use bench::{benchmarks, run_all, BenchResult, BenchWorld, Benchmark, CommitClass};
@@ -61,3 +62,4 @@ pub use partition::{PartitionResult, PartitionWorkload};
 pub use report::{
     registry, BenchFile, BenchReport, Json, RunOpts, Workload, WorkloadOutput, BENCH_SCHEMA_VERSION,
 };
+pub use scale::{ScaleRun, ScaleWorkload};

@@ -149,6 +149,18 @@ impl BenchReport {
         o
     }
 
+    /// The row's identity: two rows with the same key describe the same
+    /// measurement and may not coexist in one bench file. Config is part
+    /// of the key so legitimately distinct runs (same mode, different
+    /// knob) are not conflated.
+    pub fn key(&self) -> String {
+        let mut k = format!("{}/{}/{}", self.workload, self.scenario, self.mode);
+        for (name, v) in &self.config {
+            let _ = write!(k, " {name}={v}");
+        }
+        k
+    }
+
     /// Rebuilds a row from a parsed JSON object.
     pub fn from_json(v: &Json) -> Result<Self, String> {
         let mut r = BenchReport {
@@ -209,13 +221,30 @@ impl BenchFile {
         o
     }
 
+    /// Replaces rows whose [`BenchReport::key`] matches an incoming row
+    /// and appends the rest, preserving file order. `tables --json` uses
+    /// this to grow a dated bench file across invocations: re-running a
+    /// workload refreshes its rows instead of duplicating them.
+    pub fn upsert(&mut self, rows: Vec<BenchReport>) {
+        for row in rows {
+            match self.runs.iter_mut().find(|r| r.key() == row.key()) {
+                Some(slot) => *slot = row,
+                None => self.runs.push(row),
+            }
+        }
+    }
+
     /// Parses and validates a `BENCH_*.json` document: schema version,
-    /// required fields and field types all checked.
+    /// required fields and field types all checked; duplicate report
+    /// rows (same [`BenchReport::key`]) are rejected.
     pub fn parse(text: &str) -> Result<Self, String> {
         let v = Json::parse(text)?;
         let schema = v.get_num("schema")? as u64;
         if schema != BENCH_SCHEMA_VERSION {
-            return Err(format!("schema {schema}, expected {BENCH_SCHEMA_VERSION}"));
+            return Err(format!(
+                "unsupported schema version {schema} (this tool reads version \
+                 {BENCH_SCHEMA_VERSION}; regenerate the file with the current `tables --json`)"
+            ));
         }
         let generated = v.get_str("generated")?;
         let runs = match v.get("runs") {
@@ -225,6 +254,16 @@ impl BenchFile {
             Some(other) => return Err(format!("runs: expected array, got {other:?}")),
             None => return Err("missing field runs".into()),
         };
+        let mut seen = std::collections::BTreeSet::new();
+        for r in &runs {
+            if !seen.insert(r.key()) {
+                return Err(format!(
+                    "duplicate report row {} (two rows share workload/scenario/mode and every \
+                     config knob; merge or relabel them)",
+                    r.key()
+                ));
+            }
+        }
         Ok(Self { schema, generated, runs })
     }
 }
@@ -498,6 +537,7 @@ pub fn registry() -> Vec<Box<dyn Workload>> {
         Box::new(crate::groupcommit::GroupCommitWorkload),
         Box::new(crate::fastpath::FastpathWorkload),
         Box::new(crate::partition::PartitionWorkload),
+        Box::new(crate::scale::ScaleWorkload),
         Box::new(crate::paper::PaperWorkload),
     ]
 }
@@ -563,6 +603,49 @@ mod tests {
             assert!(text.contains(key), "schema key {key} missing from {text}");
         }
         assert_eq!(BENCH_SCHEMA_VERSION, 1);
+    }
+
+    #[test]
+    fn emitted_files_reparse_byte_identically() {
+        // emit → parse → re-emit must reproduce the exact bytes, so bench
+        // files stay diffable across tool invocations.
+        let text = BenchFile::new("2026-08-09", vec![sample(), BenchReport::default()]).to_json();
+        assert_eq!(BenchFile::parse(&text).unwrap().to_json(), text);
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_rows() {
+        let dup = BenchFile::new("2026-08-09", vec![sample(), sample()]);
+        let err = BenchFile::parse(&dup.to_json()).unwrap_err();
+        assert!(err.contains("duplicate report row"), "unhelpful error: {err}");
+        assert!(err.contains("load/bank-contended/closed/32"), "key missing from: {err}");
+
+        // Same mode but a different config knob is a different run.
+        let mut other = sample();
+        other.config.insert("lock_stripes".into(), "1".into());
+        let ok = BenchFile::new("2026-08-09", vec![sample(), other]);
+        assert!(BenchFile::parse(&ok.to_json()).is_ok());
+    }
+
+    #[test]
+    fn wrong_schema_error_names_both_versions() {
+        let err =
+            BenchFile::parse("{\"schema\": 2, \"generated\": \"x\", \"runs\": []}").unwrap_err();
+        assert!(err.contains("unsupported schema version 2"), "unhelpful error: {err}");
+        assert!(err.contains("version 1"), "expected version missing from: {err}");
+    }
+
+    #[test]
+    fn upsert_replaces_matching_keys_and_appends_new_rows() {
+        let mut file = BenchFile::new("2026-08-09", vec![sample()]);
+        let mut refreshed = sample();
+        refreshed.committed = 9999;
+        let mut new_mode = sample();
+        new_mode.mode = "closed/64".into();
+        file.upsert(vec![refreshed.clone(), new_mode.clone()]);
+        assert_eq!(file.runs, vec![refreshed, new_mode]);
+        // The merged file still parses (no duplicate keys).
+        assert!(BenchFile::parse(&file.to_json()).is_ok());
     }
 
     #[test]

@@ -19,15 +19,20 @@
 //! - [`beat`] — the Communication Managers' failure-detector heartbeats
 //!   (§3.2.4 assumes a session service that detects node failure; these
 //!   datagrams implement the detection).
+//! - [`shard`] — versioned shard-map gossip for the sharded services
+//!   (`tabs-shard`); the Name Servers distribute `(service, version,
+//!   map)` triples the same way they broadcast name lookups.
 
 pub mod beat;
 pub mod commit;
 pub mod detect;
 pub mod rpc;
+pub mod shard;
 pub mod wire;
 
 pub use beat::BeatMsg;
 pub use commit::CommitMsg;
 pub use detect::DetectMsg;
 pub use rpc::{call, call_with_timeout, Request, RequestRef, Response, RpcError, ServerError};
+pub use shard::ShardMsg;
 pub use wire::{Datagram, NameEntry, NsMsg, SessionFrame, SessionFrameRef};

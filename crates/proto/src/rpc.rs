@@ -36,14 +36,25 @@ pub enum ServerError {
     /// partitioned); the call failed fast instead of hanging. Retryable:
     /// the operation was never delivered, so reissuing it is safe.
     Unavailable(NodeId),
+    /// The addressed server no longer (or does not yet) own the shard the
+    /// key routes to under the server's current shard map, or the shard
+    /// is briefly write-fenced mid-migration. The server refused the
+    /// operation before touching any object, so the caller may refresh
+    /// its shard map (the server's version is attached — equal means
+    /// "fenced, retry shortly"; greater means "stale map, re-route") and
+    /// reissue the call.
+    WrongShard {
+        /// The refusing server's current map version.
+        newer_map_version: u64,
+    },
 }
 
 impl ServerError {
     /// Whether the failed call was provably never delivered, so the
     /// caller may retry it verbatim (possibly after re-resolving the
-    /// server through the name service).
+    /// server through the name service or refreshing its shard map).
     pub fn is_retryable(&self) -> bool {
-        matches!(self, ServerError::Unavailable(_))
+        matches!(self, ServerError::Unavailable(_) | ServerError::WrongShard { .. })
     }
 }
 
@@ -57,6 +68,9 @@ impl std::fmt::Display for ServerError {
             ServerError::Storage(w) => write!(f, "storage failure: {w}"),
             ServerError::Other(w) => write!(f, "server error: {w}"),
             ServerError::Unavailable(n) => write!(f, "node {n} unavailable (retryable)"),
+            ServerError::WrongShard { newer_map_version } => {
+                write!(f, "wrong shard (server map version {newer_map_version}, retryable)")
+            }
         }
     }
 }
@@ -97,6 +111,10 @@ impl Encode for ServerError {
                 w.put_u8(6);
                 n.encode(w);
             }
+            ServerError::WrongShard { newer_map_version } => {
+                w.put_u8(7);
+                newer_map_version.encode(w);
+            }
         }
     }
 }
@@ -111,6 +129,7 @@ impl Decode for ServerError {
             4 => Ok(ServerError::Storage(String::decode(r)?)),
             5 => Ok(ServerError::Other(String::decode(r)?)),
             6 => Ok(ServerError::Unavailable(NodeId::decode(r)?)),
+            7 => Ok(ServerError::WrongShard { newer_map_version: u64::decode(r)? }),
             _ => Err(DecodeError::Invalid("ServerError tag")),
         }
     }
@@ -357,6 +376,7 @@ mod tests {
             ServerError::Storage("s".into()),
             ServerError::Other("o".into()),
             ServerError::Unavailable(NodeId(4)),
+            ServerError::WrongShard { newer_map_version: 12 },
         ] {
             let resp = Response { result: Err(err.clone()) };
             assert_eq!(Response::decode_all(&resp.encode_to_vec()).unwrap(), resp);

@@ -1,0 +1,83 @@
+//! Shard-map distribution datagrams.
+//!
+//! A versioned shard map (owned by `tabs-shard`) assigns each shard of a
+//! sharded service to one node. The map itself is an opaque encoded blob
+//! at this layer — the Name Servers gossip `(service, version, bytes)`
+//! triples and adopt whichever version is newest, exactly like name
+//! lookups ride [`crate::NsMsg`]. Keeping the payload opaque lets the
+//! shard layer evolve its map encoding without touching the wire
+//! envelope.
+
+use tabs_codec::{Decode, DecodeError, Encode, Reader, Writer};
+use tabs_kernel::NodeId;
+
+/// Shard-map gossip between Name Servers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardMsg {
+    /// Announces (or answers a request with) a map version. Receivers
+    /// adopt it iff `version` is newer than what they hold.
+    Publish {
+        /// Sharded service the map describes.
+        service: String,
+        /// Monotonic map version; higher wins.
+        version: u64,
+        /// Encoded `tabs-shard` map.
+        map: Vec<u8>,
+    },
+    /// Asks every node for its newest map of `service`; answers go to
+    /// `reply_to` as [`ShardMsg::Publish`] datagrams.
+    Request {
+        /// Sharded service being resolved.
+        service: String,
+        /// Node that asked.
+        reply_to: NodeId,
+    },
+}
+
+impl Encode for ShardMsg {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ShardMsg::Publish { service, version, map } => {
+                w.put_u8(0);
+                service.encode(w);
+                version.encode(w);
+                map.encode(w);
+            }
+            ShardMsg::Request { service, reply_to } => {
+                w.put_u8(1);
+                service.encode(w);
+                reply_to.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for ShardMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(ShardMsg::Publish {
+                service: String::decode(r)?,
+                version: u64::decode(r)?,
+                map: Vec::<u8>::decode(r)?,
+            }),
+            1 => {
+                Ok(ShardMsg::Request { service: String::decode(r)?, reply_to: NodeId::decode(r)? })
+            }
+            _ => Err(DecodeError::Invalid("ShardMsg tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_messages_roundtrip() {
+        let p = ShardMsg::Publish { service: "bank".into(), version: 7, map: vec![1, 2, 3] };
+        assert_eq!(ShardMsg::decode_all(&p.encode_to_vec()).unwrap(), p);
+        let q = ShardMsg::Request { service: "bank".into(), reply_to: NodeId(3) };
+        assert_eq!(ShardMsg::decode_all(&q.encode_to_vec()).unwrap(), q);
+        assert!(ShardMsg::decode_all(&[9]).is_err());
+    }
+}

@@ -7,6 +7,7 @@ use crate::beat::BeatMsg;
 use crate::commit::CommitMsg;
 use crate::detect::DetectMsg;
 use crate::rpc::{Request, RequestRef, ServerError};
+use crate::shard::ShardMsg;
 
 /// One frame on a Communication Manager session (remote procedure calls
 /// ride sessions, §3.2.4).
@@ -225,6 +226,8 @@ pub enum Datagram {
     Detect(DetectMsg),
     /// Failure-detector heartbeats and probes.
     Beat(BeatMsg),
+    /// Shard-map gossip for sharded services.
+    Shard(ShardMsg),
 }
 
 impl Encode for Datagram {
@@ -246,6 +249,10 @@ impl Encode for Datagram {
                 w.put_u8(3);
                 m.encode(w);
             }
+            Datagram::Shard(m) => {
+                w.put_u8(4);
+                m.encode(w);
+            }
         }
     }
 }
@@ -257,6 +264,7 @@ impl Decode for Datagram {
             1 => Ok(Datagram::Ns(NsMsg::decode(r)?)),
             2 => Ok(Datagram::Detect(DetectMsg::decode(r)?)),
             3 => Ok(Datagram::Beat(BeatMsg::decode(r)?)),
+            4 => Ok(Datagram::Shard(ShardMsg::decode(r)?)),
             _ => Err(DecodeError::Invalid("Datagram tag")),
         }
     }
@@ -370,6 +378,9 @@ mod tests {
         });
         assert_eq!(Datagram::decode_all(&d.encode_to_vec()).unwrap(), d);
         let d = Datagram::Beat(BeatMsg::Ping { from: NodeId(1), seq: 5 });
+        assert_eq!(Datagram::decode_all(&d.encode_to_vec()).unwrap(), d);
+        let d =
+            Datagram::Shard(ShardMsg::Publish { service: "bank".into(), version: 2, map: vec![7] });
         assert_eq!(Datagram::decode_all(&d.encode_to_vec()).unwrap(), d);
     }
 

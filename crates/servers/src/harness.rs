@@ -31,6 +31,16 @@ pub fn boot_with_array(cluster: &Arc<Cluster>, id: u16, name: &str) -> (Node, In
     boot_with_array_cells(cluster, id, name, 32)
 }
 
+/// Boots node `id`, runs `spawn` to create its servers (any kind), and
+/// recovers the node. The shared boot-spawn-recover sequence behind
+/// every example and suite that is not array-only.
+pub fn boot_with<S>(cluster: &Arc<Cluster>, id: u16, spawn: impl FnOnce(&Node) -> S) -> (Node, S) {
+    let node = cluster.boot_node(NodeId(id));
+    let servers = spawn(&node);
+    node.recover().unwrap();
+    (node, servers)
+}
+
 /// Resolves `name` through the Name Server and wraps it in a client.
 ///
 /// # Panics

@@ -1,0 +1,250 @@
+//! The shard router: a client stub that caches the shard map, resolves
+//! each shard's owner through the Name Server, and chases
+//! [`ServerError::WrongShard`] redirects across migrations.
+//!
+//! The contract with the servers: a `WrongShard` refusal happens
+//! *before* the server touches any object, so retrying the same call —
+//! within the same transaction — is always safe. The attached map
+//! version tells the router what to do: a *newer* version means its map
+//! is stale (await the newer map through Name Server gossip and
+//! re-route); an *equal* version means the shard is write-fenced
+//! mid-migration (back off briefly and retry the same owner — either
+//! the fence lifts or the new map arrives).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use tabs_codec::{Decode, Encode, Writer};
+use tabs_core::{AppError, AppHandle, CommManager, NameServer, Node};
+use tabs_kernel::{NodeId, SendRight, Tid};
+use tabs_proto::ServerError;
+
+use crate::map::{shard_name, ShardMap};
+use crate::server::{OP_ADD, OP_GET, OP_SET};
+
+/// How long [`ShardClient::new`] waits for the service's first map.
+const MAP_WAIT: Duration = Duration::from_secs(3);
+/// One Name Server gather round while resolving an owner's port.
+const RESOLVE_STEP: Duration = Duration::from_millis(25);
+/// Total budget for resolving one owner's port.
+const RESOLVE_WAIT: Duration = Duration::from_secs(3);
+/// Back-off while a shard is write-fenced at the router's map version.
+const FENCE_BACKOFF: Duration = Duration::from_millis(5);
+/// One gossip-await round after a `WrongShard` redirect named a newer
+/// map version; the outer retry loop supplies the patience.
+const MAP_AWAIT_STEP: Duration = Duration::from_millis(100);
+/// Default total budget for one routed call. Generous enough to span a
+/// full migration (fence + drain + copy + publish).
+const CALL_DEADLINE: Duration = Duration::from_secs(5);
+
+struct ClientState {
+    map: ShardMap,
+    ports: HashMap<u32, SendRight>,
+}
+
+/// A routing client for one sharded service.
+pub struct ShardClient {
+    service: String,
+    app: AppHandle,
+    ns: Arc<NameServer>,
+    cm: Arc<CommManager>,
+    state: Mutex<ClientState>,
+    call_deadline: Mutex<Duration>,
+}
+
+impl ShardClient {
+    /// Builds a router on `node` for `service`, fetching the current map
+    /// through the Name Server (gossip fills it in on nodes that have
+    /// not seen the service yet).
+    pub fn new(node: &Node, service: &str) -> Result<Self, AppError> {
+        let (_, blob) = node
+            .ns
+            .await_map_version(service, 1, MAP_WAIT)
+            .ok_or_else(|| AppError::Rpc(format!("no shard map published for {service}")))?;
+        let map = ShardMap::from_blob(&blob)
+            .map_err(|e| AppError::Rpc(format!("bad shard map for {service}: {e}")))?;
+        Ok(Self {
+            service: service.to_string(),
+            app: node.app(),
+            ns: Arc::clone(&node.ns),
+            cm: Arc::clone(&node.cm),
+            state: Mutex::new(ClientState { map, ports: HashMap::new() }),
+            call_deadline: Mutex::new(CALL_DEADLINE),
+        })
+    }
+
+    /// Overrides the total per-call retry budget (chaos tests shrink it
+    /// so calls against a dead owner fail fast instead of spanning the
+    /// default migration-sized window).
+    pub fn set_call_deadline(&self, deadline: Duration) {
+        *self.call_deadline.lock() = deadline;
+    }
+
+    /// The router's current map (a copy).
+    pub fn map(&self) -> ShardMap {
+        self.state.lock().map.clone()
+    }
+
+    /// The router's current map version.
+    pub fn map_version(&self) -> u64 {
+        self.state.lock().map.version
+    }
+
+    /// The node currently routed to for `key`.
+    pub fn owner_of(&self, key: u64) -> NodeId {
+        let st = self.state.lock();
+        st.map.owner(st.map.shard_of(key))
+    }
+
+    /// `Get(key)`.
+    pub fn get(&self, tid: Tid, key: u64) -> Result<i64, AppError> {
+        let mut w = Writer::new();
+        key.encode(&mut w);
+        let out = self.call(tid, key, OP_GET, w.into_vec())?;
+        i64::decode_all(&out).map_err(|e| AppError::Rpc(e.to_string()))
+    }
+
+    /// `Set(key, value)`.
+    pub fn set(&self, tid: Tid, key: u64, value: i64) -> Result<(), AppError> {
+        let mut w = Writer::new();
+        key.encode(&mut w);
+        value.encode(&mut w);
+        self.call(tid, key, OP_SET, w.into_vec())?;
+        Ok(())
+    }
+
+    /// Atomically adds `delta` to `key`, returning the new value.
+    pub fn add(&self, tid: Tid, key: u64, delta: i64) -> Result<i64, AppError> {
+        let mut w = Writer::new();
+        key.encode(&mut w);
+        delta.encode(&mut w);
+        let out = self.call(tid, key, OP_ADD, w.into_vec())?;
+        i64::decode_all(&out).map_err(|e| AppError::Rpc(e.to_string()))
+    }
+
+    /// Routes one keyed call, chasing redirects until the call budget
+    /// runs out.
+    fn call(&self, tid: Tid, key: u64, opcode: u32, args: Vec<u8>) -> Result<Vec<u8>, AppError> {
+        let deadline = Instant::now() + *self.call_deadline.lock();
+        loop {
+            let shard = { self.state.lock().map.shard_of(key) };
+            let attempt = self
+                .port_for(shard, deadline)
+                .and_then(|port| self.app.call(&port, tid, opcode, args.clone()));
+            let last = match attempt {
+                Ok(out) => return Ok(out),
+                Err(AppError::Server(ServerError::WrongShard { newer_map_version })) => {
+                    self.on_wrong_shard(newer_map_version);
+                    format!("wrong shard at map v{newer_map_version}")
+                }
+                Err(AppError::Server(e)) => {
+                    // Unavailable: the cached port may point at a dead
+                    // incarnation — drop it, re-resolve, retry.
+                    self.state.lock().ports.remove(&shard);
+                    std::thread::sleep(FENCE_BACKOFF);
+                    e.to_string()
+                }
+                Err(AppError::Rpc(e)) => {
+                    // Resolution failure (owner down or renaming): retry
+                    // within the budget, the map may flip under us.
+                    std::thread::sleep(FENCE_BACKOFF);
+                    e
+                }
+                Err(e) => return Err(e),
+            };
+            if Instant::now() >= deadline {
+                return Err(AppError::Rpc(format!(
+                    "shard route for {} key {key} exhausted its budget (last: {last})",
+                    self.service
+                )));
+            }
+        }
+    }
+
+    /// Reacts to a `WrongShard` refusal.
+    fn on_wrong_shard(&self, server_version: u64) {
+        let ours = self.map_version();
+        if server_version > ours {
+            // Stale map: wait a short round for the newer version to
+            // gossip in (the caller's retry loop keeps waiting).
+            if let Some((_, blob)) =
+                self.ns.await_map_version(&self.service, server_version, MAP_AWAIT_STEP)
+            {
+                if let Ok(map) = ShardMap::from_blob(&blob) {
+                    let mut st = self.state.lock();
+                    if map.version > st.map.version {
+                        st.ports.clear();
+                        st.map = map;
+                    }
+                }
+            }
+        } else {
+            // Fenced mid-migration (or our map is already newer than the
+            // refusing server's): back off; if a newer map is the cure it
+            // arrives via gossip, otherwise the fence lifts.
+            std::thread::sleep(FENCE_BACKOFF);
+            if let Some((version, blob)) = self.ns.map_blob(&self.service) {
+                if version > ours {
+                    if let Ok(map) = ShardMap::from_blob(&blob) {
+                        let mut st = self.state.lock();
+                        if map.version > st.map.version {
+                            st.ports.clear();
+                            st.map = map;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A send right to the current owner of `shard`, cached per map
+    /// version (the cache is cleared whenever a newer map is adopted).
+    /// Resolution never looks past `deadline`.
+    fn port_for(&self, shard: u32, deadline: Instant) -> Result<SendRight, AppError> {
+        let owner = {
+            let st = self.state.lock();
+            if let Some(p) = st.ports.get(&shard) {
+                return Ok(p.clone());
+            }
+            st.map.owner(shard)
+        };
+        let name = shard_name(&self.service, shard);
+        let budget =
+            deadline.saturating_duration_since(Instant::now()).min(RESOLVE_WAIT).max(RESOLVE_STEP);
+        let port = resolve_owner_port(&self.ns, &self.cm, &name, owner, budget)
+            .ok_or_else(|| AppError::Rpc(format!("no port for {name} on its owner {owner}")))?;
+        self.state.lock().ports.insert(shard, port.clone());
+        Ok(port)
+    }
+}
+
+/// Resolves the port registered for `name` *on node `owner`*, ignoring
+/// the same-name registrations every other hosting node makes. Gathers
+/// Name Server responses in short rounds until `max_wait` elapses.
+pub fn resolve_owner_port(
+    ns: &Arc<NameServer>,
+    cm: &Arc<CommManager>,
+    name: &str,
+    owner: NodeId,
+    max_wait: Duration,
+) -> Option<SendRight> {
+    let deadline = Instant::now() + max_wait;
+    loop {
+        // Over-ask so the lookup keeps gathering past the first (possibly
+        // wrong-node) entry for one round; prefer the newest entry (a
+        // rebooted owner's fresh registration lands after its stale one).
+        for e in ns.lookup(name, usize::MAX, RESOLVE_STEP).into_iter().rev() {
+            if e.port.node == owner {
+                if let Some(sr) = cm.resolve_port(e.port) {
+                    return Some(sr);
+                }
+            }
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Sharded data servers with live shard migration.
+//!
+//! TABS (§3.1) binds a data server to one node and one recoverable
+//! segment. This crate scales a *service* past one node by splitting
+//! its key space into fixed shards, each an ordinary library-built data
+//! server, and making ownership a versioned, durable, gossiped fact:
+//!
+//! - [`ShardMap`] — the versioned assignment of shards to nodes. The
+//!   geometry (partitioning function, shard count) never changes; a new
+//!   version only reassigns owners, so every version agrees where a key
+//!   lives and disagreements reduce to "who owns shard *s*".
+//! - [`ShardControl`] / [`ShardServer`] — every hosting node runs a
+//!   server for every shard, but a per-node gate admits only requests
+//!   for shards the node owns; everything else is refused *before any
+//!   object is touched* with [`tabs_proto::ServerError::WrongShard`]
+//!   carrying the refuser's map version.
+//! - [`ShardClient`] — the router: caches the map, resolves owners
+//!   through the Name Server, and chases `WrongShard` redirects (newer
+//!   version ⇒ refresh and re-route; equal version ⇒ migration fence,
+//!   back off and retry).
+//! - [`Migrator`] — live migration by drain-and-copy: write-fence the
+//!   shard at the source, drain in-flight transactions, copy the shard
+//!   in one distributed transaction (source snapshot = read-only 2PC
+//!   participant, destination load = value-logged writes), then flip
+//!   ownership durably in [`tabs_core::Cluster::commit_shard_map`] and
+//!   publish the new map via Name Server gossip. Crash-points
+//!   ([`CRASH_POINTS`]) cover every boundary so the chaos harness can
+//!   kill either node anywhere and check nothing is lost or doubly
+//!   applied.
+
+pub mod client;
+pub mod map;
+pub mod migrate;
+pub mod server;
+
+pub use client::{resolve_owner_port, ShardClient};
+pub use map::{shard_name, shard_segment_name, Partitioning, ShardMap};
+pub use migrate::{MigrateError, MigrateOptions, Migrator, CRASH_POINTS};
+pub use server::{ShardControl, ShardServer, OP_ADD, OP_GET, OP_LOAD, OP_SET, OP_SNAP};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+    use tabs_core::{Cluster, Node, NodeId};
+    use tabs_kernel::Tid;
+
+    const SLOTS: u64 = 16;
+
+    fn bank_map(owners: Vec<NodeId>) -> ShardMap {
+        ShardMap { service: "bank".into(), version: 1, partitioning: Partitioning::Hash, owners }
+    }
+
+    /// Boots a node hosting every shard of `map` and publishes the map.
+    fn boot_sharded(cluster: &Arc<Cluster>, id: u16, map: &ShardMap) -> (Node, Arc<ShardControl>) {
+        let node = cluster.boot_node(NodeId(id));
+        let (control, _servers) = ShardServer::spawn_all(&node, map, SLOTS).unwrap();
+        node.recover().unwrap();
+        node.ns.publish_map(&map.service, map.version, map.to_blob());
+        (node, control)
+    }
+
+    #[test]
+    fn single_node_get_set_add() {
+        let cluster = Cluster::new();
+        let map = bank_map(vec![NodeId(1), NodeId(1)]);
+        let (node, _control) = boot_sharded(&cluster, 1, &map);
+        let client = ShardClient::new(&node, "bank").unwrap();
+        let app = node.app();
+        app.run(|t| {
+            client.set(t, 0, 100)?;
+            client.set(t, 1, 50)?;
+            client.add(t, 0, -30)?;
+            client.add(t, 1, 30)?;
+            Ok(())
+        })
+        .unwrap();
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        assert_eq!(client.get(t, 0).unwrap(), 70);
+        assert_eq!(client.get(t, 1).unwrap(), 80);
+        app.end_transaction(t).unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn router_reaches_remote_owners() {
+        let cluster = Cluster::new();
+        let map = bank_map(vec![NodeId(1), NodeId(2)]);
+        let (n1, _c1) = boot_sharded(&cluster, 1, &map);
+        let (n2, _c2) = boot_sharded(&cluster, 2, &map);
+        let client = ShardClient::new(&n1, "bank").unwrap();
+        assert_eq!(client.owner_of(0), NodeId(1));
+        assert_eq!(client.owner_of(1), NodeId(2));
+        let app = n1.app();
+        // A cross-shard (hence cross-node) transfer in one transaction.
+        app.run(|t| {
+            client.set(t, 0, 100)?;
+            client.set(t, 1, 100)?;
+            Ok(())
+        })
+        .unwrap();
+        app.run(|t| {
+            client.add(t, 0, -25)?;
+            client.add(t, 1, 25)?;
+            Ok(())
+        })
+        .unwrap();
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        assert_eq!(client.get(t, 0).unwrap(), 75);
+        assert_eq!(client.get(t, 1).unwrap(), 125);
+        app.end_transaction(t).unwrap();
+        n1.shutdown();
+        n2.shutdown();
+    }
+
+    #[test]
+    fn migration_moves_data_and_redirects_clients() {
+        let cluster = Cluster::new();
+        let map = bank_map(vec![NodeId(1), NodeId(1)]);
+        let (n1, c1) = boot_sharded(&cluster, 1, &map);
+        let (n2, c2) = boot_sharded(&cluster, 2, &map);
+        let client = ShardClient::new(&n2, "bank").unwrap();
+        let app = n2.app();
+        for key in 0..4u64 {
+            app.run(|t| client.set(t, key, 10 * key as i64 + 1)).unwrap();
+        }
+
+        let migrator = Migrator::new();
+        let new_map = migrator.migrate(&n1, &c1, &n2, &c2, 1, &MigrateOptions::default()).unwrap();
+        assert_eq!(new_map.version, 2);
+        assert_eq!(new_map.owner(1), NodeId(2));
+        assert_eq!(c1.version(), 2, "source gate adopted the new map");
+        // Durable anchor recorded the flip.
+        let (v, blob) = cluster.shard_map("bank").unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(ShardMap::from_blob(&blob).unwrap(), new_map);
+
+        // The router (stale at v1) is redirected and reads the moved
+        // data from the new owner; writes land there too.
+        app.run(|t| {
+            assert_eq!(client.get(t, 1).unwrap(), 11);
+            assert_eq!(client.get(t, 3).unwrap(), 31);
+            client.add(t, 1, 1)?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(client.map_version(), 2);
+        assert_eq!(client.owner_of(1), NodeId(2));
+        // Shard 0 stayed on node 1.
+        app.run(|t| {
+            assert_eq!(client.get(t, 0).unwrap(), 1);
+            assert_eq!(client.get(t, 2).unwrap(), 21);
+            Ok(())
+        })
+        .unwrap();
+        n1.shutdown();
+        n2.shutdown();
+    }
+
+    #[test]
+    fn rebooted_source_self_fences_after_migration() {
+        let cluster = Cluster::new();
+        let map = bank_map(vec![NodeId(1)]);
+        let (n1, c1) = boot_sharded(&cluster, 1, &map);
+        let (n2, c2) = boot_sharded(&cluster, 2, &map);
+        let app2 = n2.app();
+        let client2 = ShardClient::new(&n2, "bank").unwrap();
+        app2.run(|t| client2.set(t, 3, 42)).unwrap();
+        let migrator = Migrator::new();
+        migrator.migrate(&n1, &c1, &n2, &c2, 0, &MigrateOptions::default()).unwrap();
+
+        // Crash the old owner and reboot it: its Name Server is seeded
+        // from the durable map store, so its fresh control starts at v2
+        // and refuses the shard rather than serving stale data.
+        n1.crash();
+        let n1 = cluster.boot_node(NodeId(1));
+        let (version, blob) = n1.ns.map_blob("bank").expect("seeded from the cluster store");
+        assert_eq!(version, 2);
+        let seeded = ShardMap::from_blob(&blob).unwrap();
+        assert_eq!(seeded.owner(0), NodeId(2));
+        let (control, _servers) = ShardServer::spawn_all(&n1, &seeded, SLOTS).unwrap();
+        n1.recover().unwrap();
+        assert!(control.admit(0, 0, true).is_err(), "rebooted source refuses the moved shard");
+
+        // And the moved value survived on the new owner.
+        app2.run(|t| {
+            assert_eq!(client2.get(t, 3).unwrap(), 42);
+            Ok(())
+        })
+        .unwrap();
+        n1.shutdown();
+        n2.shutdown();
+    }
+
+    #[test]
+    fn fenced_writes_are_refused_retryably_and_unfence_recovers() {
+        let cluster = Cluster::new();
+        let map = bank_map(vec![NodeId(1)]);
+        let (n1, c1) = boot_sharded(&cluster, 1, &map);
+        c1.fence(0);
+        assert!(matches!(
+            c1.admit(0, 0, true),
+            Err(tabs_proto::ServerError::WrongShard { newer_map_version: 1 })
+        ));
+        assert!(c1.admit(0, 0, false).is_ok(), "reads flow through the fence");
+        c1.unfence(0);
+        assert!(c1.admit(0, 0, true).is_ok());
+        // A fenced write through the full stack comes back retryable
+        // and succeeds once the fence lifts (the router retries it).
+        c1.fence(0);
+        let client = ShardClient::new(&n1, "bank").unwrap();
+        let app = n1.app();
+        let c1b = Arc::clone(&c1);
+        let lifter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            c1b.unfence(0);
+        });
+        app.run(|t| client.set(t, 0, 7)).unwrap();
+        lifter.join().unwrap();
+        n1.shutdown();
+    }
+}

@@ -1,0 +1,239 @@
+//! The versioned shard map: which node owns which slice of a sharded
+//! service's key space.
+//!
+//! A map is immutable once built; reconfiguration produces a *new* map
+//! with a strictly larger version. By invariant the geometry (the
+//! partitioning function and the shard count) is fixed for the lifetime
+//! of a service — version bumps change only the `owners` assignment, so
+//! every map version agrees on which shard a key belongs to and routing
+//! disagreements reduce to "who owns shard `s`", which the owner itself
+//! arbitrates with [`tabs_proto::ServerError::WrongShard`].
+
+use tabs_codec::{decode_seq, encode_seq, Decode, DecodeError, Encode, Reader, Writer};
+use tabs_kernel::NodeId;
+
+/// How a service's global key space maps onto shard indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Contiguous key ranges: shard `k / shard_size` (clamped to the last
+    /// shard), local slot `k - shard * shard_size`. Natural for the
+    /// array and B-tree servers, whose clients scan key ranges.
+    Range {
+        /// Keys per shard (the last shard absorbs the remainder).
+        shard_size: u64,
+    },
+    /// Hashed keys: shard `k % shards`, local slot `k / shards`. Natural
+    /// for bank accounts, where uniform spread beats range locality.
+    Hash,
+}
+
+/// A versioned assignment of shards to owner nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    /// The sharded service this map partitions (e.g. `"bank"`).
+    pub service: String,
+    /// Monotonic version; strictly newer maps replace older ones.
+    pub version: u64,
+    /// The partitioning function (fixed across versions).
+    pub partitioning: Partitioning,
+    /// Owner of each shard, indexed by shard number.
+    pub owners: Vec<NodeId>,
+}
+
+impl ShardMap {
+    /// Number of shards (fixed across versions).
+    pub fn shards(&self) -> u32 {
+        self.owners.len() as u32
+    }
+
+    /// The shard a global key belongs to.
+    pub fn shard_of(&self, key: u64) -> u32 {
+        let shards = self.owners.len() as u64;
+        match self.partitioning {
+            Partitioning::Range { shard_size } => ((key / shard_size).min(shards - 1)) as u32,
+            Partitioning::Hash => (key % shards) as u32,
+        }
+    }
+
+    /// The slot of a global key within its shard's segment.
+    pub fn local_slot(&self, key: u64) -> u64 {
+        let shards = self.owners.len() as u64;
+        match self.partitioning {
+            Partitioning::Range { shard_size } => key - u64::from(self.shard_of(key)) * shard_size,
+            Partitioning::Hash => key / shards,
+        }
+    }
+
+    /// The global key stored at `slot` of `shard` (inverse of
+    /// [`ShardMap::shard_of`] + [`ShardMap::local_slot`]; used when a
+    /// migrated shard's slots are reported back in key terms).
+    pub fn global_key(&self, shard: u32, slot: u64) -> u64 {
+        match self.partitioning {
+            Partitioning::Range { shard_size } => u64::from(shard) * shard_size + slot,
+            Partitioning::Hash => slot * self.owners.len() as u64 + u64::from(shard),
+        }
+    }
+
+    /// Current owner of a shard.
+    pub fn owner(&self, shard: u32) -> NodeId {
+        self.owners[shard as usize]
+    }
+
+    /// The Name Server name of one shard's data server.
+    pub fn shard_name(&self, shard: u32) -> String {
+        shard_name(&self.service, shard)
+    }
+
+    /// A successor map with `shard` handed to `new_owner` and the
+    /// version bumped.
+    pub fn with_owner(&self, shard: u32, new_owner: NodeId) -> ShardMap {
+        let mut next = self.clone();
+        next.version += 1;
+        next.owners[shard as usize] = new_owner;
+        next
+    }
+
+    /// Decodes a map from the Name Server's opaque blob.
+    pub fn from_blob(blob: &[u8]) -> Result<ShardMap, DecodeError> {
+        ShardMap::decode_all(blob)
+    }
+
+    /// Encodes this map for Name Server publication.
+    pub fn to_blob(&self) -> Vec<u8> {
+        self.encode_to_vec()
+    }
+}
+
+/// The Name Server name of shard `shard` of `service`.
+pub fn shard_name(service: &str, shard: u32) -> String {
+    format!("{service}.s{shard}")
+}
+
+/// The recoverable-segment name backing one shard's data server.
+pub fn shard_segment_name(service: &str, shard: u32) -> String {
+    format!("{service}.s{shard}-segment")
+}
+
+impl Encode for Partitioning {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Partitioning::Range { shard_size } => {
+                w.put_u8(0);
+                shard_size.encode(w);
+            }
+            Partitioning::Hash => w.put_u8(1),
+        }
+    }
+}
+
+impl Decode for Partitioning {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(Partitioning::Range { shard_size: u64::decode(r)? }),
+            1 => Ok(Partitioning::Hash),
+            _ => Err(DecodeError::Invalid("Partitioning tag")),
+        }
+    }
+}
+
+impl Encode for ShardMap {
+    fn encode(&self, w: &mut Writer) {
+        self.service.encode(w);
+        self.version.encode(w);
+        self.partitioning.encode(w);
+        encode_seq(&self.owners, w);
+    }
+}
+
+impl Decode for ShardMap {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let map = ShardMap {
+            service: String::decode(r)?,
+            version: u64::decode(r)?,
+            partitioning: Partitioning::decode(r)?,
+            owners: decode_seq(r)?,
+        };
+        if map.owners.is_empty() {
+            return Err(DecodeError::Invalid("ShardMap with no shards"));
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_map4() -> ShardMap {
+        ShardMap {
+            service: "bank".into(),
+            version: 1,
+            partitioning: Partitioning::Hash,
+            owners: vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)],
+        }
+    }
+
+    #[test]
+    fn range_partitioning_splits_contiguously() {
+        let map = ShardMap {
+            service: "arr".into(),
+            version: 1,
+            partitioning: Partitioning::Range { shard_size: 10 },
+            owners: vec![NodeId(1), NodeId(2), NodeId(3)],
+        };
+        assert_eq!(map.shard_of(0), 0);
+        assert_eq!(map.shard_of(9), 0);
+        assert_eq!(map.shard_of(10), 1);
+        assert_eq!(map.shard_of(29), 2);
+        // Keys past the nominal end land in the last shard.
+        assert_eq!(map.shard_of(35), 2);
+        assert_eq!(map.local_slot(23), 3);
+        assert_eq!(map.global_key(2, 3), 23);
+    }
+
+    #[test]
+    fn hash_partitioning_spreads_and_inverts() {
+        let map = hash_map4();
+        for key in 0..64u64 {
+            let shard = map.shard_of(key);
+            let slot = map.local_slot(key);
+            assert_eq!(map.global_key(shard, slot), key);
+        }
+        assert_eq!(map.shard_of(5), 1);
+        assert_eq!(map.local_slot(5), 1);
+    }
+
+    #[test]
+    fn with_owner_bumps_version_and_keeps_geometry() {
+        let map = hash_map4();
+        let next = map.with_owner(2, NodeId(4));
+        assert_eq!(next.version, 2);
+        assert_eq!(next.owner(2), NodeId(4));
+        assert_eq!(next.owner(0), NodeId(1));
+        assert_eq!(next.shards(), map.shards());
+        for key in 0..32u64 {
+            assert_eq!(next.shard_of(key), map.shard_of(key), "geometry is version-invariant");
+        }
+    }
+
+    #[test]
+    fn blob_roundtrip() {
+        let map = hash_map4();
+        assert_eq!(ShardMap::from_blob(&map.to_blob()).unwrap(), map);
+        let range = ShardMap {
+            service: "arr".into(),
+            version: 9,
+            partitioning: Partitioning::Range { shard_size: 128 },
+            owners: vec![NodeId(1)],
+        };
+        assert_eq!(ShardMap::from_blob(&range.to_blob()).unwrap(), range);
+        assert!(ShardMap::from_blob(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(shard_name("bank", 3), "bank.s3");
+        assert_eq!(shard_segment_name("bank", 3), "bank.s3-segment");
+        assert_eq!(hash_map4().shard_name(0), "bank.s0");
+    }
+}

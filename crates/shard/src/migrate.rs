@@ -1,0 +1,276 @@
+//! Live shard migration: drain-and-copy under a short write fence, with
+//! the ownership flip anchored in the cluster's durable map store.
+//!
+//! The sequence (crash-points mark every durability-relevant boundary):
+//!
+//! 1. **Fence** the shard on the source: reads keep flowing, new writes
+//!    are refused retryably (`shard.migrate.fence`).
+//! 2. **Drain**: wait until no in-flight transaction is still enlisted
+//!    at the source shard server. The snapshot's shared locks serialize
+//!    behind any straggler regardless — the poll just keeps the fence
+//!    window short.
+//! 3. **Copy** under one distributed transaction coordinated by the
+//!    destination: snapshot the source shard (read-only participant)
+//!    and bulk-load the destination segment (value-logged writes), then
+//!    commit through the ordinary 2PC machinery
+//!    (`shard.migrate.copied` fires between the writes and the commit).
+//! 4. **Flip ownership** durably: [`tabs_core::Cluster::commit_shard_map`]
+//!    is the linearization point of the reconfiguration
+//!    (`shard.migrate.installed` fires just after). A crash *before* it
+//!    reboots the source as owner with complete data (the fence was
+//!    volatile and admitted no writes) and strands an unreachable —
+//!    harmless — copy at the destination; a crash *after* it reboots
+//!    every node onto the new map, and the old owner self-fences with
+//!    [`tabs_proto::ServerError::WrongShard`].
+//! 5. **Publish** the new map through Name Server gossip
+//!    (`shard.migrate.published`), then trace `MigrationDone`
+//!    (`shard.migrate.done`).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tabs_codec::Decode;
+use tabs_core::Node;
+use tabs_kernel::{crash_point, CrashHookSlot, CrashHooks, Tid};
+use tabs_obs::TraceEvent;
+
+use crate::client::resolve_owner_port;
+use crate::map::{shard_name, ShardMap};
+use crate::server::{ShardControl, OP_LOAD, OP_SNAP};
+
+/// Every crash-point the migration engine can fire, in order.
+pub const CRASH_POINTS: &[&str] = &[
+    "shard.migrate.fence",
+    "shard.migrate.copied",
+    "shard.migrate.installed",
+    "shard.migrate.published",
+    "shard.migrate.done",
+];
+
+/// Tuning knobs for one migration.
+#[derive(Debug, Clone)]
+pub struct MigrateOptions {
+    /// How long the drain step polls for in-flight transactions to
+    /// finish before proceeding anyway (the copy's locks still
+    /// serialize correctly; the poll only bounds the fence window).
+    pub drain_deadline: Duration,
+    /// Name Server resolution budget for the source/destination ports.
+    pub resolve_wait: Duration,
+    /// Attempts for the copy transaction (lock time-outs against a
+    /// straggling writer abort retryably).
+    pub copy_attempts: usize,
+}
+
+impl Default for MigrateOptions {
+    fn default() -> Self {
+        Self {
+            drain_deadline: Duration::from_secs(2),
+            resolve_wait: Duration::from_secs(3),
+            copy_attempts: 3,
+        }
+    }
+}
+
+/// Why a migration failed. The engine unwinds its volatile marks
+/// (fence, incoming) on every failure, so a failed migration leaves the
+/// old map serving.
+#[derive(Debug)]
+pub enum MigrateError {
+    /// The source node does not own the shard under its current map.
+    NotOwner {
+        /// The shard that was asked to move.
+        shard: u32,
+        /// Who actually owns it.
+        owner: tabs_kernel::NodeId,
+    },
+    /// The copy transaction could not be completed (node down, lock
+    /// time-outs beyond the retry budget, commit aborted).
+    Copy(String),
+    /// The durable map store already holds a version at least as new —
+    /// a concurrent reconfiguration won.
+    Superseded {
+        /// The version this migration tried to commit.
+        version: u64,
+    },
+}
+
+impl std::fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrateError::NotOwner { shard, owner } => {
+                write!(f, "shard {shard} is owned by {owner}, not the given source")
+            }
+            MigrateError::Copy(e) => write!(f, "copy transaction failed: {e}"),
+            MigrateError::Superseded { version } => {
+                write!(f, "map v{version} was superseded by a concurrent reconfiguration")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {}
+
+/// The migration engine. One instance can run any number of sequential
+/// migrations; a chaos controller installs [`CrashHooks`] on it to kill
+/// nodes at the `shard.migrate.*` points.
+#[derive(Default)]
+pub struct Migrator {
+    hooks: CrashHookSlot,
+}
+
+impl Migrator {
+    /// A migrator with no crash hooks installed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs crash hooks (chaos harness).
+    pub fn set_crash_hooks(&self, hooks: Arc<dyn CrashHooks>) {
+        *self.hooks.lock() = Some(hooks);
+    }
+
+    /// Removes the crash hooks.
+    pub fn clear_crash_hooks(&self) {
+        *self.hooks.lock() = None;
+    }
+
+    /// Moves `shard` from `src` to `dst`, returning the new map on
+    /// success. Both nodes must already host the service's shard
+    /// servers (the standard boot path spawns all shards everywhere).
+    pub fn migrate(
+        &self,
+        src: &Node,
+        src_control: &Arc<ShardControl>,
+        dst: &Node,
+        dst_control: &Arc<ShardControl>,
+        shard: u32,
+        opts: &MigrateOptions,
+    ) -> Result<ShardMap, MigrateError> {
+        let map = src_control.map();
+        let service = map.service.clone();
+        if map.owner(shard) != src.id {
+            return Err(MigrateError::NotOwner { shard, owner: map.owner(shard) });
+        }
+        let name = shard_name(&service, shard);
+        if let Some(trace) = src.trace() {
+            trace.record(
+                Tid::NULL,
+                TraceEvent::MigrationStart {
+                    service: service.clone(),
+                    shard,
+                    from: src.id,
+                    to: dst.id,
+                },
+            );
+        }
+
+        // 1. Fence: the source refuses new writes for this shard.
+        src_control.fence(shard);
+        crash_point!(&self.hooks, "shard.migrate.fence");
+
+        // 2. Drain: let in-flight transactions at the source finish. The
+        // server's identity (its enlistment name) is the shard name, so
+        // the poll survives the ownership change itself.
+        let deadline = Instant::now() + opts.drain_deadline;
+        while src.tm.active_enlistments(&name) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        // 3. Copy under one distributed transaction.
+        dst_control.expect_incoming(shard);
+        let unwind = |err: MigrateError| {
+            src_control.unfence(shard);
+            dst_control.clear_incoming(shard);
+            Err(err)
+        };
+        let src_port = match resolve_owner_port(&dst.ns, &dst.cm, &name, src.id, opts.resolve_wait)
+        {
+            Some(p) => p,
+            None => return unwind(MigrateError::Copy(format!("no source port for {name}"))),
+        };
+        let dst_port = match resolve_owner_port(&dst.ns, &dst.cm, &name, dst.id, opts.resolve_wait)
+        {
+            Some(p) => p,
+            None => return unwind(MigrateError::Copy(format!("no destination port for {name}"))),
+        };
+        let app = dst.app();
+        let mut copied = false;
+        let mut last = String::new();
+        for _ in 0..opts.copy_attempts.max(1) {
+            let t = match app.begin_transaction(Tid::NULL) {
+                Ok(t) => t,
+                Err(e) => {
+                    last = e.to_string();
+                    continue;
+                }
+            };
+            let attempt = (|| {
+                let snap = app.call(&src_port, t, OP_SNAP, Vec::new())?;
+                // Validate, then forward the snapshot verbatim: both
+                // sides speak the same `Vec<i64>` encoding.
+                Vec::<i64>::decode_all(&snap)
+                    .map_err(|e| tabs_core::AppError::Rpc(e.to_string()))?;
+                app.call(&dst_port, t, OP_LOAD, snap)?;
+                Ok::<(), tabs_core::AppError>(())
+            })();
+            match attempt {
+                Ok(()) => {
+                    crash_point!(&self.hooks, "shard.migrate.copied");
+                    match app.end_transaction(t) {
+                        Ok(outcome) if outcome.is_committed() => {
+                            copied = true;
+                            break;
+                        }
+                        Ok(_) => last = "copy transaction aborted".to_string(),
+                        Err(e) => last = e.to_string(),
+                    }
+                }
+                Err(e) => {
+                    last = e.to_string();
+                    let _ = app.abort_transaction(t);
+                }
+            }
+        }
+        if !copied {
+            return unwind(MigrateError::Copy(last));
+        }
+
+        // 4. Flip ownership durably. This is the linearization point of
+        // the reconfiguration: before it, a crash reboots the world onto
+        // the old map (source data is complete — the fence admitted no
+        // writes); after it, onto the new one.
+        let new_map = map.with_owner(shard, dst.id);
+        let blob = new_map.to_blob();
+        if !dst.cluster().commit_shard_map(&service, new_map.version, blob.clone()) {
+            return unwind(MigrateError::Superseded { version: new_map.version });
+        }
+        crash_point!(&self.hooks, "shard.migrate.installed");
+
+        // Install the new map into both gates (clears the fence and the
+        // incoming mark); from here the source answers WrongShard with
+        // the new version and the destination serves.
+        src_control.install_map(new_map.clone());
+        dst_control.install_map(new_map.clone());
+
+        // 5. Publish through Name Server gossip so routers learn the new
+        // owner without hitting the old one first.
+        dst.ns.publish_map(&service, new_map.version, blob);
+        crash_point!(&self.hooks, "shard.migrate.published");
+        if let Some(trace) = dst.trace() {
+            trace.record(
+                Tid::NULL,
+                TraceEvent::MigrationDone {
+                    service: service.clone(),
+                    shard,
+                    version: new_map.version,
+                },
+            );
+            trace.record(
+                Tid::NULL,
+                TraceEvent::ShardMapUpdate { service, version: new_map.version },
+            );
+        }
+        crash_point!(&self.hooks, "shard.migrate.done");
+        Ok(new_map)
+    }
+}

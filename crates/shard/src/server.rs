@@ -1,0 +1,330 @@
+//! Shard-aware data servers and the per-node admission gate.
+//!
+//! Every node of a sharded service hosts a [`ShardServer`] for *every*
+//! shard (each with its own recoverable segment), but a node only
+//! *serves* the shards it owns: the [`ShardControl`] gate checks each
+//! request against the node's current map and answers
+//! [`ServerError::WrongShard`] for shards owned elsewhere, for writes
+//! during a migration fence, and for stale-map clients. Hosting all
+//! shards everywhere keeps reboot trivial — re-spawn everything,
+//! register segments, recover — and turns ownership into pure admission
+//! state, which is exactly what the generation-fenced map flips.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tabs_codec::{Decode, Encode, Reader, Writer};
+use tabs_core::{Node, ObjectId};
+use tabs_kernel::{NodeId, SendRight};
+use tabs_lock::StdMode;
+use tabs_obs::TraceEvent;
+use tabs_proto::ServerError;
+use tabs_server_lib::DataServer;
+
+use crate::map::{shard_segment_name, ShardMap};
+
+/// `Get(key)` opcode: read one slot.
+pub const OP_GET: u32 = 1;
+/// `Set(key, value)` opcode: overwrite one slot.
+pub const OP_SET: u32 = 2;
+/// `Add(key, delta)` opcode: atomic read-modify-write under one
+/// exclusive lock (the transfer workload's primitive).
+pub const OP_ADD: u32 = 3;
+/// `Snapshot()` opcode: read every slot of the shard under shared locks
+/// (the migration copy's source read; blocks behind in-flight writers,
+/// which is precisely the drain).
+pub const OP_SNAP: u32 = 4;
+/// `Load(values)` opcode: bulk value-logged write of every slot (the
+/// migration copy's destination write; admitted only while the shard is
+/// marked incoming).
+pub const OP_LOAD: u32 = 5;
+
+/// Bytes per slot (one word).
+const SLOT: u64 = 8;
+
+struct ControlState {
+    map: ShardMap,
+    /// Shards write-fenced on this node (migration source side).
+    fenced: HashSet<u32>,
+    /// Shards this node accepts [`OP_LOAD`] for (migration destination
+    /// side), before the map says it owns them.
+    incoming: HashSet<u32>,
+}
+
+/// Per-node, per-service admission gate shared by that node's
+/// [`ShardServer`]s and its migration engine.
+pub struct ShardControl {
+    node: NodeId,
+    state: Mutex<ControlState>,
+}
+
+impl ShardControl {
+    /// A gate for `node` starting from `map`.
+    pub fn new(node: NodeId, map: ShardMap) -> Arc<Self> {
+        Arc::new(Self {
+            node,
+            state: Mutex::new(ControlState {
+                map,
+                fenced: HashSet::new(),
+                incoming: HashSet::new(),
+            }),
+        })
+    }
+
+    /// The node this gate admits for.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// A copy of the current map.
+    pub fn map(&self) -> ShardMap {
+        self.state.lock().map.clone()
+    }
+
+    /// Current map version.
+    pub fn version(&self) -> u64 {
+        self.state.lock().map.version
+    }
+
+    /// Installs a strictly newer map, clearing any fence and incoming
+    /// mark for shards whose ownership the new map settles. Returns
+    /// whether the map was adopted.
+    pub fn install_map(&self, map: ShardMap) -> bool {
+        let mut st = self.state.lock();
+        if map.version <= st.map.version {
+            return false;
+        }
+        // Ownership is settled by the new map: admission flows from it
+        // again, so migration-time overrides are dropped.
+        st.fenced.clear();
+        st.incoming.clear();
+        st.map = map;
+        true
+    }
+
+    /// Write-fences a shard (migration source): reads keep flowing, new
+    /// writes get [`ServerError::WrongShard`] at the current version
+    /// (clients treat an equal version as "retry shortly").
+    pub fn fence(&self, shard: u32) {
+        self.state.lock().fenced.insert(shard);
+    }
+
+    /// Lifts a write fence (migration failed or was superseded).
+    pub fn unfence(&self, shard: u32) {
+        self.state.lock().fenced.remove(&shard);
+    }
+
+    /// Marks a shard as an expected migration destination so its
+    /// [`OP_LOAD`] is admitted before the map flips.
+    pub fn expect_incoming(&self, shard: u32) {
+        self.state.lock().incoming.insert(shard);
+    }
+
+    /// Clears a destination mark (migration failed or was superseded).
+    pub fn clear_incoming(&self, shard: u32) {
+        self.state.lock().incoming.remove(&shard);
+    }
+
+    /// Admission check for a normal keyed request against the server for
+    /// `shard`: the key must map to that shard, this node must own it,
+    /// and writes must not be fenced. Refused requests carry the node's
+    /// current map version so the client can tell "stale map" from
+    /// "fenced mid-migration".
+    pub fn admit(&self, shard: u32, key: u64, write: bool) -> Result<(), ServerError> {
+        let st = self.state.lock();
+        let version = st.map.version;
+        if st.map.shard_of(key) != shard
+            || st.map.owner(shard) != self.node
+            || (write && st.fenced.contains(&shard))
+        {
+            return Err(ServerError::WrongShard { newer_map_version: version });
+        }
+        Ok(())
+    }
+
+    /// Admission check for the migration copy's source read: this node
+    /// must (still) own the shard. The fence does not block it — the
+    /// snapshot *is* the fenced read.
+    pub fn admit_snapshot(&self, shard: u32) -> Result<(), ServerError> {
+        let st = self.state.lock();
+        if st.map.owner(shard) != self.node {
+            return Err(ServerError::WrongShard { newer_map_version: st.map.version });
+        }
+        Ok(())
+    }
+
+    /// Admission check for the migration copy's destination write: the
+    /// shard must be marked incoming (or already owned after the flip,
+    /// so a post-install redo replays cleanly).
+    pub fn admit_load(&self, shard: u32) -> Result<(), ServerError> {
+        let st = self.state.lock();
+        if !st.incoming.contains(&shard) && st.map.owner(shard) != self.node {
+            return Err(ServerError::WrongShard { newer_map_version: st.map.version });
+        }
+        Ok(())
+    }
+}
+
+/// One shard's data server: a recoverable array of `slots` words gated
+/// by the node's [`ShardControl`].
+pub struct ShardServer {
+    server: DataServer,
+    shard: u32,
+    slots: u64,
+}
+
+impl ShardServer {
+    /// Spawns the data server for `shard` on `node`, registers it with
+    /// the Name Server under [`ShardMap::shard_name`], and starts
+    /// accepting requests. Call once per shard on every node hosting the
+    /// service, then [`Node::recover`].
+    pub fn spawn(
+        node: &Node,
+        control: &Arc<ShardControl>,
+        shard: u32,
+        slots: u64,
+    ) -> Result<Self, ServerError> {
+        let service = control.map().service.clone();
+        let name = crate::map::shard_name(&service, shard);
+        let pages = ((slots * SLOT).div_ceil(tabs_kernel::PAGE_SIZE as u64)).max(1) as u32;
+        let seg = node.add_segment(&shard_segment_name(&service, shard), pages);
+        let server = DataServer::new(&node.deps(), node.server_config(&name, seg))?;
+        let gate = Arc::clone(control);
+        let map = control.map();
+        server.accept_requests(Arc::new(move |ctx, opcode, args| {
+            let mut r = Reader::new(args);
+            match opcode {
+                OP_GET | OP_SET | OP_ADD => {
+                    let key =
+                        u64::decode(&mut r).map_err(|e| ServerError::BadRequest(e.to_string()))?;
+                    gate.admit(shard, key, opcode != OP_GET)?;
+                    let slot = map.local_slot(key);
+                    if slot >= slots {
+                        return Err(ServerError::BadRequest(format!(
+                            "key {key} lands at slot {slot}, shard holds {slots}"
+                        )));
+                    }
+                    let obj = ctx.create_object_id(slot * SLOT, SLOT as u32);
+                    match opcode {
+                        OP_GET => {
+                            ctx.lock_object(obj, StdMode::Shared)?;
+                            let bytes = ctx.read_object(obj)?;
+                            let v = i64::from_le_bytes(bytes[..8].try_into().unwrap());
+                            let mut w = Writer::new();
+                            v.encode(&mut w);
+                            Ok(w.into_vec())
+                        }
+                        OP_SET => {
+                            let value = i64::decode(&mut r)
+                                .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+                            ctx.lock_object(obj, StdMode::Exclusive)?;
+                            ctx.pin_and_buffer(obj)?;
+                            ctx.write_raw(obj, &value.to_le_bytes())?;
+                            ctx.log_and_unpin(obj)?;
+                            Ok(Vec::new())
+                        }
+                        _ => {
+                            let delta = i64::decode(&mut r)
+                                .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+                            ctx.lock_object(obj, StdMode::Exclusive)?;
+                            ctx.pin_and_buffer(obj)?;
+                            let bytes = ctx.read_object(obj)?;
+                            let cur = i64::from_le_bytes(bytes[..8].try_into().unwrap());
+                            let new = cur.wrapping_add(delta);
+                            ctx.write_raw(obj, &new.to_le_bytes())?;
+                            ctx.log_and_unpin(obj)?;
+                            let mut w = Writer::new();
+                            new.encode(&mut w);
+                            Ok(w.into_vec())
+                        }
+                    }
+                }
+                OP_SNAP => {
+                    gate.admit_snapshot(shard)?;
+                    // Shared-lock every slot: this blocks behind (and
+                    // only behind) in-flight writers, so by two-phase
+                    // locking the values read are a committed snapshot.
+                    let mut values = Vec::with_capacity(slots as usize);
+                    for slot in 0..slots {
+                        let obj = ctx.create_object_id(slot * SLOT, SLOT as u32);
+                        ctx.lock_object(obj, StdMode::Shared)?;
+                        let bytes = ctx.read_object(obj)?;
+                        values.push(i64::from_le_bytes(bytes[..8].try_into().unwrap()));
+                    }
+                    let mut w = Writer::new();
+                    values.encode(&mut w);
+                    Ok(w.into_vec())
+                }
+                OP_LOAD => {
+                    gate.admit_load(shard)?;
+                    let values = Vec::<i64>::decode(&mut r)
+                        .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+                    if values.len() as u64 != slots {
+                        return Err(ServerError::BadRequest(format!(
+                            "load of {} values into a {slots}-slot shard",
+                            values.len()
+                        )));
+                    }
+                    // Value-logged writes: the whole load is undone if
+                    // the copy transaction aborts and redone by recovery
+                    // if the destination crashes after commit.
+                    for (slot, value) in values.iter().enumerate() {
+                        let obj = ctx.create_object_id(slot as u64 * SLOT, SLOT as u32);
+                        ctx.lock_object(obj, StdMode::Exclusive)?;
+                        ctx.pin_and_buffer(obj)?;
+                        ctx.write_raw(obj, &value.to_le_bytes())?;
+                        ctx.log_and_unpin(obj)?;
+                    }
+                    Ok(Vec::new())
+                }
+                other => Err(ServerError::BadRequest(format!("opcode {other}"))),
+            }
+        }));
+        node.register_server(&server, &name, "shard", ObjectId::new(seg, 0, SLOT as u32));
+        Ok(Self { server, shard, slots })
+    }
+
+    /// Spawns servers for every shard of `map` on `node` (the standard
+    /// boot path: all shards hosted, admission gated by `control`).
+    /// Returns the servers and the shared control gate.
+    pub fn spawn_all(
+        node: &Node,
+        map: &ShardMap,
+        slots: u64,
+    ) -> Result<(Arc<ShardControl>, Vec<ShardServer>), ServerError> {
+        let control = ShardControl::new(node.id, map.clone());
+        let mut servers = Vec::with_capacity(map.shards() as usize);
+        for shard in 0..map.shards() {
+            servers.push(ShardServer::spawn(node, &control, shard, slots)?);
+        }
+        if let Some(trace) = node.trace() {
+            trace.record(
+                tabs_kernel::Tid::NULL,
+                TraceEvent::ShardMapUpdate { service: map.service.clone(), version: map.version },
+            );
+        }
+        Ok((control, servers))
+    }
+
+    /// The shard this server holds.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Slots per shard.
+    pub fn slots(&self) -> u64 {
+        self.slots
+    }
+
+    /// A send right for local callers.
+    pub fn send_right(&self) -> SendRight {
+        self.server.send_right()
+    }
+
+    /// The underlying library server (tests, lock inspection).
+    pub fn server(&self) -> &DataServer {
+        &self.server
+    }
+}

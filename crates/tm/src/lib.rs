@@ -458,6 +458,23 @@ impl TransactionManager {
             .collect()
     }
 
+    /// Number of live (running or prepared) transactions in which the
+    /// named server is enlisted as a participant.
+    ///
+    /// Shard migration's drain step polls this on the source node: once
+    /// no in-flight transaction still involves the migrating shard's
+    /// server — the server's identity (its enlistment name) survives the
+    /// ownership change — its data is quiescent and safe to copy (new
+    /// writes are already refused by the shard fence).
+    pub fn active_enlistments(&self, server: &str) -> usize {
+        self.inner
+            .lock()
+            .values()
+            .filter(|info| matches!(info.phase, TxPhase::Running | TxPhase::Prepared))
+            .filter(|info| info.participants.contains_key(server))
+            .count()
+    }
+
     /// `EndTransaction` (Table 3-2): attempts to commit. Returns `true` on
     /// commit, `false` if the transaction was (or had to be) aborted.
     pub fn end(&self, tid: Tid) -> Result<bool, TmError> {

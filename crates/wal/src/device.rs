@@ -122,6 +122,52 @@ impl LogDevice for MemLogDevice {
     }
 }
 
+/// A [`MemLogDevice`] whose `force` takes a fixed wall-clock latency,
+/// modelling real stable storage (the paper's numbers all revolve around
+/// stable-storage writes; an instant in-memory force hides the log as a
+/// bottleneck). Benches use it to measure force-bandwidth effects —
+/// e.g. sharding a workload over N nodes multiplies the cluster's
+/// aggregate force bandwidth by N.
+pub struct LatencyLogDevice {
+    inner: Arc<MemLogDevice>,
+    force_latency: std::time::Duration,
+}
+
+impl LatencyLogDevice {
+    /// Creates an empty device with the given capacity and per-force
+    /// latency.
+    pub fn new(capacity: u64, force_latency: std::time::Duration) -> Arc<Self> {
+        Arc::new(Self { inner: MemLogDevice::new(capacity), force_latency })
+    }
+}
+
+impl LogDevice for LatencyLogDevice {
+    fn append(&self, payload: &[u8]) -> io::Result<()> {
+        self.inner.append(payload)
+    }
+
+    fn force(&self) -> io::Result<()> {
+        std::thread::sleep(self.force_latency);
+        self.inner.force()
+    }
+
+    fn scan(&self) -> io::Result<Vec<Vec<u8>>> {
+        self.inner.scan()
+    }
+
+    fn truncate_front(&self, n: usize) -> io::Result<()> {
+        self.inner.truncate_front(n)
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.inner.len_bytes()
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.inner.capacity_bytes()
+    }
+}
+
 /// File-backed log device.
 pub struct FileLogDevice {
     file: Mutex<File>,

@@ -22,6 +22,8 @@ pub mod device;
 pub mod manager;
 pub mod records;
 
-pub use device::{FaultLogDevice, FileLogDevice, LogDevice, LogFaults, MemLogDevice};
+pub use device::{
+    FaultLogDevice, FileLogDevice, LatencyLogDevice, LogDevice, LogFaults, MemLogDevice,
+};
 pub use manager::{GroupCommitConfig, LogManager, WalError, CRASH_POINTS};
 pub use records::{LogEntry, LogRecord, Lsn, TxState};

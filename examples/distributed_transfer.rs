@@ -9,24 +9,20 @@
 
 use std::time::Duration;
 
-use tabs_core::{Cluster, NodeId, Tid};
-use tabs_servers::{IntArrayClient, IntArrayServer};
+use tabs_core::{Cluster, Tid};
+use tabs_servers::harness::{boot_with_array_cells, client_for};
+use tabs_servers::IntArrayClient;
 
 fn main() {
     let cluster = Cluster::new();
-    let n1 = cluster.boot_node(NodeId(1));
-    let n2 = cluster.boot_node(NodeId(2));
-    let a1 = IntArrayServer::spawn(&n1, "branch-a", 8).expect("branch a");
-    let _a2 = IntArrayServer::spawn(&n2, "branch-b", 8).expect("branch b");
-    n1.recover().expect("recovery 1");
-    n2.recover().expect("recovery 2");
+    let (n1, a1) = boot_with_array_cells(&cluster, 1, "branch-a", 8);
+    let (n2, _a2) = boot_with_array_cells(&cluster, 2, "branch-b", 8);
 
     let app = n1.app();
     let branch_a = IntArrayClient::new(app.clone(), a1.send_right());
     // Branch B is found by broadcast name lookup and reached through a
     // Communication Manager proxy — location-transparent invocation.
-    let found = n1.resolve("branch-b", 1, Duration::from_secs(3));
-    let branch_b = IntArrayClient::new(app.clone(), found[0].0.clone());
+    let branch_b = client_for(&n1, "branch-b");
 
     // Initial balances: A has 1000, B has 0.
     app.run(|t| branch_a.set(t, 0, 1000)).expect("fund A");

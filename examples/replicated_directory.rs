@@ -8,16 +8,16 @@
 
 use std::time::Duration;
 
-use tabs_core::{Cluster, NodeId};
+use tabs_core::Cluster;
+use tabs_servers::harness::boot_with;
 use tabs_servers::repdir::{RepDirCoordinator, RepDirServer, Replica};
 
 fn main() {
     let cluster = Cluster::new();
     let mut nodes = Vec::new();
     for i in 1..=3u16 {
-        let node = cluster.boot_node(NodeId(i));
-        RepDirServer::spawn(&node, &format!("rep{i}"), 64).expect("representative");
-        node.recover().expect("recovery");
+        let (node, _rep) =
+            boot_with(&cluster, i, |n| RepDirServer::spawn(n, &format!("rep{i}"), 64).unwrap());
         nodes.push(node);
     }
     println!("three directory representatives booted (weight 1 each, r = w = 2)");
@@ -62,9 +62,7 @@ fn main() {
     // Reboot node 3: it holds a stale version-1 alpha, but the version
     // numbers keep every read quorum correct.
     println!("\n*** rebooting node 3 ***");
-    let n3 = cluster.boot_node(NodeId(3));
-    RepDirServer::spawn(&n3, "rep3", 64).expect("representative");
-    n3.recover().expect("recovery");
+    let (n3, _rep) = boot_with(&cluster, 3, |n| RepDirServer::spawn(n, "rep3", 64).unwrap());
     nodes.push(n3);
 
     app.run(|t| {

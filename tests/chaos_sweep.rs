@@ -9,7 +9,10 @@
 
 use std::collections::BTreeSet;
 
-use tabs_chaos::{registry, ChaosRunner, FASTPATH_POINTS, GROUP_COMMIT_POINTS, SINGLE_NODE_POINTS};
+use tabs_chaos::{
+    registry, ChaosRunner, FASTPATH_POINTS, GROUP_COMMIT_POINTS, MIGRATION_POINTS,
+    SINGLE_NODE_POINTS,
+};
 
 /// Fixed sweep seed: sweeps are exhaustive over crash points, so the seed
 /// only picks the disk-fault RNG streams; any value must pass.
@@ -47,6 +50,15 @@ fn crash_point_sweeps_cover_the_entire_registry() {
 
     let distributed = runner.sweep_distributed().unwrap_or_else(|e| panic!("{e}"));
 
+    let migration = runner.sweep_migration().unwrap_or_else(|e| panic!("{e}"));
+    for &p in MIGRATION_POINTS {
+        assert!(
+            migration.contains(p),
+            "seed={SEED} crash_point={p} armed on the shard-migration workload but never \
+             killed a node"
+        );
+    }
+
     // The acceptance gate: the union of points that actually killed a
     // node must equal the registry. A registered point no sweep can reach
     // is a test failure, not a silent gap.
@@ -54,6 +66,7 @@ fn crash_point_sweeps_cover_the_entire_registry() {
     killed.extend(group);
     killed.extend(fastpath);
     killed.extend(distributed);
+    killed.extend(migration);
     let reg: BTreeSet<&str> = registry().into_iter().collect();
     let missing: Vec<&&str> = reg.difference(&killed).collect();
     assert!(

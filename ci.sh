@@ -76,4 +76,15 @@ fi
 cargo run -q -p tabs-bench --release --bin tables -- scale --quick --json /tmp/bench.json
 cargo run -q -p tabs-bench --release --bin tables -- checkbench /tmp/bench.json
 
+echo "==> replication (bounded): minority-kill sweep + degradation gate"
+if ! cargo test -q -p tabs-chaos --test prop_replication replication_sweep_covers_every_point; then
+    echo "replication chaos sweep failed: the assertion output above carries" >&2
+    echo "a 'seed=<N> crash_point=<name>@<victim>' line; replay it with" >&2
+    echo "  ChaosRunner::new(seed).sweep_replication()" >&2
+    exit 1
+fi
+cargo test -q -p tabs-servers --test repdir_differential
+cargo run -q -p tabs-bench --release --bin tables -- replicate --quick --json /tmp/bench.json
+cargo run -q -p tabs-bench --release --bin tables -- checkbench /tmp/bench.json
+
 echo "CI green."

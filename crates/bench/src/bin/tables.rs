@@ -8,7 +8,7 @@
 //! Run `tables --help` for the command list. Without a command the full
 //! §5 report is regenerated (the `paper` workload). Workload commands
 //! (`load`, `contention`, `groupcommit`, `fastpath`, `partition`,
-//! `scale`, `paper`) and the measured-table commands all honor
+//! `replicate`, `scale`, `paper`) and the measured-table commands all honor
 //! `--json PATH`: report rows are upsert-merged into the `BENCH_*.json`
 //! document keyed on workload/scenario/mode/config, so re-running a
 //! workload refreshes its rows instead of duplicating them;
@@ -19,8 +19,9 @@
 //! `load` (lock striping ≥ 1.5× committed throughput at 32 contended
 //! clients, full-length runs only), `groupcommit` (forces/commit < 0.5
 //! and ≥ 4× reduction), `partition` (cooperative p50 under 25% of the
-//! retransmit-timeout baseline), `scale` (≥ 2× aggregate committed
-//! throughput at four nodes versus one). Usage errors exit 2.
+//! retransmit-timeout baseline), `replicate` (replica-killed p50 commit
+//! latency within 3× the healthy baseline), `scale` (≥ 2× aggregate
+//! committed throughput at four nodes versus one). Usage errors exit 2.
 
 use std::time::Duration;
 
@@ -84,8 +85,13 @@ const COMMANDS: &[Command] = &[
         run: |f| workload("partition", f),
     },
     Command {
+        name: "replicate",
+        about: "replicated-shard commit latency: full replica set vs one follower killed",
+        run: |f| workload("replicate", f),
+    },
+    Command {
         name: "scale",
-        about: "scale-out: the sharded bank on 1, 2 and 4 nodes",
+        about: "scale-out: the sharded bank on 1, 2, 4 and 8 nodes",
         run: |f| workload("scale", f),
     },
     Command {
@@ -513,6 +519,7 @@ fn trace(_flags: &Flags) -> i32 {
         version: 1,
         partitioning: Partitioning::Hash,
         owners: vec![NodeId(1), NodeId(1)],
+        replicas: vec![Vec::new(); 2],
     };
     let (c1, _src_servers) = ShardServer::spawn_all(&s1, &map, 8).expect("source shard servers");
     let (c2, _dst_servers) =
@@ -559,6 +566,7 @@ fn chaos(flags: &Flags) -> i32 {
         .and_then(|()| runner.sweep_fastpath().map(|k| killed.extend(k)))
         .and_then(|()| runner.sweep_distributed().map(|k| killed.extend(k)))
         .and_then(|()| runner.sweep_migration().map(|k| killed.extend(k)))
+        .and_then(|()| runner.sweep_replication().map(|k| killed.extend(k)))
         .and_then(|()| runner.torn_write_scenario())
         .and_then(|()| runner.transient_read_scenario());
     if let Err(e) = outcome {

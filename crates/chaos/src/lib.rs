@@ -27,11 +27,13 @@
 pub mod controller;
 pub mod migrate;
 pub mod plan;
+pub mod replicate;
 pub mod runner;
 
 pub use controller::{CrashController, KillLog, NodeFaults};
 pub use migrate::MIGRATION_POINTS;
 pub use plan::{ChaosRng, DiskFaultSpec, FaultPlan, NetSchedule, ScheduledPolicy};
+pub use replicate::{ReplicationLatency, REPLICATION_POINTS};
 pub use runner::{
     registry, ChaosRunner, Outcome, PartitionRun, Xfer, FASTPATH_POINTS, GROUP_COMMIT_POINTS,
     PAIRWISE_ARMS, SINGLE_NODE_POINTS, TWO_PC_POINTS,
@@ -50,6 +52,7 @@ mod tests {
                 + tabs_rm::CRASH_POINTS.len()
                 + tabs_tm::CRASH_POINTS.len()
                 + tabs_shard::CRASH_POINTS.len()
+                + tabs_shard::REP_CRASH_POINTS.len()
         );
         // No duplicates and stable naming convention: `<layer>.<step>.<edge>`.
         let mut sorted: Vec<_> = reg.clone();
@@ -61,7 +64,8 @@ mod tests {
                 p.starts_with("wal.")
                     || p.starts_with("rm.")
                     || p.starts_with("tm.")
-                    || p.starts_with("shard."),
+                    || p.starts_with("shard.")
+                    || p.starts_with("rep."),
                 "unexpected crash-point prefix: {p}"
             );
         }
@@ -75,6 +79,7 @@ mod tests {
         swept.extend_from_slice(FASTPATH_POINTS);
         swept.extend_from_slice(TWO_PC_POINTS);
         swept.extend_from_slice(MIGRATION_POINTS);
+        swept.extend_from_slice(REPLICATION_POINTS);
         swept.sort_unstable();
         swept.dedup();
         let mut reg = registry();

@@ -54,11 +54,12 @@ fn initial_map() -> ShardMap {
         version: 1,
         partitioning: Partitioning::Hash,
         owners: vec![NodeId(1), NodeId(2)],
+        replicas: vec![Vec::new(); 2],
     }
 }
 
 /// Boots `id` hosting every shard of `map` and recovers it.
-fn boot_sharded(
+pub(crate) fn boot_sharded(
     cluster: &Arc<Cluster>,
     id: u16,
     map: &ShardMap,
@@ -71,7 +72,7 @@ fn boot_sharded(
 }
 
 /// One money transfer between two global keys via the router.
-fn shard_transfer(
+pub(crate) fn shard_transfer(
     app: &AppHandle,
     client: &ShardClient,
     from: u64,
@@ -96,7 +97,7 @@ fn shard_transfer(
 }
 
 /// Reads one account through the router, retrying while recovery settles.
-fn poll_key(
+pub(crate) fn poll_key(
     app: &AppHandle,
     client: &ShardClient,
     key: u64,
@@ -121,7 +122,7 @@ fn poll_key(
 }
 
 /// Polls every shard server's lock table down to zero held objects.
-fn poll_shard_locks_drained(
+pub(crate) fn poll_shard_locks_drained(
     servers: &[ShardServer],
     who: &str,
     deadline: Instant,

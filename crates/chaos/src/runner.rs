@@ -42,6 +42,7 @@ pub fn registry() -> Vec<&'static str> {
     v.extend_from_slice(tabs_rm::CRASH_POINTS);
     v.extend_from_slice(tabs_tm::CRASH_POINTS);
     v.extend_from_slice(tabs_shard::CRASH_POINTS);
+    v.extend_from_slice(tabs_shard::REP_CRASH_POINTS);
     v
 }
 
@@ -108,9 +109,10 @@ const PARTITION_TIMEOUTS: TmTimeouts = TmTimeouts {
     ack_deadline: Duration::from_millis(300),
 };
 
-/// Heartbeat tuning for the partition-tolerance scenario: suspicion after
-/// ~30ms of silence, far inside the baseline's 1.5s vote deadline.
-const PARTITION_HEARTBEAT: tabs_core::HeartbeatConfig = tabs_core::HeartbeatConfig {
+/// Heartbeat tuning for the partition-tolerance and replication
+/// scenarios: suspicion after ~30ms of silence, far inside the
+/// baseline's 1.5s vote deadline.
+pub(crate) const PARTITION_HEARTBEAT: tabs_core::HeartbeatConfig = tabs_core::HeartbeatConfig {
     interval: Duration::from_millis(10),
     suspect_after: 3,
     probe_cap: Duration::from_millis(200),
@@ -641,6 +643,25 @@ impl ChaosRunner {
     /// [`crate::migrate`].
     pub fn sweep_migration(&self) -> Result<BTreeSet<&'static str>, String> {
         crate::migrate::sweep_migration(self.seed)
+    }
+
+    /// Arms each point in [`crate::replicate::REPLICATION_POINTS`] (and
+    /// every [`TWO_PC_POINTS`] entry) with a replica-set member as the
+    /// victim, over a replicated bank shard with transfers in flight.
+    /// See [`crate::replicate`].
+    pub fn sweep_replication(&self) -> Result<BTreeSet<&'static str>, String> {
+        crate::replicate::sweep_replication(self.seed)
+    }
+
+    /// Measures per-transfer commit latency over the replicated bank
+    /// shard, healthy or with one follower killed first. Powers the
+    /// `tables replicate` workload; see [`crate::replicate`].
+    pub fn replication_latency(
+        &self,
+        kill_replica: bool,
+        transfers: u32,
+    ) -> Result<crate::replicate::ReplicationLatency, String> {
+        crate::replicate::replication_latency(self.seed, kill_replica, transfers)
     }
 
     fn arm_label(coord: Option<&str>, part: Option<&str>) -> String {

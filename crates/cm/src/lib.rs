@@ -572,6 +572,14 @@ impl CommManager {
         self.endpoint.is_reachable(node) && !self.suspected(node)
     }
 
+    /// Whether the failure detector currently suspects `node` (always
+    /// false without one). This is the leader-handoff query: shard
+    /// routers consult it to fail over from a dead shard leader to a
+    /// follower replica instead of retrying the corpse.
+    pub fn is_suspected(&self, node: NodeId) -> bool {
+        self.suspected(node)
+    }
+
     /// The failure detector, when one is running.
     pub fn failure_detector(&self) -> Option<&Arc<FailureDetector>> {
         self.fd.as_ref()
@@ -883,5 +891,55 @@ mod tests {
         assert!(a.kernel.perf().get(PrimitiveOp::Datagram) >= 1);
         shutdown(a);
         shutdown(b);
+    }
+
+    #[test]
+    fn silent_peer_becomes_suspected_and_queryable() {
+        // Node 1 runs a failure detector; the watched peer 2 does not
+        // exist, so its pongs never come and suspicion sets in. The
+        // public query is what shard routers use for leader failover.
+        let net = Network::new();
+        let node = NodeId(1);
+        let kernel = Kernel::new(node);
+        let perf = Arc::clone(kernel.perf());
+        let pool = BufferPool::new(16, Arc::clone(&perf));
+        pool.register_segment(SegmentSpec {
+            id: SegmentId { node, index: 0 },
+            name: "t".into(),
+            disk: MemDisk::new(16),
+            base_sector: 0,
+            pages: 16,
+        })
+        .unwrap();
+        let log = LogManager::open(MemLogDevice::new(1 << 20), Arc::clone(&perf)).unwrap();
+        let rm = RecoveryManager::new(node, log, pool, Arc::clone(&perf));
+        let tm = TransactionManager::new(node, 1, rm, Arc::clone(&perf));
+        let ns = NameServer::new(node);
+        let endpoint = net.attach(node, Arc::clone(&perf));
+        let hb = HeartbeatConfig {
+            interval: Duration::from_millis(5),
+            suspect_after: 2,
+            probe_cap: Duration::from_millis(50),
+        };
+        let fd = FailureDetector::new(node, hb);
+        let cm = CommManager::start_full(
+            kernel.clone(),
+            endpoint,
+            Arc::clone(&tm),
+            Arc::clone(&ns),
+            None,
+            Some(Arc::clone(&fd)),
+        );
+        fd.watch(NodeId(2));
+        assert!(!cm.is_suspected(NodeId(2)));
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while !cm.is_suspected(NodeId(2)) && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+            fd.tick();
+        }
+        assert!(cm.is_suspected(NodeId(2)));
+        assert!(!cm.is_reachable(NodeId(2)));
+        kernel.shutdown();
+        kernel.join_all();
     }
 }

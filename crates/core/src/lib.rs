@@ -35,7 +35,7 @@ pub use tabs_obs::{
 };
 pub use tabs_rm::{RecoveryManager, RecoveryReport};
 pub use tabs_server_lib::{DataServer, Dispatch, OpCtx, ServerConfig, ServerDeps};
-pub use tabs_tm::{CommitPathPolicy, TmTimeouts, TransactionManager};
+pub use tabs_tm::{CommitPathPolicy, ReplicationPolicy, TmTimeouts, TransactionManager};
 pub use tabs_wal::GroupCommitConfig;
 
 /// Commonly used items for applications and data servers.
@@ -105,6 +105,15 @@ pub struct ClusterConfig {
     /// fast paths, `Full` runs the pessimistic full-2PC baseline the
     /// `fastpath` bench compares against.
     pub commit_paths: CommitPathPolicy,
+    /// When set, every booted node's Transaction Manager treats a
+    /// registered replica set as one logical 2PC participant: missing
+    /// votes from suspected-dead members are waived once a majority of
+    /// their group is durably prepared, and phase-2 acknowledgements
+    /// from dead members are abandoned instead of chased (the rejoining
+    /// member resolves the outcome from the durable decision record).
+    /// `None` (the default) keeps the seed behaviour — every enlisted
+    /// participant must vote.
+    pub replication: Option<ReplicationPolicy>,
 }
 
 impl Default for ClusterConfig {
@@ -121,6 +130,7 @@ impl Default for ClusterConfig {
             group_commit: None,
             heartbeat: None,
             commit_paths: CommitPathPolicy::Seed,
+            replication: None,
         }
     }
 }
@@ -192,6 +202,15 @@ impl ClusterConfig {
     /// Selects the commit-path policy for every booted node.
     pub fn commit_paths(mut self, policy: CommitPathPolicy) -> Self {
         self.commit_paths = policy;
+        self
+    }
+
+    /// Enables the replicated-participant commit integration (majority
+    /// vote waiver and dead-member ack abandonment) on every booted node.
+    /// Quorum groups themselves are registered per node from the shard
+    /// map (see `tabs_shard::ShardServer::spawn_all`).
+    pub fn replication(mut self, policy: ReplicationPolicy) -> Self {
+        self.replication = Some(policy);
         self
     }
 }
@@ -388,6 +407,14 @@ impl Cluster {
                     metrics.counter("tm.prepare.readonly"),
                 );
             }
+        }
+        if let Some(policy) = self.config.replication {
+            tm.set_replication(policy);
+            let metrics = self.metrics(id);
+            tm.set_replication_metrics(
+                metrics.counter("tm.rep.quorum_commits"),
+                metrics.counter("tm.rep.acks_abandoned"),
+            );
         }
         let ns = NameServer::new(id);
         // Seed the fresh Name Server from the durable map store: a node

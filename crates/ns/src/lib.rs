@@ -211,6 +211,12 @@ impl NameServer {
     /// Publishes a shard map: adopts `(version, map)` locally iff it is
     /// strictly newer than what this node holds, and broadcasts it to
     /// every other Name Server. Returns whether the map was adopted.
+    ///
+    /// The blob is opaque to the Name Server; since the map gained
+    /// per-shard replica sets (DESIGN.md §13) this same gossip channel
+    /// carries every replication reconfiguration — follower declarations
+    /// and leader handoffs ride the version bump exactly like owner
+    /// reassignments, so the blob must reach every node byte-intact.
     pub fn publish_map(&self, service: &str, version: u64, map: Vec<u8>) -> bool {
         let adopted = self.adopt_map(service, version, map.clone());
         if adopted {
@@ -505,6 +511,24 @@ mod tests {
         assert_eq!(ns.map_blob("bank"), Some((3, vec![3])));
         assert!(ns.adopt_map("bank", 4, vec![4]));
         assert_eq!(ns.map_blob("bank"), Some((4, vec![4])));
+    }
+
+    #[test]
+    fn replica_set_blobs_gossip_byte_intact() {
+        // Replication reconfigurations (follower declarations, leader
+        // handoffs) ride the opaque shard-map blob; a gossiped copy must
+        // arrive byte-identical — truncation would silently drop
+        // replica sets and split the cluster's view of the quorum.
+        let ns = NameServer::new(NodeId(1));
+        let blob: Vec<u8> = (0..=255u8).cycle().take(700).collect();
+        ns.handle_shard(ShardMsg::Publish {
+            service: "bank".into(),
+            version: 7,
+            map: blob.clone(),
+        });
+        assert_eq!(ns.map_blob("bank"), Some((7, blob.clone())));
+        let held = ns.await_map_version("bank", 7, Duration::ZERO).unwrap();
+        assert_eq!(held, (7, blob));
     }
 
     #[test]

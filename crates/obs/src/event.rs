@@ -274,6 +274,46 @@ pub enum TraceEvent {
         /// Map version that records the new ownership.
         version: u64,
     },
+
+    /// A write was fanned out to a follower replica of a replicated
+    /// shard (value-logged inside the enclosing transaction).
+    ReplicaWrite {
+        /// Index of the replicated shard.
+        shard: u32,
+        /// The follower the write was forwarded to.
+        to: NodeId,
+    },
+    /// The coordinator waived missing votes from dead replica-set
+    /// members because a majority of their group was durably prepared:
+    /// the group voted yes as one logical participant.
+    ReplicaQuorum {
+        /// Number of members whose votes were waived.
+        waived: u32,
+    },
+    /// A rejoining replica was resynchronized from a surviving member
+    /// (snapshot-and-load in one distributed transaction).
+    ReplicaResync {
+        /// Logical service the shard belongs to.
+        service: String,
+        /// Index of the resynchronized shard.
+        shard: u32,
+        /// The surviving member the state was copied from.
+        from: NodeId,
+        /// The rejoined member the state was loaded into.
+        to: NodeId,
+    },
+    /// A client failed over from a dead shard leader to a follower
+    /// replica (suspicion-triggered leader handoff).
+    LeaderFailover {
+        /// Logical service the shard belongs to.
+        service: String,
+        /// Index of the shard whose leader was bypassed.
+        shard: u32,
+        /// The unreachable leader.
+        from: NodeId,
+        /// The follower that answered instead.
+        to: NodeId,
+    },
 }
 
 impl TraceEvent {
@@ -316,6 +356,10 @@ impl TraceEvent {
             TraceEvent::ShardMapUpdate { .. } => "shard-map-update",
             TraceEvent::MigrationStart { .. } => "migration-start",
             TraceEvent::MigrationDone { .. } => "migration-done",
+            TraceEvent::ReplicaWrite { .. } => "replica-write",
+            TraceEvent::ReplicaQuorum { .. } => "replica-quorum",
+            TraceEvent::ReplicaResync { .. } => "replica-resync",
+            TraceEvent::LeaderFailover { .. } => "leader-failover",
         }
     }
 
@@ -416,6 +460,18 @@ impl std::fmt::Display for TraceEvent {
             TraceEvent::MigrationDone { service, shard, version } => {
                 write!(f, "MIGRATED {service}.s{shard} (map v{version})")
             }
+            TraceEvent::ReplicaWrite { shard, to } => {
+                write!(f, "replica-write s{shard}→{to}")
+            }
+            TraceEvent::ReplicaQuorum { waived } => {
+                write!(f, "QUORUM-COMMIT ({waived} waived)")
+            }
+            TraceEvent::ReplicaResync { service, shard, from, to } => {
+                write!(f, "RESYNC {service}.s{shard} {from}→{to}")
+            }
+            TraceEvent::LeaderFailover { service, shard, from, to } => {
+                write!(f, "FAILOVER {service}.s{shard} {from}→{to}")
+            }
         }
     }
 }
@@ -496,6 +552,33 @@ mod tests {
         let done = TraceEvent::MigrationDone { service: "bank".into(), shard: 2, version: 4 };
         assert_eq!(done.label(), "migration-done");
         assert_eq!(done.to_string(), "MIGRATED bank.s2 (map v4)");
+    }
+
+    #[test]
+    fn replication_events_label_and_display() {
+        let write = TraceEvent::ReplicaWrite { shard: 1, to: NodeId(3) };
+        assert_eq!(write.label(), "replica-write");
+        assert_eq!(write.to_string(), "replica-write s1→n3");
+        assert!(!write.is_two_phase_commit());
+        let quorum = TraceEvent::ReplicaQuorum { waived: 1 };
+        assert_eq!(quorum.label(), "replica-quorum");
+        assert_eq!(quorum.to_string(), "QUORUM-COMMIT (1 waived)");
+        let resync = TraceEvent::ReplicaResync {
+            service: "bank".into(),
+            shard: 2,
+            from: NodeId(1),
+            to: NodeId(3),
+        };
+        assert_eq!(resync.label(), "replica-resync");
+        assert_eq!(resync.to_string(), "RESYNC bank.s2 n1→n3");
+        let failover = TraceEvent::LeaderFailover {
+            service: "bank".into(),
+            shard: 0,
+            from: NodeId(2),
+            to: NodeId(1),
+        };
+        assert_eq!(failover.label(), "leader-failover");
+        assert_eq!(failover.to_string(), "FAILOVER bank.s0 n2→n1");
     }
 
     #[test]

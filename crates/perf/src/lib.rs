@@ -46,6 +46,7 @@ pub mod load;
 pub mod model;
 pub mod paper;
 pub mod partition;
+pub mod replicate;
 pub mod report;
 pub mod scale;
 pub mod tables;
@@ -59,6 +60,7 @@ pub use load::{LoadProfile, LoadResult, LoadWorkload};
 pub use model::{improved_counts, predicted_ms, Projection};
 pub use paper::PaperWorkload;
 pub use partition::{PartitionResult, PartitionWorkload};
+pub use replicate::{ReplicateResult, ReplicateWorkload};
 pub use report::{
     registry, BenchFile, BenchReport, Json, RunOpts, Workload, WorkloadOutput, BENCH_SCHEMA_VERSION,
 };

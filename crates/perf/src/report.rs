@@ -537,6 +537,7 @@ pub fn registry() -> Vec<Box<dyn Workload>> {
         Box::new(crate::groupcommit::GroupCommitWorkload),
         Box::new(crate::fastpath::FastpathWorkload),
         Box::new(crate::partition::PartitionWorkload),
+        Box::new(crate::replicate::ReplicateWorkload),
         Box::new(crate::scale::ScaleWorkload),
         Box::new(crate::paper::PaperWorkload),
     ]

@@ -1,5 +1,5 @@
 //! Scale-out bench over the sharded bank: the same offered load on one,
-//! two and four nodes, with per-node stable storage modelled by
+//! two, four and eight nodes, with per-node stable storage modelled by
 //! [`LatencyLogDevice`] so the log force is a real bottleneck.
 //!
 //! The log manager holds its buffer lock across the device force, so one
@@ -26,8 +26,8 @@ use crate::report::{BenchReport, RunOpts, Workload, WorkloadOutput};
 
 /// The sharded service name.
 const SERVICE: &str = "bank";
-/// Fixed shard count (spread over 1, 2 or 4 nodes).
-const SHARDS: u32 = 4;
+/// Fixed shard count (spread over 1, 2, 4 or 8 nodes).
+const SHARDS: u32 = 8;
 /// Accounts per shard.
 const SLOTS: u64 = 8;
 /// Starting balance of every account.
@@ -42,7 +42,7 @@ const LOCAL_PER_10: u64 = 9;
 /// Measurements from one node-count configuration.
 #[derive(Debug, Clone)]
 pub struct ScaleRun {
-    /// Nodes the four shards were spread over.
+    /// Nodes the eight shards were spread over.
     pub nodes: u16,
     /// Transfers committed inside the window, summed over workers.
     pub committed: u64,
@@ -113,6 +113,7 @@ fn map_for(nodes: u16) -> ShardMap {
         version: 1,
         partitioning: Partitioning::Hash,
         owners: (0..SHARDS).map(|s| NodeId((s as u16 % nodes) + 1)).collect(),
+        replicas: vec![Vec::new(); SHARDS as usize],
     }
 }
 
@@ -282,8 +283,8 @@ pub fn render(runs: &[ScaleRun]) -> String {
     out
 }
 
-/// The `tables scale` workload: the sharded bank on 1, 2 and 4 nodes,
-/// gated on >= 2x aggregate committed throughput at four nodes.
+/// The `tables scale` workload: the sharded bank on 1, 2, 4 and 8
+/// nodes, gated on >= 2x aggregate committed throughput at four nodes.
 pub struct ScaleWorkload;
 
 impl Workload for ScaleWorkload {
@@ -292,26 +293,32 @@ impl Workload for ScaleWorkload {
     }
 
     fn describe(&self) -> &'static str {
-        "sharded bank scale-out: aggregate committed tps on 1 vs 4 nodes"
+        "sharded bank scale-out: aggregate committed tps on 1, 2, 4 and 8 nodes"
     }
 
     fn run(&self, opts: &RunOpts) -> Result<WorkloadOutput, String> {
         let window =
             if opts.quick { Duration::from_millis(500) } else { Duration::from_millis(1200) };
-        let node_counts: &[u16] = if opts.quick { &[1, 4] } else { &[1, 2, 4] };
+        let node_counts: &[u16] = if opts.quick { &[1, 4] } else { &[1, 2, 4, 8] };
         let mut runs = Vec::new();
         for &n in node_counts {
             runs.push(run_nodes(n, window, opts.seed)?);
         }
 
         let one = runs.first().ok_or("scale ran no configurations")?;
-        let four = runs.last().ok_or("scale ran no configurations")?;
+        let four = runs.iter().find(|r| r.nodes == 4).ok_or("scale never ran the 4-node point")?;
         let speedup = four.throughput() / one.throughput().max(1e-9);
 
         let mut out = WorkloadOutput { text: render(&runs), ..Default::default() };
         out.text.push_str(&format!(
             "\n4 nodes vs 1: {speedup:.2}x aggregate committed throughput (gate: >= 2x)\n"
         ));
+        if let Some(eight) = runs.iter().find(|r| r.nodes == 8) {
+            out.text.push_str(&format!(
+                "8 nodes vs 1: {:.2}x aggregate committed throughput\n",
+                eight.throughput() / one.throughput().max(1e-9)
+            ));
+        }
         for r in &runs {
             if r.committed == 0 {
                 out.gate_failure = Some(format!("scale nodes={} committed no transfers", r.nodes));
@@ -337,7 +344,7 @@ mod tests {
 
     #[test]
     fn shard_spread_is_even_and_local_keys_stay_home() {
-        for nodes in [1u16, 2, 4] {
+        for nodes in [1u16, 2, 4, 8] {
             let map = map_for(nodes);
             assert_eq!(map.shards(), SHARDS);
             for s in 0..SHARDS {

@@ -46,6 +46,10 @@ use tabs_tm::{CommitPathPolicy, Participant, TransactionManager};
 
 use tabs_codec::DecodeRef;
 
+pub mod quorum;
+
+pub use quorum::{QuorumError, QuorumPolicy};
+
 /// Everything a data server needs from its node.
 #[derive(Clone)]
 pub struct ServerDeps {
@@ -479,33 +483,46 @@ impl<'a> OpCtx<'a> {
     /// `LockObject`: acquires `mode`, waiting (with the server's time-out)
     /// if unavailable; the monitor is released while waiting.
     pub fn lock_object(&self, object: ObjectId, mode: StdMode) -> Result<(), ServerError> {
-        if self.server.locks.try_lock(self.tid, object, mode) {
-            return Ok(());
+        if !self.server.locks.try_lock(self.tid, object, mode) {
+            let timeout = self.server.lock_timeout;
+            let locks = Arc::clone(&self.server.locks);
+            let tid = self.tid;
+            self.coroutine_wait(move || locks.lock(tid, object, mode, timeout)).map_err(
+                |e| match e {
+                    LockError::Timeout(_) => ServerError::LockTimeout,
+                    LockError::Deadlock(_) => ServerError::Deadlock,
+                },
+            )?;
         }
-        let timeout = self.server.lock_timeout;
-        let locks = Arc::clone(&self.server.locks);
-        let tid = self.tid;
-        self.coroutine_wait(move || locks.lock(tid, object, mode, timeout)).map_err(
-            |e| match e {
-                LockError::Timeout(_) => ServerError::LockTimeout,
-                LockError::Deadlock(_) => ServerError::Deadlock,
-            },
-        )?;
-        // The transaction may have been aborted while this request was
-        // blocked (deadlock victim, remote abort): its locks were already
-        // released and its updates undone, yet the wait above can still be
-        // *granted* afterwards. Refuse the grant rather than write as a
-        // zombie after rollback.
+        // The transaction may have been aborted before this grant: while
+        // the request was blocked (deadlock victim, remote abort), or —
+        // on the immediate-grant path — before the request even reached
+        // this server (a delayed or duplicate call racing the abort
+        // datagram). In both cases the abort already released the
+        // transaction's locks and undid its updates, so a lock granted
+        // *now* would never be swept up again. The Transaction Manager
+        // marks the phase aborted before any release, so checking after
+        // the grant is race-free: refuse the grant rather than write as
+        // a zombie after rollback.
         if self.server.tm.is_aborted(self.tid) {
             self.server.locks.release_all(self.tid);
-            return Err(ServerError::Aborted(format!("{} aborted during lock wait", self.tid)));
+            return Err(ServerError::Aborted(format!("{} aborted before lock grant", self.tid)));
         }
         Ok(())
     }
 
     /// `ConditionallyLockObject`: acquires only if immediately available.
     pub fn conditionally_lock_object(&self, object: ObjectId, mode: StdMode) -> bool {
-        self.server.locks.try_lock(self.tid, object, mode)
+        if !self.server.locks.try_lock(self.tid, object, mode) {
+            return false;
+        }
+        // Same zombie guard as `lock_object`: a grant for an
+        // already-aborted transaction would never be released.
+        if self.server.tm.is_aborted(self.tid) {
+            self.server.locks.release_all(self.tid);
+            return false;
+        }
+        true
     }
 
     /// `IsObjectLocked`: whether any transaction holds a lock on `object`.

@@ -1,0 +1,102 @@
+//! Quorum arithmetic for replicated servers.
+//!
+//! Gifford's weighted-voting constraints, factored out of the
+//! replicated directory so every replication consumer — the bespoke
+//! version-voting coordinator, the generic shard replica sets, and the
+//! Transaction Manager's majority-vote waiver — shares one definition
+//! of "enough of the set": `r + w > total` (every read quorum
+//! intersects every write quorum) and `2w > total` (two write quorums
+//! intersect, so there is never a split-brain pair of writers).
+
+/// A validated read/write quorum configuration over a voting set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuorumPolicy {
+    /// Total vote weight of the set.
+    pub total: u32,
+    /// Weight a read must gather.
+    pub read_quorum: u32,
+    /// Weight a write must gather.
+    pub write_quorum: u32,
+}
+
+/// The configuration violates the quorum intersection rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuorumError;
+
+impl std::fmt::Display for QuorumError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "quorums must satisfy r + w > total and 2w > total")
+    }
+}
+
+impl std::error::Error for QuorumError {}
+
+impl QuorumPolicy {
+    /// Validates `r`/`w` over a set of `total` weight.
+    pub fn new(total: u32, read_quorum: u32, write_quorum: u32) -> Result<Self, QuorumError> {
+        if total == 0 || read_quorum + write_quorum <= total || 2 * write_quorum <= total {
+            return Err(QuorumError);
+        }
+        Ok(Self { total, read_quorum, write_quorum })
+    }
+
+    /// The simple-majority policy over `total` equal votes: both quorums
+    /// are `total/2 + 1`, which always satisfies the intersection rules.
+    /// This is the policy the generic replication layer uses — with
+    /// identical replicas a majority write is durable and any single
+    /// up-to-date member can serve a read.
+    pub fn majority(total: u32) -> Self {
+        let q = total / 2 + 1;
+        Self { total, read_quorum: q, write_quorum: q }
+    }
+
+    /// Whether `gathered` vote weight satisfies the read quorum.
+    pub fn read_met(&self, gathered: u32) -> bool {
+        gathered >= self.read_quorum
+    }
+
+    /// Whether `gathered` vote weight satisfies the write quorum.
+    pub fn write_met(&self, gathered: u32) -> bool {
+        gathered >= self.write_quorum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersection_rules_enforced() {
+        // r + w <= total: a read quorum could miss every writer.
+        assert_eq!(QuorumPolicy::new(3, 1, 2), Err(QuorumError));
+        // 2w <= total: two disjoint write quorums could both succeed.
+        assert_eq!(QuorumPolicy::new(4, 4, 2), Err(QuorumError));
+        // An empty voting set can never vote.
+        assert_eq!(QuorumPolicy::new(0, 1, 1), Err(QuorumError));
+        let p = QuorumPolicy::new(3, 2, 2).unwrap();
+        assert_eq!(p, QuorumPolicy { total: 3, read_quorum: 2, write_quorum: 2 });
+    }
+
+    #[test]
+    fn majority_always_satisfies_the_rules() {
+        for total in 1..=9 {
+            let m = QuorumPolicy::majority(total);
+            assert_eq!(
+                QuorumPolicy::new(total, m.read_quorum, m.write_quorum),
+                Ok(m),
+                "majority({total}) must validate"
+            );
+            // A strict majority: the complement can never also be one.
+            assert!(2 * m.write_quorum > total);
+        }
+        assert_eq!(QuorumPolicy::majority(3).write_quorum, 2);
+        assert_eq!(QuorumPolicy::majority(5).write_quorum, 3);
+    }
+
+    #[test]
+    fn met_helpers_compare_against_the_right_quorum() {
+        let p = QuorumPolicy::new(5, 4, 3).unwrap();
+        assert!(p.read_met(4) && !p.read_met(3));
+        assert!(p.write_met(3) && !p.write_met(2));
+    }
+}

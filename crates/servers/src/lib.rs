@@ -39,4 +39,4 @@ pub use btree::{BTreeClient, BTreeServer};
 pub use counter::{CounterClient, CounterServer};
 pub use io::{AreaState, IoClient, IoServer};
 pub use queue::{WeakQueueClient, WeakQueueServer};
-pub use repdir::{RepDirCoordinator, RepDirServer};
+pub use repdir::{RepDirCoordinator, RepDirGeneric, RepDirServer};

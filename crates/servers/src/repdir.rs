@@ -18,10 +18,13 @@
 //! involve 3 nodes, which permits one node to fail and have the data
 //! remain available."
 
+use std::sync::Arc;
+
 use tabs_codec::{Decode, DecodeError, Encode, Reader, Writer};
-use tabs_core::{AppHandle, Node};
-use tabs_kernel::{SendRight, Tid};
+use tabs_core::{AppHandle, CommManager, Node};
+use tabs_kernel::{NodeId, SendRight, Tid};
 use tabs_proto::ServerError;
+use tabs_server_lib::QuorumPolicy;
 
 use crate::btree::{BTreeClient, BTreeServer};
 
@@ -120,16 +123,16 @@ impl std::error::Error for RepDirError {}
 pub struct RepDirCoordinator {
     app: AppHandle,
     replicas: Vec<(BTreeClient, u32)>,
-    read_quorum: u32,
-    write_quorum: u32,
+    quorum: QuorumPolicy,
 }
 
 impl RepDirCoordinator {
     /// Creates a coordinator over `replicas` with quorum weights `r`/`w`.
     ///
-    /// Gifford's constraints are enforced: `r + w > total` (every read
-    /// quorum intersects every write quorum) and `2w > total` (two write
-    /// quorums intersect).
+    /// Gifford's constraints are enforced by the server library's
+    /// [`QuorumPolicy`]: `r + w > total` (every read quorum intersects
+    /// every write quorum) and `2w > total` (two write quorums
+    /// intersect).
     pub fn new(
         app: AppHandle,
         replicas: Vec<Replica>,
@@ -137,14 +140,13 @@ impl RepDirCoordinator {
         write_quorum: u32,
     ) -> Result<Self, RepDirError> {
         let total: u32 = replicas.iter().map(|r| r.weight).sum();
-        if read_quorum + write_quorum <= total || 2 * write_quorum <= total {
-            return Err(RepDirError::BadQuorums);
-        }
+        let quorum = QuorumPolicy::new(total, read_quorum, write_quorum)
+            .map_err(|_| RepDirError::BadQuorums)?;
         let replicas = replicas
             .into_iter()
             .map(|r| (BTreeClient::new(app.clone(), r.port), r.weight))
             .collect();
-        Ok(Self { app, replicas, read_quorum, write_quorum })
+        Ok(Self { app, replicas, quorum })
     }
 
     /// Gathers versioned entries until `quorum` weight has voted. Returns
@@ -176,9 +178,12 @@ impl RepDirCoordinator {
 
     /// Directory lookup: read-quorum gather, highest version wins.
     pub fn lookup(&self, tid: Tid, key: &[u8]) -> Result<Option<Vec<u8>>, RepDirError> {
-        let (votes, weight) = self.gather(tid, key, self.read_quorum);
-        if weight < self.read_quorum {
-            return Err(RepDirError::NoReadQuorum { gathered: weight, needed: self.read_quorum });
+        let (votes, weight) = self.gather(tid, key, self.quorum.read_quorum);
+        if !self.quorum.read_met(weight) {
+            return Err(RepDirError::NoReadQuorum {
+                gathered: weight,
+                needed: self.quorum.read_quorum,
+            });
         }
         let newest = votes.into_iter().filter_map(|(_, e)| e).max_by_key(|e| e.version);
         Ok(match newest {
@@ -209,9 +214,12 @@ impl RepDirCoordinator {
             return Err(RepDirError::DataTooLarge);
         }
         // Phase 1: read-quorum gather to learn the current version.
-        let (votes, weight) = self.gather(tid, key, self.read_quorum);
-        if weight < self.read_quorum {
-            return Err(RepDirError::NoReadQuorum { gathered: weight, needed: self.read_quorum });
+        let (votes, weight) = self.gather(tid, key, self.quorum.read_quorum);
+        if !self.quorum.read_met(weight) {
+            return Err(RepDirError::NoReadQuorum {
+                gathered: weight,
+                needed: self.quorum.read_quorum,
+            });
         }
         let version =
             votes.iter().filter_map(|(_, e)| e.as_ref().map(|e| e.version)).max().unwrap_or(0) + 1;
@@ -227,10 +235,103 @@ impl RepDirCoordinator {
                 written += w;
             }
         }
-        if written < self.write_quorum {
+        if !self.quorum.write_met(written) {
             return Err(RepDirError::NoWriteQuorum {
                 gathered: written,
-                needed: self.write_quorum,
+                needed: self.quorum.write_quorum,
+            });
+        }
+        Ok(())
+    }
+
+    /// The application handle used for coordination.
+    pub fn app(&self) -> &AppHandle {
+        &self.app
+    }
+}
+
+/// The same directory abstraction on the *generic* replication layer
+/// (DESIGN.md §13) instead of bespoke version voting: every live member
+/// is written inside the client's transaction (so the replicas stay
+/// identical and no version headers are needed), a simple majority is
+/// required by the server library's [`QuorumPolicy`] and the member set
+/// is registered with the Transaction Manager as a quorum group (commit
+/// treats it as one logical participant, waiving a dead member's vote),
+/// and reads are answered by the first reachable member — suspicion-
+/// driven failover via the Communication Manager's heartbeat detector,
+/// exactly like the shard router's read path.
+pub struct RepDirGeneric {
+    app: AppHandle,
+    cm: Arc<CommManager>,
+    members: Vec<(NodeId, BTreeClient)>,
+    quorum: QuorumPolicy,
+}
+
+impl RepDirGeneric {
+    /// Builds the coordinator on `node` over `members` (representative
+    /// ports with their hosting node), registering the member set as a
+    /// quorum group with the node's Transaction Manager.
+    pub fn new(node: &Node, members: Vec<(NodeId, SendRight)>) -> Self {
+        let quorum = QuorumPolicy::majority(members.len() as u32);
+        node.tm.add_quorum_group(members.iter().map(|(n, _)| *n).collect());
+        let app = node.app();
+        let members =
+            members.into_iter().map(|(n, port)| (n, BTreeClient::new(app.clone(), port))).collect();
+        Self { app, cm: Arc::clone(&node.cm), members, quorum }
+    }
+
+    /// Directory lookup: the first reachable member answers. With
+    /// lockstep replicas any member's answer is the answer; a dead or
+    /// suspected member is skipped instead of voted around.
+    pub fn lookup(&self, tid: Tid, key: &[u8]) -> Result<Option<Vec<u8>>, RepDirError> {
+        for (node, client) in &self.members {
+            if self.cm.is_suspected(*node) {
+                continue;
+            }
+            if let Ok(found) = client.lookup(tid, key) {
+                return Ok(found);
+            }
+        }
+        Err(RepDirError::NoReadQuorum { gathered: 0, needed: self.quorum.read_quorum })
+    }
+
+    /// Directory insert/update: fans the raw entry out to every live
+    /// member inside the caller's transaction.
+    pub fn update(&self, tid: Tid, key: &[u8], data: &[u8]) -> Result<(), RepDirError> {
+        if data.len() > MAX_DATA {
+            return Err(RepDirError::DataTooLarge);
+        }
+        self.fanout(|client| client.put(tid, key, data))
+    }
+
+    /// Directory delete: removes the entry from every live member (no
+    /// tombstone — lockstep replicas need no version to outvote).
+    /// Deleting an absent entry is a visible no-op, as in the bespoke
+    /// scheme; one member's existence answer speaks for the set.
+    pub fn delete(&self, tid: Tid, key: &[u8]) -> Result<(), RepDirError> {
+        if self.lookup(tid, key)?.is_none() {
+            return Ok(());
+        }
+        self.fanout(|client| client.delete(tid, key))
+    }
+
+    fn fanout(
+        &self,
+        op: impl Fn(&BTreeClient) -> Result<(), tabs_app_lib::AppError>,
+    ) -> Result<(), RepDirError> {
+        let mut written = 0;
+        for (node, client) in &self.members {
+            if self.cm.is_suspected(*node) {
+                continue;
+            }
+            if op(client).is_ok() {
+                written += 1;
+            }
+        }
+        if !self.quorum.write_met(written) {
+            return Err(RepDirError::NoWriteQuorum {
+                gathered: written,
+                needed: self.quorum.write_quorum,
             });
         }
         Ok(())

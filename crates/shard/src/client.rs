@@ -10,6 +10,19 @@
 //! re-route); an *equal* version means the shard is write-fenced
 //! mid-migration (back off briefly and retry the same owner — either
 //! the fence lifts or the new map arrives).
+//!
+//! For a *replicated* shard (the map lists follower replicas) the
+//! router additionally:
+//!
+//! - **fans writes out** to every replica-set member inside the same
+//!   transaction — each member is value-logged and becomes an ordinary
+//!   2PC participant — and requires a majority of members to take the
+//!   write (`rep.write.sent` / `rep.write.quorum` crash points bracket
+//!   the quorum evaluation);
+//! - **fails reads over** from a dead leader to a follower: when the
+//!   leader is suspected by the failure detector (or a call to it
+//!   fails), the read rotates through the surviving members instead of
+//!   retrying the corpse.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -19,7 +32,8 @@ use parking_lot::Mutex;
 
 use tabs_codec::{Decode, Encode, Writer};
 use tabs_core::{AppError, AppHandle, CommManager, NameServer, Node};
-use tabs_kernel::{NodeId, SendRight, Tid};
+use tabs_kernel::{crash_point, CrashHookSlot, CrashHooks, NodeId, SendRight, Tid};
+use tabs_obs::{TraceCollector, TraceEvent};
 use tabs_proto::ServerError;
 
 use crate::map::{shard_name, ShardMap};
@@ -42,7 +56,8 @@ const CALL_DEADLINE: Duration = Duration::from_secs(5);
 
 struct ClientState {
     map: ShardMap,
-    ports: HashMap<u32, SendRight>,
+    /// Resolved server ports, keyed by (shard, replica-set member).
+    ports: HashMap<(u32, NodeId), SendRight>,
 }
 
 /// A routing client for one sharded service.
@@ -53,6 +68,8 @@ pub struct ShardClient {
     cm: Arc<CommManager>,
     state: Mutex<ClientState>,
     call_deadline: Mutex<Duration>,
+    trace: Option<Arc<TraceCollector>>,
+    hooks: CrashHookSlot,
 }
 
 impl ShardClient {
@@ -73,6 +90,8 @@ impl ShardClient {
             cm: Arc::clone(&node.cm),
             state: Mutex::new(ClientState { map, ports: HashMap::new() }),
             call_deadline: Mutex::new(CALL_DEADLINE),
+            trace: node.trace().cloned(),
+            hooks: CrashHookSlot::default(),
         })
     }
 
@@ -81,6 +100,17 @@ impl ShardClient {
     /// default migration-sized window).
     pub fn set_call_deadline(&self, deadline: Duration) {
         *self.call_deadline.lock() = deadline;
+    }
+
+    /// Installs crash hooks fired at the `rep.write.*` points (chaos
+    /// harness).
+    pub fn set_crash_hooks(&self, hooks: Arc<dyn CrashHooks>) {
+        *self.hooks.lock() = Some(hooks);
+    }
+
+    /// Removes the crash hooks.
+    pub fn clear_crash_hooks(&self) {
+        *self.hooks.lock() = None;
     }
 
     /// The router's current map (a copy).
@@ -112,7 +142,7 @@ impl ShardClient {
         let mut w = Writer::new();
         key.encode(&mut w);
         value.encode(&mut w);
-        self.call(tid, key, OP_SET, w.into_vec())?;
+        self.write(tid, key, OP_SET, w.into_vec())?;
         Ok(())
     }
 
@@ -121,18 +151,143 @@ impl ShardClient {
         let mut w = Writer::new();
         key.encode(&mut w);
         delta.encode(&mut w);
-        let out = self.call(tid, key, OP_ADD, w.into_vec())?;
+        let out = self.write(tid, key, OP_ADD, w.into_vec())?;
         i64::decode_all(&out).map_err(|e| AppError::Rpc(e.to_string()))
     }
 
+    /// Routes one write: the ordinary leader call for a single-owner
+    /// shard, the majority fan-out for a replicated one.
+    fn write(&self, tid: Tid, key: u64, opcode: u32, args: Vec<u8>) -> Result<Vec<u8>, AppError> {
+        let (shard, set) = {
+            let st = self.state.lock();
+            let shard = st.map.shard_of(key);
+            (shard, st.map.replica_set(shard))
+        };
+        if set.len() == 1 {
+            return self.call(tid, key, opcode, args);
+        }
+        self.write_fanout(tid, shard, &set, opcode, args)
+    }
+
+    /// Fans one write out to every replica-set member inside the same
+    /// transaction (every member that takes it becomes an ordinary 2PC
+    /// participant) and requires a majority of the set. A dead member is
+    /// simply not written — its state is repaired by resync when it
+    /// rejoins — so steady-state commits exclude dead replicas instead
+    /// of blocking on them. Returns the first (leader-most) member's
+    /// answer; under two-phase locking every member computes the same
+    /// one.
+    fn write_fanout(
+        &self,
+        tid: Tid,
+        shard: u32,
+        set: &[NodeId],
+        opcode: u32,
+        args: Vec<u8>,
+    ) -> Result<Vec<u8>, AppError> {
+        let deadline = Instant::now() + *self.call_deadline.lock();
+        let mut first_out: Option<Vec<u8>> = None;
+        let mut written = 0usize;
+        let mut last_err = String::new();
+        for &member in set {
+            match self.member_call(tid, shard, member, opcode, args.clone(), deadline) {
+                Ok(out) => {
+                    written += 1;
+                    if first_out.is_none() {
+                        first_out = Some(out);
+                    } else if let Some(t) = &self.trace {
+                        t.record(tid, TraceEvent::ReplicaWrite { shard, to: member });
+                    }
+                }
+                Err(e) => last_err = e.to_string(),
+            }
+        }
+        crash_point!(&self.hooks, "rep.write.sent");
+        if 2 * written > set.len() {
+            crash_point!(&self.hooks, "rep.write.quorum");
+            Ok(first_out.expect("majority implies at least one write"))
+        } else {
+            Err(AppError::Rpc(format!(
+                "replicated write to {} shard {shard} reached only {written}/{} members \
+                 (last: {last_err})",
+                self.service,
+                set.len()
+            )))
+        }
+    }
+
+    /// One member-pinned call with fence/redirect handling, bounded by
+    /// `deadline`. A member the failure detector suspects fails fast —
+    /// waiting out a resolution budget against a corpse would stall the
+    /// whole fan-out.
+    fn member_call(
+        &self,
+        tid: Tid,
+        shard: u32,
+        member: NodeId,
+        opcode: u32,
+        args: Vec<u8>,
+        deadline: Instant,
+    ) -> Result<Vec<u8>, AppError> {
+        loop {
+            if self.cm.is_suspected(member) {
+                return Err(AppError::Rpc(format!("replica {member} is suspected unreachable")));
+            }
+            let attempt = self
+                .port_for_member(shard, member, deadline)
+                .and_then(|port| self.app.call(&port, tid, opcode, args.clone()));
+            let last = match attempt {
+                Ok(out) => return Ok(out),
+                Err(AppError::Server(ServerError::WrongShard { newer_map_version })) => {
+                    self.on_wrong_shard(newer_map_version);
+                    format!("wrong shard at map v{newer_map_version}")
+                }
+                Err(AppError::Server(e)) => {
+                    self.state.lock().ports.remove(&(shard, member));
+                    std::thread::sleep(FENCE_BACKOFF);
+                    e.to_string()
+                }
+                Err(AppError::Rpc(e)) => {
+                    self.state.lock().ports.remove(&(shard, member));
+                    std::thread::sleep(FENCE_BACKOFF);
+                    e
+                }
+                Err(e) => return Err(e),
+            };
+            if Instant::now() >= deadline {
+                return Err(AppError::Rpc(format!(
+                    "call to replica {member} of {} shard {shard} exhausted its budget \
+                     (last: {last})",
+                    self.service
+                )));
+            }
+        }
+    }
+
     /// Routes one keyed call, chasing redirects until the call budget
-    /// runs out.
+    /// runs out. For a replicated shard the call rotates to a surviving
+    /// follower when the current target is suspected dead or fails —
+    /// the read-side half of leader failover.
     fn call(&self, tid: Tid, key: u64, opcode: u32, args: Vec<u8>) -> Result<Vec<u8>, AppError> {
         let deadline = Instant::now() + *self.call_deadline.lock();
+        let mut rotation = 0usize;
         loop {
-            let shard = { self.state.lock().map.shard_of(key) };
+            let (shard, set) = {
+                let st = self.state.lock();
+                let shard = st.map.shard_of(key);
+                (shard, st.map.replica_set(shard))
+            };
+            let target = set[rotation % set.len()];
+            // A suspected target is not worth a resolution budget: fail
+            // over to the next member right away (replicated shards) or
+            // let the retry loop wait out the reboot (single owner).
+            if set.len() > 1 && self.cm.is_suspected(target) {
+                rotation += 1;
+                self.note_failover(tid, shard, target, set[rotation % set.len()]);
+                continue;
+            }
             let attempt = self
-                .port_for(shard, deadline)
+                .port_for_member(shard, target, deadline)
                 .and_then(|port| self.app.call(&port, tid, opcode, args.clone()));
             let last = match attempt {
                 Ok(out) => return Ok(out),
@@ -143,13 +298,22 @@ impl ShardClient {
                 Err(AppError::Server(e)) => {
                     // Unavailable: the cached port may point at a dead
                     // incarnation — drop it, re-resolve, retry.
-                    self.state.lock().ports.remove(&shard);
+                    self.state.lock().ports.remove(&(shard, target));
+                    if set.len() > 1 {
+                        rotation += 1;
+                        self.note_failover(tid, shard, target, set[rotation % set.len()]);
+                    }
                     std::thread::sleep(FENCE_BACKOFF);
                     e.to_string()
                 }
                 Err(AppError::Rpc(e)) => {
                     // Resolution failure (owner down or renaming): retry
                     // within the budget, the map may flip under us.
+                    self.state.lock().ports.remove(&(shard, target));
+                    if set.len() > 1 {
+                        rotation += 1;
+                        self.note_failover(tid, shard, target, set[rotation % set.len()]);
+                    }
                     std::thread::sleep(FENCE_BACKOFF);
                     e
                 }
@@ -161,6 +325,19 @@ impl ShardClient {
                     self.service
                 )));
             }
+        }
+    }
+
+    /// Records a read failover step in the trace.
+    fn note_failover(&self, tid: Tid, shard: u32, from: NodeId, to: NodeId) {
+        if from == to {
+            return;
+        }
+        if let Some(t) = &self.trace {
+            t.record(
+                tid,
+                TraceEvent::LeaderFailover { service: self.service.clone(), shard, from, to },
+            );
         }
     }
 
@@ -200,23 +377,27 @@ impl ShardClient {
         }
     }
 
-    /// A send right to the current owner of `shard`, cached per map
+    /// A send right to `member`'s server for `shard`, cached per map
     /// version (the cache is cleared whenever a newer map is adopted).
     /// Resolution never looks past `deadline`.
-    fn port_for(&self, shard: u32, deadline: Instant) -> Result<SendRight, AppError> {
-        let owner = {
+    fn port_for_member(
+        &self,
+        shard: u32,
+        member: NodeId,
+        deadline: Instant,
+    ) -> Result<SendRight, AppError> {
+        {
             let st = self.state.lock();
-            if let Some(p) = st.ports.get(&shard) {
+            if let Some(p) = st.ports.get(&(shard, member)) {
                 return Ok(p.clone());
             }
-            st.map.owner(shard)
-        };
+        }
         let name = shard_name(&self.service, shard);
         let budget =
             deadline.saturating_duration_since(Instant::now()).min(RESOLVE_WAIT).max(RESOLVE_STEP);
-        let port = resolve_owner_port(&self.ns, &self.cm, &name, owner, budget)
-            .ok_or_else(|| AppError::Rpc(format!("no port for {name} on its owner {owner}")))?;
-        self.state.lock().ports.insert(shard, port.clone());
+        let port = resolve_owner_port(&self.ns, &self.cm, &name, member, budget)
+            .ok_or_else(|| AppError::Rpc(format!("no port for {name} on {member}")))?;
+        self.state.lock().ports.insert((shard, member), port.clone());
         Ok(port)
     }
 }

@@ -27,15 +27,24 @@
 //!   ([`CRASH_POINTS`]) cover every boundary so the chaos harness can
 //!   kill either node anywhere and check nothing is lost or doubly
 //!   applied.
+//! - **Replication** — a shard may declare follower replicas in the
+//!   map: the router fans writes out to every member (each a 2PC
+//!   participant, majority required), the Transaction Manager waives
+//!   votes from dead members once a majority of their set is durable
+//!   (see `tabs_tm::ReplicationPolicy`), reads fail over from a dead
+//!   leader to a follower, and [`Replicator`] resynchronizes a
+//!   rejoined member from a survivor ([`REP_CRASH_POINTS`]).
 
 pub mod client;
 pub mod map;
 pub mod migrate;
+pub mod replicate;
 pub mod server;
 
 pub use client::{resolve_owner_port, ShardClient};
 pub use map::{shard_name, shard_segment_name, Partitioning, ShardMap};
 pub use migrate::{MigrateError, MigrateOptions, Migrator, CRASH_POINTS};
+pub use replicate::{ReplicateError, Replicator, ResyncOptions, REP_CRASH_POINTS};
 pub use server::{ShardControl, ShardServer, OP_ADD, OP_GET, OP_LOAD, OP_SET, OP_SNAP};
 
 #[cfg(test)]
@@ -43,13 +52,21 @@ mod tests {
     use super::*;
     use std::sync::Arc;
     use std::time::Duration;
+    use tabs_codec::Decode;
     use tabs_core::{Cluster, Node, NodeId};
     use tabs_kernel::Tid;
 
     const SLOTS: u64 = 16;
 
     fn bank_map(owners: Vec<NodeId>) -> ShardMap {
-        ShardMap { service: "bank".into(), version: 1, partitioning: Partitioning::Hash, owners }
+        let replicas = vec![Vec::new(); owners.len()];
+        ShardMap {
+            service: "bank".into(),
+            version: 1,
+            partitioning: Partitioning::Hash,
+            owners,
+            replicas,
+        }
     }
 
     /// Boots a node hosting every shard of `map` and publishes the map.
@@ -193,6 +210,89 @@ mod tests {
         n2.shutdown();
     }
 
+    /// Reads one member's full shard snapshot through its server port.
+    fn snapshot(node: &Node, map: &ShardMap, member: NodeId) -> Vec<i64> {
+        let name = shard_name(&map.service, 0);
+        let port = resolve_owner_port(&node.ns, &node.cm, &name, member, Duration::from_secs(2))
+            .expect("member port resolves");
+        let app = node.app();
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        let out = app.call(&port, t, OP_SNAP, Vec::new()).unwrap();
+        app.end_transaction(t).unwrap();
+        Vec::<i64>::decode_all(&out).unwrap()
+    }
+
+    #[test]
+    fn replicated_shard_survives_minority_death_and_resyncs() {
+        let hb = tabs_core::HeartbeatConfig {
+            interval: Duration::from_millis(10),
+            suspect_after: 3,
+            probe_cap: Duration::from_millis(200),
+        };
+        let cluster = Cluster::with_config(
+            tabs_core::ClusterConfig::default()
+                .heartbeat(hb)
+                .replication(tabs_core::ReplicationPolicy::enabled()),
+        );
+        let map = ShardMap {
+            service: "bank".into(),
+            version: 1,
+            partitioning: Partitioning::Hash,
+            owners: vec![NodeId(1)],
+            replicas: vec![vec![NodeId(2), NodeId(3)]],
+        };
+        let (n1, _c1) = boot_sharded(&cluster, 1, &map);
+        let (n2, _c2) = boot_sharded(&cluster, 2, &map);
+        let (n3, _c3) = boot_sharded(&cluster, 3, &map);
+        let client = ShardClient::new(&n2, "bank").unwrap();
+        client.set_call_deadline(Duration::from_millis(1500));
+        let app = n2.app();
+        app.run(|t| client.set(t, 0, 100)).unwrap();
+        // The write fanned out: every member holds the value.
+        for member in [NodeId(1), NodeId(2), NodeId(3)] {
+            assert_eq!(snapshot(&n2, &map, member)[0], 100);
+        }
+
+        // Kill one follower; once suspicion sets in, writes keep
+        // committing on the surviving majority.
+        n3.crash();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while !n2.cm.is_suspected(NodeId(3)) && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        app.run(|t| client.add(t, 0, 5).map(|_| ())).unwrap();
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        assert_eq!(client.get(t, 0).unwrap(), 105);
+        app.end_transaction(t).unwrap();
+
+        // Revive and resync: the rejoined member converges to the same
+        // state as a survivor.
+        let n3 = cluster.boot_node(NodeId(3));
+        let _s3 = ShardServer::spawn_all(&n3, &map, SLOTS).unwrap();
+        n3.recover().unwrap();
+        let rep = Replicator::new();
+        rep.resync(&n2, &map, 0, NodeId(1), NodeId(3), &ResyncOptions::default()).unwrap();
+        let snap1 = snapshot(&n2, &map, NodeId(1));
+        let snap3 = snapshot(&n2, &map, NodeId(3));
+        assert_eq!(snap1, snap3, "resynced replica diverges from the survivor");
+        assert_eq!(snap1[0], 105);
+
+        // Kill the leader: reads fail over to a surviving follower and
+        // writes still reach a majority (2 of 3).
+        n1.crash();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while !n2.cm.is_suspected(NodeId(1)) && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        assert_eq!(client.get(t, 0).unwrap(), 105);
+        app.end_transaction(t).unwrap();
+        app.run(|t| client.add(t, 0, 1).map(|_| ())).unwrap();
+        assert_eq!(snapshot(&n2, &map, NodeId(2))[0], 106);
+        n2.shutdown();
+        n3.shutdown();
+    }
+
     #[test]
     fn fenced_writes_are_refused_retryably_and_unfence_recovers() {
         let cluster = Cluster::new();
@@ -219,5 +319,104 @@ mod tests {
         app.run(|t| client.set(t, 0, 7)).unwrap();
         lifter.join().unwrap();
         n1.shutdown();
+    }
+
+    #[test]
+    fn redirect_chase_exhausts_its_budget_with_a_retryable_error() {
+        let cluster = Cluster::new();
+        let map = bank_map(vec![NodeId(1)]);
+        let (n1, c1) = boot_sharded(&cluster, 1, &map);
+        let client = ShardClient::new(&n1, "bank").unwrap();
+        let budget = Duration::from_millis(60);
+        client.set_call_deadline(budget);
+        // A fence that never lifts: every attempt is refused at the
+        // router's own map version, so it backs off and retries until
+        // the per-call budget runs out.
+        c1.fence(0);
+        let app = n1.app();
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        let start = std::time::Instant::now();
+        let err = client.set(t, 0, 1).unwrap_err();
+        assert!(
+            start.elapsed() >= budget,
+            "router gave up after {:?}, before its {budget:?} budget",
+            start.elapsed()
+        );
+        match err {
+            tabs_core::AppError::Rpc(msg) => {
+                assert!(msg.contains("exhausted its budget"), "unexpected error: {msg}")
+            }
+            other => panic!("expected a retryable Rpc error, got {other:?}"),
+        }
+        let _ = app.abort_transaction(t);
+        n1.shutdown();
+    }
+
+    #[test]
+    fn fence_backoff_paces_retries_instead_of_hot_spinning() {
+        let cluster = Cluster::new();
+        let map = bank_map(vec![NodeId(1)]);
+        let (n1, c1) = boot_sharded(&cluster, 1, &map);
+        let (n2, _c2) = boot_sharded(&cluster, 2, &map);
+        let client = ShardClient::new(&n2, "bank").unwrap();
+        let app = n2.app();
+        // Warm the port cache so the measured window is all refusals.
+        app.run(|t| client.set(t, 0, 1)).unwrap();
+        c1.fence(0);
+        let c1b = Arc::clone(&c1);
+        let lifter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            c1b.unfence(0);
+        });
+        let before = cluster.perf_all();
+        app.run(|t| client.set(t, 0, 2)).unwrap();
+        lifter.join().unwrap();
+        let datagrams = cluster.perf_all().since(&before).get(tabs_kernel::PrimitiveOp::Datagram);
+        // ~100ms of refusals paced by the 5ms fence backoff is ~20
+        // attempts; a hot spin would push thousands of datagrams
+        // through the same window.
+        assert!(datagrams < 1000, "fence retries are not paced: {datagrams} datagrams in ~100ms");
+        n1.shutdown();
+        n2.shutdown();
+    }
+
+    #[test]
+    fn stale_client_converges_after_one_gossip_await() {
+        let cluster = Cluster::new();
+        let map = bank_map(vec![NodeId(1)]);
+        let (n1, c1) = boot_sharded(&cluster, 1, &map);
+        let (n2, c2) = boot_sharded(&cluster, 2, &map);
+        let client = ShardClient::new(&n2, "bank").unwrap();
+        client.set_call_deadline(Duration::from_secs(2));
+        assert_eq!(client.map_version(), 1);
+
+        // Ownership flips behind the router's back: both gates adopt v2
+        // and the Name Server has it, but the router still holds v1.
+        let map2 = map.with_owner(0, NodeId(2));
+        assert!(c1.install_map(map2.clone()));
+        assert!(c2.install_map(map2.clone()));
+        n1.ns.publish_map("bank", map2.version, map2.to_blob());
+        n2.ns.publish_map("bank", map2.version, map2.to_blob());
+
+        // First routed call: the old owner refuses with the newer
+        // version, one gossip await adopts the already-published v2,
+        // and the re-route lands on the new owner — no redirect loop.
+        let start = std::time::Instant::now();
+        let app = n2.app();
+        app.run(|t| client.set(t, 3, 42)).unwrap();
+        assert_eq!(client.map_version(), 2, "router did not adopt the newer map");
+        assert_eq!(client.owner_of(3), NodeId(2));
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "one await over an already-published map should converge fast, took {:?}",
+            start.elapsed()
+        );
+        app.run(|t| {
+            assert_eq!(client.get(t, 3).unwrap(), 42);
+            Ok(())
+        })
+        .unwrap();
+        n1.shutdown();
+        n2.shutdown();
     }
 }

@@ -36,8 +36,15 @@ pub struct ShardMap {
     pub version: u64,
     /// The partitioning function (fixed across versions).
     pub partitioning: Partitioning,
-    /// Owner of each shard, indexed by shard number.
+    /// Owner of each shard, indexed by shard number. For a replicated
+    /// shard the owner is the replica set's *leader*: the member clients
+    /// route reads to and the migration engine treats as the source.
     pub owners: Vec<NodeId>,
+    /// Follower replicas of each shard, indexed by shard number. Empty
+    /// for unreplicated shards. The full replica set of shard `s` is
+    /// `owners[s]` plus `replicas[s]`; like the owner assignment this is
+    /// versioned state, not geometry.
+    pub replicas: Vec<Vec<NodeId>>,
 }
 
 impl ShardMap {
@@ -74,9 +81,43 @@ impl ShardMap {
         }
     }
 
-    /// Current owner of a shard.
+    /// Current owner of a shard (the replica-set leader when replicated).
     pub fn owner(&self, shard: u32) -> NodeId {
         self.owners[shard as usize]
+    }
+
+    /// Follower replicas of a shard (empty when unreplicated).
+    pub fn replicas_of(&self, shard: u32) -> &[NodeId] {
+        self.replicas.get(shard as usize).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The full replica set of a shard: leader first, then followers.
+    pub fn replica_set(&self, shard: u32) -> Vec<NodeId> {
+        let mut set = vec![self.owner(shard)];
+        set.extend_from_slice(self.replicas_of(shard));
+        set
+    }
+
+    /// Whether a shard carries follower replicas.
+    pub fn is_replicated(&self, shard: u32) -> bool {
+        !self.replicas_of(shard).is_empty()
+    }
+
+    /// The deduplicated node-level replica sets (leader + followers, size
+    /// ≥ 2) declared by this map — the groups the Transaction Manager's
+    /// majority-vote path treats as one logical participant each.
+    pub fn quorum_groups(&self) -> Vec<Vec<NodeId>> {
+        let mut groups: Vec<Vec<NodeId>> = Vec::new();
+        for shard in 0..self.shards() {
+            if !self.is_replicated(shard) {
+                continue;
+            }
+            let group = self.replica_set(shard);
+            if !groups.contains(&group) {
+                groups.push(group);
+            }
+        }
+        groups
     }
 
     /// The Name Server name of one shard's data server.
@@ -85,11 +126,29 @@ impl ShardMap {
     }
 
     /// A successor map with `shard` handed to `new_owner` and the
-    /// version bumped.
+    /// version bumped. If the new owner was a follower of the shard it is
+    /// promoted out of the follower list (a leader never follows itself).
     pub fn with_owner(&self, shard: u32, new_owner: NodeId) -> ShardMap {
         let mut next = self.clone();
         next.version += 1;
         next.owners[shard as usize] = new_owner;
+        if let Some(followers) = next.replicas.get_mut(shard as usize) {
+            followers.retain(|n| *n != new_owner);
+        }
+        next
+    }
+
+    /// The same map (same version) with `followers` declared as replicas
+    /// of `shard` — a builder for constructing an initial replicated map
+    /// before its first publication. The leader is filtered out of the
+    /// follower list.
+    pub fn with_followers(&self, shard: u32, followers: Vec<NodeId>) -> ShardMap {
+        let mut next = self.clone();
+        if next.replicas.len() < next.owners.len() {
+            next.replicas.resize(next.owners.len(), Vec::new());
+        }
+        let leader = next.owners[shard as usize];
+        next.replicas[shard as usize] = followers.into_iter().filter(|n| *n != leader).collect();
         next
     }
 
@@ -142,21 +201,28 @@ impl Encode for ShardMap {
         self.version.encode(w);
         self.partitioning.encode(w);
         encode_seq(&self.owners, w);
+        // One follower list per shard, right after the owner list (so the
+        // shard count is known before the lists are read back).
+        for shard in 0..self.owners.len() {
+            encode_seq(self.replicas.get(shard).map(|v| v.as_slice()).unwrap_or(&[]), w);
+        }
     }
 }
 
 impl Decode for ShardMap {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        let map = ShardMap {
-            service: String::decode(r)?,
-            version: u64::decode(r)?,
-            partitioning: Partitioning::decode(r)?,
-            owners: decode_seq(r)?,
-        };
-        if map.owners.is_empty() {
+        let service = String::decode(r)?;
+        let version = u64::decode(r)?;
+        let partitioning = Partitioning::decode(r)?;
+        let owners: Vec<NodeId> = decode_seq(r)?;
+        if owners.is_empty() {
             return Err(DecodeError::Invalid("ShardMap with no shards"));
         }
-        Ok(map)
+        let mut replicas = Vec::with_capacity(owners.len());
+        for _ in 0..owners.len() {
+            replicas.push(decode_seq(r)?);
+        }
+        Ok(ShardMap { service, version, partitioning, owners, replicas })
     }
 }
 
@@ -170,6 +236,7 @@ mod tests {
             version: 1,
             partitioning: Partitioning::Hash,
             owners: vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)],
+            replicas: vec![Vec::new(); 4],
         }
     }
 
@@ -180,6 +247,7 @@ mod tests {
             version: 1,
             partitioning: Partitioning::Range { shard_size: 10 },
             owners: vec![NodeId(1), NodeId(2), NodeId(3)],
+            replicas: vec![Vec::new(); 3],
         };
         assert_eq!(map.shard_of(0), 0);
         assert_eq!(map.shard_of(9), 0);
@@ -225,9 +293,51 @@ mod tests {
             version: 9,
             partitioning: Partitioning::Range { shard_size: 128 },
             owners: vec![NodeId(1)],
+            replicas: vec![Vec::new()],
         };
         assert_eq!(ShardMap::from_blob(&range.to_blob()).unwrap(), range);
         assert!(ShardMap::from_blob(&[0, 0]).is_err());
+        // Follower lists survive the blob round trip too.
+        let replicated = hash_map4().with_followers(1, vec![NodeId(3), NodeId(4)]);
+        assert_eq!(ShardMap::from_blob(&replicated.to_blob()).unwrap(), replicated);
+    }
+
+    #[test]
+    fn replica_sets_and_quorum_groups() {
+        let plain = hash_map4();
+        assert!(!plain.is_replicated(0));
+        assert_eq!(plain.replica_set(0), vec![NodeId(1)]);
+        assert!(plain.quorum_groups().is_empty());
+
+        // Shards 0 and 2 share a replica set; shard 1 has its own.
+        let map = plain
+            .with_followers(0, vec![NodeId(2), NodeId(3)])
+            .with_followers(2, vec![NodeId(1), NodeId(2)])
+            .with_followers(1, vec![NodeId(4)]);
+        assert_eq!(map.version, plain.version, "declaring followers is not a reconfiguration");
+        assert!(map.is_replicated(0));
+        assert_eq!(map.replicas_of(0), &[NodeId(2), NodeId(3)]);
+        assert_eq!(map.replica_set(0), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        let groups = map.quorum_groups();
+        assert_eq!(
+            groups,
+            vec![
+                vec![NodeId(1), NodeId(2), NodeId(3)],
+                vec![NodeId(2), NodeId(4)],
+                vec![NodeId(3), NodeId(1), NodeId(2)],
+            ]
+        );
+    }
+
+    #[test]
+    fn with_followers_filters_leader_and_with_owner_promotes() {
+        let map = hash_map4().with_followers(0, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(map.replicas_of(0), &[NodeId(2)], "leader never follows itself");
+        // Handing the shard to a follower promotes it out of the list.
+        let next = map.with_owner(0, NodeId(2));
+        assert_eq!(next.owner(0), NodeId(2));
+        assert_eq!(next.replicas_of(0), &[] as &[NodeId]);
+        assert_eq!(next.version, map.version + 1);
     }
 
     #[test]

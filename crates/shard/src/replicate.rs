@@ -1,0 +1,176 @@
+//! Replica resynchronization: repairing a rejoined replica-set member
+//! from a surviving one.
+//!
+//! While a member is dead, write fan-outs tolerate its absence (the
+//! majority keeps committing) — so when it comes back its shard state
+//! is behind. [`Replicator::resync`] copies the shard from a surviving
+//! member in one distributed transaction, exactly like a migration's
+//! copy step: the source snapshot is a read-only 2PC participant (its
+//! shared locks on every slot serialize the copy against concurrent
+//! fan-out writes) and the destination load is value-logged. The copy
+//! is idempotent — it installs a full snapshot — so resyncing an
+//! already-caught-up member is a harmless no-op.
+//!
+//! The `rep.write.*` crash points live on the client fan-out side (see
+//! [`crate::ShardClient::set_crash_hooks`]); [`REP_CRASH_POINTS`] lists
+//! those and the `rep.resync.*` points fired here, so the chaos
+//! registry covers the full replication surface.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tabs_codec::Decode;
+use tabs_core::Node;
+use tabs_kernel::{crash_point, CrashHookSlot, CrashHooks, NodeId, Tid};
+use tabs_obs::TraceEvent;
+
+use crate::client::resolve_owner_port;
+use crate::map::{shard_name, ShardMap};
+use crate::server::{OP_LOAD, OP_SNAP};
+
+/// Every replication crash-point: the client write fan-out pair, then
+/// the resync sequence in order.
+pub const REP_CRASH_POINTS: &[&str] = &[
+    "rep.write.sent",
+    "rep.write.quorum",
+    "rep.resync.snapshot",
+    "rep.resync.loaded",
+    "rep.resync.done",
+];
+
+/// Tuning knobs for one resync.
+#[derive(Debug, Clone)]
+pub struct ResyncOptions {
+    /// Name Server resolution budget for the member ports.
+    pub resolve_wait: Duration,
+    /// Attempts for the copy transaction (lock time-outs against a
+    /// straggling writer abort retryably).
+    pub copy_attempts: usize,
+}
+
+impl Default for ResyncOptions {
+    fn default() -> Self {
+        Self { resolve_wait: Duration::from_secs(3), copy_attempts: 3 }
+    }
+}
+
+/// Why a resync failed. Nothing needs unwinding: the copy either
+/// committed whole or did not happen.
+#[derive(Debug)]
+pub enum ReplicateError {
+    /// `from` or `to` is not in the shard's replica set under `map`.
+    NotAMember {
+        /// The shard that was asked to resync.
+        shard: u32,
+        /// The node that is not in its replica set.
+        node: NodeId,
+    },
+    /// The copy transaction could not be completed (node down, lock
+    /// time-outs beyond the retry budget, commit aborted).
+    Copy(String),
+}
+
+impl std::fmt::Display for ReplicateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplicateError::NotAMember { shard, node } => {
+                write!(f, "{node} is not in shard {shard}'s replica set")
+            }
+            ReplicateError::Copy(e) => write!(f, "resync copy transaction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicateError {}
+
+/// The resync engine. One instance can run any number of sequential
+/// resyncs; a chaos controller installs [`CrashHooks`] on it to kill
+/// nodes at the `rep.resync.*` points.
+#[derive(Default)]
+pub struct Replicator {
+    hooks: CrashHookSlot,
+}
+
+impl Replicator {
+    /// A replicator with no crash hooks installed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs crash hooks (chaos harness).
+    pub fn set_crash_hooks(&self, hooks: Arc<dyn CrashHooks>) {
+        *self.hooks.lock() = Some(hooks);
+    }
+
+    /// Removes the crash hooks.
+    pub fn clear_crash_hooks(&self) {
+        *self.hooks.lock() = None;
+    }
+
+    /// Copies `shard`'s state from member `from` to member `to` in one
+    /// distributed transaction coordinated by `node` (any live node).
+    /// Both must be in the shard's replica set under `map`.
+    pub fn resync(
+        &self,
+        node: &Node,
+        map: &ShardMap,
+        shard: u32,
+        from: NodeId,
+        to: NodeId,
+        opts: &ResyncOptions,
+    ) -> Result<(), ReplicateError> {
+        let set = map.replica_set(shard);
+        for member in [from, to] {
+            if !set.contains(&member) {
+                return Err(ReplicateError::NotAMember { shard, node: member });
+            }
+        }
+        let service = map.service.clone();
+        let name = shard_name(&service, shard);
+        let src_port = resolve_owner_port(&node.ns, &node.cm, &name, from, opts.resolve_wait)
+            .ok_or_else(|| ReplicateError::Copy(format!("no port for {name} on {from}")))?;
+        let dst_port = resolve_owner_port(&node.ns, &node.cm, &name, to, opts.resolve_wait)
+            .ok_or_else(|| ReplicateError::Copy(format!("no port for {name} on {to}")))?;
+        let app = node.app();
+        let mut last = String::new();
+        for _ in 0..opts.copy_attempts.max(1) {
+            let t = match app.begin_transaction(Tid::NULL) {
+                Ok(t) => t,
+                Err(e) => {
+                    last = e.to_string();
+                    continue;
+                }
+            };
+            let attempt = (|| {
+                let snap = app.call(&src_port, t, OP_SNAP, Vec::new())?;
+                Vec::<i64>::decode_all(&snap)
+                    .map_err(|e| tabs_core::AppError::Rpc(e.to_string()))?;
+                crash_point!(&self.hooks, "rep.resync.snapshot");
+                app.call(&dst_port, t, OP_LOAD, snap)?;
+                crash_point!(&self.hooks, "rep.resync.loaded");
+                Ok::<(), tabs_core::AppError>(())
+            })();
+            match attempt {
+                Ok(()) => match app.end_transaction(t) {
+                    Ok(outcome) if outcome.is_committed() => {
+                        if let Some(trace) = node.trace() {
+                            trace.record(
+                                Tid::NULL,
+                                TraceEvent::ReplicaResync { service, shard, from, to },
+                            );
+                        }
+                        crash_point!(&self.hooks, "rep.resync.done");
+                        return Ok(());
+                    }
+                    Ok(_) => last = "resync copy transaction aborted".to_string(),
+                    Err(e) => last = e.to_string(),
+                },
+                Err(e) => {
+                    last = e.to_string();
+                    let _ = app.abort_transaction(t);
+                }
+            }
+        }
+        Err(ReplicateError::Copy(last))
+    }
+}

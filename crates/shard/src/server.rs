@@ -128,15 +128,16 @@ impl ShardControl {
     }
 
     /// Admission check for a normal keyed request against the server for
-    /// `shard`: the key must map to that shard, this node must own it,
-    /// and writes must not be fenced. Refused requests carry the node's
+    /// `shard`: the key must map to that shard, this node must be in the
+    /// shard's replica set (the owner, for unreplicated shards), and
+    /// writes must not be fenced. Refused requests carry the node's
     /// current map version so the client can tell "stale map" from
     /// "fenced mid-migration".
     pub fn admit(&self, shard: u32, key: u64, write: bool) -> Result<(), ServerError> {
         let st = self.state.lock();
         let version = st.map.version;
         if st.map.shard_of(key) != shard
-            || st.map.owner(shard) != self.node
+            || !st.map.replica_set(shard).contains(&self.node)
             || (write && st.fenced.contains(&shard))
         {
             return Err(ServerError::WrongShard { newer_map_version: version });
@@ -144,23 +145,25 @@ impl ShardControl {
         Ok(())
     }
 
-    /// Admission check for the migration copy's source read: this node
-    /// must (still) own the shard. The fence does not block it — the
-    /// snapshot *is* the fenced read.
+    /// Admission check for a whole-shard snapshot read: this node must
+    /// (still) be in the shard's replica set — the migration copy reads
+    /// the owner, a replica resync reads any surviving member. The fence
+    /// does not block it — the snapshot *is* the fenced read.
     pub fn admit_snapshot(&self, shard: u32) -> Result<(), ServerError> {
         let st = self.state.lock();
-        if st.map.owner(shard) != self.node {
+        if !st.map.replica_set(shard).contains(&self.node) {
             return Err(ServerError::WrongShard { newer_map_version: st.map.version });
         }
         Ok(())
     }
 
-    /// Admission check for the migration copy's destination write: the
-    /// shard must be marked incoming (or already owned after the flip,
-    /// so a post-install redo replays cleanly).
+    /// Admission check for a whole-shard bulk load: the shard must be
+    /// marked incoming (migration destination, before the flip), already
+    /// owned (so a post-install redo replays cleanly), or replicated here
+    /// (a rejoined replica being resynced from a surviving member).
     pub fn admit_load(&self, shard: u32) -> Result<(), ServerError> {
         let st = self.state.lock();
-        if !st.incoming.contains(&shard) && st.map.owner(shard) != self.node {
+        if !st.incoming.contains(&shard) && !st.map.replica_set(shard).contains(&self.node) {
             return Err(ServerError::WrongShard { newer_map_version: st.map.version });
         }
         Ok(())
@@ -288,7 +291,10 @@ impl ShardServer {
 
     /// Spawns servers for every shard of `map` on `node` (the standard
     /// boot path: all shards hosted, admission gated by `control`).
-    /// Returns the servers and the shared control gate.
+    /// Returns the servers and the shared control gate. Declared replica
+    /// sets are registered with the node's Transaction Manager as quorum
+    /// groups so its majority-vote path knows which participants stand in
+    /// for each other.
     pub fn spawn_all(
         node: &Node,
         map: &ShardMap,
@@ -299,6 +305,7 @@ impl ShardServer {
         for shard in 0..map.shards() {
             servers.push(ShardServer::spawn(node, &control, shard, slots)?);
         }
+        node.tm.set_quorum_groups(map.quorum_groups());
         if let Some(trace) = node.trace() {
             trace.record(
                 tabs_kernel::Tid::NULL,

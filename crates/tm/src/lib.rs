@@ -220,6 +220,31 @@ pub enum CommitPathPolicy {
     Full,
 }
 
+/// How the Transaction Manager treats participants that belong to a
+/// declared replica set (a *quorum group*, registered with
+/// [`TransactionManager::set_quorum_groups`]).
+///
+/// Both switches default off, which preserves the seed protocol byte for
+/// byte: every child must vote and every yes-voter must acknowledge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplicationPolicy {
+    /// Phase 1: a missing vote from a suspected-unreachable group member
+    /// is waived once a majority of its group is durably prepared (the
+    /// group votes yes as one logical participant).
+    pub majority_vote: bool,
+    /// Phase 2: stop chasing acknowledgements from suspected-unreachable
+    /// group members (a surviving majority already has the decision; the
+    /// dead member learns it from recovery or cooperative termination).
+    pub abandon_dead_acks: bool,
+}
+
+impl ReplicationPolicy {
+    /// Both replication integrations enabled.
+    pub fn enabled() -> Self {
+        Self { majority_vote: true, abandon_dead_acks: true }
+    }
+}
+
 /// Crash-points the Transaction Manager fires (see `tabs_kernel::crash`):
 /// one per two-phase-commit state transition, plus the two sides of the
 /// single-participant 1PC commit force.
@@ -270,6 +295,15 @@ pub struct TransactionManager {
     one_pc_commits: Mutex<Option<Counter>>,
     /// `tm.prepare.readonly`: read-only votes this participant sent.
     readonly_votes: Mutex<Option<Counter>>,
+    /// Replica-set integration switches (both off = seed protocol).
+    replication: Mutex<ReplicationPolicy>,
+    /// Declared replica sets (each a node-level group that votes as one
+    /// logical participant under [`ReplicationPolicy::majority_vote`]).
+    quorum_groups: Mutex<Vec<Vec<NodeId>>>,
+    /// `tm.rep.quorum_commits`: commits that waived a dead group member.
+    quorum_commits: Mutex<Option<Counter>>,
+    /// `tm.rep.acks_abandoned`: phase-2 acks abandoned to dead members.
+    acks_abandoned: Mutex<Option<Counter>>,
 }
 
 impl std::fmt::Debug for TransactionManager {
@@ -310,7 +344,76 @@ impl TransactionManager {
             commit_paths: Mutex::new(CommitPathPolicy::Seed),
             one_pc_commits: Mutex::new(None),
             readonly_votes: Mutex::new(None),
+            replication: Mutex::new(ReplicationPolicy::default()),
+            quorum_groups: Mutex::new(Vec::new()),
+            quorum_commits: Mutex::new(None),
+            acks_abandoned: Mutex::new(None),
         })
+    }
+
+    /// Selects the replica-set policy. [`ReplicationPolicy::default`]
+    /// (both switches off) restores the seed protocol.
+    pub fn set_replication(&self, policy: ReplicationPolicy) {
+        *self.replication.lock() = policy;
+    }
+
+    fn replication(&self) -> ReplicationPolicy {
+        *self.replication.lock()
+    }
+
+    /// Registers the declared replica sets. Each group lists the nodes of
+    /// one replica set (leader plus followers); under
+    /// [`ReplicationPolicy::majority_vote`] the coordinator treats a group
+    /// as a single logical participant that has voted yes once a majority
+    /// of its members is durably prepared.
+    pub fn set_quorum_groups(&self, groups: Vec<Vec<NodeId>>) {
+        *self.quorum_groups.lock() = groups;
+    }
+
+    /// Appends one replica set to the declared quorum groups, so a node
+    /// hosting several replicated services can register each set without
+    /// stomping the others. Re-registering an identical group is a no-op.
+    pub fn add_quorum_group(&self, group: Vec<NodeId>) {
+        let mut groups = self.quorum_groups.lock();
+        if !groups.contains(&group) {
+            groups.push(group);
+        }
+    }
+
+    /// Wires the replication counters (`tm.rep.quorum_commits` and
+    /// `tm.rep.acks_abandoned`).
+    pub fn set_replication_metrics(&self, quorum_commits: Counter, acks_abandoned: Counter) {
+        *self.quorum_commits.lock() = Some(quorum_commits);
+        *self.acks_abandoned.lock() = Some(acks_abandoned);
+    }
+
+    /// Whether a missing vote from `child` can be waived: some registered
+    /// group contains it and a majority of that group's members is
+    /// already durably prepared here (voted yes/read-only, or is this
+    /// coordinator itself, whose own commit record is the decision).
+    fn quorum_waivable(
+        &self,
+        child: NodeId,
+        votes: &HashMap<NodeId, Vote>,
+        groups: &[Vec<NodeId>],
+    ) -> bool {
+        groups.iter().any(|g| {
+            g.contains(&child) && {
+                let durable = g
+                    .iter()
+                    .filter(|m| {
+                        **m == self.node
+                            || matches!(votes.get(m), Some(Vote::Yes) | Some(Vote::ReadOnly))
+                    })
+                    .count();
+                2 * durable > g.len()
+            }
+        })
+    }
+
+    /// Whether `node` belongs to any registered replica set.
+    fn in_quorum_group(&self, node: NodeId) -> bool {
+        self.quorum_groups.lock().iter().any(|g| g.contains(&node))
     }
 
     /// Selects the commit-path policy. [`CommitPathPolicy::Seed`] (the
@@ -486,7 +589,13 @@ impl TransactionManager {
         };
         match phase {
             TxPhase::Running => {}
-            TxPhase::Aborted => return Ok(false),
+            TxPhase::Aborted => {
+                // Aborted underneath the application (deadlock victim,
+                // suspicion callback). Children may have enlisted after
+                // the abort ran — tell them again.
+                self.renotify_abort(tid);
+                return Ok(false);
+            }
             _ => return Ok(true),
         }
         if parent.is_null() {
@@ -511,6 +620,17 @@ impl TransactionManager {
                 None => return Err(TmError::Unknown(tid)),
             };
             if info.phase == TxPhase::Aborted {
+                // Already aborted — but not necessarily *fully* notified:
+                // an asynchronous abort (suspicion callback, deadlock
+                // victim) can run while the transaction's calls are still
+                // fanning out, and a child reached after that abort read
+                // the (then-empty) child set never hears the decision. A
+                // repeated abort re-chases whatever children exist now;
+                // the phase was set before any notification, so a child
+                // registered after this check is covered by the abort
+                // that observed it.
+                drop(inner);
+                self.renotify_abort(tid);
                 return Ok(());
             }
             info.phase = TxPhase::Aborted;
@@ -538,6 +658,34 @@ impl TransactionManager {
         }
         self.cond.notify_all();
         Ok(())
+    }
+
+    /// Re-delivers an already-decided abort to the transaction's *current*
+    /// participants and commit-tree children. Undo is not re-applied (the
+    /// first abort did that); this only sweeps up enlistments that raced
+    /// the first abort — a server reached after the abort read an empty
+    /// child set would otherwise hold its locks forever.
+    fn renotify_abort(&self, tid: Tid) {
+        let (merged, participants) = {
+            let inner = self.inner.lock();
+            match inner.get(&tid) {
+                Some(i) => (i.merged.clone(), i.participants.clone()),
+                None => return,
+            }
+        };
+        for p in participants.values() {
+            for t in &merged {
+                p.finish(*t, false);
+            }
+        }
+        let transport = self.transport();
+        let mut children: HashSet<NodeId> = HashSet::new();
+        for t in &merged {
+            children.extend(transport.children(*t));
+        }
+        if !children.is_empty() {
+            self.chase_acks_background(tid, children, CommitMsg::Abort { tid });
+        }
     }
 
     /// Commit of a subtransaction: transfer locks/enlistments to the
@@ -672,6 +820,13 @@ impl TransactionManager {
     /// Sends Prepare (or PrepareFull under the full-2PC baseline) to
     /// every child and waits for all votes, with retransmission. Returns
     /// (yes-voters, any-updates).
+    ///
+    /// Under [`ReplicationPolicy::majority_vote`], a child that belongs
+    /// to a registered quorum group and is suspected unreachable has its
+    /// missing vote waived once a majority of its group is durably
+    /// prepared: the group voted yes as one logical participant, so the
+    /// commit proceeds on the surviving members. A live `No` still aborts
+    /// — the waiver only stands in for silence, never for refusal.
     fn collect_votes(
         &self,
         tid: Tid,
@@ -682,6 +837,11 @@ impl TransactionManager {
         let transport = self.transport();
         let timeouts = self.timeouts();
         let deadline = Instant::now() + timeouts.vote_deadline;
+        let groups: Vec<Vec<NodeId>> = if self.replication().majority_vote {
+            self.quorum_groups.lock().clone()
+        } else {
+            Vec::new()
+        };
         let msg = if full {
             CommitMsg::PrepareFull { tid, merged: merged.to_vec() }
         } else {
@@ -702,7 +862,9 @@ impl TransactionManager {
             if info.votes.values().any(|v| *v == Vote::No) {
                 return Err(TmError::VoteTimeout(tid)); // treated as abort
             }
-            if children.iter().all(|c| info.votes.contains_key(c)) {
+            let missing: Vec<NodeId> =
+                children.iter().copied().filter(|c| !info.votes.contains_key(c)).collect();
+            if missing.is_empty() {
                 let yes: Vec<NodeId> = children
                     .iter()
                     .copied()
@@ -711,6 +873,33 @@ impl TransactionManager {
                 let any_updates = !yes.is_empty();
                 return Ok((yes, any_updates));
             }
+            if !groups.is_empty() {
+                let votes = info.votes.clone();
+                if missing.iter().all(|&c| self.quorum_waivable(c, &votes, &groups)) {
+                    let all_dead = parking_lot::MutexGuard::unlocked(&mut inner, || {
+                        missing.iter().all(|&c| transport.unreachable(c))
+                    });
+                    if all_dead {
+                        let info = inner.get(&tid).ok_or(TmError::Unknown(tid))?;
+                        if info.phase == TxPhase::Aborted {
+                            return Err(TmError::VoteTimeout(tid));
+                        }
+                        let yes: Vec<NodeId> = children
+                            .iter()
+                            .copied()
+                            .filter(|c| info.votes.get(c) == Some(&Vote::Yes))
+                            .collect();
+                        if let Some(c) = self.quorum_commits.lock().as_ref() {
+                            c.inc();
+                        }
+                        self.emit(tid, TraceEvent::ReplicaQuorum { waived: missing.len() as u32 });
+                        // Force a commit record unconditionally: a waived
+                        // member may hold prepared writes, and its in-doubt
+                        // resolution must find a durable positive answer.
+                        return Ok((yes, true));
+                    }
+                }
+            }
             let timed_out =
                 self.cond.wait_until(&mut inner, Instant::now() + timeouts.retransmit).timed_out();
             if Instant::now() >= deadline {
@@ -718,15 +907,21 @@ impl TransactionManager {
             }
             if timed_out {
                 // Retransmit to children that have not voted — unless one
-                // of them is suspected unreachable, in which case waiting
-                // out the full vote deadline is pointless: presume failure
-                // now and abort (the durable abort record lets the child
-                // learn the outcome whenever it asks).
+                // of them is suspected unreachable *and* no quorum group
+                // can cover for it, in which case waiting out the full
+                // vote deadline is pointless: presume failure now and
+                // abort (the durable abort record lets the child learn
+                // the outcome whenever it asks). A suspected member whose
+                // group majority is durable is not fatal — the waiver
+                // above commits without it.
                 let info = inner.get(&tid).ok_or(TmError::Unknown(tid))?;
                 let missing: Vec<NodeId> =
                     children.iter().copied().filter(|c| !info.votes.contains_key(c)).collect();
+                let votes = info.votes.clone();
                 let failed = parking_lot::MutexGuard::unlocked(&mut inner, || {
-                    if missing.iter().any(|&c| transport.unreachable(c)) {
+                    if missing.iter().any(|&c| {
+                        transport.unreachable(c) && !self.quorum_waivable(c, &votes, &groups)
+                    }) {
                         return true;
                     }
                     for c in missing {
@@ -752,10 +947,18 @@ impl TransactionManager {
             self.send_traced(&transport, c, msg.clone());
         }
         let deadline = Instant::now() + timeouts.ack_deadline;
+        // Quorum-group members that died mid-commit are abandoned instead
+        // of chased to the ack deadline: their surviving replicas hold the
+        // data, and the dead member resolves the outcome from the durable
+        // decision record when it rejoins.
+        let abandon = self.replication().abandon_dead_acks;
+        let mut abandoned: HashSet<NodeId> = HashSet::new();
         let mut inner = self.inner.lock();
         loop {
             let done = match inner.get(&tid) {
-                Some(info) => targets.iter().all(|c| info.acks.contains(c)),
+                Some(info) => {
+                    targets.iter().all(|c| info.acks.contains(c) || abandoned.contains(c))
+                }
                 None => true,
             };
             if done || Instant::now() >= deadline {
@@ -765,16 +968,31 @@ impl TransactionManager {
                 self.cond.wait_until(&mut inner, Instant::now() + timeouts.retransmit).timed_out();
             if timed_out {
                 let missing: Vec<NodeId> = match inner.get(&tid) {
-                    Some(info) => {
-                        targets.iter().copied().filter(|c| !info.acks.contains(c)).collect()
-                    }
+                    Some(info) => targets
+                        .iter()
+                        .copied()
+                        .filter(|c| !info.acks.contains(c) && !abandoned.contains(c))
+                        .collect(),
                     None => Vec::new(),
                 };
-                parking_lot::MutexGuard::unlocked(&mut inner, || {
-                    for c in missing {
-                        self.send_traced(&transport, c, msg.clone());
+                let newly_abandoned =
+                    parking_lot::MutexGuard::unlocked(&mut inner, || -> Vec<NodeId> {
+                        let mut dead = Vec::new();
+                        for c in missing {
+                            if abandon && self.in_quorum_group(c) && transport.unreachable(c) {
+                                dead.push(c);
+                            } else {
+                                self.send_traced(&transport, c, msg.clone());
+                            }
+                        }
+                        dead
+                    });
+                for c in newly_abandoned {
+                    abandoned.insert(c);
+                    if let Some(counter) = self.acks_abandoned.lock().as_ref() {
+                        counter.inc();
                     }
-                });
+                }
             }
         }
     }
@@ -1536,6 +1754,11 @@ mod tests {
         peers: Mutex<HashMap<NodeId, Arc<TransactionManager>>>,
         children_of: Mutex<HashMap<NodeId, Vec<NodeId>>>,
         sent: Mutex<Vec<(NodeId, CommitMsg)>>,
+        /// Nodes this transport reports as suspected-unreachable.
+        dead: Mutex<HashSet<NodeId>>,
+        /// Nodes whose incoming phase-2 decisions are silently dropped
+        /// (they voted but will never ack — died mid-commit).
+        drop_decisions_to: Mutex<HashSet<NodeId>>,
         me: NodeId,
     }
 
@@ -1548,12 +1771,16 @@ mod tests {
                 peers: Mutex::new(HashMap::new()),
                 children_of: Mutex::new(HashMap::new()),
                 sent: Mutex::new(Vec::new()),
+                dead: Mutex::new(HashSet::new()),
+                drop_decisions_to: Mutex::new(HashSet::new()),
                 me: a.node(),
             });
             let tb = Arc::new(Loopback {
                 peers: Mutex::new(HashMap::new()),
                 children_of: Mutex::new(HashMap::new()),
                 sent: Mutex::new(Vec::new()),
+                dead: Mutex::new(HashSet::new()),
+                drop_decisions_to: Mutex::new(HashSet::new()),
                 me: b.node(),
             });
             ta.peers.lock().insert(b.node(), Arc::clone(b));
@@ -1566,16 +1793,28 @@ mod tests {
         fn set_children(&self, children: Vec<NodeId>) {
             self.children_of.lock().insert(self.me, children);
         }
+
+        fn mark_dead(&self, node: NodeId) {
+            self.dead.lock().insert(node);
+        }
     }
 
     impl CommitTransport for Loopback {
         fn send(&self, to: NodeId, msg: CommitMsg) {
             self.sent.lock().push((to, msg.clone()));
+            if matches!(msg, CommitMsg::Commit { .. } | CommitMsg::Abort { .. })
+                && self.drop_decisions_to.lock().contains(&to)
+            {
+                return;
+            }
             let peer = self.peers.lock().get(&to).cloned();
             if let Some(p) = peer {
                 let from = self.me;
                 p.handle(from, msg);
             }
+        }
+        fn unreachable(&self, to: NodeId) -> bool {
+            self.dead.lock().contains(&to)
         }
         fn children(&self, _tid: Tid) -> Vec<NodeId> {
             self.children_of.lock().get(&self.me).cloned().unwrap_or_default()
@@ -1733,6 +1972,107 @@ mod tests {
         assert_eq!(sent2.len(), 1);
         assert!(matches!(sent2[0].1, CommitMsg::VoteReadOnly { .. }));
         assert_eq!(read_only.get(), 1);
+    }
+
+    #[test]
+    fn quorum_waives_dead_minority_member_and_commits() {
+        // Replica set {1, 2, 3}: the coordinator leads, node 2 is a live
+        // follower, node 3 is dead. Two of three are durable, so the
+        // missing vote is waived and the commit proceeds.
+        let (tm1, tm2, t1, _t2, rm1, _rm2) = two_node_rig();
+        tm1.set_replication(ReplicationPolicy::enabled());
+        tm1.set_quorum_groups(vec![vec![NodeId(1), NodeId(2), NodeId(3)]]);
+        let quorum = Counter::default();
+        tm1.set_replication_metrics(quorum.clone(), Counter::default());
+        t1.set_children(vec![NodeId(2), NodeId(3)]);
+        t1.mark_dead(NodeId(3));
+        let part2 = Arc::new(TracePart::default());
+        part2.has_updates.store(true, Ordering::Relaxed);
+
+        let t = tm1.begin(Tid::NULL).unwrap();
+        tm2.enlist(t, "s2", part2.clone());
+        assert!(tm1.end(t).unwrap(), "minority death must not block the commit");
+        assert_eq!(tm2.phase(t), Some(TxPhase::Committed));
+        assert_eq!(quorum.get(), 1);
+        assert!(rm1
+            .log()
+            .durable_entries()
+            .iter()
+            .any(|e| matches!(e.record, tabs_wal::LogRecord::Commit { .. })));
+        // The dead member was asked to prepare but excluded from phase 2:
+        // it learns the outcome from the durable record when it rejoins.
+        let sent1 = t1.sent.lock().clone();
+        assert!(sent1
+            .iter()
+            .any(|(to, m)| *to == NodeId(3) && matches!(m, CommitMsg::Prepare { .. })));
+        assert!(!sent1
+            .iter()
+            .any(|(to, m)| *to == NodeId(3) && matches!(m, CommitMsg::Commit { .. })));
+    }
+
+    #[test]
+    fn dead_majority_aborts_instead_of_waiving() {
+        // Replica set {2, 3} without the coordinator: node 3 is dead and
+        // node 2 alone is not a majority, so the seed fast-abort fires.
+        let (tm1, tm2, t1, _t2, _rm1, _rm2) = two_node_rig();
+        tm1.set_replication(ReplicationPolicy::enabled());
+        tm1.set_quorum_groups(vec![vec![NodeId(2), NodeId(3)]]);
+        tm1.set_timeouts(TmTimeouts {
+            retransmit: Duration::from_millis(10),
+            vote_deadline: Duration::from_millis(300),
+            ack_deadline: Duration::from_millis(300),
+        });
+        t1.set_children(vec![NodeId(2), NodeId(3)]);
+        t1.mark_dead(NodeId(3));
+        let part2 = Arc::new(TracePart::default());
+        part2.has_updates.store(true, Ordering::Relaxed);
+
+        let t = tm1.begin(Tid::NULL).unwrap();
+        tm2.enlist(t, "s2", part2.clone());
+        assert!(!tm1.end(t).unwrap(), "no quorum group majority: presume failure and abort");
+        // The abort announcement is retransmitted from a background
+        // thread; give it a moment to land on node 2.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while tm2.phase(t) != Some(TxPhase::Aborted) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(tm2.phase(t), Some(TxPhase::Aborted));
+        assert!(part2.log.lock().iter().any(|l| l.contains("finish") && l.contains("false")));
+    }
+
+    #[test]
+    fn acks_from_members_that_died_mid_commit_are_abandoned() {
+        // Node 2 votes yes, then dies before acknowledging the decision:
+        // the coordinator abandons the chase instead of spinning to the
+        // ack deadline (the rejoining member resolves from the record).
+        let (tm1, tm2, t1, _t2, _rm1, _rm2) = two_node_rig();
+        tm1.set_replication(ReplicationPolicy::enabled());
+        tm1.set_quorum_groups(vec![vec![NodeId(1), NodeId(2)]]);
+        let abandoned = Counter::default();
+        tm1.set_replication_metrics(Counter::default(), abandoned.clone());
+        tm1.set_timeouts(TmTimeouts {
+            retransmit: Duration::from_millis(10),
+            vote_deadline: Duration::from_secs(5),
+            ack_deadline: Duration::from_secs(5),
+        });
+        t1.set_children(vec![NodeId(2)]);
+        t1.drop_decisions_to.lock().insert(NodeId(2));
+        t1.mark_dead(NodeId(2));
+        let part2 = Arc::new(TracePart::default());
+        part2.has_updates.store(true, Ordering::Relaxed);
+
+        let t = tm1.begin(Tid::NULL).unwrap();
+        tm2.enlist(t, "s2", part2);
+        let start = Instant::now();
+        assert!(tm1.end(t).unwrap());
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "abandonment must return well before the ack deadline"
+        );
+        assert_eq!(abandoned.get(), 1);
+        // The member never saw the decision: still prepared (in doubt),
+        // to be resolved by recovery or cooperative termination.
+        assert_eq!(tm2.phase(t), Some(TxPhase::Prepared));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::collections::BTreeSet;
 
 use tabs_chaos::{
     registry, ChaosRunner, FASTPATH_POINTS, GROUP_COMMIT_POINTS, MIGRATION_POINTS,
-    SINGLE_NODE_POINTS,
+    REPLICATION_POINTS, SINGLE_NODE_POINTS,
 };
 
 /// Fixed sweep seed: sweeps are exhaustive over crash points, so the seed
@@ -59,6 +59,15 @@ fn crash_point_sweeps_cover_the_entire_registry() {
         );
     }
 
+    let replication = runner.sweep_replication().unwrap_or_else(|e| panic!("{e}"));
+    for &p in REPLICATION_POINTS {
+        assert!(
+            replication.contains(p),
+            "seed={SEED} crash_point={p} armed on the replicated-shard workload but never \
+             killed a node"
+        );
+    }
+
     // The acceptance gate: the union of points that actually killed a
     // node must equal the registry. A registered point no sweep can reach
     // is a test failure, not a silent gap.
@@ -67,6 +76,7 @@ fn crash_point_sweeps_cover_the_entire_registry() {
     killed.extend(fastpath);
     killed.extend(distributed);
     killed.extend(migration);
+    killed.extend(replication);
     let reg: BTreeSet<&str> = registry().into_iter().collect();
     let missing: Vec<&&str> = reg.difference(&killed).collect();
     assert!(

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 
 use tabs_chaos::{
     registry, ChaosRunner, FaultPlan, FASTPATH_POINTS, GROUP_COMMIT_POINTS, MIGRATION_POINTS,
-    PAIRWISE_ARMS, SINGLE_NODE_POINTS, TWO_PC_POINTS,
+    PAIRWISE_ARMS, REPLICATION_POINTS, SINGLE_NODE_POINTS, TWO_PC_POINTS,
 };
 
 /// Registry-completeness gate: every crash point registered anywhere in
@@ -23,6 +23,7 @@ fn every_registered_crash_point_has_a_sweep_entry() {
     swept.extend_from_slice(FASTPATH_POINTS);
     swept.extend_from_slice(TWO_PC_POINTS);
     swept.extend_from_slice(MIGRATION_POINTS);
+    swept.extend_from_slice(REPLICATION_POINTS);
     let unique: std::collections::BTreeSet<&str> = swept.iter().copied().collect();
     assert_eq!(unique.len(), swept.len(), "a crash point appears in two sweep lists");
     let reg: std::collections::BTreeSet<&str> = registry().into_iter().collect();

@@ -1,0 +1,190 @@
+//! Differential oracle for the replicated directory: the bespoke seed
+//! scheme (Gifford weighted voting, `RepDirCoordinator`) and the
+//! generic replication layer (`RepDirGeneric`: lockstep fan-out +
+//! majority quorum + suspicion failover, DESIGN.md §13) must be
+//! *behaviorally identical* — the same seeded operation script, applied
+//! to both, yields the same per-operation outcomes and the same final
+//! visible directory state, including across a mid-script replica kill.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tabs_core::{Cluster, ClusterConfig, HeartbeatConfig, Node, NodeId, ReplicationPolicy};
+use tabs_kernel::SendRight;
+use tabs_servers::repdir::Replica;
+use tabs_servers::{RepDirCoordinator, RepDirGeneric, RepDirServer};
+
+/// Keys the script draws from (small, so updates and deletes collide).
+const KEYS: [&[u8]; 4] = [b"alpha", b"beta", b"gamma", b"delta"];
+/// Operations before the kill, and again after it.
+const OPS_PER_HALF: u64 = 12;
+
+/// One scripted operation, derived deterministically from the seed.
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    Update { key: usize, val: Vec<u8> },
+    Delete { key: usize },
+    Lookup { key: usize },
+}
+
+fn script(seed: u64, len: u64) -> Vec<Op> {
+    let mut rng = seed | 1;
+    let mut ops = Vec::new();
+    for i in 0..len {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let key = ((rng >> 33) % KEYS.len() as u64) as usize;
+        ops.push(match (rng >> 17) % 4 {
+            // Updates dominate so deleted keys come back to life.
+            0 | 1 => Op::Update { key, val: format!("v{seed}-{i}").into_bytes() },
+            2 => Op::Delete { key },
+            _ => Op::Lookup { key },
+        });
+    }
+    ops
+}
+
+/// What one operation visibly did: committed lookups carry the value.
+type Outcome = Result<Option<Vec<u8>>, String>;
+
+/// A directory under test: both schemes behind one face.
+trait Dir {
+    fn apply(&self, op: &Op) -> Outcome;
+    fn dump(&self) -> Vec<(Vec<u8>, Option<Vec<u8>>)>;
+}
+
+fn run_op<E: std::fmt::Display>(
+    app: &tabs_app_lib::AppHandle,
+    f: impl Fn(tabs_kernel::Tid) -> Result<Option<Vec<u8>>, E>,
+) -> Outcome {
+    // Lock conflicts against a straggling abort retry; real quorum
+    // losses surface as the stable error string compared across rigs.
+    app.run_with_retries(5, |t| f(t).map_err(|e| tabs_app_lib::AppError::Rpc(e.to_string())))
+        .map_err(|e| e.to_string())
+}
+
+struct BespokeDir(RepDirCoordinator);
+
+impl Dir for BespokeDir {
+    fn apply(&self, op: &Op) -> Outcome {
+        run_op(self.0.app(), |t| match op {
+            Op::Update { key, val } => self.0.update(t, KEYS[*key], val).map(|()| None),
+            Op::Delete { key } => self.0.delete(t, KEYS[*key]).map(|()| None),
+            Op::Lookup { key } => self.0.lookup(t, KEYS[*key]),
+        })
+    }
+
+    fn dump(&self) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        KEYS.iter()
+            .map(|k| (k.to_vec(), run_op(self.0.app(), |t| self.0.lookup(t, k)).unwrap()))
+            .collect()
+    }
+}
+
+struct GenericDir(RepDirGeneric);
+
+impl Dir for GenericDir {
+    fn apply(&self, op: &Op) -> Outcome {
+        run_op(self.0.app(), |t| match op {
+            Op::Update { key, val } => self.0.update(t, KEYS[*key], val).map(|()| None),
+            Op::Delete { key } => self.0.delete(t, KEYS[*key]).map(|()| None),
+            Op::Lookup { key } => self.0.lookup(t, KEYS[*key]),
+        })
+    }
+
+    fn dump(&self) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        KEYS.iter()
+            .map(|k| (k.to_vec(), run_op(self.0.app(), |t| self.0.lookup(t, k)).unwrap()))
+            .collect()
+    }
+}
+
+/// Boots a 3-node cluster with one directory representative per node.
+fn boot_rig(config: ClusterConfig) -> (Arc<Cluster>, Vec<Node>, Vec<(NodeId, SendRight)>) {
+    let cluster = Cluster::with_config(config);
+    let mut nodes = Vec::new();
+    for i in 1..=3u16 {
+        let node = cluster.boot_node(NodeId(i));
+        let _rep = RepDirServer::spawn(&node, &format!("rep{i}"), 64).unwrap();
+        node.recover().unwrap();
+        nodes.push(node);
+    }
+    let mut members = Vec::new();
+    for i in 1..=3u16 {
+        let found = nodes[0].resolve(&format!("rep{i}"), 1, Duration::from_secs(2));
+        assert_eq!(found.len(), 1, "rep{i} resolvable");
+        members.push((NodeId(i), found[0].0.clone()));
+    }
+    (cluster, nodes, members)
+}
+
+/// Runs the seeded script against one rig, killing replica 3 half way.
+fn run_script(
+    dir: &dyn Dir,
+    nodes: &mut Vec<Node>,
+    cm_of_n1: &Arc<tabs_core::CommManager>,
+) -> Vec<Outcome> {
+    let mut outcomes = Vec::new();
+    for op in script(20260809, OPS_PER_HALF) {
+        outcomes.push(dir.apply(&op));
+    }
+    // Mid-script kill: replica 3 dies; both schemes must keep serving
+    // through the surviving 2-of-3.
+    nodes.pop().unwrap().crash();
+    let deadline = Instant::now() + Duration::from_secs(3);
+    while !cm_of_n1.is_suspected(NodeId(3)) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    for op in script(20260810, OPS_PER_HALF) {
+        outcomes.push(dir.apply(&op));
+    }
+    outcomes
+}
+
+#[test]
+fn generic_layer_matches_the_bespoke_scheme_across_a_kill() {
+    // Rig A: the bespoke seed scheme on a seed-faithful cluster, plus a
+    // heartbeat so the mid-script kill is observed the same way.
+    let hb = HeartbeatConfig {
+        interval: Duration::from_millis(10),
+        suspect_after: 3,
+        probe_cap: Duration::from_millis(200),
+    };
+    let (_ca, mut nodes_a, members_a) = boot_rig(ClusterConfig::default().heartbeat(hb));
+    let replicas = members_a
+        .iter()
+        .map(|(_, port)| Replica { port: port.clone(), weight: 1 })
+        .collect::<Vec<_>>();
+    let bespoke = BespokeDir(RepDirCoordinator::new(nodes_a[0].app(), replicas, 2, 2).unwrap());
+
+    // Rig B: the generic replication layer — quorum-group commit waiver
+    // plus suspicion failover — on an otherwise identical cluster.
+    let (_cb, mut nodes_b, members_b) =
+        boot_rig(ClusterConfig::default().heartbeat(hb).replication(ReplicationPolicy::enabled()));
+    let generic = GenericDir(RepDirGeneric::new(&nodes_b[0], members_b));
+
+    let cm_a = Arc::clone(&nodes_a[0].cm);
+    let cm_b = Arc::clone(&nodes_b[0].cm);
+    let out_a = run_script(&bespoke, &mut nodes_a, &cm_a);
+    let out_b = run_script(&generic, &mut nodes_b, &cm_b);
+
+    assert_eq!(out_a.len(), out_b.len());
+    for (i, (a, b)) in out_a.iter().zip(&out_b).enumerate() {
+        assert_eq!(
+            a.is_ok(),
+            b.is_ok(),
+            "op {i}: bespoke {a:?} vs generic {b:?} disagree on success"
+        );
+        if let (Ok(va), Ok(vb)) = (a, b) {
+            assert_eq!(va, vb, "op {i}: visible lookup results diverge");
+        }
+    }
+    assert_eq!(
+        bespoke.dump(),
+        generic.dump(),
+        "final visible directory state diverges between the schemes"
+    );
+
+    for n in nodes_a.drain(..).chain(nodes_b.drain(..)) {
+        n.shutdown();
+    }
+}

@@ -51,8 +51,11 @@ const POLL: Duration = Duration::from_millis(25);
 
 struct SpanningTree {
     /// Commit-tree children per transaction: nodes this node first invoked
-    /// operations on.
-    children: HashMap<Tid, HashSet<NodeId>>,
+    /// operations on. The flag records whether *every* call sent to that
+    /// child so far targeted a replica-scoped port (see
+    /// [`CommManager::mark_replica_port`]) — the footprint the quorum
+    /// waiver needs before standing in for a dead child's vote.
+    children: HashMap<Tid, HashMap<NodeId, bool>>,
     /// Commit-tree parent per transaction (set when work arrives from a
     /// remote node for a transaction not seen before).
     parent: HashMap<Tid, NodeId>,
@@ -66,6 +69,10 @@ struct CmState {
     pending: HashMap<u64, (SendRight, Tid)>,
     /// Proxy send rights already created, per remote port.
     proxies: HashMap<PortId, SendRight>,
+    /// Remote ports declared replica-scoped: servers whose writes a
+    /// replication layer fans out to every member of a quorum group, so
+    /// surviving members hold any state a dead member prepared there.
+    replica_ports: HashSet<PortId>,
 }
 
 /// Counters surfacing how the session receive path handles payloads
@@ -154,6 +161,7 @@ impl CommManager {
                 tree: SpanningTree { children: HashMap::new(), parent: HashMap::new() },
                 pending: HashMap::new(),
                 proxies: HashMap::new(),
+                replica_ports: HashSet::new(),
             }),
             next_call: AtomicU64::new(1),
             rx_metrics: Mutex::new(None),
@@ -261,11 +269,23 @@ impl CommManager {
         // (one message, §3.2.3). Register BEFORE sending: the remote reply
         // can race this thread, and the client must never reach commit
         // with the child still unrecorded (the un-prepared child would
-        // leak its locks).
+        // leak its locks). The child's replica-only flag is the AND over
+        // all calls sent to it: one call to an unreplicated port and the
+        // quorum waiver may no longer cover for its missing vote.
         let newly_registered = if !tid.is_null() {
             let mut state = self.state.lock();
+            let replica = state.replica_ports.contains(&remote);
             let children = state.tree.children.entry(tid).or_default();
-            children.insert(remote.node)
+            match children.entry(remote.node) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(replica);
+                    true
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    *e.get_mut() &= replica;
+                    false
+                }
+            }
         } else {
             false
         };
@@ -548,6 +568,26 @@ impl CommManager {
         }
     }
 
+    /// Declares the remote server behind `right` replica-scoped: its
+    /// writes are fanned out by a replication layer to every member of a
+    /// quorum group registered with the Transaction Manager, so calls
+    /// through it keep a child's replica-only footprint flag true. A
+    /// local right (no proxy, hence no child registration) is a no-op.
+    pub fn mark_replica_port(&self, right: &SendRight) {
+        let mut state = self.state.lock();
+        // `right` is the caller-facing proxy; the spanning tree records
+        // children by the *remote* port the proxy forwards to, so map the
+        // proxy back to it.
+        let remote = state
+            .proxies
+            .iter()
+            .find(|(_, proxy)| proxy.id() == right.id())
+            .map(|(remote, _)| *remote);
+        if let Some(remote) = remote {
+            state.replica_ports.insert(remote);
+        }
+    }
+
     fn tree_children(&self, tid: Tid) -> Vec<NodeId> {
         self.state
             .lock()
@@ -555,11 +595,25 @@ impl CommManager {
             .children
             .get(&tid)
             .map(|s| {
-                let mut v: Vec<NodeId> = s.iter().copied().collect();
+                let mut v: Vec<NodeId> = s.keys().copied().collect();
                 v.sort();
                 v
             })
             .unwrap_or_default()
+    }
+
+    /// Whether every call this node sent to `child` for `tid` targeted a
+    /// replica-scoped port. Vacuously true when no work was sent (nothing
+    /// to lose); false the moment any call touched an unreplicated port.
+    fn tree_replica_only(&self, tid: Tid, child: NodeId) -> bool {
+        self.state
+            .lock()
+            .tree
+            .children
+            .get(&tid)
+            .and_then(|m| m.get(&child))
+            .copied()
+            .unwrap_or(true)
     }
 
     fn tree_parent(&self, tid: Tid) -> Option<NodeId> {
@@ -652,6 +706,10 @@ impl CommitTransport for CmCommitTransport {
 
     fn unreachable(&self, to: NodeId) -> bool {
         self.cm.suspected(to) || self.cm.endpoint.connectivity(to).is_err()
+    }
+
+    fn replica_only(&self, tid: Tid, child: NodeId) -> bool {
+        self.cm.tree_replica_only(tid, child)
     }
 }
 
@@ -830,6 +888,41 @@ mod tests {
             std::thread::sleep(Duration::from_millis(10));
         }
         assert_eq!(b.cm.tree_parent(tid), Some(NodeId(1)));
+        shutdown(a);
+        shutdown(b);
+    }
+
+    #[test]
+    fn replica_footprint_is_the_and_over_all_calls_to_a_child() {
+        let net = Network::new();
+        let a = boot(&net, 1);
+        let b = boot(&net, 2);
+        let rep_port = start_echo_server(&b, "rep");
+        let plain_port = start_echo_server(&b, "plain");
+        let rep = a.cm.resolve_port(rep_port).unwrap();
+        let plain = a.cm.resolve_port(plain_port).unwrap();
+        a.cm.mark_replica_port(&rep);
+
+        // A transaction that only touches the replica-scoped port keeps
+        // child 2 waivable...
+        let t1 = a.tm.begin(Tid::NULL).unwrap();
+        tabs_proto::call(&a.kernel, &rep, t1, 1, vec![1]).unwrap();
+        assert!(a.cm.tree_replica_only(t1, NodeId(2)));
+        // ...and a child with no recorded work is vacuously replica-only.
+        assert!(a.cm.tree_replica_only(t1, NodeId(3)));
+
+        // One call to an unreplicated port on the same node poisons the
+        // flag for that transaction, even with replica calls around it.
+        let t2 = a.tm.begin(Tid::NULL).unwrap();
+        tabs_proto::call(&a.kernel, &rep, t2, 1, vec![2]).unwrap();
+        tabs_proto::call(&a.kernel, &plain, t2, 1, vec![3]).unwrap();
+        tabs_proto::call(&a.kernel, &rep, t2, 1, vec![4]).unwrap();
+        assert!(!a.cm.tree_replica_only(t2, NodeId(2)));
+        // t1's footprint is unaffected.
+        assert!(a.cm.tree_replica_only(t1, NodeId(2)));
+
+        let _ = a.tm.end(t1);
+        let _ = a.tm.end(t2);
         shutdown(a);
         shutdown(b);
     }

@@ -274,6 +274,13 @@ impl RepDirGeneric {
     pub fn new(node: &Node, members: Vec<(NodeId, SendRight)>) -> Self {
         let quorum = QuorumPolicy::majority(members.len() as u32);
         node.tm.add_quorum_group(members.iter().map(|(n, _)| *n).collect());
+        // Every member port is replica-scoped: the fan-out writes them in
+        // lockstep, so a dead member's prepared state survives in the
+        // majority and the commit waiver may cover its missing vote. Work
+        // sent anywhere else keeps that child un-waivable.
+        for (_, port) in &members {
+            node.cm.mark_replica_port(port);
+        }
         let app = node.app();
         let members =
             members.into_iter().map(|(n, port)| (n, BTreeClient::new(app.clone(), port))).collect();
@@ -324,8 +331,22 @@ impl RepDirGeneric {
             if self.cm.is_suspected(*node) {
                 continue;
             }
-            if op(client).is_ok() {
-                written += 1;
+            match op(client) {
+                Ok(()) => written += 1,
+                // Only a member the failure detector declares dead may be
+                // skipped (resync repairs it on rejoin); a live member
+                // that failed the write would silently diverge while
+                // still answering reads, so the operation fails instead.
+                // Suspicion is re-checked after the call — it often lands
+                // mid-call when the member just died.
+                Err(e) if self.cm.is_suspected(*node) => {
+                    let _ = e;
+                }
+                Err(e) => {
+                    return Err(RepDirError::Rep(format!(
+                        "lockstep write failed on live member {node}: {e}"
+                    )));
+                }
             }
         }
         if !self.quorum.write_met(written) {

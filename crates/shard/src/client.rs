@@ -18,7 +18,9 @@
 //!   transaction — each member is value-logged and becomes an ordinary
 //!   2PC participant — and requires a majority of members to take the
 //!   write (`rep.write.sent` / `rep.write.quorum` crash points bracket
-//!   the quorum evaluation);
+//!   the quorum evaluation). Only members the failure detector suspects
+//!   dead may be skipped; a failed write on a live member aborts the
+//!   transaction rather than letting that replica diverge;
 //! - **fails reads over** from a dead leader to a follower: when the
 //!   leader is suspected by the failure detector (or a call to it
 //!   fails), the read rotates through the surviving members instead of
@@ -171,12 +173,15 @@ impl ShardClient {
 
     /// Fans one write out to every replica-set member inside the same
     /// transaction (every member that takes it becomes an ordinary 2PC
-    /// participant) and requires a majority of the set. A dead member is
-    /// simply not written — its state is repaired by resync when it
-    /// rejoins — so steady-state commits exclude dead replicas instead
-    /// of blocking on them. Returns the first (leader-most) member's
-    /// answer; under two-phase locking every member computes the same
-    /// one.
+    /// participant) and requires a majority of the set. A *dead* member
+    /// (suspected by the failure detector) is simply not written — its
+    /// state is repaired by resync when it rejoins — so steady-state
+    /// commits exclude dead replicas instead of blocking on them. A
+    /// *live* member whose write fails is fatal: skipping it would let
+    /// the replica silently diverge while it stays in the read-failover
+    /// rotation, so the whole write errors and the transaction aborts.
+    /// Returns the first (leader-most) member's answer; under two-phase
+    /// locking every member computes the same one.
     fn write_fanout(
         &self,
         tid: Tid,
@@ -199,7 +204,19 @@ impl ShardClient {
                         t.record(tid, TraceEvent::ReplicaWrite { shard, to: member });
                     }
                 }
-                Err(e) => last_err = e.to_string(),
+                Err(e) => {
+                    // Only the failure detector's word waives a member:
+                    // checked *after* the call, since suspicion often
+                    // lands mid-call when the member just died.
+                    if !self.cm.is_suspected(member) {
+                        return Err(AppError::Rpc(format!(
+                            "replicated write to {} shard {shard} failed on live member \
+                             {member}: {e}",
+                            self.service
+                        )));
+                    }
+                    last_err = e.to_string();
+                }
             }
         }
         crash_point!(&self.hooks, "rep.write.sent");
@@ -282,8 +299,22 @@ impl ShardClient {
             // over to the next member right away (replicated shards) or
             // let the retry loop wait out the reboot (single owner).
             if set.len() > 1 && self.cm.is_suspected(target) {
+                if Instant::now() >= deadline {
+                    return Err(AppError::Rpc(format!(
+                        "shard route for {} key {key} exhausted its budget \
+                         (last: replica {target} of shard {shard} is suspected)",
+                        self.service
+                    )));
+                }
                 rotation += 1;
                 self.note_failover(tid, shard, target, set[rotation % set.len()]);
+                // When the rotation wraps the whole set without finding a
+                // live member (majority crash, partition), pace the loop —
+                // suspicion may lift or a new map may arrive, but neither
+                // is worth a hot spin.
+                if rotation.is_multiple_of(set.len()) {
+                    std::thread::sleep(FENCE_BACKOFF);
+                }
                 continue;
             }
             let attempt = self
@@ -397,7 +428,18 @@ impl ShardClient {
             deadline.saturating_duration_since(Instant::now()).min(RESOLVE_WAIT).max(RESOLVE_STEP);
         let port = resolve_owner_port(&self.ns, &self.cm, &name, member, budget)
             .ok_or_else(|| AppError::Rpc(format!("no port for {name} on {member}")))?;
-        self.state.lock().ports.insert((shard, member), port.clone());
+        let mut st = self.state.lock();
+        // A replicated shard's servers are replica-scoped: the fan-out
+        // writes every member, so a dead member's prepared state survives
+        // in the majority and the Transaction Manager's quorum waiver may
+        // cover its missing vote. Tell the Communication Manager so the
+        // commit-tree footprint reflects it.
+        let replicated = st.map.is_replicated(shard);
+        st.ports.insert((shard, member), port.clone());
+        drop(st);
+        if replicated {
+            self.cm.mark_replica_port(&port);
+        }
         Ok(port)
     }
 }

@@ -294,6 +294,153 @@ mod tests {
     }
 
     #[test]
+    fn fully_suspected_replica_set_fails_reads_within_the_budget() {
+        // Every member of the replica set dies. The read rotation finds
+        // no unsuspected target, so it must pace itself and honor the
+        // per-call deadline with the retryable budget error — not spin
+        // forever burning CPU.
+        let hb = tabs_core::HeartbeatConfig {
+            interval: Duration::from_millis(10),
+            suspect_after: 3,
+            probe_cap: Duration::from_millis(200),
+        };
+        let cluster = Cluster::with_config(
+            tabs_core::ClusterConfig::default()
+                .heartbeat(hb)
+                .replication(tabs_core::ReplicationPolicy::enabled()),
+        );
+        let map = ShardMap {
+            service: "bank".into(),
+            version: 1,
+            partitioning: Partitioning::Hash,
+            owners: vec![NodeId(1)],
+            replicas: vec![vec![NodeId(2), NodeId(3)]],
+        };
+        let (n1, _c1) = boot_sharded(&cluster, 1, &map);
+        let (n2, _c2) = boot_sharded(&cluster, 2, &map);
+        let (n3, _c3) = boot_sharded(&cluster, 3, &map);
+        // The router lives on node 4, outside the set, so every member
+        // can be suspected from its vantage point.
+        let (n4, _c4) = boot_sharded(&cluster, 4, &map);
+        let client = ShardClient::new(&n4, "bank").unwrap();
+        n1.crash();
+        n2.crash();
+        n3.crash();
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        while std::time::Instant::now() < deadline
+            && !(n4.cm.is_suspected(NodeId(1))
+                && n4.cm.is_suspected(NodeId(2))
+                && n4.cm.is_suspected(NodeId(3)))
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let budget = Duration::from_millis(300);
+        client.set_call_deadline(budget);
+        let app = n4.app();
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        let start = std::time::Instant::now();
+        let err = client.get(t, 0).unwrap_err();
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "all-suspected read did not return promptly: {:?}",
+            start.elapsed()
+        );
+        match err {
+            tabs_core::AppError::Rpc(msg) => {
+                assert!(msg.contains("exhausted its budget"), "unexpected error: {msg}")
+            }
+            other => panic!("expected a retryable Rpc error, got {other:?}"),
+        }
+        let _ = app.abort_transaction(t);
+        n4.shutdown();
+    }
+
+    #[test]
+    fn write_failure_on_a_live_member_aborts_instead_of_diverging() {
+        // All three members are alive, but one follower refuses the
+        // write (a permanent fence stands in for any live failure). A
+        // majority still took it — yet committing would leave the
+        // refusing member divergent while it keeps answering failover
+        // reads, so the write must error out.
+        let cluster = Cluster::new();
+        let map = ShardMap {
+            service: "bank".into(),
+            version: 1,
+            partitioning: Partitioning::Hash,
+            owners: vec![NodeId(1)],
+            replicas: vec![vec![NodeId(2), NodeId(3)]],
+        };
+        let (n1, _c1) = boot_sharded(&cluster, 1, &map);
+        let (n2, _c2) = boot_sharded(&cluster, 2, &map);
+        let (n3, c3) = boot_sharded(&cluster, 3, &map);
+        let client = ShardClient::new(&n2, "bank").unwrap();
+        let app = n2.app();
+        app.run(|t| client.set(t, 0, 10)).unwrap();
+
+        c3.fence(0);
+        client.set_call_deadline(Duration::from_millis(300));
+        let t = app.begin_transaction(Tid::NULL).unwrap();
+        let err = client.set(t, 0, 99).unwrap_err();
+        match err {
+            tabs_core::AppError::Rpc(msg) => {
+                assert!(msg.contains("live member"), "unexpected error: {msg}")
+            }
+            other => panic!("expected a live-member write failure, got {other:?}"),
+        }
+        let _ = app.abort_transaction(t);
+
+        // Nothing diverged: once the fence lifts, every member still
+        // agrees on the committed value.
+        c3.unfence(0);
+        client.set_call_deadline(Duration::from_secs(5));
+        for member in [NodeId(1), NodeId(2), NodeId(3)] {
+            assert_eq!(snapshot(&n2, &map, member)[0], 10);
+        }
+        n1.shutdown();
+        n2.shutdown();
+        n3.shutdown();
+    }
+
+    #[test]
+    fn quorum_group_registration_is_additive_and_refreshed_on_install() {
+        let cluster = Cluster::new();
+        let map = ShardMap {
+            service: "bank".into(),
+            version: 1,
+            partitioning: Partitioning::Hash,
+            owners: vec![NodeId(1)],
+            replicas: vec![vec![NodeId(2), NodeId(3)]],
+        };
+        let node = cluster.boot_node(NodeId(1));
+        // A group some other service already declared (a replicated
+        // directory, another sharded service) must survive spawn_all.
+        node.tm.add_quorum_group(vec![NodeId(7), NodeId(8), NodeId(9)]);
+        let (control, _servers) = ShardServer::spawn_all(&node, &map, SLOTS).unwrap();
+        node.recover().unwrap();
+        let groups = node.tm.quorum_group_list();
+        assert!(groups.contains(&vec![NodeId(7), NodeId(8), NodeId(9)]), "stomped: {groups:?}");
+        assert!(groups.contains(&vec![NodeId(1), NodeId(2), NodeId(3)]), "missing: {groups:?}");
+
+        // Re-registering the same members in another order (leader
+        // handoff reorders the set) must not duplicate the group.
+        node.tm.add_quorum_group(vec![NodeId(3), NodeId(1), NodeId(2)]);
+        assert_eq!(node.tm.quorum_group_list().len(), groups.len());
+
+        // A newer map with reshuffled membership reaches the
+        // Transaction Manager when the gate adopts it.
+        let mut map2 = map.clone();
+        map2.version = 2;
+        map2.replicas[0] = vec![NodeId(4), NodeId(5)];
+        assert!(control.install_map(map2));
+        let groups = node.tm.quorum_group_list();
+        assert!(
+            groups.contains(&vec![NodeId(1), NodeId(4), NodeId(5)]),
+            "newly installed map's replica set not registered: {groups:?}"
+        );
+        node.shutdown();
+    }
+
+    #[test]
     fn fenced_writes_are_refused_retryably_and_unfence_recovers() {
         let cluster = Cluster::new();
         let map = bank_map(vec![NodeId(1)]);

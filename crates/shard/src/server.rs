@@ -58,6 +58,11 @@ struct ControlState {
 pub struct ShardControl {
     node: NodeId,
     state: Mutex<ControlState>,
+    /// The node's Transaction Manager, once attached: every adopted map
+    /// re-registers its replica sets as quorum groups there, so leader
+    /// handoff (which reshuffles set membership) keeps the majority-vote
+    /// path current.
+    tm: Mutex<Option<Arc<tabs_core::TransactionManager>>>,
 }
 
 impl ShardControl {
@@ -70,7 +75,20 @@ impl ShardControl {
                 fenced: HashSet::new(),
                 incoming: HashSet::new(),
             }),
+            tm: Mutex::new(None),
         })
+    }
+
+    /// Attaches the node's Transaction Manager and registers the current
+    /// map's replica sets with it. Registration is *additive*
+    /// ([`tabs_core::TransactionManager::add_quorum_group`]): a node
+    /// hosting several replicated services must not stomp the groups its
+    /// other services (or a replicated directory) already declared.
+    pub fn attach_tm(&self, tm: &Arc<tabs_core::TransactionManager>) {
+        *self.tm.lock() = Some(Arc::clone(tm));
+        for group in self.map().quorum_groups() {
+            tm.add_quorum_group(group);
+        }
     }
 
     /// The node this gate admits for.
@@ -92,15 +110,27 @@ impl ShardControl {
     /// mark for shards whose ownership the new map settles. Returns
     /// whether the map was adopted.
     pub fn install_map(&self, map: ShardMap) -> bool {
-        let mut st = self.state.lock();
-        if map.version <= st.map.version {
-            return false;
+        let groups = map.quorum_groups();
+        {
+            let mut st = self.state.lock();
+            if map.version <= st.map.version {
+                return false;
+            }
+            // Ownership is settled by the new map: admission flows from it
+            // again, so migration-time overrides are dropped.
+            st.fenced.clear();
+            st.incoming.clear();
+            st.map = map;
         }
-        // Ownership is settled by the new map: admission flows from it
-        // again, so migration-time overrides are dropped.
-        st.fenced.clear();
-        st.incoming.clear();
-        st.map = map;
+        // The adopted map may declare replica sets this node has not seen
+        // (leader handoff reorders members, a migration may move a set):
+        // keep the Transaction Manager's quorum groups current so the
+        // commit waiver reflects live membership.
+        if let Some(tm) = self.tm.lock().clone() {
+            for group in groups {
+                tm.add_quorum_group(group);
+            }
+        }
         true
     }
 
@@ -305,7 +335,7 @@ impl ShardServer {
         for shard in 0..map.shards() {
             servers.push(ShardServer::spawn(node, &control, shard, slots)?);
         }
-        node.tm.set_quorum_groups(map.quorum_groups());
+        control.attach_tm(&node.tm);
         if let Some(trace) = node.trace() {
             trace.record(
                 tabs_kernel::Tid::NULL,

@@ -98,6 +98,20 @@ pub trait CommitTransport: Send + Sync {
     fn unreachable(&self, _to: NodeId) -> bool {
         false
     }
+
+    /// Whether every operation this node sent to `child` on behalf of
+    /// `tid` targeted a replica-scoped port — a server whose writes the
+    /// child's replica group fans out to every member. Only then may a
+    /// quorum waiver stand in for the child's missing vote: its prepared
+    /// state is held by the surviving members. A child with work outside
+    /// its group (an unreplicated server it happens to host) must vote
+    /// for itself, or the commit would silently drop those writes. A
+    /// child with no recorded work for `tid` is vacuously replica-only.
+    /// Default: `false` — transports that do not track call footprints
+    /// disable the waiver entirely.
+    fn replica_only(&self, _tid: Tid, _child: NodeId) -> bool {
+        false
+    }
 }
 
 /// A transport for single-node configurations: no remote sites ever.
@@ -372,12 +386,21 @@ impl TransactionManager {
 
     /// Appends one replica set to the declared quorum groups, so a node
     /// hosting several replicated services can register each set without
-    /// stomping the others. Re-registering an identical group is a no-op.
+    /// stomping the others. Re-registering a group with the same
+    /// membership (in any order — a leader handoff reorders the set
+    /// without changing it) is a no-op.
     pub fn add_quorum_group(&self, group: Vec<NodeId>) {
+        let same_members =
+            |a: &[NodeId], b: &[NodeId]| a.len() == b.len() && a.iter().all(|m| b.contains(m));
         let mut groups = self.quorum_groups.lock();
-        if !groups.contains(&group) {
+        if !groups.iter().any(|g| same_members(g, &group)) {
             groups.push(group);
         }
+    }
+
+    /// The currently registered quorum groups (a copy).
+    pub fn quorum_group_list(&self) -> Vec<Vec<NodeId>> {
+        self.quorum_groups.lock().clone()
     }
 
     /// Wires the replication counters (`tm.rep.quorum_commits` and
@@ -391,6 +414,12 @@ impl TransactionManager {
     /// group contains it and a majority of that group's members is
     /// already durably prepared here (voted yes/read-only, or is this
     /// coordinator itself, whose own commit record is the decision).
+    ///
+    /// This is the group-membership half of the waiver only. The caller
+    /// must additionally confirm the child's *footprint* is confined to
+    /// replica-scoped work ([`CommitTransport::replica_only`]): a group
+    /// member that also did unreplicated work for the transaction has
+    /// state no surviving replica holds, so its silence must abort.
     fn quorum_waivable(
         &self,
         child: NodeId,
@@ -876,13 +905,39 @@ impl TransactionManager {
             if !groups.is_empty() {
                 let votes = info.votes.clone();
                 if missing.iter().all(|&c| self.quorum_waivable(c, &votes, &groups)) {
+                    // Unlocked: reachability and footprint queries go to
+                    // the Communication Manager. The waiver needs the
+                    // missing member dead AND its work for every merged
+                    // tid confined to replica-scoped servers — a member
+                    // with unreplicated writes has state no surviving
+                    // replica holds, so it must vote for itself.
                     let all_dead = parking_lot::MutexGuard::unlocked(&mut inner, || {
-                        missing.iter().all(|&c| transport.unreachable(c))
+                        missing.iter().all(|&c| {
+                            transport.unreachable(c)
+                                && merged.iter().all(|t| transport.replica_only(*t, c))
+                        })
                     });
                     if all_dead {
                         let info = inner.get(&tid).ok_or(TmError::Unknown(tid))?;
                         if info.phase == TxPhase::Aborted {
                             return Err(TmError::VoteTimeout(tid));
+                        }
+                        // Votes may have raced in while the lock was
+                        // released: a late No still aborts (the waiver
+                        // stands in for silence, never for refusal), and
+                        // a late Yes/ReadOnly shrinks the missing set —
+                        // re-evaluate rather than waive against a stale
+                        // snapshot.
+                        if info.votes.values().any(|v| *v == Vote::No) {
+                            return Err(TmError::VoteTimeout(tid));
+                        }
+                        let still_missing: Vec<NodeId> = children
+                            .iter()
+                            .copied()
+                            .filter(|c| !info.votes.contains_key(c))
+                            .collect();
+                        if still_missing != missing {
+                            continue;
                         }
                         let yes: Vec<NodeId> = children
                             .iter()
@@ -920,7 +975,9 @@ impl TransactionManager {
                 let votes = info.votes.clone();
                 let failed = parking_lot::MutexGuard::unlocked(&mut inner, || {
                     if missing.iter().any(|&c| {
-                        transport.unreachable(c) && !self.quorum_waivable(c, &votes, &groups)
+                        transport.unreachable(c)
+                            && !(self.quorum_waivable(c, &votes, &groups)
+                                && merged.iter().all(|t| transport.replica_only(*t, c)))
                     }) {
                         return true;
                     }
@@ -1759,6 +1816,15 @@ mod tests {
         /// Nodes whose incoming phase-2 decisions are silently dropped
         /// (they voted but will never ack — died mid-commit).
         drop_decisions_to: Mutex<HashSet<NodeId>>,
+        /// Nodes whose footprint includes *unreplicated* work: the
+        /// transport reports them not replica-only, so the quorum waiver
+        /// must refuse to stand in for their missing vote.
+        plain: Mutex<HashSet<NodeId>>,
+        /// Fired on every reachability probe with the probed node — lets
+        /// a test inject traffic precisely inside the waiver's unlocked
+        /// window.
+        #[allow(clippy::type_complexity)]
+        on_unreachable: Mutex<Option<Box<dyn Fn(NodeId) + Send>>>,
         me: NodeId,
     }
 
@@ -1773,6 +1839,8 @@ mod tests {
                 sent: Mutex::new(Vec::new()),
                 dead: Mutex::new(HashSet::new()),
                 drop_decisions_to: Mutex::new(HashSet::new()),
+                plain: Mutex::new(HashSet::new()),
+                on_unreachable: Mutex::new(None),
                 me: a.node(),
             });
             let tb = Arc::new(Loopback {
@@ -1781,6 +1849,8 @@ mod tests {
                 sent: Mutex::new(Vec::new()),
                 dead: Mutex::new(HashSet::new()),
                 drop_decisions_to: Mutex::new(HashSet::new()),
+                plain: Mutex::new(HashSet::new()),
+                on_unreachable: Mutex::new(None),
                 me: b.node(),
             });
             ta.peers.lock().insert(b.node(), Arc::clone(b));
@@ -1796,6 +1866,10 @@ mod tests {
 
         fn mark_dead(&self, node: NodeId) {
             self.dead.lock().insert(node);
+        }
+
+        fn mark_plain(&self, node: NodeId) {
+            self.plain.lock().insert(node);
         }
     }
 
@@ -1814,7 +1888,13 @@ mod tests {
             }
         }
         fn unreachable(&self, to: NodeId) -> bool {
+            if let Some(hook) = self.on_unreachable.lock().as_ref() {
+                hook(to);
+            }
             self.dead.lock().contains(&to)
+        }
+        fn replica_only(&self, _tid: Tid, child: NodeId) -> bool {
+            !self.plain.lock().contains(&child)
         }
         fn children(&self, _tid: Tid) -> Vec<NodeId> {
             self.children_of.lock().get(&self.me).cloned().unwrap_or_default()
@@ -2008,6 +2088,78 @@ mod tests {
         assert!(!sent1
             .iter()
             .any(|(to, m)| *to == NodeId(3) && matches!(m, CommitMsg::Commit { .. })));
+    }
+
+    #[test]
+    fn unreplicated_footprint_blocks_the_waiver_and_aborts() {
+        // Same replica set {1, 2, 3} with node 3 dead — but node 3's
+        // footprint includes unreplicated work (the transport reports it
+        // not replica-only). No surviving member holds that state, so
+        // presume-abort must win over the quorum waiver: committing would
+        // silently drop the dead node's unreplicated writes.
+        let (tm1, tm2, t1, _t2, _rm1, _rm2) = two_node_rig();
+        tm1.set_replication(ReplicationPolicy::enabled());
+        tm1.set_quorum_groups(vec![vec![NodeId(1), NodeId(2), NodeId(3)]]);
+        tm1.set_timeouts(TmTimeouts {
+            retransmit: Duration::from_millis(10),
+            vote_deadline: Duration::from_millis(300),
+            ack_deadline: Duration::from_millis(300),
+        });
+        t1.set_children(vec![NodeId(2), NodeId(3)]);
+        t1.mark_dead(NodeId(3));
+        t1.mark_plain(NodeId(3));
+        let part2 = Arc::new(TracePart::default());
+        part2.has_updates.store(true, Ordering::Relaxed);
+
+        let t = tm1.begin(Tid::NULL).unwrap();
+        tm2.enlist(t, "s2", part2.clone());
+        assert!(
+            !tm1.end(t).unwrap(),
+            "a dead member with unreplicated writes must abort, not be waived"
+        );
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while tm2.phase(t) != Some(TxPhase::Aborted) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(tm2.phase(t), Some(TxPhase::Aborted));
+    }
+
+    #[test]
+    fn late_no_vote_during_the_waiver_window_still_aborts() {
+        // Replica set {1, 2, 3}: node 2 votes Yes, node 3 looks dead, so
+        // the waiver fast-path engages for node 3's missing vote. While
+        // the coordinator is outside its lock probing reachability, node
+        // 3's No vote lands — the waiver must notice it on re-lock and
+        // abort: it stands in for silence, never for refusal.
+        let (tm1, tm2, t1, _t2, _rm1, _rm2) = two_node_rig();
+        tm1.set_replication(ReplicationPolicy::enabled());
+        tm1.set_quorum_groups(vec![vec![NodeId(1), NodeId(2), NodeId(3)]]);
+        t1.set_children(vec![NodeId(2), NodeId(3)]);
+        t1.mark_dead(NodeId(3));
+        let part2 = Arc::new(TracePart::default());
+        part2.has_updates.store(true, Ordering::Relaxed);
+
+        let t = tm1.begin(Tid::NULL).unwrap();
+        tm2.enlist(t, "s2", part2.clone());
+        // The unreachability probe itself delivers the straggling No —
+        // landing it precisely inside the unlocked window between the
+        // waiver's reachability check and its commit decision.
+        let tm1_handle = Arc::clone(&tm1);
+        *t1.on_unreachable.lock() = Some(Box::new(move |probed| {
+            if probed == NodeId(3) {
+                tm1_handle.handle(NodeId(3), CommitMsg::VoteNo { tid: t, from: NodeId(3) });
+            }
+        }));
+        assert!(
+            !tm1.end(t).unwrap(),
+            "a No vote racing the waiver's unlocked window must abort the commit"
+        );
+        // The abort announcement reaches node 2 from a background chase.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while tm2.phase(t) != Some(TxPhase::Aborted) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(tm2.phase(t), Some(TxPhase::Aborted));
     }
 
     #[test]

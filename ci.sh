@@ -87,4 +87,15 @@ cargo test -q -p tabs-servers --test repdir_differential
 cargo run -q -p tabs-bench --release --bin tables -- replicate --quick --json /tmp/bench.json
 cargo run -q -p tabs-bench --release --bin tables -- checkbench /tmp/bench.json
 
+echo "==> overload (bounded): deadline/shed properties + mid-spike-kill chaos + quick gated run"
+cargo test -q -p tabs-servers --test deadlines
+if ! cargo test -q -p tabs-chaos --test prop_overload; then
+    echo "overload chaos scenario failed: the assertion output above carries" >&2
+    echo "a 'seed=<N> crash_point=overload+node-kill' line; replay it with" >&2
+    echo "  ChaosRunner::new(seed).overload_kill_scenario()" >&2
+    exit 1
+fi
+cargo run -q -p tabs-bench --release --bin tables -- overload --quick --json /tmp/bench.json
+cargo run -q -p tabs-bench --release --bin tables -- checkbench /tmp/bench.json
+
 echo "CI green."

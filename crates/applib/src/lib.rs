@@ -9,10 +9,13 @@
 //! `TransactionIsAborted` exception is raised in the application process if
 //! the specified transaction has been aborted by some other process."
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use tabs_kernel::{Kernel, SendRight, Tid};
-use tabs_proto::{RpcError, ServerError};
+use tabs_obs::Counter;
+use tabs_proto::{Deadline, DeadlinePolicy, RetryBudget, RetryPolicy, RpcError, ServerError};
 use tabs_tm::{TmError, TransactionManager};
 
 /// Errors surfaced to applications.
@@ -113,6 +116,15 @@ impl std::fmt::Display for CommitOutcome {
 pub struct AppHandle {
     kernel: Kernel,
     tm: Arc<TransactionManager>,
+    /// When set, every top-level transaction this handle begins is
+    /// assigned the policy's budget as an absolute [`Deadline`], and
+    /// every call the handle issues for it carries the deadline.
+    deadlines: Option<DeadlinePolicy>,
+    /// The node-wide retry token bucket shared by every retry loop built
+    /// from this handle (cloning the handle shares the bucket).
+    retry_budget: Arc<RetryBudget>,
+    /// `retry.budget_exhausted`, bumped when a retry is denied.
+    retry_exhausted: Option<Counter>,
 }
 
 impl std::fmt::Debug for AppHandle {
@@ -121,10 +133,39 @@ impl std::fmt::Debug for AppHandle {
     }
 }
 
+/// Default node-wide retry budget (whole retries; refilled by successes).
+const DEFAULT_RETRY_TOKENS: u32 = 100;
+
 impl AppHandle {
     /// Creates an application handle for a node.
     pub fn new(kernel: Kernel, tm: Arc<TransactionManager>) -> Self {
-        Self { kernel, tm }
+        Self {
+            kernel,
+            tm,
+            deadlines: None,
+            retry_budget: RetryBudget::new(DEFAULT_RETRY_TOKENS),
+            retry_exhausted: None,
+        }
+    }
+
+    /// Assigns every top-level transaction this handle begins the
+    /// policy's end-to-end budget.
+    pub fn with_deadlines(mut self, policy: DeadlinePolicy) -> Self {
+        self.deadlines = Some(policy);
+        self
+    }
+
+    /// Shares a node-wide retry token bucket (so every handle on the node
+    /// draws from one bounded budget) instead of this handle's own.
+    pub fn with_retry_budget(mut self, budget: Arc<RetryBudget>) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Wires the `retry.budget_exhausted` counter.
+    pub fn with_retry_metrics(mut self, exhausted: Counter) -> Self {
+        self.retry_exhausted = Some(exhausted);
+        self
     }
 
     /// The node's kernel (for direct RPC).
@@ -132,9 +173,47 @@ impl AppHandle {
         &self.kernel
     }
 
+    /// The handle's retry token bucket (shared with routing layers so the
+    /// whole node sees one bounded retry budget).
+    pub fn retry_budget(&self) -> Arc<RetryBudget> {
+        Arc::clone(&self.retry_budget)
+    }
+
+    /// A retry policy preconfigured with this handle's token bucket and
+    /// exhaustion counter. `seed` feeds the deterministic jitter.
+    pub fn retry_policy(&self, seed: u64) -> RetryPolicy {
+        let mut p = RetryPolicy::new(seed).budget(Arc::clone(&self.retry_budget));
+        if let Some(c) = &self.retry_exhausted {
+            p = p.exhausted_counter(c.clone());
+        }
+        p
+    }
+
     /// `BeginTransaction(TransactionID) returns (NewTransactionID)`.
+    /// Under a [`DeadlinePolicy`] a new top-level transaction is assigned
+    /// the default budget; subtransactions inherit through the top level.
     pub fn begin_transaction(&self, parent: Tid) -> Result<Tid, AppError> {
-        Ok(self.tm.begin(parent)?)
+        let tid = self.tm.begin(parent)?;
+        if parent.is_null() {
+            if let Some(p) = &self.deadlines {
+                self.tm.set_deadline(tid, Deadline::after(p.default_budget));
+            }
+        }
+        Ok(tid)
+    }
+
+    /// [`AppHandle::begin_transaction`] with an explicit end-to-end budget
+    /// for this transaction (the per-call override of the cluster
+    /// policy).
+    pub fn begin_transaction_with_budget(&self, budget: Duration) -> Result<Tid, AppError> {
+        let tid = self.tm.begin(Tid::NULL)?;
+        self.tm.set_deadline(tid, Deadline::after(budget));
+        Ok(tid)
+    }
+
+    /// The end-to-end deadline registered for `tid`, if any.
+    pub fn tx_deadline(&self, tid: Tid) -> Option<Deadline> {
+        self.tm.deadline(tid)
     }
 
     /// `EndTransaction(TransactionID) returns (Boolean)`. The Boolean of
@@ -155,6 +234,9 @@ impl AppHandle {
     }
 
     /// Calls a data-server operation within `tid` (the Matchmaker path).
+    /// When `tid` has a registered deadline the call carries it: the
+    /// server rejects the work if it arrives expired, and the client-side
+    /// wait is capped at the remaining budget.
     pub fn call(
         &self,
         server: &SendRight,
@@ -162,7 +244,11 @@ impl AppHandle {
         opcode: u32,
         args: Vec<u8>,
     ) -> Result<Vec<u8>, AppError> {
-        tabs_proto::call(&self.kernel, server, tid, opcode, args).map_err(|e| match e {
+        let result = match self.tm.deadline(tid) {
+            Some(d) => tabs_proto::call_with_deadline(&self.kernel, server, tid, opcode, args, d),
+            None => tabs_proto::call(&self.kernel, server, tid, opcode, args),
+        };
+        result.map_err(|e| match e {
             RpcError::Server(ServerError::Aborted(_)) => AppError::TransactionIsAborted(tid),
             RpcError::Server(e) if e.is_retryable() => AppError::Server(e),
             other => AppError::Rpc(other.to_string()),
@@ -190,24 +276,41 @@ impl AppHandle {
 
     /// Like [`AppHandle::run`] but retries aborted transactions up to
     /// `attempts` times (lock time-outs resolve deadlocks by abort, so
-    /// retry is the standard recovery).
+    /// retry is the standard recovery). Retries draw from the handle's
+    /// shared [`RetryBudget`] and pace themselves with decorrelated
+    /// jitter; a server's [`ServerError::Overloaded`] backoff hint is
+    /// honored.
     pub fn run_with_retries<R>(
         &self,
         attempts: usize,
         mut f: impl FnMut(Tid) -> Result<R, AppError>,
     ) -> Result<R, AppError> {
-        let mut last = None;
-        for _ in 0..attempts.max(1) {
-            match self.run(&mut f) {
-                Ok(r) => return Ok(r),
+        static SEED: AtomicU64 = AtomicU64::new(0);
+        let seed = (u64::from(self.kernel.node().0) << 32) ^ SEED.fetch_add(1, Ordering::Relaxed);
+        let mut policy = self
+            .retry_policy(seed)
+            .base(Duration::from_millis(1))
+            .max_attempts(attempts.max(1) as u32 - 1);
+        loop {
+            let err = match self.run(&mut f) {
+                Ok(r) => {
+                    policy.record_success();
+                    return Ok(r);
+                }
                 Err(e @ AppError::TransactionIsAborted(_))
                 | Err(e @ AppError::Rpc(_))
-                | Err(e @ AppError::Server(_)) => {
-                    last = Some(e);
-                }
+                | Err(e @ AppError::Server(_)) => e,
                 Err(e) => return Err(e),
+            };
+            let granted = match &err {
+                AppError::Server(ServerError::Overloaded { retry_after_hint }) => {
+                    policy.pause_for(*retry_after_hint)
+                }
+                _ => policy.pause(),
+            };
+            if !granted {
+                return Err(err);
             }
         }
-        Err(last.unwrap_or(AppError::Tm("no attempts".into())))
     }
 }

@@ -8,7 +8,8 @@
 //! Run `tables --help` for the command list. Without a command the full
 //! §5 report is regenerated (the `paper` workload). Workload commands
 //! (`load`, `contention`, `groupcommit`, `fastpath`, `partition`,
-//! `replicate`, `scale`, `paper`) and the measured-table commands all honor
+//! `replicate`, `scale`, `overload`, `paper`) and the measured-table
+//! commands all honor
 //! `--json PATH`: report rows are upsert-merged into the `BENCH_*.json`
 //! document keyed on workload/scenario/mode/config, so re-running a
 //! workload refreshes its rows instead of duplicating them;
@@ -21,7 +22,10 @@
 //! and ≥ 4× reduction), `partition` (cooperative p50 under 25% of the
 //! retransmit-timeout baseline), `replicate` (replica-killed p50 commit
 //! latency within 3× the healthy baseline), `scale` (≥ 2× aggregate
-//! committed throughput at four nodes versus one). Usage errors exit 2.
+//! committed throughput at four nodes versus one), `overload` (the
+//! metastability oracle: 3×-spike goodput ≥ 70% of saturation, admitted
+//! work's p99 within the end-to-end budget, post-spike re-convergence).
+//! Usage errors exit 2.
 
 use std::time::Duration;
 
@@ -93,6 +97,11 @@ const COMMANDS: &[Command] = &[
         name: "scale",
         about: "scale-out: the sharded bank on 1, 2, 4 and 8 nodes",
         run: |f| workload("scale", f),
+    },
+    Command {
+        name: "overload",
+        about: "3x-capacity spike vs admission control + deadlines (metastability oracle)",
+        run: |f| workload("overload", f),
     },
     Command {
         name: "paper",

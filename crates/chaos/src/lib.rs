@@ -26,12 +26,14 @@
 
 pub mod controller;
 pub mod migrate;
+pub mod overload;
 pub mod plan;
 pub mod replicate;
 pub mod runner;
 
 pub use controller::{CrashController, KillLog, NodeFaults};
 pub use migrate::MIGRATION_POINTS;
+pub use overload::OverloadKillRun;
 pub use plan::{ChaosRng, DiskFaultSpec, FaultPlan, NetSchedule, ScheduledPolicy};
 pub use replicate::{ReplicationLatency, REPLICATION_POINTS};
 pub use runner::{

@@ -149,7 +149,10 @@ pub fn sweep_migration(seed: u64) -> Result<BTreeSet<&'static str>, String> {
     let mut killed = BTreeSet::new();
     for &point in MIGRATION_POINTS {
         for kill_destination in [false, true] {
-            for (p, _node) in migration_scenario(seed, point, kill_destination)? {
+            let kills = crate::runner::with_coverage_retries(seed, |s| {
+                migration_scenario(s, point, kill_destination)
+            })?;
+            for (p, _node) in kills {
                 killed.insert(p);
             }
         }

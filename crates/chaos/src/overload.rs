@@ -1,0 +1,382 @@
+//! Overload plus mid-spike node kill: the admission-control chaos
+//! scenario.
+//!
+//! A two-node cluster runs with end-to-end deadlines and a deliberately
+//! tiny admission limit while more workers than the limit drive
+//! distributed transfers from node 1's accounts to node 2's. Mid-spike,
+//! node 2 is killed outright (volatile state discarded, disks kept) and
+//! the workers keep arriving: post-kill attempts burn their budget
+//! against a dead participant and must fail fast instead of hanging.
+//! After the spike both nodes are rebooted and the oracle demands:
+//!
+//! 1. **Shedding engaged** — node 1's `admission.shed` counter moved;
+//!    the spike genuinely exceeded the admission limit and rejected
+//!    work was turned away before it touched a lock.
+//! 2. **No work admitted past its deadline** — a client whose budget
+//!    was already expired when it asked to commit never observes
+//!    `Committed` (the Transaction Manager's deadline gate).
+//! 3. **The standard oracle** — conservation and durability via
+//!    [`check_model`], drained lock tables on both servers, and
+//!    idempotent re-recovery: shed or expired work leaks nothing, even
+//!    with a participant dying under 3×-limit load.
+//! 4. **Deadlines survive recovery** — a rebooted node still refuses a
+//!    zero-budget transaction with `DeadlineExceeded`.
+//!
+//! Crucially this adds **no new crash point**: the kill is a plain
+//! [`tabs_core::Node::crash`], so the registry-completeness tests over
+//! the sweep lists are untouched.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tabs_app_lib::{AppError, AppHandle};
+use tabs_core::prelude::ServerError;
+use tabs_core::{Cluster, ClusterConfig, DeadlinePolicy, NodeId, Tid};
+use tabs_servers::IntArrayClient;
+
+use crate::plan::ChaosRng;
+use crate::runner::{
+    boot_array, check_model, install_fault_disk, install_fault_log, poll_locks_drained, poll_read,
+    Outcome, Xfer, BASE, CHAOS_TIMEOUTS,
+};
+use crate::NodeFaults;
+
+/// End-to-end budget for every spike transfer: small enough that a dead
+/// participant cannot pin a worker for long, large enough that admitted
+/// work commits comfortably.
+const BUDGET: Duration = Duration::from_millis(300);
+/// In-flight transactions node 1's server admits before shedding.
+const ADMISSION_LIMIT: usize = 3;
+/// Spike workers — deliberately past the admission limit.
+const WORKERS: usize = 8;
+/// Accounts per array; the model tracks `2 * CELLS` balances.
+const CELLS: u64 = 4;
+/// When the participant dies, measured from the spike's start.
+const KILL_AT: Duration = Duration::from_millis(150);
+/// Spike duration after the kill (workers keep arriving).
+const AFTER_KILL: Duration = Duration::from_millis(200);
+/// Workers stand down once this many transfers resolved as Unknown:
+/// with one more possibly in flight per worker, the total stays within
+/// [`check_model`]'s 16-unknown enumeration cap.
+const UNKNOWN_STOP: u64 = (16 - WORKERS) as u64;
+
+/// Tallies from one [`crate::ChaosRunner::overload_kill_scenario`] run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OverloadKillRun {
+    /// Transfers reported committed to a client.
+    pub committed: u64,
+    /// Arrivals turned away with `Overloaded` (client view).
+    pub shed: u64,
+    /// Arrivals refused or aborted for an expired deadline.
+    pub expired: u64,
+    /// Aborts for any other reason (lock timeouts, dead participant).
+    pub aborted: u64,
+    /// Outcomes the client could not learn (bounded by the oracle).
+    pub unknown: u64,
+    /// Node 1's `admission.shed` counter after the spike.
+    pub shed_counter: u64,
+}
+
+/// How one spike arrival ended, refined past [`Outcome`] for the tally.
+enum Attempt {
+    Committed,
+    Shed { retry_after_hint: Duration },
+    Expired,
+    Aborted,
+    Unknown,
+}
+
+impl Attempt {
+    /// Collapses to the shadow-model outcome [`check_model`] consumes.
+    fn outcome(&self) -> Outcome {
+        match self {
+            Attempt::Committed => Outcome::Committed,
+            Attempt::Unknown => Outcome::Unknown,
+            _ => Outcome::Aborted,
+        }
+    }
+}
+
+/// One distributed transfer under deadline pressure. Shed and expired
+/// rejections arrive as errors on the data calls; the abort path then
+/// decides whether the outcome is provably clean. `violations` counts
+/// transfers that committed although the client saw the deadline
+/// already expired before it asked to commit — the oracle demands zero.
+fn overload_transfer(
+    app: &AppHandle,
+    debit: &IntArrayClient,
+    debit_cell: u64,
+    credit: &IntArrayClient,
+    credit_cell: u64,
+    amount: i64,
+    violations: &AtomicU64,
+) -> Attempt {
+    let t = match app.begin_transaction(Tid::NULL) {
+        Ok(t) => t,
+        Err(_) => return Attempt::Unknown,
+    };
+    let data = debit.add(t, debit_cell, -amount).and_then(|_| credit.add(t, credit_cell, amount));
+    if let Err(e) = data {
+        let refusal = match e {
+            AppError::Server(ServerError::Overloaded { retry_after_hint }) => {
+                Some(Attempt::Shed { retry_after_hint })
+            }
+            AppError::Server(ServerError::DeadlineExceeded) => Some(Attempt::Expired),
+            _ => None,
+        };
+        return match (app.abort_transaction(t), refusal) {
+            (Ok(()) | Err(AppError::TransactionIsAborted(_)), Some(r)) => r,
+            (Ok(()) | Err(AppError::TransactionIsAborted(_)), None) => Attempt::Aborted,
+            (Err(_), _) => Attempt::Unknown,
+        };
+    }
+    let expired_before_end = app.tx_deadline(t).is_some_and(|d| d.is_expired());
+    match app.end_transaction(t) {
+        Ok(o) if o.is_committed() => {
+            if expired_before_end {
+                violations.fetch_add(1, Ordering::Relaxed);
+            }
+            Attempt::Committed
+        }
+        Ok(_) | Err(AppError::TransactionIsAborted(_)) => {
+            if expired_before_end {
+                Attempt::Expired
+            } else {
+                Attempt::Aborted
+            }
+        }
+        Err(_) => Attempt::Unknown,
+    }
+}
+
+/// One spike worker: open-loop arrivals until `stop`, each a transfer
+/// from a random node-1 cell to a random node-2 cell. `Overloaded`
+/// hints are honored (the worker sleeps them off), so the worker is a
+/// well-behaved client of the admission controller.
+#[allow(clippy::too_many_arguments)]
+fn spike_worker(
+    app: AppHandle,
+    local: IntArrayClient,
+    remote: IntArrayClient,
+    mut rng: ChaosRng,
+    stop: Arc<AtomicBool>,
+    unknowns: Arc<AtomicU64>,
+    violations: Arc<AtomicU64>,
+) -> (Vec<Xfer>, OverloadKillRun) {
+    let mut xfers = Vec::new();
+    let mut tally = OverloadKillRun::default();
+    while !stop.load(Ordering::Relaxed) && unknowns.load(Ordering::Relaxed) < UNKNOWN_STOP {
+        let from = rng.pick(CELLS);
+        let to = rng.pick(CELLS);
+        let amount = 1 + rng.pick(3) as i64;
+        let attempt = overload_transfer(&app, &local, from, &remote, to, amount, &violations);
+        xfers.push(Xfer {
+            from: from as usize,
+            to: CELLS as usize + to as usize,
+            amount,
+            outcome: attempt.outcome(),
+        });
+        match attempt {
+            Attempt::Committed => tally.committed += 1,
+            Attempt::Expired => tally.expired += 1,
+            Attempt::Aborted => tally.aborted += 1,
+            Attempt::Unknown => {
+                tally.unknown += 1;
+                unknowns.fetch_add(1, Ordering::Relaxed);
+            }
+            Attempt::Shed { retry_after_hint } => {
+                tally.shed += 1;
+                std::thread::sleep(retry_after_hint.min(BUDGET));
+            }
+        }
+    }
+    (xfers, tally)
+}
+
+/// The scenario body; see the module docs. Driven by
+/// [`crate::ChaosRunner::overload_kill_scenario`].
+pub(crate) fn overload_kill_scenario(seed: u64) -> Result<OverloadKillRun, String> {
+    let label = "overload+node-kill";
+    let fail = |m: String| format!("seed={seed} crash_point={label} {m}");
+
+    let config = ClusterConfig::default()
+        .deadlines(DeadlinePolicy::with_budget(BUDGET))
+        .admission_limit(ADMISSION_LIMIT);
+    let cluster = Cluster::with_config(config);
+    let f1 = NodeFaults::new(seed ^ 0xC1);
+    let f2 = NodeFaults::new(seed ^ 0xC2);
+    install_fault_log(&cluster, 1, &f1);
+    install_fault_log(&cluster, 2, &f2);
+    install_fault_disk(&cluster, 1, "ovl-a", &f1);
+    install_fault_disk(&cluster, 2, "ovl-b", &f2);
+
+    let (n1, a1) = boot_array(&cluster, 1, "ovl-a", CELLS).map_err(&fail)?;
+    let (n2, a2) = boot_array(&cluster, 2, "ovl-b", CELLS).map_err(&fail)?;
+    n1.tm.set_timeouts(CHAOS_TIMEOUTS);
+    n2.tm.set_timeouts(CHAOS_TIMEOUTS);
+
+    let app = n1.app();
+    let local = IntArrayClient::new(app.clone(), a1.send_right());
+    let found = n1.resolve("ovl-b", 1, Duration::from_secs(3));
+    if found.len() != 1 {
+        return Err(fail("name service never resolved ovl-b".into()));
+    }
+    let remote = IntArrayClient::new(app.clone(), found[0].0.clone());
+    app.run(|t| {
+        for cell in 0..CELLS {
+            local.set(t, cell, BASE)?;
+        }
+        Ok(())
+    })
+    .map_err(|e| fail(format!("seed A: {e}")))?;
+    let app2 = n2.app();
+    let local2 = IntArrayClient::new(app2.clone(), a2.send_right());
+    app2.run(|t| {
+        for cell in 0..CELLS {
+            local2.set(t, cell, BASE)?;
+        }
+        Ok(())
+    })
+    .map_err(|e| fail(format!("seed B: {e}")))?;
+    let shed_before = cluster.metrics(NodeId(1)).counter("admission.shed").get();
+
+    // The spike: more workers than the admission limit, all arriving as
+    // fast as the controller lets them.
+    let stop = Arc::new(AtomicBool::new(false));
+    let unknowns = Arc::new(AtomicU64::new(0));
+    let violations = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|w| {
+            let (app, local, remote) = (app.clone(), local.clone(), remote.clone());
+            let rng = ChaosRng::new(seed ^ (0xE1 + w as u64));
+            let (stop, unknowns, violations) =
+                (Arc::clone(&stop), Arc::clone(&unknowns), Arc::clone(&violations));
+            std::thread::spawn(move || {
+                spike_worker(app, local, remote, rng, stop, unknowns, violations)
+            })
+        })
+        .collect();
+
+    // Mid-spike, the participant dies for real — volatile state gone,
+    // disks kept. Workers keep arriving into the outage.
+    std::thread::sleep(KILL_AT);
+    drop((local2, a2));
+    n2.crash();
+    std::thread::sleep(AFTER_KILL);
+    stop.store(true, Ordering::Relaxed);
+
+    let mut xfers: Vec<Xfer> = Vec::new();
+    let mut run = OverloadKillRun::default();
+    for worker in workers {
+        let (x, t) = worker.join().map_err(|_| fail("spike worker panicked".into()))?;
+        xfers.extend(x);
+        run.committed += t.committed;
+        run.shed += t.shed;
+        run.expired += t.expired;
+        run.aborted += t.aborted;
+        run.unknown += t.unknown;
+    }
+    run.shed_counter =
+        cluster.metrics(NodeId(1)).counter("admission.shed").get().saturating_sub(shed_before);
+
+    if violations.load(Ordering::Relaxed) != 0 {
+        return Err(fail(format!(
+            "{} transfer(s) committed although the client's deadline had already expired",
+            violations.load(Ordering::Relaxed)
+        )));
+    }
+    if run.shed_counter == 0 {
+        return Err(fail(format!(
+            "admission.shed never moved: the spike ({WORKERS} workers vs limit \
+             {ADMISSION_LIMIT}) did not overload the server"
+        )));
+    }
+    if run.committed == 0 {
+        return Err(fail("nothing committed: admission control shed the entire spike".into()));
+    }
+
+    // Full-cluster reboot on the surviving disks, faults cleared; then
+    // the standard oracle plus idempotent re-recovery.
+    drop((local, remote));
+    drop(a1);
+    n1.crash();
+    cluster.network().heal(NodeId(1), NodeId(2));
+    f1.clear();
+    f2.clear();
+    let first = recovered_balances(&cluster, seed, &xfers)?;
+    let second = recovered_balances(&cluster, seed, &xfers)?;
+    if first != second {
+        return Err(fail(format!(
+            "re-recovery not idempotent: first {first:?}, second {second:?}"
+        )));
+    }
+    Ok(run)
+}
+
+/// Reboots both nodes (coordinator first), drains locks, audits the
+/// balances against the shadow model, probes that a zero-budget
+/// transaction is still refused, and crashes both nodes again.
+fn recovered_balances(
+    cluster: &Arc<Cluster>,
+    seed: u64,
+    xfers: &[Xfer],
+) -> Result<Vec<i64>, String> {
+    let fail = |m: String| format!("seed={seed} crash_point=overload+node-kill {m}");
+    let (n1, a1) = boot_array(cluster, 1, "ovl-a", CELLS).map_err(&fail)?;
+    let (n2, a2) = boot_array(cluster, 2, "ovl-b", CELLS).map_err(&fail)?;
+    let deadline = Instant::now() + Duration::from_secs(8);
+    poll_locks_drained(&a1, "coordinator server", deadline).map_err(&fail)?;
+    poll_locks_drained(&a2, "participant server", deadline).map_err(&fail)?;
+    let app1 = n1.app();
+    let c1 = IntArrayClient::new(app1.clone(), a1.send_right());
+    let app2 = n2.app();
+    let c2 = IntArrayClient::new(app2.clone(), a2.send_right());
+    let mut balances = Vec::with_capacity(2 * CELLS as usize);
+    for cell in 0..CELLS {
+        balances.push(poll_read(&app1, &c1, cell, deadline).map_err(&fail)?);
+    }
+    for cell in 0..CELLS {
+        balances.push(poll_read(&app2, &c2, cell, deadline).map_err(&fail)?);
+    }
+    let base = vec![BASE; 2 * CELLS as usize];
+    check_model(&balances, &base, xfers).map_err(&fail)?;
+
+    // Deadlines survive recovery: a budget that is already spent must be
+    // refused, not serviced.
+    let t = app1.begin_transaction_with_budget(Duration::ZERO).map_err(|e| fail(e.to_string()))?;
+    match c1.get(t, 0) {
+        Err(AppError::Server(ServerError::DeadlineExceeded)) => {}
+        Ok(_) => return Err(fail("zero-budget transaction was serviced after recovery".into())),
+        Err(e) => return Err(fail(format!("zero-budget probe failed oddly: {e}"))),
+    }
+    let _ = app1.abort_transaction(t);
+
+    drop((c1, c2));
+    drop((a1, a2));
+    n1.crash();
+    n2.crash();
+    Ok(balances)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempt_collapses_to_model_outcomes() {
+        assert_eq!(Attempt::Committed.outcome(), Outcome::Committed);
+        assert_eq!(Attempt::Unknown.outcome(), Outcome::Unknown);
+        assert_eq!(Attempt::Expired.outcome(), Outcome::Aborted);
+        assert_eq!(Attempt::Aborted.outcome(), Outcome::Aborted);
+        assert_eq!(Attempt::Shed { retry_after_hint: Duration::ZERO }.outcome(), Outcome::Aborted);
+    }
+
+    #[test]
+    fn unknown_budget_leaves_room_for_in_flight_arrivals() {
+        // One arrival per worker may still resolve Unknown after the
+        // stand-down check, so the cap plus the worker count must stay
+        // within check_model's enumeration limit.
+        assert!(UNKNOWN_STOP + WORKERS as u64 <= 16);
+    }
+}

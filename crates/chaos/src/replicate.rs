@@ -109,7 +109,10 @@ pub fn sweep_replication(seed: u64) -> Result<BTreeSet<&'static str>, String> {
     points.extend_from_slice(TWO_PC_POINTS);
     for &point in &points {
         for kill_leader in [false, true] {
-            for (p, _node) in replication_scenario(seed, point, kill_leader)? {
+            let kills = crate::runner::with_coverage_retries(seed, |s| {
+                replication_scenario(s, point, kill_leader)
+            })?;
+            for (p, _node) in kills {
                 killed.insert(p);
             }
         }

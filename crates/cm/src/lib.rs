@@ -36,8 +36,8 @@ use tabs_net::{Endpoint, NetError};
 use tabs_ns::{Broadcast, NameServer};
 use tabs_obs::Counter;
 use tabs_proto::{
-    BeatMsg, CommitMsg, Datagram, DetectMsg, NsMsg, RequestRef, ServerError, SessionFrame,
-    SessionFrameRef,
+    BeatMsg, CommitMsg, Datagram, Deadline, DetectMsg, NsMsg, RequestRef, RetryPolicy, ServerError,
+    SessionFrame, SessionFrameRef,
 };
 use tabs_tm::{CommitTransport, TransactionManager};
 
@@ -244,10 +244,11 @@ impl CommManager {
             Some(r) => r,
             None => return, // one-way messages are not proxied
         };
-        // Only the transaction id is needed here; the encoded request is
-        // forwarded verbatim as the session frame's trailing bytes.
-        let tid = match RequestRef::decode_ref_all(&msg.body) {
-            Ok(r) => r.tid,
+        // Only the transaction id and deadline are needed here; the
+        // encoded request is forwarded verbatim as the session frame's
+        // trailing bytes (the deadline rides along inside them).
+        let (tid, deadline) = match RequestRef::decode_ref_all(&msg.body) {
+            Ok(r) => (r.tid, r.deadline),
             Err(_) => {
                 let _ = reply.send_unmetered(tabs_proto::rpc::response_message(Err(
                     ServerError::BadRequest("undecodable proxied request".into()),
@@ -302,7 +303,7 @@ impl CommManager {
         call_id.encode(&mut w);
         remote.encode(&mut w);
         w.put_slice(&msg.body);
-        if let Err(e) = self.send_session_retrying(remote.node, w.into_vec(), call_id) {
+        if let Err(e) = self.send_session_retrying(remote.node, w.into_vec(), call_id, deadline) {
             // Session failure after bounded retries (§3.2.4 failure
             // detection): fail the call with a typed retryable error
             // instead of hanging — and roll back the child registration,
@@ -332,42 +333,44 @@ impl CommManager {
         }
     }
 
-    /// Sends a session frame, retrying with bounded exponential backoff
-    /// plus deterministic jitter while the destination is partitioned or
-    /// merely suspected. A crashed destination fails immediately (retrying
-    /// a dead session is pointless); a destination still suspect after the
-    /// retry budget fails with [`NetError::NodeUnreachable`], which maps
-    /// to the typed retryable [`ServerError::Unavailable`].
+    /// Sends a session frame, retrying with decorrelated-jitter backoff
+    /// (the shared [`RetryPolicy`], seeded by the call id) while the
+    /// destination is partitioned or merely suspected. A crashed
+    /// destination fails immediately (retrying a dead session is
+    /// pointless); a destination still suspect after the retry budget
+    /// fails with [`NetError::NodeUnreachable`], which maps to the typed
+    /// retryable [`ServerError::Unavailable`].
+    ///
+    /// When the proxied request carries an end-to-end deadline, every
+    /// backoff sleep is capped at its remaining budget and retrying stops
+    /// at expiry: a session retry can never out-sleep the transaction it
+    /// serves.
     fn send_session_retrying(
         &self,
         to: NodeId,
         body: Vec<u8>,
         call_id: u64,
+        deadline: Option<Deadline>,
     ) -> Result<(), NetError> {
         const MAX_ATTEMPTS: u32 = 4;
-        let mut backoff = Duration::from_millis(5);
-        for attempt in 0..MAX_ATTEMPTS {
-            if !self.suspected(to) {
+        let mut policy = RetryPolicy::new(call_id)
+            .base(Duration::from_millis(5))
+            .max_attempts(MAX_ATTEMPTS - 1)
+            .deadline(deadline);
+        loop {
+            let last_err = if !self.suspected(to) {
                 match self.endpoint.send_session(to, body.clone()) {
                     Ok(()) => return Ok(()),
                     Err(e) if !e.is_partition() => return Err(e),
-                    Err(e) => {
-                        if attempt + 1 == MAX_ATTEMPTS {
-                            return Err(e);
-                        }
-                    }
+                    Err(e) => e,
                 }
-            } else if attempt + 1 == MAX_ATTEMPTS {
-                return Err(NetError::NodeUnreachable(to));
+            } else {
+                NetError::NodeUnreachable(to)
+            };
+            if !policy.pause() {
+                return Err(last_err);
             }
-            // Deterministic jitter (hashed from the call id and attempt)
-            // de-synchronizes retry herds without a randomness source.
-            let salt = (call_id ^ u64::from(attempt)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let jitter = Duration::from_micros((salt >> 48) % 3_000);
-            std::thread::sleep(backoff + jitter);
-            backoff *= 2;
         }
-        Err(NetError::NodeUnreachable(to))
     }
 
     /// Whether the failure detector currently suspects `node`.
@@ -522,7 +525,7 @@ impl CommManager {
             };
             // Retry partitions briefly: dropping the reply would leave the
             // caller waiting out its full relay timeout for nothing.
-            let _ = cm.send_session_retrying(from, frame_bytes, call_id);
+            let _ = cm.send_session_retrying(from, frame_bytes, call_id, None);
         });
     }
 

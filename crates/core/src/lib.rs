@@ -33,6 +33,7 @@ pub use tabs_ns::NameServer;
 pub use tabs_obs::{
     KernelTraceBridge, Metrics, MetricsSnapshot, Timeline, TraceCollector, TraceEvent, TraceRecord,
 };
+pub use tabs_proto::{Deadline, DeadlinePolicy, RetryBudget, RetryPolicy};
 pub use tabs_rm::{RecoveryManager, RecoveryReport};
 pub use tabs_server_lib::{DataServer, Dispatch, OpCtx, ServerConfig, ServerDeps};
 pub use tabs_tm::{CommitPathPolicy, ReplicationPolicy, TmTimeouts, TransactionManager};
@@ -114,6 +115,19 @@ pub struct ClusterConfig {
     /// `None` (the default) keeps the seed behaviour — every enlisted
     /// participant must vote.
     pub replication: Option<ReplicationPolicy>,
+    /// When set, every top-level transaction begun through [`Node::app`]
+    /// is assigned the policy's end-to-end budget as an absolute
+    /// deadline that rides its calls: servers reject expired work before
+    /// touching objects, lock waits cap at the remaining budget, and the
+    /// Transaction Manager aborts commits it cannot finish in time.
+    /// `None` (the default) keeps the seed behaviour — no deadline field
+    /// on the wire, byte-identical request encodings.
+    pub deadlines: Option<DeadlinePolicy>,
+    /// When set, every data server built from [`Node::server_config`] /
+    /// [`Node::deps`] caps its in-flight transactions at this limit and
+    /// sheds excess new work with `ServerError::Overloaded` before lock
+    /// acquisition. `None` (the default) accepts unboundedly.
+    pub admission_limit: Option<usize>,
 }
 
 impl Default for ClusterConfig {
@@ -131,6 +145,8 @@ impl Default for ClusterConfig {
             heartbeat: None,
             commit_paths: CommitPathPolicy::Seed,
             replication: None,
+            deadlines: None,
+            admission_limit: None,
         }
     }
 }
@@ -211,6 +227,19 @@ impl ClusterConfig {
     /// map (see `tabs_shard::ShardServer::spawn_all`).
     pub fn replication(mut self, policy: ReplicationPolicy) -> Self {
         self.replication = Some(policy);
+        self
+    }
+
+    /// Assigns every top-level transaction an end-to-end deadline budget.
+    pub fn deadlines(mut self, policy: DeadlinePolicy) -> Self {
+        self.deadlines = Some(policy);
+        self
+    }
+
+    /// Caps in-flight transactions per data server; excess new work is
+    /// shed with `ServerError::Overloaded` before lock acquisition.
+    pub fn admission_limit(mut self, limit: usize) -> Self {
+        self.admission_limit = Some(limit.max(1));
         self
     }
 }
@@ -416,6 +445,9 @@ impl Cluster {
                 metrics.counter("tm.rep.acks_abandoned"),
             );
         }
+        if self.config.deadlines.is_some() {
+            tm.set_deadline_metrics(self.metrics(id).counter("deadline.expired"));
+        }
         let ns = NameServer::new(id);
         // Seed the fresh Name Server from the durable map store: a node
         // that crashed mid-migration reboots already knowing the newest
@@ -493,7 +525,20 @@ impl Cluster {
         if let Some(f) = &fd {
             f.start(&kernel);
         }
-        Node { id, kernel, pool, rm, tm, ns, cm, detect, fd, trace, cluster: Arc::clone(self) }
+        Node {
+            id,
+            kernel,
+            pool,
+            rm,
+            tm,
+            ns,
+            cm,
+            detect,
+            fd,
+            trace,
+            retry_budget: RetryBudget::new(100),
+            cluster: Arc::clone(self),
+        }
     }
 
     /// Detaches a node from the network without orderly shutdown (used
@@ -523,6 +568,10 @@ pub struct Node {
     detect: Option<Arc<Detector>>,
     fd: Option<Arc<FailureDetector>>,
     trace: Option<Arc<TraceCollector>>,
+    /// The node-wide retry token bucket every [`Node::app`] handle (and
+    /// through them the shard routers) draws from: one bounded retry
+    /// budget per node, not one per call path.
+    retry_budget: Arc<RetryBudget>,
     cluster: Arc<Cluster>,
 }
 
@@ -613,20 +662,46 @@ impl Node {
         if let Some(d) = &self.detect {
             deps = deps.with_detect(Arc::clone(d));
         }
+        if self.cluster.config.admission_limit.is_some() || self.cluster.config.deadlines.is_some()
+        {
+            let metrics = self.cluster.metrics(self.id);
+            deps = deps.with_admission_metrics(
+                metrics.counter("admission.shed"),
+                metrics.counter("deadline.expired"),
+            );
+        }
         deps
     }
 
     /// A [`ServerConfig`] for a data server on this node, honouring the
-    /// cluster's configured lock time-out and lock-table striping.
+    /// cluster's configured lock time-out, lock-table striping, and
+    /// admission limit.
     pub fn server_config(&self, name: &str, segment: SegmentId) -> ServerConfig {
-        ServerConfig::new(name, segment)
+        let mut config = ServerConfig::new(name, segment)
             .with_lock_timeout(self.cluster.config.lock_timeout)
-            .with_lock_stripes(self.cluster.config.lock_stripes)
+            .with_lock_stripes(self.cluster.config.lock_stripes);
+        if let Some(limit) = self.cluster.config.admission_limit {
+            config = config.with_admission_limit(limit);
+        }
+        config
     }
 
-    /// An application handle (Table 3-2 interface).
+    /// An application handle (Table 3-2 interface), wired to the node's
+    /// shared retry budget and — when the cluster configures deadlines —
+    /// the end-to-end deadline policy.
     pub fn app(&self) -> AppHandle {
-        AppHandle::new(self.kernel.clone(), Arc::clone(&self.tm))
+        let mut app = AppHandle::new(self.kernel.clone(), Arc::clone(&self.tm))
+            .with_retry_budget(Arc::clone(&self.retry_budget));
+        if let Some(policy) = self.cluster.config.deadlines {
+            app = app.with_deadlines(policy);
+        }
+        if self.cluster.config.admission_limit.is_some() || self.cluster.config.deadlines.is_some()
+        {
+            app = app.with_retry_metrics(
+                self.cluster.metrics(self.id).counter("retry.budget_exhausted"),
+            );
+        }
+        app
     }
 
     /// Runs crash recovery: must be called after all data servers have

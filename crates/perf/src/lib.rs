@@ -28,6 +28,10 @@
 //! - [`mod@load`] — the sustained load generator: open- and closed-loop
 //!   drivers over the bank and mixed-server scenarios, including the
 //!   lock-striping comparison.
+//! - [`overload`] — the admission-control bench: a 3×-capacity spike
+//!   against shedding and end-to-end deadlines, gated on a
+//!   metastability oracle (goodput retention, bounded admitted-work
+//!   tails, post-spike re-convergence).
 //! - [`model`] — predicted latency (counts × costs), the
 //!   "Improved TABS Architecture" and "New Primitive Times" projections,
 //!   and the §5.2/§7 latency-accounting compositions.
@@ -44,6 +48,7 @@ pub mod fastpath;
 pub mod groupcommit;
 pub mod load;
 pub mod model;
+pub mod overload;
 pub mod paper;
 pub mod partition;
 pub mod replicate;
@@ -58,6 +63,7 @@ pub use fastpath::{FastpathRun, FastpathWorkload};
 pub use groupcommit::{GroupCommitResult, GroupCommitWorkload};
 pub use load::{LoadProfile, LoadResult, LoadWorkload};
 pub use model::{improved_counts, predicted_ms, Projection};
+pub use overload::{OverloadRun, OverloadWorkload};
 pub use paper::PaperWorkload;
 pub use partition::{PartitionResult, PartitionWorkload};
 pub use replicate::{ReplicateResult, ReplicateWorkload};

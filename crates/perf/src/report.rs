@@ -539,6 +539,7 @@ pub fn registry() -> Vec<Box<dyn Workload>> {
         Box::new(crate::partition::PartitionWorkload),
         Box::new(crate::replicate::ReplicateWorkload),
         Box::new(crate::scale::ScaleWorkload),
+        Box::new(crate::overload::OverloadWorkload),
         Box::new(crate::paper::PaperWorkload),
     ]
 }

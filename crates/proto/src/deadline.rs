@@ -1,0 +1,155 @@
+//! End-to-end deadlines.
+//!
+//! A client attaches an absolute [`Deadline`] to the work it issues on
+//! behalf of a transaction; the deadline rides the [`crate::Request`]
+//! header verbatim through Communication Manager relays, so every layer
+//! downstream — lock waits, session retries, the two-phase-commit
+//! coordinator — can cap its own waiting at the *remaining* budget
+//! instead of its local worst-case time-out. A server that receives
+//! already-expired work rejects it before touching any object
+//! ([`crate::ServerError::DeadlineExceeded`]), which is what keeps retry
+//! storms from doing dead work during overload.
+//!
+//! Deadlines are encoded as absolute microseconds since a process-wide
+//! monotonic epoch. Every emulated node lives in one OS process, so the
+//! value is exact across nodes and survives verbatim relay; a real
+//! deployment would substitute a synchronized-clock timestamp and absorb
+//! skew into the budget.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use tabs_codec::{Decode, DecodeError, Encode, Reader, Writer};
+
+/// The process-wide monotonic epoch deadlines are measured from.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds elapsed since the process epoch.
+fn now_micros() -> u64 {
+    u64::try_from(epoch().elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// An absolute point in time by which a piece of transactional work must
+/// be finished, comparable across every node of the (single-process)
+/// cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Deadline {
+    micros: u64,
+}
+
+impl Deadline {
+    /// The deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        let budget = u64::try_from(budget.as_micros()).unwrap_or(u64::MAX);
+        Self { micros: now_micros().saturating_add(budget) }
+    }
+
+    /// Reconstructs a deadline from its wire representation.
+    pub fn from_micros(micros: u64) -> Self {
+        Self { micros }
+    }
+
+    /// The wire representation: absolute microseconds since the process
+    /// epoch.
+    pub fn as_micros(&self) -> u64 {
+        self.micros
+    }
+
+    /// Budget left before the deadline ([`Duration::ZERO`] once past).
+    pub fn remaining(&self) -> Duration {
+        Duration::from_micros(self.micros.saturating_sub(now_micros()))
+    }
+
+    /// Whether the deadline has passed.
+    pub fn is_expired(&self) -> bool {
+        now_micros() >= self.micros
+    }
+
+    /// Caps a local wait at the remaining budget: `min(wait, remaining)`.
+    pub fn cap(&self, wait: Duration) -> Duration {
+        wait.min(self.remaining())
+    }
+
+    /// The earlier of two deadlines.
+    pub fn min(self, other: Deadline) -> Deadline {
+        if other.micros < self.micros {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl Encode for Deadline {
+    fn encode(&self, w: &mut Writer) {
+        self.micros.encode(w);
+    }
+}
+
+impl Decode for Deadline {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Deadline { micros: u64::decode(r)? })
+    }
+}
+
+/// Cluster-wide deadline policy (`ClusterConfig::deadlines`): when set,
+/// every top-level transaction an application begins is assigned this
+/// budget, and every call it issues carries the resulting absolute
+/// deadline. `None` keeps the seed behaviour — no deadline field on the
+/// wire, byte-identical request encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlinePolicy {
+    /// Default end-to-end budget per top-level transaction.
+    pub default_budget: Duration,
+}
+
+impl DeadlinePolicy {
+    /// A policy granting each transaction `budget` end to end.
+    pub fn with_budget(budget: Duration) -> Self {
+        Self { default_budget: budget }
+    }
+}
+
+impl Default for DeadlinePolicy {
+    fn default() -> Self {
+        // Generous relative to the 300ms default lock time-out: ordinary
+        // transactions never notice the budget; only pathological waits
+        // and overload backlogs run into it.
+        Self { default_budget: Duration::from_secs(2) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_orders_and_expires() {
+        let near = Deadline::after(Duration::from_millis(1));
+        let far = Deadline::after(Duration::from_secs(60));
+        assert!(near < far);
+        assert_eq!(near.min(far), near);
+        assert!(!far.is_expired());
+        assert!(far.remaining() > Duration::from_secs(50));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(near.is_expired());
+        assert_eq!(near.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn cap_limits_waits_to_remaining_budget() {
+        let d = Deadline::after(Duration::from_millis(50));
+        assert!(d.cap(Duration::from_secs(2)) <= Duration::from_millis(50));
+        assert_eq!(d.cap(Duration::ZERO), Duration::ZERO);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let d = Deadline::after(Duration::from_millis(500));
+        let bytes = d.encode_to_vec();
+        assert_eq!(Deadline::decode_all(&bytes).unwrap(), d);
+    }
+}

@@ -22,17 +22,30 @@
 //! - [`shard`] — versioned shard-map gossip for the sharded services
 //!   (`tabs-shard`); the Name Servers distribute `(service, version,
 //!   map)` triples the same way they broadcast name lookups.
+//! - [`deadline`] — end-to-end deadlines: an absolute budget attached to
+//!   a transaction's calls that every downstream wait (sessions, locks,
+//!   commit rounds) caps itself against.
+//! - [`retry`] — the shared retry policy: token-bucket retry budgets and
+//!   decorrelated jitter, deadline-capped, replacing the per-layer ad-hoc
+//!   retry loops.
 
 pub mod beat;
 pub mod commit;
+pub mod deadline;
 pub mod detect;
+pub mod retry;
 pub mod rpc;
 pub mod shard;
 pub mod wire;
 
 pub use beat::BeatMsg;
 pub use commit::CommitMsg;
+pub use deadline::{Deadline, DeadlinePolicy};
 pub use detect::DetectMsg;
-pub use rpc::{call, call_with_timeout, Request, RequestRef, Response, RpcError, ServerError};
+pub use retry::{RetryBudget, RetryPolicy};
+pub use rpc::{
+    call, call_with_deadline, call_with_timeout, Request, RequestRef, Response, RpcError,
+    ServerError,
+};
 pub use shard::ShardMsg;
 pub use wire::{Datagram, NameEntry, NsMsg, SessionFrame, SessionFrameRef};

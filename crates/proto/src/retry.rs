@@ -1,0 +1,348 @@
+//! The shared retry policy: token-bucket retry budgets plus decorrelated
+//! jitter, with every sleep capped at the caller's remaining deadline.
+//!
+//! Before this module each layer retried on its own ad-hoc schedule
+//! (fixed fence backoffs in the shard router, a doubling loop in the
+//! Communication Manager, a bare `for` loop in the application library).
+//! Under overload those schedules synchronize into retry storms: each
+//! failure multiplies offered load exactly when capacity is lowest — the
+//! metastable-failure pattern. A [`RetryPolicy`] bounds retry pressure two
+//! ways: a shared [`RetryBudget`] token bucket makes the *aggregate* retry
+//! rate proportional to the success rate (tokens are only refilled by
+//! successes), and decorrelated jitter de-synchronizes the survivors.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tabs_obs::Counter;
+
+use crate::deadline::Deadline;
+
+/// Milli-tokens one retry costs.
+const SPEND_MILLI: u64 = 1000;
+/// Milli-tokens one recorded success refills (10 successes buy 1 retry).
+const REFILL_MILLI: u64 = 100;
+
+/// A token bucket bounding how many retries a client may issue relative
+/// to its success rate. Shared (via `Arc`) by every call site that retries
+/// against the same dependency, so a failing dependency sees one bounded
+/// budget, not one per call path.
+#[derive(Debug)]
+pub struct RetryBudget {
+    tokens_milli: AtomicU64,
+    cap_milli: u64,
+}
+
+impl RetryBudget {
+    /// A budget holding (and capped at) `tokens` retries, starting full.
+    pub fn new(tokens: u32) -> Arc<Self> {
+        let cap = u64::from(tokens) * SPEND_MILLI;
+        Arc::new(Self { tokens_milli: AtomicU64::new(cap), cap_milli: cap })
+    }
+
+    /// Spends one retry token. Returns false — retry denied — when the
+    /// bucket cannot cover a whole token.
+    pub fn try_spend(&self) -> bool {
+        let mut cur = self.tokens_milli.load(Ordering::Relaxed);
+        loop {
+            if cur < SPEND_MILLI {
+                return false;
+            }
+            match self.tokens_milli.compare_exchange_weak(
+                cur,
+                cur - SPEND_MILLI,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Records one success, refilling a fraction of a token (capped).
+    /// Tying refill to successes keeps the steady-state retry rate a
+    /// fixed fraction of goodput — when nothing succeeds, retries dry up
+    /// instead of compounding the overload.
+    pub fn record_success(&self) {
+        let mut cur = self.tokens_milli.load(Ordering::Relaxed);
+        loop {
+            let next = (cur + REFILL_MILLI).min(self.cap_milli);
+            if next == cur {
+                return;
+            }
+            match self.tokens_milli.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Whole retry tokens currently available.
+    pub fn tokens(&self) -> u64 {
+        self.tokens_milli.load(Ordering::Relaxed) / SPEND_MILLI
+    }
+}
+
+/// Per-call retry pacing: decorrelated jitter between attempts, an
+/// optional attempt ceiling, an optional shared [`RetryBudget`], and an
+/// optional [`Deadline`] no sleep may out-sleep.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    base: Duration,
+    cap: Duration,
+    deadline: Option<Deadline>,
+    budget: Option<Arc<RetryBudget>>,
+    attempts_left: Option<u32>,
+    exhausted: Option<Counter>,
+    prev: Duration,
+    seed: u64,
+    draw: u64,
+}
+
+impl RetryPolicy {
+    /// A policy with the default pacing (5ms base, 200ms cap, unlimited
+    /// attempts, no budget, no deadline). `seed` feeds the deterministic
+    /// jitter so concurrent retriers de-synchronize without a randomness
+    /// source.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(200),
+            deadline: None,
+            budget: None,
+            attempts_left: None,
+            exhausted: None,
+            prev: Duration::ZERO,
+            seed,
+            draw: 0,
+        }
+    }
+
+    /// Sets the minimum backoff.
+    pub fn base(mut self, base: Duration) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Sets the maximum backoff.
+    pub fn cap(mut self, cap: Duration) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Caps every sleep at the remaining budget of `deadline`; once it
+    /// expires, no further retries are granted. `None` leaves sleeps
+    /// uncapped (the seed behaviour).
+    pub fn deadline(mut self, deadline: Option<Deadline>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Attaches a shared token-bucket budget; each retry spends a token.
+    pub fn budget(mut self, budget: Arc<RetryBudget>) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Bounds the number of retries regardless of budget and deadline.
+    pub fn max_attempts(mut self, attempts: u32) -> Self {
+        self.attempts_left = Some(attempts);
+        self
+    }
+
+    /// Wires the `retry.budget_exhausted` counter, bumped each time a
+    /// retry is denied because the attempt ceiling or token budget ran
+    /// out (deadline expiry is not counted — that is the deadline's
+    /// verdict, not the budget's).
+    pub fn exhausted_counter(mut self, counter: Counter) -> Self {
+        self.exhausted = Some(counter);
+        self
+    }
+
+    /// The deadline this policy is bound to, if any.
+    pub fn until(&self) -> Option<Deadline> {
+        self.deadline
+    }
+
+    /// Whether the bound deadline (if any) has expired.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| d.is_expired())
+    }
+
+    fn count_exhausted(&self) {
+        if let Some(c) = &self.exhausted {
+            c.inc();
+        }
+    }
+
+    /// Deterministic uniform draw in `[lo, hi)` (hashed from the seed and
+    /// a per-call counter, the same idiom the Communication Manager used
+    /// for its retry jitter).
+    fn jitter_between(&mut self, lo: u64, hi: u64) -> u64 {
+        self.draw += 1;
+        let salt = (self.seed ^ self.draw).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        if hi <= lo {
+            return lo;
+        }
+        lo + (salt >> 17) % (hi - lo)
+    }
+
+    /// Grants (or denies) the next retry and returns how long to back off
+    /// first. `None` means stop retrying: attempts, tokens, or deadline
+    /// budget ran out. The backoff follows decorrelated jitter —
+    /// `sleep = min(cap, uniform(base, 3 * prev))` — and is additionally
+    /// capped at the deadline's remaining budget, so a retry can never
+    /// out-sleep the transaction it serves.
+    pub fn next_backoff(&mut self) -> Option<Duration> {
+        if let Some(d) = self.deadline {
+            if d.is_expired() {
+                return None;
+            }
+        }
+        if let Some(left) = self.attempts_left.as_mut() {
+            if *left == 0 {
+                self.count_exhausted();
+                return None;
+            }
+            *left -= 1;
+        }
+        if let Some(b) = &self.budget {
+            if !b.try_spend() {
+                self.count_exhausted();
+                return None;
+            }
+        }
+        let lo = self.base.as_micros() as u64;
+        let hi = (self.prev.as_micros() as u64).saturating_mul(3).max(lo + 1);
+        let mut sleep = Duration::from_micros(self.jitter_between(lo, hi)).min(self.cap);
+        if let Some(d) = self.deadline {
+            sleep = d.cap(sleep);
+        }
+        self.prev = sleep;
+        Some(sleep)
+    }
+
+    /// [`Self::next_backoff`] plus the sleep itself: pauses before the
+    /// next attempt, or returns false when no retry is granted.
+    pub fn pause(&mut self) -> bool {
+        match self.next_backoff() {
+            Some(d) => {
+                if !d.is_zero() {
+                    std::thread::sleep(d);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pauses for an explicit server-provided hint (e.g. the
+    /// `retry_after_hint` of [`crate::ServerError::Overloaded`]) instead
+    /// of the computed backoff, still spending a token/attempt and still
+    /// capped at the deadline. Returns false when no retry is granted.
+    pub fn pause_for(&mut self, hint: Duration) -> bool {
+        match self.next_backoff() {
+            Some(computed) => {
+                let mut sleep = hint.max(computed);
+                if let Some(d) = self.deadline {
+                    sleep = d.cap(sleep);
+                }
+                self.prev = sleep.min(self.cap);
+                if !sleep.is_zero() {
+                    std::thread::sleep(sleep);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Records a success against the shared budget, if one is attached.
+    pub fn record_success(&self) {
+        if let Some(b) = &self.budget {
+            b.record_success();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_spends_and_refills() {
+        let b = RetryBudget::new(2);
+        assert_eq!(b.tokens(), 2);
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(!b.try_spend(), "bucket empty");
+        // Ten successes buy one retry back.
+        for _ in 0..10 {
+            b.record_success();
+        }
+        assert!(b.try_spend());
+        assert!(!b.try_spend());
+    }
+
+    #[test]
+    fn attempts_bound_retries_and_count_exhaustion() {
+        let c = Counter::default();
+        let mut p = RetryPolicy::new(7)
+            .base(Duration::from_micros(1))
+            .cap(Duration::from_micros(5))
+            .max_attempts(2)
+            .exhausted_counter(c.clone());
+        assert!(p.pause());
+        assert!(p.pause());
+        assert!(!p.pause());
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn deadline_caps_every_sleep() {
+        let d = Deadline::after(Duration::from_millis(20));
+        let mut p = RetryPolicy::new(3)
+            .base(Duration::from_secs(1))
+            .cap(Duration::from_secs(5))
+            .deadline(Some(d));
+        // The computed backoff would be ≥ 1s; the deadline caps it.
+        let sleep = p.next_backoff().expect("granted");
+        assert!(sleep <= Duration::from_millis(20), "sleep {sleep:?} out-sleeps the deadline");
+    }
+
+    #[test]
+    fn expired_deadline_denies_retries_without_counting_budget() {
+        let c = Counter::default();
+        let mut p = RetryPolicy::new(1)
+            .deadline(Some(Deadline::after(Duration::ZERO)))
+            .exhausted_counter(c.clone());
+        assert!(p.next_backoff().is_none());
+        assert_eq!(c.get(), 0, "deadline expiry is not budget exhaustion");
+    }
+
+    #[test]
+    fn backoffs_grow_and_jitter_desynchronizes_seeds() {
+        let mut a = RetryPolicy::new(11).base(Duration::from_millis(1));
+        let mut b = RetryPolicy::new(12).base(Duration::from_millis(1));
+        let sa: Vec<_> = (0..4).map(|_| a.next_backoff().unwrap()).collect();
+        let sb: Vec<_> = (0..4).map(|_| b.next_backoff().unwrap()).collect();
+        assert!(sa.iter().all(|d| *d <= Duration::from_millis(200)));
+        assert_ne!(sa, sb, "different seeds should draw different schedules");
+    }
+
+    #[test]
+    fn shared_budget_is_shared_across_policies() {
+        let b = RetryBudget::new(1);
+        let mut p1 = RetryPolicy::new(1).base(Duration::ZERO).cap(Duration::ZERO).budget(b.clone());
+        let mut p2 = RetryPolicy::new(2).base(Duration::ZERO).cap(Duration::ZERO).budget(b);
+        assert!(p1.pause());
+        assert!(!p2.pause(), "p1 spent the only token");
+    }
+}

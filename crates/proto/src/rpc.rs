@@ -16,6 +16,8 @@ use std::time::Duration;
 use tabs_codec::{Decode, DecodeError, DecodeRef, Encode, Reader, Writer};
 use tabs_kernel::{Kernel, Message, NodeId, PortClass, PrimitiveOp, SendRight, Tid};
 
+use crate::deadline::Deadline;
+
 /// Errors a data server can return through the RPC layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServerError {
@@ -47,14 +49,36 @@ pub enum ServerError {
         /// The refusing server's current map version.
         newer_map_version: u64,
     },
+    /// The call's end-to-end deadline had already expired when the server
+    /// looked at it, so the work was refused before touching any object.
+    /// Retryable: nothing was performed, and a fresh attempt (under a new
+    /// or still-live deadline) is safe.
+    DeadlineExceeded,
+    /// The server shed this request at admission: its in-flight
+    /// transaction load is at capacity and accepting more would only grow
+    /// queues past every caller's deadline. Shedding happens before lock
+    /// acquisition and before enlistment, so the rejected transaction
+    /// holds nothing on the server. Retryable after `retry_after_hint`.
+    Overloaded {
+        /// How long the server suggests the caller back off before
+        /// retrying (a pacing hint, not a promise of capacity).
+        retry_after_hint: Duration,
+    },
 }
 
 impl ServerError {
-    /// Whether the failed call was provably never delivered, so the
-    /// caller may retry it verbatim (possibly after re-resolving the
-    /// server through the name service or refreshing its shard map).
+    /// Whether the failed call was provably never delivered or provably
+    /// performed no work, so the caller may retry it verbatim (possibly
+    /// after re-resolving the server through the name service, refreshing
+    /// its shard map, or waiting out an overload hint).
     pub fn is_retryable(&self) -> bool {
-        matches!(self, ServerError::Unavailable(_) | ServerError::WrongShard { .. })
+        matches!(
+            self,
+            ServerError::Unavailable(_)
+                | ServerError::WrongShard { .. }
+                | ServerError::DeadlineExceeded
+                | ServerError::Overloaded { .. }
+        )
     }
 }
 
@@ -70,6 +94,10 @@ impl std::fmt::Display for ServerError {
             ServerError::Unavailable(n) => write!(f, "node {n} unavailable (retryable)"),
             ServerError::WrongShard { newer_map_version } => {
                 write!(f, "wrong shard (server map version {newer_map_version}, retryable)")
+            }
+            ServerError::DeadlineExceeded => write!(f, "deadline exceeded (retryable)"),
+            ServerError::Overloaded { retry_after_hint } => {
+                write!(f, "server overloaded (retry after {retry_after_hint:?})")
             }
         }
     }
@@ -115,6 +143,11 @@ impl Encode for ServerError {
                 w.put_u8(7);
                 newer_map_version.encode(w);
             }
+            ServerError::DeadlineExceeded => w.put_u8(8),
+            ServerError::Overloaded { retry_after_hint } => {
+                w.put_u8(9);
+                (u64::try_from(retry_after_hint.as_micros()).unwrap_or(u64::MAX)).encode(w);
+            }
         }
     }
 }
@@ -130,6 +163,10 @@ impl Decode for ServerError {
             5 => Ok(ServerError::Other(String::decode(r)?)),
             6 => Ok(ServerError::Unavailable(NodeId::decode(r)?)),
             7 => Ok(ServerError::WrongShard { newer_map_version: u64::decode(r)? }),
+            8 => Ok(ServerError::DeadlineExceeded),
+            9 => Ok(ServerError::Overloaded {
+                retry_after_hint: Duration::from_micros(u64::decode(r)?),
+            }),
             _ => Err(DecodeError::Invalid("ServerError tag")),
         }
     }
@@ -144,6 +181,12 @@ pub struct Request {
     pub opcode: u32,
     /// Codec-encoded arguments.
     pub args: Vec<u8>,
+    /// End-to-end deadline of the work this call performs, if the caller
+    /// set one. Encoded as an optional *trailing* field: a request without
+    /// a deadline is byte-identical to the historical encoding, and relays
+    /// that forward `RequestRef::raw` verbatim carry the deadline through
+    /// untouched.
+    pub deadline: Option<Deadline>,
 }
 
 impl Encode for Request {
@@ -151,12 +194,22 @@ impl Encode for Request {
         self.tid.encode(w);
         self.opcode.encode(w);
         self.args.encode(w);
+        if let Some(d) = &self.deadline {
+            d.encode(w);
+        }
     }
 }
 
 impl Decode for Request {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        Ok(Request { tid: Tid::decode(r)?, opcode: u32::decode(r)?, args: Vec::<u8>::decode(r)? })
+        let tid = Tid::decode(r)?;
+        let opcode = u32::decode(r)?;
+        let args = Vec::<u8>::decode(r)?;
+        // The deadline is an optional trailing field: the request is
+        // always the final segment of its buffer, so any bytes left
+        // belong to it.
+        let deadline = if r.remaining() > 0 { Some(Deadline::decode(r)?) } else { None };
+        Ok(Request { tid, opcode, args, deadline })
     }
 }
 
@@ -171,9 +224,12 @@ pub struct RequestRef<'a> {
     pub opcode: u32,
     /// Codec-encoded arguments, borrowed from the receive buffer.
     pub args: &'a [u8],
+    /// End-to-end deadline carried by the request, if any.
+    pub deadline: Option<Deadline>,
     /// The complete encoded request (the bytes this view was decoded
     /// from). A relay can forward them verbatim — `Request::encode`
-    /// produces exactly these bytes — without re-encoding.
+    /// produces exactly these bytes, deadline included — without
+    /// re-encoding.
     pub raw: &'a [u8],
 }
 
@@ -181,7 +237,12 @@ impl<'a> RequestRef<'a> {
     /// Copies the view into an owned [`Request`] (session reassembly and
     /// other paths that must outlive the receive buffer).
     pub fn to_owned(&self) -> Request {
-        Request { tid: self.tid, opcode: self.opcode, args: self.args.to_vec() }
+        Request {
+            tid: self.tid,
+            opcode: self.opcode,
+            args: self.args.to_vec(),
+            deadline: self.deadline,
+        }
     }
 }
 
@@ -191,8 +252,11 @@ impl<'a> DecodeRef<'a> for RequestRef<'a> {
         let tid = Tid::decode(r)?;
         let opcode = u32::decode(r)?;
         let args = <&[u8]>::decode_ref(r)?;
+        // Optional trailing deadline (see `Request::decode`); it must be
+        // consumed so `raw` spans the full encoding relays forward.
+        let deadline = if r.remaining() > 0 { Some(Deadline::decode(r)?) } else { None };
         let raw = &raw[..raw.len() - r.remaining()];
-        Ok(RequestRef { tid, opcode, args, raw })
+        Ok(RequestRef { tid, opcode, args, deadline, raw })
     }
 }
 
@@ -275,13 +339,54 @@ pub fn call(
     call_with_timeout(kernel, port, tid, opcode, args, DEFAULT_RPC_TIMEOUT)
 }
 
-/// [`call`] with an explicit deadline.
+/// [`call`] with an explicit response time-out.
 pub fn call_with_timeout(
     kernel: &Kernel,
     port: &SendRight,
     tid: Tid,
     opcode: u32,
     args: Vec<u8>,
+    timeout: Duration,
+) -> Result<Vec<u8>, RpcError> {
+    call_inner(kernel, port, tid, opcode, args, None, timeout)
+}
+
+/// [`call`] carrying an end-to-end [`Deadline`]: the deadline rides the
+/// request header to the server (and through any Communication Manager
+/// relay), and the client-side response wait is capped at the remaining
+/// budget. An already-expired deadline fails fast with
+/// [`ServerError::DeadlineExceeded`] without sending anything.
+pub fn call_with_deadline(
+    kernel: &Kernel,
+    port: &SendRight,
+    tid: Tid,
+    opcode: u32,
+    args: Vec<u8>,
+    deadline: Deadline,
+) -> Result<Vec<u8>, RpcError> {
+    if deadline.is_expired() {
+        return Err(RpcError::Server(ServerError::DeadlineExceeded));
+    }
+    let timeout = deadline.cap(DEFAULT_RPC_TIMEOUT);
+    match call_inner(kernel, port, tid, opcode, args, Some(deadline), timeout) {
+        // The budget-capped response wait ran the budget out: that *is*
+        // the deadline expiring, even when the server's own refusal
+        // loses the race to the wire. Surface the structured error so
+        // callers see one failure mode, not a timing-dependent pair.
+        Err(RpcError::Timeout) if deadline.is_expired() => {
+            Err(RpcError::Server(ServerError::DeadlineExceeded))
+        }
+        other => other,
+    }
+}
+
+fn call_inner(
+    kernel: &Kernel,
+    port: &SendRight,
+    tid: Tid,
+    opcode: u32,
+    args: Vec<u8>,
+    deadline: Option<Deadline>,
     timeout: Duration,
 ) -> Result<Vec<u8>, RpcError> {
     // One call = one primitive, chosen by the port's class (§5.1).
@@ -292,7 +397,7 @@ pub fn call_with_timeout(
         _ => {}
     }
     let (reply_tx, reply_rx) = kernel.allocate_port(PortClass::Reply);
-    let req = Request { tid, opcode, args };
+    let req = Request { tid, opcode, args, deadline };
     let msg = Message::new(opcode, req.encode_to_vec()).with_reply(reply_tx);
     port.send_unmetered(msg).map_err(|_| RpcError::Unreachable)?;
     let reply = reply_rx.recv_timeout(timeout).map_err(|e| match e {
@@ -338,7 +443,7 @@ mod tests {
 
     #[test]
     fn request_ref_agrees_with_owned_decode() {
-        let req = Request { tid: tid(), opcode: 3, args: vec![1, 2, 3] };
+        let req = Request { tid: tid(), opcode: 3, args: vec![1, 2, 3], deadline: None };
         let buf = req.encode_to_vec();
         let view = RequestRef::decode_ref_all(&buf).unwrap();
         assert_eq!(view.tid, req.tid);
@@ -348,6 +453,28 @@ mod tests {
         assert_eq!(view.args.as_ptr(), buf[buf.len() - 3..].as_ptr());
         assert_eq!(view.raw, &buf[..]);
         assert_eq!(view.to_owned(), req);
+    }
+
+    #[test]
+    fn deadline_rides_the_request_as_a_trailing_field() {
+        let d = Deadline::after(Duration::from_millis(250));
+        let with = Request { tid: tid(), opcode: 3, args: vec![1, 2], deadline: Some(d) };
+        let without = Request { tid: tid(), opcode: 3, args: vec![1, 2], deadline: None };
+
+        // No deadline ⇒ byte-identical to the seed encoding (the trailing
+        // field is simply absent).
+        let bare = without.encode_to_vec();
+        let full = with.encode_to_vec();
+        assert_eq!(full[..bare.len()], bare[..]);
+        assert_eq!(full.len(), bare.len() + d.encode_to_vec().len());
+
+        // Round-trips through both decode paths, and `raw` spans the
+        // deadline bytes so relays forwarding raw keep it intact.
+        assert_eq!(Request::decode_all(&full).unwrap(), with);
+        let view = RequestRef::decode_ref_all(&full).unwrap();
+        assert_eq!(view.deadline, Some(d));
+        assert_eq!(view.raw, &full[..]);
+        assert_eq!(view.to_owned(), with);
     }
 
     #[test]
@@ -362,7 +489,7 @@ mod tests {
 
     #[test]
     fn request_response_roundtrip() {
-        let req = Request { tid: tid(), opcode: 3, args: vec![1, 2] };
+        let req = Request { tid: tid(), opcode: 3, args: vec![1, 2], deadline: None };
         assert_eq!(Request::decode_all(&req.encode_to_vec()).unwrap(), req);
 
         let ok = Response { result: Ok(vec![9]) };
@@ -377,6 +504,8 @@ mod tests {
             ServerError::Other("o".into()),
             ServerError::Unavailable(NodeId(4)),
             ServerError::WrongShard { newer_map_version: 12 },
+            ServerError::DeadlineExceeded,
+            ServerError::Overloaded { retry_after_hint: Duration::from_millis(7) },
         ] {
             let resp = Response { result: Err(err.clone()) };
             assert_eq!(Response::decode_all(&resp.encode_to_vec()).unwrap(), resp);
@@ -436,6 +565,40 @@ mod tests {
         let (tx, rx) = k.allocate_port(PortClass::DataServer);
         drop(rx);
         assert_eq!(call(&k, &tx, tid(), 1, vec![]).unwrap_err(), RpcError::Unreachable);
+    }
+
+    #[test]
+    fn call_with_expired_deadline_fails_fast() {
+        let k = Kernel::new(NodeId(1));
+        let (tx, _rx) = k.allocate_port(PortClass::DataServer);
+        let d = Deadline::after(Duration::ZERO);
+        let err = call_with_deadline(&k, &tx, tid(), 1, vec![], d).unwrap_err();
+        assert_eq!(err, RpcError::Server(ServerError::DeadlineExceeded));
+        // Nothing was sent: no data-server call was accounted.
+        assert_eq!(k.perf().get(PrimitiveOp::DataServerCall), 0);
+    }
+
+    #[test]
+    fn call_with_deadline_delivers_it_to_the_server() {
+        let k = Kernel::new(NodeId(1));
+        let (tx, rx) = k.allocate_port(PortClass::DataServer);
+        k.spawn("echo-deadline", move || loop {
+            match rx.recv() {
+                Ok(m) => {
+                    let req = Request::decode_all(&m.body).unwrap();
+                    let seen = req.deadline.map(|d| d.as_micros()).unwrap_or(0);
+                    if let Some(r) = m.reply {
+                        let _ = r.send_unmetered(response_message(Ok(seen.to_le_bytes().to_vec())));
+                    }
+                }
+                Err(_) => return,
+            }
+        });
+        let d = Deadline::after(Duration::from_secs(5));
+        let out = call_with_deadline(&k, &tx, tid(), 1, vec![], d).unwrap();
+        assert_eq!(u64::from_le_bytes(out.try_into().unwrap()), d.as_micros());
+        k.shutdown();
+        k.join_all();
     }
 
     #[test]

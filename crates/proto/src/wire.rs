@@ -293,6 +293,7 @@ mod tests {
                 tid: Tid { node: NodeId(1), incarnation: 1, seq: 3 },
                 opcode: 5,
                 args: vec![1, 2, 3],
+                deadline: None,
             },
         };
         assert_eq!(SessionFrame::decode_all(&call.encode_to_vec()).unwrap(), call);
@@ -308,6 +309,7 @@ mod tests {
             tid: Tid { node: NodeId(1), incarnation: 1, seq: 3 },
             opcode: 5,
             args: vec![1, 2, 3],
+            deadline: None,
         };
         let call = SessionFrame::Call { call_id: 12, target_port: port(), request };
         let buf = call.encode_to_vec();

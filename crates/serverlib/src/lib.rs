@@ -39,8 +39,8 @@ use parking_lot::{Mutex, MutexGuard};
 use tabs_detect::Detector;
 use tabs_kernel::{Kernel, MappedSegment, Message, ObjectId, PortClass, PortId, SegmentId, Tid};
 use tabs_lock::{DeadlockPolicy, LockError, LockManager, StdMode};
-use tabs_obs::TraceCollector;
-use tabs_proto::{RequestRef, ServerError};
+use tabs_obs::{Counter, TraceCollector};
+use tabs_proto::{Deadline, RequestRef, ServerError};
 use tabs_rm::{OperationHandler, RecoveryManager};
 use tabs_tm::{CommitPathPolicy, Participant, TransactionManager};
 
@@ -65,12 +65,25 @@ pub struct ServerDeps {
     /// Optional distributed deadlock detector; servers built from these
     /// deps export their waits-for edges to it.
     pub detect: Option<Arc<Detector>>,
+    /// `admission.shed` counter: requests rejected by the admission gate.
+    pub admission_shed: Option<Counter>,
+    /// `deadline.expired` counter: requests rejected (or waits cut short)
+    /// because their end-to-end deadline had passed.
+    pub deadline_expired: Option<Counter>,
 }
 
 impl ServerDeps {
     /// Bundles the node facilities a data server needs.
     pub fn new(kernel: Kernel, rm: Arc<RecoveryManager>, tm: Arc<TransactionManager>) -> Self {
-        Self { kernel, rm, tm, trace: None, detect: None }
+        Self {
+            kernel,
+            rm,
+            tm,
+            trace: None,
+            detect: None,
+            admission_shed: None,
+            deadline_expired: None,
+        }
     }
 
     /// Attaches the node's trace collector.
@@ -82,6 +95,15 @@ impl ServerDeps {
     /// Attaches the node's distributed deadlock detector.
     pub fn with_detect(mut self, detect: Arc<Detector>) -> Self {
         self.detect = Some(detect);
+        self
+    }
+
+    /// Wires the node's overload counters: `admission.shed` (requests
+    /// rejected by the admission gate) and `deadline.expired` (work
+    /// rejected because its budget ran out).
+    pub fn with_admission_metrics(mut self, shed: Counter, expired: Counter) -> Self {
+        self.admission_shed = Some(shed);
+        self.deadline_expired = Some(expired);
         self
     }
 }
@@ -103,6 +125,17 @@ pub struct ServerConfig {
     /// Number of lock-table stripes (hash partitions of the lock name
     /// space, each with its own mutex and wait queue).
     pub lock_stripes: usize,
+    /// Admission limit: the maximum number of transactions this server
+    /// will have in flight at once. A request that would *admit a new
+    /// transaction* past the limit is shed with
+    /// [`ServerError::Overloaded`] before it enlists, locks, or logs
+    /// anything; requests of already-admitted transactions always pass
+    /// (shedding those would strand partially-done work in 2PC). `None`
+    /// (the default) accepts unboundedly, the seed behaviour.
+    pub admission_limit: Option<usize>,
+    /// The `retry_after_hint` returned with [`ServerError::Overloaded`]:
+    /// how long shed clients should wait before retrying.
+    pub retry_after_hint: Duration,
 }
 
 impl ServerConfig {
@@ -114,6 +147,8 @@ impl ServerConfig {
             lock_timeout: Duration::from_millis(300),
             deadlock_policy: DeadlockPolicy::Timeout,
             lock_stripes: tabs_lock::DEFAULT_LOCK_STRIPES,
+            admission_limit: None,
+            retry_after_hint: Duration::from_millis(5),
         }
     }
 
@@ -137,6 +172,19 @@ impl ServerConfig {
         self.lock_stripes = stripes.max(1);
         self
     }
+
+    /// Caps concurrent in-flight transactions; excess new work is shed
+    /// with [`ServerError::Overloaded`] before touching any object.
+    pub fn with_admission_limit(mut self, limit: usize) -> Self {
+        self.admission_limit = Some(limit.max(1));
+        self
+    }
+
+    /// Overrides the backoff hint shed clients receive.
+    pub fn with_retry_after_hint(mut self, hint: Duration) -> Self {
+        self.retry_after_hint = hint;
+        self
+    }
 }
 
 type OpRedo = Box<dyn Fn(ObjectId, &[u8]) -> Result<(), String> + Send + Sync>;
@@ -154,6 +202,9 @@ struct TxCtx {
     /// Whether the transaction performed updates here (drives the
     /// read-only commit optimization).
     updates: bool,
+    /// The earliest end-to-end deadline seen on this transaction's
+    /// requests; lock waits cap themselves at its remaining budget.
+    deadline: Option<Deadline>,
 }
 
 struct ServerInner {
@@ -165,6 +216,10 @@ struct ServerInner {
     segment: MappedSegment,
     seg_id: SegmentId,
     lock_timeout: Duration,
+    admission_limit: Option<usize>,
+    retry_after_hint: Duration,
+    admission_shed: Option<Counter>,
+    deadline_expired: Option<Counter>,
     /// The coroutine monitor: at most one request body runs at a time.
     monitor: Mutex<()>,
     tx: Mutex<HashMap<Tid, TxCtx>>,
@@ -213,6 +268,10 @@ impl DataServer {
             segment,
             seg_id: config.segment,
             lock_timeout: config.lock_timeout,
+            admission_limit: config.admission_limit,
+            retry_after_hint: config.retry_after_hint,
+            admission_shed: deps.admission_shed.clone(),
+            deadline_expired: deps.deadline_expired.clone(),
             monitor: Mutex::new(()),
             tx: Mutex::new(HashMap::new()),
             ops: Mutex::new(HashMap::new()),
@@ -332,13 +391,65 @@ impl ServerInner {
             }
             return;
         }
+        // Deadline gate: work whose end-to-end budget has already run out
+        // is refused here — before the admission check, the enlistment,
+        // the monitor, and any lock or log — so retry storms of expired
+        // work cost the server nothing but this decode.
+        if let Some(d) = req.deadline {
+            if d.is_expired() {
+                if let Some(c) = &inner.deadline_expired {
+                    c.inc();
+                }
+                if let Some(r) = reply {
+                    let _ = r.send_unmetered(tabs_proto::rpc::response_message(Err(
+                        ServerError::DeadlineExceeded,
+                    )));
+                }
+                return;
+            }
+        }
+        // Admission gate: a request that would admit a *new* transaction
+        // past the in-flight limit is shed before it enlists, locks, or
+        // logs anything (so rejection leaks nothing — no 2PC state, no
+        // WAL records, no locks). Requests of already-admitted
+        // transactions always pass: shedding those would strand
+        // partially-done work.
+        if !req.tid.is_null() {
+            if let Some(limit) = inner.admission_limit {
+                let tx = inner.tx.lock();
+                if !tx.contains_key(&req.tid) && tx.len() >= limit {
+                    drop(tx);
+                    if let Some(c) = &inner.admission_shed {
+                        c.inc();
+                    }
+                    if let Some(r) = reply {
+                        let _ = r.send_unmetered(tabs_proto::rpc::response_message(Err(
+                            ServerError::Overloaded { retry_after_hint: inner.retry_after_hint },
+                        )));
+                    }
+                    return;
+                }
+            }
+        }
         // Enlist with the Transaction Manager on first contact (§3.2.3).
         if !req.tid.is_null() {
             let mut tx = inner.tx.lock();
-            if let std::collections::hash_map::Entry::Vacant(e) = tx.entry(req.tid) {
-                e.insert(TxCtx::default());
-                drop(tx);
-                inner.tm.enlist(req.tid, &inner.name, Arc::clone(&participant));
+            match tx.entry(req.tid) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(TxCtx { deadline: req.deadline, ..TxCtx::default() });
+                    drop(tx);
+                    inner.tm.enlist(req.tid, &inner.name, Arc::clone(&participant));
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    // Later requests tighten (never loosen) the budget.
+                    if let Some(d) = req.deadline {
+                        let ctx = e.get_mut();
+                        ctx.deadline = Some(match ctx.deadline {
+                            Some(prev) => prev.min(d),
+                            None => d,
+                        });
+                    }
+                }
             }
         }
         // Enter the monitor: the coroutine runs.
@@ -353,6 +464,10 @@ impl ServerInner {
 
     fn tx_updates(&self, tid: Tid) -> bool {
         self.tx.lock().get(&tid).map(|c| c.updates).unwrap_or(false)
+    }
+
+    fn tx_deadline(&self, tid: Tid) -> Option<Deadline> {
+        self.tx.lock().get(&tid).and_then(|c| c.deadline)
     }
 }
 
@@ -480,16 +595,35 @@ impl<'a> OpCtx<'a> {
 
     // ---- Locking ----
 
-    /// `LockObject`: acquires `mode`, waiting (with the server's time-out)
-    /// if unavailable; the monitor is released while waiting.
+    /// `LockObject`: acquires `mode`, waiting (with the server's time-out,
+    /// capped at the transaction's remaining deadline budget) if
+    /// unavailable; the monitor is released while waiting.
     pub fn lock_object(&self, object: ObjectId, mode: StdMode) -> Result<(), ServerError> {
         if !self.server.locks.try_lock(self.tid, object, mode) {
-            let timeout = self.server.lock_timeout;
+            // A transaction with 50ms of budget must not block the full
+            // configured lock time-out: the wait is min(timeout,
+            // remaining). The lock manager's time-out path releases the
+            // queue slot and batons the wakeup to successors, so an
+            // expiring waiter never strands the FIFO queue.
+            let deadline = self.server.tx_deadline(self.tid);
+            let timeout = match deadline {
+                Some(d) => d.cap(self.server.lock_timeout),
+                None => self.server.lock_timeout,
+            };
             let locks = Arc::clone(&self.server.locks);
             let tid = self.tid;
             self.coroutine_wait(move || locks.lock(tid, object, mode, timeout)).map_err(
                 |e| match e {
-                    LockError::Timeout(_) => ServerError::LockTimeout,
+                    LockError::Timeout(_) => {
+                        if deadline.is_some_and(|d| d.is_expired()) {
+                            if let Some(c) = &self.server.deadline_expired {
+                                c.inc();
+                            }
+                            ServerError::DeadlineExceeded
+                        } else {
+                            ServerError::LockTimeout
+                        }
+                    }
                     LockError::Deadlock(_) => ServerError::Deadlock,
                 },
             )?;

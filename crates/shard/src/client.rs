@@ -36,7 +36,7 @@ use tabs_codec::{Decode, Encode, Writer};
 use tabs_core::{AppError, AppHandle, CommManager, NameServer, Node};
 use tabs_kernel::{crash_point, CrashHookSlot, CrashHooks, NodeId, SendRight, Tid};
 use tabs_obs::{TraceCollector, TraceEvent};
-use tabs_proto::ServerError;
+use tabs_proto::{Deadline, RetryPolicy, ServerError};
 
 use crate::map::{shard_name, ShardMap};
 use crate::server::{OP_ADD, OP_GET, OP_SET};
@@ -171,6 +171,26 @@ impl ShardClient {
         self.write_fanout(tid, shard, &set, opcode, args)
     }
 
+    /// The budget for one routed call: the router's own ceiling, tightened
+    /// by the transaction's end-to-end deadline when one is registered.
+    fn route_deadline(&self, tid: Tid) -> Deadline {
+        let d = Deadline::after(*self.call_deadline.lock());
+        match self.app.tx_deadline(tid) {
+            Some(tx) => d.min(tx),
+            None => d,
+        }
+    }
+
+    /// A retry policy for one routed call: fence-paced decorrelated
+    /// jitter, the node's shared token budget, capped at `deadline`.
+    fn route_policy(&self, tid: Tid, key: u64, deadline: Deadline) -> RetryPolicy {
+        self.app
+            .retry_policy(tid.seq.wrapping_mul(0x1000_0001) ^ key)
+            .base(FENCE_BACKOFF)
+            .cap(Duration::from_millis(100))
+            .deadline(Some(deadline))
+    }
+
     /// Fans one write out to every replica-set member inside the same
     /// transaction (every member that takes it becomes an ordinary 2PC
     /// participant) and requires a majority of the set. A *dead* member
@@ -190,7 +210,7 @@ impl ShardClient {
         opcode: u32,
         args: Vec<u8>,
     ) -> Result<Vec<u8>, AppError> {
-        let deadline = Instant::now() + *self.call_deadline.lock();
+        let deadline = self.route_deadline(tid);
         let mut first_out: Option<Vec<u8>> = None;
         let mut written = 0usize;
         let mut last_err = String::new();
@@ -244,8 +264,9 @@ impl ShardClient {
         member: NodeId,
         opcode: u32,
         args: Vec<u8>,
-        deadline: Instant,
+        deadline: Deadline,
     ) -> Result<Vec<u8>, AppError> {
+        let mut policy = self.route_policy(tid, u64::from(member.0), deadline);
         loop {
             if self.cm.is_suspected(member) {
                 return Err(AppError::Rpc(format!("replica {member} is suspected unreachable")));
@@ -253,25 +274,33 @@ impl ShardClient {
             let attempt = self
                 .port_for_member(shard, member, deadline)
                 .and_then(|port| self.app.call(&port, tid, opcode, args.clone()));
-            let last = match attempt {
-                Ok(out) => return Ok(out),
+            // A `WrongShard` redirect is routing, not failure: chasing the
+            // newer map (or waiting out a fence) spends no retry token —
+            // only the deadline bounds it. Real failures pay a token and
+            // back off; a shed call honors the server's hint.
+            let (last, granted) = match attempt {
+                Ok(out) => {
+                    policy.record_success();
+                    return Ok(out);
+                }
                 Err(AppError::Server(ServerError::WrongShard { newer_map_version })) => {
                     self.on_wrong_shard(newer_map_version);
-                    format!("wrong shard at map v{newer_map_version}")
+                    (format!("wrong shard at map v{newer_map_version}"), !policy.expired())
+                }
+                Err(AppError::Server(ServerError::Overloaded { retry_after_hint })) => {
+                    ("shed by admission control".to_string(), policy.pause_for(retry_after_hint))
                 }
                 Err(AppError::Server(e)) => {
                     self.state.lock().ports.remove(&(shard, member));
-                    std::thread::sleep(FENCE_BACKOFF);
-                    e.to_string()
+                    (e.to_string(), policy.pause())
                 }
                 Err(AppError::Rpc(e)) => {
                     self.state.lock().ports.remove(&(shard, member));
-                    std::thread::sleep(FENCE_BACKOFF);
-                    e
+                    (e, policy.pause())
                 }
                 Err(e) => return Err(e),
             };
-            if Instant::now() >= deadline {
+            if !granted {
                 return Err(AppError::Rpc(format!(
                     "call to replica {member} of {} shard {shard} exhausted its budget \
                      (last: {last})",
@@ -286,7 +315,8 @@ impl ShardClient {
     /// follower when the current target is suspected dead or fails —
     /// the read-side half of leader failover.
     fn call(&self, tid: Tid, key: u64, opcode: u32, args: Vec<u8>) -> Result<Vec<u8>, AppError> {
-        let deadline = Instant::now() + *self.call_deadline.lock();
+        let deadline = self.route_deadline(tid);
+        let mut policy = self.route_policy(tid, key, deadline);
         let mut rotation = 0usize;
         loop {
             let (shard, set) = {
@@ -299,7 +329,7 @@ impl ShardClient {
             // over to the next member right away (replicated shards) or
             // let the retry loop wait out the reboot (single owner).
             if set.len() > 1 && self.cm.is_suspected(target) {
-                if Instant::now() >= deadline {
+                if policy.expired() {
                     return Err(AppError::Rpc(format!(
                         "shard route for {} key {key} exhausted its budget \
                          (last: replica {target} of shard {shard} is suspected)",
@@ -312,19 +342,36 @@ impl ShardClient {
                 // live member (majority crash, partition), pace the loop —
                 // suspicion may lift or a new map may arrive, but neither
                 // is worth a hot spin.
-                if rotation.is_multiple_of(set.len()) {
-                    std::thread::sleep(FENCE_BACKOFF);
+                if rotation.is_multiple_of(set.len()) && !policy.pause() {
+                    return Err(AppError::Rpc(format!(
+                        "shard route for {} key {key} exhausted its budget \
+                         (last: no live member of shard {shard})",
+                        self.service
+                    )));
                 }
                 continue;
             }
             let attempt = self
                 .port_for_member(shard, target, deadline)
                 .and_then(|port| self.app.call(&port, tid, opcode, args.clone()));
-            let last = match attempt {
-                Ok(out) => return Ok(out),
+            // Redirect chasing spends no retry token (see `member_call`);
+            // failures pay one and back off with decorrelated jitter, and
+            // a shed call waits out the server's `retry_after_hint`.
+            let (last, granted) = match attempt {
+                Ok(out) => {
+                    policy.record_success();
+                    return Ok(out);
+                }
                 Err(AppError::Server(ServerError::WrongShard { newer_map_version })) => {
                     self.on_wrong_shard(newer_map_version);
-                    format!("wrong shard at map v{newer_map_version}")
+                    (format!("wrong shard at map v{newer_map_version}"), !policy.expired())
+                }
+                Err(AppError::Server(ServerError::Overloaded { retry_after_hint })) => {
+                    if set.len() > 1 {
+                        rotation += 1;
+                        self.note_failover(tid, shard, target, set[rotation % set.len()]);
+                    }
+                    ("shed by admission control".to_string(), policy.pause_for(retry_after_hint))
                 }
                 Err(AppError::Server(e)) => {
                     // Unavailable: the cached port may point at a dead
@@ -334,8 +381,7 @@ impl ShardClient {
                         rotation += 1;
                         self.note_failover(tid, shard, target, set[rotation % set.len()]);
                     }
-                    std::thread::sleep(FENCE_BACKOFF);
-                    e.to_string()
+                    (e.to_string(), policy.pause())
                 }
                 Err(AppError::Rpc(e)) => {
                     // Resolution failure (owner down or renaming): retry
@@ -345,12 +391,11 @@ impl ShardClient {
                         rotation += 1;
                         self.note_failover(tid, shard, target, set[rotation % set.len()]);
                     }
-                    std::thread::sleep(FENCE_BACKOFF);
-                    e
+                    (e, policy.pause())
                 }
                 Err(e) => return Err(e),
             };
-            if Instant::now() >= deadline {
+            if !granted {
                 return Err(AppError::Rpc(format!(
                     "shard route for {} key {key} exhausted its budget (last: {last})",
                     self.service
@@ -415,7 +460,7 @@ impl ShardClient {
         &self,
         shard: u32,
         member: NodeId,
-        deadline: Instant,
+        deadline: Deadline,
     ) -> Result<SendRight, AppError> {
         {
             let st = self.state.lock();
@@ -424,8 +469,7 @@ impl ShardClient {
             }
         }
         let name = shard_name(&self.service, shard);
-        let budget =
-            deadline.saturating_duration_since(Instant::now()).min(RESOLVE_WAIT).max(RESOLVE_STEP);
+        let budget = deadline.remaining().min(RESOLVE_WAIT).max(RESOLVE_STEP);
         let port = resolve_owner_port(&self.ns, &self.cm, &name, member, budget)
             .ok_or_else(|| AppError::Rpc(format!("no port for {name} on {member}")))?;
         let mut st = self.state.lock();

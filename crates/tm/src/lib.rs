@@ -27,7 +27,7 @@ use parking_lot::{Condvar, Mutex};
 use tabs_kernel::crash::CrashHookSlot;
 use tabs_kernel::{crash_point, CrashHooks, NodeId, PerfCounters, PrimitiveOp, Tid, WorkerPool};
 use tabs_obs::{Counter, TraceCollector, TraceEvent, Vote as ObsVote};
-use tabs_proto::CommitMsg;
+use tabs_proto::{CommitMsg, Deadline};
 use tabs_rm::RecoveryManager;
 use tabs_wal::TxState;
 
@@ -318,6 +318,11 @@ pub struct TransactionManager {
     quorum_commits: Mutex<Option<Counter>>,
     /// `tm.rep.acks_abandoned`: phase-2 acks abandoned to dead members.
     acks_abandoned: Mutex<Option<Counter>>,
+    /// End-to-end deadlines registered per top-level transaction; the
+    /// coordinator refuses to launch a commit it cannot finish in budget.
+    deadlines: Mutex<HashMap<Tid, Deadline>>,
+    /// `deadline.expired`: commits refused (aborted) for expired budget.
+    deadline_expired: Mutex<Option<Counter>>,
 }
 
 impl std::fmt::Debug for TransactionManager {
@@ -362,6 +367,8 @@ impl TransactionManager {
             quorum_groups: Mutex::new(Vec::new()),
             quorum_commits: Mutex::new(None),
             acks_abandoned: Mutex::new(None),
+            deadlines: Mutex::new(HashMap::new()),
+            deadline_expired: Mutex::new(None),
         })
     }
 
@@ -408,6 +415,23 @@ impl TransactionManager {
     pub fn set_replication_metrics(&self, quorum_commits: Counter, acks_abandoned: Counter) {
         *self.quorum_commits.lock() = Some(quorum_commits);
         *self.acks_abandoned.lock() = Some(acks_abandoned);
+    }
+
+    /// Wires the `deadline.expired` counter (commits refused for budget).
+    pub fn set_deadline_metrics(&self, expired: Counter) {
+        *self.deadline_expired.lock() = Some(expired);
+    }
+
+    /// Registers the end-to-end deadline of `tid`. The coordinator will
+    /// abort rather than launch a commit it cannot finish in budget; an
+    /// unregistered transaction commits on the seed path unchanged.
+    pub fn set_deadline(&self, tid: Tid, deadline: Deadline) {
+        self.deadlines.lock().insert(tid, deadline);
+    }
+
+    /// The registered deadline of `tid`, if any.
+    pub fn deadline(&self, tid: Tid) -> Option<Deadline> {
+        self.deadlines.lock().get(&tid).copied()
     }
 
     /// Whether a missing vote from `child` can be waived: some registered
@@ -675,6 +699,7 @@ impl TransactionManager {
             }
         }
         self.outcomes.lock().insert(tid, false);
+        self.deadlines.lock().remove(&tid);
         // Tell remote children (of every merged tid) to abort; chase acks
         // in the background so the caller is not delayed.
         let transport = self.transport();
@@ -751,6 +776,21 @@ impl TransactionManager {
     /// Top-level commit: phase 1 over local participants and the commit
     /// tree, then the forced commit record, then phase 2.
     fn commit_top_level(&self, tid: Tid) -> Result<bool, TmError> {
+        // Deadline gate: a prepare round launched past the budget cannot
+        // finish in time, and worse, it pins every participant's locks
+        // through a doomed vote collection. Abort up front instead — the
+        // participants' undo and lock release run the normal abort path,
+        // so nothing leaks. No registered deadline ⇒ seed path untouched.
+        if let Some(d) = self.deadline(tid) {
+            if d.is_expired() {
+                if let Some(c) = self.deadline_expired.lock().as_ref() {
+                    c.inc();
+                }
+                self.deadlines.lock().remove(&tid);
+                self.abort_internal(tid)?;
+                return Ok(false);
+            }
+        }
         let (merged, participants) = {
             let inner = self.inner.lock();
             let info = inner.get(&tid).ok_or(TmError::Unknown(tid))?;
@@ -843,6 +883,7 @@ impl TransactionManager {
                 CommitMsg::Commit { tid },
             );
         }
+        self.deadlines.lock().remove(&tid);
         Ok(true)
     }
 

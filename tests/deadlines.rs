@@ -1,0 +1,169 @@
+//! End-to-end deadlines and admission control at the data server.
+//!
+//! Two properties of the robustness layer, asserted at the boundary the
+//! guarantees are made at:
+//!
+//! 1. **Deadline-capped lock waits** — a transaction with 50 ms of
+//!    budget left never blocks for the server's full 2 s lock time-out;
+//!    it comes back with `DeadlineExceeded` as its budget runs out, and
+//!    its expiry releases the wait-queue slot (the FIFO baton moves on,
+//!    later waiters are not stranded).
+//! 2. **Shed-before-lock** — a request rejected with `Overloaded`
+//!    provably touched nothing: no lock acquired, no WAL force paid, no
+//!    Transaction Manager enlistment, so a retry storm of shed work can
+//!    never leak state or strand 2PC bookkeeping.
+
+mod common;
+
+use std::time::{Duration, Instant};
+
+use common::AccountingMeter;
+use tabs_core::prelude::ServerError;
+use tabs_core::{AppError, Cluster, ClusterConfig, NodeId, Tid};
+use tabs_servers::harness::{boot_with_array_cells, client_for};
+
+/// The long server-side lock time-out the budget must undercut.
+const LOCK_TIMEOUT: Duration = Duration::from_secs(2);
+/// The waiter's end-to-end budget.
+const SMALL_BUDGET: Duration = Duration::from_millis(50);
+
+// ---- 1. Deadline-capped lock waits -------------------------------------
+
+#[test]
+fn small_budget_never_blocks_the_full_lock_timeout() {
+    let cluster = Cluster::with_config(ClusterConfig::default().lock_timeout(LOCK_TIMEOUT));
+    let (node, arr) = boot_with_array_cells(&cluster, 1, "bank", 4);
+    let app = node.app();
+    let client = client_for(&node, "bank");
+
+    // Holder: an open transaction pins a write lock on cell 0.
+    let holder = app.begin_transaction(Tid::NULL).unwrap();
+    client.add(holder, 0, 1).unwrap();
+
+    // Waiter: 50 ms of budget against a 2 s lock time-out. The wait must
+    // be capped at the remaining budget, not the server's configured
+    // time-out, and the refusal must name the deadline.
+    let waiter = app.begin_transaction_with_budget(SMALL_BUDGET).unwrap();
+    let t0 = Instant::now();
+    let err = client.add(waiter, 0, 1).unwrap_err();
+    let waited = t0.elapsed();
+    assert!(
+        matches!(err, AppError::Server(ServerError::DeadlineExceeded)),
+        "expired waiter got {err} instead of DeadlineExceeded"
+    );
+    assert!(
+        waited < Duration::from_millis(800),
+        "waiter blocked {waited:?}: the {LOCK_TIMEOUT:?} lock time-out was not capped \
+         at the {SMALL_BUDGET:?} budget"
+    );
+    app.abort_transaction(waiter).unwrap();
+
+    // The expired waiter's queue slot is gone: once the holder commits,
+    // a fresh transaction acquires the lock promptly (no stranded baton
+    // in the FIFO queue, no full-time-out wait behind a ghost).
+    app.end_transaction(holder).unwrap();
+    let t1 = Instant::now();
+    app.run(|t| client.add(t, 0, 1)).expect("lock available after holder commit");
+    assert!(
+        t1.elapsed() < Duration::from_millis(800),
+        "successor waited {:?} behind the expired waiter's ghost slot",
+        t1.elapsed()
+    );
+    assert_eq!(arr.server().locks().locked_object_count(), 0, "locks drained");
+}
+
+#[test]
+fn expiry_mid_wait_batons_the_queue_to_the_next_waiter() {
+    let cluster = Cluster::with_config(ClusterConfig::default().lock_timeout(LOCK_TIMEOUT));
+    let (node, arr) = boot_with_array_cells(&cluster, 1, "bank", 4);
+    let app = node.app();
+    let client = client_for(&node, "bank");
+
+    let holder = app.begin_transaction(Tid::NULL).unwrap();
+    client.add(holder, 0, 1).unwrap();
+
+    // A short-budget waiter queues first, a patient (no-deadline) waiter
+    // behind it. The first expires mid-wait; when the holder releases,
+    // the grant must reach the patient waiter — expiry releases the
+    // queue slot instead of wedging the FIFO.
+    let expiring = app.begin_transaction_with_budget(SMALL_BUDGET).unwrap();
+    let patient = {
+        let (app, client) = (app.clone(), client.clone());
+        std::thread::spawn(move || {
+            // Enter the queue shortly after the expiring waiter.
+            std::thread::sleep(Duration::from_millis(10));
+            app.run(|t| client.add(t, 0, 1))
+        })
+    };
+    let err = client.add(expiring, 0, 1).unwrap_err();
+    assert!(
+        matches!(err, AppError::Server(ServerError::DeadlineExceeded)),
+        "expiring waiter got {err}"
+    );
+    app.abort_transaction(expiring).unwrap();
+    app.end_transaction(holder).unwrap();
+    patient
+        .join()
+        .expect("patient waiter panicked")
+        .expect("patient waiter must be granted the lock after the expired one stood down");
+    assert_eq!(arr.server().locks().locked_object_count(), 0, "locks drained");
+}
+
+// ---- 2. Shed-before-lock -----------------------------------------------
+
+#[test]
+fn shed_work_leaks_nothing() {
+    let cluster = Cluster::with_config(ClusterConfig::default().admission_limit(1));
+    let (node, arr) = boot_with_array_cells(&cluster, 1, "bank", 4);
+    let app = node.app();
+    let client = client_for(&node, "bank");
+
+    // Fill the server's single admission slot with an open transaction.
+    let admitted = app.begin_transaction(Tid::NULL).unwrap();
+    client.add(admitted, 0, 1).unwrap();
+    let locks_before = arr.server().locks().locked_object_count();
+    let enlisted_before = node.tm.active_enlistments("bank");
+    assert_eq!(enlisted_before, 1, "the admitted transaction is enlisted");
+
+    // Everything after this point is the shed request's footprint.
+    let meter = AccountingMeter::start(&cluster, &[NodeId(1)]);
+
+    // A second transaction targets a *different, unlocked* cell, so the
+    // only thing refusing it is the admission gate — and the refusal
+    // must arrive before any lock, WAL record, or enlistment.
+    let shed = app.begin_transaction(Tid::NULL).unwrap();
+    let err = client.add(shed, 1, 1).unwrap_err();
+    match err {
+        AppError::Server(ServerError::Overloaded { retry_after_hint }) => {
+            assert!(
+                retry_after_hint > Duration::ZERO,
+                "hint must tell clients how long to back off"
+            )
+        }
+        other => panic!("expected Overloaded, got {other}"),
+    }
+
+    let d = &meter.delta()[0];
+    assert_eq!(d.counter("admission.shed"), 1, "the shed was counted");
+    assert_eq!(d.forces, 0, "a shed request must not pay a stable-storage force");
+    assert_eq!(
+        arr.server().locks().locked_object_count(),
+        locks_before,
+        "a shed request must not acquire a lock"
+    );
+    assert_eq!(
+        node.tm.active_enlistments("bank"),
+        enlisted_before,
+        "a shed request must not enlist with the Transaction Manager"
+    );
+
+    // The shed transaction aborts clean (nothing to undo anywhere), the
+    // admitted one commits, and the server drains completely.
+    app.abort_transaction(shed).unwrap();
+    app.end_transaction(admitted).unwrap();
+    assert_eq!(arr.server().locks().locked_object_count(), 0, "locks drained");
+    assert_eq!(node.tm.active_enlistments("bank"), 0, "enlistments drained");
+
+    // With the slot free again, previously-shed work is admitted.
+    app.run(|t| client.add(t, 1, 1)).expect("capacity freed: new work admitted");
+}

@@ -1,0 +1,34 @@
+//! Overload robustness: admission control and end-to-end deadlines must
+//! hold even when a participant dies in the middle of a 3×-limit spike.
+//!
+//! The scenario ([`ChaosRunner::overload_kill_scenario`]) drives more
+//! spike workers than the admission limit at a two-node cluster with
+//! deadlines on, kills the participant mid-spike with a plain
+//! `Node::crash` (no armed crash point — the registry-completeness
+//! tests stay authoritative), reboots everything and audits:
+//! shedding engaged, zero transfers committed past an expired deadline,
+//! conservation under [`tabs_chaos::Xfer`]'s shadow model, drained lock
+//! tables, idempotent re-recovery, and a rebooted node still refusing a
+//! zero-budget transaction.
+
+use tabs_chaos::ChaosRunner;
+
+/// Fixed seed, same convention as the chaos sweep.
+const SEED: u64 = 0x0E4B_10AD;
+
+#[test]
+fn overload_spike_with_participant_kill_converges() {
+    let run = ChaosRunner::new(SEED).overload_kill_scenario().unwrap_or_else(|e| panic!("{e}"));
+    // The scenario itself enforces the oracle; the assertions here
+    // restate the headline numbers so a failure prints them.
+    assert!(run.shed_counter > 0, "admission control never shed: {run:?}");
+    assert!(run.committed > 0, "no admitted work survived the spike: {run:?}");
+}
+
+#[test]
+fn overload_kill_is_deterministic_under_distinct_seeds() {
+    for seed in [1u64, 0xDEAD_BEEF] {
+        let run = ChaosRunner::new(seed).overload_kill_scenario().unwrap_or_else(|e| panic!("{e}"));
+        assert!(run.shed_counter > 0, "seed={seed}: spike never overloaded: {run:?}");
+    }
+}
